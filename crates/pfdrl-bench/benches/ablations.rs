@@ -1,0 +1,85 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! Huber vs MSE in the DQN loss, the α layer split's communication cost,
+//! β-round structure, and replay/target-network machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pfdrl_fl::{LayerSplit, LatencyModel, BroadcastBus};
+use pfdrl_nn::{loss, Matrix, Mlp, Activation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Huber vs MSE on identical batches: the paper picks Huber to damp
+/// outlier TD errors; the per-step cost difference should be negligible.
+fn bench_loss_ablation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let pred = Matrix::from_fn(64, 3, |_, _| rng.gen_range(-5.0..5.0));
+    let target = Matrix::from_fn(64, 3, |_, _| rng.gen_range(-5.0..5.0));
+    let mask = Matrix::from_fn(64, 3, |_, col| if col == 0 { 1.0 } else { 0.0 });
+    c.bench_function("loss_mse_64x3", |b| b.iter(|| black_box(loss::mse(&pred, &target))));
+    c.bench_function("loss_huber_64x3", |b| {
+        b.iter(|| black_box(loss::huber(&pred, &target, 1.0)))
+    });
+    c.bench_function("loss_huber_masked_64x3", |b| {
+        b.iter(|| black_box(loss::huber_masked(&pred, &target, &mask, 1.0)))
+    });
+}
+
+/// Communication volume of the α split: bytes broadcast per round as a
+/// function of how many of the 9 layers are shared. This is the
+/// mechanism behind PFDRL's Figure 14 advantage over FRL.
+fn bench_alpha_broadcast_cost(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut dims = vec![14];
+    dims.extend(std::iter::repeat(100).take(8));
+    dims.push(3);
+    let net = Mlp::new(&dims, Activation::Relu, Activation::Identity, &mut rng);
+    let mut group = c.benchmark_group("alpha_broadcast");
+    for alpha in [1usize, 4, 6, 9] {
+        let split = LayerSplit::for_model(alpha, &net);
+        group.bench_function(format!("alpha_{alpha}"), |b| {
+            b.iter(|| {
+                let u = split.base_update(&net, 0, 0, 0);
+                black_box((u.byte_size(), u))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Round-trip cost of a full federation round over the LAN bus at
+/// several neighbourhood sizes (the N² broadcast scaling).
+fn bench_bus_scaling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let net =
+        Mlp::new(&[14, 24, 24, 3], Activation::Relu, Activation::Identity, &mut rng);
+    let mut group = c.benchmark_group("bus_scaling");
+    group.sample_size(10);
+    for n in [5usize, 10, 20] {
+        group.bench_function(format!("n_{n}"), |b| {
+            b.iter(|| {
+                let bus = BroadcastBus::new(n, LatencyModel::lan());
+                for i in 0..n {
+                    bus.broadcast(pfdrl_fl::aggregate::snapshot_update(&net, i, 0, 0));
+                }
+                let mut total = 0usize;
+                for i in 0..n {
+                    total += bus.drain(i).len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_loss_ablation, bench_alpha_broadcast_cost, bench_bus_scaling
+}
+criterion_main!(ablations);

@@ -1,0 +1,90 @@
+//! One bench per table/figure: each measures the cost of regenerating
+//! that experiment at smoke scale. The `repro` binary produces the
+//! full-scale numbers; these benches keep every experiment path exercised
+//! and timed under `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pfdrl_bench::quick_config;
+use pfdrl_core::experiment::{
+    ablation_train_every, ablation_window_size, compare_methods, fig10_monetary,
+    fig12_personalization, fig13_forecast_overhead, fig2_alpha_sweep, fig3_beta_sweep,
+    fig4_gamma_sweep, fig5_forecast_cdf, fig6_accuracy_by_hour, fig7_accuracy_by_days,
+    fig8_accuracy_by_clients, headline, table2_rows,
+};
+use pfdrl_data::Mode;
+use pfdrl_env::reward;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table1_reward_function", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for gt in Mode::ALL {
+                for a in Mode::ALL {
+                    acc += reward(gt, a);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("table2_feature_matrix", |b| b.iter(|| black_box(table2_rows())));
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let cfg = quick_config(7);
+    let mut group = c.benchmark_group("figures_smoke");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+
+    group.bench_function("fig2_alpha_sweep", |b| {
+        b.iter(|| black_box(fig2_alpha_sweep(&cfg, &[1, 2])))
+    });
+    group.bench_function("fig3_beta_sweep", |b| {
+        b.iter(|| black_box(fig3_beta_sweep(&cfg, &[12.0, 24.0])))
+    });
+    group.bench_function("fig4_gamma_sweep", |b| {
+        b.iter(|| black_box(fig4_gamma_sweep(&cfg, &[12.0])))
+    });
+    group.bench_function("fig5_forecast_cdf", |b| {
+        b.iter(|| black_box(fig5_forecast_cdf(&cfg, 6)))
+    });
+    group.bench_function("fig6_accuracy_by_hour", |b| {
+        b.iter(|| black_box(fig6_accuracy_by_hour(&cfg)))
+    });
+    group.bench_function("fig7_accuracy_by_days", |b| {
+        b.iter(|| black_box(fig7_accuracy_by_days(&cfg, &[1, 2])))
+    });
+    group.bench_function("fig8_accuracy_by_clients", |b| {
+        b.iter(|| black_box(fig8_accuracy_by_clients(&cfg, &[2, 3])))
+    });
+    group.bench_function("fig9_11_14_method_comparison", |b| {
+        b.iter(|| black_box(compare_methods(&cfg)))
+    });
+    group.bench_function("fig10_monetary", |b| b.iter(|| black_box(fig10_monetary(&cfg))));
+    group.bench_function("fig12_personalization", |b| {
+        b.iter(|| black_box(fig12_personalization(&cfg)))
+    });
+    group.bench_function("fig13_forecast_overhead", |b| {
+        b.iter(|| black_box(fig13_forecast_overhead(&cfg)))
+    });
+    group.bench_function("headline", |b| b.iter(|| black_box(headline(&cfg))));
+    group.bench_function("ablation_window_size", |b| {
+        b.iter(|| black_box(ablation_window_size(&cfg, &[4, 8])))
+    });
+    group.bench_function("ablation_train_every", |b| {
+        b.iter(|| black_box(ablation_train_every(&cfg, &[8])))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_tables, bench_figures
+}
+criterion_main!(figures);

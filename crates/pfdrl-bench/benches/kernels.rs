@@ -1,0 +1,134 @@
+//! Microbenchmarks of the computational kernels every experiment is
+//! built from: matrix multiply, dense and LSTM forward/backward, DQN
+//! gradient steps, trace generation, and federation primitives.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pfdrl_data::{GeneratorConfig, TraceGenerator};
+use pfdrl_drl::{DqnAgent, DqnConfig, Transition};
+use pfdrl_fl::{aggregate, BroadcastBus, LatencyModel};
+use pfdrl_nn::{loss, Activation, Lstm, Matrix, Mlp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Matrix::from_fn(64, 100, |_, _| rng.gen_range(-1.0..1.0));
+    let b = Matrix::from_fn(100, 100, |_, _| rng.gen_range(-1.0..1.0));
+    c.bench_function("matmul_64x100x100", |bencher| {
+        bencher.iter(|| black_box(a.matmul(&b)))
+    });
+    c.bench_function("t_matmul_64x100x100", |bencher| {
+        bencher.iter(|| black_box(a.t_matmul(&a)))
+    });
+}
+
+fn bench_mlp(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    // The paper's Q-network: 8 hidden layers x 100 neurons.
+    let mut qnet = Mlp::paper_qnet(14, &mut rng);
+    let x = Matrix::from_fn(32, 14, |_, _| rng.gen_range(-1.0..1.0));
+    c.bench_function("paper_qnet_forward_b32", |bencher| {
+        bencher.iter(|| black_box(qnet.infer(&x)))
+    });
+    c.bench_function("paper_qnet_forward_backward_b32", |bencher| {
+        bencher.iter(|| {
+            qnet.zero_grad();
+            let y = qnet.forward(&x);
+            let t = Matrix::zeros(y.rows(), y.cols());
+            let (_, grad) = loss::huber(&y, &t, 1.0);
+            black_box(qnet.backward(&grad))
+        })
+    });
+}
+
+fn bench_lstm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut net = Lstm::new(3, 24, 1, &mut rng);
+    let seq: Vec<Matrix> =
+        (0..16).map(|_| Matrix::from_fn(32, 3, |_, _| rng.gen_range(-1.0..1.0))).collect();
+    c.bench_function("lstm_forward_t16_b32_h24", |bencher| {
+        bencher.iter(|| black_box(net.infer(&seq)))
+    });
+    c.bench_function("lstm_bptt_t16_b32_h24", |bencher| {
+        bencher.iter(|| {
+            net.zero_grad();
+            let y = net.forward(&seq);
+            let grad = Matrix::from_fn(y.rows(), y.cols(), |_, _| 1.0);
+            net.backward(&grad);
+            black_box(())
+        })
+    });
+}
+
+fn bench_dqn_step(c: &mut Criterion) {
+    let mut cfg = DqnConfig::slim(4);
+    cfg.hidden_width = 16;
+    let mut agent = DqnAgent::new(14, cfg);
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..256 {
+        agent.remember(Transition {
+            state: (0..14).map(|_| rng.gen_range(0.0..1.0)).collect(),
+            action: rng.gen_range(0..3),
+            reward: rng.gen_range(-30.0..30.0),
+            next_state: Some((0..14).map(|_| rng.gen_range(0.0..1.0)).collect()),
+        });
+    }
+    c.bench_function("dqn_train_step_8x16_b32", |bencher| {
+        bencher.iter(|| black_box(agent.train_step()))
+    });
+    let state: Vec<f64> = (0..14).map(|_| rng.gen_range(0.0..1.0)).collect();
+    c.bench_function("dqn_act_greedy_8x16", |bencher| {
+        bencher.iter(|| black_box(agent.act_greedy(&state)))
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let gen = TraceGenerator::new(GeneratorConfig::with_seed(6));
+    c.bench_function("day_trace_one_device", |bencher| {
+        let mut day = 0u64;
+        bencher.iter(|| {
+            day += 1;
+            black_box(gen.day_trace(3, 0, day))
+        })
+    });
+}
+
+fn bench_federation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let net = Mlp::new(&[14, 24, 24, 3], Activation::Relu, Activation::Identity, &mut rng);
+    c.bench_function("bus_broadcast_merge_n10", |bencher| {
+        bencher.iter_batched(
+            || {
+                (
+                    BroadcastBus::new(10, LatencyModel::lan()),
+                    (0..10).map(|_| net.clone()).collect::<Vec<_>>(),
+                )
+            },
+            |(bus, mut models)| {
+                for (i, m) in models.iter().enumerate() {
+                    bus.broadcast(aggregate::snapshot_update(m, i, 0, 0));
+                }
+                for (i, m) in models.iter_mut().enumerate() {
+                    let updates = bus.drain(i);
+                    let refs: Vec<&_> = updates.iter().map(|u| u.as_ref()).collect();
+                    aggregate::merge_updates(m, &refs);
+                }
+                black_box(models)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_matmul, bench_mlp, bench_lstm, bench_dqn_step,
+              bench_trace_generation, bench_federation
+}
+criterion_main!(kernels);

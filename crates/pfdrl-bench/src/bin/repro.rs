@@ -1,0 +1,300 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p pfdrl-bench --bin repro -- all
+//! cargo run --release -p pfdrl-bench --bin repro -- fig2 fig9 headline
+//! cargo run --release -p pfdrl-bench --bin repro -- all --quick
+//! ```
+//!
+//! Results are printed as aligned tables and also written as JSON under
+//! `repro_results/` so EXPERIMENTS.md can cite exact numbers.
+
+use pfdrl_bench::{
+    clients_config, forecast_config, format_series, format_series_table, quick_config,
+    repro_config,
+};
+use pfdrl_core::experiment::{
+    self, compare_methods, fig10_monetary, fig12_personalization, fig13_forecast_overhead,
+    headline, table2_rows,
+};
+use pfdrl_core::SimConfig;
+use std::fs;
+use std::time::Instant;
+
+const SEED: u64 = 42;
+
+struct Ctx {
+    quick: bool,
+    out_dir: String,
+}
+
+impl Ctx {
+    fn base(&self) -> SimConfig {
+        if self.quick {
+            quick_config(SEED)
+        } else {
+            repro_config(SEED)
+        }
+    }
+
+    fn forecast(&self) -> SimConfig {
+        if self.quick {
+            quick_config(SEED)
+        } else {
+            forecast_config(SEED)
+        }
+    }
+
+    fn save_json(&self, name: &str, value: &impl serde::Serialize) {
+        let path = format!("{}/{}.json", self.out_dir, name);
+        let json = serde_json::to_string_pretty(value).expect("serializable result");
+        fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("  -> {path}");
+    }
+}
+
+fn banner(name: &str, what: &str) {
+    println!("\n=== {name}: {what} ===");
+}
+
+fn table1(_ctx: &Ctx) {
+    banner("table1", "reward function");
+    println!("ground truth  action    reward");
+    for gt in pfdrl_data::Mode::ALL {
+        for a in pfdrl_data::Mode::ALL {
+            println!("{:>12}  {:>7}  {:>7.0}", gt.to_string(), a.to_string(), pfdrl_env::reward(gt, a));
+        }
+    }
+}
+
+fn table2(ctx: &Ctx) {
+    banner("table2", "comparison-method feature matrix");
+    let rows = table2_rows();
+    println!(
+        "{:>6}  {:>10} {:>8} {:>11} {:>11} {:>15}",
+        "method", "local-area", "privacy", "small-batch", "sharing-EMS", "personalization"
+    );
+    for (name, area, privacy, small, share, pers) in &rows {
+        let mark = |b: &bool| if *b { "yes" } else { "no" };
+        println!(
+            "{name:>6}  {:>10} {:>8} {:>11} {:>11} {:>15}",
+            mark(area),
+            mark(privacy),
+            mark(small),
+            mark(share),
+            mark(pers)
+        );
+    }
+    ctx.save_json("table2", &rows);
+}
+
+fn fig2(ctx: &Ctx) {
+    banner("fig2", "saved standby energy vs shared layers alpha");
+    let cfg = ctx.base();
+    let alphas: Vec<usize> = if ctx.quick {
+        vec![1, 2, 4]
+    } else {
+        (1..=8).collect()
+    };
+    let s = experiment::fig2_alpha_sweep(&cfg, &alphas);
+    print!("{}", format_series(&s));
+    println!("best alpha = {}", s.argmax());
+    ctx.save_json("fig2", &s);
+}
+
+fn fig3(ctx: &Ctx) {
+    banner("fig3", "DFL accuracy vs broadcast frequency beta (hours)");
+    let cfg = ctx.forecast();
+    let betas: Vec<f64> =
+        if ctx.quick { vec![1.0, 12.0, 24.0] } else { vec![0.1, 0.5, 1.0, 2.0, 6.0, 12.0, 24.0] };
+    let s = experiment::fig3_beta_sweep(&cfg, &betas);
+    print!("{}", format_series(&s));
+    println!("best beta = {}", s.argmax());
+    ctx.save_json("fig3", &s);
+}
+
+fn fig4(ctx: &Ctx) {
+    banner("fig4", "saved standby energy vs DRL broadcast frequency gamma (hours)");
+    let cfg = ctx.base();
+    let gammas: Vec<f64> =
+        if ctx.quick { vec![6.0, 24.0] } else { vec![0.1, 0.5, 1.0, 2.0, 6.0, 12.0, 24.0] };
+    let s = experiment::fig4_gamma_sweep(&cfg, &gammas);
+    print!("{}", format_series(&s));
+    println!("best gamma = {}", s.argmax());
+    ctx.save_json("fig4", &s);
+}
+
+fn fig5(ctx: &Ctx) {
+    banner("fig5", "CDF of load-forecasting accuracy (LR/SVM/BP/LSTM)");
+    let cfg = ctx.forecast();
+    let series = experiment::fig5_forecast_cdf(&cfg, 11);
+    print!("{}", format_series_table(&series));
+    ctx.save_json("fig5", &series);
+}
+
+fn fig6(ctx: &Ctx) {
+    banner("fig6", "forecast accuracy by hour of day");
+    let cfg = ctx.forecast();
+    let series = experiment::fig6_accuracy_by_hour(&cfg);
+    print!("{}", format_series_table(&series));
+    ctx.save_json("fig6", &series);
+}
+
+fn fig7(ctx: &Ctx) {
+    banner("fig7", "accuracy vs accumulative training days");
+    let cfg = ctx.forecast();
+    let days: Vec<u64> = if ctx.quick { vec![1, 2] } else { vec![1, 2, 4, 7] };
+    let series = experiment::fig7_accuracy_by_days(&cfg, &days);
+    print!("{}", format_series_table(&series));
+    ctx.save_json("fig7", &series);
+}
+
+fn fig8(ctx: &Ctx) {
+    banner("fig8", "accuracy vs number of residences (archetype pool widens past 100)");
+    let cfg = if ctx.quick { quick_config(SEED) } else { clients_config(SEED) };
+    let counts: Vec<usize> = if ctx.quick { vec![3, 5] } else { vec![10, 60, 100, 140] };
+    let series = experiment::fig8_accuracy_by_clients(&cfg, &counts);
+    print!("{}", format_series_table(&series));
+    ctx.save_json("fig8", &series);
+}
+
+fn figs_9_11_14(ctx: &Ctx) {
+    banner("fig9/fig11/fig14", "full five-method comparison");
+    let cfg = ctx.base();
+    let cmp = compare_methods(&cfg);
+
+    println!("\nfig9: saved kWh per client per day");
+    print!("{}", format_series_table(&cmp.fig9_series()));
+    println!("\nfig9 (right axis): saved standby fraction per day");
+    print!("{}", format_series_table(&cmp.fig9_percentage_series()));
+    println!("\nconvergence (first day reaching 80% of converged level):");
+    for run in &cmp.runs {
+        println!(
+            "  {:>6}: day {:?}, converged fraction {:.3}",
+            run.method,
+            run.days_to_converge(0.8),
+            run.converged_saved_fraction()
+        );
+    }
+
+    println!("\nfig11: saved kWh per client by hour of day");
+    print!("{}", format_series_table(&cmp.fig11_series()));
+
+    println!("\nfig14: EMS time overhead (seconds)");
+    println!("{:>6}  {:>10}  {:>10}  {:>10}", "method", "compute", "comm", "total");
+    for row in cmp.fig14_rows() {
+        println!(
+            "{:>6}  {:>10.2}  {:>10.2}  {:>10.2}",
+            row.label,
+            row.train_s,
+            row.comm_s,
+            row.total()
+        );
+    }
+    ctx.save_json("fig9_11_14", &cmp);
+}
+
+fn fig10(ctx: &Ctx) {
+    banner("fig10", "saved monetary cost per client by month (fixed vs variable)");
+    let cfg = ctx.base();
+    let r = fig10_monetary(&cfg);
+    println!("{:>5}  {:>10}  {:>10}", "month", "fixed $", "variable $");
+    for (m, (f, v)) in r.monthly_saved_usd.iter().enumerate() {
+        println!("{:>5}  {:>10.3}  {:>10.3}", m + 1, f, v);
+    }
+    let fixed: f64 = r.monthly_saved_usd.iter().map(|(f, _)| f).sum();
+    let var: f64 = r.monthly_saved_usd.iter().map(|(_, v)| v).sum();
+    println!("yearly: fixed ${fixed:.2}, variable ${var:.2}");
+    ctx.save_json("fig10", &r);
+}
+
+fn fig12(ctx: &Ctx) {
+    banner("fig12", "personalized vs not personalized saved energy per client");
+    let cfg = ctx.base();
+    let r = fig12_personalization(&cfg);
+    println!(
+        "personalized (PFDRL):      mean {:.3} kWh, std {:.3}",
+        r.personalized_mean, r.personalized_std
+    );
+    println!(
+        "not personalized (FRL):    mean {:.3} kWh, std {:.3}",
+        r.not_personalized_mean, r.not_personalized_std
+    );
+    ctx.save_json("fig12", &r);
+}
+
+fn fig13(ctx: &Ctx) {
+    banner("fig13", "load-forecasting time overhead (seconds)");
+    let cfg = ctx.forecast();
+    let rows = fig13_forecast_overhead(&cfg);
+    println!("{:>6}  {:>10}  {:>10}  {:>10}", "method", "train", "test", "comm");
+    for r in &rows {
+        println!("{:>6}  {:>10.2}  {:>10.2}  {:>10.2}", r.label, r.train_s, r.test_s, r.comm_s);
+    }
+    ctx.save_json("fig13", &rows);
+}
+
+fn run_headline(ctx: &Ctx) {
+    banner("headline", "Section 5 headline numbers");
+    let cfg = ctx.base();
+    let h = headline(&cfg);
+    println!("load-forecasting accuracy:  {:.1}%  (paper: 92%)", 100.0 * h.forecast_accuracy);
+    println!(
+        "saved standby energy/day:   {:.1}%  (paper: 98%)",
+        100.0 * h.saved_standby_fraction
+    );
+    println!(
+        "comfort violations:         {} of {} minutes",
+        h.comfort_violation_minutes, h.total_minutes
+    );
+    ctx.save_json("headline", &h);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut targets: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    if targets.is_empty() || targets.contains(&"all") {
+        targets = vec![
+            "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig12", "fig13", "headline",
+        ];
+    }
+    let out_dir = "repro_results".to_string();
+    fs::create_dir_all(&out_dir).expect("create repro_results/");
+    let ctx = Ctx { quick, out_dir };
+
+    let started = Instant::now();
+    let mut nine_eleven_fourteen_done = false;
+    for t in targets {
+        let t0 = Instant::now();
+        match t {
+            "table1" => table1(&ctx),
+            "table2" => table2(&ctx),
+            "fig2" => fig2(&ctx),
+            "fig3" => fig3(&ctx),
+            "fig4" => fig4(&ctx),
+            "fig5" => fig5(&ctx),
+            "fig6" => fig6(&ctx),
+            "fig7" => fig7(&ctx),
+            "fig8" => fig8(&ctx),
+            "fig9" | "fig11" | "fig14" => {
+                if !nine_eleven_fourteen_done {
+                    figs_9_11_14(&ctx);
+                    nine_eleven_fourteen_done = true;
+                }
+            }
+            "fig10" => fig10(&ctx),
+            "fig12" => fig12(&ctx),
+            "fig13" => fig13(&ctx),
+            "headline" => run_headline(&ctx),
+            other => {
+                eprintln!("unknown target {other:?}; known: table1 table2 fig2..fig14 headline");
+                std::process::exit(2);
+            }
+        }
+        println!("[{t} took {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+    println!("\ntotal: {:.1}s", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,217 @@
+//! Simulation configuration shared by every experiment.
+
+use pfdrl_data::dataset::TargetTransform;
+use pfdrl_data::{DeviceType, GeneratorConfig};
+use pfdrl_drl::DqnConfig;
+use pfdrl_forecast::{ForecastMethod, TrainConfig};
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of one neighbourhood simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Global seed (drives data generation and all model init).
+    pub seed: u64,
+    /// Number of residences in the federation.
+    pub n_residences: usize,
+    /// Devices installed per home. Defaults to the controllable,
+    /// standby-heavy subset the EMS can act on.
+    pub devices: Vec<DeviceType>,
+    /// Days of trace used to train forecasters.
+    pub train_days: u64,
+    /// Days of trace the EMS runs over (evaluation; the DRL also learns
+    /// online during these days).
+    pub eval_days: u64,
+    /// First evaluation day (train days come immediately before).
+    pub eval_start_day: u64,
+    /// Forecast input window, minutes.
+    pub window: usize,
+    /// Forecast horizon, minutes.
+    pub horizon: usize,
+    /// Training-sample stride (subsampling of the minute grid).
+    pub stride: usize,
+    /// Target-space transform for forecaster inputs/targets.
+    pub transform: TargetTransform,
+    /// Forecasting algorithm (paper settles on LSTM).
+    pub forecast_method: ForecastMethod,
+    /// Forecaster training hyperparameters.
+    pub train: TrainConfig,
+    /// β: forecaster broadcast period, hours.
+    pub beta_hours: f64,
+    /// γ: DRL base-layer broadcast period, hours.
+    pub gamma_hours: f64,
+    /// α: number of DRL base (shared) layers.
+    pub alpha: usize,
+    /// Minutes of (predicted, real) history in the DRL state.
+    pub state_window: usize,
+    /// DQN hyperparameters.
+    pub dqn: DqnConfig,
+    /// Take a gradient step every this many environment steps (1 =
+    /// paper-faithful; larger = cheaper experiments, same shape).
+    pub train_every: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            n_residences: 20,
+            devices: Self::controllable_devices(),
+            train_days: 6,
+            eval_days: 8,
+            eval_start_day: 6,
+            window: 16,
+            horizon: 15,
+            stride: 7,
+            transform: TargetTransform::default(),
+            forecast_method: ForecastMethod::Lstm,
+            train: TrainConfig::quick(0),
+            beta_hours: 12.0,
+            gamma_hours: 12.0,
+            alpha: 6,
+            state_window: 4,
+            dqn: DqnConfig::slim(0),
+            train_every: 4,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The standby-heavy, controllable devices the EMS acts on.
+    pub fn controllable_devices() -> Vec<DeviceType> {
+        vec![
+            DeviceType::Tv,
+            DeviceType::GameConsole,
+            DeviceType::Computer,
+            DeviceType::SetTopBox,
+        ]
+    }
+
+    /// Baseline experiment configuration at a given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        let mut cfg = SimConfig::default();
+        cfg.seed = seed;
+        cfg.train = TrainConfig::quick(seed);
+        cfg.dqn = DqnConfig::slim(seed);
+        cfg
+    }
+
+    /// Small configuration for unit/integration tests (3 homes, 2
+    /// devices, short spans, tiny nets).
+    pub fn tiny(seed: u64) -> Self {
+        let mut dqn = DqnConfig::slim(seed);
+        dqn.hidden_layers = 3;
+        dqn.hidden_width = 12;
+        dqn.warmup = 32;
+        dqn.batch = 16;
+        SimConfig {
+            seed,
+            n_residences: 3,
+            devices: vec![DeviceType::Tv, DeviceType::GameConsole],
+            train_days: 2,
+            eval_days: 2,
+            eval_start_day: 2,
+            window: 8,
+            horizon: 5,
+            stride: 5,
+            transform: TargetTransform::default(),
+            forecast_method: ForecastMethod::Lr,
+            train: TrainConfig { lr: 0.03, max_epochs: 8, ..TrainConfig::with_seed(seed) },
+            beta_hours: 12.0,
+            gamma_hours: 6.0,
+            alpha: 2,
+            state_window: 3,
+            dqn,
+            train_every: 8,
+        }
+    }
+
+    /// Number of devices per home.
+    pub fn devices_per_home(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Feature dimension of the forecaster inputs.
+    pub fn feature_dim(&self) -> usize {
+        self.window + 2
+    }
+
+    /// Underlying data-generator configuration.
+    pub fn generator(&self) -> GeneratorConfig {
+        GeneratorConfig { seed: self.seed, devices: self.devices.clone(), ..Default::default() }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message on an invalid configuration.
+    pub fn validate(&self) {
+        assert!(self.n_residences > 0, "need at least one residence");
+        assert!(!self.devices.is_empty(), "need at least one device");
+        assert!(self.train_days > 0 && self.eval_days > 0, "need train and eval days");
+        assert!(
+            self.eval_start_day >= self.train_days,
+            "eval must start after the training span"
+        );
+        assert!(self.window >= 2 && self.horizon >= 1, "degenerate window/horizon");
+        assert!(self.stride >= 1, "stride must be >= 1");
+        assert!(
+            self.alpha >= 1 && self.alpha <= self.dqn.hidden_layers + 1,
+            "alpha {} out of range for a {}-hidden-layer DQN",
+            self.alpha,
+            self.dqn.hidden_layers
+        );
+        assert!(self.train_every >= 1, "train_every must be >= 1");
+        assert!(self.beta_hours > 0.0 && self.gamma_hours > 0.0, "periods must be positive");
+        assert!(self.state_window >= 1, "state window must be >= 1");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        SimConfig::default().validate();
+    }
+
+    #[test]
+    fn tiny_is_valid() {
+        SimConfig::tiny(42).validate();
+    }
+
+    #[test]
+    fn paper_alpha_range_is_accepted() {
+        // The paper sweeps alpha over 1..=8 on an 8-hidden-layer net.
+        for alpha in 1..=8 {
+            let mut cfg = SimConfig::with_seed(0);
+            cfg.alpha = alpha;
+            cfg.validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn oversized_alpha_rejected() {
+        let mut cfg = SimConfig::tiny(0); // 3 hidden layers => 4 total
+        cfg.alpha = 5;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "eval must start after")]
+    fn overlapping_eval_rejected() {
+        let mut cfg = SimConfig::tiny(0);
+        cfg.eval_start_day = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    fn controllable_devices_are_controllable_with_standby() {
+        for d in SimConfig::controllable_devices() {
+            let spec = d.nominal_spec();
+            assert!(spec.controllable, "{d:?}");
+            assert!(spec.has_standby(), "{d:?}");
+        }
+    }
+}

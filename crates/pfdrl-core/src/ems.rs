@@ -1,0 +1,452 @@
+//! Phase 2 of every pipeline: running the DRL energy-management system
+//! over the evaluation days, with the method's DRL federation mode
+//! (Table 2, "EMS" column).
+//!
+//! * **Local / Cloud / FL** — every home trains its DQNs alone.
+//! * **FRL** — full Q-networks are FedAvg-ed through the cloud every γ
+//!   hours.
+//! * **PFDRL** — only the first α layers are broadcast over the LAN every
+//!   γ hours; the remaining layers stay personal (Eqs. 7–8).
+//!
+//! Each simulated day is split into γ-aligned segments; all residences
+//! advance their episodes through a segment in parallel (rayon), then the
+//! federation step runs at the boundary.
+
+use crate::config::SimConfig;
+use crate::forecast::ForecastPhase;
+use crate::method::EmsMethod;
+use pfdrl_data::{DayTrace, TraceGenerator, MINUTES_PER_DAY};
+use pfdrl_drl::{DqnAgent, DqnConfig, Transition};
+use pfdrl_env::{DeviceEnv, EnergyAccount, EnvConfig};
+use pfdrl_fl::{
+    aggregate, BroadcastBus, CloudAggregator, LatencyModel, LayerSplit, ModelUpdate,
+};
+use pfdrl_nn::Layered;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// How a method federates its DRL agents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrlFederation {
+    /// No sharing (Local, Cloud, FL).
+    None,
+    /// Full-model FedAvg through the cloud (FRL).
+    CloudFull,
+    /// α base layers over the LAN (PFDRL).
+    LanAlpha(usize),
+}
+
+impl EmsMethod {
+    /// The DRL federation mode of this method.
+    pub fn drl_federation(self, alpha: usize) -> DrlFederation {
+        match self {
+            EmsMethod::Local | EmsMethod::Cloud | EmsMethod::Fl => DrlFederation::None,
+            EmsMethod::Frl => DrlFederation::CloudFull,
+            EmsMethod::Pfdrl => DrlFederation::LanAlpha(alpha),
+        }
+    }
+}
+
+/// Result of the EMS phase.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmsPhase {
+    /// Aggregate account over all homes, devices and days.
+    pub account: EnergyAccount,
+    /// Per-eval-day saved-standby fraction across the neighbourhood
+    /// (the Figure 9 convergence curve).
+    pub daily_saved_fraction: Vec<f64>,
+    /// Per-eval-day saved energy per client, kWh (Figure 9 left axis).
+    pub daily_saved_kwh_per_client: Vec<f64>,
+    /// Saved energy per client by hour of day, kWh (Figure 11).
+    pub hourly_saved_kwh_per_client: Vec<f64>,
+    /// Available standby energy per client by hour of day, kWh.
+    pub hourly_standby_kwh_per_client: Vec<f64>,
+    /// Per-home saved fraction over the last third of eval days
+    /// (Figure 12 error bars).
+    pub per_home_saved_fraction: Vec<f64>,
+    /// Per-home saved energy over the last third of eval days, kWh.
+    pub per_home_saved_kwh: Vec<f64>,
+    /// Wall-clock compute time, seconds.
+    pub train_wall_s: f64,
+    /// Simulated communication time, seconds.
+    pub comm_s: f64,
+    /// Bytes moved over the simulated network.
+    pub comm_bytes: u64,
+}
+
+/// Per-minute prediction of one device-day, produced by feeding the
+/// forecaster windows of *real* readings that end `horizon` minutes
+/// before each target minute.
+pub fn predict_day(
+    cfg: &SimConfig,
+    forecaster: &dyn pfdrl_forecast::Forecaster,
+    prev_day: &DayTrace,
+    today: &DayTrace,
+    scale: f64,
+) -> Vec<f64> {
+    let window = cfg.window;
+    let horizon = cfg.horizon;
+    let transform = cfg.transform;
+    let mut series = prev_day.watts.clone();
+    series.extend_from_slice(&today.watts);
+    let mut inputs = Vec::with_capacity(MINUTES_PER_DAY);
+    for t in 0..MINUTES_PER_DAY {
+        let end = MINUTES_PER_DAY + t - horizon; // exclusive window end
+        let startw = end - window;
+        let mut feat = Vec::with_capacity(window + 2);
+        for w in &series[startw..end] {
+            feat.push(transform.encode(w / scale));
+        }
+        let angle = 2.0 * std::f64::consts::PI * t as f64 / MINUTES_PER_DAY as f64;
+        feat.push(angle.sin());
+        feat.push(angle.cos());
+        inputs.push(feat);
+    }
+    forecaster
+        .predict(&inputs)
+        .iter()
+        .map(|p| (transform.decode(*p) * scale).max(0.0))
+        .collect()
+}
+
+/// Internal per-day, per-home bundle moved across segment boundaries.
+struct HomeDay {
+    envs: Vec<Option<DeviceEnv>>,
+    states: Vec<Option<Vec<f64>>>,
+}
+
+/// Runs the EMS over the evaluation span.
+pub fn run_ems(cfg: &SimConfig, method: EmsMethod, forecast: &ForecastPhase) -> EmsPhase {
+    cfg.validate();
+    let gen = TraceGenerator::new(cfg.generator());
+    let started = Instant::now();
+    let env_cfg = EnvConfig { state_window: cfg.state_window };
+    let state_dim = env_cfg.state_dim();
+    let n = cfg.n_residences;
+    let d = cfg.devices_per_home();
+    let federation = method.drl_federation(cfg.alpha);
+
+    // One DQN per home-device pair.
+    let mut agents: Vec<Vec<DqnAgent>> = (0..n)
+        .map(|home| {
+            (0..d)
+                .map(|device| {
+                    let seed = cfg
+                        .seed
+                        .wrapping_mul(0xC2B2_AE35)
+                        .wrapping_add((home as u64) << 13)
+                        .wrapping_add(device as u64);
+                    DqnAgent::new(state_dim, DqnConfig { seed, ..cfg.dqn.clone() })
+                })
+                .collect()
+        })
+        .collect();
+
+    // Federation transports.
+    let bus = BroadcastBus::new(n, LatencyModel::lan());
+    let cloud = CloudAggregator::new(LatencyModel::cloud());
+
+    let gamma_minutes = ((cfg.gamma_hours * 60.0).round() as usize).max(1);
+    let mut fed_round: u64 = 0;
+
+    let mut total = EnergyAccount::new();
+    let mut daily_saved_fraction = Vec::with_capacity(cfg.eval_days as usize);
+    let mut daily_saved_kwh_per_client = Vec::with_capacity(cfg.eval_days as usize);
+    let mut hourly_saved = vec![0.0f64; 24];
+    let mut hourly_standby = vec![0.0f64; 24];
+    let mut per_home_late: Vec<EnergyAccount> = vec![EnergyAccount::new(); n];
+    let late_start = cfg.eval_start_day + cfg.eval_days - cfg.eval_days.div_ceil(3);
+
+    for day in cfg.eval_start_day..cfg.eval_start_day + cfg.eval_days {
+        // Build the day's envs (predictions + ground truth), per home.
+        let mut home_days: Vec<HomeDay> = (0..n as u64)
+            .into_par_iter()
+            .map(|home| {
+                let hh = gen.household(home);
+                let mut envs = Vec::with_capacity(d);
+                let mut states = Vec::with_capacity(d);
+                for device in 0..d {
+                    let spec = &hh.devices[device];
+                    if !spec.controllable {
+                        envs.push(None);
+                        states.push(None);
+                        continue;
+                    }
+                    let prev = gen.day_trace(home, device, day - 1);
+                    let today = gen.day_trace(home, device, day);
+                    let pred = predict_day(
+                        cfg,
+                        forecast.models[home as usize][device].as_ref(),
+                        &prev,
+                        &today,
+                        spec.on_watts,
+                    );
+                    let mut env = DeviceEnv::new(
+                        spec.clone(),
+                        pred,
+                        today.watts.clone(),
+                        today.modes.clone(),
+                        env_cfg,
+                    );
+                    let s0 = env.reset();
+                    envs.push(Some(env));
+                    states.push(Some(s0));
+                }
+                HomeDay { envs, states }
+            })
+            .collect();
+
+        // Walk the day in γ-aligned segments.
+        let mut day_account = EnergyAccount::new();
+        let day_minute0 = (day - cfg.eval_start_day) as usize * MINUTES_PER_DAY;
+        let mut seg_start = 0usize;
+        while seg_start < MINUTES_PER_DAY {
+            let global = day_minute0 + seg_start;
+            let next_boundary = ((global / gamma_minutes) + 1) * gamma_minutes;
+            let seg_end = (next_boundary - day_minute0).min(MINUTES_PER_DAY);
+
+            // All homes advance through the segment in parallel.
+            let seg_hours: Vec<(Vec<f64>, Vec<f64>)> = home_days
+                .par_iter_mut()
+                .zip(agents.par_iter_mut())
+                .map(|(hd, home_agents)| {
+                    run_segment(cfg, hd, home_agents, seg_end)
+                })
+                .collect();
+            for (saved, standby) in seg_hours {
+                for h in 0..24 {
+                    hourly_saved[h] += saved[h];
+                    hourly_standby[h] += standby[h];
+                }
+            }
+
+            // Federation at the boundary (if the day is not over early).
+            if seg_end < MINUTES_PER_DAY || next_boundary == day_minute0 + MINUTES_PER_DAY {
+                fed_round += 1;
+                federate(&mut agents, federation, &bus, &cloud, fed_round);
+            }
+            seg_start = seg_end;
+        }
+
+        // Collect the day's accounts.
+        for (home, hd) in home_days.iter().enumerate() {
+            for env in hd.envs.iter().flatten() {
+                day_account.merge(env.account());
+                if day >= late_start {
+                    per_home_late[home].merge(env.account());
+                }
+            }
+        }
+        total.merge(&day_account);
+        daily_saved_fraction.push(day_account.saved_fraction().unwrap_or(0.0));
+        daily_saved_kwh_per_client.push(day_account.standby_saved_kwh / n as f64);
+    }
+
+    let comm_bytes = bus.stats().bytes
+        + cloud.stats().upload_bytes
+        + cloud.stats().download_bytes;
+    let comm_s = bus.simulated_seconds() + cloud.simulated_seconds();
+    EmsPhase {
+        account: total,
+        daily_saved_fraction,
+        daily_saved_kwh_per_client,
+        hourly_saved_kwh_per_client: hourly_saved.iter().map(|v| v / n as f64).collect(),
+        hourly_standby_kwh_per_client: hourly_standby.iter().map(|v| v / n as f64).collect(),
+        per_home_saved_fraction: per_home_late
+            .iter()
+            .map(|a| a.saved_fraction().unwrap_or(0.0))
+            .collect(),
+        per_home_saved_kwh: per_home_late.iter().map(|a| a.standby_saved_kwh).collect(),
+        train_wall_s: started.elapsed().as_secs_f64(),
+        comm_s,
+        comm_bytes,
+    }
+}
+
+/// Advances one home's episodes to `seg_end`; returns (saved, standby)
+/// kWh per hour-of-day accumulated during the segment.
+fn run_segment(
+    cfg: &SimConfig,
+    hd: &mut HomeDay,
+    agents: &mut [DqnAgent],
+    seg_end: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut saved = vec![0.0f64; 24];
+    let mut standby = vec![0.0f64; 24];
+    for (device, slot) in hd.envs.iter_mut().enumerate() {
+        let Some(env) = slot else { continue };
+        let agent = &mut agents[device];
+        let mut steps_since_train = 0usize;
+        while !env.done() && env.current_minute() < seg_end {
+            let minute = env.current_minute();
+            let state = hd.states[device].clone().expect("live episode has a state");
+            let action = agent.act(&state);
+            // Hour-of-day bookkeeping uses ground truth via the account
+            // delta (standby saved only changes on standby minutes).
+            let before = *env.account();
+            let step = env.step(action);
+            let after = *env.account();
+            let hour = minute / 60;
+            saved[hour] += after.standby_saved_kwh - before.standby_saved_kwh;
+            standby[hour] += after.standby_total_kwh - before.standby_total_kwh;
+            agent.remember(Transition {
+                state,
+                action: action.index(),
+                reward: step.reward,
+                next_state: step.next_state.clone(),
+            });
+            steps_since_train += 1;
+            if steps_since_train >= cfg.train_every && agent.ready() {
+                agent.train_step();
+                steps_since_train = 0;
+            }
+            hd.states[device] = step.next_state;
+        }
+    }
+    (saved, standby)
+}
+
+/// One federation step over every device's agents.
+fn federate(
+    agents: &mut [Vec<DqnAgent>],
+    federation: DrlFederation,
+    bus: &BroadcastBus,
+    cloud: &CloudAggregator,
+    round: u64,
+) {
+    let d = agents[0].len();
+    match federation {
+        DrlFederation::None => {}
+        DrlFederation::CloudFull => {
+            for device in 0..d {
+                for (home, home_agents) in agents.iter().enumerate() {
+                    cloud.upload(aggregate::snapshot_update(
+                        &home_agents[device],
+                        home,
+                        round,
+                        device as u64,
+                    ));
+                }
+                cloud.aggregate();
+                for home_agents in agents.iter_mut() {
+                    let global = cloud.download().expect("aggregated DRL model");
+                    home_agents[device].import_all(&global);
+                }
+            }
+        }
+        DrlFederation::LanAlpha(alpha) => {
+            for device in 0..d {
+                let split = LayerSplit::for_model(alpha, &agents[0][device]);
+                for (home, home_agents) in agents.iter().enumerate() {
+                    bus.broadcast(split.base_update(
+                        &home_agents[device],
+                        home,
+                        round,
+                        device as u64,
+                    ));
+                }
+                for (home, home_agents) in agents.iter_mut().enumerate() {
+                    let updates: Vec<std::sync::Arc<ModelUpdate>> = bus.drain(home);
+                    let refs: Vec<&ModelUpdate> = updates
+                        .iter()
+                        .map(|u| u.as_ref())
+                        .filter(|u| u.model_id == device as u64)
+                        .collect();
+                    split.merge_base(&mut home_agents[device], &refs);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forecast::train_forecasters;
+
+    fn tiny_run(method: EmsMethod) -> EmsPhase {
+        let cfg = SimConfig::tiny(3);
+        let forecast = train_forecasters(&cfg, method);
+        run_ems(&cfg, method, &forecast)
+    }
+
+    #[test]
+    fn federation_modes_match_table_2() {
+        assert_eq!(EmsMethod::Local.drl_federation(6), DrlFederation::None);
+        assert_eq!(EmsMethod::Cloud.drl_federation(6), DrlFederation::None);
+        assert_eq!(EmsMethod::Fl.drl_federation(6), DrlFederation::None);
+        assert_eq!(EmsMethod::Frl.drl_federation(6), DrlFederation::CloudFull);
+        assert_eq!(EmsMethod::Pfdrl.drl_federation(6), DrlFederation::LanAlpha(6));
+    }
+
+    #[test]
+    fn local_ems_moves_no_bytes() {
+        let phase = tiny_run(EmsMethod::Local);
+        assert_eq!(phase.comm_bytes, 0);
+        assert!(phase.account.minutes > 0);
+        assert_eq!(phase.daily_saved_fraction.len(), 2);
+    }
+
+    #[test]
+    fn pfdrl_moves_fewer_drl_bytes_than_frl() {
+        let pf = tiny_run(EmsMethod::Pfdrl);
+        let frl = tiny_run(EmsMethod::Frl);
+        assert!(pf.comm_bytes > 0);
+        assert!(frl.comm_bytes > 0);
+        // With n=3 residences both transports move 6 point-to-point
+        // messages per device-round (bus: 3 broadcasts x 2 deliveries;
+        // cloud: 3 up + 3 down), but PFDRL's payload is only the alpha
+        // base layers, so its total volume must be strictly smaller.
+        assert!(
+            pf.comm_bytes < frl.comm_bytes,
+            "pfdrl bytes {} >= frl bytes {}",
+            pf.comm_bytes,
+            frl.comm_bytes
+        );
+    }
+
+    #[test]
+    fn saved_energy_is_bounded_by_available_standby() {
+        let phase = tiny_run(EmsMethod::Pfdrl);
+        assert!(phase.account.standby_saved_kwh <= phase.account.standby_total_kwh + 1e-12);
+        let f = phase.account.saved_fraction().unwrap();
+        assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn hourly_series_have_24_buckets_and_match_totals() {
+        let phase = tiny_run(EmsMethod::Local);
+        assert_eq!(phase.hourly_saved_kwh_per_client.len(), 24);
+        assert_eq!(phase.hourly_standby_kwh_per_client.len(), 24);
+        let n = 3.0;
+        let hourly_total: f64 = phase.hourly_saved_kwh_per_client.iter().sum::<f64>() * n;
+        assert!(
+            (hourly_total - phase.account.standby_saved_kwh).abs() < 1e-9,
+            "hourly {hourly_total} vs account {}",
+            phase.account.standby_saved_kwh
+        );
+    }
+
+    #[test]
+    fn per_home_fractions_cover_every_home() {
+        let phase = tiny_run(EmsMethod::Pfdrl);
+        assert_eq!(phase.per_home_saved_fraction.len(), 3);
+        for f in &phase.per_home_saved_fraction {
+            assert!((0.0..=1.0).contains(f));
+        }
+    }
+
+    #[test]
+    fn pfdrl_federation_preserves_personal_layers() {
+        // After a run, PFDRL agents share base layers but keep distinct
+        // personalization layers.
+        let cfg = SimConfig::tiny(5);
+        let forecast = train_forecasters(&cfg, EmsMethod::Pfdrl);
+        let _ = run_ems(&cfg, EmsMethod::Pfdrl, &forecast);
+        // (Agents are internal to run_ems; the property is asserted at the
+        // unit level in pfdrl-fl. Here we just confirm the run completes
+        // with sharing enabled — see personalization tests for the
+        // layer-level invariant.)
+    }
+}

@@ -1,0 +1,103 @@
+//! End-to-end pipeline runner: forecaster training followed by the EMS
+//! phase, with cost accounting for the time-overhead figures.
+
+use crate::config::SimConfig;
+use crate::ems::{run_ems, EmsPhase};
+use crate::forecast::{train_forecasters, ForecastPhase};
+use crate::method::EmsMethod;
+use serde::{Deserialize, Serialize};
+
+/// A full run of one comparison method.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodRun {
+    pub method: String,
+    /// Forecaster-training wall-clock seconds.
+    pub forecast_train_wall_s: f64,
+    /// Forecaster-training simulated communication seconds.
+    pub forecast_comm_s: f64,
+    /// Forecaster-training bytes on the wire.
+    pub forecast_bytes: u64,
+    /// The EMS phase results.
+    pub ems: EmsPhase,
+}
+
+impl MethodRun {
+    /// Total time overhead (compute + simulated communication), seconds —
+    /// the quantity compared in Figure 14.
+    pub fn total_overhead_s(&self) -> f64 {
+        self.forecast_train_wall_s + self.forecast_comm_s + self.ems.train_wall_s + self.ems.comm_s
+    }
+
+    /// Mean saved-standby fraction over the last third of eval days
+    /// (converged performance).
+    pub fn converged_saved_fraction(&self) -> f64 {
+        let days = &self.ems.daily_saved_fraction;
+        let tail = days.len().div_ceil(3);
+        let slice = &days[days.len() - tail..];
+        slice.iter().sum::<f64>() / slice.len() as f64
+    }
+
+    /// First eval day (0-based) on which the saved fraction reached
+    /// `threshold` × the converged level — the Figure 9 convergence-speed
+    /// measure. `None` if never reached.
+    pub fn days_to_converge(&self, threshold: f64) -> Option<usize> {
+        let target = threshold * self.converged_saved_fraction();
+        self.ems.daily_saved_fraction.iter().position(|&f| f >= target)
+    }
+}
+
+/// Runs one method end to end.
+pub fn run_method(cfg: &SimConfig, method: EmsMethod) -> MethodRun {
+    let forecast = train_forecasters(cfg, method);
+    let ems = run_ems(cfg, method, &forecast);
+    MethodRun {
+        method: method.name().to_string(),
+        forecast_train_wall_s: forecast.train_wall_s,
+        forecast_comm_s: forecast.comm_s,
+        forecast_bytes: forecast.comm_bytes,
+        ems,
+    }
+}
+
+/// Runs one method and also returns the trained forecasters (for
+/// experiments that need to evaluate forecast quality on the same run).
+pub fn run_method_with_forecast(cfg: &SimConfig, method: EmsMethod) -> (MethodRun, ForecastPhase) {
+    let forecast = train_forecasters(cfg, method);
+    let ems = run_ems(cfg, method, &forecast);
+    (
+        MethodRun {
+            method: method.name().to_string(),
+            forecast_train_wall_s: forecast.train_wall_s,
+            forecast_comm_s: forecast.comm_s,
+            forecast_bytes: forecast.comm_bytes,
+            ems,
+        },
+        forecast,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_pipeline_completes_for_every_method() {
+        let cfg = SimConfig::tiny(7);
+        for method in EmsMethod::ALL {
+            let run = run_method(&cfg, method);
+            assert!(run.ems.account.minutes > 0, "{method} did nothing");
+            assert!(run.total_overhead_s() > 0.0);
+            let f = run.converged_saved_fraction();
+            assert!((0.0..=1.0).contains(&f), "{method} fraction {f}");
+        }
+    }
+
+    #[test]
+    fn days_to_converge_is_consistent() {
+        let cfg = SimConfig::tiny(8);
+        let run = run_method(&cfg, EmsMethod::Pfdrl);
+        if let Some(d) = run.days_to_converge(0.8) {
+            assert!(d < run.ems.daily_saved_fraction.len());
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Loader for Pecan Street Dataport-style CSV exports.
+//!
+//! The real dataset is access-gated, so the rest of the repository runs
+//! on the synthetic generator — but if you have Dataport credentials you
+//! can export minute-level appliance data and feed it straight in here.
+//!
+//! Expected layout (header required):
+//!
+//! ```csv
+//! dataid,minute,device,watts
+//! 26,0,tv,3.1
+//! 26,1,tv,3.0
+//! ```
+//!
+//! `dataid` is the Dataport household id, `minute` an absolute minute
+//! index from the start of the export, `device` a [`DeviceType::name`],
+//! and `watts` the average draw over that minute.
+
+use crate::device::DeviceType;
+use std::collections::BTreeMap;
+use std::io::BufRead;
+
+/// A parsed per-device minute series.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceSeries {
+    /// Watt reading per minute index (dense from zero; gaps filled with
+    /// the previous reading).
+    pub watts: Vec<f64>,
+}
+
+/// Errors produced by the CSV loader.
+#[derive(Debug, PartialEq)]
+pub enum CsvError {
+    /// Underlying read failure.
+    Io(String),
+    /// Header missing or malformed.
+    BadHeader(String),
+    /// Row failed to parse; carries the 1-based line number.
+    BadRow { line: usize, reason: String },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::BadHeader(h) => write!(f, "bad header: {h:?}"),
+            CsvError::BadRow { line, reason } => write!(f, "line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Loads a Dataport-style CSV into `(household, device) -> series`.
+///
+/// Rows may arrive out of order; gaps in the minute index are forward-
+/// filled (standard practice for meter dropouts). Unknown device names
+/// are skipped rather than fatal, since Dataport exports contain dozens
+/// of circuits this reproduction does not model.
+pub fn load_dataport_csv(
+    reader: impl BufRead,
+) -> Result<BTreeMap<(u64, DeviceType), DeviceSeries>, CsvError> {
+    let mut lines = reader.lines().enumerate();
+    let header = match lines.next() {
+        Some((_, Ok(h))) => h,
+        Some((_, Err(e))) => return Err(CsvError::Io(e.to_string())),
+        None => return Err(CsvError::BadHeader("empty input".into())),
+    };
+    let cols: Vec<&str> = header.trim().split(',').map(str::trim).collect();
+    if cols != ["dataid", "minute", "device", "watts"] {
+        return Err(CsvError::BadHeader(header));
+    }
+
+    let mut sparse: BTreeMap<(u64, DeviceType), Vec<(usize, f64)>> = BTreeMap::new();
+    for (idx, line) in lines {
+        let line = line.map_err(|e| CsvError::Io(e.to_string()))?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if fields.len() != 4 {
+            return Err(CsvError::BadRow {
+                line: line_no,
+                reason: format!("expected 4 fields, got {}", fields.len()),
+            });
+        }
+        let dataid: u64 = fields[0].parse().map_err(|_| CsvError::BadRow {
+            line: line_no,
+            reason: format!("bad dataid {:?}", fields[0]),
+        })?;
+        let minute: usize = fields[1].parse().map_err(|_| CsvError::BadRow {
+            line: line_no,
+            reason: format!("bad minute {:?}", fields[1]),
+        })?;
+        let Some(device) = DeviceType::from_name(fields[2]) else {
+            continue; // unmodelled circuit
+        };
+        let watts: f64 = fields[3].parse().map_err(|_| CsvError::BadRow {
+            line: line_no,
+            reason: format!("bad watts {:?}", fields[3]),
+        })?;
+        if !watts.is_finite() || watts < 0.0 {
+            return Err(CsvError::BadRow {
+                line: line_no,
+                reason: format!("non-physical watts {watts}"),
+            });
+        }
+        sparse.entry((dataid, device)).or_default().push((minute, watts));
+    }
+
+    let mut out = BTreeMap::new();
+    for (key, mut rows) in sparse {
+        rows.sort_by_key(|(m, _)| *m);
+        let last_minute = rows.last().expect("non-empty").0;
+        let mut watts = vec![0.0; last_minute + 1];
+        let mut prev = 0.0;
+        let mut iter = rows.into_iter().peekable();
+        for (m, slot) in watts.iter_mut().enumerate() {
+            if let Some(&(rm, v)) = iter.peek() {
+                if rm == m {
+                    prev = v;
+                    iter.next();
+                }
+            }
+            *slot = prev;
+        }
+        out.insert(key, DeviceSeries { watts });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn load(s: &str) -> Result<BTreeMap<(u64, DeviceType), DeviceSeries>, CsvError> {
+        load_dataport_csv(Cursor::new(s))
+    }
+
+    #[test]
+    fn parses_basic_file() {
+        let data = "dataid,minute,device,watts\n26,0,tv,3.1\n26,1,tv,3.0\n26,0,hvac,12.0\n";
+        let map = load(data).unwrap();
+        assert_eq!(map.len(), 2);
+        let tv = &map[&(26, DeviceType::Tv)];
+        assert_eq!(tv.watts, vec![3.1, 3.0]);
+    }
+
+    #[test]
+    fn forward_fills_gaps() {
+        let data = "dataid,minute,device,watts\n1,0,tv,5.0\n1,3,tv,7.0\n";
+        let map = load(data).unwrap();
+        assert_eq!(map[&(1, DeviceType::Tv)].watts, vec![5.0, 5.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn out_of_order_rows_are_sorted() {
+        let data = "dataid,minute,device,watts\n1,2,tv,2.0\n1,0,tv,0.5\n1,1,tv,1.0\n";
+        let map = load(data).unwrap();
+        assert_eq!(map[&(1, DeviceType::Tv)].watts, vec![0.5, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn unknown_devices_are_skipped() {
+        let data = "dataid,minute,device,watts\n1,0,grid_main,900.0\n1,0,tv,3.0\n";
+        let map = load(data).unwrap();
+        assert_eq!(map.len(), 1);
+        assert!(map.contains_key(&(1, DeviceType::Tv)));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = load("id,time,dev,w\n").unwrap_err();
+        assert!(matches!(err, CsvError::BadHeader(_)));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        let err = load("").unwrap_err();
+        assert!(matches!(err, CsvError::BadHeader(_)));
+    }
+
+    #[test]
+    fn rejects_malformed_rows_with_line_numbers() {
+        let err = load("dataid,minute,device,watts\n1,0,tv\n").unwrap_err();
+        assert_eq!(
+            err,
+            CsvError::BadRow { line: 2, reason: "expected 4 fields, got 3".into() }
+        );
+    }
+
+    #[test]
+    fn rejects_negative_watts() {
+        let err = load("dataid,minute,device,watts\n1,0,tv,-5\n").unwrap_err();
+        assert!(matches!(err, CsvError::BadRow { line: 2, .. }));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let data = "dataid,minute,device,watts\n\n1,0,tv,3.0\n\n";
+        let map = load(data).unwrap();
+        assert_eq!(map[&(1, DeviceType::Tv)].watts, vec![3.0]);
+    }
+}

@@ -1,0 +1,86 @@
+//! The three device operation modes of the paper: off, standby, on.
+
+use serde::{Deserialize, Serialize};
+
+/// Operation mode of an IoT device (§3.3.1: "each device has three
+/// operation modes: off, standby, and on").
+///
+/// The numeric encoding matches the paper's action encoding in Eq. (5):
+/// `0 = off, 1 = standby, 2 = on`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Mode {
+    Off = 0,
+    Standby = 1,
+    On = 2,
+}
+
+impl Mode {
+    /// All modes in action-index order.
+    pub const ALL: [Mode; 3] = [Mode::Off, Mode::Standby, Mode::On];
+
+    /// The paper's action index (Eq. 5).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`Mode::index`].
+    ///
+    /// # Panics
+    /// Panics if `i > 2`.
+    pub fn from_index(i: usize) -> Mode {
+        match i {
+            0 => Mode::Off,
+            1 => Mode::Standby,
+            2 => Mode::On,
+            _ => panic!("Mode::from_index: {i} out of range"),
+        }
+    }
+
+    /// Distance in "mode steps" (used by the reward function: adjacent
+    /// mode confusion costs -10, two-step confusion -30).
+    pub fn distance(self, other: Mode) -> usize {
+        (self.index() as isize - other.index() as isize).unsigned_abs()
+    }
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Mode::Off => "off",
+            Mode::Standby => "standby",
+            Mode::On => "on",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for m in Mode::ALL {
+            assert_eq!(Mode::from_index(m.index()), m);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_rejects_3() {
+        let _ = Mode::from_index(3);
+    }
+
+    #[test]
+    fn distance_is_symmetric_mode_steps() {
+        assert_eq!(Mode::Off.distance(Mode::On), 2);
+        assert_eq!(Mode::On.distance(Mode::Off), 2);
+        assert_eq!(Mode::Standby.distance(Mode::On), 1);
+        assert_eq!(Mode::Off.distance(Mode::Off), 0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Mode::Standby.to_string(), "standby");
+    }
+}

@@ -1,0 +1,125 @@
+//! Texas electricity tariffs (§4 of the paper).
+//!
+//! Fixed-rate plans average 11.67 ¢/kWh; variable plans range from
+//! 0.08 ¢ to 20 ¢/kWh depending on time of day and season. The variable
+//! plan below is a time-of-use curve with a seasonal multiplier shaped so
+//! that — as in Figure 10 — the variable plan saves more in April–June
+//! and the fixed plan saves more in August–October, with both roughly
+//! equal on the yearly average.
+
+use serde::{Deserialize, Serialize};
+
+/// An electricity tariff, able to quote a price for any minute of a year.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PricePlan {
+    /// Flat 11.67 ¢/kWh (average TX fixed rate).
+    FixedRate,
+    /// Time-of-use with seasonal adjustment, 0.08–20 ¢/kWh.
+    VariableRate,
+}
+
+/// Average fixed rate in cents per kWh.
+pub const FIXED_RATE_CENTS: f64 = 11.67;
+
+impl PricePlan {
+    /// Price in ¢/kWh at a given month (0..12) and hour (0..24).
+    pub fn cents_per_kwh(self, month: usize, hour: usize) -> f64 {
+        assert!(month < 12, "month out of range");
+        assert!(hour < 24, "hour out of range");
+        match self {
+            PricePlan::FixedRate => FIXED_RATE_CENTS,
+            PricePlan::VariableRate => {
+                // Base time-of-use: cheap overnight, expensive at the
+                // late-afternoon/evening peak.
+                const TOU: [f64; 24] = [
+                    4.0, 3.0, 2.5, 2.0, 2.0, 3.0, 6.0, 9.0, 11.0, 12.0, 12.5, 13.0, 13.5, 14.0,
+                    15.0, 16.5, 18.0, 19.0, 18.0, 16.0, 13.0, 10.0, 7.0, 5.0,
+                ];
+                // Season: ERCOT scarcity pricing inflates summer rates
+                // (Aug–Oct still high), spring is cheap (wind + mild).
+                const SEASON: [f64; 12] =
+                    [0.95, 0.92, 0.85, 0.72, 0.70, 0.78, 1.05, 1.30, 1.28, 1.18, 0.98, 0.97];
+                (TOU[hour] * SEASON[month]).clamp(0.08, 20.0)
+            }
+        }
+    }
+
+    /// Cost in cents of `kwh` consumed at the given month/hour.
+    pub fn cost_cents(self, kwh: f64, month: usize, hour: usize) -> f64 {
+        assert!(kwh >= 0.0, "negative energy");
+        kwh * self.cents_per_kwh(month, hour)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_rate_is_flat() {
+        for m in 0..12 {
+            for h in 0..24 {
+                assert_eq!(PricePlan::FixedRate.cents_per_kwh(m, h), FIXED_RATE_CENTS);
+            }
+        }
+    }
+
+    #[test]
+    fn variable_rate_within_published_range() {
+        for m in 0..12 {
+            for h in 0..24 {
+                let p = PricePlan::VariableRate.cents_per_kwh(m, h);
+                assert!((0.08..=20.0).contains(&p), "month {m} hour {h}: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn variable_rate_peaks_in_evening() {
+        let peak = PricePlan::VariableRate.cents_per_kwh(6, 17);
+        let night = PricePlan::VariableRate.cents_per_kwh(6, 3);
+        assert!(peak > 3.0 * night);
+    }
+
+    #[test]
+    fn spring_cheaper_than_late_summer() {
+        // Fig 10: variable plan wins Apr–Jun, fixed wins Aug–Oct.
+        for h in 0..24 {
+            assert!(
+                PricePlan::VariableRate.cents_per_kwh(4, h)
+                    < PricePlan::VariableRate.cents_per_kwh(8, h)
+            );
+        }
+    }
+
+    #[test]
+    fn yearly_average_close_to_fixed() {
+        // Weighted toward daytime consumption hours (8–23).
+        let mut total = 0.0;
+        let mut n = 0.0;
+        for m in 0..12 {
+            for h in 8..24 {
+                total += PricePlan::VariableRate.cents_per_kwh(m, h);
+                n += 1.0;
+            }
+        }
+        let avg = total / n;
+        assert!(
+            (avg - FIXED_RATE_CENTS).abs() < 3.0,
+            "yearly daytime average {avg} too far from fixed {FIXED_RATE_CENTS}"
+        );
+    }
+
+    #[test]
+    fn cost_scales_linearly() {
+        let c1 = PricePlan::FixedRate.cost_cents(1.0, 0, 0);
+        let c2 = PricePlan::FixedRate.cost_cents(2.0, 0, 0);
+        assert!((c2 - 2.0 * c1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative energy")]
+    fn cost_rejects_negative_energy() {
+        let _ = PricePlan::FixedRate.cost_cents(-1.0, 0, 0);
+    }
+}

@@ -1,0 +1,295 @@
+//! Usage-event sampling: turns an archetype's activity curve and a device
+//! specification into a per-minute mode sequence for one day.
+
+use crate::archetype::Archetype;
+use crate::device::DeviceSpec;
+use crate::mode::Mode;
+use rand::Rng;
+
+/// Minutes per day — the trace resolution, matching the paper's
+/// minute-level predictions (T = 60 predictions per hourly round).
+pub const MINUTES_PER_DAY: usize = 1440;
+
+/// Samples from `Poisson(lambda)` via Knuth's method (lambdas here are
+/// small, so this is fine).
+pub fn poisson(lambda: f64, rng: &mut impl Rng) -> usize {
+    assert!(lambda >= 0.0, "poisson lambda must be non-negative");
+    if lambda == 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            // Defensive cap; unreachable for the lambdas used here.
+            return k;
+        }
+    }
+}
+
+/// Samples from `Exp(mean)`.
+pub fn exponential(mean: f64, rng: &mut impl Rng) -> f64 {
+    assert!(mean > 0.0, "exponential mean must be positive");
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() * mean
+}
+
+/// Standard normal via Box–Muller (rand 0.8 ships no normal distribution
+/// without rand_distr, which is not in the offline set).
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Fraction of usage events that start near a routine anchor rather
+/// than at a random activity-weighted time. Anchored events are what
+/// makes transitions partially predictable from the time of day.
+pub const ANCHORED_EVENT_FRACTION: f64 = 0.7;
+
+/// Standard deviation of anchored event start times around their anchor,
+/// minutes.
+pub const ANCHOR_JITTER_MINUTES: f64 = 25.0;
+
+/// Samples one event duration: clipped normal around the device's mean
+/// (sessions have typical lengths — *not* memoryless, so time-in-mode
+/// carries information, unlike an exponential).
+pub fn event_duration(mean_minutes: f64, rng: &mut impl Rng) -> usize {
+    let d = mean_minutes * (1.0 + 0.3 * standard_normal(rng));
+    d.clamp(2.0, 300.0) as usize
+}
+
+/// Generates the ground-truth mode for every minute of one day.
+///
+/// The event count for the day is Poisson with the device's mean rate
+/// (scaled by day-to-day variability). A fraction
+/// [`ANCHORED_EVENT_FRACTION`] of events start near one of the
+/// archetype's routine anchors (predictable); the rest start at an
+/// activity-curve-weighted random time (background usage). Between
+/// events the device sits in its idle mode.
+pub fn day_modes(
+    spec: &DeviceSpec,
+    archetype: Archetype,
+    phase_shift_hours: f64,
+    rng: &mut impl Rng,
+) -> Vec<Mode> {
+    let mut modes = vec![spec.idle_mode; MINUTES_PER_DAY];
+    let mass: f64 = (0..24).map(|h| archetype.activity(h)).sum();
+    if mass <= 0.0 || spec.mean_events_per_day <= 0.0 {
+        return modes;
+    }
+    // Day-level usage variability, concentrated in the morning/evening
+    // hours via per-event modulation below.
+    let events = poisson(spec.mean_events_per_day, rng);
+    let anchors = archetype.anchors();
+    for _ in 0..events {
+        let start = if rng.gen::<f64>() < ANCHORED_EVENT_FRACTION {
+            // Routine event: near an anchor, shifted by household phase.
+            let anchor = anchors[rng.gen_range(0..anchors.len())];
+            let minute = (anchor + phase_shift_hours) * 60.0
+                + ANCHOR_JITTER_MINUTES * standard_normal(rng);
+            minute.rem_euclid(MINUTES_PER_DAY as f64) as usize
+        } else {
+            // Background event: activity-curve-weighted random hour, with
+            // extra day-to-day variability in the volatile hours.
+            let hour = loop {
+                let h = rng.gen_range(0..24);
+                let shifted = (h as f64 - phase_shift_hours).rem_euclid(24.0) as usize % 24;
+                let base = archetype.activity(shifted);
+                let var = Archetype::hour_variability(shifted);
+                let accept = (base * (1.0 + var * standard_normal(rng))).clamp(0.0, 1.0);
+                if rng.gen::<f64>() < accept {
+                    break h;
+                }
+            };
+            hour * 60 + rng.gen_range(0..60)
+        };
+        let dur = event_duration(spec.mean_event_minutes, rng);
+        let end = (start + dur).min(MINUTES_PER_DAY);
+        for m in modes.iter_mut().take(end).skip(start) {
+            *m = Mode::On;
+        }
+    }
+    modes
+}
+
+/// Converts a mode sequence into noisy watt readings.
+///
+/// On/standby readings carry small multiplicative Gaussian noise (meter
+/// noise plus minor load variation); off is exactly zero, matching the
+/// paper's "if the value is 0 ... off mode" classification rule.
+/// Standby draw follows the device's scheduled-activity profile
+/// ([`DeviceSpec::standby_watts_at`]): smart devices wake for updates at
+/// a fixed time of night, a learnable nonlinear pattern.
+pub fn modes_to_watts(
+    spec: &DeviceSpec,
+    modes: &[Mode],
+    noise_frac: f64,
+    rng: &mut impl Rng,
+) -> Vec<f64> {
+    assert!((0.0..0.5).contains(&noise_frac), "noise_frac must be in [0, 0.5)");
+    modes
+        .iter()
+        .enumerate()
+        .map(|(minute, &m)| {
+            let level = match m {
+                Mode::Standby => spec.standby_watts_at(minute % MINUTES_PER_DAY),
+                other => spec.mode_watts(other),
+            };
+            if level == 0.0 {
+                0.0
+            } else {
+                // Keep noise inside the paper's +-10% classification band.
+                let n = (noise_frac * standard_normal(rng)).clamp(-0.09, 0.09);
+                level * (1.0 + n)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceType;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut r = rng(1);
+        let lambda = 3.0;
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| poisson(lambda, &mut r)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - lambda).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut r = rng(2);
+        assert_eq!(poisson(0.0, &mut r), 0);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = rng(3);
+        let n = 50_000;
+        let total: f64 = (0..n).map(|_| exponential(10.0, &mut r)).sum();
+        assert!((total / n as f64 - 10.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut r = rng(4);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn day_modes_has_full_day() {
+        let spec = DeviceType::Tv.nominal_spec();
+        let modes = day_modes(&spec, Archetype::Family, 0.0, &mut rng(5));
+        assert_eq!(modes.len(), MINUTES_PER_DAY);
+    }
+
+    #[test]
+    fn idle_device_sits_in_idle_mode() {
+        // Zero events: device never turns on.
+        let mut spec = DeviceType::Tv.nominal_spec();
+        spec.mean_events_per_day = 0.0;
+        let modes = day_modes(&spec, Archetype::Family, 0.0, &mut rng(6));
+        assert!(modes.iter().all(|&m| m == Mode::Standby));
+    }
+
+    #[test]
+    fn tv_is_on_sometimes_and_mostly_in_evening() {
+        let spec = DeviceType::Tv.nominal_spec();
+        let mut evening = 0usize;
+        let mut small_hours = 0usize;
+        for day in 0..30 {
+            let modes = day_modes(&spec, Archetype::OfficeWorker, 0.0, &mut rng(100 + day));
+            evening += (18 * 60..23 * 60).filter(|&m| modes[m] == Mode::On).count();
+            small_hours += (2 * 60..6 * 60).filter(|&m| modes[m] == Mode::On).count();
+        }
+        assert!(evening > 0, "TV never on in the evening across 30 days");
+        assert!(
+            evening > small_hours * 3,
+            "evening {evening} not >> small hours {small_hours}"
+        );
+    }
+
+    #[test]
+    fn lighting_goes_off_when_idle() {
+        let spec = DeviceType::Lighting.nominal_spec();
+        let modes = day_modes(&spec, Archetype::Family, 0.0, &mut rng(7));
+        assert!(modes.contains(&Mode::Off));
+        assert!(!modes.contains(&Mode::Standby));
+    }
+
+    #[test]
+    fn watts_zero_iff_off() {
+        let spec = DeviceType::Tv.nominal_spec();
+        let modes = day_modes(&spec, Archetype::Family, 0.0, &mut rng(8));
+        let watts = modes_to_watts(&spec, &modes, 0.03, &mut rng(9));
+        for (minute, (m, w)) in modes.iter().zip(watts.iter()).enumerate() {
+            match m {
+                Mode::Off => assert_eq!(*w, 0.0),
+                Mode::Standby => {
+                    let level = spec.standby_watts_at(minute);
+                    assert!((w / level - 1.0).abs() <= 0.09 + 1e-9)
+                }
+                Mode::On => assert!((w / spec.on_watts - 1.0).abs() <= 0.09 + 1e-9),
+            }
+        }
+    }
+
+    #[test]
+    fn noise_keeps_modes_separable() {
+        // The +-9% clamp guarantees the paper's +-10% bands never overlap.
+        let spec = DeviceType::GameConsole.nominal_spec();
+        let modes = vec![Mode::Standby; 1000];
+        let watts = modes_to_watts(&spec, &modes, 0.03, &mut rng(10));
+        for (minute, w) in watts.iter().enumerate() {
+            let level = spec.standby_watts_at(minute);
+            assert!(*w >= level * 0.9 && *w <= level * 1.1);
+        }
+    }
+
+    #[test]
+    fn phase_shift_changes_hourly_profile() {
+        // A +6h phase shift rotates the usage histogram substantially.
+        let spec = DeviceType::Tv.nominal_spec();
+        let hist = |shift: f64| -> Vec<f64> {
+            let mut h = vec![0.0; 24];
+            for day in 0..60u64 {
+                let modes =
+                    day_modes(&spec, Archetype::OfficeWorker, shift, &mut rng(500 + day));
+                for (m, &mode) in modes.iter().enumerate() {
+                    if mode == Mode::On {
+                        h[m / 60] += 1.0;
+                    }
+                }
+            }
+            let total: f64 = h.iter().sum::<f64>().max(1.0);
+            h.iter().map(|v| v / total).collect()
+        };
+        let h0 = hist(0.0);
+        let h6 = hist(6.0);
+        let l1: f64 = h0.iter().zip(h6.iter()).map(|(a, b)| (a - b).abs()).sum();
+        assert!(l1 > 0.5, "phase shift barely moved the profile, L1 = {l1}");
+    }
+}

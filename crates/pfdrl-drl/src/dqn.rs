@@ -1,0 +1,420 @@
+//! Deep Q-Network agent (§3.3.1 and Algorithm 2).
+//!
+//! Paper hyperparameters (§4, Experiment Settings): learning rate 0.001,
+//! discount κ = 0.9, replay capacity 2000, target-replace iteration 100,
+//! Huber loss; the Q-network has 8 hidden layers of 100 ReLU neurons and
+//! a 3-unit linear output (one Q-value per device mode).
+
+use crate::policy::EpsilonSchedule;
+use crate::replay::{ReplayBuffer, Transition};
+use pfdrl_data::Mode;
+use pfdrl_nn::optimizer::{Adam, Optimizer};
+use pfdrl_nn::{loss, Activation, Layered, Matrix, Mlp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// DQN hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DqnConfig {
+    /// Learning rate (paper: 0.001).
+    pub lr: f64,
+    /// Discount factor κ (paper: 0.9).
+    pub gamma: f64,
+    /// Replay memory capacity (paper: 2000).
+    pub replay_capacity: usize,
+    /// Gradient steps between target-network syncs (paper: 100).
+    pub target_sync: u64,
+    /// Minibatch size per gradient step.
+    pub batch: usize,
+    /// Minimum buffered transitions before learning starts.
+    pub warmup: usize,
+    /// Huber loss threshold.
+    pub huber_delta: f64,
+    /// Exploration schedule.
+    pub epsilon: EpsilonSchedule,
+    /// Number of hidden layers (paper: 8).
+    pub hidden_layers: usize,
+    /// Width of each hidden layer (paper: 100).
+    pub hidden_width: usize,
+    /// Use Double-DQN target computation (van Hasselt et al.): the
+    /// online network picks the argmax action, the target network
+    /// evaluates it. Off by default — the paper uses vanilla DQN — but
+    /// available as an extension/ablation.
+    pub double: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DqnConfig {
+    fn default() -> Self {
+        DqnConfig {
+            lr: 1e-3,
+            gamma: 0.9,
+            replay_capacity: 2000,
+            target_sync: 100,
+            batch: 32,
+            warmup: 64,
+            huber_delta: 1.0,
+            epsilon: EpsilonSchedule::default(),
+            hidden_layers: 8,
+            hidden_width: 100,
+            double: false,
+            seed: 0,
+        }
+    }
+}
+
+impl DqnConfig {
+    /// Exact paper configuration.
+    pub fn paper(seed: u64) -> Self {
+        DqnConfig { seed, ..Default::default() }
+    }
+
+    /// A slimmer Q-network (same depth, narrower layers) for experiments
+    /// that train hundreds of agents; keeps the 8-layer structure that
+    /// the α split is defined over.
+    pub fn slim(seed: u64) -> Self {
+        DqnConfig { hidden_width: 24, ..DqnConfig::paper(seed) }
+    }
+}
+
+/// A DQN agent controlling one device.
+#[derive(Debug, Clone)]
+pub struct DqnAgent {
+    qnet: Mlp,
+    target: Mlp,
+    opt: Adam,
+    replay: ReplayBuffer,
+    cfg: DqnConfig,
+    rng: StdRng,
+    /// Environment steps observed (drives ε decay).
+    env_steps: u64,
+    /// Gradient steps taken (drives target sync).
+    grad_steps: u64,
+}
+
+impl DqnAgent {
+    pub fn new(state_dim: usize, cfg: DqnConfig) -> Self {
+        assert!(state_dim > 0, "state_dim must be positive");
+        assert!((0.0..1.0).contains(&cfg.gamma), "gamma must be in [0,1)");
+        assert!(cfg.hidden_layers >= 1, "need at least one hidden layer");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut dims = vec![state_dim];
+        dims.extend(std::iter::repeat(cfg.hidden_width).take(cfg.hidden_layers));
+        dims.push(3);
+        let qnet = Mlp::new(&dims, Activation::Relu, Activation::Identity, &mut rng);
+        let target = qnet.clone();
+        let replay = ReplayBuffer::new(cfg.replay_capacity);
+        let opt = Adam::new(cfg.lr);
+        DqnAgent { qnet, target, opt, replay, cfg, rng, env_steps: 0, grad_steps: 0 }
+    }
+
+    pub fn config(&self) -> &DqnConfig {
+        &self.cfg
+    }
+
+    /// Q-values for one state.
+    pub fn q_values(&self, state: &[f64]) -> Vec<f64> {
+        self.qnet.infer_one(state)
+    }
+
+    /// Greedy action.
+    pub fn act_greedy(&self, state: &[f64]) -> Mode {
+        let q = self.q_values(state);
+        let mut best = 0;
+        for i in 1..3 {
+            if q[i] > q[best] {
+                best = i;
+            }
+        }
+        Mode::from_index(best)
+    }
+
+    /// ε-greedy action; advances the exploration schedule.
+    pub fn act(&mut self, state: &[f64]) -> Mode {
+        let eps = self.cfg.epsilon.value(self.env_steps);
+        self.env_steps += 1;
+        if self.rng.gen::<f64>() < eps {
+            Mode::from_index(self.rng.gen_range(0..3))
+        } else {
+            self.act_greedy(state)
+        }
+    }
+
+    /// Records a transition and, once warm, performs one gradient step.
+    /// Returns the TD loss if a step was taken.
+    pub fn observe(&mut self, t: Transition) -> Option<f64> {
+        self.remember(t);
+        if !self.ready() {
+            return None;
+        }
+        Some(self.train_step())
+    }
+
+    /// Stores a transition without training (callers that train every
+    /// k-th step use `remember` + [`DqnAgent::train_step`]).
+    pub fn remember(&mut self, t: Transition) {
+        self.replay.push(t);
+    }
+
+    /// Whether enough experience is buffered to start learning.
+    pub fn ready(&self) -> bool {
+        self.replay.len() >= self.cfg.warmup.max(self.cfg.batch)
+    }
+
+    /// One minibatch TD update: `y = r + κ max_a' Q_target(s', a')`,
+    /// Huber loss on the taken action's Q-value only (Algorithm 2).
+    pub fn train_step(&mut self) -> f64 {
+        let batch = self.replay.sample(self.cfg.batch, &mut self.rng);
+        let state_dim = batch[0].state.len();
+        let n = batch.len();
+        let mut states = Matrix::zeros(n, state_dim);
+        let mut next_states = Matrix::zeros(n, state_dim);
+        for (r, t) in batch.iter().enumerate() {
+            states.row_mut(r).copy_from_slice(&t.state);
+            if let Some(ns) = &t.next_state {
+                next_states.row_mut(r).copy_from_slice(ns);
+            }
+        }
+        // Bootstrap targets from the frozen network; with Double-DQN the
+        // online network selects the action and the target evaluates it.
+        let next_q = self.target.infer(&next_states);
+        let next_q_online =
+            if self.cfg.double { Some(self.qnet.infer(&next_states)) } else { None };
+        let mut targets = Matrix::zeros(n, 3);
+        let mut mask = Matrix::zeros(n, 3);
+        for (r, t) in batch.iter().enumerate() {
+            let y = match &t.next_state {
+                Some(_) => {
+                    let row = next_q.row(r);
+                    let bootstrap = match &next_q_online {
+                        Some(online) => {
+                            let orow = online.row(r);
+                            let mut best = 0;
+                            for i in 1..3 {
+                                if orow[i] > orow[best] {
+                                    best = i;
+                                }
+                            }
+                            row[best]
+                        }
+                        None => row.iter().copied().fold(f64::MIN, f64::max),
+                    };
+                    t.reward + self.cfg.gamma * bootstrap
+                }
+                None => t.reward,
+            };
+            targets.set(r, t.action, y);
+            mask.set(r, t.action, 1.0);
+        }
+        self.qnet.zero_grad();
+        let q = self.qnet.forward(&states);
+        let (l, grad) = loss::huber_masked(&q, &targets, &mask, self.cfg.huber_delta);
+        self.qnet.backward(&grad);
+        self.opt.step(&mut self.qnet.param_grad_pairs());
+        self.grad_steps += 1;
+        if self.grad_steps % self.cfg.target_sync == 0 {
+            self.sync_target();
+        }
+        l
+    }
+
+    /// Copies the online network into the target network.
+    pub fn sync_target(&mut self) {
+        self.target.copy_params_from(&self.qnet);
+    }
+
+    /// Number of gradient steps taken so far.
+    pub fn grad_steps(&self) -> u64 {
+        self.grad_steps
+    }
+
+    /// Number of environment steps observed so far.
+    pub fn env_steps(&self) -> u64 {
+        self.env_steps
+    }
+}
+
+/// Federation accesses the online Q-network layer-by-layer; importing
+/// parameters re-syncs the target network so bootstrap targets follow the
+/// aggregated model.
+impl Layered for DqnAgent {
+    fn layer_count(&self) -> usize {
+        self.qnet.layer_count()
+    }
+    fn layer_param_count(&self, i: usize) -> usize {
+        self.qnet.layer_param_count(i)
+    }
+    fn export_layer(&self, i: usize) -> Vec<f64> {
+        self.qnet.export_layer(i)
+    }
+    fn import_layer(&mut self, i: usize, data: &[f64]) {
+        self.qnet.import_layer(i, data);
+        self.target.import_layer(i, data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg(seed: u64) -> DqnConfig {
+        DqnConfig {
+            hidden_layers: 2,
+            hidden_width: 16,
+            warmup: 16,
+            batch: 16,
+            epsilon: EpsilonSchedule { start: 1.0, end: 0.02, decay_steps: 400 },
+            ..DqnConfig::paper(seed)
+        }
+    }
+
+    #[test]
+    fn paper_config_matches_section_4() {
+        let c = DqnConfig::paper(0);
+        assert_eq!(c.lr, 1e-3);
+        assert_eq!(c.gamma, 0.9);
+        assert_eq!(c.replay_capacity, 2000);
+        assert_eq!(c.target_sync, 100);
+        assert_eq!(c.hidden_layers, 8);
+        assert_eq!(c.hidden_width, 100);
+        let agent = DqnAgent::new(14, c);
+        assert_eq!(agent.layer_count(), 9); // 8 hidden + output
+    }
+
+    #[test]
+    fn greedy_action_maximizes_q() {
+        let agent = DqnAgent::new(4, tiny_cfg(1));
+        let s = [0.3, -0.2, 0.5, 0.9];
+        let q = agent.q_values(&s);
+        let a = agent.act_greedy(&s);
+        let best = q.iter().copied().fold(f64::MIN, f64::max);
+        assert_eq!(q[a.index()], best);
+    }
+
+    #[test]
+    fn observe_defers_learning_until_warm() {
+        let mut agent = DqnAgent::new(4, tiny_cfg(2));
+        for i in 0..15 {
+            let r = agent.observe(Transition {
+                state: vec![i as f64; 4],
+                action: 0,
+                reward: 1.0,
+                next_state: Some(vec![0.0; 4]),
+            });
+            assert!(r.is_none(), "learned before warmup at {i}");
+        }
+        let r = agent.observe(Transition {
+            state: vec![0.5; 4],
+            action: 0,
+            reward: 1.0,
+            next_state: Some(vec![0.0; 4]),
+        });
+        assert!(r.is_some());
+        assert_eq!(agent.grad_steps(), 1);
+    }
+
+    #[test]
+    fn learns_a_contextual_bandit() {
+        // State in {[1,0], [0,1]}: action 0 is right for the first,
+        // action 2 for the second; terminal transitions (pure bandit).
+        let mut agent = DqnAgent::new(2, tiny_cfg(3));
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1500 {
+            let which = rng.gen_bool(0.5);
+            let state = if which { vec![1.0, 0.0] } else { vec![0.0, 1.0] };
+            let action = agent.act(&state).index();
+            let good = if which { 0 } else { 2 };
+            let reward = if action == good { 1.0 } else { -1.0 };
+            agent.observe(Transition { state, action, reward, next_state: None });
+        }
+        assert_eq!(agent.act_greedy(&[1.0, 0.0]), Mode::Off);
+        assert_eq!(agent.act_greedy(&[0.0, 1.0]), Mode::On);
+    }
+
+    #[test]
+    fn target_sync_happens_on_schedule() {
+        let cfg = DqnConfig { target_sync: 5, ..tiny_cfg(4) };
+        let mut agent = DqnAgent::new(2, cfg);
+        for _ in 0..40 {
+            agent.observe(Transition {
+                state: vec![1.0, 0.0],
+                action: 1,
+                reward: 0.5,
+                next_state: Some(vec![0.0, 1.0]),
+            });
+        }
+        // After warmup (16), 24 gradient steps happened; syncs at 5, 10, 15, 20.
+        assert!(agent.grad_steps() >= 20);
+    }
+
+    #[test]
+    fn import_propagates_to_target() {
+        let mut a = DqnAgent::new(3, tiny_cfg(5));
+        let b = DqnAgent::new(3, tiny_cfg(6));
+        for i in 0..b.layer_count() {
+            a.import_layer(i, &b.export_layer(i));
+        }
+        let s = [0.1, 0.2, 0.3];
+        // Online and target nets agree with b's online net.
+        assert_eq!(a.q_values(&s), b.q_values(&s));
+        assert_eq!(a.target.infer_one(&s), b.qnet.infer_one(&s));
+    }
+
+    #[test]
+    fn double_dqn_learns_the_bandit_too() {
+        let cfg = DqnConfig { double: true, ..tiny_cfg(8) };
+        let mut agent = DqnAgent::new(2, cfg);
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..1500 {
+            let which = rng.gen_bool(0.5);
+            let state = if which { vec![1.0, 0.0] } else { vec![0.0, 1.0] };
+            let action = agent.act(&state).index();
+            let good = if which { 0 } else { 2 };
+            let reward = if action == good { 1.0 } else { -1.0 };
+            agent.observe(Transition { state, action, reward, next_state: None });
+        }
+        assert_eq!(agent.act_greedy(&[1.0, 0.0]), Mode::Off);
+        assert_eq!(agent.act_greedy(&[0.0, 1.0]), Mode::On);
+    }
+
+    #[test]
+    fn double_dqn_bootstraps_from_target_at_online_argmax() {
+        // With non-terminal transitions, double and vanilla targets can
+        // differ; both must remain finite and trainable.
+        let mut vanilla = DqnAgent::new(2, tiny_cfg(9));
+        let mut double = DqnAgent::new(2, DqnConfig { double: true, ..tiny_cfg(9) });
+        for _ in 0..64 {
+            let t = Transition {
+                state: vec![0.2, 0.8],
+                action: 1,
+                reward: 1.0,
+                next_state: Some(vec![0.8, 0.2]),
+            };
+            vanilla.remember(t.clone());
+            double.remember(t);
+        }
+        let lv = vanilla.train_step();
+        let ld = double.train_step();
+        assert!(lv.is_finite() && ld.is_finite());
+    }
+
+    #[test]
+    fn epsilon_decay_reduces_randomness() {
+        let mut agent = DqnAgent::new(2, tiny_cfg(7));
+        let s = [1.0, 0.0];
+        // Early: with eps 1.0 the 3 actions all appear.
+        let early: std::collections::HashSet<usize> =
+            (0..60).map(|_| agent.act(&s).index()).collect();
+        assert_eq!(early.len(), 3);
+        // Late: after decay, actions concentrate on the greedy choice.
+        for _ in 0..500 {
+            let _ = agent.act(&s);
+        }
+        let greedy = agent.act_greedy(&s);
+        let late_matches =
+            (0..100).filter(|_| agent.act(&s) == greedy).count();
+        assert!(late_matches > 80, "only {late_matches}/100 greedy after decay");
+    }
+}

@@ -1,0 +1,81 @@
+//! ε-greedy exploration schedule (Algorithm 2 alternates `a_t =
+//! random(0,2)` with `a_t = argmax_a Q(s_t, a)`).
+
+use serde::{Deserialize, Serialize};
+
+/// Linearly decaying exploration rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpsilonSchedule {
+    /// ε at step 0.
+    pub start: f64,
+    /// ε after `decay_steps` (held constant afterwards).
+    pub end: f64,
+    /// Number of steps over which ε decays linearly.
+    pub decay_steps: u64,
+}
+
+impl Default for EpsilonSchedule {
+    fn default() -> Self {
+        EpsilonSchedule { start: 1.0, end: 0.05, decay_steps: 5_000 }
+    }
+}
+
+impl EpsilonSchedule {
+    /// Constant exploration rate.
+    pub fn constant(eps: f64) -> Self {
+        assert!((0.0..=1.0).contains(&eps), "epsilon must be in [0,1]");
+        EpsilonSchedule { start: eps, end: eps, decay_steps: 1 }
+    }
+
+    /// ε at a given global step.
+    pub fn value(&self, step: u64) -> f64 {
+        if step >= self.decay_steps {
+            return self.end;
+        }
+        let frac = step as f64 / self.decay_steps as f64;
+        self.start + (self.end - self.start) * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_high_ends_low() {
+        let s = EpsilonSchedule::default();
+        assert_eq!(s.value(0), 1.0);
+        assert_eq!(s.value(5_000), 0.05);
+        assert_eq!(s.value(1_000_000), 0.05);
+    }
+
+    #[test]
+    fn decays_monotonically() {
+        let s = EpsilonSchedule::default();
+        let mut prev = f64::MAX;
+        for step in (0..6000).step_by(500) {
+            let v = s.value(step);
+            assert!(v <= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let s = EpsilonSchedule { start: 1.0, end: 0.0, decay_steps: 100 };
+        assert!((s.value(50) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_never_decays() {
+        let s = EpsilonSchedule::constant(0.3);
+        assert_eq!(s.value(0), 0.3);
+        assert_eq!(s.value(10_000), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in")]
+    fn constant_rejects_out_of_range() {
+        let _ = EpsilonSchedule::constant(1.5);
+    }
+}

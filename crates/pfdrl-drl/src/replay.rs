@@ -1,0 +1,137 @@
+//! Experience replay buffer (paper: "memory capacity 2000").
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One transition `(s, a, r, s')`; `next_state == None` marks a terminal
+/// step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    pub state: Vec<f64>,
+    pub action: usize,
+    pub reward: f64,
+    pub next_state: Option<Vec<f64>>,
+}
+
+/// Fixed-capacity ring buffer of transitions with uniform sampling.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    buf: Vec<Transition>,
+    write: usize,
+}
+
+impl ReplayBuffer {
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        ReplayBuffer { capacity, buf: Vec::with_capacity(capacity.min(4096)), write: 0 }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a transition, evicting the oldest once full.
+    pub fn push(&mut self, t: Transition) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(t);
+        } else {
+            self.buf[self.write] = t;
+        }
+        self.write = (self.write + 1) % self.capacity;
+    }
+
+    /// Samples `n` transitions uniformly with replacement.
+    ///
+    /// # Panics
+    /// Panics if the buffer is empty.
+    pub fn sample<'a>(&'a self, n: usize, rng: &mut impl Rng) -> Vec<&'a Transition> {
+        assert!(!self.buf.is_empty(), "sampling from empty replay buffer");
+        (0..n).map(|_| &self.buf[rng.gen_range(0..self.buf.len())]).collect()
+    }
+
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.write = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(r: f64) -> Transition {
+        Transition { state: vec![r], action: 0, reward: r, next_state: None }
+    }
+
+    #[test]
+    fn fills_then_wraps() {
+        let mut rb = ReplayBuffer::new(3);
+        for i in 0..5 {
+            rb.push(t(i as f64));
+        }
+        assert_eq!(rb.len(), 3);
+        // Oldest two (0, 1) evicted; rewards present are 2, 3, 4.
+        let rewards: Vec<f64> = rb.buf.iter().map(|t| t.reward).collect();
+        let mut sorted = rewards.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(sorted, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn sample_returns_requested_count() {
+        let mut rb = ReplayBuffer::new(10);
+        rb.push(t(1.0));
+        rb.push(t(2.0));
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = rb.sample(5, &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.iter().all(|t| t.reward == 1.0 || t.reward == 2.0));
+    }
+
+    #[test]
+    fn sample_covers_buffer_eventually() {
+        let mut rb = ReplayBuffer::new(4);
+        for i in 0..4 {
+            rb.push(t(i as f64));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let seen: std::collections::HashSet<u64> =
+            rb.sample(200, &mut rng).iter().map(|t| t.reward as u64).collect();
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty replay")]
+    fn sampling_empty_panics() {
+        let rb = ReplayBuffer::new(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rb.sample(1, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ReplayBuffer::new(0);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut rb = ReplayBuffer::new(4);
+        rb.push(t(1.0));
+        rb.clear();
+        assert!(rb.is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Energy and comfort accounting for EMS evaluation.
+//!
+//! Tracks the metrics of §4.1: saved standby energy (the headline 98 %
+//! figure), total standby energy, and comfort violations (shutting down
+//! a device the resident is using — penalized by Table 1 but worth
+//! reporting separately).
+
+use pfdrl_data::Mode;
+use serde::{Deserialize, Serialize};
+
+/// Running account of one EMS run over any number of device-days.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyAccount {
+    /// Ground-truth standby energy that was available to save, kWh.
+    pub standby_total_kwh: f64,
+    /// Standby energy actually reclaimed (standby minutes the EMS turned
+    /// off), kWh.
+    pub standby_saved_kwh: f64,
+    /// Minutes where the EMS interrupted an actively used device.
+    pub comfort_violation_minutes: u64,
+    /// Energy of interrupted active use, kWh (a cost, not a saving).
+    pub interrupted_on_kwh: f64,
+    /// Total minutes processed.
+    pub minutes: u64,
+    /// Total reward accumulated (Table 1 semantics).
+    pub total_reward: f64,
+}
+
+impl EnergyAccount {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one minute: the device's true mode, its true draw, and the
+    /// mode the EMS commanded.
+    pub fn record(&mut self, true_mode: Mode, true_watts: f64, action: Mode, reward: f64) {
+        let kwh = true_watts / 1000.0 / 60.0;
+        self.minutes += 1;
+        self.total_reward += reward;
+        if true_mode == Mode::Standby {
+            self.standby_total_kwh += kwh;
+            if action == Mode::Off {
+                self.standby_saved_kwh += kwh;
+            }
+        }
+        if true_mode == Mode::On && action != Mode::On {
+            self.comfort_violation_minutes += 1;
+            self.interrupted_on_kwh += kwh;
+        }
+    }
+
+    /// Fraction of available standby energy that was saved, in `[0, 1]`.
+    /// `None` until any standby energy has been observed.
+    pub fn saved_fraction(&self) -> Option<f64> {
+        if self.standby_total_kwh > 0.0 {
+            Some(self.standby_saved_kwh / self.standby_total_kwh)
+        } else {
+            None
+        }
+    }
+
+    /// Mean per-minute reward. `None` before any step.
+    pub fn mean_reward(&self) -> Option<f64> {
+        if self.minutes > 0 {
+            Some(self.total_reward / self.minutes as f64)
+        } else {
+            None
+        }
+    }
+
+    /// Merges another account into this one (for aggregating devices or
+    /// residences).
+    pub fn merge(&mut self, other: &EnergyAccount) {
+        self.standby_total_kwh += other.standby_total_kwh;
+        self.standby_saved_kwh += other.standby_saved_kwh;
+        self.comfort_violation_minutes += other.comfort_violation_minutes;
+        self.interrupted_on_kwh += other.interrupted_on_kwh;
+        self.minutes += other.minutes;
+        self.total_reward += other.total_reward;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reward::reward;
+
+    #[test]
+    fn saving_standby_counts() {
+        let mut acc = EnergyAccount::new();
+        // 60 minutes of 6 W standby, all turned off.
+        for _ in 0..60 {
+            acc.record(Mode::Standby, 6.0, Mode::Off, reward(Mode::Standby, Mode::Off));
+        }
+        assert!((acc.standby_total_kwh - 0.006).abs() < 1e-12);
+        assert_eq!(acc.saved_fraction(), Some(1.0));
+        assert_eq!(acc.comfort_violation_minutes, 0);
+        assert_eq!(acc.mean_reward(), Some(30.0));
+    }
+
+    #[test]
+    fn leaving_standby_alone_saves_nothing() {
+        let mut acc = EnergyAccount::new();
+        acc.record(Mode::Standby, 6.0, Mode::Standby, 10.0);
+        assert_eq!(acc.saved_fraction(), Some(0.0));
+    }
+
+    #[test]
+    fn interrupting_active_use_is_a_violation_not_a_saving() {
+        let mut acc = EnergyAccount::new();
+        acc.record(Mode::On, 110.0, Mode::Off, reward(Mode::On, Mode::Off));
+        assert_eq!(acc.saved_fraction(), None); // no standby seen at all
+        assert_eq!(acc.comfort_violation_minutes, 1);
+        assert!(acc.interrupted_on_kwh > 0.0);
+        assert_eq!(acc.total_reward, -30.0);
+    }
+
+    #[test]
+    fn off_device_contributes_nothing_but_minutes() {
+        let mut acc = EnergyAccount::new();
+        acc.record(Mode::Off, 0.0, Mode::Off, 10.0);
+        assert_eq!(acc.standby_total_kwh, 0.0);
+        assert_eq!(acc.minutes, 1);
+        assert_eq!(acc.saved_fraction(), None);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = EnergyAccount::new();
+        a.record(Mode::Standby, 6.0, Mode::Off, 30.0);
+        let mut b = EnergyAccount::new();
+        b.record(Mode::Standby, 6.0, Mode::Standby, 10.0);
+        b.record(Mode::On, 100.0, Mode::Standby, -10.0);
+        a.merge(&b);
+        assert_eq!(a.minutes, 3);
+        assert_eq!(a.saved_fraction(), Some(0.5));
+        assert_eq!(a.comfort_violation_minutes, 1);
+        assert_eq!(a.total_reward, 30.0);
+    }
+
+    #[test]
+    fn empty_account_has_no_ratios() {
+        let acc = EnergyAccount::new();
+        assert_eq!(acc.saved_fraction(), None);
+        assert_eq!(acc.mean_reward(), None);
+    }
+}

@@ -1,0 +1,107 @@
+//! Watt-reading → device-mode classification (§3.3.1).
+//!
+//! The paper's rule: a value of 0 is off; within `[0.9·Vs, 1.1·Vs]` is
+//! standby; within `[0.9·Von, 1.1·Von]` is on. Values falling outside
+//! every band (possible for forecaster outputs) are mapped to the mode
+//! whose level is nearest, which is the natural completion of the rule.
+
+use pfdrl_data::{DeviceSpec, Mode};
+
+/// Relative half-width of the paper's classification bands.
+pub const BAND: f64 = 0.10;
+
+/// Classifies a watt reading into a device mode for the given device.
+///
+/// Negative readings (possible from unconstrained regressors) are treated
+/// as zero. Devices without a standby level (`standby_watts == 0`) only
+/// classify to off/on.
+pub fn classify(spec: &DeviceSpec, watts: f64) -> Mode {
+    let w = watts.max(0.0);
+    if w == 0.0 {
+        return Mode::Off;
+    }
+    let vs = spec.standby_watts;
+    let von = spec.on_watts;
+    if vs > 0.0 && w >= (1.0 - BAND) * vs && w <= (1.0 + BAND) * vs {
+        return Mode::Standby;
+    }
+    if w >= (1.0 - BAND) * von && w <= (1.0 + BAND) * von {
+        return Mode::On;
+    }
+    // Outside every band: nearest level wins.
+    let mut best = (w, Mode::Off); // distance to 0
+    if vs > 0.0 {
+        let d = (w - vs).abs();
+        if d < best.0 {
+            best = (d, Mode::Standby);
+        }
+    }
+    let d = (w - von).abs();
+    if d < best.0 {
+        best = (d, Mode::On);
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfdrl_data::DeviceType;
+
+    fn tv() -> DeviceSpec {
+        // on 110 W, standby 6 W
+        DeviceType::Tv.nominal_spec()
+    }
+
+    #[test]
+    fn zero_is_off() {
+        assert_eq!(classify(&tv(), 0.0), Mode::Off);
+    }
+
+    #[test]
+    fn negative_readings_treated_as_off() {
+        assert_eq!(classify(&tv(), -3.0), Mode::Off);
+    }
+
+    #[test]
+    fn band_edges_are_inclusive() {
+        let spec = tv();
+        assert_eq!(classify(&spec, spec.standby_watts * 0.9), Mode::Standby);
+        assert_eq!(classify(&spec, spec.standby_watts * 1.1), Mode::Standby);
+        assert_eq!(classify(&spec, spec.on_watts * 0.9), Mode::On);
+        assert_eq!(classify(&spec, spec.on_watts * 1.1), Mode::On);
+    }
+
+    #[test]
+    fn out_of_band_maps_to_nearest_level() {
+        let spec = tv(); // levels 0, 6, 110
+        assert_eq!(classify(&spec, 1.0), Mode::Off); // closer to 0 than 6
+        assert_eq!(classify(&spec, 5.0), Mode::Standby);
+        assert_eq!(classify(&spec, 40.0), Mode::Standby); // 34 from 6, 70 from 110
+        assert_eq!(classify(&spec, 80.0), Mode::On);
+        assert_eq!(classify(&spec, 500.0), Mode::On);
+    }
+
+    #[test]
+    fn no_standby_device_never_classifies_standby() {
+        let spec = DeviceType::Lighting.nominal_spec(); // standby 0
+        for w in [0.1, 1.0, 10.0, 30.0, 65.0, 200.0] {
+            assert_ne!(classify(&spec, w), Mode::Standby, "{w} W");
+        }
+    }
+
+    #[test]
+    fn generator_noise_classifies_back_to_truth() {
+        // End-to-end: noisy readings from the generator's ±9% clamp must
+        // classify back to the ground-truth mode.
+        use pfdrl_data::{GeneratorConfig, TraceGenerator};
+        let g = TraceGenerator::new(GeneratorConfig::with_seed(5));
+        let hh = g.household(0);
+        for dev in 0..4 {
+            let t = g.day_trace(0, dev, 0);
+            for (m, w) in t.modes.iter().zip(t.watts.iter()) {
+                assert_eq!(classify(&hh.devices[dev], *w), *m);
+            }
+        }
+    }
+}

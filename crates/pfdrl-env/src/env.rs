@@ -1,0 +1,285 @@
+//! The minute-level MDP of §3.3.1.
+//!
+//! For each device, at each minute `t`, the agent observes a state built
+//! from the DFL *prediction* for minute `t` together with the *real-time*
+//! readings up to minute `t-1` (the real value for `t` is only known
+//! after acting), then commands a mode. The reward is Table 1 applied to
+//! the ground-truth mode at `t`.
+//!
+//! The transition probability of the MDP is 1 (the trace is fixed), per
+//! §3.3.1 "the state space is changed with certainty".
+
+use crate::account::EnergyAccount;
+use crate::classify::classify;
+use crate::reward::reward;
+use pfdrl_data::{DeviceSpec, Mode};
+use serde::{Deserialize, Serialize};
+
+/// Environment configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnvConfig {
+    /// How many past minutes of (predicted, real) readings enter the
+    /// state.
+    pub state_window: usize,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        EnvConfig { state_window: 4 }
+    }
+}
+
+impl EnvConfig {
+    /// Dimension of the state vector: `2 * window` readings plus two
+    /// 3-wide mode one-hots (predicted mode at `t`, real mode at `t-1`).
+    pub fn state_dim(&self) -> usize {
+        2 * self.state_window + 6
+    }
+}
+
+/// Result of one environment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// State observed *after* the step (`None` when the episode ended).
+    pub next_state: Option<Vec<f64>>,
+    /// Table 1 reward for the action just taken.
+    pub reward: f64,
+    /// Whether the episode (one device-day) has ended.
+    pub done: bool,
+}
+
+/// One device-day episode.
+///
+/// `pred_watts[t]` is the DFL forecast for minute `t`; `real_watts[t]`
+/// and `real_modes[t]` are the ground truth.
+#[derive(Debug, Clone)]
+pub struct DeviceEnv {
+    spec: DeviceSpec,
+    pred_watts: Vec<f64>,
+    real_watts: Vec<f64>,
+    real_modes: Vec<Mode>,
+    cfg: EnvConfig,
+    t: usize,
+    account: EnergyAccount,
+}
+
+impl DeviceEnv {
+    /// Creates an episode.
+    ///
+    /// # Panics
+    /// Panics if the series lengths differ or are shorter than the state
+    /// window + 1.
+    pub fn new(
+        spec: DeviceSpec,
+        pred_watts: Vec<f64>,
+        real_watts: Vec<f64>,
+        real_modes: Vec<Mode>,
+        cfg: EnvConfig,
+    ) -> Self {
+        assert_eq!(pred_watts.len(), real_watts.len(), "pred/real length mismatch");
+        assert_eq!(real_watts.len(), real_modes.len(), "watts/modes length mismatch");
+        assert!(
+            pred_watts.len() > cfg.state_window,
+            "episode of {} minutes too short for window {}",
+            pred_watts.len(),
+            cfg.state_window
+        );
+        assert!(cfg.state_window >= 1, "state window must be >= 1");
+        DeviceEnv {
+            spec,
+            pred_watts,
+            real_watts,
+            real_modes,
+            cfg,
+            t: cfg.state_window,
+            account: EnergyAccount::new(),
+        }
+    }
+
+    /// The device under control.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Episode length in decision steps.
+    pub fn remaining_steps(&self) -> usize {
+        self.pred_watts.len() - self.t
+    }
+
+    /// The accumulated energy account for this episode.
+    pub fn account(&self) -> &EnergyAccount {
+        &self.account
+    }
+
+    /// The minute the next [`DeviceEnv::step`] will act on.
+    pub fn current_minute(&self) -> usize {
+        self.t
+    }
+
+    /// Whether the episode has ended.
+    pub fn done(&self) -> bool {
+        self.t >= self.pred_watts.len()
+    }
+
+    /// Resets to the first decision minute and returns the initial state.
+    pub fn reset(&mut self) -> Vec<f64> {
+        self.t = self.cfg.state_window;
+        self.account = EnergyAccount::new();
+        self.state()
+    }
+
+    /// Builds the state vector for the current minute `t`:
+    /// normalized predictions for `(t-window, t]`, normalized real
+    /// readings for `[t-window, t)`, one-hot predicted mode at `t`,
+    /// one-hot real mode at `t-1`.
+    fn state(&self) -> Vec<f64> {
+        let w = self.cfg.state_window;
+        let t = self.t;
+        let scale = self.spec.on_watts;
+        let mut s = Vec::with_capacity(self.cfg.state_dim());
+        for i in (t + 1 - w)..=t {
+            s.push(self.pred_watts[i] / scale);
+        }
+        for i in (t - w)..t {
+            s.push(self.real_watts[i] / scale);
+        }
+        let pred_mode = classify(&self.spec, self.pred_watts[t]);
+        let prev_real_mode = self.real_modes[t - 1];
+        for m in Mode::ALL {
+            s.push(if m == pred_mode { 1.0 } else { 0.0 });
+        }
+        for m in Mode::ALL {
+            s.push(if m == prev_real_mode { 1.0 } else { 0.0 });
+        }
+        s
+    }
+
+    /// Takes an action for the current minute.
+    ///
+    /// # Panics
+    /// Panics if called after the episode has ended.
+    pub fn step(&mut self, action: Mode) -> Step {
+        assert!(self.t < self.pred_watts.len(), "step after episode end");
+        let true_mode = self.real_modes[self.t];
+        let r = reward(true_mode, action);
+        self.account.record(true_mode, self.real_watts[self.t], action, r);
+        self.t += 1;
+        if self.t >= self.pred_watts.len() {
+            Step { next_state: None, reward: r, done: true }
+        } else {
+            Step { next_state: Some(self.state()), reward: r, done: false }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfdrl_data::DeviceType;
+
+    fn env_with(pred: Vec<f64>, real_modes: Vec<Mode>) -> DeviceEnv {
+        let spec = DeviceType::Tv.nominal_spec();
+        let real_watts: Vec<f64> =
+            real_modes.iter().map(|m| spec.mode_watts(*m)).collect();
+        DeviceEnv::new(spec, pred, real_watts, real_modes, EnvConfig { state_window: 2 })
+    }
+
+    #[test]
+    fn state_dim_matches_config() {
+        assert_eq!(EnvConfig { state_window: 4 }.state_dim(), 14);
+        assert_eq!(EnvConfig { state_window: 2 }.state_dim(), 10);
+    }
+
+    #[test]
+    fn episode_walks_to_completion() {
+        let n = 6;
+        let modes = vec![Mode::Standby; n];
+        let spec = DeviceType::Tv.nominal_spec();
+        let pred = vec![spec.standby_watts; n];
+        let mut env = env_with(pred, modes);
+        let s0 = env.reset();
+        assert_eq!(s0.len(), 10);
+        let mut steps = 0;
+        loop {
+            let st = env.step(Mode::Off);
+            steps += 1;
+            if st.done {
+                assert!(st.next_state.is_none());
+                break;
+            }
+        }
+        assert_eq!(steps, n - 2); // window consumed at the start
+        assert_eq!(env.account().saved_fraction(), Some(1.0));
+    }
+
+    #[test]
+    fn rewards_follow_table_1() {
+        let spec = DeviceType::Tv.nominal_spec();
+        let modes = vec![Mode::On, Mode::On, Mode::On, Mode::Standby];
+        let real_watts: Vec<f64> = modes.iter().map(|m| spec.mode_watts(*m)).collect();
+        let pred = real_watts.clone();
+        let mut env = DeviceEnv::new(
+            spec,
+            pred,
+            real_watts,
+            modes,
+            EnvConfig { state_window: 2 },
+        );
+        env.reset();
+        // t=2: true mode On.
+        assert_eq!(env.step(Mode::On).reward, 10.0);
+        // t=3: true mode Standby, switch off for the bonus.
+        let st = env.step(Mode::Off);
+        assert_eq!(st.reward, 30.0);
+        assert!(st.done);
+    }
+
+    #[test]
+    fn state_encodes_prediction_and_lagged_reality() {
+        let spec = DeviceType::Tv.nominal_spec();
+        let scale = spec.on_watts;
+        let pred = vec![0.0, spec.standby_watts, spec.on_watts, 44.0];
+        let modes = vec![Mode::Off, Mode::Standby, Mode::On, Mode::On];
+        let real: Vec<f64> = modes.iter().map(|m| spec.mode_watts(*m)).collect();
+        let mut env = DeviceEnv::new(
+            spec.clone(),
+            pred.clone(),
+            real.clone(),
+            modes,
+            EnvConfig { state_window: 2 },
+        );
+        let s = env.reset(); // t = 2
+        // Predictions for minutes 1..=2, normalized.
+        assert!((s[0] - pred[1] / scale).abs() < 1e-12);
+        assert!((s[1] - pred[2] / scale).abs() < 1e-12);
+        // Real readings for minutes 0..2.
+        assert!((s[2] - real[0] / scale).abs() < 1e-12);
+        assert!((s[3] - real[1] / scale).abs() < 1e-12);
+        // Predicted mode at t=2 is On -> one-hot [0,0,1].
+        assert_eq!(&s[4..7], &[0.0, 0.0, 1.0]);
+        // Real mode at t=1 is Standby -> one-hot [0,1,0].
+        assert_eq!(&s[7..10], &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "after episode end")]
+    fn stepping_past_end_panics() {
+        let modes = vec![Mode::Standby; 3];
+        let spec = DeviceType::Tv.nominal_spec();
+        let pred = vec![spec.standby_watts; 3];
+        let mut env = env_with(pred, modes);
+        env.reset();
+        let st = env.step(Mode::Off);
+        assert!(st.done);
+        let _ = env.step(Mode::Off);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn too_short_episode_rejected() {
+        let modes = vec![Mode::Standby; 2];
+        let spec = DeviceType::Tv.nominal_spec();
+        let pred = vec![spec.standby_watts; 2];
+        let _ = env_with(pred, modes);
+    }
+}

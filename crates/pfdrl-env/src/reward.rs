@@ -1,0 +1,95 @@
+//! The paper's reward function — Table 1, verbatim.
+//!
+//! | Ground truth | Action  | Reward |
+//! |--------------|---------|--------|
+//! | On           | On      |  10    |
+//! | On           | Standby | -10    |
+//! | On           | Off     | -30    |
+//! | Standby      | On      | -10    |
+//! | Standby      | Standby |  10    |
+//! | Standby      | Off     |  30    |
+//! | Off          | On      | -30    |
+//! | Off          | Standby | -10    |
+//! | Off          | Off     |  10    |
+//!
+//! The general rule is +10 for matching the ground-truth mode, -10 for a
+//! one-step miss and -30 for a two-step miss, with the single exception
+//! that switching a standby device off earns +30 — that exception is the
+//! whole point of the system (reclaiming standby energy).
+
+use pfdrl_data::Mode;
+
+/// Reward for matching the ground-truth mode.
+pub const MATCH_REWARD: f64 = 10.0;
+/// Penalty for a one-mode-step miss.
+pub const NEAR_MISS_PENALTY: f64 = -10.0;
+/// Penalty for a two-mode-step miss.
+pub const FAR_MISS_PENALTY: f64 = -30.0;
+/// Bonus for turning a standby device off.
+pub const STANDBY_OFF_BONUS: f64 = 30.0;
+
+/// Table 1 reward for taking `action` when the device's true mode is
+/// `ground_truth`.
+pub fn reward(ground_truth: Mode, action: Mode) -> f64 {
+    if ground_truth == Mode::Standby && action == Mode::Off {
+        return STANDBY_OFF_BONUS;
+    }
+    match ground_truth.distance(action) {
+        0 => MATCH_REWARD,
+        1 => NEAR_MISS_PENALTY,
+        2 => FAR_MISS_PENALTY,
+        _ => unreachable!("mode distance is at most 2"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every cell of Table 1, literally.
+    #[test]
+    fn table_1_verbatim() {
+        let cases = [
+            (Mode::On, Mode::On, 10.0),
+            (Mode::On, Mode::Standby, -10.0),
+            (Mode::On, Mode::Off, -30.0),
+            (Mode::Standby, Mode::On, -10.0),
+            (Mode::Standby, Mode::Standby, 10.0),
+            (Mode::Standby, Mode::Off, 30.0),
+            (Mode::Off, Mode::On, -30.0),
+            (Mode::Off, Mode::Standby, -10.0),
+            (Mode::Off, Mode::Off, 10.0),
+        ];
+        for (gt, a, r) in cases {
+            assert_eq!(reward(gt, a), r, "ground truth {gt}, action {a}");
+        }
+    }
+
+    #[test]
+    fn standby_off_is_the_unique_best_cell() {
+        let max = Mode::ALL
+            .iter()
+            .flat_map(|gt| Mode::ALL.iter().map(move |a| reward(*gt, *a)))
+            .fold(f64::MIN, f64::max);
+        assert_eq!(max, STANDBY_OFF_BONUS);
+        // ...and only one cell achieves it.
+        let count = Mode::ALL
+            .iter()
+            .flat_map(|gt| Mode::ALL.iter().map(move |a| reward(*gt, *a)))
+            .filter(|&r| r == max)
+            .count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn optimal_policy_is_off_for_standby_else_match() {
+        for gt in Mode::ALL {
+            let best = Mode::ALL
+                .into_iter()
+                .max_by(|a, b| reward(gt, *a).partial_cmp(&reward(gt, *b)).unwrap())
+                .unwrap();
+            let expected = if gt == Mode::Standby { Mode::Off } else { gt };
+            assert_eq!(best, expected, "ground truth {gt}");
+        }
+    }
+}

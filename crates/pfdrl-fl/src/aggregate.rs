@@ -1,0 +1,187 @@
+//! Parameter aggregation — Algorithm 1's `W ← Σ W_n / N` and helpers for
+//! applying it to any [`Layered`] model.
+
+use crate::codec::{LayerUpdate, ModelUpdate};
+use pfdrl_nn::{average_params, Layered};
+
+/// Builds a full-model update from a [`Layered`] model.
+pub fn snapshot_update<M: Layered + ?Sized>(
+    model: &M,
+    sender: usize,
+    round: u64,
+    model_id: u64,
+) -> ModelUpdate {
+    let layers = (0..model.layer_count())
+        .map(|i| LayerUpdate { index: i, params: model.export_layer(i) })
+        .collect();
+    ModelUpdate { sender, round, model_id, layers }
+}
+
+/// Averages the local model with the matching layers of every received
+/// update, layer by layer, and imports the result.
+///
+/// Updates may carry a subset of layers (the PFDRL base-layer broadcast);
+/// layers absent from all updates are left untouched. Received layers
+/// whose length does not match the local model are rejected with a panic
+/// — silently dropping them would hide a mis-configured federation.
+pub fn merge_updates<M: Layered + ?Sized>(model: &mut M, updates: &[&ModelUpdate]) {
+    for layer_idx in 0..model.layer_count() {
+        let mut snapshots: Vec<Vec<f64>> = Vec::with_capacity(updates.len() + 1);
+        for u in updates {
+            for lu in &u.layers {
+                if lu.index == layer_idx {
+                    assert_eq!(
+                        lu.params.len(),
+                        model.layer_param_count(layer_idx),
+                        "update from {} carries layer {} of wrong size",
+                        u.sender,
+                        layer_idx
+                    );
+                    snapshots.push(lu.params.clone());
+                }
+            }
+        }
+        if snapshots.is_empty() {
+            continue;
+        }
+        snapshots.push(model.export_layer(layer_idx));
+        model.import_layer(layer_idx, &average_params(&snapshots));
+    }
+}
+
+/// Averages complete snapshots of several models *in place* so that all
+/// end up identical (a synchronous FedAvg round among co-located models;
+/// used by the centralized baselines and tests).
+///
+/// # Panics
+/// Panics if `models` is empty or architectures differ.
+pub fn fedavg_in_place<M: Layered>(models: &mut [M]) {
+    assert!(!models.is_empty(), "fedavg over no models");
+    let layer_count = models[0].layer_count();
+    assert!(
+        models.iter().all(|m| m.layer_count() == layer_count),
+        "fedavg: mismatched layer counts"
+    );
+    for layer_idx in 0..layer_count {
+        let snapshots: Vec<Vec<f64>> =
+            models.iter().map(|m| m.export_layer(layer_idx)).collect();
+        let avg = average_params(&snapshots);
+        for m in models.iter_mut() {
+            m.import_layer(layer_idx, &avg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal Layered stand-in: two layers of sizes 2 and 3.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Toy {
+        l0: Vec<f64>,
+        l1: Vec<f64>,
+    }
+
+    impl Toy {
+        fn new(a: f64) -> Self {
+            Toy { l0: vec![a; 2], l1: vec![a * 10.0; 3] }
+        }
+    }
+
+    impl Layered for Toy {
+        fn layer_count(&self) -> usize {
+            2
+        }
+        fn layer_param_count(&self, i: usize) -> usize {
+            if i == 0 {
+                2
+            } else {
+                3
+            }
+        }
+        fn export_layer(&self, i: usize) -> Vec<f64> {
+            if i == 0 {
+                self.l0.clone()
+            } else {
+                self.l1.clone()
+            }
+        }
+        fn import_layer(&mut self, i: usize, data: &[f64]) {
+            if i == 0 {
+                self.l0 = data.to_vec();
+            } else {
+                self.l1 = data.to_vec();
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_contains_all_layers() {
+        let t = Toy::new(1.0);
+        let u = snapshot_update(&t, 3, 7, 9);
+        assert_eq!(u.sender, 3);
+        assert_eq!(u.round, 7);
+        assert_eq!(u.model_id, 9);
+        assert_eq!(u.layers.len(), 2);
+        assert_eq!(u.layers[1].params, vec![10.0; 3]);
+    }
+
+    #[test]
+    fn merge_averages_with_local() {
+        let mut local = Toy::new(0.0);
+        let remote = snapshot_update(&Toy::new(3.0), 1, 0, 0);
+        merge_updates(&mut local, &[&remote]);
+        // Average of 0 and 3.
+        assert_eq!(local.l0, vec![1.5; 2]);
+        assert_eq!(local.l1, vec![15.0; 3]);
+    }
+
+    #[test]
+    fn merge_partial_update_leaves_other_layers() {
+        let mut local = Toy::new(0.0);
+        let mut remote = snapshot_update(&Toy::new(4.0), 1, 0, 0);
+        remote.layers.truncate(1); // only layer 0 transmitted
+        merge_updates(&mut local, &[&remote]);
+        assert_eq!(local.l0, vec![2.0; 2]);
+        assert_eq!(local.l1, vec![0.0; 3], "untransmitted layer must not move");
+    }
+
+    #[test]
+    fn merge_with_no_updates_is_identity() {
+        let mut local = Toy::new(5.0);
+        let before = local.clone();
+        merge_updates(&mut local, &[]);
+        assert_eq!(local, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong size")]
+    fn merge_rejects_mis_sized_layers() {
+        let mut local = Toy::new(0.0);
+        let remote = ModelUpdate {
+            sender: 1,
+            round: 0,
+            model_id: 0,
+            layers: vec![LayerUpdate { index: 0, params: vec![1.0; 99] }],
+        };
+        merge_updates(&mut local, &[&remote]);
+    }
+
+    #[test]
+    fn fedavg_makes_models_identical_at_mean() {
+        let mut models = vec![Toy::new(0.0), Toy::new(2.0), Toy::new(4.0)];
+        fedavg_in_place(&mut models);
+        for m in &models {
+            assert_eq!(m.l0, vec![2.0; 2]);
+            assert_eq!(m.l1, vec![20.0; 3]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no models")]
+    fn fedavg_rejects_empty() {
+        let mut models: Vec<Toy> = vec![];
+        fedavg_in_place(&mut models);
+    }
+}

@@ -1,0 +1,241 @@
+//! In-process broadcast bus between residences.
+//!
+//! Replaces the paper's LAN broadcast between smart-home hubs: each
+//! residence gets a mailbox (a crossbeam channel, so residences can run
+//! on rayon worker threads concurrently), and every broadcast is
+//! delivered to all other residences. The bus keeps byte/message
+//! statistics and converts them into simulated communication time via a
+//! [`LatencyModel`], which is how the time-overhead comparison of
+//! Figure 14 is reproduced without real network hardware.
+
+use crate::codec::ModelUpdate;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Simple linear latency model: `per_message + bytes * per_byte`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Fixed cost per delivered message, seconds.
+    pub per_message_s: f64,
+    /// Cost per transmitted byte, seconds (1/bandwidth).
+    pub per_byte_s: f64,
+}
+
+impl LatencyModel {
+    /// Residential LAN: ~1 ms per message, ~100 MiB/s effective.
+    pub fn lan() -> Self {
+        LatencyModel { per_message_s: 1e-3, per_byte_s: 1.0 / (100.0 * 1024.0 * 1024.0) }
+    }
+
+    /// Cloud uplink: ~40 ms RTT per message, ~10 MiB/s effective.
+    pub fn cloud() -> Self {
+        LatencyModel { per_message_s: 40e-3, per_byte_s: 1.0 / (10.0 * 1024.0 * 1024.0) }
+    }
+
+    /// Simulated seconds to deliver `bytes` in `messages`.
+    pub fn seconds(&self, messages: u64, bytes: u64) -> f64 {
+        messages as f64 * self.per_message_s + bytes as f64 * self.per_byte_s
+    }
+}
+
+/// Aggregate traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BusStats {
+    /// Point-to-point deliveries (one broadcast to N-1 peers counts N-1).
+    pub messages: u64,
+    /// Bytes across all deliveries.
+    pub bytes: u64,
+}
+
+struct BusInner {
+    senders: Vec<Sender<Arc<ModelUpdate>>>,
+    receivers: Vec<Receiver<Arc<ModelUpdate>>>,
+    stats: Mutex<BusStats>,
+    latency: LatencyModel,
+}
+
+/// A broadcast bus connecting `n` residences.
+#[derive(Clone)]
+pub struct BroadcastBus {
+    inner: Arc<BusInner>,
+}
+
+impl BroadcastBus {
+    /// Creates a bus for `n` residences.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, latency: LatencyModel) -> Self {
+        assert!(n > 0, "bus needs at least one participant");
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        BroadcastBus {
+            inner: Arc::new(BusInner {
+                senders,
+                receivers,
+                stats: Mutex::new(BusStats::default()),
+                latency,
+            }),
+        }
+    }
+
+    /// Number of participants.
+    pub fn len(&self) -> usize {
+        self.inner.senders.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // a bus always has >= 1 participant (checked at creation)
+    }
+
+    /// Broadcasts `update` from its sender to every *other* residence.
+    ///
+    /// # Panics
+    /// Panics if `update.sender` is out of range.
+    pub fn broadcast(&self, update: ModelUpdate) {
+        let n = self.len();
+        assert!(update.sender < n, "sender {} out of range", update.sender);
+        let bytes = update.byte_size() as u64;
+        let arc = Arc::new(update);
+        let mut delivered = 0u64;
+        for (i, tx) in self.inner.senders.iter().enumerate() {
+            if i == arc.sender {
+                continue;
+            }
+            tx.send(Arc::clone(&arc)).expect("bus receiver dropped");
+            delivered += 1;
+        }
+        let mut stats = self.inner.stats.lock();
+        stats.messages += delivered;
+        stats.bytes += bytes * delivered;
+    }
+
+    /// Drains all pending updates addressed to residence `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn drain(&self, id: usize) -> Vec<Arc<ModelUpdate>> {
+        let rx = &self.inner.receivers[id];
+        let mut out = Vec::new();
+        loop {
+            match rx.try_recv() {
+                Ok(u) => out.push(u),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        out
+    }
+
+    /// Traffic so far.
+    pub fn stats(&self) -> BusStats {
+        *self.inner.stats.lock()
+    }
+
+    /// Simulated communication time spent so far, seconds.
+    pub fn simulated_seconds(&self) -> f64 {
+        let s = self.stats();
+        self.inner.latency.seconds(s.messages, s.bytes)
+    }
+
+    /// Resets traffic statistics (not mailboxes).
+    pub fn reset_stats(&self) {
+        *self.inner.stats.lock() = BusStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::LayerUpdate;
+
+    fn update(sender: usize, n_params: usize) -> ModelUpdate {
+        ModelUpdate {
+            sender,
+            round: 0,
+            model_id: 0,
+            layers: vec![LayerUpdate { index: 0, params: vec![1.0; n_params] }],
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_sender() {
+        let bus = BroadcastBus::new(3, LatencyModel::lan());
+        bus.broadcast(update(0, 4));
+        assert!(bus.drain(0).is_empty());
+        assert_eq!(bus.drain(1).len(), 1);
+        assert_eq!(bus.drain(2).len(), 1);
+        // Draining again yields nothing.
+        assert!(bus.drain(1).is_empty());
+    }
+
+    #[test]
+    fn stats_count_per_delivery() {
+        let bus = BroadcastBus::new(4, LatencyModel::lan());
+        let u = update(1, 10);
+        let size = u.byte_size() as u64;
+        bus.broadcast(u);
+        let s = bus.stats();
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.bytes, 3 * size);
+    }
+
+    #[test]
+    fn single_participant_broadcast_is_free() {
+        let bus = BroadcastBus::new(1, LatencyModel::lan());
+        bus.broadcast(update(0, 10));
+        assert_eq!(bus.stats(), BusStats::default());
+    }
+
+    #[test]
+    fn simulated_seconds_follow_latency_model() {
+        let latency = LatencyModel { per_message_s: 1.0, per_byte_s: 0.0 };
+        let bus = BroadcastBus::new(3, latency);
+        bus.broadcast(update(0, 1));
+        assert!((bus.simulated_seconds() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cloud_latency_dominates_lan() {
+        let msgs = 10;
+        let bytes = 1_000_000;
+        assert!(
+            LatencyModel::cloud().seconds(msgs, bytes)
+                > LatencyModel::lan().seconds(msgs, bytes)
+        );
+    }
+
+    #[test]
+    fn concurrent_broadcasts_are_all_delivered() {
+        let bus = BroadcastBus::new(8, LatencyModel::lan());
+        std::thread::scope(|scope| {
+            for sender in 0..8 {
+                let bus = bus.clone();
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        bus.broadcast(update(sender, 4));
+                    }
+                });
+            }
+        });
+        // Each of 8 senders broadcast 50 updates to 7 peers.
+        assert_eq!(bus.stats().messages, 8 * 50 * 7);
+        for id in 0..8 {
+            assert_eq!(bus.drain(id).len(), 7 * 50);
+        }
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters() {
+        let bus = BroadcastBus::new(2, LatencyModel::lan());
+        bus.broadcast(update(0, 4));
+        bus.reset_stats();
+        assert_eq!(bus.stats(), BusStats::default());
+    }
+}

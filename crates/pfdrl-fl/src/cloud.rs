@@ -1,0 +1,197 @@
+//! Centralized cloud aggregator — the baseline architecture the paper
+//! argues against (Cloud and FL comparison methods, Table 2).
+//!
+//! Clients upload full model snapshots; the server averages and every
+//! client downloads the global model. Uplink and downlink both pay the
+//! cloud latency model, which is what makes the centralized baselines
+//! slower in the Figure 14 reproduction.
+
+use crate::bus::LatencyModel;
+use crate::codec::ModelUpdate;
+use parking_lot::Mutex;
+use pfdrl_nn::average_params;
+use std::sync::Arc;
+
+/// Traffic statistics of the aggregator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CloudStats {
+    pub uploads: u64,
+    pub downloads: u64,
+    pub upload_bytes: u64,
+    pub download_bytes: u64,
+}
+
+struct CloudInner {
+    pending: Mutex<Vec<ModelUpdate>>,
+    global: Mutex<Option<Vec<Vec<f64>>>>,
+    stats: Mutex<CloudStats>,
+    latency: LatencyModel,
+}
+
+/// A central parameter server.
+#[derive(Clone)]
+pub struct CloudAggregator {
+    inner: Arc<CloudInner>,
+}
+
+impl CloudAggregator {
+    pub fn new(latency: LatencyModel) -> Self {
+        CloudAggregator {
+            inner: Arc::new(CloudInner {
+                pending: Mutex::new(Vec::new()),
+                global: Mutex::new(None),
+                stats: Mutex::new(CloudStats::default()),
+                latency,
+            }),
+        }
+    }
+
+    /// Client uploads a full snapshot.
+    pub fn upload(&self, update: ModelUpdate) {
+        let bytes = update.byte_size() as u64;
+        {
+            let mut stats = self.inner.stats.lock();
+            stats.uploads += 1;
+            stats.upload_bytes += bytes;
+        }
+        self.inner.pending.lock().push(update);
+    }
+
+    /// Server-side FedAvg over everything uploaded since the last
+    /// aggregation. Returns the number of snapshots merged (0 leaves any
+    /// previous global model in place).
+    ///
+    /// # Panics
+    /// Panics if uploaded snapshots disagree on layer structure.
+    pub fn aggregate(&self) -> usize {
+        let pending = std::mem::take(&mut *self.inner.pending.lock());
+        if pending.is_empty() {
+            return 0;
+        }
+        let layer_count = pending[0].layers.len();
+        assert!(
+            pending.iter().all(|u| u.layers.len() == layer_count),
+            "cloud aggregate: inconsistent layer counts"
+        );
+        let mut global = Vec::with_capacity(layer_count);
+        for layer_idx in 0..layer_count {
+            let snaps: Vec<Vec<f64>> = pending
+                .iter()
+                .map(|u| {
+                    assert_eq!(
+                        u.layers[layer_idx].index, layer_idx,
+                        "cloud aggregate: unordered layers"
+                    );
+                    u.layers[layer_idx].params.clone()
+                })
+                .collect();
+            global.push(average_params(&snaps));
+        }
+        *self.inner.global.lock() = Some(global);
+        pending.len()
+    }
+
+    /// Client downloads the current global model (None before the first
+    /// aggregation).
+    pub fn download(&self) -> Option<Vec<Vec<f64>>> {
+        let global = self.inner.global.lock().clone()?;
+        let bytes: u64 =
+            global.iter().map(|l| 8 * l.len() as u64 + 16).sum::<u64>() + 32;
+        let mut stats = self.inner.stats.lock();
+        stats.downloads += 1;
+        stats.download_bytes += bytes;
+        Some(global)
+    }
+
+    pub fn stats(&self) -> CloudStats {
+        *self.inner.stats.lock()
+    }
+
+    /// Simulated communication seconds spent on all traffic so far.
+    pub fn simulated_seconds(&self) -> f64 {
+        let s = self.stats();
+        self.inner
+            .latency
+            .seconds(s.uploads + s.downloads, s.upload_bytes + s.download_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::LayerUpdate;
+
+    fn snap(sender: usize, v: f64) -> ModelUpdate {
+        ModelUpdate {
+            sender,
+            round: 0,
+            model_id: 0,
+            layers: vec![LayerUpdate { index: 0, params: vec![v; 4] }],
+        }
+    }
+
+    #[test]
+    fn aggregate_averages_uploads() {
+        let cloud = CloudAggregator::new(LatencyModel::cloud());
+        cloud.upload(snap(0, 1.0));
+        cloud.upload(snap(1, 3.0));
+        assert_eq!(cloud.aggregate(), 2);
+        let g = cloud.download().unwrap();
+        assert_eq!(g[0], vec![2.0; 4]);
+    }
+
+    #[test]
+    fn download_before_aggregate_is_none() {
+        let cloud = CloudAggregator::new(LatencyModel::cloud());
+        assert!(cloud.download().is_none());
+    }
+
+    #[test]
+    fn empty_aggregate_keeps_previous_global() {
+        let cloud = CloudAggregator::new(LatencyModel::cloud());
+        cloud.upload(snap(0, 5.0));
+        cloud.aggregate();
+        assert_eq!(cloud.aggregate(), 0);
+        assert_eq!(cloud.download().unwrap()[0], vec![5.0; 4]);
+    }
+
+    #[test]
+    fn stats_track_both_directions() {
+        let cloud = CloudAggregator::new(LatencyModel::cloud());
+        cloud.upload(snap(0, 1.0));
+        cloud.aggregate();
+        let _ = cloud.download();
+        let _ = cloud.download();
+        let s = cloud.stats();
+        assert_eq!(s.uploads, 1);
+        assert_eq!(s.downloads, 2);
+        assert!(s.upload_bytes > 0 && s.download_bytes > 0);
+    }
+
+    #[test]
+    fn cloud_time_exceeds_lan_time_for_same_traffic() {
+        let cloud = CloudAggregator::new(LatencyModel::cloud());
+        cloud.upload(snap(0, 1.0));
+        cloud.aggregate();
+        let _ = cloud.download();
+        let s = cloud.stats();
+        let lan = LatencyModel::lan()
+            .seconds(s.uploads + s.downloads, s.upload_bytes + s.download_bytes);
+        assert!(cloud.simulated_seconds() > lan);
+    }
+
+    #[test]
+    fn concurrent_uploads_all_counted() {
+        let cloud = CloudAggregator::new(LatencyModel::cloud());
+        std::thread::scope(|scope| {
+            for i in 0..8 {
+                let c = cloud.clone();
+                scope.spawn(move || c.upload(snap(i, i as f64)));
+            }
+        });
+        assert_eq!(cloud.stats().uploads, 8);
+        assert_eq!(cloud.aggregate(), 8);
+        // Average of 0..8 = 3.5.
+        assert_eq!(cloud.download().unwrap()[0], vec![3.5; 4]);
+    }
+}

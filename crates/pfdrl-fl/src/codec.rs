@@ -1,0 +1,94 @@
+//! Wire format for model updates exchanged between residences.
+//!
+//! The simulation never actually serializes to a network, but every
+//! message carries an accurate byte size so communication cost and
+//! simulated latency (Figures 13–14: FRL broadcasts twice, PFDRL
+//! broadcasts only α layers) are measured, not guessed.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one model layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerUpdate {
+    /// Layer index within the model ([`pfdrl_nn::Layered`] numbering).
+    pub index: usize,
+    /// Flattened parameters.
+    pub params: Vec<f64>,
+}
+
+/// A broadcast model update.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelUpdate {
+    /// Sending residence id.
+    pub sender: usize,
+    /// Federation round counter.
+    pub round: u64,
+    /// Which model this update belongs to (e.g. a device index for the
+    /// forecasters, or a device's DRL agent).
+    pub model_id: u64,
+    /// The transmitted layers (all layers for plain DFL; the first α for
+    /// PFDRL base-layer broadcast).
+    pub layers: Vec<LayerUpdate>,
+}
+
+/// Header bytes per message (sender + round + model id + counts).
+pub const HEADER_BYTES: usize = 32;
+/// Bytes per parameter scalar (f64) plus the per-layer index overhead.
+pub const LAYER_HEADER_BYTES: usize = 16;
+
+impl ModelUpdate {
+    /// Accurate size of this update on the wire.
+    pub fn byte_size(&self) -> usize {
+        HEADER_BYTES
+            + self
+                .layers
+                .iter()
+                .map(|l| LAYER_HEADER_BYTES + 8 * l.params.len())
+                .sum::<usize>()
+    }
+
+    /// Total number of parameter scalars carried.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.params.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update(layer_sizes: &[usize]) -> ModelUpdate {
+        ModelUpdate {
+            sender: 0,
+            round: 1,
+            model_id: 0,
+            layers: layer_sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| LayerUpdate { index: i, params: vec![0.0; n] })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn byte_size_counts_params_and_headers() {
+        let u = update(&[10, 5]);
+        assert_eq!(u.byte_size(), 32 + (16 + 80) + (16 + 40));
+        assert_eq!(u.param_count(), 15);
+    }
+
+    #[test]
+    fn empty_update_is_header_only() {
+        let u = update(&[]);
+        assert_eq!(u.byte_size(), HEADER_BYTES);
+    }
+
+    #[test]
+    fn fewer_layers_means_fewer_bytes() {
+        // The PFDRL saving: broadcasting alpha < total layers shrinks
+        // messages.
+        let full = update(&[100, 100, 100, 100]);
+        let partial = update(&[100, 100]);
+        assert!(partial.byte_size() < full.byte_size());
+    }
+}

@@ -1,0 +1,64 @@
+//! # pfdrl-fl
+//!
+//! The federated-learning substrate of PFDRL:
+//!
+//! * [`BroadcastBus`] — the decentralized LAN broadcast between
+//!   residences (crossbeam channels with byte and simulated-latency
+//!   accounting);
+//! * [`CloudAggregator`] — the centralized parameter server used by the
+//!   Cloud/FL baselines;
+//! * [`aggregate`] — FedAvg (Algorithm 1's `W ← Σ W_n / N`);
+//! * [`LayerSplit`] — the α base/personalization split (Eqs. 7–8);
+//! * [`PeriodicSchedule`] — the β and γ broadcast frequencies.
+//!
+//! ## Example
+//!
+//! ```
+//! use pfdrl_fl::{BroadcastBus, LatencyModel, aggregate};
+//! use pfdrl_nn::{Mlp, Activation, Layered};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // Two residences with independently initialized models.
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut m0 = Mlp::new(&[4, 8, 1], Activation::Relu, Activation::Identity, &mut rng);
+//! let mut m1 = Mlp::new(&[4, 8, 1], Activation::Relu, Activation::Identity, &mut rng);
+//!
+//! let bus = BroadcastBus::new(2, LatencyModel::lan());
+//! bus.broadcast(aggregate::snapshot_update(&m0, 0, 1, 0));
+//! bus.broadcast(aggregate::snapshot_update(&m1, 1, 1, 0));
+//!
+//! // Each residence merges what it received with its own model.
+//! for (id, model) in [(0, &mut m0), (1, &mut m1)] {
+//!     let updates = bus.drain(id);
+//!     let refs: Vec<&_> = updates.iter().map(|u| u.as_ref()).collect();
+//!     aggregate::merge_updates(model, &refs);
+//! }
+//! // Both models now hold the same averaged parameters.
+//! assert_eq!(m0.export_layer(0), m1.export_layer(0));
+//! ```
+
+pub mod aggregate;
+pub mod bus;
+pub mod cloud;
+pub mod codec;
+pub mod personalization;
+pub mod scheduler;
+pub mod topology;
+
+/// SplitMix64-style hash used by the deterministic gossip topology.
+#[inline]
+pub(crate) fn topology_hash(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub use aggregate::{fedavg_in_place, merge_updates, snapshot_update};
+pub use bus::{BroadcastBus, BusStats, LatencyModel};
+pub use cloud::{CloudAggregator, CloudStats};
+pub use codec::{LayerUpdate, ModelUpdate};
+pub use personalization::LayerSplit;
+pub use scheduler::PeriodicSchedule;
+pub use topology::Topology;

@@ -1,0 +1,134 @@
+//! Federation topologies beyond full broadcast.
+//!
+//! The paper broadcasts to *all* residences, which costs `N·(N-1)`
+//! deliveries per round. Decentralized-FL practice (and the paper's
+//! scalability discussion around Figure 8) motivates sparser gossip
+//! topologies; these are provided as an extension and benchmarked in
+//! `pfdrl-bench`.
+
+use serde::{Deserialize, Serialize};
+
+/// Who receives a residence's broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Everyone (the paper's setting): `N-1` deliveries per broadcast.
+    FullBroadcast,
+    /// Bidirectional ring: each residence talks to its two neighbours.
+    Ring,
+    /// Each residence sends to `k` deterministic pseudo-random peers
+    /// (expander-style gossip).
+    RandomK { k: usize, round_salt: u64 },
+}
+
+impl Topology {
+    /// Peers of `node` in a federation of `n` residences.
+    ///
+    /// # Panics
+    /// Panics if `node >= n` or (`RandomK`) `k >= n`.
+    pub fn peers(&self, node: usize, n: usize) -> Vec<usize> {
+        assert!(node < n, "node {node} out of range for {n} residences");
+        match *self {
+            Topology::FullBroadcast => (0..n).filter(|&p| p != node).collect(),
+            Topology::Ring => {
+                if n <= 1 {
+                    Vec::new()
+                } else if n == 2 {
+                    vec![1 - node]
+                } else {
+                    vec![(node + n - 1) % n, (node + 1) % n]
+                }
+            }
+            Topology::RandomK { k, round_salt } => {
+                assert!(k < n, "RandomK k={k} must be smaller than n={n}");
+                // Deterministic pseudo-random peers from a splitmix hash:
+                // changes with round_salt so the gossip graph re-mixes
+                // every round (expander-like behaviour over time).
+                let mut peers = Vec::with_capacity(k);
+                let mut x = crate::topology_hash(node as u64 ^ round_salt);
+                while peers.len() < k {
+                    x = crate::topology_hash(x);
+                    let p = (x % n as u64) as usize;
+                    if p != node && !peers.contains(&p) {
+                        peers.push(p);
+                    }
+                }
+                peers
+            }
+        }
+    }
+
+    /// Deliveries per full round (every node broadcasting once).
+    pub fn deliveries_per_round(&self, n: usize) -> usize {
+        (0..n).map(|node| self.peers(node, n).len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_broadcast_reaches_everyone() {
+        let t = Topology::FullBroadcast;
+        let peers = t.peers(2, 5);
+        assert_eq!(peers.len(), 4);
+        assert!(!peers.contains(&2));
+        assert_eq!(t.deliveries_per_round(5), 20);
+    }
+
+    #[test]
+    fn ring_has_two_neighbours() {
+        let t = Topology::Ring;
+        assert_eq!(t.peers(0, 5), vec![4, 1]);
+        assert_eq!(t.peers(4, 5), vec![3, 0]);
+        assert_eq!(t.deliveries_per_round(5), 10);
+    }
+
+    #[test]
+    fn ring_degenerates_gracefully() {
+        assert!(Topology::Ring.peers(0, 1).is_empty());
+        assert_eq!(Topology::Ring.peers(0, 2), vec![1]);
+        assert_eq!(Topology::Ring.peers(1, 2), vec![0]);
+    }
+
+    #[test]
+    fn random_k_is_deterministic_and_excludes_self() {
+        let t = Topology::RandomK { k: 3, round_salt: 7 };
+        let a = t.peers(4, 10);
+        let b = t.peers(4, 10);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert!(!a.contains(&4));
+        // Distinct peers.
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn random_k_remixes_across_rounds() {
+        let r1 = Topology::RandomK { k: 3, round_salt: 1 }.peers(0, 20);
+        let r2 = Topology::RandomK { k: 3, round_salt: 2 }.peers(0, 20);
+        assert_ne!(r1, r2, "gossip graph should change with the round salt");
+    }
+
+    #[test]
+    fn sparser_topologies_cost_less() {
+        let n = 16;
+        let full = Topology::FullBroadcast.deliveries_per_round(n);
+        let ring = Topology::Ring.deliveries_per_round(n);
+        let gossip = Topology::RandomK { k: 4, round_salt: 0 }.deliveries_per_round(n);
+        assert!(ring < gossip && gossip < full);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_node_panics() {
+        let _ = Topology::Ring.peers(5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be smaller")]
+    fn oversized_k_panics() {
+        let _ = Topology::RandomK { k: 5, round_salt: 0 }.peers(0, 5);
+    }
+}

@@ -1,0 +1,151 @@
+//! Back-propagation network (BP) forecaster — a plain MLP, the paper's
+//! third-best method ("easy to fall into a local extreme value").
+
+use crate::common::{batch_inputs, batch_targets};
+use crate::forecaster::{shuffled_indices, Convergence, FitReport, Forecaster, TrainConfig};
+use pfdrl_data::SupervisedSet;
+use pfdrl_nn::optimizer::{Adam, Optimizer};
+use pfdrl_nn::{loss, Activation, Layered, Mlp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Two-hidden-layer ReLU MLP regressor.
+#[derive(Debug, Clone)]
+pub struct BpNetwork {
+    net: Mlp,
+    cfg: TrainConfig,
+}
+
+impl BpNetwork {
+    /// Default architecture: `[dim, 48, 24, 1]`.
+    pub fn new(feature_dim: usize, cfg: TrainConfig) -> Self {
+        Self::with_hidden(feature_dim, &[48, 24], cfg)
+    }
+
+    /// Custom hidden widths.
+    pub fn with_hidden(feature_dim: usize, hidden: &[usize], cfg: TrainConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut dims = vec![feature_dim];
+        dims.extend_from_slice(hidden);
+        dims.push(1);
+        let net = Mlp::new(&dims, Activation::Relu, Activation::Identity, &mut rng);
+        BpNetwork { net, cfg }
+    }
+}
+
+impl Layered for BpNetwork {
+    fn layer_count(&self) -> usize {
+        self.net.layer_count()
+    }
+    fn layer_param_count(&self, i: usize) -> usize {
+        self.net.layer_param_count(i)
+    }
+    fn export_layer(&self, i: usize) -> Vec<f64> {
+        self.net.export_layer(i)
+    }
+    fn import_layer(&mut self, i: usize, data: &[f64]) {
+        self.net.import_layer(i, data);
+    }
+}
+
+impl Forecaster for BpNetwork {
+    fn fit(&mut self, set: &SupervisedSet) -> FitReport {
+        self.fit_budget(set, self.cfg.max_epochs)
+    }
+
+    fn fit_budget(&mut self, set: &SupervisedSet, max_epochs: usize) -> FitReport {
+        assert!(!set.is_empty(), "fit on empty dataset");
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
+        let mut opt = Adam::new(self.cfg.lr);
+        let mut conv = Convergence::new(self.cfg.tol, self.cfg.patience);
+        let mut final_loss = f64::NAN;
+        for epoch in 0..max_epochs {
+            let idx = shuffled_indices(set.len(), &mut rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0.0;
+            for chunk in idx.chunks(self.cfg.batch) {
+                let x = batch_inputs(&set.inputs, chunk);
+                let t = batch_targets(&set.targets, chunk);
+                self.net.zero_grad();
+                let y = self.net.forward(&x);
+                let (l, grad) = loss::mse(&y, &t);
+                self.net.backward(&grad);
+                opt.step(&mut self.net.param_grad_pairs());
+                epoch_loss += l;
+                batches += 1.0;
+            }
+            final_loss = epoch_loss / batches;
+            if conv.update(final_loss) {
+                return FitReport { epochs: epoch + 1, final_loss, converged: true };
+            }
+        }
+        FitReport { epochs: max_epochs, final_loss, converged: false }
+    }
+
+    fn predict(&self, inputs: &[Vec<f64>]) -> Vec<f64> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let idx: Vec<usize> = (0..inputs.len()).collect();
+        self.net.infer(&batch_inputs(inputs, &idx)).as_slice().to_vec()
+    }
+
+    fn method_name(&self) -> &'static str {
+        "BP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfdrl_data::build_windows;
+
+    #[test]
+    fn learns_nonlinear_threshold_signal() {
+        // Square-wave signal (mode-like): nonlinear in the window, which
+        // LR cannot capture but an MLP can.
+        let trace: Vec<f64> = (0..3000)
+            .map(|t| if (t / 120) % 2 == 0 { 5.0 } else { 95.0 })
+            .collect();
+        let set = build_windows(&trace, 100.0, 8, 1, 0).strided(3);
+        let (train, test) = set.split(0.8);
+        let mut bp = BpNetwork::new(set.feature_dim(), TrainConfig::with_seed(6));
+        let report = bp.fit(&train);
+        assert!(report.final_loss < 0.02, "train loss {}", report.final_loss);
+        let preds = bp.predict(&test.inputs);
+        let rmse = (preds
+            .iter()
+            .zip(test.targets.iter())
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / preds.len() as f64)
+            .sqrt();
+        assert!(rmse < 0.15, "test RMSE {rmse}");
+    }
+
+    #[test]
+    fn has_three_layers_by_default() {
+        let bp = BpNetwork::new(10, TrainConfig::default());
+        assert_eq!(bp.layer_count(), 3);
+    }
+
+    #[test]
+    fn custom_hidden_widths_respected() {
+        let bp = BpNetwork::with_hidden(10, &[32], TrainConfig::default());
+        assert_eq!(bp.layer_count(), 2);
+        assert_eq!(bp.layer_param_count(0), 10 * 32 + 32);
+        assert_eq!(bp.layer_param_count(1), 32 + 1);
+    }
+
+    #[test]
+    fn federation_round_trip_changes_predictions() {
+        let a = BpNetwork::new(6, TrainConfig::with_seed(1));
+        let mut b = BpNetwork::new(6, TrainConfig::with_seed(2));
+        let input = vec![vec![0.5, 0.1, -0.3, 0.2, 0.9, -0.6]];
+        let before = b.predict(&input)[0];
+        b.import_all(&a.export_all());
+        let after = b.predict(&input)[0];
+        assert_ne!(before, after);
+        assert_eq!(after, a.predict(&input)[0]);
+    }
+}

@@ -1,0 +1,37 @@
+//! Shared batch-assembly helpers for the fit loops.
+
+use pfdrl_nn::Matrix;
+
+/// Assembles the selected samples into a `batch x dim` matrix.
+pub(crate) fn batch_inputs(inputs: &[Vec<f64>], idx: &[usize]) -> Matrix {
+    let dim = inputs[idx[0]].len();
+    let mut m = Matrix::zeros(idx.len(), dim);
+    for (r, &i) in idx.iter().enumerate() {
+        m.row_mut(r).copy_from_slice(&inputs[i]);
+    }
+    m
+}
+
+/// Assembles the selected targets into a `batch x 1` matrix.
+pub(crate) fn batch_targets(targets: &[f64], idx: &[usize]) -> Matrix {
+    let mut m = Matrix::zeros(idx.len(), 1);
+    for (r, &i) in idx.iter().enumerate() {
+        m.set(r, 0, targets[i]);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_pick_rows_in_index_order() {
+        let inputs = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let m = batch_inputs(&inputs, &[2, 0]);
+        assert_eq!(m.row(0), &[5.0, 6.0]);
+        assert_eq!(m.row(1), &[1.0, 2.0]);
+        let t = batch_targets(&[10.0, 20.0, 30.0], &[2, 0]);
+        assert_eq!(t.as_slice(), &[30.0, 10.0]);
+    }
+}

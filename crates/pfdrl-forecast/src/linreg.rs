@@ -1,0 +1,177 @@
+//! Linear-regression forecaster — the weakest baseline in Figures 5–8
+//! ("for LR, it's normal to face under-fitting").
+//!
+//! Implemented as a single identity-activation dense layer trained with
+//! Adam on MSE, which makes it a drop-in [`Layered`] participant in the
+//! federation.
+
+use crate::common::{batch_inputs, batch_targets};
+use crate::forecaster::{shuffled_indices, Convergence, FitReport, Forecaster, TrainConfig};
+use pfdrl_data::SupervisedSet;
+use pfdrl_nn::optimizer::{Adam, Optimizer};
+use pfdrl_nn::{loss, Activation, Layered, Mlp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Ordinary linear regression on the window + time features.
+#[derive(Debug, Clone)]
+pub struct LinearRegressor {
+    net: Mlp,
+    cfg: TrainConfig,
+}
+
+impl LinearRegressor {
+    pub fn new(feature_dim: usize, cfg: TrainConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let net =
+            Mlp::new(&[feature_dim, 1], Activation::Identity, Activation::Identity, &mut rng);
+        LinearRegressor { net, cfg }
+    }
+}
+
+impl Layered for LinearRegressor {
+    fn layer_count(&self) -> usize {
+        self.net.layer_count()
+    }
+    fn layer_param_count(&self, i: usize) -> usize {
+        self.net.layer_param_count(i)
+    }
+    fn export_layer(&self, i: usize) -> Vec<f64> {
+        self.net.export_layer(i)
+    }
+    fn import_layer(&mut self, i: usize, data: &[f64]) {
+        self.net.import_layer(i, data);
+    }
+}
+
+impl Forecaster for LinearRegressor {
+    fn fit(&mut self, set: &SupervisedSet) -> FitReport {
+        self.fit_budget(set, self.cfg.max_epochs)
+    }
+
+    fn fit_budget(&mut self, set: &SupervisedSet, max_epochs: usize) -> FitReport {
+        assert!(!set.is_empty(), "fit on empty dataset");
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
+        let mut opt = Adam::new(self.cfg.lr);
+        let mut conv = Convergence::new(self.cfg.tol, self.cfg.patience);
+        let mut final_loss = f64::NAN;
+        for epoch in 0..max_epochs {
+            let idx = shuffled_indices(set.len(), &mut rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0.0;
+            for chunk in idx.chunks(self.cfg.batch) {
+                let x = batch_inputs(&set.inputs, chunk);
+                let t = batch_targets(&set.targets, chunk);
+                self.net.zero_grad();
+                let y = self.net.forward(&x);
+                let (l, grad) = loss::mse(&y, &t);
+                self.net.backward(&grad);
+                opt.step(&mut self.net.param_grad_pairs());
+                epoch_loss += l;
+                batches += 1.0;
+            }
+            final_loss = epoch_loss / batches;
+            if conv.update(final_loss) {
+                return FitReport { epochs: epoch + 1, final_loss, converged: true };
+            }
+        }
+        FitReport { epochs: max_epochs, final_loss, converged: false }
+    }
+
+    fn predict(&self, inputs: &[Vec<f64>]) -> Vec<f64> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let idx: Vec<usize> = (0..inputs.len()).collect();
+        let x = batch_inputs(inputs, &idx);
+        self.net.infer(&x).as_slice().to_vec()
+    }
+
+    fn method_name(&self) -> &'static str {
+        "LR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfdrl_data::build_windows;
+
+    fn linear_trace(n: usize) -> Vec<f64> {
+        // A sinusoid satisfies the two-lag harmonic recurrence
+        // y_t = 2cos(w) y_{t-1} - y_{t-2}, so it is exactly linear in any
+        // window of >= 2 lags — ideal territory for LR.
+        (0..n).map(|t| 50.0 + 40.0 * (t as f64 / 20.0).sin()).collect()
+    }
+
+    #[test]
+    fn fits_linear_signal_well() {
+        let set = build_windows(&linear_trace(800), 100.0, 8, 1, 0);
+        let (train, test) = set.split(0.8);
+        let cfg = TrainConfig { max_epochs: 80, ..TrainConfig::with_seed(3) };
+        let mut lr = LinearRegressor::new(set.feature_dim(), cfg);
+        let report = lr.fit(&train);
+        assert!(report.final_loss < 1e-2, "loss {}", report.final_loss);
+        let preds = lr.predict(&test.inputs);
+        let err: f64 = preds
+            .iter()
+            .zip(test.targets.iter())
+            .map(|(p, t)| (p - t).abs())
+            .sum::<f64>()
+            / preds.len() as f64;
+        assert!(err < 0.05, "test MAE {err}");
+    }
+
+    #[test]
+    fn underfits_nonlinear_signal() {
+        // A thresholded (mode-like) signal is not linear in the window;
+        // LR should leave visible residual error.
+        let trace: Vec<f64> = (0..2000)
+            .map(|t| if (t / 97) % 2 == 0 { 3.0 } else { 100.0 })
+            .collect();
+        let set = build_windows(&trace, 100.0, 8, 5, 0);
+        let (train, test) = set.split(0.8);
+        let mut lr = LinearRegressor::new(set.feature_dim(), TrainConfig::with_seed(4));
+        lr.fit(&train);
+        let preds = lr.predict(&test.inputs);
+        let rmse = (preds
+            .iter()
+            .zip(test.targets.iter())
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / preds.len() as f64)
+            .sqrt();
+        assert!(rmse > 0.02, "LR unexpectedly nailed a nonlinear signal, RMSE {rmse}");
+    }
+
+    #[test]
+    fn predict_one_matches_batch() {
+        let set = build_windows(&linear_trace(200), 10.0, 8, 1, 0);
+        let lr = LinearRegressor::new(set.feature_dim(), TrainConfig::with_seed(5));
+        let one = lr.predict_one(&set.inputs[3]);
+        let batch = lr.predict(&set.inputs[..5].to_vec());
+        assert!((one - batch[3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn is_layered_with_single_weight_layer() {
+        let lr = LinearRegressor::new(10, TrainConfig::default());
+        assert_eq!(lr.layer_count(), 1);
+        assert_eq!(lr.layer_param_count(0), 11); // 10 weights + bias
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn fit_rejects_empty_set() {
+        let mut lr = LinearRegressor::new(4, TrainConfig::default());
+        let set = SupervisedSet {
+            inputs: vec![],
+            targets: vec![],
+            window: 2,
+            horizon: 1,
+            scale: 1.0,
+            transform: Default::default(),
+        };
+        let _ = lr.fit(&set);
+    }
+}

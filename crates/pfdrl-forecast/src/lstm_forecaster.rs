@@ -1,0 +1,182 @@
+//! LSTM forecaster — the paper's best method ("it can capture the
+//! long-term pattern based on the memory cell").
+//!
+//! The flat window features are unrolled into a sequence: step `t`
+//! receives `[watt_t, sin, cos]`, with the time features repeated at
+//! every step so the recurrence can condition on time of day throughout.
+
+use crate::forecaster::{shuffled_indices, Convergence, FitReport, Forecaster, TrainConfig};
+use pfdrl_data::SupervisedSet;
+use pfdrl_nn::optimizer::{Adam, Optimizer};
+use pfdrl_nn::{loss, Layered, Lstm, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// LSTM regressor over the supervised window features.
+#[derive(Debug, Clone)]
+pub struct LstmForecaster {
+    net: Lstm,
+    window: usize,
+    cfg: TrainConfig,
+}
+
+impl LstmForecaster {
+    /// `feature_dim` must be `window + 2` (the [`SupervisedSet`] layout).
+    pub fn new(feature_dim: usize, cfg: TrainConfig) -> Self {
+        Self::with_hidden(feature_dim, 24, cfg)
+    }
+
+    pub fn with_hidden(feature_dim: usize, hidden: usize, cfg: TrainConfig) -> Self {
+        assert!(feature_dim > 2, "feature_dim must be window + 2 with window >= 1");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let net = Lstm::new(3, hidden, 1, &mut rng);
+        LstmForecaster { net, window: feature_dim - 2, cfg }
+    }
+
+    /// Unrolls a batch of flat feature vectors into per-timestep input
+    /// matrices of `[watt, sin, cos]`.
+    fn to_sequence(&self, inputs: &[Vec<f64>], idx: &[usize]) -> Vec<Matrix> {
+        let batch = idx.len();
+        (0..self.window)
+            .map(|t| {
+                let mut m = Matrix::zeros(batch, 3);
+                for (r, &i) in idx.iter().enumerate() {
+                    let f = &inputs[i];
+                    debug_assert_eq!(f.len(), self.window + 2);
+                    let row = m.row_mut(r);
+                    row[0] = f[t];
+                    row[1] = f[self.window];
+                    row[2] = f[self.window + 1];
+                }
+                m
+            })
+            .collect()
+    }
+}
+
+impl Layered for LstmForecaster {
+    fn layer_count(&self) -> usize {
+        self.net.layer_count()
+    }
+    fn layer_param_count(&self, i: usize) -> usize {
+        self.net.layer_param_count(i)
+    }
+    fn export_layer(&self, i: usize) -> Vec<f64> {
+        self.net.export_layer(i)
+    }
+    fn import_layer(&mut self, i: usize, data: &[f64]) {
+        self.net.import_layer(i, data);
+    }
+}
+
+impl Forecaster for LstmForecaster {
+    fn fit(&mut self, set: &SupervisedSet) -> FitReport {
+        self.fit_budget(set, self.cfg.max_epochs)
+    }
+
+    fn fit_budget(&mut self, set: &SupervisedSet, max_epochs: usize) -> FitReport {
+        assert!(!set.is_empty(), "fit on empty dataset");
+        assert_eq!(set.feature_dim(), self.window + 2, "dataset window mismatch");
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
+        let mut opt = Adam::new(self.cfg.lr);
+        let mut conv = Convergence::new(self.cfg.tol, self.cfg.patience);
+        let mut final_loss = f64::NAN;
+        for epoch in 0..max_epochs {
+            let idx = shuffled_indices(set.len(), &mut rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0.0;
+            for chunk in idx.chunks(self.cfg.batch) {
+                let seq = self.to_sequence(&set.inputs, chunk);
+                let mut t = Matrix::zeros(chunk.len(), 1);
+                for (r, &i) in chunk.iter().enumerate() {
+                    t.set(r, 0, set.targets[i]);
+                }
+                self.net.zero_grad();
+                let y = self.net.forward(&seq);
+                let (l, grad) = loss::mse(&y, &t);
+                self.net.backward(&grad);
+                opt.step(&mut self.net.param_grad_pairs());
+                epoch_loss += l;
+                batches += 1.0;
+            }
+            final_loss = epoch_loss / batches;
+            if conv.update(final_loss) {
+                return FitReport { epochs: epoch + 1, final_loss, converged: true };
+            }
+        }
+        FitReport { epochs: max_epochs, final_loss, converged: false }
+    }
+
+    fn predict(&self, inputs: &[Vec<f64>]) -> Vec<f64> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let idx: Vec<usize> = (0..inputs.len()).collect();
+        let seq = self.to_sequence(inputs, &idx);
+        self.net.infer(&seq).as_slice().to_vec()
+    }
+
+    fn method_name(&self) -> &'static str {
+        "LSTM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfdrl_data::build_windows;
+
+    #[test]
+    fn learns_periodic_mode_signal() {
+        // Smooth periodic signal; the recurrence must track the phase.
+        let trace: Vec<f64> = (0..2400)
+            .map(|t| 50.0 + 45.0 * (t as f64 / 25.0).sin())
+            .collect();
+        let set = build_windows(&trace, 100.0, 12, 1, 0).strided(3);
+        let (train, test) = set.split(0.8);
+        let cfg = TrainConfig { max_epochs: 30, ..TrainConfig::with_seed(10) };
+        let mut lstm = LstmForecaster::new(set.feature_dim(), cfg);
+        let report = lstm.fit(&train);
+        assert!(report.final_loss < 0.01, "train loss {}", report.final_loss);
+        let preds = lstm.predict(&test.inputs);
+        let rmse = (preds
+            .iter()
+            .zip(test.targets.iter())
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / preds.len() as f64)
+            .sqrt();
+        assert!(rmse < 0.1, "test RMSE {rmse}");
+    }
+
+    #[test]
+    fn sequence_unroll_layout() {
+        let fc = LstmForecaster::new(6, TrainConfig::default()); // window 4
+        let inputs = vec![vec![0.1, 0.2, 0.3, 0.4, 0.9, -0.9]];
+        let seq = fc.to_sequence(&inputs, &[0]);
+        assert_eq!(seq.len(), 4);
+        assert_eq!(seq[0].row(0), &[0.1, 0.9, -0.9]);
+        assert_eq!(seq[3].row(0), &[0.4, 0.9, -0.9]);
+    }
+
+    #[test]
+    fn has_two_federation_layers() {
+        let fc = LstmForecaster::new(10, TrainConfig::default());
+        assert_eq!(fc.layer_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "window mismatch")]
+    fn fit_rejects_mismatched_window() {
+        let trace: Vec<f64> = (0..100).map(|t| t as f64).collect();
+        let set = build_windows(&trace, 10.0, 8, 1, 0);
+        let mut fc = LstmForecaster::new(6, TrainConfig::default()); // expects window 4
+        let _ = fc.fit(&set);
+    }
+
+    #[test]
+    fn predict_empty_is_empty() {
+        let fc = LstmForecaster::new(6, TrainConfig::default());
+        assert!(fc.predict(&[]).is_empty());
+    }
+}

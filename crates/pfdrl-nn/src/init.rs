@@ -1,0 +1,89 @@
+//! Weight initialization schemes.
+//!
+//! All initializers are driven by a caller-supplied RNG so that every
+//! experiment in the repository is reproducible from a single seed.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Initialization scheme for a weight matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// Xavier/Glorot uniform: `U(-sqrt(6/(fan_in+fan_out)), +...)`.
+    /// Suited to tanh/sigmoid layers (the LSTM gates).
+    XavierUniform,
+    /// He/Kaiming uniform: `U(-sqrt(6/fan_in), +...)`. Suited to ReLU.
+    HeUniform,
+    /// Uniform in `[-scale, scale]`.
+    Uniform(f64),
+    /// All zeros (used for biases).
+    Zeros,
+}
+
+impl Init {
+    /// Samples a `rows x cols` matrix, where `rows` is fan-in and `cols`
+    /// fan-out (row-major `x * W` convention used throughout this crate).
+    pub fn sample(self, rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+        match self {
+            Init::XavierUniform => {
+                let limit = (6.0 / (rows + cols) as f64).sqrt();
+                Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..=limit))
+            }
+            Init::HeUniform => {
+                let limit = (6.0 / rows as f64).sqrt();
+                Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..=limit))
+            }
+            Init::Uniform(scale) => {
+                assert!(scale > 0.0, "Init::Uniform scale must be positive");
+                Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-scale..=scale))
+            }
+            Init::Zeros => Matrix::zeros(rows, cols),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = Init::XavierUniform.sample(100, 50, &mut rng);
+        let limit = (6.0 / 150.0_f64).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= limit));
+        // Not degenerate: values actually vary.
+        assert!(w.norm() > 0.0);
+    }
+
+    #[test]
+    fn he_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = Init::HeUniform.sample(64, 64, &mut rng);
+        let limit = (6.0 / 64.0_f64).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = Init::Zeros.sample(3, 3, &mut rng);
+        assert!(w.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let w1 = Init::HeUniform.sample(10, 10, &mut StdRng::seed_from_u64(7));
+        let w2 = Init::HeUniform.sample(10, 10, &mut StdRng::seed_from_u64(7));
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn different_seed_different_weights() {
+        let w1 = Init::HeUniform.sample(10, 10, &mut StdRng::seed_from_u64(7));
+        let w2 = Init::HeUniform.sample(10, 10, &mut StdRng::seed_from_u64(8));
+        assert_ne!(w1, w2);
+    }
+}

@@ -1,0 +1,56 @@
+//! # pfdrl-nn
+//!
+//! A from-scratch dense neural-network library used by the PFDRL
+//! reproduction: matrices, fully-connected and LSTM layers with
+//! hand-written backpropagation, MSE/Huber losses, and SGD/Momentum/Adam
+//! optimizers.
+//!
+//! The paper trains small models (an 8x100 ReLU Q-network and one-layer
+//! LSTM forecasters) on commodity hardware, so this crate favours
+//! simplicity and determinism over raw throughput: all randomness comes
+//! from caller-supplied RNGs, and every network exposes its parameters
+//! layer-by-layer (the [`params::Layered`] trait) so the federated layer
+//! split of PFDRL (base vs. personalization layers) can move individual
+//! layers between residences.
+//!
+//! ## Example
+//!
+//! ```
+//! use pfdrl_nn::{Mlp, Activation, loss, optimizer::{Adam, Optimizer}, Matrix};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut net = Mlp::new(&[1, 16, 1], Activation::Tanh, Activation::Identity, &mut rng);
+//! let mut opt = Adam::new(0.01);
+//! // Fit y = 2x on a tiny batch.
+//! let x = Matrix::from_vec(4, 1, vec![-1.0, -0.5, 0.5, 1.0]);
+//! let t = x.map(|v| 2.0 * v);
+//! for _ in 0..200 {
+//!     net.zero_grad();
+//!     let y = net.forward(&x);
+//!     let (_, grad) = loss::mse(&y, &t);
+//!     net.backward(&grad);
+//!     opt.step(&mut net.param_grad_pairs());
+//! }
+//! let (err, _) = loss::mse(&net.infer(&x), &t);
+//! assert!(err < 1e-2);
+//! ```
+
+pub mod activation;
+pub mod gradcheck;
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod lstm;
+pub mod matrix;
+pub mod mlp;
+pub mod optimizer;
+pub mod params;
+
+pub use activation::Activation;
+pub use init::Init;
+pub use layer::Dense;
+pub use lstm::Lstm;
+pub use matrix::Matrix;
+pub use mlp::Mlp;
+pub use params::{average_params, weighted_average_params, Layered};

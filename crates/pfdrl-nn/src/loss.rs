@@ -1,0 +1,207 @@
+//! Loss functions: MSE for the forecasters, Huber for the DQN (the paper
+//! adopts Huber loss "which acts quadratic for small errors and linear for
+//! large errors", §3.3.2).
+//!
+//! Every function returns `(mean loss, dL/d(pred))` where the gradient is
+//! already divided by the number of contributing elements, so callers can
+//! feed it straight into `Mlp::backward`.
+
+use crate::matrix::Matrix;
+
+/// Mean squared error: `L = mean((pred - target)^2)`.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
+    assert_eq!(
+        (pred.rows(), pred.cols()),
+        (target.rows(), target.cols()),
+        "mse shape mismatch"
+    );
+    let n = pred.len() as f64;
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    let mut loss = 0.0;
+    for ((g, &p), &t) in
+        grad.as_mut_slice().iter_mut().zip(pred.as_slice()).zip(target.as_slice())
+    {
+        let d = p - t;
+        loss += d * d;
+        *g = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+/// Huber loss with threshold `delta`.
+///
+/// Per element: `0.5 d^2` if `|d| <= delta`, else `delta (|d| - 0.5 delta)`.
+pub fn huber(pred: &Matrix, target: &Matrix, delta: f64) -> (f64, Matrix) {
+    assert!(delta > 0.0, "huber delta must be positive");
+    assert_eq!(
+        (pred.rows(), pred.cols()),
+        (target.rows(), target.cols()),
+        "huber shape mismatch"
+    );
+    let n = pred.len() as f64;
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    let mut loss = 0.0;
+    for ((g, &p), &t) in
+        grad.as_mut_slice().iter_mut().zip(pred.as_slice()).zip(target.as_slice())
+    {
+        let d = p - t;
+        if d.abs() <= delta {
+            loss += 0.5 * d * d;
+            *g = d / n;
+        } else {
+            loss += delta * (d.abs() - 0.5 * delta);
+            *g = delta * d.signum() / n;
+        }
+    }
+    (loss / n, grad)
+}
+
+/// Huber loss restricted to masked entries (mask value 1.0 = counted).
+///
+/// This is the DQN temporal-difference loss: only the Q-value of the action
+/// actually taken receives gradient; the other two outputs are masked out.
+/// The mean is taken over *masked* entries only.
+pub fn huber_masked(
+    pred: &Matrix,
+    target: &Matrix,
+    mask: &Matrix,
+    delta: f64,
+) -> (f64, Matrix) {
+    assert!(delta > 0.0, "huber_masked delta must be positive");
+    assert_eq!(
+        (pred.rows(), pred.cols()),
+        (target.rows(), target.cols()),
+        "huber_masked pred/target shape mismatch"
+    );
+    assert_eq!(
+        (pred.rows(), pred.cols()),
+        (mask.rows(), mask.cols()),
+        "huber_masked mask shape mismatch"
+    );
+    let active: f64 = mask.as_slice().iter().sum();
+    assert!(active > 0.0, "huber_masked: mask selects no entries");
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    let mut loss = 0.0;
+    for (((g, &p), &t), &m) in grad
+        .as_mut_slice()
+        .iter_mut()
+        .zip(pred.as_slice())
+        .zip(target.as_slice())
+        .zip(mask.as_slice())
+    {
+        if m == 0.0 {
+            continue;
+        }
+        let d = p - t;
+        if d.abs() <= delta {
+            loss += 0.5 * d * d;
+            *g = d / active;
+        } else {
+            loss += delta * (d.abs() - 0.5 * delta);
+            *g = delta * d.signum() / active;
+        }
+    }
+    (loss / active, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(v: &[f64]) -> Matrix {
+        Matrix::row_vector(v.to_vec())
+    }
+
+    #[test]
+    fn mse_zero_at_target() {
+        let (l, g) = mse(&m(&[1.0, 2.0]), &m(&[1.0, 2.0]));
+        assert_eq!(l, 0.0);
+        assert!(g.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn mse_value_and_grad() {
+        let (l, g) = mse(&m(&[3.0, 0.0]), &m(&[1.0, 0.0]));
+        assert!((l - 2.0).abs() < 1e-12); // (4 + 0)/2
+        assert!((g.get(0, 0) - 2.0).abs() < 1e-12); // 2*2/2
+        assert_eq!(g.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn huber_quadratic_region_matches_half_mse() {
+        let p = m(&[0.5, -0.3]);
+        let t = m(&[0.0, 0.0]);
+        let (hl, hg) = huber(&p, &t, 1.0);
+        let (ml, mg) = mse(&p, &t);
+        assert!((hl - 0.5 * ml).abs() < 1e-12);
+        for (h, m_) in hg.as_slice().iter().zip(mg.as_slice()) {
+            assert!((h - 0.5 * m_).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn huber_linear_region_clamps_gradient() {
+        let (l, g) = huber(&m(&[10.0]), &m(&[0.0]), 1.0);
+        assert!((l - (10.0 - 0.5)).abs() < 1e-12);
+        assert!((g.get(0, 0) - 1.0).abs() < 1e-12); // delta * sign / n, n=1
+        let (_, gneg) = huber(&m(&[-10.0]), &m(&[0.0]), 1.0);
+        assert!((gneg.get(0, 0) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn huber_is_continuous_at_delta() {
+        let delta = 1.0;
+        let (below, _) = huber(&m(&[delta - 1e-9]), &m(&[0.0]), delta);
+        let (above, _) = huber(&m(&[delta + 1e-9]), &m(&[0.0]), delta);
+        assert!((below - above).abs() < 1e-6);
+    }
+
+    #[test]
+    fn huber_masked_ignores_unmasked_entries() {
+        let pred = m(&[5.0, 100.0, -3.0]);
+        let target = m(&[0.0, 0.0, 0.0]);
+        let mask = m(&[1.0, 0.0, 1.0]);
+        let (l, g) = huber_masked(&pred, &target, &mask, 1.0);
+        // Entry 1 (huge error) must not contribute.
+        let (lref, _) = huber(&m(&[5.0, -3.0]), &m(&[0.0, 0.0]), 1.0);
+        assert!((l - lref).abs() < 1e-12);
+        assert_eq!(g.get(0, 1), 0.0);
+        assert!(g.get(0, 0) > 0.0);
+        assert!(g.get(0, 2) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "selects no entries")]
+    fn huber_masked_rejects_empty_mask() {
+        let _ = huber_masked(&m(&[1.0]), &m(&[0.0]), &m(&[0.0]), 1.0);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let p = m(&[0.4, 2.5, -1.7]);
+        let t = m(&[0.0, 0.0, 0.0]);
+        let eps = 1e-7;
+        for i in 0..3 {
+            for delta in [0.5, 1.0] {
+                let (_, g) = huber(&p, &t, delta);
+                let mut pp = p.clone();
+                pp.set(0, i, p.get(0, i) + eps);
+                let mut pm = p.clone();
+                pm.set(0, i, p.get(0, i) - eps);
+                let numeric = (huber(&pp, &t, delta).0 - huber(&pm, &t, delta).0) / (2.0 * eps);
+                assert!(
+                    (numeric - g.get(0, i)).abs() < 1e-6,
+                    "huber d={delta} i={i}: {numeric} vs {}",
+                    g.get(0, i)
+                );
+            }
+            let (_, g) = mse(&p, &t);
+            let mut pp = p.clone();
+            pp.set(0, i, p.get(0, i) + eps);
+            let mut pm = p.clone();
+            pm.set(0, i, p.get(0, i) - eps);
+            let numeric = (mse(&pp, &t).0 - mse(&pm, &t).0) / (2.0 * eps);
+            assert!((numeric - g.get(0, i)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,513 @@
+//! Single-layer LSTM with a dense head, trained by full backpropagation
+//! through time. This is the paper's best-performing load forecaster
+//! (Figures 5–8: LR < SVM < BP < LSTM).
+
+use crate::activation::{sigmoid, Activation};
+use crate::init::Init;
+use crate::layer::Dense;
+use crate::matrix::Matrix;
+use crate::params::Layered;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-timestep values cached by the forward pass for BPTT.
+#[derive(Debug, Clone)]
+struct StepCache {
+    /// Concatenated `[x_t, h_{t-1}]`, `batch x (in+h)`.
+    z: Matrix,
+    i: Matrix,
+    f: Matrix,
+    o: Matrix,
+    g: Matrix,
+    c: Matrix,
+    tanh_c: Matrix,
+}
+
+/// A single-layer LSTM followed by a dense output head applied to the
+/// final hidden state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Lstm {
+    in_dim: usize,
+    hidden: usize,
+    /// Gate weights, each `(in+h) x hidden`.
+    wi: Matrix,
+    wf: Matrix,
+    wo: Matrix,
+    wg: Matrix,
+    bi: Vec<f64>,
+    bf: Vec<f64>,
+    bo: Vec<f64>,
+    bg: Vec<f64>,
+    head: Dense,
+    // Gradients.
+    gwi: Matrix,
+    gwf: Matrix,
+    gwo: Matrix,
+    gwg: Matrix,
+    gbi: Vec<f64>,
+    gbf: Vec<f64>,
+    gbo: Vec<f64>,
+    gbg: Vec<f64>,
+    #[serde(skip)]
+    caches: Vec<StepCache>,
+    #[serde(skip)]
+    last_batch: usize,
+}
+
+impl Lstm {
+    /// Creates an LSTM with `in_dim` inputs per step, `hidden` units, and
+    /// an `out_dim`-wide linear head. The forget-gate bias starts at 1.0
+    /// (standard trick to ease gradient flow early in training).
+    pub fn new(in_dim: usize, hidden: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        assert!(in_dim > 0 && hidden > 0 && out_dim > 0, "Lstm dims must be positive");
+        let zdim = in_dim + hidden;
+        let sample = |rng: &mut _| Init::XavierUniform.sample(zdim, hidden, rng);
+        Lstm {
+            in_dim,
+            hidden,
+            wi: sample(rng),
+            wf: sample(rng),
+            wo: sample(rng),
+            wg: sample(rng),
+            bi: vec![0.0; hidden],
+            bf: vec![1.0; hidden],
+            bo: vec![0.0; hidden],
+            bg: vec![0.0; hidden],
+            head: Dense::new(hidden, out_dim, Activation::Identity, rng),
+            gwi: Matrix::zeros(zdim, hidden),
+            gwf: Matrix::zeros(zdim, hidden),
+            gwo: Matrix::zeros(zdim, hidden),
+            gwg: Matrix::zeros(zdim, hidden),
+            gbi: vec![0.0; hidden],
+            gbf: vec![0.0; hidden],
+            gbo: vec![0.0; hidden],
+            gbg: vec![0.0; hidden],
+            caches: Vec::new(),
+            last_batch: 0,
+        }
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.head.out_dim()
+    }
+
+    fn gate_param_count(&self) -> usize {
+        4 * (self.wi.len() + self.hidden)
+    }
+
+    /// Total trainable parameter count (gates + head).
+    pub fn param_count(&self) -> usize {
+        self.gate_param_count() + self.head.param_count()
+    }
+
+    /// Concatenates `[x, h]` row-wise into a `batch x (in+h)` matrix.
+    fn concat(x: &Matrix, h: &Matrix) -> Matrix {
+        debug_assert_eq!(x.rows(), h.rows());
+        let mut z = Matrix::zeros(x.rows(), x.cols() + h.cols());
+        for r in 0..x.rows() {
+            let row = z.row_mut(r);
+            row[..x.cols()].copy_from_slice(x.row(r));
+            row[x.cols()..].copy_from_slice(h.row(r));
+        }
+        z
+    }
+
+    /// Forward over a sequence. `seq[t]` is the `batch x in_dim` input at
+    /// step `t`. Returns the head output on the final hidden state
+    /// (`batch x out_dim`) and caches everything for [`Lstm::backward`].
+    ///
+    /// # Panics
+    /// Panics on an empty sequence or mismatched widths.
+    pub fn forward(&mut self, seq: &[Matrix]) -> Matrix {
+        assert!(!seq.is_empty(), "Lstm::forward: empty sequence");
+        let batch = seq[0].rows();
+        for (t, x) in seq.iter().enumerate() {
+            assert_eq!(x.cols(), self.in_dim, "Lstm::forward step {t} width mismatch");
+            assert_eq!(x.rows(), batch, "Lstm::forward step {t} batch mismatch");
+        }
+        self.caches.clear();
+        self.last_batch = batch;
+        let mut h = Matrix::zeros(batch, self.hidden);
+        let mut c = Matrix::zeros(batch, self.hidden);
+        for x in seq {
+            let z = Self::concat(x, &h);
+            let mut i = z.matmul(&self.wi);
+            i.add_row_broadcast(&self.bi);
+            i.map_inplace(sigmoid);
+            let mut f = z.matmul(&self.wf);
+            f.add_row_broadcast(&self.bf);
+            f.map_inplace(sigmoid);
+            let mut o = z.matmul(&self.wo);
+            o.add_row_broadcast(&self.bo);
+            o.map_inplace(sigmoid);
+            let mut g = z.matmul(&self.wg);
+            g.add_row_broadcast(&self.bg);
+            g.map_inplace(f64::tanh);
+
+            // c = f ⊙ c_prev + i ⊙ g
+            let mut new_c = f.hadamard(&c);
+            new_c.add_assign(&i.hadamard(&g));
+            let tanh_c = new_c.map(f64::tanh);
+            let new_h = o.hadamard(&tanh_c);
+
+            self.caches.push(StepCache { z, i, f, o, g, c: new_c.clone(), tanh_c });
+            c = new_c;
+            h = new_h;
+        }
+        self.head.forward(&h)
+    }
+
+    /// Inference-only forward pass (no caching).
+    pub fn infer(&self, seq: &[Matrix]) -> Matrix {
+        assert!(!seq.is_empty(), "Lstm::infer: empty sequence");
+        let batch = seq[0].rows();
+        let mut h = Matrix::zeros(batch, self.hidden);
+        let mut c = Matrix::zeros(batch, self.hidden);
+        for x in seq {
+            let z = Self::concat(x, &h);
+            let mut i = z.matmul(&self.wi);
+            i.add_row_broadcast(&self.bi);
+            i.map_inplace(sigmoid);
+            let mut f = z.matmul(&self.wf);
+            f.add_row_broadcast(&self.bf);
+            f.map_inplace(sigmoid);
+            let mut o = z.matmul(&self.wo);
+            o.add_row_broadcast(&self.bo);
+            o.map_inplace(sigmoid);
+            let mut g = z.matmul(&self.wg);
+            g.add_row_broadcast(&self.bg);
+            g.map_inplace(f64::tanh);
+            let mut new_c = f.hadamard(&c);
+            new_c.add_assign(&i.hadamard(&g));
+            h = o.hadamard(&new_c.map(f64::tanh));
+            c = new_c;
+        }
+        self.head.infer(&h)
+    }
+
+    /// Convenience: inference over a single sequence of scalar-vector
+    /// steps.
+    pub fn infer_one(&self, seq: &[Vec<f64>]) -> Vec<f64> {
+        let mats: Vec<Matrix> = seq.iter().map(|s| Matrix::row_vector(s.clone())).collect();
+        self.infer(&mats).as_slice().to_vec()
+    }
+
+    /// Backpropagation through time. `dout` is dL/d(head output).
+    /// Gradients accumulate; call [`Lstm::zero_grad`] between batches.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dout: &Matrix) {
+        assert!(!self.caches.is_empty(), "Lstm::backward before forward");
+        let batch = self.last_batch;
+        // Head backward gives dL/d(h_T).
+        let mut dh = self.head.backward(dout);
+        let mut dc = Matrix::zeros(batch, self.hidden);
+        for t in (0..self.caches.len()).rev() {
+            let prev_c = if t == 0 {
+                Matrix::zeros(batch, self.hidden)
+            } else {
+                self.caches[t - 1].c.clone()
+            };
+            let cache = &self.caches[t];
+            // h = o ⊙ tanh(c)
+            let do_ = dh.hadamard(&cache.tanh_c);
+            let mut dtanh_c = dh.hadamard(&cache.o);
+            // dc += do/dtanh * (1 - tanh_c^2)
+            dtanh_c.hadamard_assign(&cache.tanh_c.map(|v| 1.0 - v * v));
+            dc.add_assign(&dtanh_c);
+            // c = f ⊙ c_prev + i ⊙ g
+            let df = dc.hadamard(&prev_c);
+            let di = dc.hadamard(&cache.g);
+            let dg = dc.hadamard(&cache.i);
+            let next_dc = dc.hadamard(&cache.f);
+            // Gate pre-activations.
+            let dai = di.hadamard(&cache.i.map(|v| v * (1.0 - v)));
+            let daf = df.hadamard(&cache.f.map(|v| v * (1.0 - v)));
+            let dao = do_.hadamard(&cache.o.map(|v| v * (1.0 - v)));
+            let dag = dg.hadamard(&cache.g.map(|v| 1.0 - v * v));
+            // Accumulate weight gradients: gW += zᵀ da.
+            self.gwi.add_assign(&cache.z.t_matmul(&dai));
+            self.gwf.add_assign(&cache.z.t_matmul(&daf));
+            self.gwo.add_assign(&cache.z.t_matmul(&dao));
+            self.gwg.add_assign(&cache.z.t_matmul(&dag));
+            for (gb, d) in [
+                (&mut self.gbi, &dai),
+                (&mut self.gbf, &daf),
+                (&mut self.gbo, &dao),
+                (&mut self.gbg, &dag),
+            ] {
+                for (g, s) in gb.iter_mut().zip(d.col_sums()) {
+                    *g += s;
+                }
+            }
+            // dz = Σ da W^T; recurrent part flows to dh of step t-1.
+            let mut dz = dai.matmul_t(&self.wi);
+            dz.add_assign(&daf.matmul_t(&self.wf));
+            dz.add_assign(&dao.matmul_t(&self.wo));
+            dz.add_assign(&dag.matmul_t(&self.wg));
+            let mut new_dh = Matrix::zeros(batch, self.hidden);
+            for r in 0..batch {
+                new_dh.row_mut(r).copy_from_slice(&dz.row(r)[self.in_dim..]);
+            }
+            dh = new_dh;
+            dc = next_dc;
+        }
+    }
+
+    /// Clears accumulated gradients (gates and head).
+    pub fn zero_grad(&mut self) {
+        for g in [&mut self.gwi, &mut self.gwf, &mut self.gwo, &mut self.gwg] {
+            g.fill_zero();
+        }
+        for g in [&mut self.gbi, &mut self.gbf, &mut self.gbo, &mut self.gbg] {
+            g.iter_mut().for_each(|v| *v = 0.0);
+        }
+        self.head.zero_grad();
+    }
+
+    /// Stable-ordered (parameter, gradient) pairs for optimizers:
+    /// gate weights, gate biases, then the head.
+    pub fn param_grad_pairs(&mut self) -> Vec<(&mut [f64], &[f64])> {
+        let Lstm {
+            wi, wf, wo, wg, bi, bf, bo, bg, head,
+            gwi, gwf, gwo, gwg, gbi, gbf, gbo, gbg, ..
+        } = self;
+        let mut pairs: Vec<(&mut [f64], &[f64])> = vec![
+            (wi.as_mut_slice(), gwi.as_slice()),
+            (wf.as_mut_slice(), gwf.as_slice()),
+            (wo.as_mut_slice(), gwo.as_slice()),
+            (wg.as_mut_slice(), gwg.as_slice()),
+            (&mut bi[..], &gbi[..]),
+            (&mut bf[..], &gbf[..]),
+            (&mut bo[..], &gbo[..]),
+            (&mut bg[..], &gbg[..]),
+        ];
+        pairs.extend(head.param_grad_pairs());
+        pairs
+    }
+}
+
+impl Layered for Lstm {
+    /// Two layers for federation purposes: the recurrent gate block and
+    /// the dense head.
+    fn layer_count(&self) -> usize {
+        2
+    }
+
+    fn layer_param_count(&self, i: usize) -> usize {
+        match i {
+            0 => self.gate_param_count(),
+            1 => self.head.param_count(),
+            _ => panic!("Lstm has 2 layers, index {i} out of range"),
+        }
+    }
+
+    fn export_layer(&self, i: usize) -> Vec<f64> {
+        match i {
+            0 => {
+                let mut out = Vec::with_capacity(self.gate_param_count());
+                for w in [&self.wi, &self.wf, &self.wo, &self.wg] {
+                    out.extend_from_slice(w.as_slice());
+                }
+                for b in [&self.bi, &self.bf, &self.bo, &self.bg] {
+                    out.extend_from_slice(b);
+                }
+                out
+            }
+            1 => self.head.export_flat(),
+            _ => panic!("Lstm has 2 layers, index {i} out of range"),
+        }
+    }
+
+    fn import_layer(&mut self, i: usize, data: &[f64]) {
+        match i {
+            0 => {
+                assert_eq!(
+                    data.len(),
+                    self.gate_param_count(),
+                    "Lstm::import_layer gate block length mismatch"
+                );
+                let wlen = self.wi.len();
+                let mut off = 0;
+                for w in [&mut self.wi, &mut self.wf, &mut self.wo, &mut self.wg] {
+                    w.as_mut_slice().copy_from_slice(&data[off..off + wlen]);
+                    off += wlen;
+                }
+                for b in [&mut self.bi, &mut self.bf, &mut self.bo, &mut self.bg] {
+                    b.copy_from_slice(&data[off..off + self.hidden]);
+                    off += self.hidden;
+                }
+            }
+            1 => self.head.import_flat(data),
+            _ => panic!("Lstm has 2 layers, index {i} out of range"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse;
+    use crate::optimizer::{Adam, Optimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn seq(data: &[&[f64]]) -> Vec<Matrix> {
+        data.iter().map(|row| Matrix::row_vector(row.to_vec())).collect()
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut net = Lstm::new(2, 5, 3, &mut StdRng::seed_from_u64(1));
+        let s = seq(&[&[0.1, 0.2], &[0.3, 0.4], &[0.5, 0.6]]);
+        let y = net.forward(&s);
+        assert_eq!((y.rows(), y.cols()), (1, 3));
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut net = Lstm::new(1, 4, 1, &mut StdRng::seed_from_u64(2));
+        let s = seq(&[&[0.5], &[0.25], &[-0.5]]);
+        let a = net.forward(&s);
+        let b = net.infer(&s);
+        assert!(a.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn forward_rejects_empty_sequence() {
+        let mut net = Lstm::new(1, 4, 1, &mut StdRng::seed_from_u64(2));
+        let _ = net.forward(&[]);
+    }
+
+    #[test]
+    fn bptt_gradient_matches_numeric() {
+        let mut net = Lstm::new(2, 3, 2, &mut StdRng::seed_from_u64(3));
+        let s = seq(&[&[0.3, -0.2], &[0.1, 0.4], &[-0.5, 0.2]]);
+        let y = net.forward(&s);
+        let dout = Matrix::from_fn(y.rows(), y.cols(), |_, _| 1.0);
+        net.zero_grad();
+        let _ = net.forward(&s);
+        net.backward(&dout);
+        let analytic: Vec<f64> = net
+            .param_grad_pairs()
+            .iter()
+            .flat_map(|(_, g)| g.iter().copied())
+            .collect();
+        // Flat parameter order in param_grad_pairs matches export order
+        // gate-block-then-head only if we walk them the same way; rebuild
+        // by the same pairs API instead.
+        let flat_params: Vec<f64> = {
+            let mut n = net.clone();
+            n.param_grad_pairs().iter().flat_map(|(p, _)| p.iter().copied()).collect()
+        };
+        let eval = |params: &[f64]| {
+            let mut n = net.clone();
+            {
+                let mut pairs = n.param_grad_pairs();
+                let mut off = 0;
+                for (p, _) in pairs.iter_mut() {
+                    p.copy_from_slice(&params[off..off + p.len()]);
+                    off += p.len();
+                }
+            }
+            n.infer(&s).as_slice().iter().sum::<f64>()
+        };
+        let eps = 1e-6;
+        for idx in (0..flat_params.len()).step_by(11) {
+            let mut p = flat_params.clone();
+            p[idx] += eps;
+            let fp = eval(&p);
+            p[idx] -= 2.0 * eps;
+            let fm = eval(&p);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[idx]).abs() < 1e-5,
+                "param {idx}: numeric {numeric} vs analytic {}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn learns_to_echo_last_input() {
+        // Trivial memorization task: output the final input value.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = Lstm::new(1, 8, 1, &mut rng);
+        let mut opt = Adam::new(0.02);
+        use rand::Rng;
+        let mut last_loss = f64::MAX;
+        for _ in 0..300 {
+            let vals: Vec<f64> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let s: Vec<Matrix> = vals.iter().map(|&v| Matrix::row_vector(vec![v])).collect();
+            let target = Matrix::row_vector(vec![vals[3]]);
+            net.zero_grad();
+            let y = net.forward(&s);
+            let (loss, grad) = mse(&y, &target);
+            net.backward(&grad);
+            let mut pairs = net.param_grad_pairs();
+            opt.step(&mut pairs);
+            last_loss = loss;
+        }
+        assert!(last_loss < 0.05, "LSTM failed to learn echo task, loss {last_loss}");
+    }
+
+    #[test]
+    fn layered_export_import_round_trip() {
+        let a = Lstm::new(2, 4, 1, &mut StdRng::seed_from_u64(10));
+        let mut b = Lstm::new(2, 4, 1, &mut StdRng::seed_from_u64(11));
+        let s = seq(&[&[0.5, -0.5], &[1.0, 0.0]]);
+        assert!(a.infer(&s).max_abs_diff(&b.infer(&s)) > 0.0);
+        b.import_all(&a.export_all());
+        assert!(a.infer(&s).max_abs_diff(&b.infer(&s)) < 1e-12);
+    }
+
+    #[test]
+    fn layer_param_counts_are_consistent() {
+        let net = Lstm::new(3, 5, 2, &mut StdRng::seed_from_u64(1));
+        assert_eq!(net.layer_count(), 2);
+        assert_eq!(
+            net.layer_param_count(0) + net.layer_param_count(1),
+            net.param_count()
+        );
+        assert_eq!(net.export_layer(0).len(), net.layer_param_count(0));
+        assert_eq!(net.export_layer(1).len(), net.layer_param_count(1));
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let net = Lstm::new(1, 3, 1, &mut StdRng::seed_from_u64(1));
+        let gates = net.export_layer(0);
+        let wlen = 4 * (1 + 3) * 3;
+        // Layout: 4 weight blocks then bi, bf, bo, bg.
+        let bf = &gates[wlen + 3..wlen + 6];
+        assert!(bf.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn batch_forward_matches_per_sample() {
+        let net = Lstm::new(1, 4, 2, &mut StdRng::seed_from_u64(21));
+        let s1 = [vec![0.1], vec![0.9]];
+        let s2 = [vec![-0.4], vec![0.2]];
+        let y1 = net.infer_one(&s1);
+        let y2 = net.infer_one(&s2);
+        let batch = vec![
+            Matrix::from_vec(2, 1, vec![0.1, -0.4]),
+            Matrix::from_vec(2, 1, vec![0.9, 0.2]),
+        ];
+        let yb = net.infer(&batch);
+        for c in 0..2 {
+            assert!((yb.get(0, c) - y1[c]).abs() < 1e-12);
+            assert!((yb.get(1, c) - y2[c]).abs() < 1e-12);
+        }
+    }
+}

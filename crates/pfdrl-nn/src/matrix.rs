@@ -1,0 +1,412 @@
+//! Dense row-major matrix used by every layer in the library.
+//!
+//! The networks in PFDRL are small (at most a few hundred units per layer),
+//! so a straightforward cache-friendly `ikj` matmul is fast enough; the
+//! heavy parallelism in this project lives one level up, across residences.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major `rows x cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a 1 x n row vector.
+    pub fn row_vector(data: Vec<f64>) -> Self {
+        let cols = data.len();
+        Matrix { rows: 1, cols, data }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Immutable view of row `r`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// Uses `ikj` loop order so the inner loop walks both operands
+    /// contiguously.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul: {}x{} * {}x{} dimension mismatch",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ * rhs` without materializing the transpose.
+    pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "t_matmul: {}x{} ᵀ* {}x{} dimension mismatch",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let b_row = &rhs.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * rhsᵀ` without materializing the transpose.
+    pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_t: {}x{} * {}x{}ᵀ dimension mismatch",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..rhs.rows {
+                let b_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                out.data[i * rhs.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Adds `rhs` elementwise in place.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Adds `scale * rhs` elementwise in place (axpy).
+    pub fn add_scaled(&mut self, scale: f64, rhs: &Matrix) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add_scaled shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += scale * b;
+        }
+    }
+
+    /// Adds the row vector `bias` to every row in place.
+    pub fn add_row_broadcast(&mut self, bias: &[f64]) {
+        assert_eq!(self.cols, bias.len(), "add_row_broadcast width mismatch");
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (v, b) in row.iter_mut().zip(bias.iter()) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Elementwise (Hadamard) product in place.
+    pub fn hadamard_assign(&mut self, rhs: &Matrix) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "hadamard shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a *= b;
+        }
+    }
+
+    /// Elementwise (Hadamard) product, allocating the result.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.hadamard_assign(rhs);
+        out
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns a new matrix with `f` applied to every element.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        let mut out = self.clone();
+        out.map_inplace(f);
+        out
+    }
+
+    /// Sum of every column, returning a `cols`-length vector.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, v) in out.iter_mut().zip(row.iter()) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Returns `max |a - b|` over corresponding elements.
+    pub fn max_abs_diff(&self, rhs: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "max_abs_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f64]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn zeros_has_right_shape_and_content() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_fn_indexes_row_major() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f64);
+        assert_eq!(a.get(0, 0), 0.0);
+        assert_eq!(a.get(0, 2), 2.0);
+        assert_eq!(a.get(1, 0), 10.0);
+        assert_eq!(a.get(1, 2), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_panics_on_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_panics_on_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn t_matmul_equals_explicit_transpose() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 4, &(0..12).map(|v| v as f64).collect::<Vec<_>>());
+        assert_eq!(a.t_matmul(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_t_equals_explicit_transpose() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(4, 3, &(0..12).map(|v| v as f64).collect::<Vec<_>>());
+        assert_eq!(a.matmul_t(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn add_row_broadcast_adds_to_every_row() {
+        let mut a = Matrix::zeros(2, 3);
+        a.add_row_broadcast(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.as_slice(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn col_sums_sums_down_columns() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.col_sums(), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn hadamard_is_elementwise() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = m(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(a.hadamard(&b).as_slice(), &[5.0, 12.0, 21.0, 32.0]);
+    }
+
+    #[test]
+    fn add_scaled_is_axpy() {
+        let mut a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let b = m(1, 3, &[10.0, 20.0, 30.0]);
+        a.add_scaled(0.5, &b);
+        assert_eq!(a.as_slice(), &[6.0, 12.0, 18.0]);
+    }
+
+    #[test]
+    fn norm_of_3_4_vector_is_5() {
+        let a = m(1, 2, &[3.0, 4.0]);
+        assert!((a.norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_views_are_consistent() {
+        let mut a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        a.row_mut(0)[1] = 9.0;
+        assert_eq!(a.get(0, 1), 9.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = m(2, 2, &[1.5, -2.0, 0.0, 4.25]);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Matrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,271 @@
+//! Multi-layer perceptron: the network family used both by the BP
+//! forecaster and by the DQN agent (8 hidden layers x 100 neurons in the
+//! paper's configuration).
+
+use crate::activation::Activation;
+use crate::layer::Dense;
+use crate::matrix::Matrix;
+use crate::params::Layered;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A stack of [`Dense`] layers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP from a list of layer widths and a hidden activation.
+    ///
+    /// `dims = [in, h1, ..., out]` produces `dims.len() - 1` layers; all
+    /// but the last use `hidden_act`, the last uses `out_act`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two dims are given or any dim is zero.
+    pub fn new(
+        dims: &[usize],
+        hidden_act: Activation,
+        out_act: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(dims.len() >= 2, "Mlp::new needs at least [in, out] dims");
+        assert!(dims.iter().all(|&d| d > 0), "Mlp::new dims must be positive");
+        let last = dims.len() - 2;
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let act = if i == last { out_act } else { hidden_act };
+                Dense::new(w[0], w[1], act, rng)
+            })
+            .collect();
+        Mlp { layers }
+    }
+
+    /// The paper's Q-network: 8 hidden ReLU layers of 100 neurons and a
+    /// linear 3-unit output (one Q-value per device mode).
+    pub fn paper_qnet(state_dim: usize, rng: &mut impl Rng) -> Self {
+        let mut dims = vec![state_dim];
+        dims.extend(std::iter::repeat(100).take(8));
+        dims.push(3);
+        Mlp::new(&dims, Activation::Relu, Activation::Identity, rng)
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+
+    /// Training forward pass over a `batch x in_dim` matrix (caches
+    /// activations for [`Mlp::backward`]).
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    /// Inference-only forward pass (no caching, usable with `&self`).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            cur = layer.infer(&cur);
+        }
+        cur
+    }
+
+    /// Convenience: inference on a single input vector.
+    pub fn infer_one(&self, x: &[f64]) -> Vec<f64> {
+        self.infer(&Matrix::row_vector(x.to_vec())).as_slice().to_vec()
+    }
+
+    /// Backpropagates `dout = dL/d(output)`, accumulating gradients in
+    /// every layer; returns `dL/d(input)`.
+    pub fn backward(&mut self, dout: &Matrix) -> Matrix {
+        let mut cur = dout.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur);
+        }
+        cur
+    }
+
+    /// Clears accumulated gradients in every layer.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Stable-ordered (parameter, gradient) slice pairs for optimizers.
+    pub fn param_grad_pairs(&mut self) -> Vec<(&mut [f64], &[f64])> {
+        self.layers.iter_mut().flat_map(|l| l.param_grad_pairs()).collect()
+    }
+
+    /// Copies all parameters from `other` (used for DQN target-network
+    /// sync).
+    ///
+    /// # Panics
+    /// Panics if architectures differ.
+    pub fn copy_params_from(&mut self, other: &Mlp) {
+        assert_eq!(self.layer_count(), other.layer_count(), "copy_params_from arch mismatch");
+        for i in 0..self.layer_count() {
+            self.import_layer(i, &other.export_layer(i));
+        }
+    }
+}
+
+impl Layered for Mlp {
+    fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    fn layer_param_count(&self, i: usize) -> usize {
+        self.layers[i].param_count()
+    }
+
+    fn export_layer(&self, i: usize) -> Vec<f64> {
+        self.layers[i].export_flat()
+    }
+
+    fn import_layer(&mut self, i: usize, data: &[f64]) {
+        self.layers[i].import_flat(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mlp(dims: &[usize]) -> Mlp {
+        Mlp::new(dims, Activation::Relu, Activation::Identity, &mut StdRng::seed_from_u64(5))
+    }
+
+    #[test]
+    fn shapes_flow_through() {
+        let mut net = mlp(&[4, 8, 8, 2]);
+        let x = Matrix::zeros(5, 4);
+        let y = net.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (5, 2));
+        assert_eq!(net.in_dim(), 4);
+        assert_eq!(net.out_dim(), 2);
+    }
+
+    #[test]
+    fn paper_qnet_architecture() {
+        let net = Mlp::paper_qnet(8, &mut StdRng::seed_from_u64(1));
+        assert_eq!(net.layer_count(), 9); // 8 hidden + output
+        assert_eq!(net.in_dim(), 8);
+        assert_eq!(net.out_dim(), 3);
+        // 8*100 + 100 for first layer, 100*100+100 for middle, 100*3+3 out.
+        let expected = (8 * 100 + 100) + 7 * (100 * 100 + 100) + (100 * 3 + 3);
+        assert_eq!(net.param_count(), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn single_dim_rejected() {
+        let _ = mlp(&[4]);
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut net = mlp(&[3, 6, 2]);
+        let x = Matrix::from_vec(2, 3, vec![0.1, -0.5, 0.3, 1.2, 0.0, -0.8]);
+        assert_eq!(net.forward(&x), net.infer(&x));
+    }
+
+    #[test]
+    fn infer_one_matches_batch() {
+        let net = mlp(&[3, 6, 2]);
+        let x = [0.1, -0.5, 0.3];
+        let one = net.infer_one(&x);
+        let batch = net.infer(&Matrix::row_vector(x.to_vec()));
+        assert_eq!(one, batch.as_slice());
+    }
+
+    #[test]
+    fn end_to_end_gradient_matches_numeric() {
+        // L = sum of outputs; check d L / d(param) for sampled params.
+        let mut net = Mlp::new(
+            &[3, 5, 4, 2],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut StdRng::seed_from_u64(11),
+        );
+        let x = Matrix::from_vec(2, 3, vec![0.2, -0.4, 0.6, -0.1, 0.8, 0.5]);
+        let y = net.forward(&x);
+        let dout = Matrix::from_fn(y.rows(), y.cols(), |_, _| 1.0);
+        net.zero_grad();
+        let _ = net.forward(&x);
+        let _ = net.backward(&dout);
+
+        let flat_grads: Vec<f64> = {
+            let pairs = net.param_grad_pairs();
+            pairs.iter().flat_map(|(_, g)| g.iter().copied()).collect::<Vec<_>>()
+        };
+        let flat_params: Vec<f64> =
+            (0..net.layer_count()).flat_map(|i| net.export_layer(i)).collect();
+        let eps = 1e-6;
+        let eval = |params: &[f64], net: &Mlp, x: &Matrix| {
+            let mut n = net.clone();
+            let mut off = 0;
+            for i in 0..n.layer_count() {
+                let c = n.layer_param_count(i);
+                n.import_layer(i, &params[off..off + c]);
+                off += c;
+            }
+            n.infer(x).as_slice().iter().sum::<f64>()
+        };
+        for idx in (0..flat_params.len()).step_by(7) {
+            let mut p = flat_params.clone();
+            p[idx] += eps;
+            let fp = eval(&p, &net, &x);
+            p[idx] -= 2.0 * eps;
+            let fm = eval(&p, &net, &x);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - flat_grads[idx]).abs() < 1e-5,
+                "param {idx}: numeric {numeric} vs analytic {}",
+                flat_grads[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn copy_params_from_makes_outputs_identical() {
+        let mut a = mlp(&[4, 8, 3]);
+        let b = Mlp::new(
+            &[4, 8, 3],
+            Activation::Relu,
+            Activation::Identity,
+            &mut StdRng::seed_from_u64(99),
+        );
+        let x = Matrix::from_vec(1, 4, vec![0.3, 0.1, -0.2, 0.9]);
+        assert_ne!(a.infer(&x), b.infer(&x));
+        a.copy_params_from(&b);
+        assert_eq!(a.infer(&x), b.infer(&x));
+    }
+
+    #[test]
+    fn layered_round_trip_preserves_output() {
+        let net = mlp(&[4, 8, 8, 3]);
+        let mut other = mlp(&[4, 8, 8, 3]);
+        for i in 0..net.layer_count() {
+            other.import_layer(i, &net.export_layer(i));
+        }
+        let x = Matrix::from_vec(1, 4, vec![1.0, -1.0, 0.5, 0.25]);
+        assert_eq!(net.infer(&x), other.infer(&x));
+    }
+}

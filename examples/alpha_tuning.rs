@@ -1,0 +1,39 @@
+//! Sweep the personalization split α — the paper's Figure 2 experiment
+//! at example scale. With more base layers, residences share more of the
+//! Q-network; the rest stays personal.
+//!
+//! ```text
+//! cargo run --release --example alpha_tuning
+//! ```
+
+use pfdrl_core::experiment::fig2_alpha_sweep;
+use pfdrl_core::SimConfig;
+
+fn main() {
+    let mut cfg = SimConfig::tiny(19);
+    cfg.n_residences = 4;
+    cfg.eval_days = 3;
+    cfg.validate();
+    let total_layers = cfg.dqn.hidden_layers + 1;
+
+    println!(
+        "sweeping alpha over 1..={} base layers (of {} total Q-network layers)",
+        cfg.dqn.hidden_layers + 1,
+        total_layers
+    );
+    let alphas: Vec<usize> = (1..=total_layers).collect();
+    let series = fig2_alpha_sweep(&cfg, &alphas);
+
+    println!("\n{:>6} | {:>22}", "alpha", "saved standby energy");
+    println!("{}", "-".repeat(32));
+    for (alpha, saved) in &series.points {
+        let bar: String = std::iter::repeat('#').take((saved * 30.0) as usize).collect();
+        println!("{:>6.0} | {:>6.1}% {bar}", alpha, 100.0 * saved);
+    }
+    println!(
+        "\nbest split: {} base layers shared, {} kept personal",
+        series.argmax(),
+        total_layers as f64 - series.argmax()
+    );
+    println!("(the paper finds alpha = 6 of 8 hidden layers optimal)");
+}

@@ -1,0 +1,44 @@
+//! Compare the five EMS architectures (Local, Cloud, FL, FRL, PFDRL) on
+//! the same neighbourhood — a miniature of the paper's Figure 9 and
+//! Table 2 story.
+//!
+//! ```text
+//! cargo run --release --example compare_methods
+//! ```
+
+use pfdrl_core::runner::run_method;
+use pfdrl_core::{EmsMethod, SimConfig};
+
+fn main() {
+    let mut cfg = SimConfig::tiny(11);
+    cfg.n_residences = 4;
+    cfg.train_days = 3;
+    cfg.eval_start_day = 3;
+    cfg.eval_days = 3;
+    cfg.validate();
+
+    println!(
+        "{:>6} | {:>6} | {:>8} | {:>9} | {:>10} | {:>11}",
+        "method", "saved%", "kWh/home", "comm KiB", "overhead s", "cloud-free?"
+    );
+    println!("{}", "-".repeat(68));
+    for method in EmsMethod::ALL {
+        let run = run_method(&cfg, method);
+        let saved_pct = 100.0 * run.converged_saved_fraction();
+        let kwh_per_home =
+            run.ems.account.standby_saved_kwh / cfg.n_residences as f64;
+        let comm_kib = (run.forecast_bytes + run.ems.comm_bytes) as f64 / 1024.0;
+        println!(
+            "{:>6} | {:>5.1}% | {:>8.4} | {:>9.1} | {:>10.2} | {:>11}",
+            run.method,
+            saved_pct,
+            kwh_per_home,
+            comm_kib,
+            run.total_overhead_s(),
+            if method.stays_in_local_area() { "yes" } else { "no" },
+        );
+    }
+    println!();
+    println!("Table 2 recap: only PFDRL keeps data AND models in the local");
+    println!("area while still sharing EMS plans and personalizing per home.");
+}

@@ -1,0 +1,81 @@
+//! Bake-off of the four load-forecasting algorithms (LR, SVM, BP, LSTM)
+//! on one device's trace — the Figure 5 story at example scale.
+//!
+//! ```text
+//! cargo run --release --example forecast_bakeoff
+//! ```
+
+use pfdrl_data::dataset::{build_windows_transformed, TargetTransform};
+use pfdrl_data::{GeneratorConfig, TraceGenerator};
+use pfdrl_forecast::metrics::{accuracy_cdf, paper_accuracies};
+use pfdrl_forecast::{ForecastMethod, TrainConfig};
+
+fn main() {
+    // One home's TV over ten days; train on eight, test on two.
+    let gen = TraceGenerator::new(GeneratorConfig::with_seed(3));
+    let home = gen.household(0);
+    let spec = &home.devices[0];
+    println!(
+        "device: {} (on {:.0} W, standby {:.1} W), archetype {:?}",
+        spec.device_type.name(),
+        spec.on_watts,
+        spec.standby_watts,
+        home.archetype
+    );
+
+    let watts = gen.multi_day_watts(0, 0, 0..10);
+    let set = build_windows_transformed(
+        &watts,
+        spec.on_watts,
+        16,
+        15,
+        0,
+        TargetTransform::default(),
+    )
+    .strided(7);
+    let (train, test) = set.split(0.8);
+    println!(
+        "{} training samples, {} test samples, horizon 15 min\n",
+        train.len(),
+        test.len()
+    );
+
+    println!("{:>6} | {:>9} | {:>8} | {:>7}", "method", "accuracy", "epochs", "loss");
+    println!("{}", "-".repeat(40));
+    let mut accs: Vec<(ForecastMethod, Vec<f64>)> = Vec::new();
+    for method in ForecastMethod::ALL {
+        let cfg = TrainConfig { max_epochs: 10, ..TrainConfig::with_seed(5) };
+        let mut model = method.build(set.feature_dim(), cfg);
+        let report = model.fit(&train);
+        let preds: Vec<f64> =
+            model.predict(&test.inputs).iter().map(|p| test.to_watts(*p)).collect();
+        let real: Vec<f64> = test.targets.iter().map(|t| test.to_watts(*t)).collect();
+        let samples = paper_accuracies(&preds, &real, 1.0);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{:>6} | {:>8.1}% | {:>8} | {:>7.4}",
+            method.name(),
+            100.0 * mean,
+            report.epochs,
+            report.final_loss
+        );
+        accs.push((method, samples));
+    }
+
+    println!("\naccuracy CDF (fraction of predictions at or below accuracy):");
+    print!("{:>8}", "acc");
+    for (m, _) in &accs {
+        print!("  {:>6}", m.name());
+    }
+    println!();
+    let cdfs: Vec<Vec<(f64, f64)>> =
+        accs.iter().map(|(_, a)| accuracy_cdf(a, 6)).collect();
+    for i in 0..6 {
+        print!("{:>7.0}%", cdfs[0][i].0 * 100.0);
+        for cdf in &cdfs {
+            print!("  {:>6.3}", cdf[i].1);
+        }
+        println!();
+    }
+    println!("\n(lower CDF at high accuracy = better; expect LR worst, LSTM best)");
+}

@@ -1,0 +1,101 @@
+//! Sparse gossip federation — an extension beyond the paper's full
+//! broadcast. Compares full broadcast, ring, and random-k gossip on
+//! traffic volume and on how fast independently-initialized models reach
+//! consensus.
+//!
+//! ```text
+//! cargo run --release --example gossip_federation
+//! ```
+
+use pfdrl_fl::{aggregate, BroadcastBus, LatencyModel, ModelUpdate, Topology};
+use pfdrl_nn::{Activation, Layered, Mlp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 12;
+
+/// Max pairwise parameter distance on layer 0 — the consensus measure.
+fn spread(models: &[Mlp]) -> f64 {
+    let mut worst: f64 = 0.0;
+    for a in models {
+        for b in models {
+            let la = a.export_layer(0);
+            let lb = b.export_layer(0);
+            let d = la
+                .iter()
+                .zip(lb.iter())
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max);
+            worst = worst.max(d);
+        }
+    }
+    worst
+}
+
+fn fresh_models() -> Vec<Mlp> {
+    (0..N)
+        .map(|i| {
+            Mlp::new(
+                &[8, 16, 3],
+                Activation::Relu,
+                Activation::Identity,
+                &mut StdRng::seed_from_u64(i as u64),
+            )
+        })
+        .collect()
+}
+
+/// Runs `rounds` gossip rounds under a topology; returns (final spread,
+/// total bytes).
+fn run(topology_for_round: impl Fn(u64) -> Topology, rounds: u64) -> (f64, u64) {
+    let mut models = fresh_models();
+    let bus = BroadcastBus::new(N, LatencyModel::lan());
+    for round in 0..rounds {
+        let topo = topology_for_round(round);
+        // Point-to-point sends along the topology (the bus delivers to
+        // everyone, so non-peers discard by sender id).
+        let peer_lists: Vec<Vec<usize>> = (0..N).map(|i| topo.peers(i, N)).collect();
+        for (i, m) in models.iter().enumerate() {
+            bus.broadcast(aggregate::snapshot_update(m, i, round, 0));
+        }
+        for (i, m) in models.iter_mut().enumerate() {
+            let updates = bus.drain(i);
+            let refs: Vec<&ModelUpdate> = updates
+                .iter()
+                .map(|u| u.as_ref())
+                .filter(|u| peer_lists[u.sender].contains(&i))
+                .collect();
+            aggregate::merge_updates(m, &refs);
+        }
+    }
+    // Bytes actually *used* scale with topology degree; report the
+    // topology's own delivery count times message size for fairness.
+    let msg_bytes = aggregate::snapshot_update(&models[0], 0, 0, 0).byte_size() as u64;
+    let topo = topology_for_round(0);
+    let bytes = topo.deliveries_per_round(N) as u64 * msg_bytes * rounds;
+    (spread(&models), bytes)
+}
+
+fn main() {
+    let initial = spread(&fresh_models());
+    println!("{N} residences, initial parameter spread {initial:.4}\n");
+    println!(
+        "{:>14} | {:>8} | {:>14} | {:>12}",
+        "topology", "rounds", "final spread", "traffic KiB"
+    );
+    println!("{}", "-".repeat(58));
+    for rounds in [1u64, 3, 6] {
+        let (s, b) = run(|_| Topology::FullBroadcast, rounds);
+        println!("{:>14} | {rounds:>8} | {s:>14.6} | {:>12.1}", "full", b as f64 / 1024.0);
+        let (s, b) = run(|_| Topology::Ring, rounds);
+        println!("{:>14} | {rounds:>8} | {s:>14.6} | {:>12.1}", "ring", b as f64 / 1024.0);
+        let (s, b) = run(|r| Topology::RandomK { k: 3, round_salt: r }, rounds);
+        println!(
+            "{:>14} | {rounds:>8} | {s:>14.6} | {:>12.1}",
+            "random-3", b as f64 / 1024.0
+        );
+        println!();
+    }
+    println!("full broadcast reaches consensus in one round at N^2 cost;");
+    println!("gossip converges geometrically at a fraction of the traffic.");
+}

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Renders repro_results/*.json into the markdown tables appended to
+EXPERIMENTS.md. Pure stdlib; run after `repro all`."""
+
+import json
+import os
+import sys
+
+RESULTS = os.path.join(os.path.dirname(__file__), "..", "repro_results")
+
+
+def load(name):
+    path = os.path.join(RESULTS, f"{name}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        return json.load(f)
+
+
+def series_table(series_list, xlabel):
+    cols = [s["label"] for s in series_list]
+    lines = ["| " + xlabel + " | " + " | ".join(cols) + " |",
+             "|" + "---|" * (len(cols) + 1)]
+    xs = [p[0] for p in series_list[0]["points"]]
+    for i, x in enumerate(xs):
+        row = [f"{x:g}"]
+        for s in series_list:
+            row.append(f"{s['points'][i][1]:.3f}" if i < len(s["points"]) else "-")
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def single_series(s, xlabel, ylabel):
+    lines = [f"| {xlabel} | {ylabel} |", "|---|---|"]
+    for x, y in s["points"]:
+        lines.append(f"| {x:g} | {y:.3f} |")
+    return "\n".join(lines)
+
+
+def main():
+    out = []
+
+    if (s := load("fig2")) is not None:
+        out.append("### Figure 2 — saved standby energy vs shared layers α\n")
+        out.append(single_series(s, "α", "saved fraction"))
+    if (s := load("fig3")) is not None:
+        out.append("\n### Figure 3 — DFL accuracy vs broadcast frequency β (hours)\n")
+        out.append(single_series(s, "β (h)", "accuracy"))
+    if (s := load("fig4")) is not None:
+        out.append("\n### Figure 4 — saved standby energy vs γ (hours)\n")
+        out.append(single_series(s, "γ (h)", "saved fraction"))
+    if (s := load("fig5")) is not None:
+        out.append("\n### Figure 5 — CDF of forecast accuracy\n")
+        out.append(series_table(s, "accuracy %"))
+    if (s := load("fig6")) is not None:
+        out.append("\n### Figure 6 — accuracy by hour of day\n")
+        out.append(series_table(s, "hour"))
+    if (s := load("fig7")) is not None:
+        out.append("\n### Figure 7 — accuracy vs training days\n")
+        out.append(series_table(s, "days"))
+    if (s := load("fig8")) is not None:
+        out.append("\n### Figure 8 — accuracy vs number of residences\n")
+        out.append(series_table(s, "clients"))
+
+    if (cmp := load("fig9_11_14")) is not None:
+        out.append("\n### Figures 9/11/14 — five-method comparison\n")
+        out.append("| method | converged saved fraction | saved kWh/client (total) | compute s | comm s | bytes |")
+        out.append("|---|---|---|---|---|---|")
+        for run in cmp["runs"]:
+            ems = run["ems"]
+            days = ems["daily_saved_fraction"]
+            tail = max(1, (len(days) + 2) // 3)
+            conv = sum(days[-tail:]) / tail
+            saved = sum(ems["daily_saved_kwh_per_client"])
+            compute = run["forecast_train_wall_s"] + ems["train_wall_s"]
+            comm = run["forecast_comm_s"] + ems["comm_s"]
+            bytes_ = run["forecast_bytes"] + ems["comm_bytes"]
+            out.append(
+                f"| {run['method']} | {conv:.3f} | {saved:.3f} | "
+                f"{compute:.1f} | {comm:.2f} | {bytes_:,} |"
+            )
+        out.append("\nDaily saved fraction (convergence curves):\n")
+        out.append("| day | " + " | ".join(r["method"] for r in cmp["runs"]) + " |")
+        out.append("|---|" + "---|" * len(cmp["runs"]))
+        ndays = len(cmp["runs"][0]["ems"]["daily_saved_fraction"])
+        for d in range(ndays):
+            row = [str(d + 1)]
+            for r in cmp["runs"]:
+                row.append(f"{r['ems']['daily_saved_fraction'][d]:.3f}")
+            out.append("| " + " | ".join(row) + " |")
+        out.append("\nSaved kWh per client by hour of day:\n")
+        out.append("| hour | " + " | ".join(r["method"] for r in cmp["runs"]) + " |")
+        out.append("|---|" + "---|" * len(cmp["runs"]))
+        for h in range(24):
+            row = [str(h)]
+            for r in cmp["runs"]:
+                row.append(f"{r['ems']['hourly_saved_kwh_per_client'][h]:.4f}")
+            out.append("| " + " | ".join(row) + " |")
+
+    if (r := load("fig10")) is not None:
+        out.append("\n### Figure 10 — saved $ per client by month\n")
+        out.append("| month | fixed rate $ | variable rate $ |")
+        out.append("|---|---|---|")
+        for m, (f, v) in enumerate(r["monthly_saved_usd"], 1):
+            out.append(f"| {m} | {f:.3f} | {v:.3f} |")
+
+    if (r := load("fig12")) is not None:
+        out.append("\n### Figure 12 — personalization ablation (saved kWh/client)\n")
+        out.append("| variant | mean | std |")
+        out.append("|---|---|---|")
+        out.append(f"| personalized (PFDRL) | {r['personalized_mean']:.3f} | {r['personalized_std']:.3f} |")
+        out.append(f"| not personalized (FRL) | {r['not_personalized_mean']:.3f} | {r['not_personalized_std']:.3f} |")
+
+    if (rows := load("fig13")) is not None:
+        out.append("\n### Figure 13 — load-forecasting time overhead (s)\n")
+        out.append("| method | train | test | comm |")
+        out.append("|---|---|---|---|")
+        for r in rows:
+            out.append(f"| {r['label']} | {r['train_s']:.2f} | {r['test_s']:.2f} | {r['comm_s']:.2f} |")
+
+    if (h := load("headline")) is not None:
+        out.append("\n### Headline (§5)\n")
+        out.append(f"- load-forecasting accuracy: **{100*h['forecast_accuracy']:.1f} %** (paper: 92 %)")
+        out.append(f"- standby energy saved/day (converged): **{100*h['saved_standby_fraction']:.1f} %** (paper: 98 %)")
+        out.append(
+            f"- comfort violations: {h['comfort_violation_minutes']} of "
+            f"{h['total_minutes']} device-minutes"
+        )
+
+    print("\n".join(out))
+
+
+if __name__ == "__main__":
+    sys.exit(main())
