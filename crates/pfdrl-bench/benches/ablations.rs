@@ -3,8 +3,8 @@
 //! β-round structure, and replay/target-network machinery.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pfdrl_fl::{LayerSplit, LatencyModel, BroadcastBus};
-use pfdrl_nn::{loss, Matrix, Mlp, Activation};
+use pfdrl_fl::{BroadcastBus, LatencyModel, LayerSplit};
+use pfdrl_nn::{loss, Activation, Matrix, Mlp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -17,7 +17,9 @@ fn bench_loss_ablation(c: &mut Criterion) {
     let pred = Matrix::from_fn(64, 3, |_, _| rng.gen_range(-5.0..5.0));
     let target = Matrix::from_fn(64, 3, |_, _| rng.gen_range(-5.0..5.0));
     let mask = Matrix::from_fn(64, 3, |_, col| if col == 0 { 1.0 } else { 0.0 });
-    c.bench_function("loss_mse_64x3", |b| b.iter(|| black_box(loss::mse(&pred, &target))));
+    c.bench_function("loss_mse_64x3", |b| {
+        b.iter(|| black_box(loss::mse(&pred, &target)))
+    });
     c.bench_function("loss_huber_64x3", |b| {
         b.iter(|| black_box(loss::huber(&pred, &target, 1.0)))
     });
@@ -32,7 +34,7 @@ fn bench_loss_ablation(c: &mut Criterion) {
 fn bench_alpha_broadcast_cost(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let mut dims = vec![14];
-    dims.extend(std::iter::repeat(100).take(8));
+    dims.extend(std::iter::repeat_n(100, 8));
     dims.push(3);
     let net = Mlp::new(&dims, Activation::Relu, Activation::Identity, &mut rng);
     let mut group = c.benchmark_group("alpha_broadcast");
@@ -52,8 +54,12 @@ fn bench_alpha_broadcast_cost(c: &mut Criterion) {
 /// several neighbourhood sizes (the N² broadcast scaling).
 fn bench_bus_scaling(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
-    let net =
-        Mlp::new(&[14, 24, 24, 3], Activation::Relu, Activation::Identity, &mut rng);
+    let net = Mlp::new(
+        &[14, 24, 24, 3],
+        Activation::Relu,
+        Activation::Identity,
+        &mut rng,
+    );
     let mut group = c.benchmark_group("bus_scaling");
     group.sample_size(10);
     for n in [5usize, 10, 20] {

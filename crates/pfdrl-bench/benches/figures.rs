@@ -28,7 +28,9 @@ fn bench_tables(c: &mut Criterion) {
             black_box(acc)
         })
     });
-    c.bench_function("table2_feature_matrix", |b| b.iter(|| black_box(table2_rows())));
+    c.bench_function("table2_feature_matrix", |b| {
+        b.iter(|| black_box(table2_rows()))
+    });
 }
 
 fn bench_figures(c: &mut Criterion) {
@@ -62,7 +64,9 @@ fn bench_figures(c: &mut Criterion) {
     group.bench_function("fig9_11_14_method_comparison", |b| {
         b.iter(|| black_box(compare_methods(&cfg)))
     });
-    group.bench_function("fig10_monetary", |b| b.iter(|| black_box(fig10_monetary(&cfg))));
+    group.bench_function("fig10_monetary", |b| {
+        b.iter(|| black_box(fig10_monetary(&cfg)))
+    });
     group.bench_function("fig12_personalization", |b| {
         b.iter(|| black_box(fig12_personalization(&cfg)))
     });

@@ -46,8 +46,9 @@ fn bench_mlp(c: &mut Criterion) {
 fn bench_lstm(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let mut net = Lstm::new(3, 24, 1, &mut rng);
-    let seq: Vec<Matrix> =
-        (0..16).map(|_| Matrix::from_fn(32, 3, |_, _| rng.gen_range(-1.0..1.0))).collect();
+    let seq: Vec<Matrix> = (0..16)
+        .map(|_| Matrix::from_fn(32, 3, |_, _| rng.gen_range(-1.0..1.0)))
+        .collect();
     c.bench_function("lstm_forward_t16_b32_h24", |bencher| {
         bencher.iter(|| black_box(net.infer(&seq)))
     });
@@ -97,7 +98,12 @@ fn bench_trace_generation(c: &mut Criterion) {
 
 fn bench_federation(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(7);
-    let net = Mlp::new(&[14, 24, 24, 3], Activation::Relu, Activation::Identity, &mut rng);
+    let net = Mlp::new(
+        &[14, 24, 24, 3],
+        Activation::Relu,
+        Activation::Identity,
+        &mut rng,
+    );
     c.bench_function("bus_broadcast_merge_n10", |bencher| {
         bencher.iter_batched(
             || {

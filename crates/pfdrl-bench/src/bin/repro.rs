@@ -10,8 +10,7 @@
 //! `repro_results/` so EXPERIMENTS.md can cite exact numbers.
 
 use pfdrl_bench::{
-    clients_config, forecast_config, format_series, format_series_table, quick_config,
-    repro_config,
+    clients_config, forecast_config, format_series, format_series_table, quick_config, repro_config,
 };
 use pfdrl_core::experiment::{
     self, compare_methods, fig10_monetary, fig12_personalization, fig13_forecast_overhead,
@@ -62,7 +61,12 @@ fn table1(_ctx: &Ctx) {
     println!("ground truth  action    reward");
     for gt in pfdrl_data::Mode::ALL {
         for a in pfdrl_data::Mode::ALL {
-            println!("{:>12}  {:>7}  {:>7.0}", gt.to_string(), a.to_string(), pfdrl_env::reward(gt, a));
+            println!(
+                "{:>12}  {:>7}  {:>7.0}",
+                gt.to_string(),
+                a.to_string(),
+                pfdrl_env::reward(gt, a)
+            );
         }
     }
 }
@@ -105,8 +109,11 @@ fn fig2(ctx: &Ctx) {
 fn fig3(ctx: &Ctx) {
     banner("fig3", "DFL accuracy vs broadcast frequency beta (hours)");
     let cfg = ctx.forecast();
-    let betas: Vec<f64> =
-        if ctx.quick { vec![1.0, 12.0, 24.0] } else { vec![0.1, 0.5, 1.0, 2.0, 6.0, 12.0, 24.0] };
+    let betas: Vec<f64> = if ctx.quick {
+        vec![1.0, 12.0, 24.0]
+    } else {
+        vec![0.1, 0.5, 1.0, 2.0, 6.0, 12.0, 24.0]
+    };
     let s = experiment::fig3_beta_sweep(&cfg, &betas);
     print!("{}", format_series(&s));
     println!("best beta = {}", s.argmax());
@@ -114,10 +121,16 @@ fn fig3(ctx: &Ctx) {
 }
 
 fn fig4(ctx: &Ctx) {
-    banner("fig4", "saved standby energy vs DRL broadcast frequency gamma (hours)");
+    banner(
+        "fig4",
+        "saved standby energy vs DRL broadcast frequency gamma (hours)",
+    );
     let cfg = ctx.base();
-    let gammas: Vec<f64> =
-        if ctx.quick { vec![6.0, 24.0] } else { vec![0.1, 0.5, 1.0, 2.0, 6.0, 12.0, 24.0] };
+    let gammas: Vec<f64> = if ctx.quick {
+        vec![6.0, 24.0]
+    } else {
+        vec![0.1, 0.5, 1.0, 2.0, 6.0, 12.0, 24.0]
+    };
     let s = experiment::fig4_gamma_sweep(&cfg, &gammas);
     print!("{}", format_series(&s));
     println!("best gamma = {}", s.argmax());
@@ -143,16 +156,31 @@ fn fig6(ctx: &Ctx) {
 fn fig7(ctx: &Ctx) {
     banner("fig7", "accuracy vs accumulative training days");
     let cfg = ctx.forecast();
-    let days: Vec<u64> = if ctx.quick { vec![1, 2] } else { vec![1, 2, 4, 7] };
+    let days: Vec<u64> = if ctx.quick {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 4, 7]
+    };
     let series = experiment::fig7_accuracy_by_days(&cfg, &days);
     print!("{}", format_series_table(&series));
     ctx.save_json("fig7", &series);
 }
 
 fn fig8(ctx: &Ctx) {
-    banner("fig8", "accuracy vs number of residences (archetype pool widens past 100)");
-    let cfg = if ctx.quick { quick_config(SEED) } else { clients_config(SEED) };
-    let counts: Vec<usize> = if ctx.quick { vec![3, 5] } else { vec![10, 60, 100, 140] };
+    banner(
+        "fig8",
+        "accuracy vs number of residences (archetype pool widens past 100)",
+    );
+    let cfg = if ctx.quick {
+        quick_config(SEED)
+    } else {
+        clients_config(SEED)
+    };
+    let counts: Vec<usize> = if ctx.quick {
+        vec![3, 5]
+    } else {
+        vec![10, 60, 100, 140]
+    };
     let series = experiment::fig8_accuracy_by_clients(&cfg, &counts);
     print!("{}", format_series_table(&series));
     ctx.save_json("fig8", &series);
@@ -181,7 +209,10 @@ fn figs_9_11_14(ctx: &Ctx) {
     print!("{}", format_series_table(&cmp.fig11_series()));
 
     println!("\nfig14: EMS time overhead (seconds)");
-    println!("{:>6}  {:>10}  {:>10}  {:>10}", "method", "compute", "comm", "total");
+    println!(
+        "{:>6}  {:>10}  {:>10}  {:>10}",
+        "method", "compute", "comm", "total"
+    );
     for row in cmp.fig14_rows() {
         println!(
             "{:>6}  {:>10.2}  {:>10.2}  {:>10.2}",
@@ -195,7 +226,10 @@ fn figs_9_11_14(ctx: &Ctx) {
 }
 
 fn fig10(ctx: &Ctx) {
-    banner("fig10", "saved monetary cost per client by month (fixed vs variable)");
+    banner(
+        "fig10",
+        "saved monetary cost per client by month (fixed vs variable)",
+    );
     let cfg = ctx.base();
     let r = fig10_monetary(&cfg);
     println!("{:>5}  {:>10}  {:>10}", "month", "fixed $", "variable $");
@@ -209,7 +243,10 @@ fn fig10(ctx: &Ctx) {
 }
 
 fn fig12(ctx: &Ctx) {
-    banner("fig12", "personalized vs not personalized saved energy per client");
+    banner(
+        "fig12",
+        "personalized vs not personalized saved energy per client",
+    );
     let cfg = ctx.base();
     let r = fig12_personalization(&cfg);
     println!(
@@ -227,18 +264,60 @@ fn fig13(ctx: &Ctx) {
     banner("fig13", "load-forecasting time overhead (seconds)");
     let cfg = ctx.forecast();
     let rows = fig13_forecast_overhead(&cfg);
-    println!("{:>6}  {:>10}  {:>10}  {:>10}", "method", "train", "test", "comm");
+    println!(
+        "{:>6}  {:>10}  {:>10}  {:>10}",
+        "method", "train", "test", "comm"
+    );
     for r in &rows {
-        println!("{:>6}  {:>10.2}  {:>10.2}  {:>10.2}", r.label, r.train_s, r.test_s, r.comm_s);
+        println!(
+            "{:>6}  {:>10.2}  {:>10.2}  {:>10.2}",
+            r.label, r.train_s, r.test_s, r.comm_s
+        );
     }
     ctx.save_json("fig13", &rows);
+}
+
+fn degradation(ctx: &Ctx) {
+    banner(
+        "degradation",
+        "PFDRL under residence churn and message loss",
+    );
+    let cfg = ctx.base();
+    let rates: Vec<(f64, f64)> = if ctx.quick {
+        vec![(0.0, 0.0), (0.2, 0.2), (0.5, 0.5)]
+    } else {
+        (0..=5).map(|i| (i as f64 * 0.1, i as f64 * 0.1)).collect()
+    };
+    let r = experiment::degradation_sweep(&cfg, &rates);
+    println!(
+        "fault-free baseline: accuracy {:.3}, saved fraction {:.3}",
+        r.baseline_accuracy, r.baseline_saved_fraction
+    );
+    println!(
+        "{:>8}  {:>6}  {:>9}  {:>11}  {:>9}",
+        "dropout", "loss", "accuracy", "saved-frac", "retention"
+    );
+    for row in &r.rows {
+        println!(
+            "{:>7.0}%  {:>5.0}%  {:>9.3}  {:>11.3}  {:>8.1}%",
+            100.0 * row.dropout_rate,
+            100.0 * row.loss_rate,
+            row.forecast_accuracy,
+            row.saved_fraction,
+            100.0 * row.retention
+        );
+    }
+    ctx.save_json("degradation", &r);
 }
 
 fn run_headline(ctx: &Ctx) {
     banner("headline", "Section 5 headline numbers");
     let cfg = ctx.base();
     let h = headline(&cfg);
-    println!("load-forecasting accuracy:  {:.1}%  (paper: 92%)", 100.0 * h.forecast_accuracy);
+    println!(
+        "load-forecasting accuracy:  {:.1}%  (paper: 92%)",
+        100.0 * h.forecast_accuracy
+    );
     println!(
         "saved standby energy/day:   {:.1}%  (paper: 98%)",
         100.0 * h.saved_standby_fraction
@@ -253,12 +332,28 @@ fn run_headline(ctx: &Ctx) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let mut targets: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let mut targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
     if targets.is_empty() || targets.contains(&"all") {
         targets = vec![
-            "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "fig12", "fig13", "headline",
+            "table1",
+            "table2",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig12",
+            "fig13",
+            "degradation",
+            "headline",
         ];
     }
     let out_dir = "repro_results".to_string();
@@ -288,9 +383,12 @@ fn main() {
             "fig10" => fig10(&ctx),
             "fig12" => fig12(&ctx),
             "fig13" => fig13(&ctx),
+            "degradation" => degradation(&ctx),
             "headline" => run_headline(&ctx),
             other => {
-                eprintln!("unknown target {other:?}; known: table1 table2 fig2..fig14 headline");
+                eprintln!(
+                    "unknown target {other:?}; known: table1 table2 fig2..fig14 degradation headline"
+                );
                 std::process::exit(2);
             }
         }

@@ -27,7 +27,11 @@ pub fn repro_config(seed: u64) -> SimConfig {
     SimConfig {
         seed,
         n_residences: 10,
-        devices: vec![DeviceType::Tv, DeviceType::GameConsole, DeviceType::SetTopBox],
+        devices: vec![
+            DeviceType::Tv,
+            DeviceType::GameConsole,
+            DeviceType::SetTopBox,
+        ],
         train_days: 4,
         eval_days: 6,
         eval_start_day: 4,
@@ -36,13 +40,18 @@ pub fn repro_config(seed: u64) -> SimConfig {
         stride: 9,
         transform: TargetTransform::default(),
         forecast_method: ForecastMethod::Lstm,
-        train: TrainConfig { lr: 0.02, max_epochs: 14, ..TrainConfig::with_seed(seed) },
+        train: TrainConfig {
+            lr: 0.02,
+            max_epochs: 14,
+            ..TrainConfig::with_seed(seed)
+        },
         beta_hours: 12.0,
         gamma_hours: 12.0,
         alpha: 6,
         state_window: 4,
         dqn,
         train_every: 6,
+        fault: pfdrl_fl::FaultConfig::default(),
     }
 }
 

@@ -3,6 +3,7 @@
 use pfdrl_data::dataset::TargetTransform;
 use pfdrl_data::{DeviceType, GeneratorConfig};
 use pfdrl_drl::DqnConfig;
+use pfdrl_fl::FaultConfig;
 use pfdrl_forecast::{ForecastMethod, TrainConfig};
 use serde::{Deserialize, Serialize};
 
@@ -48,6 +49,11 @@ pub struct SimConfig {
     /// Take a gradient step every this many environment steps (1 =
     /// paper-faithful; larger = cheaper experiments, same shape).
     pub train_every: usize,
+    /// Fault injection for robustness experiments (churn, loss,
+    /// stragglers, corruption). Defaults to fault-free, so existing
+    /// configs behave exactly as before.
+    #[serde(default)]
+    pub fault: FaultConfig,
 }
 
 impl Default for SimConfig {
@@ -71,6 +77,7 @@ impl Default for SimConfig {
             state_window: 4,
             dqn: DqnConfig::slim(0),
             train_every: 4,
+            fault: FaultConfig::default(),
         }
     }
 }
@@ -88,11 +95,12 @@ impl SimConfig {
 
     /// Baseline experiment configuration at a given seed.
     pub fn with_seed(seed: u64) -> Self {
-        let mut cfg = SimConfig::default();
-        cfg.seed = seed;
-        cfg.train = TrainConfig::quick(seed);
-        cfg.dqn = DqnConfig::slim(seed);
-        cfg
+        SimConfig {
+            seed,
+            train: TrainConfig::quick(seed),
+            dqn: DqnConfig::slim(seed),
+            ..SimConfig::default()
+        }
     }
 
     /// Small configuration for unit/integration tests (3 homes, 2
@@ -115,13 +123,18 @@ impl SimConfig {
             stride: 5,
             transform: TargetTransform::default(),
             forecast_method: ForecastMethod::Lr,
-            train: TrainConfig { lr: 0.03, max_epochs: 8, ..TrainConfig::with_seed(seed) },
+            train: TrainConfig {
+                lr: 0.03,
+                max_epochs: 8,
+                ..TrainConfig::with_seed(seed)
+            },
             beta_hours: 12.0,
             gamma_hours: 6.0,
             alpha: 2,
             state_window: 3,
             dqn,
             train_every: 8,
+            fault: FaultConfig::default(),
         }
     }
 
@@ -137,7 +150,11 @@ impl SimConfig {
 
     /// Underlying data-generator configuration.
     pub fn generator(&self) -> GeneratorConfig {
-        GeneratorConfig { seed: self.seed, devices: self.devices.clone(), ..Default::default() }
+        GeneratorConfig {
+            seed: self.seed,
+            devices: self.devices.clone(),
+            ..Default::default()
+        }
     }
 
     /// Validates internal consistency.
@@ -147,12 +164,18 @@ impl SimConfig {
     pub fn validate(&self) {
         assert!(self.n_residences > 0, "need at least one residence");
         assert!(!self.devices.is_empty(), "need at least one device");
-        assert!(self.train_days > 0 && self.eval_days > 0, "need train and eval days");
+        assert!(
+            self.train_days > 0 && self.eval_days > 0,
+            "need train and eval days"
+        );
         assert!(
             self.eval_start_day >= self.train_days,
             "eval must start after the training span"
         );
-        assert!(self.window >= 2 && self.horizon >= 1, "degenerate window/horizon");
+        assert!(
+            self.window >= 2 && self.horizon >= 1,
+            "degenerate window/horizon"
+        );
         assert!(self.stride >= 1, "stride must be >= 1");
         assert!(
             self.alpha >= 1 && self.alpha <= self.dqn.hidden_layers + 1,
@@ -161,8 +184,12 @@ impl SimConfig {
             self.dqn.hidden_layers
         );
         assert!(self.train_every >= 1, "train_every must be >= 1");
-        assert!(self.beta_hours > 0.0 && self.gamma_hours > 0.0, "periods must be positive");
+        assert!(
+            self.beta_hours > 0.0 && self.gamma_hours > 0.0,
+            "periods must be positive"
+        );
         assert!(self.state_window >= 1, "state window must be >= 1");
+        self.fault.validate();
     }
 }
 

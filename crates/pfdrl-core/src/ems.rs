@@ -19,7 +19,7 @@ use pfdrl_data::{DayTrace, TraceGenerator, MINUTES_PER_DAY};
 use pfdrl_drl::{DqnAgent, DqnConfig, Transition};
 use pfdrl_env::{DeviceEnv, EnergyAccount, EnvConfig};
 use pfdrl_fl::{
-    aggregate, BroadcastBus, CloudAggregator, LatencyModel, LayerSplit, ModelUpdate,
+    aggregate, BroadcastBus, CloudAggregator, LatencyModel, LayerSplit, MergePolicy, ModelUpdate,
 };
 use pfdrl_nn::Layered;
 use rayon::prelude::*;
@@ -121,7 +121,9 @@ pub fn run_ems(cfg: &SimConfig, method: EmsMethod, forecast: &ForecastPhase) -> 
     cfg.validate();
     let gen = TraceGenerator::new(cfg.generator());
     let started = Instant::now();
-    let env_cfg = EnvConfig { state_window: cfg.state_window };
+    let env_cfg = EnvConfig {
+        state_window: cfg.state_window,
+    };
     let state_dim = env_cfg.state_dim();
     let n = cfg.n_residences;
     let d = cfg.devices_per_home();
@@ -137,15 +139,23 @@ pub fn run_ems(cfg: &SimConfig, method: EmsMethod, forecast: &ForecastPhase) -> 
                         .wrapping_mul(0xC2B2_AE35)
                         .wrapping_add((home as u64) << 13)
                         .wrapping_add(device as u64);
-                    DqnAgent::new(state_dim, DqnConfig { seed, ..cfg.dqn.clone() })
+                    DqnAgent::new(
+                        state_dim,
+                        DqnConfig {
+                            seed,
+                            ..cfg.dqn.clone()
+                        },
+                    )
                 })
                 .collect()
         })
         .collect();
 
-    // Federation transports.
-    let bus = BroadcastBus::new(n, LatencyModel::lan());
-    let cloud = CloudAggregator::new(LatencyModel::cloud());
+    // Federation transports, routed through the configured fault plan
+    // (inert when cfg.fault is fault-free).
+    let bus = BroadcastBus::with_faults(n, LatencyModel::lan(), &cfg.fault);
+    let cloud = CloudAggregator::with_faults(LatencyModel::cloud(), &cfg.fault);
+    let policy = cfg.fault.merge_policy();
 
     let gamma_minutes = ((cfg.gamma_hours * 60.0).round() as usize).max(1);
     let mut fed_round: u64 = 0;
@@ -153,8 +163,8 @@ pub fn run_ems(cfg: &SimConfig, method: EmsMethod, forecast: &ForecastPhase) -> 
     let mut total = EnergyAccount::new();
     let mut daily_saved_fraction = Vec::with_capacity(cfg.eval_days as usize);
     let mut daily_saved_kwh_per_client = Vec::with_capacity(cfg.eval_days as usize);
-    let mut hourly_saved = vec![0.0f64; 24];
-    let mut hourly_standby = vec![0.0f64; 24];
+    let mut hourly_saved = [0.0f64; 24];
+    let mut hourly_standby = [0.0f64; 24];
     let mut per_home_late: Vec<EnergyAccount> = vec![EnergyAccount::new(); n];
     let late_start = cfg.eval_start_day + cfg.eval_days - cfg.eval_days.div_ceil(3);
 
@@ -210,9 +220,7 @@ pub fn run_ems(cfg: &SimConfig, method: EmsMethod, forecast: &ForecastPhase) -> 
             let seg_hours: Vec<(Vec<f64>, Vec<f64>)> = home_days
                 .par_iter_mut()
                 .zip(agents.par_iter_mut())
-                .map(|(hd, home_agents)| {
-                    run_segment(cfg, hd, home_agents, seg_end)
-                })
+                .map(|(hd, home_agents)| run_segment(cfg, hd, home_agents, seg_end))
                 .collect();
             for (saved, standby) in seg_hours {
                 for h in 0..24 {
@@ -224,7 +232,7 @@ pub fn run_ems(cfg: &SimConfig, method: EmsMethod, forecast: &ForecastPhase) -> 
             // Federation at the boundary (if the day is not over early).
             if seg_end < MINUTES_PER_DAY || next_boundary == day_minute0 + MINUTES_PER_DAY {
                 fed_round += 1;
-                federate(&mut agents, federation, &bus, &cloud, fed_round);
+                federate(&mut agents, federation, &bus, &cloud, fed_round, &policy);
             }
             seg_start = seg_end;
         }
@@ -243,9 +251,7 @@ pub fn run_ems(cfg: &SimConfig, method: EmsMethod, forecast: &ForecastPhase) -> 
         daily_saved_kwh_per_client.push(day_account.standby_saved_kwh / n as f64);
     }
 
-    let comm_bytes = bus.stats().bytes
-        + cloud.stats().upload_bytes
-        + cloud.stats().download_bytes;
+    let comm_bytes = bus.stats().bytes + cloud.stats().upload_bytes + cloud.stats().download_bytes;
     let comm_s = bus.simulated_seconds() + cloud.simulated_seconds();
     EmsPhase {
         account: total,
@@ -314,6 +320,7 @@ fn federate(
     bus: &BroadcastBus,
     cloud: &CloudAggregator,
     round: u64,
+    policy: &MergePolicy,
 ) {
     let d = agents[0].len();
     match federation {
@@ -328,10 +335,13 @@ fn federate(
                         device as u64,
                     ));
                 }
-                cloud.aggregate();
-                for home_agents in agents.iter_mut() {
-                    let global = cloud.download().expect("aggregated DRL model");
-                    home_agents[device].import_all(&global);
+                cloud.aggregate_with_quorum(policy.min_quorum);
+                for (home, home_agents) in agents.iter_mut().enumerate() {
+                    // An offline home (or a round with nothing
+                    // aggregated yet) keeps its local agent.
+                    if let Some(global) = cloud.download_for(home, round) {
+                        home_agents[device].import_all(&global);
+                    }
                 }
             }
         }
@@ -353,7 +363,7 @@ fn federate(
                         .map(|u| u.as_ref())
                         .filter(|u| u.model_id == device as u64)
                         .collect();
-                    split.merge_base(&mut home_agents[device], &refs);
+                    let _ = split.merge_base_with(&mut home_agents[device], &refs, round, policy);
                 }
             }
         }
@@ -377,7 +387,10 @@ mod tests {
         assert_eq!(EmsMethod::Cloud.drl_federation(6), DrlFederation::None);
         assert_eq!(EmsMethod::Fl.drl_federation(6), DrlFederation::None);
         assert_eq!(EmsMethod::Frl.drl_federation(6), DrlFederation::CloudFull);
-        assert_eq!(EmsMethod::Pfdrl.drl_federation(6), DrlFederation::LanAlpha(6));
+        assert_eq!(
+            EmsMethod::Pfdrl.drl_federation(6),
+            DrlFederation::LanAlpha(6)
+        );
     }
 
     #[test]

@@ -61,8 +61,8 @@ pub fn evaluate_forecast(cfg: &SimConfig, forecast: &ForecastPhase) -> ForecastE
         .collect();
 
     let mut accuracies = Vec::new();
-    let mut hour_sum = vec![0.0f64; 24];
-    let mut hour_n = vec![0.0f64; 24];
+    let mut hour_sum = [0.0f64; 24];
+    let mut hour_n = [0.0f64; 24];
     for (a, hs, hn) in per_home {
         accuracies.extend(a);
         for h in 0..24 {
@@ -70,14 +70,21 @@ pub fn evaluate_forecast(cfg: &SimConfig, forecast: &ForecastPhase) -> ForecastE
             hour_n[h] += hn[h];
         }
     }
-    assert!(!accuracies.is_empty(), "no accuracy samples — trace entirely off?");
+    assert!(
+        !accuracies.is_empty(),
+        "no accuracy samples — trace entirely off?"
+    );
     let mean = accuracies.iter().sum::<f64>() / accuracies.len() as f64;
     let hourly = hour_sum
         .iter()
         .zip(hour_n.iter())
         .map(|(s, n)| if *n > 0.0 { s / n } else { 0.0 })
         .collect();
-    ForecastEval { accuracies, mean, hourly }
+    ForecastEval {
+        accuracies,
+        mean,
+        hourly,
+    }
 }
 
 #[cfg(test)]

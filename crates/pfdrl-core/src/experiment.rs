@@ -26,7 +26,10 @@ pub struct Series {
 
 impl Series {
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { label: label.into(), points }
+        Series {
+            label: label.into(),
+            points,
+        }
     }
 
     /// x value with the maximum y (ties go to the earliest).
@@ -34,7 +37,10 @@ impl Series {
         assert!(!self.points.is_empty(), "argmax of empty series");
         self.points
             .iter()
-            .fold((f64::NAN, f64::MIN), |best, &(x, y)| if y > best.1 { (x, y) } else { best })
+            .fold(
+                (f64::NAN, f64::MIN),
+                |best, &(x, y)| if y > best.1 { (x, y) } else { best },
+            )
             .0
     }
 }
@@ -113,8 +119,12 @@ pub fn fig6_accuracy_by_hour(base: &SimConfig) -> Vec<Series> {
     forecast_evals(base)
         .into_iter()
         .map(|(m, eval)| {
-            let points =
-                eval.hourly.iter().enumerate().map(|(h, a)| (h as f64, *a)).collect();
+            let points = eval
+                .hourly
+                .iter()
+                .enumerate()
+                .map(|(h, a)| (h as f64, *a))
+                .collect();
             Series::new(m.name(), points)
         })
         .collect()
@@ -169,7 +179,10 @@ pub struct MethodComparison {
 
 /// Runs every comparison method once on the same configuration.
 pub fn compare_methods(base: &SimConfig) -> MethodComparison {
-    let runs = EmsMethod::ALL.iter().map(|&m| run_method(base, m)).collect();
+    let runs = EmsMethod::ALL
+        .iter()
+        .map(|&m| run_method(base, m))
+        .collect();
     MethodComparison { runs }
 }
 
@@ -261,11 +274,17 @@ pub fn fig10_monetary(base: &SimConfig) -> Fig10Result {
     let run = run_method(base, EmsMethod::Pfdrl);
     let days = base.eval_days as f64;
     // kWh saved per client per hour-of-day, per day.
-    let hourly_per_day: Vec<f64> =
-        run.ems.hourly_saved_kwh_per_client.iter().map(|v| v / days).collect();
+    let hourly_per_day: Vec<f64> = run
+        .ems
+        .hourly_saved_kwh_per_client
+        .iter()
+        .map(|v| v / days)
+        .collect();
     let gen = TraceGenerator::new(base.generator());
     let _ = gen; // generator kept for future seasonal standby profiles
-    let month_days = [31.0, 28.0, 31.0, 30.0, 31.0, 30.0, 31.0, 31.0, 30.0, 31.0, 30.0, 31.0];
+    let month_days = [
+        31.0, 28.0, 31.0, 30.0, 31.0, 30.0, 31.0, 31.0, 30.0, 31.0, 30.0, 31.0,
+    ];
     let monthly_saved_usd = (0..12)
         .map(|m| {
             let fixed: f64 = hourly_per_day
@@ -401,6 +420,71 @@ pub fn table2_rows() -> Vec<(String, bool, bool, bool, bool, bool)> {
         .collect()
 }
 
+/// One row of the fault-degradation experiment: PFDRL under a given
+/// residence-dropout and message-loss rate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DegradationRow {
+    pub dropout_rate: f64,
+    pub loss_rate: f64,
+    /// DFL forecast accuracy under these faults.
+    pub forecast_accuracy: f64,
+    /// Converged standby-energy saved fraction under these faults.
+    pub saved_fraction: f64,
+    /// `saved_fraction / baseline_saved_fraction` — the share of the
+    /// fault-free savings that survives the faults.
+    pub retention: f64,
+}
+
+/// Graceful-degradation experiment: PFDRL swept over churn and loss
+/// rates, against the fault-free baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DegradationResult {
+    pub baseline_accuracy: f64,
+    pub baseline_saved_fraction: f64,
+    pub rows: Vec<DegradationRow>,
+}
+
+/// Sweeps PFDRL over `(dropout_rate, loss_rate)` pairs and reports
+/// forecast accuracy and standby-energy savings against the fault-free
+/// baseline. Quorum/staleness knobs are taken from `base.fault`; only
+/// the two rates vary. The fault seed stays fixed so rows differ only
+/// in fault intensity, not fault pattern.
+pub fn degradation_sweep(base: &SimConfig, rates: &[(f64, f64)]) -> DegradationResult {
+    let mut clean = base.clone();
+    clean.fault.dropout_rate = 0.0;
+    clean.fault.loss_rate = 0.0;
+    let (baseline_run, baseline_forecast) = run_method_with_forecast(&clean, EmsMethod::Pfdrl);
+    let baseline_accuracy = evaluate_forecast(&clean, &baseline_forecast).mean;
+    let baseline_saved_fraction = baseline_run.converged_saved_fraction();
+
+    let rows = rates
+        .iter()
+        .map(|&(dropout_rate, loss_rate)| {
+            let mut cfg = base.clone();
+            cfg.fault.dropout_rate = dropout_rate;
+            cfg.fault.loss_rate = loss_rate;
+            let (run, forecast) = run_method_with_forecast(&cfg, EmsMethod::Pfdrl);
+            let saved_fraction = run.converged_saved_fraction();
+            DegradationRow {
+                dropout_rate,
+                loss_rate,
+                forecast_accuracy: evaluate_forecast(&cfg, &forecast).mean,
+                saved_fraction,
+                retention: if baseline_saved_fraction > 0.0 {
+                    saved_fraction / baseline_saved_fraction
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+    DegradationResult {
+        baseline_accuracy,
+        baseline_saved_fraction,
+        rows,
+    }
+}
+
 /// Ablation: forecast accuracy with and without the time-of-day features
 /// (a design choice DESIGN.md calls out — the DRL consumes mode structure
 /// that is strongly diurnal).
@@ -491,6 +575,22 @@ mod tests {
         for r in &rows {
             assert!(r.train_s > 0.0, "{} no training time", r.label);
             assert!(r.test_s > 0.0, "{} no testing time", r.label);
+        }
+    }
+
+    #[test]
+    fn degradation_sweep_reports_rows_and_baseline() {
+        let r = degradation_sweep(&tiny(), &[(0.0, 0.0), (0.3, 0.3)]);
+        assert_eq!(r.rows.len(), 2);
+        assert!((0.0..=1.0).contains(&r.baseline_saved_fraction));
+        // The fault-free row must match the baseline almost exactly
+        // (same config, same seeds).
+        let clean = &r.rows[0];
+        assert!((clean.saved_fraction - r.baseline_saved_fraction).abs() < 1e-9);
+        assert!((clean.retention - 1.0).abs() < 1e-9);
+        for row in &r.rows {
+            assert!((0.0..=1.0).contains(&row.saved_fraction));
+            assert!(row.retention >= 0.0);
         }
     }
 

@@ -12,9 +12,7 @@ use crate::config::SimConfig;
 use crate::method::EmsMethod;
 use pfdrl_data::dataset::build_windows_transformed;
 use pfdrl_data::{SupervisedSet, TraceGenerator, MINUTES_PER_DAY};
-use pfdrl_fl::{
-    aggregate, BroadcastBus, CloudAggregator, LatencyModel, ModelUpdate,
-};
+use pfdrl_fl::{aggregate, BroadcastBus, CloudAggregator, LatencyModel, ModelUpdate};
 use pfdrl_forecast::{Forecaster, TrainConfig};
 use rayon::prelude::*;
 use std::time::Instant;
@@ -33,13 +31,25 @@ pub struct ForecastPhase {
 
 /// Builds the supervised training set for one home-device pair over the
 /// configured training span.
-pub fn training_set(cfg: &SimConfig, gen: &TraceGenerator, home: u64, device: usize) -> SupervisedSet {
+pub fn training_set(
+    cfg: &SimConfig,
+    gen: &TraceGenerator,
+    home: u64,
+    device: usize,
+) -> SupervisedSet {
     let start = cfg.eval_start_day - cfg.train_days;
     let watts = gen.multi_day_watts(home, device, start..cfg.eval_start_day);
     let scale = gen.household(home).devices[device].on_watts;
     let start_minute = (start as usize * MINUTES_PER_DAY) % MINUTES_PER_DAY; // always 0, kept for clarity
-    build_windows_transformed(&watts, scale, cfg.window, cfg.horizon, start_minute, cfg.transform)
-        .strided(cfg.stride)
+    build_windows_transformed(
+        &watts,
+        scale,
+        cfg.window,
+        cfg.horizon,
+        start_minute,
+        cfg.transform,
+    )
+    .strided(cfg.stride)
 }
 
 fn fresh_models(cfg: &SimConfig) -> Vec<Vec<Box<dyn Forecaster>>> {
@@ -52,7 +62,10 @@ fn fresh_models(cfg: &SimConfig) -> Vec<Vec<Box<dyn Forecaster>>> {
                         .wrapping_mul(0x9E37_79B9)
                         .wrapping_add((home as u64) << 17)
                         .wrapping_add(device as u64);
-                    let train = TrainConfig { seed, ..cfg.train.clone() };
+                    let train = TrainConfig {
+                        seed,
+                        ..cfg.train.clone()
+                    };
                     cfg.forecast_method.build(cfg.feature_dim(), train)
                 })
                 .collect()
@@ -95,11 +108,14 @@ pub fn train_forecasters(cfg: &SimConfig, method: EmsMethod) -> ForecastPhase {
         EmsMethod::Local => {
             // Solo training: each home must converge on its own; give it
             // the full epoch budget in one uninterrupted fit.
-            models.par_iter_mut().zip(sets.par_iter()).for_each(|(home_models, home_sets)| {
-                for (m, s) in home_models.iter_mut().zip(home_sets.iter()) {
-                    m.fit(s);
-                }
-            });
+            models
+                .par_iter_mut()
+                .zip(sets.par_iter())
+                .for_each(|(home_models, home_sets)| {
+                    for (m, s) in home_models.iter_mut().zip(home_sets.iter()) {
+                        m.fit(s);
+                    }
+                });
             (0.0, 0)
         }
         EmsMethod::Cloud => train_cloud(cfg, &sets, &mut models),
@@ -108,7 +124,12 @@ pub fn train_forecasters(cfg: &SimConfig, method: EmsMethod) -> ForecastPhase {
     };
 
     let train_wall_s = started.elapsed().as_secs_f64();
-    ForecastPhase { models, train_wall_s, comm_s, comm_bytes }
+    ForecastPhase {
+        models,
+        train_wall_s,
+        comm_s,
+        comm_bytes,
+    }
 }
 
 /// Cloud baseline: raw data pooled per device type, one global model
@@ -153,7 +174,10 @@ fn train_cloud(
         .par_iter()
         .enumerate()
         .map(|(device, set)| {
-            let train = TrainConfig { seed: cfg.seed.wrapping_add(device as u64), ..cfg.train.clone() };
+            let train = TrainConfig {
+                seed: cfg.seed.wrapping_add(device as u64),
+                ..cfg.train.clone()
+            };
             let mut model = cfg.forecast_method.build(cfg.feature_dim(), train);
             model.fit(set);
             model.export_all()
@@ -165,8 +189,11 @@ fn train_cloud(
     for home_models in models.iter_mut() {
         for (device, m) in home_models.iter_mut().enumerate() {
             m.import_all(&global[device]);
-            download_bytes +=
-                global[device].iter().map(|l| 8 * l.len() as u64 + 16).sum::<u64>() + 32;
+            download_bytes += global[device]
+                .iter()
+                .map(|l| 8 * l.len() as u64 + 16)
+                .sum::<u64>()
+                + 32;
         }
     }
     let downloads = (models.len() * cfg.devices_per_home()) as u64;
@@ -181,36 +208,49 @@ fn train_fedavg_cloud(
     models: &mut [Vec<Box<dyn Forecaster>>],
 ) -> (f64, u64) {
     let (rounds, epochs_per_round) = rounds_for_beta(cfg);
-    let round_cfg = TrainConfig { max_epochs: epochs_per_round, ..cfg.train.clone() };
+    let round_cfg = TrainConfig {
+        max_epochs: epochs_per_round,
+        ..cfg.train.clone()
+    };
     let clouds: Vec<CloudAggregator> = (0..cfg.devices_per_home())
-        .map(|_| CloudAggregator::new(LatencyModel::cloud()))
+        .map(|_| CloudAggregator::with_faults(LatencyModel::cloud(), &cfg.fault))
         .collect();
-    for _round in 0..rounds {
-        models.par_iter_mut().zip(sets.par_iter()).for_each(|(home_models, home_sets)| {
-            for (m, s) in home_models.iter_mut().zip(home_sets.iter()) {
-                refit(m.as_mut(), s, &round_cfg);
-            }
-        });
+    let quorum = cfg.fault.min_quorum.max(1);
+    for round in 0..rounds {
+        models
+            .par_iter_mut()
+            .zip(sets.par_iter())
+            .for_each(|(home_models, home_sets)| {
+                for (m, s) in home_models.iter_mut().zip(home_sets.iter()) {
+                    refit(m.as_mut(), s, &round_cfg);
+                }
+            });
         for (home_id, home_models) in models.iter().enumerate() {
             for (device, m) in home_models.iter().enumerate() {
                 clouds[device].upload(aggregate::snapshot_update(
                     m.as_ref(),
                     home_id,
-                    _round as u64,
+                    round as u64,
                     device as u64,
                 ));
             }
         }
         for (device, cloud) in clouds.iter().enumerate() {
-            cloud.aggregate();
-            for home_models in models.iter_mut() {
-                let global = cloud.download().expect("aggregated model");
-                home_models[device].import_all(&global);
+            cloud.aggregate_with_quorum(quorum);
+            for (home_id, home_models) in models.iter_mut().enumerate() {
+                // A home that cannot download (offline, or nothing
+                // aggregated yet) keeps its local model for this round.
+                if let Some(global) = cloud.download_for(home_id, round as u64) {
+                    home_models[device].import_all(&global);
+                }
             }
         }
     }
     let secs: f64 = clouds.iter().map(|c| c.simulated_seconds()).sum();
-    let bytes: u64 = clouds.iter().map(|c| c.stats().upload_bytes + c.stats().download_bytes).sum();
+    let bytes: u64 = clouds
+        .iter()
+        .map(|c| c.stats().upload_bytes + c.stats().download_bytes)
+        .sum();
     (secs, bytes)
 }
 
@@ -222,16 +262,23 @@ fn train_dfl_lan(
     models: &mut [Vec<Box<dyn Forecaster>>],
 ) -> (f64, u64) {
     let (rounds, epochs_per_round) = rounds_for_beta(cfg);
-    let round_cfg = TrainConfig { max_epochs: epochs_per_round, ..cfg.train.clone() };
+    let round_cfg = TrainConfig {
+        max_epochs: epochs_per_round,
+        ..cfg.train.clone()
+    };
     let buses: Vec<BroadcastBus> = (0..cfg.devices_per_home())
-        .map(|_| BroadcastBus::new(cfg.n_residences, LatencyModel::lan()))
+        .map(|_| BroadcastBus::with_faults(cfg.n_residences, LatencyModel::lan(), &cfg.fault))
         .collect();
+    let policy = cfg.fault.merge_policy();
     for round in 0..rounds {
-        models.par_iter_mut().zip(sets.par_iter()).for_each(|(home_models, home_sets)| {
-            for (m, s) in home_models.iter_mut().zip(home_sets.iter()) {
-                refit(m.as_mut(), s, &round_cfg);
-            }
-        });
+        models
+            .par_iter_mut()
+            .zip(sets.par_iter())
+            .for_each(|(home_models, home_sets)| {
+                for (m, s) in home_models.iter_mut().zip(home_sets.iter()) {
+                    refit(m.as_mut(), s, &round_cfg);
+                }
+            });
         // Broadcast snapshots...
         for (home_id, home_models) in models.iter().enumerate() {
             for (device, m) in home_models.iter().enumerate() {
@@ -243,14 +290,19 @@ fn train_dfl_lan(
                 ));
             }
         }
-        // ...and merge what each home received.
-        models.par_iter_mut().enumerate().for_each(|(home_id, home_models)| {
-            for (device, m) in home_models.iter_mut().enumerate() {
-                let updates = buses[device].drain(home_id);
-                let refs: Vec<&ModelUpdate> = updates.iter().map(|u| u.as_ref()).collect();
-                aggregate::merge_updates(m.as_mut(), &refs);
-            }
-        });
+        // ...and merge what each home received. Corrupted or stale
+        // updates are rejected inside the validated merge; a layer that
+        // misses the quorum keeps the local parameters this round.
+        models
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(home_id, home_models)| {
+                for (device, m) in home_models.iter_mut().enumerate() {
+                    let updates = buses[device].drain(home_id);
+                    let refs: Vec<&ModelUpdate> = updates.iter().map(|u| u.as_ref()).collect();
+                    let _ = aggregate::merge_updates_with(m.as_mut(), &refs, round as u64, &policy);
+                }
+            });
     }
     let secs: f64 = buses.iter().map(|b| b.simulated_seconds()).sum();
     let bytes: u64 = buses.iter().map(|b| b.stats().bytes).sum();
@@ -309,7 +361,10 @@ mod tests {
         let phase = train_forecasters(&tiny(), EmsMethod::Fl);
         let a = phase.models[0][1].export_all();
         let b = phase.models[1][1].export_all();
-        assert_eq!(a, b, "a FedAvg round ends with everyone on the global model");
+        assert_eq!(
+            a, b,
+            "a FedAvg round ends with everyone on the global model"
+        );
     }
 
     #[test]
@@ -345,12 +400,20 @@ mod tests {
         let gen = TraceGenerator::new(cfg.generator());
         let phase = train_forecasters(&cfg, EmsMethod::Pfdrl);
         let set = training_set(&cfg, &gen, 0, 0);
-        let trained_preds: Vec<f64> =
-            phase.models[0][0].predict(&set.inputs).iter().map(|p| set.to_watts(*p)).collect();
+        let trained_preds: Vec<f64> = phase.models[0][0]
+            .predict(&set.inputs)
+            .iter()
+            .map(|p| set.to_watts(*p))
+            .collect();
         let real: Vec<f64> = set.targets.iter().map(|t| set.to_watts(*t)).collect();
-        let fresh = cfg.forecast_method.build(cfg.feature_dim(), cfg.train.clone());
-        let fresh_preds: Vec<f64> =
-            fresh.predict(&set.inputs).iter().map(|p| set.to_watts(*p)).collect();
+        let fresh = cfg
+            .forecast_method
+            .build(cfg.feature_dim(), cfg.train.clone());
+        let fresh_preds: Vec<f64> = fresh
+            .predict(&set.inputs)
+            .iter()
+            .map(|p| set.to_watts(*p))
+            .collect();
         let trained_acc = paper_accuracy(&trained_preds, &real, 1.0).unwrap();
         let fresh_acc = paper_accuracy(&fresh_preds, &real, 1.0).unwrap();
         assert!(

@@ -22,8 +22,13 @@ pub enum EmsMethod {
 
 impl EmsMethod {
     /// All methods in the paper's presentation order.
-    pub const ALL: [EmsMethod; 5] =
-        [EmsMethod::Local, EmsMethod::Cloud, EmsMethod::Fl, EmsMethod::Frl, EmsMethod::Pfdrl];
+    pub const ALL: [EmsMethod; 5] = [
+        EmsMethod::Local,
+        EmsMethod::Cloud,
+        EmsMethod::Fl,
+        EmsMethod::Frl,
+        EmsMethod::Pfdrl,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {

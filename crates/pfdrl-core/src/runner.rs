@@ -42,7 +42,10 @@ impl MethodRun {
     /// measure. `None` if never reached.
     pub fn days_to_converge(&self, threshold: f64) -> Option<usize> {
         let target = threshold * self.converged_saved_fraction();
-        self.ems.daily_saved_fraction.iter().position(|&f| f >= target)
+        self.ems
+            .daily_saved_fraction
+            .iter()
+            .position(|&f| f >= target)
     }
 }
 

@@ -31,8 +31,11 @@ pub enum Archetype {
 
 impl Archetype {
     /// The base pool the first 100 households are drawn from.
-    pub const BASE_POOL: [Archetype; 3] =
-        [Archetype::OfficeWorker, Archetype::Family, Archetype::Retiree];
+    pub const BASE_POOL: [Archetype; 3] = [
+        Archetype::OfficeWorker,
+        Archetype::Family,
+        Archetype::Retiree,
+    ];
 
     /// The extended pool used for household indices >= 100.
     pub const EXTENDED_POOL: [Archetype; 4] = [
@@ -66,38 +69,38 @@ impl Archetype {
         const CURVES: [[f64; 24]; 7] = [
             // OfficeWorker
             [
-                0.10, 0.05, 0.03, 0.03, 0.03, 0.08, 0.45, 0.70, 0.50, 0.15, 0.10, 0.10, 0.12,
-                0.10, 0.10, 0.12, 0.20, 0.55, 0.80, 0.90, 0.85, 0.70, 0.45, 0.20,
+                0.10, 0.05, 0.03, 0.03, 0.03, 0.08, 0.45, 0.70, 0.50, 0.15, 0.10, 0.10, 0.12, 0.10,
+                0.10, 0.12, 0.20, 0.55, 0.80, 0.90, 0.85, 0.70, 0.45, 0.20,
             ],
             // Family
             [
-                0.10, 0.05, 0.03, 0.03, 0.04, 0.15, 0.55, 0.75, 0.55, 0.30, 0.25, 0.30, 0.35,
-                0.30, 0.30, 0.45, 0.60, 0.75, 0.90, 0.95, 0.85, 0.60, 0.35, 0.15,
+                0.10, 0.05, 0.03, 0.03, 0.04, 0.15, 0.55, 0.75, 0.55, 0.30, 0.25, 0.30, 0.35, 0.30,
+                0.30, 0.45, 0.60, 0.75, 0.90, 0.95, 0.85, 0.60, 0.35, 0.15,
             ],
             // Retiree
             [
-                0.08, 0.05, 0.03, 0.03, 0.05, 0.12, 0.35, 0.55, 0.60, 0.55, 0.50, 0.50, 0.55,
-                0.50, 0.45, 0.45, 0.50, 0.60, 0.70, 0.70, 0.60, 0.40, 0.20, 0.10,
+                0.08, 0.05, 0.03, 0.03, 0.05, 0.12, 0.35, 0.55, 0.60, 0.55, 0.50, 0.50, 0.55, 0.50,
+                0.45, 0.45, 0.50, 0.60, 0.70, 0.70, 0.60, 0.40, 0.20, 0.10,
             ],
             // NightOwl
             [
-                0.70, 0.55, 0.35, 0.15, 0.06, 0.04, 0.04, 0.05, 0.08, 0.12, 0.20, 0.35, 0.45,
-                0.50, 0.50, 0.50, 0.55, 0.60, 0.65, 0.70, 0.80, 0.90, 0.95, 0.85,
+                0.70, 0.55, 0.35, 0.15, 0.06, 0.04, 0.04, 0.05, 0.08, 0.12, 0.20, 0.35, 0.45, 0.50,
+                0.50, 0.50, 0.55, 0.60, 0.65, 0.70, 0.80, 0.90, 0.95, 0.85,
             ],
             // ShiftWorker
             [
-                0.60, 0.50, 0.45, 0.40, 0.45, 0.55, 0.50, 0.25, 0.08, 0.04, 0.03, 0.03, 0.04,
-                0.05, 0.06, 0.10, 0.30, 0.45, 0.50, 0.45, 0.45, 0.55, 0.65, 0.65,
+                0.60, 0.50, 0.45, 0.40, 0.45, 0.55, 0.50, 0.25, 0.08, 0.04, 0.03, 0.03, 0.04, 0.05,
+                0.06, 0.10, 0.30, 0.45, 0.50, 0.45, 0.45, 0.55, 0.65, 0.65,
             ],
             // RemoteWorker
             [
-                0.12, 0.06, 0.03, 0.03, 0.04, 0.10, 0.35, 0.60, 0.70, 0.70, 0.65, 0.65, 0.70,
-                0.65, 0.65, 0.65, 0.65, 0.70, 0.75, 0.80, 0.70, 0.55, 0.35, 0.18,
+                0.12, 0.06, 0.03, 0.03, 0.04, 0.10, 0.35, 0.60, 0.70, 0.70, 0.65, 0.65, 0.70, 0.65,
+                0.65, 0.65, 0.65, 0.70, 0.75, 0.80, 0.70, 0.55, 0.35, 0.18,
             ],
             // StudentShare
             [
-                0.40, 0.30, 0.18, 0.10, 0.06, 0.06, 0.10, 0.20, 0.30, 0.35, 0.35, 0.40, 0.45,
-                0.40, 0.40, 0.40, 0.45, 0.50, 0.55, 0.60, 0.60, 0.60, 0.55, 0.48,
+                0.40, 0.30, 0.18, 0.10, 0.06, 0.06, 0.10, 0.20, 0.30, 0.35, 0.35, 0.40, 0.45, 0.40,
+                0.40, 0.40, 0.45, 0.50, 0.55, 0.60, 0.60, 0.60, 0.55, 0.48,
             ],
         ];
         CURVES[self.pool_index()][hour]
@@ -173,7 +176,10 @@ mod tests {
 
     #[test]
     fn activity_curves_are_probabilities() {
-        for a in Archetype::BASE_POOL.iter().chain(Archetype::EXTENDED_POOL.iter()) {
+        for a in Archetype::BASE_POOL
+            .iter()
+            .chain(Archetype::EXTENDED_POOL.iter())
+        {
             for h in 0..24 {
                 let v = a.activity(h);
                 assert!((0.0..=1.0).contains(&v), "{a:?} hour {h}: {v}");
@@ -215,7 +221,10 @@ mod tests {
         let across = cosine(Archetype::NightOwl, Archetype::OfficeWorker);
         let across2 = cosine(Archetype::ShiftWorker, Archetype::OfficeWorker);
         assert!(across < within, "night owl {across} vs family {within}");
-        assert!(across2 < within, "shift worker {across2} vs family {within}");
+        assert!(
+            across2 < within,
+            "shift worker {across2} vs family {within}"
+        );
     }
 
     #[test]

@@ -107,7 +107,10 @@ pub fn load_dataport_csv(
                 reason: format!("non-physical watts {watts}"),
             });
         }
-        sparse.entry((dataid, device)).or_default().push((minute, watts));
+        sparse
+            .entry((dataid, device))
+            .or_default()
+            .push((minute, watts));
     }
 
     let mut out = BTreeMap::new();
@@ -188,7 +191,10 @@ mod tests {
         let err = load("dataid,minute,device,watts\n1,0,tv\n").unwrap_err();
         assert_eq!(
             err,
-            CsvError::BadRow { line: 2, reason: "expected 4 fields, got 3".into() }
+            CsvError::BadRow {
+                line: 2,
+                reason: "expected 4 fields, got 3".into()
+            }
         );
     }
 

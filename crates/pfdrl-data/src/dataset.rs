@@ -146,7 +146,14 @@ pub fn build_windows(
     horizon: usize,
     start_minute: usize,
 ) -> SupervisedSet {
-    build_windows_transformed(watts, scale, window, horizon, start_minute, TargetTransform::Linear)
+    build_windows_transformed(
+        watts,
+        scale,
+        window,
+        horizon,
+        start_minute,
+        TargetTransform::Linear,
+    )
 }
 
 /// [`build_windows`] with an explicit target transform (see
@@ -185,7 +192,14 @@ pub fn build_windows_transformed(
         inputs.push(feat);
         targets.push(transform.encode(watts[target_idx] / scale));
     }
-    SupervisedSet { inputs, targets, window, horizon, scale, transform }
+    SupervisedSet {
+        inputs,
+        targets,
+        window,
+        horizon,
+        scale,
+        transform,
+    }
 }
 
 #[cfg(test)]

@@ -78,12 +78,24 @@ impl DeviceType {
             DeviceType::Refrigerator => (140.0, 5.0, Mode::Standby, false, 30.0, 20.0, None),
             DeviceType::WashingMachine => (480.0, 2.5, Mode::Standby, true, 0.4, 55.0, None),
             DeviceType::Microwave => (1050.0, 3.5, Mode::Standby, true, 1.5, 6.0, None),
-            DeviceType::GameConsole => {
-                (140.0, 11.0, Mode::Standby, true, 0.8, 75.0, Some((4.0, 2.0)))
-            }
-            DeviceType::Computer => {
-                (180.0, 5.5, Mode::Standby, true, 2.0, 110.0, Some((2.5, 2.5)))
-            }
+            DeviceType::GameConsole => (
+                140.0,
+                11.0,
+                Mode::Standby,
+                true,
+                0.8,
+                75.0,
+                Some((4.0, 2.0)),
+            ),
+            DeviceType::Computer => (
+                180.0,
+                5.5,
+                Mode::Standby,
+                true,
+                2.0,
+                110.0,
+                Some((2.5, 2.5)),
+            ),
             DeviceType::Printer => (28.0, 7.5, Mode::Standby, true, 0.25, 5.0, None),
             DeviceType::CoffeeMaker => (900.0, 2.0, Mode::Standby, true, 1.2, 8.0, None),
             DeviceType::SpeakerSystem => {
@@ -164,7 +176,10 @@ impl DeviceSpec {
     /// levels and usage statistics — the statistical heterogeneity
     /// (non-IID data) the paper's personalization layer addresses.
     pub fn jittered(&self, seed: u64, household: u64, frac: f64) -> DeviceSpec {
-        assert!((0.0..1.0).contains(&frac), "jitter fraction must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&frac),
+            "jitter fraction must be in [0,1)"
+        );
         let mut rng = StdRng::seed_from_u64(mix_seed(&[
             seed,
             household,
@@ -179,8 +194,11 @@ impl DeviceSpec {
         let common = 1.0 + rng.gen_range(-frac..=frac);
         let mut small = |v: f64| v * common * (1.0 + rng.gen_range(-0.05..=0.05));
         let on_watts = small(self.on_watts);
-        let standby_watts =
-            if self.standby_watts > 0.0 { small(self.standby_watts) } else { 0.0 };
+        let standby_watts = if self.standby_watts > 0.0 {
+            small(self.standby_watts)
+        } else {
+            0.0
+        };
         let mut j = |v: f64| v * (1.0 + rng.gen_range(-frac..=frac));
         DeviceSpec {
             device_type: self.device_type,
@@ -192,9 +210,9 @@ impl DeviceSpec {
             mean_event_minutes: j(self.mean_event_minutes),
             // The bump hour shifts per home (routers schedule at
             // different times); the multiplier stays nominal.
-            standby_bump: self.standby_bump.map(|(h, f)| {
-                ((h + rng.gen_range(-0.75..=0.75)).rem_euclid(24.0), f)
-            }),
+            standby_bump: self
+                .standby_bump
+                .map(|(h, f)| ((h + rng.gen_range(-0.75..=0.75)).rem_euclid(24.0), f)),
         }
     }
 }
@@ -262,7 +280,10 @@ mod tests {
             // The standby/on ratio is nearly preserved (correlated jitter).
             let ratio = j.standby_watts / j.on_watts;
             let base_ratio = base.standby_watts / base.on_watts;
-            assert!((ratio / base_ratio - 1.0).abs() < 0.12, "ratio drifted: {ratio}");
+            assert!(
+                (ratio / base_ratio - 1.0).abs() < 0.12,
+                "ratio drifted: {ratio}"
+            );
         }
     }
 

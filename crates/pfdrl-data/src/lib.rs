@@ -53,6 +53,6 @@ pub use mode::Mode;
 pub use price::{PricePlan, FIXED_RATE_CENTS};
 pub use schedule::MINUTES_PER_DAY;
 pub use trace::{
-    hvac_seasonal_factor, month_of_day, DayTrace, GeneratorConfig, HouseholdSpec,
-    TraceGenerator, DAYS_PER_YEAR,
+    hvac_seasonal_factor, month_of_day, DayTrace, GeneratorConfig, HouseholdSpec, TraceGenerator,
+    DAYS_PER_YEAR,
 };

@@ -37,8 +37,9 @@ impl PricePlan {
                 ];
                 // Season: ERCOT scarcity pricing inflates summer rates
                 // (Aug–Oct still high), spring is cheap (wind + mild).
-                const SEASON: [f64; 12] =
-                    [0.95, 0.92, 0.85, 0.72, 0.70, 0.78, 1.05, 1.30, 1.28, 1.18, 0.98, 0.97];
+                const SEASON: [f64; 12] = [
+                    0.95, 0.92, 0.85, 0.72, 0.70, 0.78, 1.05, 1.30, 1.28, 1.18, 0.98, 0.97,
+                ];
                 (TOU[hour] * SEASON[month]).clamp(0.08, 20.0)
             }
         }

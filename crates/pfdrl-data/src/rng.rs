@@ -18,7 +18,7 @@ pub fn splitmix64(mut x: u64) -> u64 {
 
 /// Mixes an arbitrary number of stream identifiers into one seed.
 pub fn mix_seed(parts: &[u64]) -> u64 {
-    let mut acc = 0x51_7C_C1B7_2722_0A95u64;
+    let mut acc = 0x517C_C1B7_2722_0A95_u64;
     for &p in parts {
         acc = splitmix64(acc ^ p);
     }

@@ -92,8 +92,8 @@ pub fn day_modes(
         let start = if rng.gen::<f64>() < ANCHORED_EVENT_FRACTION {
             // Routine event: near an anchor, shifted by household phase.
             let anchor = anchors[rng.gen_range(0..anchors.len())];
-            let minute = (anchor + phase_shift_hours) * 60.0
-                + ANCHOR_JITTER_MINUTES * standard_normal(rng);
+            let minute =
+                (anchor + phase_shift_hours) * 60.0 + ANCHOR_JITTER_MINUTES * standard_normal(rng);
             minute.rem_euclid(MINUTES_PER_DAY as f64) as usize
         } else {
             // Background event: activity-curve-weighted random hour, with
@@ -133,7 +133,10 @@ pub fn modes_to_watts(
     noise_frac: f64,
     rng: &mut impl Rng,
 ) -> Vec<f64> {
-    assert!((0.0..0.5).contains(&noise_frac), "noise_frac must be in [0, 0.5)");
+    assert!(
+        (0.0..0.5).contains(&noise_frac),
+        "noise_frac must be in [0, 0.5)"
+    );
     modes
         .iter()
         .enumerate()
@@ -274,10 +277,9 @@ mod tests {
         // A +6h phase shift rotates the usage histogram substantially.
         let spec = DeviceType::Tv.nominal_spec();
         let hist = |shift: f64| -> Vec<f64> {
-            let mut h = vec![0.0; 24];
+            let mut h = [0.0; 24];
             for day in 0..60u64 {
-                let modes =
-                    day_modes(&spec, Archetype::OfficeWorker, shift, &mut rng(500 + day));
+                let modes = day_modes(&spec, Archetype::OfficeWorker, shift, &mut rng(500 + day));
                 for (m, &mode) in modes.iter().enumerate() {
                     if mode == Mode::On {
                         h[m / 60] += 1.0;

@@ -31,8 +31,7 @@ pub fn month_of_day(day: u64) -> usize {
 
 /// Seasonal HVAC intensity for Texas (heavy summer cooling).
 pub fn hvac_seasonal_factor(month: usize) -> f64 {
-    const FACTORS: [f64; 12] =
-        [0.8, 0.8, 0.9, 1.0, 1.2, 1.5, 1.8, 1.8, 1.5, 1.1, 0.9, 0.8];
+    const FACTORS: [f64; 12] = [0.8, 0.8, 0.9, 1.0, 1.2, 1.5, 1.8, 1.8, 1.5, 1.1, 0.9, 0.8];
     FACTORS[month]
 }
 
@@ -63,7 +62,10 @@ impl Default for GeneratorConfig {
 
 impl GeneratorConfig {
     pub fn with_seed(seed: u64) -> Self {
-        GeneratorConfig { seed, ..Default::default() }
+        GeneratorConfig {
+            seed,
+            ..Default::default()
+        }
     }
 }
 
@@ -114,7 +116,10 @@ pub struct TraceGenerator {
 
 impl TraceGenerator {
     pub fn new(config: GeneratorConfig) -> Self {
-        assert!(!config.devices.is_empty(), "TraceGenerator needs at least one device type");
+        assert!(
+            !config.devices.is_empty(),
+            "TraceGenerator needs at least one device type"
+        );
         TraceGenerator { config }
     }
 
@@ -129,16 +134,23 @@ impl TraceGenerator {
 
     /// Builds the static description of household `house`.
     pub fn household(&self, house: u64) -> HouseholdSpec {
-        let mut rng =
-            StdRng::seed_from_u64(mix_seed(&[self.config.seed, house, 0x4855]));
+        let mut rng = StdRng::seed_from_u64(mix_seed(&[self.config.seed, house, 0x4855]));
         let phase_shift = rng.gen_range(-1.5..=1.5);
         let devices = self
             .config
             .devices
             .iter()
-            .map(|d| d.nominal_spec().jittered(self.config.seed, house, self.config.spec_jitter))
+            .map(|d| {
+                d.nominal_spec()
+                    .jittered(self.config.seed, house, self.config.spec_jitter)
+            })
             .collect();
-        HouseholdSpec { id: house, archetype: Archetype::assign(house), phase_shift, devices }
+        HouseholdSpec {
+            id: house,
+            archetype: Archetype::assign(house),
+            phase_shift,
+            devices,
+        }
     }
 
     /// Generates one day of readings for `(house, device_idx, day)`.
@@ -156,12 +168,8 @@ impl TraceGenerator {
         if spec.device_type == DeviceType::Hvac {
             spec.mean_events_per_day *= hvac_seasonal_factor(month_of_day(day));
         }
-        let mut rng = StdRng::seed_from_u64(mix_seed(&[
-            self.config.seed,
-            house,
-            device_idx as u64,
-            day,
-        ]));
+        let mut rng =
+            StdRng::seed_from_u64(mix_seed(&[self.config.seed, house, device_idx as u64, day]));
         let modes = day_modes(&spec, hh.archetype, hh.phase_shift, &mut rng);
         let watts = modes_to_watts(&spec, &modes, self.config.noise_frac, &mut rng);
         DayTrace { modes, watts }
@@ -169,7 +177,12 @@ impl TraceGenerator {
 
     /// Generates the watt readings for several consecutive days,
     /// concatenated (convenience for building training sets).
-    pub fn multi_day_watts(&self, house: u64, device_idx: usize, days: std::ops::Range<u64>) -> Vec<f64> {
+    pub fn multi_day_watts(
+        &self,
+        house: u64,
+        device_idx: usize,
+        days: std::ops::Range<u64>,
+    ) -> Vec<f64> {
         let mut out = Vec::with_capacity((days.end - days.start) as usize * MINUTES_PER_DAY);
         for day in days {
             out.extend(self.day_trace(house, device_idx, day).watts);
@@ -272,7 +285,10 @@ mod tests {
     #[test]
     fn hvac_runs_more_in_july_than_january() {
         let g = generator();
-        let hvac_idx = DeviceType::ALL.iter().position(|d| *d == DeviceType::Hvac).unwrap();
+        let hvac_idx = DeviceType::ALL
+            .iter()
+            .position(|d| *d == DeviceType::Hvac)
+            .unwrap();
         let on_minutes = |day: u64| -> usize {
             (0..5)
                 .map(|h| {
@@ -285,7 +301,7 @@ mod tests {
                 .sum()
         };
         // Average over several days to beat sampling noise.
-        let jan: usize = (0..5).map(|d| on_minutes(d)).sum();
+        let jan: usize = (0..5).map(&on_minutes).sum();
         let jul: usize = (0..5).map(|d| on_minutes(190 + d)).sum();
         assert!(jul > jan, "july {jul} <= january {jan}");
     }

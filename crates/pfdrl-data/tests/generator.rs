@@ -4,9 +4,7 @@
 
 use pfdrl_data::dataset::{build_windows_transformed, TargetTransform};
 use pfdrl_data::schedule::{event_duration, standard_normal};
-use pfdrl_data::{
-    Archetype, DeviceType, GeneratorConfig, Mode, TraceGenerator, MINUTES_PER_DAY,
-};
+use pfdrl_data::{Archetype, DeviceType, GeneratorConfig, Mode, TraceGenerator, MINUTES_PER_DAY};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -44,8 +42,7 @@ fn log_transform_balances_relative_resolution() {
 #[test]
 fn transformed_windows_decode_back_to_watts() {
     let watts: Vec<f64> = (0..200).map(|i| (i % 50) as f64 + 1.0).collect();
-    let set =
-        build_windows_transformed(&watts, 100.0, 8, 3, 0, TargetTransform::default());
+    let set = build_windows_transformed(&watts, 100.0, 8, 3, 0, TargetTransform::default());
     for (i, target) in set.targets.iter().enumerate() {
         let original = watts[i + 8 + 3 - 1];
         assert!((set.to_watts(*target) - original).abs() < 1e-9);
@@ -60,8 +57,10 @@ fn event_durations_cluster_around_mean() {
     let avg = samples.iter().sum::<usize>() as f64 / samples.len() as f64;
     assert!((avg - mean).abs() < 5.0, "mean duration {avg}");
     // Clipped-normal: the bulk within ±2 sigma (sigma = 0.3 * mean).
-    let within: usize =
-        samples.iter().filter(|&&d| (d as f64 - mean).abs() <= 0.6 * mean).count();
+    let within: usize = samples
+        .iter()
+        .filter(|&&d| (d as f64 - mean).abs() <= 0.6 * mean)
+        .count();
     assert!(within as f64 / samples.len() as f64 > 0.9);
     // Durations are NOT memoryless: almost nothing below mean/3 (an
     // exponential would put ~28% of its mass there).
@@ -199,8 +198,9 @@ fn anchored_routines_make_transitions_time_predictable() {
 fn standard_normal_tail_behaviour() {
     let mut rng = StdRng::seed_from_u64(8);
     let n = 100_000;
-    let beyond_3: usize =
-        (0..n).filter(|_| standard_normal(&mut rng).abs() > 3.0).count();
+    let beyond_3: usize = (0..n)
+        .filter(|_| standard_normal(&mut rng).abs() > 3.0)
+        .count();
     // P(|Z| > 3) ~ 0.0027.
     let frac = beyond_3 as f64 / n as f64;
     assert!(frac > 0.001 && frac < 0.006, "3-sigma tail fraction {frac}");

@@ -68,14 +68,20 @@ impl Default for DqnConfig {
 impl DqnConfig {
     /// Exact paper configuration.
     pub fn paper(seed: u64) -> Self {
-        DqnConfig { seed, ..Default::default() }
+        DqnConfig {
+            seed,
+            ..Default::default()
+        }
     }
 
     /// A slimmer Q-network (same depth, narrower layers) for experiments
     /// that train hundreds of agents; keeps the 8-layer structure that
     /// the α split is defined over.
     pub fn slim(seed: u64) -> Self {
-        DqnConfig { hidden_width: 24, ..DqnConfig::paper(seed) }
+        DqnConfig {
+            hidden_width: 24,
+            ..DqnConfig::paper(seed)
+        }
     }
 }
 
@@ -101,13 +107,22 @@ impl DqnAgent {
         assert!(cfg.hidden_layers >= 1, "need at least one hidden layer");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut dims = vec![state_dim];
-        dims.extend(std::iter::repeat(cfg.hidden_width).take(cfg.hidden_layers));
+        dims.extend(std::iter::repeat_n(cfg.hidden_width, cfg.hidden_layers));
         dims.push(3);
         let qnet = Mlp::new(&dims, Activation::Relu, Activation::Identity, &mut rng);
         let target = qnet.clone();
         let replay = ReplayBuffer::new(cfg.replay_capacity);
         let opt = Adam::new(cfg.lr);
-        DqnAgent { qnet, target, opt, replay, cfg, rng, env_steps: 0, grad_steps: 0 }
+        DqnAgent {
+            qnet,
+            target,
+            opt,
+            replay,
+            cfg,
+            rng,
+            env_steps: 0,
+            grad_steps: 0,
+        }
     }
 
     pub fn config(&self) -> &DqnConfig {
@@ -180,8 +195,11 @@ impl DqnAgent {
         // Bootstrap targets from the frozen network; with Double-DQN the
         // online network selects the action and the target evaluates it.
         let next_q = self.target.infer(&next_states);
-        let next_q_online =
-            if self.cfg.double { Some(self.qnet.infer(&next_states)) } else { None };
+        let next_q_online = if self.cfg.double {
+            Some(self.qnet.infer(&next_states))
+        } else {
+            None
+        };
         let mut targets = Matrix::zeros(n, 3);
         let mut mask = Matrix::zeros(n, 3);
         for (r, t) in batch.iter().enumerate() {
@@ -214,7 +232,7 @@ impl DqnAgent {
         self.qnet.backward(&grad);
         self.opt.step(&mut self.qnet.param_grad_pairs());
         self.grad_steps += 1;
-        if self.grad_steps % self.cfg.target_sync == 0 {
+        if self.grad_steps.is_multiple_of(self.cfg.target_sync) {
             self.sync_target();
         }
         l
@@ -265,7 +283,11 @@ mod tests {
             hidden_width: 16,
             warmup: 16,
             batch: 16,
-            epsilon: EpsilonSchedule { start: 1.0, end: 0.02, decay_steps: 400 },
+            epsilon: EpsilonSchedule {
+                start: 1.0,
+                end: 0.02,
+                decay_steps: 400,
+            },
             ..DqnConfig::paper(seed)
         }
     }
@@ -323,11 +345,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..1500 {
             let which = rng.gen_bool(0.5);
-            let state = if which { vec![1.0, 0.0] } else { vec![0.0, 1.0] };
+            let state = if which {
+                vec![1.0, 0.0]
+            } else {
+                vec![0.0, 1.0]
+            };
             let action = agent.act(&state).index();
             let good = if which { 0 } else { 2 };
             let reward = if action == good { 1.0 } else { -1.0 };
-            agent.observe(Transition { state, action, reward, next_state: None });
+            agent.observe(Transition {
+                state,
+                action,
+                reward,
+                next_state: None,
+            });
         }
         assert_eq!(agent.act_greedy(&[1.0, 0.0]), Mode::Off);
         assert_eq!(agent.act_greedy(&[0.0, 1.0]), Mode::On);
@@ -335,7 +366,10 @@ mod tests {
 
     #[test]
     fn target_sync_happens_on_schedule() {
-        let cfg = DqnConfig { target_sync: 5, ..tiny_cfg(4) };
+        let cfg = DqnConfig {
+            target_sync: 5,
+            ..tiny_cfg(4)
+        };
         let mut agent = DqnAgent::new(2, cfg);
         for _ in 0..40 {
             agent.observe(Transition {
@@ -364,16 +398,28 @@ mod tests {
 
     #[test]
     fn double_dqn_learns_the_bandit_too() {
-        let cfg = DqnConfig { double: true, ..tiny_cfg(8) };
+        let cfg = DqnConfig {
+            double: true,
+            ..tiny_cfg(8)
+        };
         let mut agent = DqnAgent::new(2, cfg);
         let mut rng = StdRng::seed_from_u64(10);
         for _ in 0..1500 {
             let which = rng.gen_bool(0.5);
-            let state = if which { vec![1.0, 0.0] } else { vec![0.0, 1.0] };
+            let state = if which {
+                vec![1.0, 0.0]
+            } else {
+                vec![0.0, 1.0]
+            };
             let action = agent.act(&state).index();
             let good = if which { 0 } else { 2 };
             let reward = if action == good { 1.0 } else { -1.0 };
-            agent.observe(Transition { state, action, reward, next_state: None });
+            agent.observe(Transition {
+                state,
+                action,
+                reward,
+                next_state: None,
+            });
         }
         assert_eq!(agent.act_greedy(&[1.0, 0.0]), Mode::Off);
         assert_eq!(agent.act_greedy(&[0.0, 1.0]), Mode::On);
@@ -384,7 +430,13 @@ mod tests {
         // With non-terminal transitions, double and vanilla targets can
         // differ; both must remain finite and trainable.
         let mut vanilla = DqnAgent::new(2, tiny_cfg(9));
-        let mut double = DqnAgent::new(2, DqnConfig { double: true, ..tiny_cfg(9) });
+        let mut double = DqnAgent::new(
+            2,
+            DqnConfig {
+                double: true,
+                ..tiny_cfg(9)
+            },
+        );
         for _ in 0..64 {
             let t = Transition {
                 state: vec![0.2, 0.8],
@@ -413,8 +465,10 @@ mod tests {
             let _ = agent.act(&s);
         }
         let greedy = agent.act_greedy(&s);
-        let late_matches =
-            (0..100).filter(|_| agent.act(&s) == greedy).count();
-        assert!(late_matches > 80, "only {late_matches}/100 greedy after decay");
+        let late_matches = (0..100).filter(|_| agent.act(&s) == greedy).count();
+        assert!(
+            late_matches > 80,
+            "only {late_matches}/100 greedy after decay"
+        );
     }
 }

@@ -16,7 +16,11 @@ pub struct EpsilonSchedule {
 
 impl Default for EpsilonSchedule {
     fn default() -> Self {
-        EpsilonSchedule { start: 1.0, end: 0.05, decay_steps: 5_000 }
+        EpsilonSchedule {
+            start: 1.0,
+            end: 0.05,
+            decay_steps: 5_000,
+        }
     }
 }
 
@@ -24,7 +28,11 @@ impl EpsilonSchedule {
     /// Constant exploration rate.
     pub fn constant(eps: f64) -> Self {
         assert!((0.0..=1.0).contains(&eps), "epsilon must be in [0,1]");
-        EpsilonSchedule { start: eps, end: eps, decay_steps: 1 }
+        EpsilonSchedule {
+            start: eps,
+            end: eps,
+            decay_steps: 1,
+        }
     }
 
     /// ε at a given global step.
@@ -62,7 +70,11 @@ mod tests {
 
     #[test]
     fn midpoint_is_halfway() {
-        let s = EpsilonSchedule { start: 1.0, end: 0.0, decay_steps: 100 };
+        let s = EpsilonSchedule {
+            start: 1.0,
+            end: 0.0,
+            decay_steps: 100,
+        };
         assert!((s.value(50) - 0.5).abs() < 1e-12);
     }
 

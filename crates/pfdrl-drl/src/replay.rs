@@ -26,7 +26,11 @@ impl ReplayBuffer {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "replay capacity must be positive");
-        ReplayBuffer { capacity, buf: Vec::with_capacity(capacity.min(4096)), write: 0 }
+        ReplayBuffer {
+            capacity,
+            buf: Vec::with_capacity(capacity.min(4096)),
+            write: 0,
+        }
     }
 
     pub fn capacity(&self) -> usize {
@@ -57,7 +61,9 @@ impl ReplayBuffer {
     /// Panics if the buffer is empty.
     pub fn sample<'a>(&'a self, n: usize, rng: &mut impl Rng) -> Vec<&'a Transition> {
         assert!(!self.buf.is_empty(), "sampling from empty replay buffer");
-        (0..n).map(|_| &self.buf[rng.gen_range(0..self.buf.len())]).collect()
+        (0..n)
+            .map(|_| &self.buf[rng.gen_range(0..self.buf.len())])
+            .collect()
     }
 
     pub fn clear(&mut self) {
@@ -73,7 +79,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn t(r: f64) -> Transition {
-        Transition { state: vec![r], action: 0, reward: r, next_state: None }
+        Transition {
+            state: vec![r],
+            action: 0,
+            reward: r,
+            next_state: None,
+        }
     }
 
     #[test]
@@ -108,8 +119,11 @@ mod tests {
             rb.push(t(i as f64));
         }
         let mut rng = StdRng::seed_from_u64(1);
-        let seen: std::collections::HashSet<u64> =
-            rb.sample(200, &mut rng).iter().map(|t| t.reward as u64).collect();
+        let seen: std::collections::HashSet<u64> = rb
+            .sample(200, &mut rng)
+            .iter()
+            .map(|t| t.reward as u64)
+            .collect();
         assert_eq!(seen.len(), 4);
     }
 

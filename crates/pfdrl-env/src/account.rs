@@ -90,7 +90,12 @@ mod tests {
         let mut acc = EnergyAccount::new();
         // 60 minutes of 6 W standby, all turned off.
         for _ in 0..60 {
-            acc.record(Mode::Standby, 6.0, Mode::Off, reward(Mode::Standby, Mode::Off));
+            acc.record(
+                Mode::Standby,
+                6.0,
+                Mode::Off,
+                reward(Mode::Standby, Mode::Off),
+            );
         }
         assert!((acc.standby_total_kwh - 0.006).abs() < 1e-12);
         assert_eq!(acc.saved_fraction(), Some(1.0));

@@ -76,8 +76,16 @@ impl DeviceEnv {
         real_modes: Vec<Mode>,
         cfg: EnvConfig,
     ) -> Self {
-        assert_eq!(pred_watts.len(), real_watts.len(), "pred/real length mismatch");
-        assert_eq!(real_watts.len(), real_modes.len(), "watts/modes length mismatch");
+        assert_eq!(
+            pred_watts.len(),
+            real_watts.len(),
+            "pred/real length mismatch"
+        );
+        assert_eq!(
+            real_watts.len(),
+            real_modes.len(),
+            "watts/modes length mismatch"
+        );
         assert!(
             pred_watts.len() > cfg.state_window,
             "episode of {} minutes too short for window {}",
@@ -162,12 +170,21 @@ impl DeviceEnv {
         assert!(self.t < self.pred_watts.len(), "step after episode end");
         let true_mode = self.real_modes[self.t];
         let r = reward(true_mode, action);
-        self.account.record(true_mode, self.real_watts[self.t], action, r);
+        self.account
+            .record(true_mode, self.real_watts[self.t], action, r);
         self.t += 1;
         if self.t >= self.pred_watts.len() {
-            Step { next_state: None, reward: r, done: true }
+            Step {
+                next_state: None,
+                reward: r,
+                done: true,
+            }
         } else {
-            Step { next_state: Some(self.state()), reward: r, done: false }
+            Step {
+                next_state: Some(self.state()),
+                reward: r,
+                done: false,
+            }
         }
     }
 }
@@ -179,9 +196,14 @@ mod tests {
 
     fn env_with(pred: Vec<f64>, real_modes: Vec<Mode>) -> DeviceEnv {
         let spec = DeviceType::Tv.nominal_spec();
-        let real_watts: Vec<f64> =
-            real_modes.iter().map(|m| spec.mode_watts(*m)).collect();
-        DeviceEnv::new(spec, pred, real_watts, real_modes, EnvConfig { state_window: 2 })
+        let real_watts: Vec<f64> = real_modes.iter().map(|m| spec.mode_watts(*m)).collect();
+        DeviceEnv::new(
+            spec,
+            pred,
+            real_watts,
+            real_modes,
+            EnvConfig { state_window: 2 },
+        )
     }
 
     #[test]
@@ -218,13 +240,7 @@ mod tests {
         let modes = vec![Mode::On, Mode::On, Mode::On, Mode::Standby];
         let real_watts: Vec<f64> = modes.iter().map(|m| spec.mode_watts(*m)).collect();
         let pred = real_watts.clone();
-        let mut env = DeviceEnv::new(
-            spec,
-            pred,
-            real_watts,
-            modes,
-            EnvConfig { state_window: 2 },
-        );
+        let mut env = DeviceEnv::new(spec, pred, real_watts, modes, EnvConfig { state_window: 2 });
         env.reset();
         // t=2: true mode On.
         assert_eq!(env.step(Mode::On).reward, 10.0);
@@ -249,7 +265,7 @@ mod tests {
             EnvConfig { state_window: 2 },
         );
         let s = env.reset(); // t = 2
-        // Predictions for minutes 1..=2, normalized.
+                             // Predictions for minutes 1..=2, normalized.
         assert!((s[0] - pred[1] / scale).abs() < 1e-12);
         assert!((s[1] - pred[2] / scale).abs() < 1e-12);
         // Real readings for minutes 0..2.

@@ -1,8 +1,13 @@
 //! Parameter aggregation — Algorithm 1's `W ← Σ W_n / N` and helpers for
-//! applying it to any [`Layered`] model.
+//! applying it to any [`Layered`] model — hardened against the faults of
+//! [`crate::fault`]: mis-sized, truncated, non-finite or stale updates
+//! are rejected with typed [`AggregateError`]s and counted, never
+//! panicked on, and a configurable per-layer quorum decides whether a
+//! merge is applied at all or the local model is kept for the round.
 
 use crate::codec::{LayerUpdate, ModelUpdate};
 use pfdrl_nn::{average_params, Layered};
+use std::fmt;
 
 /// Builds a full-model update from a [`Layered`] model.
 pub fn snapshot_update<M: Layered + ?Sized>(
@@ -12,41 +17,346 @@ pub fn snapshot_update<M: Layered + ?Sized>(
     model_id: u64,
 ) -> ModelUpdate {
     let layers = (0..model.layer_count())
-        .map(|i| LayerUpdate { index: i, params: model.export_layer(i) })
+        .map(|i| LayerUpdate {
+            index: i,
+            params: model.export_layer(i),
+        })
         .collect();
-    ModelUpdate { sender, round, model_id, layers }
+    ModelUpdate {
+        sender,
+        round,
+        model_id,
+        layers,
+    }
+}
+
+/// Why a received layer (or whole update) was rejected during a merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateError {
+    /// A layer's parameter vector does not match the local model
+    /// (covers truncation corruption and mis-configured federations).
+    SizeMismatch {
+        sender: usize,
+        layer: usize,
+        expected: usize,
+        got: usize,
+    },
+    /// A layer carries NaN or infinite parameters.
+    NonFinite { sender: usize, layer: usize },
+    /// A layer index beyond the local model's layer count.
+    LayerOutOfRange {
+        sender: usize,
+        layer: usize,
+        layer_count: usize,
+    },
+    /// A peer transmitted a personalization layer (index >= alpha) —
+    /// privacy leak or mis-configured split; the whole update is
+    /// rejected.
+    PersonalizationLeak {
+        sender: usize,
+        layer: usize,
+        alpha: usize,
+    },
+    /// The update is older than the staleness bound allows.
+    TooStale {
+        sender: usize,
+        round: u64,
+        now: u64,
+        max: u64,
+    },
+    /// A layer had contributions, but fewer than the quorum; the local
+    /// parameters were kept for this round.
+    QuorumNotMet {
+        layer: usize,
+        accepted: usize,
+        required: usize,
+    },
+}
+
+impl fmt::Display for AggregateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AggregateError::SizeMismatch {
+                sender,
+                layer,
+                expected,
+                got,
+            } => write!(
+                f,
+                "update from {sender}: layer {layer} has {got} params, expected {expected}"
+            ),
+            AggregateError::NonFinite { sender, layer } => {
+                write!(
+                    f,
+                    "update from {sender}: layer {layer} carries non-finite params"
+                )
+            }
+            AggregateError::LayerOutOfRange {
+                sender,
+                layer,
+                layer_count,
+            } => write!(
+                f,
+                "update from {sender}: layer index {layer} out of range for {layer_count} layers"
+            ),
+            AggregateError::PersonalizationLeak {
+                sender,
+                layer,
+                alpha,
+            } => write!(
+                f,
+                "update from {sender}: personalization layer {layer} leaked (alpha = {alpha})"
+            ),
+            AggregateError::TooStale {
+                sender,
+                round,
+                now,
+                max,
+            } => write!(
+                f,
+                "update from {sender}: round {round} is more than {max} rounds behind {now}"
+            ),
+            AggregateError::QuorumNotMet {
+                layer,
+                accepted,
+                required,
+            } => write!(
+                f,
+                "layer {layer}: {accepted} valid updates < quorum {required}; kept local model"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AggregateError {}
+
+/// Policy governing a validated merge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergePolicy {
+    /// Minimum number of valid remote contributions a layer needs
+    /// before the average is applied; below it the local parameters are
+    /// kept for the round (graceful degradation under churn).
+    pub min_quorum: usize,
+    /// Per-round decay on the weight of stale updates:
+    /// `weight = staleness_decay ^ (now - update.round)`. `1.0`
+    /// disables decay.
+    pub staleness_decay: f64,
+    /// Updates more than this many rounds behind `now` are rejected.
+    pub max_staleness: u64,
+}
+
+impl Default for MergePolicy {
+    fn default() -> Self {
+        MergePolicy {
+            min_quorum: 1,
+            staleness_decay: 1.0,
+            max_staleness: u64::MAX,
+        }
+    }
+}
+
+/// Outcome of a validated merge: what was applied, what was rejected.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MergeReport {
+    /// Updates that contributed at least one accepted layer.
+    pub accepted_updates: usize,
+    /// Layers whose parameters were re-averaged.
+    pub merged_layers: usize,
+    /// Layers that had contributions but missed the quorum (local
+    /// parameters kept).
+    pub quorum_kept_local: usize,
+    /// Every rejection, in deterministic (update, layer) order.
+    pub rejections: Vec<AggregateError>,
+}
+
+impl MergeReport {
+    /// True when nothing was rejected and no quorum fell short.
+    pub fn is_clean(&self) -> bool {
+        self.rejections.is_empty()
+    }
+}
+
+/// One accepted remote contribution to a layer.
+struct Contribution<'a> {
+    weight: f64,
+    params: &'a [f64],
+}
+
+/// Validates `update` against `model` and `policy`, returning per-layer
+/// contributions keyed by layer index. `alpha` bounds the permitted
+/// layer indices (personalization guard); `None` permits all layers.
+fn validate_update<'a, M: Layered + ?Sized>(
+    model: &M,
+    update: &'a ModelUpdate,
+    now_round: u64,
+    policy: &MergePolicy,
+    alpha: Option<usize>,
+    rejections: &mut Vec<AggregateError>,
+) -> Option<Vec<(usize, Contribution<'a>)>> {
+    // Privacy guard first: a leaked personalization layer poisons the
+    // whole update (the peer is misbehaving or mis-configured).
+    if let Some(alpha) = alpha {
+        if let Some(lu) = update.layers.iter().find(|lu| lu.index >= alpha) {
+            rejections.push(AggregateError::PersonalizationLeak {
+                sender: update.sender,
+                layer: lu.index,
+                alpha,
+            });
+            return None;
+        }
+    }
+    let staleness = now_round.saturating_sub(update.round);
+    if staleness > policy.max_staleness {
+        rejections.push(AggregateError::TooStale {
+            sender: update.sender,
+            round: update.round,
+            now: now_round,
+            max: policy.max_staleness,
+        });
+        return None;
+    }
+    let weight = policy
+        .staleness_decay
+        .powi(staleness.min(i32::MAX as u64) as i32);
+    let mut accepted = Vec::with_capacity(update.layers.len());
+    for lu in &update.layers {
+        if lu.index >= model.layer_count() {
+            rejections.push(AggregateError::LayerOutOfRange {
+                sender: update.sender,
+                layer: lu.index,
+                layer_count: model.layer_count(),
+            });
+            continue;
+        }
+        let expected = model.layer_param_count(lu.index);
+        if lu.params.len() != expected {
+            rejections.push(AggregateError::SizeMismatch {
+                sender: update.sender,
+                layer: lu.index,
+                expected,
+                got: lu.params.len(),
+            });
+            continue;
+        }
+        if lu.params.iter().any(|p| !p.is_finite()) {
+            rejections.push(AggregateError::NonFinite {
+                sender: update.sender,
+                layer: lu.index,
+            });
+            continue;
+        }
+        accepted.push((
+            lu.index,
+            Contribution {
+                weight,
+                params: &lu.params,
+            },
+        ));
+    }
+    Some(accepted)
+}
+
+/// Core validated merge over an explicit layer range. The local model
+/// always participates with weight 1; accepted remote layers join with
+/// their staleness weight; a layer is only re-imported when at least
+/// `policy.min_quorum` remote contributions survived validation.
+fn merge_layers<M: Layered + ?Sized>(
+    model: &mut M,
+    updates: &[&ModelUpdate],
+    layer_range: std::ops::Range<usize>,
+    now_round: u64,
+    policy: &MergePolicy,
+    alpha: Option<usize>,
+) -> MergeReport {
+    let mut report = MergeReport::default();
+    let mut per_layer: Vec<Vec<Contribution>> =
+        (0..model.layer_count()).map(|_| Vec::new()).collect();
+    for update in updates {
+        match validate_update(
+            model,
+            update,
+            now_round,
+            policy,
+            alpha,
+            &mut report.rejections,
+        ) {
+            Some(accepted) if !accepted.is_empty() => {
+                report.accepted_updates += 1;
+                for (layer, c) in accepted {
+                    per_layer[layer].push(c);
+                }
+            }
+            _ => {}
+        }
+    }
+    let quorum = policy.min_quorum.max(1);
+    for layer_idx in layer_range {
+        let contributions = &per_layer[layer_idx];
+        if contributions.is_empty() {
+            continue; // nothing received for this layer: normal for partial updates
+        }
+        if contributions.len() < quorum {
+            report.rejections.push(AggregateError::QuorumNotMet {
+                layer: layer_idx,
+                accepted: contributions.len(),
+                required: quorum,
+            });
+            report.quorum_kept_local += 1;
+            continue;
+        }
+        let local = model.export_layer(layer_idx);
+        let mut acc = local.clone();
+        let mut total_weight = 1.0; // the local model's own weight
+        for c in contributions {
+            for (a, p) in acc.iter_mut().zip(c.params.iter()) {
+                *a += c.weight * p;
+            }
+            total_weight += c.weight;
+        }
+        for a in acc.iter_mut() {
+            *a /= total_weight;
+        }
+        model.import_layer(layer_idx, &acc);
+        report.merged_layers += 1;
+    }
+    report
 }
 
 /// Averages the local model with the matching layers of every received
-/// update, layer by layer, and imports the result.
-///
-/// Updates may carry a subset of layers (the PFDRL base-layer broadcast);
-/// layers absent from all updates are left untouched. Received layers
-/// whose length does not match the local model are rejected with a panic
-/// — silently dropping them would hide a mis-configured federation.
-pub fn merge_updates<M: Layered + ?Sized>(model: &mut M, updates: &[&ModelUpdate]) {
-    for layer_idx in 0..model.layer_count() {
-        let mut snapshots: Vec<Vec<f64>> = Vec::with_capacity(updates.len() + 1);
-        for u in updates {
-            for lu in &u.layers {
-                if lu.index == layer_idx {
-                    assert_eq!(
-                        lu.params.len(),
-                        model.layer_param_count(layer_idx),
-                        "update from {} carries layer {} of wrong size",
-                        u.sender,
-                        layer_idx
-                    );
-                    snapshots.push(lu.params.clone());
-                }
-            }
-        }
-        if snapshots.is_empty() {
-            continue;
-        }
-        snapshots.push(model.export_layer(layer_idx));
-        model.import_layer(layer_idx, &average_params(&snapshots));
-    }
+/// update under `policy`, layer by layer. Invalid layers (wrong size,
+/// non-finite, out of range) and stale updates are rejected with typed
+/// errors in the returned [`MergeReport`] instead of panicking; layers
+/// that miss the quorum keep the local parameters for this round.
+pub fn merge_updates_with<M: Layered + ?Sized>(
+    model: &mut M,
+    updates: &[&ModelUpdate],
+    now_round: u64,
+    policy: &MergePolicy,
+) -> MergeReport {
+    let layer_count = model.layer_count();
+    merge_layers(model, updates, 0..layer_count, now_round, policy, None)
+}
+
+/// [`merge_updates_with`] under the default policy (quorum 1, no
+/// staleness decay), with `now` taken as the newest round among the
+/// updates. With well-formed inputs this is exactly the seed behavior:
+/// a plain average of local + received, layer by layer.
+pub fn merge_updates<M: Layered + ?Sized>(model: &mut M, updates: &[&ModelUpdate]) -> MergeReport {
+    let now = updates.iter().map(|u| u.round).max().unwrap_or(0);
+    merge_updates_with(model, updates, now, &MergePolicy::default())
+}
+
+/// Validated merge over only the base layers `0..alpha`, rejecting any
+/// update that leaks a personalization layer. Used by
+/// [`crate::LayerSplit::merge_base_with`].
+pub(crate) fn merge_base_layers<M: Layered + ?Sized>(
+    model: &mut M,
+    updates: &[&ModelUpdate],
+    alpha: usize,
+    now_round: u64,
+    policy: &MergePolicy,
+) -> MergeReport {
+    merge_layers(model, updates, 0..alpha, now_round, policy, Some(alpha))
 }
 
 /// Averages complete snapshots of several models *in place* so that all
@@ -54,7 +364,8 @@ pub fn merge_updates<M: Layered + ?Sized>(model: &mut M, updates: &[&ModelUpdate
 /// used by the centralized baselines and tests).
 ///
 /// # Panics
-/// Panics if `models` is empty or architectures differ.
+/// Panics if `models` is empty or architectures differ — these are
+/// local programming errors, not network faults, so they stay loud.
 pub fn fedavg_in_place<M: Layered>(models: &mut [M]) {
     assert!(!models.is_empty(), "fedavg over no models");
     let layer_count = models[0].layer_count();
@@ -63,8 +374,7 @@ pub fn fedavg_in_place<M: Layered>(models: &mut [M]) {
         "fedavg: mismatched layer counts"
     );
     for layer_idx in 0..layer_count {
-        let snapshots: Vec<Vec<f64>> =
-            models.iter().map(|m| m.export_layer(layer_idx)).collect();
+        let snapshots: Vec<Vec<f64>> = models.iter().map(|m| m.export_layer(layer_idx)).collect();
         let avg = average_params(&snapshots);
         for m in models.iter_mut() {
             m.import_layer(layer_idx, &avg);
@@ -85,7 +395,10 @@ mod tests {
 
     impl Toy {
         fn new(a: f64) -> Self {
-            Toy { l0: vec![a; 2], l1: vec![a * 10.0; 3] }
+            Toy {
+                l0: vec![a; 2],
+                l1: vec![a * 10.0; 3],
+            }
         }
     }
 
@@ -131,7 +444,10 @@ mod tests {
     fn merge_averages_with_local() {
         let mut local = Toy::new(0.0);
         let remote = snapshot_update(&Toy::new(3.0), 1, 0, 0);
-        merge_updates(&mut local, &[&remote]);
+        let report = merge_updates(&mut local, &[&remote]);
+        assert!(report.is_clean());
+        assert_eq!(report.accepted_updates, 1);
+        assert_eq!(report.merged_layers, 2);
         // Average of 0 and 3.
         assert_eq!(local.l0, vec![1.5; 2]);
         assert_eq!(local.l1, vec![15.0; 3]);
@@ -142,7 +458,9 @@ mod tests {
         let mut local = Toy::new(0.0);
         let mut remote = snapshot_update(&Toy::new(4.0), 1, 0, 0);
         remote.layers.truncate(1); // only layer 0 transmitted
-        merge_updates(&mut local, &[&remote]);
+        let report = merge_updates(&mut local, &[&remote]);
+        assert!(report.is_clean());
+        assert_eq!(report.merged_layers, 1);
         assert_eq!(local.l0, vec![2.0; 2]);
         assert_eq!(local.l1, vec![0.0; 3], "untransmitted layer must not move");
     }
@@ -151,21 +469,165 @@ mod tests {
     fn merge_with_no_updates_is_identity() {
         let mut local = Toy::new(5.0);
         let before = local.clone();
-        merge_updates(&mut local, &[]);
+        let report = merge_updates(&mut local, &[]);
+        assert!(report.is_clean());
+        assert_eq!(report.merged_layers, 0);
         assert_eq!(local, before);
     }
 
     #[test]
-    #[should_panic(expected = "wrong size")]
-    fn merge_rejects_mis_sized_layers() {
+    fn merge_rejects_mis_sized_layers_without_panic() {
         let mut local = Toy::new(0.0);
+        let before = local.clone();
         let remote = ModelUpdate {
             sender: 1,
             round: 0,
             model_id: 0,
-            layers: vec![LayerUpdate { index: 0, params: vec![1.0; 99] }],
+            layers: vec![LayerUpdate {
+                index: 0,
+                params: vec![1.0; 99],
+            }],
         };
-        merge_updates(&mut local, &[&remote]);
+        let report = merge_updates(&mut local, &[&remote]);
+        assert_eq!(local, before, "mis-sized layer must not be applied");
+        assert_eq!(report.accepted_updates, 0);
+        assert_eq!(
+            report.rejections,
+            vec![AggregateError::SizeMismatch {
+                sender: 1,
+                layer: 0,
+                expected: 2,
+                got: 99
+            }]
+        );
+    }
+
+    #[test]
+    fn merge_rejects_non_finite_layers() {
+        let mut local = Toy::new(1.0);
+        let before = local.clone();
+        let mut remote = snapshot_update(&Toy::new(3.0), 2, 0, 0);
+        remote.layers[0].params[1] = f64::NAN;
+        let report = merge_updates(&mut local, &[&remote]);
+        // Layer 0 rejected, layer 1 still merged.
+        assert_eq!(local.l0, before.l0);
+        assert_eq!(local.l1, vec![20.0; 3]);
+        assert_eq!(
+            report.rejections,
+            vec![AggregateError::NonFinite {
+                sender: 2,
+                layer: 0
+            }]
+        );
+        assert_eq!(report.accepted_updates, 1);
+    }
+
+    #[test]
+    fn merge_rejects_out_of_range_layers() {
+        let mut local = Toy::new(0.0);
+        let remote = ModelUpdate {
+            sender: 4,
+            round: 0,
+            model_id: 0,
+            layers: vec![LayerUpdate {
+                index: 17,
+                params: vec![1.0; 2],
+            }],
+        };
+        let report = merge_updates(&mut local, &[&remote]);
+        assert_eq!(
+            report.rejections,
+            vec![AggregateError::LayerOutOfRange {
+                sender: 4,
+                layer: 17,
+                layer_count: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn quorum_keeps_local_model_when_unmet() {
+        let mut local = Toy::new(0.0);
+        let before = local.clone();
+        let remote = snapshot_update(&Toy::new(8.0), 1, 5, 0);
+        let policy = MergePolicy {
+            min_quorum: 2,
+            ..MergePolicy::default()
+        };
+        let report = merge_updates_with(&mut local, &[&remote], 5, &policy);
+        assert_eq!(local, before, "below quorum the local model must be kept");
+        assert_eq!(report.quorum_kept_local, 2);
+        assert!(matches!(
+            report.rejections[0],
+            AggregateError::QuorumNotMet { .. }
+        ));
+        // With a second update the quorum is met and the merge applies.
+        let remote2 = snapshot_update(&Toy::new(4.0), 2, 5, 0);
+        let report = merge_updates_with(&mut local, &[&remote, &remote2], 5, &policy);
+        assert!(report.is_clean());
+        assert_eq!(local.l0, vec![4.0; 2]); // (0 + 8 + 4) / 3
+    }
+
+    #[test]
+    fn stale_updates_are_downweighted() {
+        let mut local = Toy::new(0.0);
+        // A fresh update (weight 1) and a 2-round-stale one (weight 0.25).
+        let fresh = snapshot_update(&Toy::new(3.0), 1, 10, 0);
+        let stale = snapshot_update(&Toy::new(3.0), 2, 8, 0);
+        let policy = MergePolicy {
+            staleness_decay: 0.5,
+            ..MergePolicy::default()
+        };
+        let report = merge_updates_with(&mut local, &[&fresh, &stale], 10, &policy);
+        assert!(report.is_clean());
+        // (0*1 + 3*1 + 3*0.25) / (1 + 1 + 0.25) = 3.75 / 2.25
+        let expected = 3.75 / 2.25;
+        for v in &local.l0 {
+            assert!((v - expected).abs() < 1e-12, "{v} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn too_stale_updates_are_rejected() {
+        let mut local = Toy::new(0.0);
+        let before = local.clone();
+        let ancient = snapshot_update(&Toy::new(9.0), 3, 0, 0);
+        let policy = MergePolicy {
+            max_staleness: 4,
+            ..MergePolicy::default()
+        };
+        let report = merge_updates_with(&mut local, &[&ancient], 20, &policy);
+        assert_eq!(local, before);
+        assert_eq!(
+            report.rejections,
+            vec![AggregateError::TooStale {
+                sender: 3,
+                round: 0,
+                now: 20,
+                max: 4
+            }]
+        );
+    }
+
+    #[test]
+    fn default_policy_matches_plain_average() {
+        // The validated path under the default policy must agree exactly
+        // with the naive mean of local + all updates.
+        let mut a = Toy::new(1.0);
+        let mut b = Toy::new(1.0);
+        let u1 = snapshot_update(&Toy::new(2.0), 1, 0, 0);
+        let u2 = snapshot_update(&Toy::new(6.0), 2, 0, 0);
+        let _ = merge_updates(&mut a, &[&u1, &u2]);
+        // Naive mean for b.
+        let snaps = vec![
+            u1.layers[0].params.clone(),
+            u2.layers[0].params.clone(),
+            b.export_layer(0),
+        ];
+        b.import_layer(0, &average_params(&snaps));
+        for (x, y) in a.l0.iter().zip(b.l0.iter()) {
+            assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+        }
     }
 
     #[test]
@@ -183,5 +645,17 @@ mod tests {
     fn fedavg_rejects_empty() {
         let mut models: Vec<Toy> = vec![];
         fedavg_in_place(&mut models);
+    }
+
+    #[test]
+    fn errors_render_human_readable() {
+        let e = AggregateError::SizeMismatch {
+            sender: 3,
+            layer: 1,
+            expected: 8,
+            got: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("3") && s.contains("layer 1") && s.contains("8") && s.contains("4"));
     }
 }

@@ -7,8 +7,15 @@
 //! statistics and converts them into simulated communication time via a
 //! [`LatencyModel`], which is how the time-overhead comparison of
 //! Figure 14 is reproduced without real network hardware.
+//!
+//! A bus built with [`BroadcastBus::with_faults`] routes every delivery
+//! through a [`FaultInjector`](crate::fault::FaultInjector): churned-out
+//! or lossy deliveries are dropped (and counted per reason), straggling
+//! ones are parked until the next drain and pay a latency penalty, and
+//! corrupted ones arrive damaged for the aggregation layer to reject.
 
 use crate::codec::ModelUpdate;
+use crate::fault::{Delivery, DropReason, FaultConfig, FaultInjector};
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -25,12 +32,18 @@ pub struct LatencyModel {
 impl LatencyModel {
     /// Residential LAN: ~1 ms per message, ~100 MiB/s effective.
     pub fn lan() -> Self {
-        LatencyModel { per_message_s: 1e-3, per_byte_s: 1.0 / (100.0 * 1024.0 * 1024.0) }
+        LatencyModel {
+            per_message_s: 1e-3,
+            per_byte_s: 1.0 / (100.0 * 1024.0 * 1024.0),
+        }
     }
 
     /// Cloud uplink: ~40 ms RTT per message, ~10 MiB/s effective.
     pub fn cloud() -> Self {
-        LatencyModel { per_message_s: 40e-3, per_byte_s: 1.0 / (10.0 * 1024.0 * 1024.0) }
+        LatencyModel {
+            per_message_s: 40e-3,
+            per_byte_s: 1.0 / (10.0 * 1024.0 * 1024.0),
+        }
     }
 
     /// Simulated seconds to deliver `bytes` in `messages`.
@@ -39,13 +52,32 @@ impl LatencyModel {
     }
 }
 
-/// Aggregate traffic statistics.
+/// Aggregate traffic statistics, including per-reason fault counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct BusStats {
     /// Point-to-point deliveries (one broadcast to N-1 peers counts N-1).
     pub messages: u64,
     /// Bytes across all deliveries.
     pub bytes: u64,
+    /// Deliveries dropped because the sender was churned offline.
+    pub dropped_offline: u64,
+    /// Deliveries dropped by simulated message loss.
+    pub dropped_loss: u64,
+    /// Deliveries dropped because the receiver end was disconnected.
+    pub dropped_disconnected: u64,
+    /// Deliveries that arrived with a corrupted payload.
+    pub corrupted: u64,
+    /// Deliveries parked by straggler delay (arrive a drain cycle late).
+    pub delayed: u64,
+    /// Extra simulated seconds paid by straggling deliveries.
+    pub delay_seconds: f64,
+}
+
+impl BusStats {
+    /// Total deliveries that never reached a mailbox, for any reason.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_offline + self.dropped_loss + self.dropped_disconnected
+    }
 }
 
 struct BusInner {
@@ -53,6 +85,7 @@ struct BusInner {
     receivers: Vec<Receiver<Arc<ModelUpdate>>>,
     stats: Mutex<BusStats>,
     latency: LatencyModel,
+    faults: Option<FaultInjector>,
 }
 
 /// A broadcast bus connecting `n` residences.
@@ -62,11 +95,28 @@ pub struct BroadcastBus {
 }
 
 impl BroadcastBus {
-    /// Creates a bus for `n` residences.
+    /// Creates a fault-free bus for `n` residences.
     ///
     /// # Panics
     /// Panics if `n == 0`.
     pub fn new(n: usize, latency: LatencyModel) -> Self {
+        Self::build(n, latency, None)
+    }
+
+    /// Creates a bus whose deliveries are subject to `faults`. A
+    /// fault-free config ([`FaultConfig::is_active`] == false) behaves
+    /// exactly like [`BroadcastBus::new`].
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or the fault config is invalid.
+    pub fn with_faults(n: usize, latency: LatencyModel, faults: &FaultConfig) -> Self {
+        let injector = faults
+            .is_active()
+            .then(|| FaultInjector::new(faults.plan(), n));
+        Self::build(n, latency, injector)
+    }
+
+    fn build(n: usize, latency: LatencyModel, faults: Option<FaultInjector>) -> Self {
         assert!(n > 0, "bus needs at least one participant");
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
@@ -81,6 +131,7 @@ impl BroadcastBus {
                 receivers,
                 stats: Mutex::new(BusStats::default()),
                 latency,
+                faults,
             }),
         }
     }
@@ -95,6 +146,10 @@ impl BroadcastBus {
     }
 
     /// Broadcasts `update` from its sender to every *other* residence.
+    /// Under an active fault plan each point-to-point delivery is
+    /// independently dropped, delayed, corrupted, or delivered; the
+    /// outcome for each `(sender, receiver, round, model_id)` tuple is
+    /// deterministic in the fault seed.
     ///
     /// # Panics
     /// Panics if `update.sender` is out of range.
@@ -103,20 +158,75 @@ impl BroadcastBus {
         assert!(update.sender < n, "sender {} out of range", update.sender);
         let bytes = update.byte_size() as u64;
         let arc = Arc::new(update);
-        let mut delivered = 0u64;
+        let mut delta = BusStats::default();
         for (i, tx) in self.inner.senders.iter().enumerate() {
             if i == arc.sender {
                 continue;
             }
-            tx.send(Arc::clone(&arc)).expect("bus receiver dropped");
-            delivered += 1;
+            let fate = match &self.inner.faults {
+                Some(inj) => inj.plan().delivery(arc.sender, i, arc.round, arc.model_id),
+                None => Delivery::Deliver,
+            };
+            match fate {
+                Delivery::Drop(reason) => {
+                    match reason {
+                        DropReason::SenderOffline | DropReason::ReceiverOffline => {
+                            delta.dropped_offline += 1
+                        }
+                        DropReason::Loss => delta.dropped_loss += 1,
+                    }
+                    continue;
+                }
+                Delivery::Corrupt(kind) => {
+                    let injector = self
+                        .inner
+                        .faults
+                        .as_ref()
+                        .expect("corrupt without injector");
+                    let damaged = injector.plan().corrupt(&arc, i as u64, kind);
+                    let damaged_bytes = damaged.byte_size() as u64;
+                    if tx.send(Arc::new(damaged)).is_err() {
+                        delta.dropped_disconnected += 1;
+                        continue;
+                    }
+                    delta.corrupted += 1;
+                    delta.messages += 1;
+                    delta.bytes += damaged_bytes;
+                }
+                Delivery::Delay { extra_latency_mult } => {
+                    let injector = self.inner.faults.as_ref().expect("delay without injector");
+                    injector.park(i, Arc::clone(&arc));
+                    delta.delayed += 1;
+                    delta.messages += 1;
+                    delta.bytes += bytes;
+                    delta.delay_seconds +=
+                        extra_latency_mult * self.inner.latency.seconds(1, bytes);
+                }
+                Delivery::Deliver => {
+                    // A dropped receiver is a fault, not a crash: count
+                    // the failed delivery as a loss and move on.
+                    if tx.send(Arc::clone(&arc)).is_err() {
+                        delta.dropped_disconnected += 1;
+                        continue;
+                    }
+                    delta.messages += 1;
+                    delta.bytes += bytes;
+                }
+            }
         }
         let mut stats = self.inner.stats.lock();
-        stats.messages += delivered;
-        stats.bytes += bytes * delivered;
+        stats.messages += delta.messages;
+        stats.bytes += delta.bytes;
+        stats.dropped_offline += delta.dropped_offline;
+        stats.dropped_loss += delta.dropped_loss;
+        stats.dropped_disconnected += delta.dropped_disconnected;
+        stats.corrupted += delta.corrupted;
+        stats.delayed += delta.delayed;
+        stats.delay_seconds += delta.delay_seconds;
     }
 
-    /// Drains all pending updates addressed to residence `id`.
+    /// Drains all pending updates addressed to residence `id`,
+    /// including any straggling deliveries whose delay has elapsed.
     ///
     /// # Panics
     /// Panics if `id` is out of range.
@@ -130,6 +240,9 @@ impl BroadcastBus {
                 Err(TryRecvError::Disconnected) => break,
             }
         }
+        if let Some(inj) = &self.inner.faults {
+            out.extend(inj.take_ready(id));
+        }
         out
     }
 
@@ -138,10 +251,11 @@ impl BroadcastBus {
         *self.inner.stats.lock()
     }
 
-    /// Simulated communication time spent so far, seconds.
+    /// Simulated communication time spent so far, seconds, including
+    /// straggler delay penalties.
     pub fn simulated_seconds(&self) -> f64 {
         let s = self.stats();
-        self.inner.latency.seconds(s.messages, s.bytes)
+        self.inner.latency.seconds(s.messages, s.bytes) + s.delay_seconds
     }
 
     /// Resets traffic statistics (not mailboxes).
@@ -156,11 +270,18 @@ mod tests {
     use crate::codec::LayerUpdate;
 
     fn update(sender: usize, n_params: usize) -> ModelUpdate {
+        update_round(sender, n_params, 0)
+    }
+
+    fn update_round(sender: usize, n_params: usize, round: u64) -> ModelUpdate {
         ModelUpdate {
             sender,
-            round: 0,
+            round,
             model_id: 0,
-            layers: vec![LayerUpdate { index: 0, params: vec![1.0; n_params] }],
+            layers: vec![LayerUpdate {
+                index: 0,
+                params: vec![1.0; n_params],
+            }],
         }
     }
 
@@ -195,7 +316,10 @@ mod tests {
 
     #[test]
     fn simulated_seconds_follow_latency_model() {
-        let latency = LatencyModel { per_message_s: 1.0, per_byte_s: 0.0 };
+        let latency = LatencyModel {
+            per_message_s: 1.0,
+            per_byte_s: 0.0,
+        };
         let bus = BroadcastBus::new(3, latency);
         bus.broadcast(update(0, 1));
         assert!((bus.simulated_seconds() - 2.0).abs() < 1e-12);
@@ -206,8 +330,7 @@ mod tests {
         let msgs = 10;
         let bytes = 1_000_000;
         assert!(
-            LatencyModel::cloud().seconds(msgs, bytes)
-                > LatencyModel::lan().seconds(msgs, bytes)
+            LatencyModel::cloud().seconds(msgs, bytes) > LatencyModel::lan().seconds(msgs, bytes)
         );
     }
 
@@ -237,5 +360,130 @@ mod tests {
         bus.broadcast(update(0, 4));
         bus.reset_stats();
         assert_eq!(bus.stats(), BusStats::default());
+    }
+
+    #[test]
+    fn inactive_fault_config_changes_nothing() {
+        let plain = BroadcastBus::new(3, LatencyModel::lan());
+        let faulty = BroadcastBus::with_faults(3, LatencyModel::lan(), &FaultConfig::default());
+        plain.broadcast(update(0, 4));
+        faulty.broadcast(update(0, 4));
+        assert_eq!(plain.stats(), faulty.stats());
+        assert_eq!(faulty.drain(1).len(), 1);
+    }
+
+    #[test]
+    fn total_loss_drops_everything_with_counters() {
+        let cfg = FaultConfig {
+            loss_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let bus = BroadcastBus::with_faults(4, LatencyModel::lan(), &cfg);
+        bus.broadcast(update(0, 8));
+        let s = bus.stats();
+        assert_eq!(s.messages, 0);
+        assert_eq!(s.bytes, 0);
+        assert_eq!(s.dropped_loss, 3);
+        for id in 1..4 {
+            assert!(bus.drain(id).is_empty());
+        }
+    }
+
+    #[test]
+    fn lossy_bus_is_deterministic_per_seed() {
+        let cfg = FaultConfig {
+            seed: 77,
+            loss_rate: 0.5,
+            ..FaultConfig::default()
+        };
+        let run = || {
+            let bus = BroadcastBus::with_faults(5, LatencyModel::lan(), &cfg);
+            for round in 0..20u64 {
+                for sender in 0..5 {
+                    bus.broadcast(update_round(sender, 4, round));
+                }
+            }
+            let per_mailbox: Vec<usize> = (0..5).map(|id| bus.drain(id).len()).collect();
+            (bus.stats(), per_mailbox)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stragglers_arrive_one_drain_late_and_pay_latency() {
+        let cfg = FaultConfig {
+            straggler_rate: 1.0,
+            straggler_delay: 3.0,
+            ..FaultConfig::default()
+        };
+        let latency = LatencyModel {
+            per_message_s: 1.0,
+            per_byte_s: 0.0,
+        };
+        let bus = BroadcastBus::with_faults(2, latency, &cfg);
+        bus.broadcast(update(0, 4));
+        // First drain: still parked.
+        assert!(bus.drain(1).is_empty());
+        // Second drain: surfaces.
+        assert_eq!(bus.drain(1).len(), 1);
+        let s = bus.stats();
+        assert_eq!(s.delayed, 1);
+        assert_eq!(s.messages, 1);
+        // 1 message * 1 s nominal + 3x penalty on that delivery.
+        assert!((bus.simulated_seconds() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corrupted_deliveries_are_flagged_and_damaged() {
+        let cfg = FaultConfig {
+            corrupt_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let bus = BroadcastBus::with_faults(2, LatencyModel::lan(), &cfg);
+        let clean = update(0, 8);
+        bus.broadcast(clean.clone());
+        let got = bus.drain(1);
+        assert_eq!(got.len(), 1);
+        let damaged = &got[0];
+        let truncated = damaged.layers[0].params.len() < clean.layers[0].params.len();
+        let has_nan = damaged.layers[0].params.iter().any(|p| p.is_nan());
+        assert!(truncated || has_nan, "payload must be damaged");
+        assert_eq!(bus.stats().corrupted, 1);
+    }
+
+    #[test]
+    fn full_dropout_silences_the_bus() {
+        let cfg = FaultConfig {
+            dropout_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let bus = BroadcastBus::with_faults(3, LatencyModel::lan(), &cfg);
+        bus.broadcast(update(0, 4));
+        let s = bus.stats();
+        assert_eq!(s.messages, 0);
+        assert_eq!(s.dropped_offline, 2);
+    }
+
+    #[test]
+    fn disconnected_receiver_counts_as_drop_not_panic() {
+        // Assemble a bus whose second mailbox has a closed receiving
+        // end (tests share the module, so the private BusInner is in
+        // reach): a delivery to it must count as a drop, not panic.
+        let (tx_ok, rx_ok) = unbounded();
+        let (tx_dead, rx_dead) = unbounded();
+        drop(rx_dead);
+        let bus = BroadcastBus {
+            inner: Arc::new(BusInner {
+                senders: vec![tx_ok, tx_dead],
+                receivers: vec![rx_ok],
+                stats: Mutex::new(BusStats::default()),
+                latency: LatencyModel::lan(),
+                faults: None,
+            }),
+        };
+        bus.broadcast(update(0, 4));
+        let s = bus.stats();
+        assert_eq!(s.messages, 0);
+        assert_eq!(s.dropped_disconnected, 1);
     }
 }

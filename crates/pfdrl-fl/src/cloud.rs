@@ -5,20 +5,47 @@
 //! client downloads the global model. Uplink and downlink both pay the
 //! cloud latency model, which is what makes the centralized baselines
 //! slower in the Figure 14 reproduction.
+//!
+//! An aggregator built with [`CloudAggregator::with_faults`] subjects
+//! uplink traffic to the same deterministic fault plan as the LAN bus
+//! (churned-out senders, loss, stragglers, payload corruption), and the
+//! server-side aggregation validates every snapshot instead of
+//! panicking: malformed uploads are rejected and counted, and an
+//! optional quorum keeps the previous global model when too few valid
+//! snapshots arrive.
 
 use crate::bus::LatencyModel;
 use crate::codec::ModelUpdate;
+use crate::fault::{Delivery, DropReason, FaultConfig, FaultPlan};
 use parking_lot::Mutex;
 use pfdrl_nn::average_params;
 use std::sync::Arc;
 
-/// Traffic statistics of the aggregator.
+/// Traffic statistics of the aggregator, including fault counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CloudStats {
     pub uploads: u64,
     pub downloads: u64,
     pub upload_bytes: u64,
     pub download_bytes: u64,
+    /// Uploads dropped because the sending residence was offline.
+    pub dropped_offline: u64,
+    /// Uploads dropped by simulated uplink loss.
+    pub dropped_loss: u64,
+    /// Uploads that arrived with a corrupted payload.
+    pub corrupted: u64,
+    /// Uploads that straggled (paid a latency penalty).
+    pub delayed: u64,
+    /// Snapshots rejected during aggregation (malformed structure,
+    /// mis-sized or non-finite layers).
+    pub rejected: u64,
+    /// Aggregation rounds skipped because fewer valid snapshots than
+    /// the quorum arrived (previous global model kept).
+    pub quorum_failures: u64,
+    /// Downloads skipped because the residence was offline.
+    pub missed_downloads: u64,
+    /// Extra simulated seconds paid by straggling uploads.
+    pub delay_seconds: f64,
 }
 
 struct CloudInner {
@@ -26,6 +53,7 @@ struct CloudInner {
     global: Mutex<Option<Vec<Vec<f64>>>>,
     stats: Mutex<CloudStats>,
     latency: LatencyModel,
+    faults: Option<FaultPlan>,
 }
 
 /// A central parameter server.
@@ -36,83 +64,177 @@ pub struct CloudAggregator {
 
 impl CloudAggregator {
     pub fn new(latency: LatencyModel) -> Self {
+        Self::build(latency, None)
+    }
+
+    /// An aggregator whose uplink is subject to `faults`. A fault-free
+    /// config behaves exactly like [`CloudAggregator::new`].
+    ///
+    /// # Panics
+    /// Panics if the fault config is invalid.
+    pub fn with_faults(latency: LatencyModel, faults: &FaultConfig) -> Self {
+        Self::build(latency, faults.is_active().then(|| faults.plan()))
+    }
+
+    fn build(latency: LatencyModel, faults: Option<FaultPlan>) -> Self {
         CloudAggregator {
             inner: Arc::new(CloudInner {
                 pending: Mutex::new(Vec::new()),
                 global: Mutex::new(None),
                 stats: Mutex::new(CloudStats::default()),
                 latency,
+                faults,
             }),
         }
     }
 
-    /// Client uploads a full snapshot.
+    /// Client uploads a full snapshot. Under an active fault plan the
+    /// upload may be lost, corrupted in transit, or delayed (paying a
+    /// latency penalty); the outcome is deterministic in the fault seed.
     pub fn upload(&self, update: ModelUpdate) {
-        let bytes = update.byte_size() as u64;
-        {
-            let mut stats = self.inner.stats.lock();
+        use crate::fault::CLOUD_PEER;
+        let fate = match &self.inner.faults {
+            Some(plan) => plan.upload(update.sender, update.round, update.model_id),
+            None => Delivery::Deliver,
+        };
+        let mut stats = self.inner.stats.lock();
+        let accepted = match fate {
+            Delivery::Drop(reason) => {
+                match reason {
+                    DropReason::SenderOffline | DropReason::ReceiverOffline => {
+                        stats.dropped_offline += 1
+                    }
+                    DropReason::Loss => stats.dropped_loss += 1,
+                }
+                None
+            }
+            Delivery::Corrupt(kind) => {
+                let plan = self.inner.faults.as_ref().expect("corrupt without plan");
+                stats.corrupted += 1;
+                Some(plan.corrupt(&update, CLOUD_PEER, kind))
+            }
+            Delivery::Delay { extra_latency_mult } => {
+                let bytes = update.byte_size() as u64;
+                stats.delayed += 1;
+                stats.delay_seconds += extra_latency_mult * self.inner.latency.seconds(1, bytes);
+                Some(update)
+            }
+            Delivery::Deliver => Some(update),
+        };
+        if let Some(update) = accepted {
             stats.uploads += 1;
-            stats.upload_bytes += bytes;
+            stats.upload_bytes += update.byte_size() as u64;
+            drop(stats);
+            self.inner.pending.lock().push(update);
         }
-        self.inner.pending.lock().push(update);
+    }
+
+    /// True when `update` is a well-formed full snapshot matching the
+    /// reference structure: one layer per index, in order, every
+    /// parameter finite.
+    fn snapshot_is_valid(update: &ModelUpdate, reference: &ModelUpdate) -> bool {
+        update.layers.len() == reference.layers.len()
+            && update.layers.iter().enumerate().all(|(i, lu)| {
+                lu.index == i
+                    && lu.params.len() == reference.layers[i].params.len()
+                    && lu.params.iter().all(|p| p.is_finite())
+            })
     }
 
     /// Server-side FedAvg over everything uploaded since the last
-    /// aggregation. Returns the number of snapshots merged (0 leaves any
-    /// previous global model in place).
+    /// aggregation, requiring at least `min_quorum` valid snapshots.
     ///
-    /// # Panics
-    /// Panics if uploaded snapshots disagree on layer structure.
-    pub fn aggregate(&self) -> usize {
+    /// Malformed snapshots (inconsistent layer structure, truncated or
+    /// non-finite layers) are rejected and counted, never panicked on;
+    /// the reference structure is the first internally-consistent
+    /// snapshot of the batch. If fewer than `min_quorum` snapshots
+    /// survive validation the previous global model is kept and 0 is
+    /// returned.
+    pub fn aggregate_with_quorum(&self, min_quorum: usize) -> usize {
         let pending = std::mem::take(&mut *self.inner.pending.lock());
         if pending.is_empty() {
             return 0;
         }
-        let layer_count = pending[0].layers.len();
-        assert!(
-            pending.iter().all(|u| u.layers.len() == layer_count),
-            "cloud aggregate: inconsistent layer counts"
-        );
+        // The reference snapshot: first one that is self-consistent
+        // (layer i at position i, all params finite).
+        let reference = pending.iter().find(|u| {
+            u.layers
+                .iter()
+                .enumerate()
+                .all(|(i, lu)| lu.index == i && lu.params.iter().all(|p| p.is_finite()))
+        });
+        let valid: Vec<&ModelUpdate> = match reference {
+            Some(reference) => pending
+                .iter()
+                .filter(|u| Self::snapshot_is_valid(u, reference))
+                .collect(),
+            None => Vec::new(),
+        };
+        {
+            let mut stats = self.inner.stats.lock();
+            stats.rejected += (pending.len() - valid.len()) as u64;
+        }
+        if valid.len() < min_quorum.max(1) {
+            self.inner.stats.lock().quorum_failures += 1;
+            return 0;
+        }
+        let layer_count = valid[0].layers.len();
         let mut global = Vec::with_capacity(layer_count);
         for layer_idx in 0..layer_count {
-            let snaps: Vec<Vec<f64>> = pending
+            let snaps: Vec<Vec<f64>> = valid
                 .iter()
-                .map(|u| {
-                    assert_eq!(
-                        u.layers[layer_idx].index, layer_idx,
-                        "cloud aggregate: unordered layers"
-                    );
-                    u.layers[layer_idx].params.clone()
-                })
+                .map(|u| u.layers[layer_idx].params.clone())
                 .collect();
             global.push(average_params(&snaps));
         }
         *self.inner.global.lock() = Some(global);
-        pending.len()
+        valid.len()
+    }
+
+    /// [`aggregate_with_quorum`](Self::aggregate_with_quorum) with a
+    /// quorum of one: any valid snapshot is enough. Returns the number
+    /// of snapshots merged (0 leaves any previous global model in
+    /// place).
+    pub fn aggregate(&self) -> usize {
+        self.aggregate_with_quorum(1)
     }
 
     /// Client downloads the current global model (None before the first
     /// aggregation).
     pub fn download(&self) -> Option<Vec<Vec<f64>>> {
         let global = self.inner.global.lock().clone()?;
-        let bytes: u64 =
-            global.iter().map(|l| 8 * l.len() as u64 + 16).sum::<u64>() + 32;
+        let bytes: u64 = global.iter().map(|l| 8 * l.len() as u64 + 16).sum::<u64>() + 32;
         let mut stats = self.inner.stats.lock();
         stats.downloads += 1;
         stats.download_bytes += bytes;
         Some(global)
     }
 
+    /// Download on behalf of residence `receiver` during `round`: an
+    /// offline residence misses the download (counted) and keeps its
+    /// local model for the round.
+    pub fn download_for(&self, receiver: usize, round: u64) -> Option<Vec<Vec<f64>>> {
+        if let Some(plan) = &self.inner.faults {
+            if !plan.can_download(receiver, round) {
+                self.inner.stats.lock().missed_downloads += 1;
+                return None;
+            }
+        }
+        self.download()
+    }
+
     pub fn stats(&self) -> CloudStats {
         *self.inner.stats.lock()
     }
 
-    /// Simulated communication seconds spent on all traffic so far.
+    /// Simulated communication seconds spent on all traffic so far,
+    /// including straggler delay penalties.
     pub fn simulated_seconds(&self) -> f64 {
         let s = self.stats();
         self.inner
             .latency
             .seconds(s.uploads + s.downloads, s.upload_bytes + s.download_bytes)
+            + s.delay_seconds
     }
 }
 
@@ -122,11 +244,18 @@ mod tests {
     use crate::codec::LayerUpdate;
 
     fn snap(sender: usize, v: f64) -> ModelUpdate {
+        snap_round(sender, v, 0)
+    }
+
+    fn snap_round(sender: usize, v: f64, round: u64) -> ModelUpdate {
         ModelUpdate {
             sender,
-            round: 0,
+            round,
             model_id: 0,
-            layers: vec![LayerUpdate { index: 0, params: vec![v; 4] }],
+            layers: vec![LayerUpdate {
+                index: 0,
+                params: vec![v; 4],
+            }],
         }
     }
 
@@ -175,8 +304,8 @@ mod tests {
         cloud.aggregate();
         let _ = cloud.download();
         let s = cloud.stats();
-        let lan = LatencyModel::lan()
-            .seconds(s.uploads + s.downloads, s.upload_bytes + s.download_bytes);
+        let lan =
+            LatencyModel::lan().seconds(s.uploads + s.downloads, s.upload_bytes + s.download_bytes);
         assert!(cloud.simulated_seconds() > lan);
     }
 
@@ -193,5 +322,130 @@ mod tests {
         assert_eq!(cloud.aggregate(), 8);
         // Average of 0..8 = 3.5.
         assert_eq!(cloud.download().unwrap()[0], vec![3.5; 4]);
+    }
+
+    #[test]
+    fn malformed_snapshots_are_rejected_not_panicked_on() {
+        let cloud = CloudAggregator::new(LatencyModel::cloud());
+        cloud.upload(snap(0, 1.0));
+        cloud.upload(snap(1, 3.0));
+        // Truncated layer.
+        let mut truncated = snap(2, 9.0);
+        truncated.layers[0].params.truncate(2);
+        cloud.upload(truncated);
+        // Non-finite layer.
+        let mut nan = snap(3, 9.0);
+        nan.layers[0].params[1] = f64::NAN;
+        cloud.upload(nan);
+        // Wrong layer count.
+        let mut extra = snap(4, 9.0);
+        extra.layers.push(LayerUpdate {
+            index: 1,
+            params: vec![9.0; 4],
+        });
+        cloud.upload(extra);
+        assert_eq!(cloud.aggregate(), 2, "only well-formed snapshots merge");
+        assert_eq!(cloud.stats().rejected, 3);
+        assert_eq!(cloud.download().unwrap()[0], vec![2.0; 4]);
+    }
+
+    #[test]
+    fn all_invalid_batch_keeps_previous_global() {
+        let cloud = CloudAggregator::new(LatencyModel::cloud());
+        cloud.upload(snap(0, 5.0));
+        cloud.aggregate();
+        let mut nan = snap(1, 9.0);
+        nan.layers[0].params[0] = f64::NAN;
+        cloud.upload(nan);
+        assert_eq!(cloud.aggregate(), 0);
+        assert_eq!(cloud.stats().rejected, 1);
+        assert_eq!(cloud.download().unwrap()[0], vec![5.0; 4]);
+    }
+
+    #[test]
+    fn quorum_failure_keeps_previous_global() {
+        let cloud = CloudAggregator::new(LatencyModel::cloud());
+        cloud.upload(snap(0, 2.0));
+        cloud.upload(snap(1, 4.0));
+        assert_eq!(cloud.aggregate_with_quorum(2), 2);
+        cloud.upload(snap(0, 100.0));
+        assert_eq!(
+            cloud.aggregate_with_quorum(2),
+            0,
+            "one snapshot < quorum of 2"
+        );
+        assert_eq!(cloud.stats().quorum_failures, 1);
+        assert_eq!(cloud.download().unwrap()[0], vec![3.0; 4]);
+    }
+
+    #[test]
+    fn lossy_uplink_drops_uploads_deterministically() {
+        let cfg = FaultConfig {
+            seed: 5,
+            loss_rate: 0.5,
+            ..FaultConfig::default()
+        };
+        let run = || {
+            let cloud = CloudAggregator::with_faults(LatencyModel::cloud(), &cfg);
+            for round in 0..20u64 {
+                for sender in 0..4 {
+                    cloud.upload(snap_round(sender, 1.0, round));
+                }
+            }
+            cloud.stats()
+        };
+        let s = run();
+        assert_eq!(s, run());
+        assert!(s.dropped_loss > 0, "some uploads must be lost at 50%");
+        assert!(s.uploads < 80, "some uploads must be dropped");
+        assert_eq!(s.uploads + s.dropped_loss, 80);
+    }
+
+    #[test]
+    fn offline_residence_misses_upload_and_download() {
+        let cfg = FaultConfig {
+            dropout_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let cloud = CloudAggregator::with_faults(LatencyModel::cloud(), &cfg);
+        cloud.upload(snap(0, 1.0));
+        assert_eq!(cloud.stats().dropped_offline, 1);
+        assert_eq!(cloud.aggregate(), 0);
+        assert!(cloud.download_for(0, 0).is_none());
+        assert_eq!(cloud.stats().missed_downloads, 1);
+    }
+
+    #[test]
+    fn corrupted_upload_is_flagged_and_rejected_at_aggregation() {
+        let cfg = FaultConfig {
+            corrupt_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let cloud = CloudAggregator::with_faults(LatencyModel::cloud(), &cfg);
+        cloud.upload(snap(0, 1.0));
+        assert_eq!(cloud.stats().corrupted, 1);
+        // The damaged snapshot is either truncated or NaN-laden, so the
+        // validating aggregation rejects it.
+        assert_eq!(cloud.aggregate(), 0);
+        assert_eq!(cloud.stats().rejected, 1);
+    }
+
+    #[test]
+    fn straggling_upload_still_arrives_but_pays_latency() {
+        let cfg = FaultConfig {
+            straggler_rate: 1.0,
+            straggler_delay: 2.0,
+            ..FaultConfig::default()
+        };
+        let latency = LatencyModel {
+            per_message_s: 1.0,
+            per_byte_s: 0.0,
+        };
+        let cloud = CloudAggregator::with_faults(latency, &cfg);
+        cloud.upload(snap(0, 1.0));
+        assert_eq!(cloud.aggregate(), 1);
+        let s = cloud.stats();
+        assert_eq!(s.delayed, 1);
+        assert!((s.delay_seconds - 2.0).abs() < 1e-12);
     }
 }

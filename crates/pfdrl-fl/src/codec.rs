@@ -65,7 +65,10 @@ mod tests {
             layers: layer_sizes
                 .iter()
                 .enumerate()
-                .map(|(i, &n)| LayerUpdate { index: i, params: vec![0.0; n] })
+                .map(|(i, &n)| LayerUpdate {
+                    index: i,
+                    params: vec![0.0; n],
+                })
                 .collect(),
         }
     }
@@ -90,5 +93,45 @@ mod tests {
         let full = update(&[100, 100, 100, 100]);
         let partial = update(&[100, 100]);
         assert!(partial.byte_size() < full.byte_size());
+    }
+
+    #[test]
+    fn model_update_serde_round_trips() {
+        let original = ModelUpdate {
+            sender: 7,
+            round: 42,
+            model_id: 3,
+            layers: vec![
+                LayerUpdate {
+                    index: 0,
+                    params: vec![1.5, -2.25, 0.0],
+                },
+                LayerUpdate {
+                    index: 1,
+                    params: vec![3.125],
+                },
+            ],
+        };
+        let json = serde_json::to_string(&original).expect("serialize");
+        let back: ModelUpdate = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, original);
+        assert_eq!(back.byte_size(), original.byte_size());
+    }
+
+    #[test]
+    fn byte_size_stays_consistent_with_header_constants() {
+        // The wire-size accounting that Figures 13-14 rest on: any drift
+        // between byte_size() and the header constants silently skews
+        // the communication-cost comparison, so pin the relationship.
+        for sizes in [&[][..], &[1][..], &[10, 5][..], &[64, 64, 32][..]] {
+            let u = update(sizes);
+            let expected =
+                HEADER_BYTES + sizes.len() * LAYER_HEADER_BYTES + 8 * sizes.iter().sum::<usize>();
+            assert_eq!(u.byte_size(), expected, "layer sizes {sizes:?}");
+        }
+        // Header must cover sender + round + model_id + a length field,
+        // and each layer header its index + a length field.
+        const { assert!(HEADER_BYTES >= 8 + 8 + 8 + 8) }
+        const { assert!(LAYER_HEADER_BYTES >= 8 + 8) }
     }
 }

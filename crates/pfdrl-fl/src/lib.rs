@@ -7,9 +7,14 @@
 //!   accounting);
 //! * [`CloudAggregator`] — the centralized parameter server used by the
 //!   Cloud/FL baselines;
-//! * [`aggregate`] — FedAvg (Algorithm 1's `W ← Σ W_n / N`);
+//! * [`aggregate`] — FedAvg (Algorithm 1's `W ← Σ W_n / N`), hardened
+//!   with typed [`AggregateError`]s, per-layer quorum and staleness
+//!   decay ([`MergePolicy`]);
 //! * [`LayerSplit`] — the α base/personalization split (Eqs. 7–8);
-//! * [`PeriodicSchedule`] — the β and γ broadcast frequencies.
+//! * [`PeriodicSchedule`] — the β and γ broadcast frequencies;
+//! * [`fault`] — deterministic chaos injection (churn, loss,
+//!   stragglers, corruption) for robustness experiments
+//!   ([`FaultConfig`], [`FaultPlan`]).
 //!
 //! ## Example
 //!
@@ -27,11 +32,14 @@
 //! bus.broadcast(aggregate::snapshot_update(&m0, 0, 1, 0));
 //! bus.broadcast(aggregate::snapshot_update(&m1, 1, 1, 0));
 //!
-//! // Each residence merges what it received with its own model.
+//! // Each residence merges what it received with its own model. The
+//! // merge validates every layer and reports rejections instead of
+//! // panicking; with clean traffic the report is empty.
 //! for (id, model) in [(0, &mut m0), (1, &mut m1)] {
 //!     let updates = bus.drain(id);
 //!     let refs: Vec<&_> = updates.iter().map(|u| u.as_ref()).collect();
-//!     aggregate::merge_updates(model, &refs);
+//!     let report = aggregate::merge_updates(model, &refs);
+//!     assert!(report.is_clean());
 //! }
 //! // Both models now hold the same averaged parameters.
 //! assert_eq!(m0.export_layer(0), m1.export_layer(0));
@@ -41,6 +49,7 @@ pub mod aggregate;
 pub mod bus;
 pub mod cloud;
 pub mod codec;
+pub mod fault;
 pub mod personalization;
 pub mod scheduler;
 pub mod topology;
@@ -55,10 +64,14 @@ pub(crate) fn topology_hash(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-pub use aggregate::{fedavg_in_place, merge_updates, snapshot_update};
+pub use aggregate::{
+    fedavg_in_place, merge_updates, merge_updates_with, snapshot_update, AggregateError,
+    MergePolicy, MergeReport,
+};
 pub use bus::{BroadcastBus, BusStats, LatencyModel};
 pub use cloud::{CloudAggregator, CloudStats};
 pub use codec::{LayerUpdate, ModelUpdate};
+pub use fault::{CorruptKind, Delivery, DropReason, FaultConfig, FaultInjector, FaultPlan};
 pub use personalization::LayerSplit;
 pub use scheduler::PeriodicSchedule;
 pub use topology::Topology;

@@ -2,6 +2,7 @@
 //! DRL network are *base* layers, broadcast and federated; the remaining
 //! layers are *personalization* layers that never leave the residence.
 
+use crate::aggregate::{merge_base_layers, MergePolicy, MergeReport};
 use crate::codec::{LayerUpdate, ModelUpdate};
 use pfdrl_nn::Layered;
 
@@ -47,66 +48,66 @@ impl LayerSplit {
         round: u64,
         model_id: u64,
     ) -> ModelUpdate {
-        assert_eq!(model.layer_count(), self.total, "split does not match model");
+        assert_eq!(
+            model.layer_count(),
+            self.total,
+            "split does not match model"
+        );
         let layers = self
             .base_layers()
-            .map(|i| LayerUpdate { index: i, params: model.export_layer(i) })
+            .map(|i| LayerUpdate {
+                index: i,
+                params: model.export_layer(i),
+            })
             .collect();
-        ModelUpdate { sender, round, model_id, layers }
+        ModelUpdate {
+            sender,
+            round,
+            model_id,
+            layers,
+        }
     }
 
     /// Eq. (7) + Eq. (8): averages the base layers with the received base
     /// layers (federated step) and leaves the personalization layers
-    /// exactly as they were (local step). Returns the number of updates
-    /// merged.
-    pub fn merge_base<M: Layered + ?Sized>(&self, model: &mut M, updates: &[&ModelUpdate]) -> usize {
-        assert_eq!(model.layer_count(), self.total, "split does not match model");
-        // A well-behaved peer never transmits layers >= alpha; receiving
-        // one indicates a privacy leak or a mis-configured split.
-        for u in updates {
-            for lu in &u.layers {
-                assert!(
-                    lu.index < self.alpha,
-                    "received personalization layer {} from sender {} — peers must \
-                     only broadcast base layers",
-                    lu.index,
-                    u.sender
-                );
-            }
-        }
-        let mut merged = 0;
-        for layer_idx in self.base_layers() {
-            let mut snapshots: Vec<Vec<f64>> = Vec::new();
-            for u in updates {
-                for lu in &u.layers {
-                    if lu.index == layer_idx {
-                        assert_eq!(
-                            lu.params.len(),
-                            model.layer_param_count(layer_idx),
-                            "base layer {} size mismatch from sender {}",
-                            layer_idx,
-                            u.sender
-                        );
-                        snapshots.push(lu.params.clone());
-                    }
-                }
-            }
-            if snapshots.is_empty() {
-                continue;
-            }
-            if layer_idx == 0 {
-                merged = snapshots.len();
-            }
-            snapshots.push(model.export_layer(layer_idx));
-            model.import_layer(layer_idx, &pfdrl_nn::average_params(&snapshots));
-        }
-        merged
+    /// exactly as they were (local step).
+    ///
+    /// Validated, never panics on bad peer input: an update carrying a
+    /// personalization layer (index >= alpha) is rejected wholesale as a
+    /// [`PersonalizationLeak`](crate::AggregateError::PersonalizationLeak);
+    /// mis-sized or non-finite layers are rejected individually. The
+    /// returned [`MergeReport`] lists every rejection.
+    pub fn merge_base<M: Layered + ?Sized>(
+        &self,
+        model: &mut M,
+        updates: &[&ModelUpdate],
+    ) -> MergeReport {
+        let now = updates.iter().map(|u| u.round).max().unwrap_or(0);
+        self.merge_base_with(model, updates, now, &MergePolicy::default())
+    }
+
+    /// [`merge_base`](Self::merge_base) under an explicit round clock
+    /// and [`MergePolicy`] (quorum, staleness decay, staleness bound).
+    pub fn merge_base_with<M: Layered + ?Sized>(
+        &self,
+        model: &mut M,
+        updates: &[&ModelUpdate],
+        now_round: u64,
+        policy: &MergePolicy,
+    ) -> MergeReport {
+        assert_eq!(
+            model.layer_count(),
+            self.total,
+            "split does not match model"
+        );
+        merge_base_layers(model, updates, self.alpha, now_round, policy)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::aggregate::AggregateError;
     use pfdrl_nn::{Activation, Mlp};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -159,13 +160,17 @@ mod tests {
         let mut local = mlp(2);
         let remote = mlp(3);
         let split = LayerSplit::for_model(2, &local);
-        let personal_before: Vec<Vec<f64>> =
-            split.personal_layers().map(|i| local.export_layer(i)).collect();
+        let personal_before: Vec<Vec<f64>> = split
+            .personal_layers()
+            .map(|i| local.export_layer(i))
+            .collect();
         let base_before = local.export_layer(0);
 
         let u = split.base_update(&remote, 1, 0, 0);
-        let merged = split.merge_base(&mut local, &[&u]);
-        assert_eq!(merged, 1);
+        let report = split.merge_base(&mut local, &[&u]);
+        assert!(report.is_clean());
+        assert_eq!(report.accepted_updates, 1);
+        assert_eq!(report.merged_layers, 2);
 
         // Base layer 0 is now the average of local and remote.
         let expected: Vec<f64> = base_before
@@ -184,19 +189,48 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "personalization layer")]
-    fn merge_rejects_leaked_personal_layers() {
+    fn merge_rejects_leaked_personal_layers_without_panic() {
         let mut local = mlp(4);
         let split = LayerSplit::for_model(2, &local);
-        let u = ModelUpdate {
-            sender: 1,
-            round: 0,
-            model_id: 0,
-            layers: vec![LayerUpdate { index: 3, params: local.export_layer(3) }],
-        };
-        // A well-behaved peer never sends layer >= alpha; receiving one
-        // indicates privacy leakage and must hard-fail.
-        let _ = split.merge_base(&mut local, &[&u]);
+        let before: Vec<Vec<f64>> = (0..local.layer_count())
+            .map(|i| local.export_layer(i))
+            .collect();
+        let mut u = split.base_update(&local, 1, 0, 0);
+        u.layers.push(LayerUpdate {
+            index: 3,
+            params: local.export_layer(3),
+        });
+        // A well-behaved peer never sends layer >= alpha; the whole
+        // update is rejected and the local model left untouched.
+        let report = split.merge_base(&mut local, &[&u]);
+        assert_eq!(report.accepted_updates, 0);
+        assert_eq!(report.merged_layers, 0);
+        assert_eq!(
+            report.rejections,
+            vec![AggregateError::PersonalizationLeak {
+                sender: 1,
+                layer: 3,
+                alpha: 2
+            }]
+        );
+        for (i, b) in before.iter().enumerate() {
+            assert_eq!(&local.export_layer(i), b, "layer {i} must not move");
+        }
+    }
+
+    #[test]
+    fn merge_base_skips_damaged_updates_but_merges_good_ones() {
+        let mut local = mlp(7);
+        let good_peer = mlp(8);
+        let split = LayerSplit::for_model(2, &local);
+        let good = split.base_update(&good_peer, 1, 0, 0);
+        let mut bad = split.base_update(&good_peer, 2, 0, 0);
+        bad.layers[0].params[0] = f64::NAN;
+        bad.layers[1].params.truncate(2);
+        let report = split.merge_base(&mut local, &[&good, &bad]);
+        assert_eq!(report.accepted_updates, 1);
+        assert_eq!(report.merged_layers, 2);
+        assert_eq!(report.rejections.len(), 2);
     }
 
     #[test]
@@ -204,16 +238,13 @@ mod tests {
         let mut a = mlp(5);
         let b = mlp(6);
         let split = LayerSplit::for_model(a.layer_count(), &a);
-        let originals: Vec<Vec<f64>> =
-            (0..a.layer_count()).map(|i| a.export_layer(i)).collect();
+        let originals: Vec<Vec<f64>> = (0..a.layer_count()).map(|i| a.export_layer(i)).collect();
         let u = split.base_update(&b, 1, 0, 0);
         split.merge_base(&mut a, &[&u]);
         // Every layer is now the average of the two originals.
-        for i in 0..a.layer_count() {
+        for (i, original) in originals.iter().enumerate() {
             let got = a.export_layer(i);
-            for ((o, r), g) in
-                originals[i].iter().zip(b.export_layer(i)).zip(got.iter())
-            {
+            for ((o, r), g) in original.iter().zip(b.export_layer(i)).zip(got.iter()) {
                 assert!(((o + r) / 2.0 - g).abs() < 1e-12);
             }
         }

@@ -15,7 +15,10 @@ impl PeriodicSchedule {
     /// Panics if `period_hours <= 0`.
     pub fn new(period_hours: f64) -> Self {
         assert!(period_hours > 0.0, "broadcast period must be positive");
-        PeriodicSchedule { period_hours, next_due: period_hours }
+        PeriodicSchedule {
+            period_hours,
+            next_due: period_hours,
+        }
     }
 
     pub fn period_hours(&self) -> f64 {

@@ -93,7 +93,10 @@ mod tests {
 
     #[test]
     fn random_k_is_deterministic_and_excludes_self() {
-        let t = Topology::RandomK { k: 3, round_salt: 7 };
+        let t = Topology::RandomK {
+            k: 3,
+            round_salt: 7,
+        };
         let a = t.peers(4, 10);
         let b = t.peers(4, 10);
         assert_eq!(a, b);
@@ -106,8 +109,16 @@ mod tests {
 
     #[test]
     fn random_k_remixes_across_rounds() {
-        let r1 = Topology::RandomK { k: 3, round_salt: 1 }.peers(0, 20);
-        let r2 = Topology::RandomK { k: 3, round_salt: 2 }.peers(0, 20);
+        let r1 = Topology::RandomK {
+            k: 3,
+            round_salt: 1,
+        }
+        .peers(0, 20);
+        let r2 = Topology::RandomK {
+            k: 3,
+            round_salt: 2,
+        }
+        .peers(0, 20);
         assert_ne!(r1, r2, "gossip graph should change with the round salt");
     }
 
@@ -116,7 +127,11 @@ mod tests {
         let n = 16;
         let full = Topology::FullBroadcast.deliveries_per_round(n);
         let ring = Topology::Ring.deliveries_per_round(n);
-        let gossip = Topology::RandomK { k: 4, round_salt: 0 }.deliveries_per_round(n);
+        let gossip = Topology::RandomK {
+            k: 4,
+            round_salt: 0,
+        }
+        .deliveries_per_round(n);
         assert!(ring < gossip && gossip < full);
     }
 
@@ -129,6 +144,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be smaller")]
     fn oversized_k_panics() {
-        let _ = Topology::RandomK { k: 5, round_salt: 0 }.peers(0, 5);
+        let _ = Topology::RandomK {
+            k: 5,
+            round_salt: 0,
+        }
+        .peers(0, 5);
     }
 }

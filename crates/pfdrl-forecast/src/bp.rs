@@ -76,10 +76,18 @@ impl Forecaster for BpNetwork {
             }
             final_loss = epoch_loss / batches;
             if conv.update(final_loss) {
-                return FitReport { epochs: epoch + 1, final_loss, converged: true };
+                return FitReport {
+                    epochs: epoch + 1,
+                    final_loss,
+                    converged: true,
+                };
             }
         }
-        FitReport { epochs: max_epochs, final_loss, converged: false }
+        FitReport {
+            epochs: max_epochs,
+            final_loss,
+            converged: false,
+        }
     }
 
     fn predict(&self, inputs: &[Vec<f64>]) -> Vec<f64> {
@@ -87,7 +95,10 @@ impl Forecaster for BpNetwork {
             return Vec::new();
         }
         let idx: Vec<usize> = (0..inputs.len()).collect();
-        self.net.infer(&batch_inputs(inputs, &idx)).as_slice().to_vec()
+        self.net
+            .infer(&batch_inputs(inputs, &idx))
+            .as_slice()
+            .to_vec()
     }
 
     fn method_name(&self) -> &'static str {

@@ -25,18 +25,31 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { lr: 0.01, max_epochs: 30, batch: 64, tol: 1e-4, patience: 3, seed: 0 }
+        TrainConfig {
+            lr: 0.01,
+            max_epochs: 30,
+            batch: 64,
+            tol: 1e-4,
+            patience: 3,
+            seed: 0,
+        }
     }
 }
 
 impl TrainConfig {
     pub fn with_seed(seed: u64) -> Self {
-        TrainConfig { seed, ..Default::default() }
+        TrainConfig {
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Budget-limited variant for quick federated rounds.
     pub fn quick(seed: u64) -> Self {
-        TrainConfig { max_epochs: 8, ..TrainConfig::with_seed(seed) }
+        TrainConfig {
+            max_epochs: 8,
+            ..TrainConfig::with_seed(seed)
+        }
     }
 }
 
@@ -98,7 +111,12 @@ pub(crate) struct Convergence {
 
 impl Convergence {
     pub fn new(tol: f64, patience: usize) -> Self {
-        Convergence { tol, patience, strikes: 0, prev_loss: None }
+        Convergence {
+            tol,
+            patience,
+            strikes: 0,
+            prev_loss: None,
+        }
     }
 
     /// Feeds one epoch's loss; returns `true` when training should stop.

@@ -23,8 +23,12 @@ pub struct LinearRegressor {
 impl LinearRegressor {
     pub fn new(feature_dim: usize, cfg: TrainConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let net =
-            Mlp::new(&[feature_dim, 1], Activation::Identity, Activation::Identity, &mut rng);
+        let net = Mlp::new(
+            &[feature_dim, 1],
+            Activation::Identity,
+            Activation::Identity,
+            &mut rng,
+        );
         LinearRegressor { net, cfg }
     }
 }
@@ -72,10 +76,18 @@ impl Forecaster for LinearRegressor {
             }
             final_loss = epoch_loss / batches;
             if conv.update(final_loss) {
-                return FitReport { epochs: epoch + 1, final_loss, converged: true };
+                return FitReport {
+                    epochs: epoch + 1,
+                    final_loss,
+                    converged: true,
+                };
             }
         }
-        FitReport { epochs: max_epochs, final_loss, converged: false }
+        FitReport {
+            epochs: max_epochs,
+            final_loss,
+            converged: false,
+        }
     }
 
     fn predict(&self, inputs: &[Vec<f64>]) -> Vec<f64> {
@@ -101,14 +113,19 @@ mod tests {
         // A sinusoid satisfies the two-lag harmonic recurrence
         // y_t = 2cos(w) y_{t-1} - y_{t-2}, so it is exactly linear in any
         // window of >= 2 lags — ideal territory for LR.
-        (0..n).map(|t| 50.0 + 40.0 * (t as f64 / 20.0).sin()).collect()
+        (0..n)
+            .map(|t| 50.0 + 40.0 * (t as f64 / 20.0).sin())
+            .collect()
     }
 
     #[test]
     fn fits_linear_signal_well() {
         let set = build_windows(&linear_trace(800), 100.0, 8, 1, 0);
         let (train, test) = set.split(0.8);
-        let cfg = TrainConfig { max_epochs: 80, ..TrainConfig::with_seed(3) };
+        let cfg = TrainConfig {
+            max_epochs: 80,
+            ..TrainConfig::with_seed(3)
+        };
         let mut lr = LinearRegressor::new(set.feature_dim(), cfg);
         let report = lr.fit(&train);
         assert!(report.final_loss < 1e-2, "loss {}", report.final_loss);
@@ -141,7 +158,10 @@ mod tests {
             .sum::<f64>()
             / preds.len() as f64)
             .sqrt();
-        assert!(rmse > 0.02, "LR unexpectedly nailed a nonlinear signal, RMSE {rmse}");
+        assert!(
+            rmse > 0.02,
+            "LR unexpectedly nailed a nonlinear signal, RMSE {rmse}"
+        );
     }
 
     #[test]
@@ -149,7 +169,7 @@ mod tests {
         let set = build_windows(&linear_trace(200), 10.0, 8, 1, 0);
         let lr = LinearRegressor::new(set.feature_dim(), TrainConfig::with_seed(5));
         let one = lr.predict_one(&set.inputs[3]);
-        let batch = lr.predict(&set.inputs[..5].to_vec());
+        let batch = lr.predict(&set.inputs[..5]);
         assert!((one - batch[3]).abs() < 1e-12);
     }
 

@@ -27,10 +27,17 @@ impl LstmForecaster {
     }
 
     pub fn with_hidden(feature_dim: usize, hidden: usize, cfg: TrainConfig) -> Self {
-        assert!(feature_dim > 2, "feature_dim must be window + 2 with window >= 1");
+        assert!(
+            feature_dim > 2,
+            "feature_dim must be window + 2 with window >= 1"
+        );
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let net = Lstm::new(3, hidden, 1, &mut rng);
-        LstmForecaster { net, window: feature_dim - 2, cfg }
+        LstmForecaster {
+            net,
+            window: feature_dim - 2,
+            cfg,
+        }
     }
 
     /// Unrolls a batch of flat feature vectors into per-timestep input
@@ -76,7 +83,11 @@ impl Forecaster for LstmForecaster {
 
     fn fit_budget(&mut self, set: &SupervisedSet, max_epochs: usize) -> FitReport {
         assert!(!set.is_empty(), "fit on empty dataset");
-        assert_eq!(set.feature_dim(), self.window + 2, "dataset window mismatch");
+        assert_eq!(
+            set.feature_dim(),
+            self.window + 2,
+            "dataset window mismatch"
+        );
         let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
         let mut opt = Adam::new(self.cfg.lr);
         let mut conv = Convergence::new(self.cfg.tol, self.cfg.patience);
@@ -101,10 +112,18 @@ impl Forecaster for LstmForecaster {
             }
             final_loss = epoch_loss / batches;
             if conv.update(final_loss) {
-                return FitReport { epochs: epoch + 1, final_loss, converged: true };
+                return FitReport {
+                    epochs: epoch + 1,
+                    final_loss,
+                    converged: true,
+                };
             }
         }
-        FitReport { epochs: max_epochs, final_loss, converged: false }
+        FitReport {
+            epochs: max_epochs,
+            final_loss,
+            converged: false,
+        }
     }
 
     fn predict(&self, inputs: &[Vec<f64>]) -> Vec<f64> {
@@ -134,7 +153,10 @@ mod tests {
             .collect();
         let set = build_windows(&trace, 100.0, 12, 1, 0).strided(3);
         let (train, test) = set.split(0.8);
-        let cfg = TrainConfig { max_epochs: 30, ..TrainConfig::with_seed(10) };
+        let cfg = TrainConfig {
+            max_epochs: 30,
+            ..TrainConfig::with_seed(10)
+        };
         let mut lstm = LstmForecaster::new(set.feature_dim(), cfg);
         let report = lstm.fit(&train);
         assert!(report.final_loss < 0.01, "train loss {}", report.final_loss);

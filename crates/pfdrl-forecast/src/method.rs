@@ -22,8 +22,12 @@ pub enum ForecastMethod {
 
 impl ForecastMethod {
     /// All methods in the paper's presentation order.
-    pub const ALL: [ForecastMethod; 4] =
-        [ForecastMethod::Lr, ForecastMethod::Svm, ForecastMethod::Bp, ForecastMethod::Lstm];
+    pub const ALL: [ForecastMethod; 4] = [
+        ForecastMethod::Lr,
+        ForecastMethod::Svm,
+        ForecastMethod::Bp,
+        ForecastMethod::Lstm,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -38,9 +42,13 @@ impl ForecastMethod {
     pub fn build(self, feature_dim: usize, cfg: TrainConfig) -> Box<dyn Forecaster> {
         match self {
             ForecastMethod::Lr => Box::new(LinearRegressor::new(feature_dim, cfg)),
-            ForecastMethod::Svm => {
-                Box::new(SvrRegressor::new(feature_dim, SvrConfig { train: cfg, ..Default::default() }))
-            }
+            ForecastMethod::Svm => Box::new(SvrRegressor::new(
+                feature_dim,
+                SvrConfig {
+                    train: cfg,
+                    ..Default::default()
+                },
+            )),
             ForecastMethod::Bp => Box::new(BpNetwork::new(feature_dim, cfg)),
             ForecastMethod::Lstm => Box::new(LstmForecaster::new(feature_dim, cfg)),
         }

@@ -37,14 +37,22 @@ pub fn paper_accuracy(pred: &[f64], real: &[f64], floor: f64) -> Option<f64> {
 pub fn mae(pred: &[f64], real: &[f64]) -> f64 {
     assert_eq!(pred.len(), real.len(), "mae length mismatch");
     assert!(!pred.is_empty(), "mae on empty slice");
-    pred.iter().zip(real.iter()).map(|(p, r)| (p - r).abs()).sum::<f64>() / pred.len() as f64
+    pred.iter()
+        .zip(real.iter())
+        .map(|(p, r)| (p - r).abs())
+        .sum::<f64>()
+        / pred.len() as f64
 }
 
 /// Root mean squared error.
 pub fn rmse(pred: &[f64], real: &[f64]) -> f64 {
     assert_eq!(pred.len(), real.len(), "rmse length mismatch");
     assert!(!pred.is_empty(), "rmse on empty slice");
-    (pred.iter().zip(real.iter()).map(|(p, r)| (p - r) * (p - r)).sum::<f64>()
+    (pred
+        .iter()
+        .zip(real.iter())
+        .map(|(p, r)| (p - r) * (p - r))
+        .sum::<f64>()
         / pred.len() as f64)
         .sqrt()
 }

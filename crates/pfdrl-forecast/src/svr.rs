@@ -67,10 +67,17 @@ impl SvrRegressor {
         let omega = Matrix::from_fn(feature_dim, cfg.n_features, |_, _| {
             scale * pfdrl_data::schedule::standard_normal(&mut rng)
         });
-        let phases =
-            (0..cfg.n_features).map(|_| rng.gen_range(0.0..2.0 * std::f64::consts::PI)).collect();
+        let phases = (0..cfg.n_features)
+            .map(|_| rng.gen_range(0.0..2.0 * std::f64::consts::PI))
+            .collect();
         let w = vec![0.0; feature_dim + cfg.n_features + 1];
-        SvrRegressor { in_dim: feature_dim, omega, phases, w, cfg }
+        SvrRegressor {
+            in_dim: feature_dim,
+            omega,
+            phases,
+            w,
+            cfg,
+        }
     }
 
     /// Feature map: the raw input (linear-kernel part) followed by the
@@ -165,14 +172,25 @@ impl Forecaster for SvrRegressor {
             }
             final_loss = epoch_loss / batches;
             if conv.update(final_loss) {
-                return FitReport { epochs: epoch + 1, final_loss, converged: true };
+                return FitReport {
+                    epochs: epoch + 1,
+                    final_loss,
+                    converged: true,
+                };
             }
         }
-        FitReport { epochs: max_epochs, final_loss, converged: false }
+        FitReport {
+            epochs: max_epochs,
+            final_loss,
+            converged: false,
+        }
     }
 
     fn predict(&self, inputs: &[Vec<f64>]) -> Vec<f64> {
-        inputs.iter().map(|x| self.predict_features(&self.transform(x))).collect()
+        inputs
+            .iter()
+            .map(|x| self.predict_features(&self.transform(x)))
+            .collect()
     }
 
     fn method_name(&self) -> &'static str {
@@ -186,13 +204,20 @@ mod tests {
     use pfdrl_data::build_windows;
 
     fn svr_cfg(seed: u64) -> SvrConfig {
-        SvrConfig { train: TrainConfig { max_epochs: 60, ..TrainConfig::with_seed(seed) }, ..Default::default() }
+        SvrConfig {
+            train: TrainConfig {
+                max_epochs: 60,
+                ..TrainConfig::with_seed(seed)
+            },
+            ..Default::default()
+        }
     }
 
     #[test]
     fn fits_smooth_nonlinear_signal() {
-        let trace: Vec<f64> =
-            (0..2000).map(|t| 50.0 + 40.0 * (t as f64 / 90.0).sin()).collect();
+        let trace: Vec<f64> = (0..2000)
+            .map(|t| 50.0 + 40.0 * (t as f64 / 90.0).sin())
+            .collect();
         let set = build_windows(&trace, 100.0, 8, 1, 0).strided(3);
         let (train, test) = set.split(0.8);
         let mut svr = SvrRegressor::new(set.feature_dim(), svr_cfg(8));
@@ -212,7 +237,10 @@ mod tests {
         // With a huge epsilon, the model never moves off initialization.
         let trace: Vec<f64> = (0..200).map(|t| (t % 7) as f64).collect();
         let set = build_windows(&trace, 10.0, 4, 1, 0);
-        let cfg = SvrConfig { epsilon: 100.0, ..svr_cfg(1) };
+        let cfg = SvrConfig {
+            epsilon: 100.0,
+            ..svr_cfg(1)
+        };
         let mut svr = SvrRegressor::new(set.feature_dim(), cfg);
         let before = svr.export_layer(0);
         svr.fit(&set);
@@ -238,7 +266,10 @@ mod tests {
         let a = SvrRegressor::new(6, svr_cfg(3));
         let mut b = SvrRegressor::new(6, svr_cfg(3));
         let mut params = a.export_layer(0);
-        params.iter_mut().enumerate().for_each(|(i, p)| *p = i as f64);
+        params
+            .iter_mut()
+            .enumerate()
+            .for_each(|(i, p)| *p = i as f64);
         b.import_layer(0, &params);
         assert_eq!(b.export_layer(0), params);
     }

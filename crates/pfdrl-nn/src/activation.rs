@@ -93,7 +93,12 @@ mod tests {
 
     #[test]
     fn derivatives_match_finite_differences() {
-        let acts = [Activation::Identity, Activation::Relu, Activation::Sigmoid, Activation::Tanh];
+        let acts = [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::Sigmoid,
+            Activation::Tanh,
+        ];
         let eps = 1e-6;
         for act in acts {
             for &x in &[-2.0, -0.5, 0.3, 1.7] {

@@ -44,7 +44,9 @@ pub fn check_mlp(net: &Mlp, x: &Matrix, stride: usize) -> GradCheck {
         let pairs = work.param_grad_pairs();
         pairs.iter().flat_map(|(_, g)| g.iter().copied()).collect()
     };
-    let flat: Vec<f64> = (0..net.layer_count()).flat_map(|i| net.export_layer(i)).collect();
+    let flat: Vec<f64> = (0..net.layer_count())
+        .flat_map(|i| net.export_layer(i))
+        .collect();
 
     let eval = |params: &[f64]| -> f64 {
         let mut n = net.clone();
@@ -75,7 +77,11 @@ pub fn check_mlp(net: &Mlp, x: &Matrix, stride: usize) -> GradCheck {
         max_rel = max_rel.max(rel);
         checked += 1;
     }
-    GradCheck { max_abs_err: max_abs, max_rel_err: max_rel, checked }
+    GradCheck {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+        checked,
+    }
 }
 
 #[cfg(test)]
@@ -88,7 +94,12 @@ mod tests {
     #[test]
     fn correct_gradients_pass() {
         let mut rng = StdRng::seed_from_u64(17);
-        let net = Mlp::new(&[4, 8, 6, 2], Activation::Tanh, Activation::Identity, &mut rng);
+        let net = Mlp::new(
+            &[4, 8, 6, 2],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        );
         let x = Matrix::from_fn(3, 4, |r, c| 0.1 * (r as f64) - 0.2 * (c as f64) + 0.05);
         let check = check_mlp(&net, &x, 5);
         assert!(check.checked > 10);
@@ -101,7 +112,12 @@ mod tests {
         // this by checking against a *different* network's parameters —
         // the numeric gradient then disagrees with the analytic one.
         let mut rng = StdRng::seed_from_u64(18);
-        let net = Mlp::new(&[3, 10, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let net = Mlp::new(
+            &[3, 10, 1],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
         let x = Matrix::from_fn(2, 3, |_, c| 0.3 * (c as f64 + 1.0));
         let good = check_mlp(&net, &x, 3);
         assert!(good.passes(1e-5));
@@ -125,7 +141,10 @@ mod tests {
             let y = n.forward(&x);
             let ones = Matrix::from_fn(y.rows(), y.cols(), |_, _| 1.0);
             let _ = n.backward(&ones);
-            n.param_grad_pairs().iter().flat_map(|(_, g)| g.to_vec()).collect::<Vec<_>>()
+            n.param_grad_pairs()
+                .iter()
+                .flat_map(|(_, g)| g.to_vec())
+                .collect::<Vec<_>>()
         };
         let g2 = {
             let mut n = other.clone();
@@ -133,7 +152,10 @@ mod tests {
             let y = n.forward(&x);
             let ones = Matrix::from_fn(y.rows(), y.cols(), |_, _| 1.0);
             let _ = n.backward(&ones);
-            n.param_grad_pairs().iter().flat_map(|(_, g)| g.to_vec()).collect::<Vec<_>>()
+            n.param_grad_pairs()
+                .iter()
+                .flat_map(|(_, g)| g.to_vec())
+                .collect::<Vec<_>>()
         };
         assert_ne!(g1, g2);
     }
@@ -142,7 +164,12 @@ mod tests {
     #[should_panic(expected = "stride must be positive")]
     fn zero_stride_rejected() {
         let mut rng = StdRng::seed_from_u64(19);
-        let net = Mlp::new(&[2, 2], Activation::Identity, Activation::Identity, &mut rng);
+        let net = Mlp::new(
+            &[2, 2],
+            Activation::Identity,
+            Activation::Identity,
+            &mut rng,
+        );
         let x = Matrix::zeros(1, 2);
         let _ = check_mlp(&net, &x, 0);
     }

@@ -64,7 +64,11 @@ impl Dense {
 
     /// Forward pass over a `batch x in_dim` matrix, caching for backward.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        assert_eq!(x.cols(), self.in_dim(), "Dense::forward input width mismatch");
+        assert_eq!(
+            x.cols(),
+            self.in_dim(),
+            "Dense::forward input width mismatch"
+        );
         let mut pre = x.matmul(&self.w);
         pre.add_row_broadcast(&self.b);
         let out = pre.map(|v| self.act.apply(v));
@@ -88,8 +92,14 @@ impl Dense {
     /// # Panics
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dout: &Matrix) -> Matrix {
-        let input = self.cached_input.as_ref().expect("Dense::backward before forward");
-        let pre = self.cached_pre.as_ref().expect("Dense::backward before forward");
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Dense::backward before forward");
+        let pre = self
+            .cached_pre
+            .as_ref()
+            .expect("Dense::backward before forward");
         assert_eq!(
             (dout.rows(), dout.cols()),
             (pre.rows(), pre.cols()),
@@ -122,7 +132,10 @@ impl Dense {
     /// in a stable order (weights then biases).
     pub fn param_grad_pairs(&mut self) -> [(&mut [f64], &[f64]); 2] {
         let Dense { w, b, gw, gb, .. } = self;
-        [(w.as_mut_slice(), gw.as_slice()), (b.as_mut_slice(), gb.as_slice())]
+        [
+            (w.as_mut_slice(), gw.as_slice()),
+            (b.as_mut_slice(), gb.as_slice()),
+        ]
     }
 
     /// Flattens weights then biases into one vector (federation codec).
@@ -138,7 +151,11 @@ impl Dense {
     /// # Panics
     /// Panics if `data` length does not match `param_count`.
     pub fn import_flat(&mut self, data: &[f64]) {
-        assert_eq!(data.len(), self.param_count(), "Dense::import_flat length mismatch");
+        assert_eq!(
+            data.len(),
+            self.param_count(),
+            "Dense::import_flat length mismatch"
+        );
         let (wp, bp) = data.split_at(self.w.len());
         self.w.as_mut_slice().copy_from_slice(wp);
         self.b.copy_from_slice(bp);

@@ -18,8 +18,11 @@ pub fn mse(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
     let n = pred.len() as f64;
     let mut grad = Matrix::zeros(pred.rows(), pred.cols());
     let mut loss = 0.0;
-    for ((g, &p), &t) in
-        grad.as_mut_slice().iter_mut().zip(pred.as_slice()).zip(target.as_slice())
+    for ((g, &p), &t) in grad
+        .as_mut_slice()
+        .iter_mut()
+        .zip(pred.as_slice())
+        .zip(target.as_slice())
     {
         let d = p - t;
         loss += d * d;
@@ -41,8 +44,11 @@ pub fn huber(pred: &Matrix, target: &Matrix, delta: f64) -> (f64, Matrix) {
     let n = pred.len() as f64;
     let mut grad = Matrix::zeros(pred.rows(), pred.cols());
     let mut loss = 0.0;
-    for ((g, &p), &t) in
-        grad.as_mut_slice().iter_mut().zip(pred.as_slice()).zip(target.as_slice())
+    for ((g, &p), &t) in grad
+        .as_mut_slice()
+        .iter_mut()
+        .zip(pred.as_slice())
+        .zip(target.as_slice())
     {
         let d = p - t;
         if d.abs() <= delta {
@@ -61,12 +67,7 @@ pub fn huber(pred: &Matrix, target: &Matrix, delta: f64) -> (f64, Matrix) {
 /// This is the DQN temporal-difference loss: only the Q-value of the action
 /// actually taken receives gradient; the other two outputs are masked out.
 /// The mean is taken over *masked* entries only.
-pub fn huber_masked(
-    pred: &Matrix,
-    target: &Matrix,
-    mask: &Matrix,
-    delta: f64,
-) -> (f64, Matrix) {
+pub fn huber_masked(pred: &Matrix, target: &Matrix, mask: &Matrix, delta: f64) -> (f64, Matrix) {
     assert!(delta > 0.0, "huber_masked delta must be positive");
     assert_eq!(
         (pred.rows(), pred.cols()),

@@ -59,7 +59,10 @@ impl Lstm {
     /// an `out_dim`-wide linear head. The forget-gate bias starts at 1.0
     /// (standard trick to ease gradient flow early in training).
     pub fn new(in_dim: usize, hidden: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
-        assert!(in_dim > 0 && hidden > 0 && out_dim > 0, "Lstm dims must be positive");
+        assert!(
+            in_dim > 0 && hidden > 0 && out_dim > 0,
+            "Lstm dims must be positive"
+        );
         let zdim = in_dim + hidden;
         let sample = |rng: &mut _| Init::XavierUniform.sample(zdim, hidden, rng);
         Lstm {
@@ -130,7 +133,11 @@ impl Lstm {
         assert!(!seq.is_empty(), "Lstm::forward: empty sequence");
         let batch = seq[0].rows();
         for (t, x) in seq.iter().enumerate() {
-            assert_eq!(x.cols(), self.in_dim, "Lstm::forward step {t} width mismatch");
+            assert_eq!(
+                x.cols(),
+                self.in_dim,
+                "Lstm::forward step {t} width mismatch"
+            );
             assert_eq!(x.rows(), batch, "Lstm::forward step {t} batch mismatch");
         }
         self.caches.clear();
@@ -158,7 +165,15 @@ impl Lstm {
             let tanh_c = new_c.map(f64::tanh);
             let new_h = o.hadamard(&tanh_c);
 
-            self.caches.push(StepCache { z, i, f, o, g, c: new_c.clone(), tanh_c });
+            self.caches.push(StepCache {
+                z,
+                i,
+                f,
+                o,
+                g,
+                c: new_c.clone(),
+                tanh_c,
+            });
             c = new_c;
             h = new_h;
         }
@@ -278,8 +293,24 @@ impl Lstm {
     /// gate weights, gate biases, then the head.
     pub fn param_grad_pairs(&mut self) -> Vec<(&mut [f64], &[f64])> {
         let Lstm {
-            wi, wf, wo, wg, bi, bf, bo, bg, head,
-            gwi, gwf, gwo, gwg, gbi, gbf, gbo, gbg, ..
+            wi,
+            wf,
+            wo,
+            wg,
+            bi,
+            bf,
+            bo,
+            bg,
+            head,
+            gwi,
+            gwf,
+            gwo,
+            gwg,
+            gbi,
+            gbf,
+            gbo,
+            gbg,
+            ..
         } = self;
         let mut pairs: Vec<(&mut [f64], &[f64])> = vec![
             (wi.as_mut_slice(), gwi.as_slice()),
@@ -362,7 +393,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn seq(data: &[&[f64]]) -> Vec<Matrix> {
-        data.iter().map(|row| Matrix::row_vector(row.to_vec())).collect()
+        data.iter()
+            .map(|row| Matrix::row_vector(row.to_vec()))
+            .collect()
     }
 
     #[test]
@@ -408,7 +441,10 @@ mod tests {
         // by the same pairs API instead.
         let flat_params: Vec<f64> = {
             let mut n = net.clone();
-            n.param_grad_pairs().iter().flat_map(|(p, _)| p.iter().copied()).collect()
+            n.param_grad_pairs()
+                .iter()
+                .flat_map(|(p, _)| p.iter().copied())
+                .collect()
         };
         let eval = |params: &[f64]| {
             let mut n = net.clone();
@@ -458,7 +494,10 @@ mod tests {
             opt.step(&mut pairs);
             last_loss = loss;
         }
-        assert!(last_loss < 0.05, "LSTM failed to learn echo task, loss {last_loss}");
+        assert!(
+            last_loss < 0.05,
+            "LSTM failed to learn echo task, loss {last_loss}"
+        );
     }
 
     #[test]

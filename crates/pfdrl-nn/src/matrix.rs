@@ -17,7 +17,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from a row-major data vector.
@@ -50,7 +54,11 @@ impl Matrix {
     /// Creates a 1 x n row vector.
     pub fn row_vector(data: Vec<f64>) -> Self {
         let cols = data.len();
-        Matrix { rows: 1, cols, data }
+        Matrix {
+            rows: 1,
+            cols,
+            data,
+        }
     }
 
     pub fn rows(&self) -> usize {
@@ -191,7 +199,11 @@ impl Matrix {
 
     /// Adds `rhs` elementwise in place.
     pub fn add_assign(&mut self, rhs: &Matrix) {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add_assign shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add_assign shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
             *a += b;
         }
@@ -199,7 +211,11 @@ impl Matrix {
 
     /// Adds `scale * rhs` elementwise in place (axpy).
     pub fn add_scaled(&mut self, scale: f64, rhs: &Matrix) {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add_scaled shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add_scaled shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
             *a += scale * b;
         }
@@ -218,7 +234,11 @@ impl Matrix {
 
     /// Elementwise (Hadamard) product in place.
     pub fn hadamard_assign(&mut self, rhs: &Matrix) {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "hadamard shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "hadamard shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
             *a *= b;
         }
@@ -276,7 +296,11 @@ impl Matrix {
 
     /// Returns `max |a - b|` over corresponding elements.
     pub fn max_abs_diff(&self, rhs: &Matrix) -> f64 {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "max_abs_diff shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "max_abs_diff shape mismatch"
+        );
         self.data
             .iter()
             .zip(rhs.data.iter())

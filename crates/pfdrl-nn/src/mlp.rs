@@ -30,7 +30,10 @@ impl Mlp {
         rng: &mut impl Rng,
     ) -> Self {
         assert!(dims.len() >= 2, "Mlp::new needs at least [in, out] dims");
-        assert!(dims.iter().all(|&d| d > 0), "Mlp::new dims must be positive");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "Mlp::new dims must be positive"
+        );
         let last = dims.len() - 2;
         let layers = dims
             .windows(2)
@@ -47,7 +50,7 @@ impl Mlp {
     /// linear 3-unit output (one Q-value per device mode).
     pub fn paper_qnet(state_dim: usize, rng: &mut impl Rng) -> Self {
         let mut dims = vec![state_dim];
-        dims.extend(std::iter::repeat(100).take(8));
+        dims.extend(std::iter::repeat_n(100, 8));
         dims.push(3);
         Mlp::new(&dims, Activation::Relu, Activation::Identity, rng)
     }
@@ -86,7 +89,9 @@ impl Mlp {
 
     /// Convenience: inference on a single input vector.
     pub fn infer_one(&self, x: &[f64]) -> Vec<f64> {
-        self.infer(&Matrix::row_vector(x.to_vec())).as_slice().to_vec()
+        self.infer(&Matrix::row_vector(x.to_vec()))
+            .as_slice()
+            .to_vec()
     }
 
     /// Backpropagates `dout = dL/d(output)`, accumulating gradients in
@@ -108,7 +113,10 @@ impl Mlp {
 
     /// Stable-ordered (parameter, gradient) slice pairs for optimizers.
     pub fn param_grad_pairs(&mut self) -> Vec<(&mut [f64], &[f64])> {
-        self.layers.iter_mut().flat_map(|l| l.param_grad_pairs()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.param_grad_pairs())
+            .collect()
     }
 
     /// Copies all parameters from `other` (used for DQN target-network
@@ -117,7 +125,11 @@ impl Mlp {
     /// # Panics
     /// Panics if architectures differ.
     pub fn copy_params_from(&mut self, other: &Mlp) {
-        assert_eq!(self.layer_count(), other.layer_count(), "copy_params_from arch mismatch");
+        assert_eq!(
+            self.layer_count(),
+            other.layer_count(),
+            "copy_params_from arch mismatch"
+        );
         for i in 0..self.layer_count() {
             self.import_layer(i, &other.export_layer(i));
         }
@@ -149,7 +161,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn mlp(dims: &[usize]) -> Mlp {
-        Mlp::new(dims, Activation::Relu, Activation::Identity, &mut StdRng::seed_from_u64(5))
+        Mlp::new(
+            dims,
+            Activation::Relu,
+            Activation::Identity,
+            &mut StdRng::seed_from_u64(5),
+        )
     }
 
     #[test]
@@ -213,10 +230,14 @@ mod tests {
 
         let flat_grads: Vec<f64> = {
             let pairs = net.param_grad_pairs();
-            pairs.iter().flat_map(|(_, g)| g.iter().copied()).collect::<Vec<_>>()
+            pairs
+                .iter()
+                .flat_map(|(_, g)| g.iter().copied())
+                .collect::<Vec<_>>()
         };
-        let flat_params: Vec<f64> =
-            (0..net.layer_count()).flat_map(|i| net.export_layer(i)).collect();
+        let flat_params: Vec<f64> = (0..net.layer_count())
+            .flat_map(|i| net.export_layer(i))
+            .collect();
         let eps = 1e-6;
         let eval = |params: &[f64], net: &Mlp, x: &Matrix| {
             let mut n = net.clone();

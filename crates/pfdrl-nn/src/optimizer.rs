@@ -33,7 +33,11 @@ impl Momentum {
     pub fn new(lr: f64, beta: f64) -> Self {
         assert!(lr > 0.0, "Momentum learning rate must be positive");
         assert!((0.0..1.0).contains(&beta), "Momentum beta must be in [0,1)");
-        Momentum { lr, beta, velocity: Vec::new() }
+        Momentum {
+            lr,
+            beta,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -57,7 +61,15 @@ impl Adam {
     pub fn with_betas(lr: f64, beta1: f64, beta2: f64, eps: f64) -> Self {
         assert!(lr > 0.0, "Adam learning rate must be positive");
         assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
-        Adam { lr, beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
@@ -78,8 +90,16 @@ impl RmsProp {
 
     pub fn with_decay(lr: f64, decay: f64, eps: f64) -> Self {
         assert!(lr > 0.0, "RmsProp learning rate must be positive");
-        assert!((0.0..1.0).contains(&decay), "RmsProp decay must be in [0,1)");
-        RmsProp { lr, decay, eps, sq: Vec::new() }
+        assert!(
+            (0.0..1.0).contains(&decay),
+            "RmsProp decay must be in [0,1)"
+        );
+        RmsProp {
+            lr,
+            decay,
+            eps,
+            sq: Vec::new(),
+        }
     }
 }
 
@@ -106,7 +126,11 @@ impl Optimizer for Momentum {
         if self.velocity.is_empty() {
             self.velocity = pairs.iter().map(|(w, _)| vec![0.0; w.len()]).collect();
         }
-        assert_eq!(self.velocity.len(), pairs.len(), "Momentum: parameter set changed shape");
+        assert_eq!(
+            self.velocity.len(),
+            pairs.len(),
+            "Momentum: parameter set changed shape"
+        );
         for ((w, g), v) in pairs.iter_mut().zip(self.velocity.iter_mut()) {
             assert_eq!(w.len(), v.len(), "Momentum: tensor changed size");
             for ((w, g), v) in w.iter_mut().zip(g.iter()).zip(v.iter_mut()) {
@@ -122,7 +146,11 @@ impl Optimizer for RmsProp {
         if self.sq.is_empty() {
             self.sq = pairs.iter().map(|(w, _)| vec![0.0; w.len()]).collect();
         }
-        assert_eq!(self.sq.len(), pairs.len(), "RmsProp: parameter set changed shape");
+        assert_eq!(
+            self.sq.len(),
+            pairs.len(),
+            "RmsProp: parameter set changed shape"
+        );
         for ((w, g), sq) in pairs.iter_mut().zip(self.sq.iter_mut()) {
             assert_eq!(w.len(), sq.len(), "RmsProp: tensor changed size");
             for ((w, g), s) in w.iter_mut().zip(g.iter()).zip(sq.iter_mut()) {
@@ -139,15 +167,22 @@ impl Optimizer for Adam {
             self.m = pairs.iter().map(|(w, _)| vec![0.0; w.len()]).collect();
             self.v = pairs.iter().map(|(w, _)| vec![0.0; w.len()]).collect();
         }
-        assert_eq!(self.m.len(), pairs.len(), "Adam: parameter set changed shape");
+        assert_eq!(
+            self.m.len(),
+            pairs.len(),
+            "Adam: parameter set changed shape"
+        );
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (i, (w, g)) in pairs.iter_mut().enumerate() {
             let (m, v) = (&mut self.m[i], &mut self.v[i]);
             assert_eq!(w.len(), m.len(), "Adam: tensor changed size");
-            for (((w, g), m), v) in
-                w.iter_mut().zip(g.iter()).zip(m.iter_mut()).zip(v.iter_mut())
+            for (((w, g), m), v) in w
+                .iter_mut()
+                .zip(g.iter())
+                .zip(m.iter_mut())
+                .zip(v.iter_mut())
             {
                 *m = self.beta1 * *m + (1.0 - self.beta1) * g;
                 *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
@@ -255,8 +290,7 @@ mod tests {
         opt.step(&mut pairs);
         let mut w2 = [0.0, 0.0];
         let g2 = [1.0, 1.0];
-        let mut pairs2 =
-            [(&mut w2[..], &g2[..]), (&mut w[..], &g[..])];
+        let mut pairs2 = [(&mut w2[..], &g2[..]), (&mut w[..], &g[..])];
         opt.step(&mut pairs2);
     }
 }

@@ -20,7 +20,9 @@ pub trait Layered {
 
     /// Exports every layer (a full model snapshot).
     fn export_all(&self) -> Vec<Vec<f64>> {
-        (0..self.layer_count()).map(|i| self.export_layer(i)).collect()
+        (0..self.layer_count())
+            .map(|i| self.export_layer(i))
+            .collect()
     }
 
     /// Imports a full model snapshot.
@@ -28,7 +30,11 @@ pub trait Layered {
     /// # Panics
     /// Panics if the snapshot has the wrong number of layers.
     fn import_all(&mut self, layers: &[Vec<f64>]) {
-        assert_eq!(layers.len(), self.layer_count(), "import_all layer count mismatch");
+        assert_eq!(
+            layers.len(),
+            self.layer_count(),
+            "import_all layer count mismatch"
+        );
         for (i, l) in layers.iter().enumerate() {
             self.import_layer(i, l);
         }
@@ -36,7 +42,9 @@ pub trait Layered {
 
     /// Total number of scalars across all layers.
     fn total_param_count(&self) -> usize {
-        (0..self.layer_count()).map(|i| self.layer_param_count(i)).sum()
+        (0..self.layer_count())
+            .map(|i| self.layer_param_count(i))
+            .sum()
     }
 }
 
@@ -68,14 +76,20 @@ pub fn average_params(snapshots: &[Vec<f64>]) -> Vec<f64> {
 /// # Panics
 /// Panics on empty input, mismatched lengths, or non-positive total weight.
 pub fn weighted_average_params(snapshots: &[(f64, Vec<f64>)]) -> Vec<f64> {
-    assert!(!snapshots.is_empty(), "weighted_average_params: no snapshots");
+    assert!(
+        !snapshots.is_empty(),
+        "weighted_average_params: no snapshots"
+    );
     let len = snapshots[0].1.len();
     assert!(
         snapshots.iter().all(|(_, s)| s.len() == len),
         "weighted_average_params: inconsistent snapshot lengths"
     );
     let total: f64 = snapshots.iter().map(|(w, _)| w).sum();
-    assert!(total > 0.0, "weighted_average_params: non-positive total weight");
+    assert!(
+        total > 0.0,
+        "weighted_average_params: non-positive total weight"
+    );
     let mut out = vec![0.0; len];
     for (w, s) in snapshots {
         let w = w / total;
@@ -123,8 +137,7 @@ mod tests {
     #[test]
     fn weighted_average_with_equal_weights_matches_plain() {
         let plain = vec![vec![1.0, 5.0], vec![3.0, 7.0]];
-        let weighted: Vec<(f64, Vec<f64>)> =
-            plain.iter().map(|s| (2.5, s.clone())).collect();
+        let weighted: Vec<(f64, Vec<f64>)> = plain.iter().map(|s| (2.5, s.clone())).collect();
         assert_eq!(average_params(&plain), weighted_average_params(&weighted));
     }
 

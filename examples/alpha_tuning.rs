@@ -27,7 +27,7 @@ fn main() {
     println!("\n{:>6} | {:>22}", "alpha", "saved standby energy");
     println!("{}", "-".repeat(32));
     for (alpha, saved) in &series.points {
-        let bar: String = std::iter::repeat('#').take((saved * 30.0) as usize).collect();
+        let bar: String = std::iter::repeat_n('#', (saved * 30.0) as usize).collect();
         println!("{:>6.0} | {:>6.1}% {bar}", alpha, 100.0 * saved);
     }
     println!(

@@ -25,8 +25,7 @@ fn main() {
     for method in EmsMethod::ALL {
         let run = run_method(&cfg, method);
         let saved_pct = 100.0 * run.converged_saved_fraction();
-        let kwh_per_home =
-            run.ems.account.standby_saved_kwh / cfg.n_residences as f64;
+        let kwh_per_home = run.ems.account.standby_saved_kwh / cfg.n_residences as f64;
         let comm_kib = (run.forecast_bytes + run.ems.comm_bytes) as f64 / 1024.0;
         println!(
             "{:>6} | {:>5.1}% | {:>8.4} | {:>9.1} | {:>10.2} | {:>11}",
@@ -35,7 +34,11 @@ fn main() {
             kwh_per_home,
             comm_kib,
             run.total_overhead_s(),
-            if method.stays_in_local_area() { "yes" } else { "no" },
+            if method.stays_in_local_area() {
+                "yes"
+            } else {
+                "no"
+            },
         );
     }
     println!();

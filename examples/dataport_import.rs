@@ -42,13 +42,16 @@ fn main() {
         }
     };
 
-    let series = load_dataport_csv(BufReader::new(content.as_bytes()))
-        .expect("well-formed Dataport CSV");
+    let series =
+        load_dataport_csv(BufReader::new(content.as_bytes())).expect("well-formed Dataport CSV");
     println!("loaded {} (household, device) series", series.len());
 
     for ((dataid, device), s) in &series {
         if s.watts.len() < 2000 {
-            println!("  household {dataid} {}: too short, skipping", device.name());
+            println!(
+                "  household {dataid} {}: too short, skipping",
+                device.name()
+            );
             continue;
         }
         let scale = match device {
@@ -58,11 +61,13 @@ fn main() {
         let set = build_windows_transformed(&s.watts, scale, 16, 15, 0, TargetTransform::default())
             .strided(7);
         let (train, test) = set.split(0.8);
-        let mut model =
-            ForecastMethod::Lstm.build(set.feature_dim(), TrainConfig::quick(1));
+        let mut model = ForecastMethod::Lstm.build(set.feature_dim(), TrainConfig::quick(1));
         let report = model.fit(&train);
-        let preds: Vec<f64> =
-            model.predict(&test.inputs).iter().map(|p| test.to_watts(*p)).collect();
+        let preds: Vec<f64> = model
+            .predict(&test.inputs)
+            .iter()
+            .map(|p| test.to_watts(*p))
+            .collect();
         let real: Vec<f64> = test.targets.iter().map(|t| test.to_watts(*t)).collect();
         let acc = paper_accuracy(&preds, &real, 1.0).unwrap_or(0.0);
         println!(

@@ -24,15 +24,9 @@ fn main() {
     );
 
     let watts = gen.multi_day_watts(0, 0, 0..10);
-    let set = build_windows_transformed(
-        &watts,
-        spec.on_watts,
-        16,
-        15,
-        0,
-        TargetTransform::default(),
-    )
-    .strided(7);
+    let set =
+        build_windows_transformed(&watts, spec.on_watts, 16, 15, 0, TargetTransform::default())
+            .strided(7);
     let (train, test) = set.split(0.8);
     println!(
         "{} training samples, {} test samples, horizon 15 min\n",
@@ -40,15 +34,24 @@ fn main() {
         test.len()
     );
 
-    println!("{:>6} | {:>9} | {:>8} | {:>7}", "method", "accuracy", "epochs", "loss");
+    println!(
+        "{:>6} | {:>9} | {:>8} | {:>7}",
+        "method", "accuracy", "epochs", "loss"
+    );
     println!("{}", "-".repeat(40));
     let mut accs: Vec<(ForecastMethod, Vec<f64>)> = Vec::new();
     for method in ForecastMethod::ALL {
-        let cfg = TrainConfig { max_epochs: 10, ..TrainConfig::with_seed(5) };
+        let cfg = TrainConfig {
+            max_epochs: 10,
+            ..TrainConfig::with_seed(5)
+        };
         let mut model = method.build(set.feature_dim(), cfg);
         let report = model.fit(&train);
-        let preds: Vec<f64> =
-            model.predict(&test.inputs).iter().map(|p| test.to_watts(*p)).collect();
+        let preds: Vec<f64> = model
+            .predict(&test.inputs)
+            .iter()
+            .map(|p| test.to_watts(*p))
+            .collect();
         let real: Vec<f64> = test.targets.iter().map(|t| test.to_watts(*t)).collect();
         let samples = paper_accuracies(&preds, &real, 1.0);
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
@@ -68,8 +71,7 @@ fn main() {
         print!("  {:>6}", m.name());
     }
     println!();
-    let cdfs: Vec<Vec<(f64, f64)>> =
-        accs.iter().map(|(_, a)| accuracy_cdf(a, 6)).collect();
+    let cdfs: Vec<Vec<(f64, f64)>> = accs.iter().map(|(_, a)| accuracy_cdf(a, 6)).collect();
     for i in 0..6 {
         print!("{:>7.0}%", cdfs[0][i].0 * 100.0);
         for cdf in &cdfs {

@@ -86,13 +86,28 @@ fn main() {
     println!("{}", "-".repeat(58));
     for rounds in [1u64, 3, 6] {
         let (s, b) = run(|_| Topology::FullBroadcast, rounds);
-        println!("{:>14} | {rounds:>8} | {s:>14.6} | {:>12.1}", "full", b as f64 / 1024.0);
-        let (s, b) = run(|_| Topology::Ring, rounds);
-        println!("{:>14} | {rounds:>8} | {s:>14.6} | {:>12.1}", "ring", b as f64 / 1024.0);
-        let (s, b) = run(|r| Topology::RandomK { k: 3, round_salt: r }, rounds);
         println!(
             "{:>14} | {rounds:>8} | {s:>14.6} | {:>12.1}",
-            "random-3", b as f64 / 1024.0
+            "full",
+            b as f64 / 1024.0
+        );
+        let (s, b) = run(|_| Topology::Ring, rounds);
+        println!(
+            "{:>14} | {rounds:>8} | {s:>14.6} | {:>12.1}",
+            "ring",
+            b as f64 / 1024.0
+        );
+        let (s, b) = run(
+            |r| Topology::RandomK {
+                k: 3,
+                round_salt: r,
+            },
+            rounds,
+        );
+        println!(
+            "{:>14} | {rounds:>8} | {s:>14.6} | {:>12.1}",
+            "random-3",
+            b as f64 / 1024.0
         );
         println!();
     }

@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use pfdrl_core::{evaluate_forecast, EmsMethod, SimConfig};
 use pfdrl_core::runner::run_method_with_forecast;
+use pfdrl_core::{evaluate_forecast, EmsMethod, SimConfig};
 
 fn main() {
     // A small neighbourhood: 5 homes, 2 standby-heavy devices each,
@@ -18,7 +18,11 @@ fn main() {
     cfg.eval_days = 4;
     cfg.validate();
 
-    println!("PFDRL quickstart: {} homes, {} devices each", cfg.n_residences, cfg.devices.len());
+    println!(
+        "PFDRL quickstart: {} homes, {} devices each",
+        cfg.n_residences,
+        cfg.devices.len()
+    );
     println!("training forecasters (decentralized federated learning)...");
     let (run, forecast) = run_method_with_forecast(&cfg, EmsMethod::Pfdrl);
 
@@ -46,7 +50,7 @@ fn main() {
     println!();
     println!("per-day saved fraction (the DRL learns online):");
     for (day, f) in run.ems.daily_saved_fraction.iter().enumerate() {
-        let bar: String = std::iter::repeat('#').take((f * 40.0) as usize).collect();
+        let bar: String = std::iter::repeat_n('#', (f * 40.0) as usize).collect();
         println!("  day {:>2}: {:>5.1}% {bar}", day + 1, 100.0 * f);
     }
 }

@@ -17,7 +17,10 @@ fn trained_forecasters(n: usize) -> Vec<Box<dyn Forecaster>> {
             let set = build_windows(&watts, scale, 8, 5, 0).strided(7);
             let mut m = ForecastMethod::Lr.build(
                 set.feature_dim(),
-                TrainConfig { max_epochs: 3, ..TrainConfig::with_seed(home as u64) },
+                TrainConfig {
+                    max_epochs: 3,
+                    ..TrainConfig::with_seed(home as u64)
+                },
             );
             m.fit(&set);
             m
@@ -63,8 +66,17 @@ fn lan_fedavg_equals_cloud_fedavg() {
 
 #[test]
 fn alpha_split_keeps_personal_layers_distinct_across_homes() {
-    let mut agents: Vec<DqnAgent> =
-        (0..3).map(|i| DqnAgent::new(10, DqnConfig { seed: i, ..DqnConfig::slim(i) })).collect();
+    let mut agents: Vec<DqnAgent> = (0..3)
+        .map(|i| {
+            DqnAgent::new(
+                10,
+                DqnConfig {
+                    seed: i,
+                    ..DqnConfig::slim(i)
+                },
+            )
+        })
+        .collect();
     let alpha = 4;
     let split = LayerSplit::for_model(alpha, &agents[0]);
     let bus = BroadcastBus::new(3, LatencyModel::lan());
@@ -119,7 +131,10 @@ fn repeated_rounds_shrink_model_disagreement() {
     let spread = |models: &Vec<Box<dyn Forecaster>>| -> f64 {
         let a = models[0].export_layer(0);
         let b = models[2].export_layer(0);
-        a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
     };
     let before = spread(&models);
     assert!(before > 0.0, "independently trained models should differ");
@@ -134,15 +149,32 @@ fn repeated_rounds_shrink_model_disagreement() {
         aggregate::merge_updates(m.as_mut(), &refs);
     }
     let after = spread(&models);
-    assert!(after < 1e-9, "synchronous FedAvg round must reach consensus, spread {after}");
+    assert!(
+        after < 1e-9,
+        "synchronous FedAvg round must reach consensus, spread {after}"
+    );
 }
 
 #[test]
 fn federated_agent_still_learns_after_import() {
     // Importing averaged parameters must not break the optimizer or the
     // target network: subsequent training still reduces TD loss.
-    let mut a = DqnAgent::new(4, DqnConfig { warmup: 16, batch: 8, ..DqnConfig::slim(20) });
-    let b = DqnAgent::new(4, DqnConfig { warmup: 16, batch: 8, ..DqnConfig::slim(21) });
+    let mut a = DqnAgent::new(
+        4,
+        DqnConfig {
+            warmup: 16,
+            batch: 8,
+            ..DqnConfig::slim(20)
+        },
+    );
+    let b = DqnAgent::new(
+        4,
+        DqnConfig {
+            warmup: 16,
+            batch: 8,
+            ..DqnConfig::slim(21)
+        },
+    );
     for i in 0..b.layer_count() {
         a.import_layer(i, &b.export_layer(i));
     }
@@ -161,5 +193,8 @@ fn federated_agent_still_learns_after_import() {
     }
     let early: f64 = losses[..20].iter().sum::<f64>() / 20.0;
     let late: f64 = losses[losses.len() - 20..].iter().sum::<f64>() / 20.0;
-    assert!(late < early, "TD loss did not decrease after import: {early} -> {late}");
+    assert!(
+        late < early,
+        "TD loss did not decrease after import: {early} -> {late}"
+    );
 }

@@ -29,7 +29,11 @@ fn every_method_completes_and_respects_invariants() {
         // Table 2 alignment: only cloud-involving methods move bytes
         // through the cloud, only PFDRL/Local stay in the local area.
         if method == EmsMethod::Local {
-            assert_eq!(run.forecast_bytes + run.ems.comm_bytes, 0, "Local must not communicate");
+            assert_eq!(
+                run.forecast_bytes + run.ems.comm_bytes,
+                0,
+                "Local must not communicate"
+            );
         } else {
             assert!(
                 run.forecast_bytes > 0,
@@ -83,7 +87,10 @@ fn whole_pipeline_is_reproducible_from_the_seed() {
     let cfg = tiny(104);
     let a = run_method(&cfg, EmsMethod::Pfdrl);
     let b = run_method(&cfg, EmsMethod::Pfdrl);
-    assert_eq!(a.ems.account.standby_saved_kwh, b.ems.account.standby_saved_kwh);
+    assert_eq!(
+        a.ems.account.standby_saved_kwh,
+        b.ems.account.standby_saved_kwh
+    );
     assert_eq!(a.ems.daily_saved_fraction, b.ems.daily_saved_fraction);
     assert_eq!(a.forecast_bytes, b.forecast_bytes);
 }

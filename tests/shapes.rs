@@ -25,7 +25,11 @@ fn shape_config(seed: u64) -> SimConfig {
     SimConfig {
         seed,
         n_residences: 8,
-        devices: vec![DeviceType::Tv, DeviceType::GameConsole, DeviceType::SetTopBox],
+        devices: vec![
+            DeviceType::Tv,
+            DeviceType::GameConsole,
+            DeviceType::SetTopBox,
+        ],
         train_days: 4,
         eval_days: 5,
         eval_start_day: 4,
@@ -34,13 +38,18 @@ fn shape_config(seed: u64) -> SimConfig {
         stride: 9,
         transform: TargetTransform::default(),
         forecast_method: ForecastMethod::Lstm,
-        train: TrainConfig { lr: 0.02, max_epochs: 14, ..TrainConfig::with_seed(seed) },
+        train: TrainConfig {
+            lr: 0.02,
+            max_epochs: 14,
+            ..TrainConfig::with_seed(seed)
+        },
         beta_hours: 12.0,
         gamma_hours: 12.0,
         alpha: 6,
         state_window: 4,
         dqn,
         train_every: 6,
+        fault: pfdrl::fl::FaultConfig::default(),
     }
 }
 
@@ -112,7 +121,10 @@ fn figure_9_sharing_methods_converge_faster() {
         pf_day <= lo_day,
         "PFDRL (day {pf_day}) should converge no later than Local (day {lo_day})"
     );
-    assert!(pfdrl.converged_saved_fraction() > 0.7, "PFDRL saves most standby energy");
+    assert!(
+        pfdrl.converged_saved_fraction() > 0.7,
+        "PFDRL saves most standby energy"
+    );
 }
 
 #[test]
@@ -141,7 +153,10 @@ fn headline_pfdrl_saves_most_standby_energy() {
     let run = run_method(&cfg, EmsMethod::Pfdrl);
     let saved = run.converged_saved_fraction();
     assert!(saved > 0.85, "converged saving {saved:.3}");
-    let violation_rate = run.ems.account.comfort_violation_minutes as f64
-        / run.ems.account.minutes as f64;
-    assert!(violation_rate < 0.15, "comfort violations {violation_rate:.3}");
+    let violation_rate =
+        run.ems.account.comfort_violation_minutes as f64 / run.ems.account.minutes as f64;
+    assert!(
+        violation_rate < 0.15,
+        "comfort violations {violation_rate:.3}"
+    );
 }

@@ -1,0 +1,105 @@
+//! Vendored, dependency-free stand-in for the `rayon` prelude used by
+//! this workspace. `par_iter` / `par_iter_mut` / `into_par_iter` resolve
+//! to the ordinary sequential iterators, so all adapter chains (`map`,
+//! `zip`, `enumerate`, `for_each`, `collect`, …) come from [`Iterator`]
+//! unchanged.
+//!
+//! Sequential execution trades wall-clock speed for exact determinism —
+//! which the fault-injection determinism guarantee in `pfdrl-fl` relies
+//! on anyway. A real thread pool can be restored by swapping the patch
+//! back to upstream rayon once the build environment has registry
+//! access.
+
+pub mod prelude {
+    /// `into_par_iter()` for any owned collection or range.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    /// `par_iter()` for anything iterable by shared reference.
+    pub trait IntoParallelRefIterator<'data> {
+        type Iter: Iterator;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+    where
+        &'data I: IntoIterator,
+    {
+        type Iter = <&'data I as IntoIterator>::IntoIter;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter_mut()` for anything iterable by unique reference.
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Iter: Iterator;
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+    where
+        &'data mut I: IntoIterator,
+    {
+        type Iter = <&'data mut I as IntoIterator>::IntoIter;
+
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+/// Sequential analogue of `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of "threads" in the (sequential) pool.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn into_par_iter_works_on_ranges() {
+        let total: u64 = (0u64..10).into_par_iter().sum();
+        assert_eq!(total, 45);
+    }
+
+    #[test]
+    fn zip_and_enumerate_compose() {
+        let mut a = vec![0; 3];
+        let b = vec![5, 6, 7];
+        a.par_iter_mut().zip(b.par_iter()).for_each(|(x, y)| *x = *y);
+        assert_eq!(a, b);
+        let idx: Vec<usize> = b.par_iter().enumerate().map(|(i, _)| i).collect();
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,337 @@
+//! Vendored, dependency-free stand-in for the `serde` subset this
+//! workspace uses: `#[derive(Serialize, Deserialize)]` on plain structs
+//! and enums, serialized through a self-describing [`Value`] tree that
+//! the companion `serde_json` shim renders and parses.
+//!
+//! The data model is intentionally simpler than real serde (no visitor
+//! machinery, no zero-copy deserialization, no lifetimes on
+//! [`Deserialize`]); the derive macro in `serde_derive` targets exactly
+//! these traits. Supported `#[serde(...)]` field attributes: `skip`,
+//! `default`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Self-describing serialized tree (the shim's entire data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Integers keep full precision separately from floats so `u64`
+    /// seeds and counters round-trip exactly.
+    Int(i128),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered map, so rendered JSON is stable.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Finds `key` in an object's field list (used by derived code).
+pub fn value_get<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error { msg: msg.to_string() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts a value into the [`Value`] tree.
+pub trait Serialize {
+    fn serialize(&self) -> Value;
+}
+
+/// Reconstructs a value from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+
+    /// Hook for absent object fields; overridden by `Option` (absent ⇒
+    /// `None`), errors for everything else unless `#[serde(default)]`.
+    fn missing_field(name: &str) -> Result<Self, Error> {
+        Err(Error::custom(format!("missing field `{name}`")))
+    }
+}
+
+// ---------------------------------------------------------------- numbers
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::custom(format!("{i} out of range for {}", stringify!($t)))),
+                    Value::Float(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    other => Err(Error::custom(format!(
+                        "expected integer for {}, got {other:?}", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    // Non-finite floats render as null (JSON has no NaN).
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(Error::custom(format!("expected float, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+// ----------------------------------------------------------- scalars, text
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::custom(format!("expected single-char string, got {other:?}"))),
+        }
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {v:?}")))?;
+        items.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+
+    fn missing_field(_name: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<K: ToString, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        let mut fields: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.to_string(), v.serialize())).collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| Error::custom("expected array for tuple"))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected {expected}-tuple, got {} items", items.len()
+                    )));
+                }
+                Ok(($($name::deserialize(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_serde_tuple!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_primitives() {
+        assert_eq!(u64::deserialize(&42u64.serialize()).unwrap(), 42);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert_eq!(bool::deserialize(&true.serialize()).unwrap(), true);
+        assert_eq!(String::deserialize(&"hi".to_string().serialize()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn u64_keeps_full_precision() {
+        let big = u64::MAX - 3;
+        assert_eq!(u64::deserialize(&big.serialize()).unwrap(), big);
+    }
+
+    #[test]
+    fn option_absent_field_is_none() {
+        let missing: Option<u32> = Deserialize::missing_field("x").unwrap();
+        assert_eq!(missing, None);
+        assert!(u32::missing_field("x").is_err());
+    }
+
+    #[test]
+    fn vec_and_tuple_round_trip() {
+        let v = vec![(1.0f64, 2.0f64), (3.0, 4.0)];
+        let back: Vec<(f64, f64)> = Deserialize::deserialize(&v.serialize()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn out_of_range_int_rejected() {
+        assert!(u8::deserialize(&Value::Int(300)).is_err());
+    }
+}

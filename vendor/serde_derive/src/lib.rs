@@ -1,0 +1,406 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! Implemented without syn/quote (the build environment has no registry
+//! access): the derive input is parsed with a small hand-rolled walker
+//! over `proc_macro::TokenStream`. Supported shapes — exactly what this
+//! workspace uses:
+//!
+//! * structs with named fields (incl. `#[serde(skip)]` and
+//!   `#[serde(default)]` field attributes);
+//! * enums with unit, tuple and struct variants (externally tagged,
+//!   matching real serde's default representation).
+//!
+//! Generics and tuple structs are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Consumes leading `#[...]` attributes, returning the serde flags seen.
+fn take_attrs(tokens: &[TokenTree], mut pos: usize) -> (usize, bool, bool) {
+    let mut skip = false;
+    let mut default = false;
+    while pos + 1 < tokens.len() {
+        match (&tokens[pos], &tokens[pos + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(head)) = inner.first() {
+                    if head.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            for t in args.stream() {
+                                if let TokenTree::Ident(flag) = t {
+                                    match flag.to_string().as_str() {
+                                        "skip" => skip = true,
+                                        "default" => default = true,
+                                        other => panic!(
+                                            "serde shim derive: unsupported attribute `{other}`"
+                                        ),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                pos += 2;
+            }
+            _ => break,
+        }
+    }
+    (pos, skip, default)
+}
+
+/// Skips an optional `pub` / `pub(...)` visibility.
+fn skip_vis(tokens: &[TokenTree], mut pos: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(pos) {
+        if id.to_string() == "pub" {
+            pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    pos += 1;
+                }
+            }
+        }
+    }
+    pos
+}
+
+/// Advances past one type (or expression), stopping at a comma outside
+/// any angle brackets. Returns the position of the comma or end.
+fn skip_to_top_level_comma(tokens: &[TokenTree], mut pos: usize) -> usize {
+    let mut angle: i32 = 0;
+    while pos < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[pos] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return pos,
+                _ => {}
+            }
+        }
+        pos += 1;
+    }
+    pos
+}
+
+/// Parses `name: Type, ...` named-field lists.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let (next, skip, default) = take_attrs(&tokens, pos);
+        pos = skip_vis(&tokens, next);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected field name, got {other:?}"),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde shim derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        pos = skip_to_top_level_comma(&tokens, pos);
+        pos += 1; // consume the comma (or run off the end)
+        fields.push(Field { name, skip, default });
+    }
+    fields
+}
+
+/// Counts top-level comma-separated entries of a tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        pos = skip_to_top_level_comma(&tokens, pos);
+        count += 1;
+        pos += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let (next, _, _) = take_attrs(&tokens, pos);
+        pos = next;
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected variant name, got {other:?}"),
+        };
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip a `= discriminant` and the trailing comma.
+        pos = skip_to_top_level_comma(&tokens, pos);
+        pos += 1;
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut pos, _, _) = take_attrs(&tokens, 0);
+    pos = skip_vis(&tokens, pos);
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, got {other:?}"),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type `{name}` is not supported");
+        }
+    }
+    let body = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            panic!("serde shim derive: tuple struct `{name}` is not supported")
+        }
+        other => panic!("serde shim derive: expected item body for `{name}`, got {other:?}"),
+    };
+    match keyword.as_str() {
+        "struct" => Item::Struct { name, fields: parse_named_fields(body) },
+        "enum" => Item::Enum { name, variants: parse_variants(body) },
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    }
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{n}\"), \
+                     ::serde::Serialize::serialize(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                 let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(__fields)\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::serialize(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), {payload})]),\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{n}\"), \
+                                     ::serde::Serialize::serialize({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Object(::std::vec![{items}]))]),\n",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_field_init(owner: &str, f: &Field) -> String {
+    if f.skip {
+        format!("{}: ::std::default::Default::default(),\n", f.name)
+    } else if f.default {
+        format!(
+            "{n}: match ::serde::value_get(__obj, \"{n}\") {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::deserialize(__x)?,\n\
+             ::std::option::Option::None => ::std::default::Default::default(),\n}},\n",
+            n = f.name
+        )
+    } else {
+        let _ = owner;
+        format!(
+            "{n}: match ::serde::value_get(__obj, \"{n}\") {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::deserialize(__x)?,\n\
+             ::std::option::Option::None => ::serde::Deserialize::missing_field(\"{n}\")?,\n}},\n",
+            n = f.name
+        )
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inits: String =
+                fields.iter().map(|f| gen_field_init(name, f)).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for struct {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize(__inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::deserialize(&__arr[{i}])?")
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __arr = __inner.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for {name}::{vn}\"))?;\n\
+                             if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::custom(\"wrong arity for {name}::{vn}\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({gets}))\n}},\n",
+                            gets = gets.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: String =
+                            fields.iter().map(|f| gen_field_init(name, f)).collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __obj = __inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for {name}::{vn}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n}},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n}},\n\
+                 ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__fields[0];\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n}}\n}},\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"cannot deserialize {name} from {{__other:?}}\"))),\n\
+                 }}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde shim derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde shim derive: generated invalid Deserialize impl")
+}

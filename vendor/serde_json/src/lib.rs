@@ -1,0 +1,371 @@
+//! Vendored JSON codec for the serde shim: renders and parses the
+//! [`serde::Value`] tree. Covers `to_string`, `to_string_pretty` and
+//! `from_str` — the only entry points this workspace calls.
+//!
+//! Non-finite floats are emitted as `null` (JSON has no NaN/Inf); the
+//! shim's `f64` deserializer maps `null` back to NaN, so corrupted
+//! model payloads survive a save/load cycle without a parse error.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt::Write as _;
+
+pub use serde::Error;
+
+// ------------------------------------------------------------------ write
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e15 {
+        // Keep a trailing `.0` so the value parses back as a float.
+        let _ = write!(out, "{f:.1}");
+    } else {
+        let _ = write!(out, "{f}");
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(f) => write_f64(out, *f),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => write_seq(out, indent, '[', ']', items.len(), |out, i, ind| {
+            write_value(out, &items[i], ind)
+        }),
+        Value::Object(fields) => write_seq(out, indent, '{', '}', fields.len(), |out, i, ind| {
+            let (k, v) = &fields[i];
+            write_escaped(out, k);
+            out.push(':');
+            if indent.is_some() {
+                out.push(' ');
+            }
+            write_value(out, v, ind);
+        }),
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, Option<usize>),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    let inner = indent.map(|d| d + 1);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(d) = inner {
+            out.push('\n');
+            out.push_str(&"  ".repeat(d));
+        }
+        item(out, i, inner);
+    }
+    if let Some(d) = indent {
+        out.push('\n');
+        out.push_str(&"  ".repeat(d));
+    }
+    out.push(close);
+}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), None);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), Some(0));
+    Ok(out)
+}
+
+// ------------------------------------------------------------------- parse
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(Error::custom(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error::custom(format!("invalid utf-8 in string: {e}")))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::custom("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::custom("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::custom("bad \\u escape"))?;
+                            self.pos += 4;
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("bad \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "unknown escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => return Err(Error::custom("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error::custom(format!("invalid float `{text}`: {e}")))
+        } else {
+            text.parse::<i128>()
+                .map(Value::Int)
+                .map_err(|e| Error::custom(format!("invalid integer `{text}`: {e}")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null", Value::Null),
+            Some(b't') => self.eat_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(Error::custom("expected `,` or `]` in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    fields.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(fields));
+                        }
+                        _ => return Err(Error::custom("expected `,` or `}` in object")),
+                    }
+                }
+            }
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            other => Err(Error::custom(format!(
+                "unexpected byte {other:?} at {}",
+                self.pos
+            ))),
+        }
+    }
+}
+
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut parser = Parser { bytes: s.as_bytes(), pos: 0 };
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    T::deserialize(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let s = to_string(&vec![1.5f64, 2.0, -3.25]).unwrap();
+        let back: Vec<f64> = from_str(&s).unwrap();
+        assert_eq!(back, vec![1.5, 2.0, -3.25]);
+    }
+
+    #[test]
+    fn integers_stay_exact() {
+        let big = u64::MAX - 7;
+        let s = to_string(&big).unwrap();
+        assert_eq!(from_str::<u64>(&s).unwrap(), big);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null_then_nan() {
+        let s = to_string(&vec![f64::NAN, f64::INFINITY]).unwrap();
+        assert_eq!(s, "[null,null]");
+        let back: Vec<f64> = from_str(&s).unwrap();
+        assert!(back.iter().all(|f| f.is_nan()));
+    }
+
+    #[test]
+    fn strings_escape_and_parse() {
+        let original = "line\none \"two\"\t\\ 🚀".to_string();
+        let s = to_string(&original).unwrap();
+        assert_eq!(from_str::<String>(&s).unwrap(), original);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = vec![(1u32, 2.5f64), (3, 4.5)];
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains('\n'));
+        let back: Vec<(u32, f64)> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<u32>("12 34").is_err());
+    }
+}
