@@ -16,7 +16,10 @@ use pfdrl_core::experiment::{
     self, compare_methods, fig10_monetary, fig12_personalization, fig13_forecast_overhead,
     headline, table2_rows,
 };
-use pfdrl_core::SimConfig;
+use pfdrl_core::{
+    run_method_resumable, run_method_resume_from, EmsMethod, ResumableRun, RunResult, SimConfig,
+};
+use serde::Serialize;
 use std::fs;
 use std::time::Instant;
 
@@ -25,6 +28,9 @@ const SEED: u64 = 42;
 struct Ctx {
     quick: bool,
     out_dir: String,
+    checkpoint_dir: Option<String>,
+    resume_from: Option<String>,
+    crash_after_day: Option<u64>,
 }
 
 impl Ctx {
@@ -310,6 +316,59 @@ fn degradation(ctx: &Ctx) {
     ctx.save_json("degradation", &r);
 }
 
+/// Machine-readable summary of one checkpointable run (`run` target,
+/// also embedded in the `--json` session summary).
+#[derive(Debug, Clone, Serialize)]
+struct RunSummary {
+    /// Hex fingerprint of the configuration ([`SimConfig::run_hash`]).
+    config_hash: String,
+    method: String,
+    /// Day this process resumed from, if a snapshot was used.
+    resumed_from_day: Option<u64>,
+    /// The deterministic (wall-clock-free) run outcome.
+    result: RunResult,
+}
+
+/// `run` target: one PFDRL run under the CLI's checkpoint flags —
+/// `--checkpoint-dir` enables snapshots (auto-resuming from the newest
+/// one), `--resume-from` picks an explicit snapshot file, and
+/// `--crash-after-day` simulates a hard kill for recoverability tests.
+fn run_checkpointed(ctx: &Ctx) -> RunSummary {
+    banner("run", "single PFDRL run (checkpointable / resumable)");
+    let mut cfg = ctx.base();
+    cfg.checkpoint.dir = ctx.checkpoint_dir.clone();
+    cfg.checkpoint.abort_after_days = ctx.crash_after_day;
+    let outcome = match &ctx.resume_from {
+        Some(path) => run_method_resume_from(&cfg, EmsMethod::Pfdrl, path),
+        None => run_method_resumable(&cfg, EmsMethod::Pfdrl),
+    };
+    let ResumableRun {
+        run,
+        resumed_from_day,
+    } = outcome.unwrap_or_else(|e| {
+        eprintln!("run failed: {e}");
+        std::process::exit(1);
+    });
+    match resumed_from_day {
+        Some(day) => println!("resumed from snapshot at day {day}"),
+        None => println!("ran from scratch"),
+    }
+    println!(
+        "saved standby fraction {:.3} over {} eval days, {} comm bytes",
+        run.converged_saved_fraction(),
+        run.ems.daily_saved_fraction.len(),
+        run.ems.comm_bytes
+    );
+    let summary = RunSummary {
+        config_hash: format!("{:#018x}", cfg.run_hash()),
+        method: run.method.clone(),
+        resumed_from_day,
+        result: run.result(),
+    };
+    ctx.save_json("run", &summary);
+    summary
+}
+
 fn run_headline(ctx: &Ctx) {
     banner("headline", "Section 5 headline numbers");
     let cfg = ctx.base();
@@ -329,16 +388,69 @@ fn run_headline(ctx: &Ctx) {
     ctx.save_json("headline", &h);
 }
 
+/// Per-target wall time, for the `--json` session summary.
+#[derive(Debug, Serialize)]
+struct TargetTiming {
+    target: String,
+    seconds: f64,
+}
+
+/// The `--json` session summary, printed as the last stdout line so
+/// scripts can `tail -n 1 | python3 -m json.tool` it.
+#[derive(Debug, Serialize)]
+struct SessionSummary {
+    quick: bool,
+    /// Hex fingerprint of the base configuration.
+    config_hash: String,
+    total_seconds: f64,
+    timings: Vec<TargetTiming>,
+    /// Present when the `run` target executed.
+    run: Option<RunSummary>,
+}
+
+fn flag_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> String {
+    it.next().cloned().unwrap_or_else(|| {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let mut targets: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    if targets.is_empty() || targets.contains(&"all") {
-        targets = vec![
+    let mut quick = false;
+    let mut json = false;
+    let mut out_dir = "repro_results".to_string();
+    let mut checkpoint_dir: Option<String> = None;
+    let mut resume_from: Option<String> = None;
+    let mut crash_after_day: Option<u64> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => json = true,
+            "--out-dir" => out_dir = flag_value(&mut it, a),
+            "--checkpoint-dir" => checkpoint_dir = Some(flag_value(&mut it, a)),
+            "--resume-from" => resume_from = Some(flag_value(&mut it, a)),
+            "--crash-after-day" => {
+                let v = flag_value(&mut it, a);
+                crash_after_day = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--crash-after-day needs an integer, got {v:?}");
+                    std::process::exit(2);
+                }));
+            }
+            other if other.starts_with("--") => {
+                eprintln!(
+                    "unknown flag {other:?}; known: --quick --json --out-dir \
+                     --checkpoint-dir --resume-from --crash-after-day"
+                );
+                std::process::exit(2);
+            }
+            t => targets.push(t.to_string()),
+        }
+    }
+    if targets.is_empty() || targets.iter().any(|t| t == "all") {
+        targets = [
             "table1",
             "table2",
             "fig2",
@@ -354,17 +466,26 @@ fn main() {
             "fig13",
             "degradation",
             "headline",
-        ];
+        ]
+        .map(String::from)
+        .to_vec();
     }
-    let out_dir = "repro_results".to_string();
-    fs::create_dir_all(&out_dir).expect("create repro_results/");
-    let ctx = Ctx { quick, out_dir };
+    fs::create_dir_all(&out_dir).expect("create the output directory");
+    let ctx = Ctx {
+        quick,
+        out_dir,
+        checkpoint_dir,
+        resume_from,
+        crash_after_day,
+    };
 
     let started = Instant::now();
     let mut nine_eleven_fourteen_done = false;
-    for t in targets {
+    let mut timings: Vec<TargetTiming> = Vec::new();
+    let mut run_summary: Option<RunSummary> = None;
+    for t in &targets {
         let t0 = Instant::now();
-        match t {
+        match t.as_str() {
             "table1" => table1(&ctx),
             "table2" => table2(&ctx),
             "fig2" => fig2(&ctx),
@@ -385,14 +506,34 @@ fn main() {
             "fig13" => fig13(&ctx),
             "degradation" => degradation(&ctx),
             "headline" => run_headline(&ctx),
+            "run" => run_summary = Some(run_checkpointed(&ctx)),
             other => {
                 eprintln!(
-                    "unknown target {other:?}; known: table1 table2 fig2..fig14 degradation headline"
+                    "unknown target {other:?}; known: table1 table2 fig2..fig14 degradation headline run"
                 );
                 std::process::exit(2);
             }
         }
-        println!("[{t} took {:.1}s]", t0.elapsed().as_secs_f64());
+        let seconds = t0.elapsed().as_secs_f64();
+        println!("[{t} took {seconds:.1}s]");
+        timings.push(TargetTiming {
+            target: t.clone(),
+            seconds,
+        });
     }
-    println!("\ntotal: {:.1}s", started.elapsed().as_secs_f64());
+    let total_seconds = started.elapsed().as_secs_f64();
+    println!("\ntotal: {total_seconds:.1}s");
+    if json {
+        let summary = SessionSummary {
+            quick,
+            config_hash: format!("{:#018x}", ctx.base().run_hash()),
+            total_seconds,
+            timings,
+            run: run_summary,
+        };
+        println!(
+            "{}",
+            serde_json::to_string(&summary).expect("summary serializes")
+        );
+    }
 }

@@ -52,6 +52,7 @@ pub fn repro_config(seed: u64) -> SimConfig {
         dqn,
         train_every: 6,
         fault: pfdrl_fl::FaultConfig::default(),
+        checkpoint: pfdrl_core::CheckpointPolicy::default(),
     }
 }
 

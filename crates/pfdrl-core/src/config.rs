@@ -7,6 +7,50 @@ use pfdrl_fl::FaultConfig;
 use pfdrl_forecast::{ForecastMethod, TrainConfig};
 use serde::{Deserialize, Serialize};
 
+/// Durable-checkpoint policy for crash-recoverable runs.
+///
+/// Disabled by default (`dir: None`), in which case runs behave exactly
+/// as before — nothing touches the filesystem. With a directory set,
+/// the resumable runner writes a `PFDS` snapshot after every
+/// `every_days`-th completed evaluation day (and always after the last
+/// one), keeping the newest `keep_last` snapshots.
+///
+/// The policy is deliberately excluded from [`SimConfig::run_hash`]:
+/// changing only *where or how often* a run checkpoints must not
+/// invalidate existing snapshots of that run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointPolicy {
+    /// Snapshot directory; `None` disables checkpointing entirely.
+    pub dir: Option<String>,
+    /// Snapshot every this many completed evaluation days (min 1).
+    pub every_days: u64,
+    /// Snapshots retained after each save (0 = keep all).
+    pub keep_last: usize,
+    /// Testing hook: hard-abort the process (as a crash would) once
+    /// this many evaluation days have completed, right after the day's
+    /// checkpoint hook. Lets integration tests and CI prove
+    /// kill-and-resume equivalence without external process killing.
+    pub abort_after_days: Option<u64>,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            dir: None,
+            every_days: 1,
+            keep_last: 3,
+            abort_after_days: None,
+        }
+    }
+}
+
+impl CheckpointPolicy {
+    /// Whether checkpointing is active.
+    pub fn enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+}
+
 /// Full configuration of one neighbourhood simulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -54,6 +98,10 @@ pub struct SimConfig {
     /// configs behave exactly as before.
     #[serde(default)]
     pub fault: FaultConfig,
+    /// Durable checkpointing (disabled by default; see
+    /// [`CheckpointPolicy`]).
+    #[serde(default)]
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl Default for SimConfig {
@@ -78,6 +126,7 @@ impl Default for SimConfig {
             dqn: DqnConfig::slim(0),
             train_every: 4,
             fault: FaultConfig::default(),
+            checkpoint: CheckpointPolicy::default(),
         }
     }
 }
@@ -135,6 +184,7 @@ impl SimConfig {
             dqn,
             train_every: 8,
             fault: FaultConfig::default(),
+            checkpoint: CheckpointPolicy::default(),
         }
     }
 
@@ -191,6 +241,26 @@ impl SimConfig {
         assert!(self.state_window >= 1, "state window must be >= 1");
         self.fault.validate();
     }
+
+    /// Stable fingerprint of everything that determines the run's
+    /// trajectory — FNV-1a over the canonical JSON serialization with
+    /// the checkpoint policy reset to default, so checkpoint knobs
+    /// (directory, cadence, abort hooks) never invalidate snapshots.
+    ///
+    /// Snapshots store this hash; resuming under a different
+    /// configuration fails with a typed mismatch instead of silently
+    /// producing a hybrid run.
+    pub fn run_hash(&self) -> u64 {
+        let mut canonical = self.clone();
+        canonical.checkpoint = CheckpointPolicy::default();
+        let json = serde_json::to_string(&canonical).expect("SimConfig always serializes");
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in json.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +301,33 @@ mod tests {
         let mut cfg = SimConfig::tiny(0);
         cfg.eval_start_day = 0;
         cfg.validate();
+    }
+
+    #[test]
+    fn run_hash_ignores_checkpoint_knobs_only() {
+        let base = SimConfig::tiny(5);
+        let mut ckpt = base.clone();
+        ckpt.checkpoint.dir = Some("/tmp/snaps".into());
+        ckpt.checkpoint.every_days = 7;
+        ckpt.checkpoint.abort_after_days = Some(1);
+        assert_eq!(base.run_hash(), ckpt.run_hash());
+
+        let mut other_seed = base.clone();
+        other_seed.seed = 6;
+        assert_ne!(base.run_hash(), other_seed.run_hash());
+
+        let mut other_alpha = base.clone();
+        other_alpha.alpha = 1;
+        assert_ne!(base.run_hash(), other_alpha.run_hash());
+    }
+
+    #[test]
+    fn checkpointing_is_off_by_default() {
+        assert!(!SimConfig::default().checkpoint.enabled());
+        let policy = CheckpointPolicy::default();
+        assert_eq!(policy.every_days, 1);
+        assert_eq!(policy.keep_last, 3);
+        assert_eq!(policy.abort_after_days, None);
     }
 
     #[test]

@@ -22,6 +22,9 @@ use pfdrl_fl::{
     aggregate, BroadcastBus, CloudAggregator, LatencyModel, LayerSplit, MergePolicy, ModelUpdate,
 };
 use pfdrl_nn::Layered;
+use pfdrl_store::{
+    ForecastState, MetricsState, RunSnapshot, SnapshotMeta, StoreError, TransportState,
+};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -116,59 +119,101 @@ struct HomeDay {
     states: Vec<Option<Vec<f64>>>,
 }
 
-/// Runs the EMS over the evaluation span.
-pub fn run_ems(cfg: &SimConfig, method: EmsMethod, forecast: &ForecastPhase) -> EmsPhase {
-    cfg.validate();
-    let gen = TraceGenerator::new(cfg.generator());
-    let started = Instant::now();
-    let env_cfg = EnvConfig {
-        state_window: cfg.state_window,
-    };
-    let state_dim = env_cfg.state_dim();
-    let n = cfg.n_residences;
-    let d = cfg.devices_per_home();
-    let federation = method.drl_federation(cfg.alpha);
+/// The cross-day state of an EMS run — exactly what must survive a
+/// crash for the resumed run to be bit-identical to the uninterrupted
+/// one. At a day boundary no episode is live, so this is the complete
+/// persistent state: agents (networks, optimizers, replay, RNG
+/// streams), federation transports (statistics plus any
+/// straggler-parked updates from an active fault plan), the federation
+/// round counter, and the metric accumulators.
+pub(crate) struct EmsState {
+    pub agents: Vec<Vec<DqnAgent>>,
+    pub bus: BroadcastBus,
+    pub cloud: CloudAggregator,
+    pub fed_round: u64,
+    /// Next evaluation day to execute (absolute day index).
+    pub next_day: u64,
+    pub total: EnergyAccount,
+    pub daily_saved_fraction: Vec<f64>,
+    pub daily_saved_kwh_per_client: Vec<f64>,
+    pub hourly_saved: [f64; 24],
+    pub hourly_standby: [f64; 24],
+    pub per_home_late: Vec<EnergyAccount>,
+}
 
-    // One DQN per home-device pair.
-    let mut agents: Vec<Vec<DqnAgent>> = (0..n)
-        .map(|home| {
-            (0..d)
-                .map(|device| {
-                    let seed = cfg
-                        .seed
-                        .wrapping_mul(0xC2B2_AE35)
-                        .wrapping_add((home as u64) << 13)
-                        .wrapping_add(device as u64);
-                    DqnAgent::new(
-                        state_dim,
-                        DqnConfig {
-                            seed,
-                            ..cfg.dqn.clone()
-                        },
-                    )
-                })
-                .collect()
-        })
-        .collect();
+impl EmsState {
+    /// Day-zero state with freshly seeded agents and empty transports.
+    pub fn fresh(cfg: &SimConfig) -> Self {
+        let env_cfg = EnvConfig {
+            state_window: cfg.state_window,
+        };
+        let state_dim = env_cfg.state_dim();
+        let n = cfg.n_residences;
+        let d = cfg.devices_per_home();
 
-    // Federation transports, routed through the configured fault plan
-    // (inert when cfg.fault is fault-free).
-    let bus = BroadcastBus::with_faults(n, LatencyModel::lan(), &cfg.fault);
-    let cloud = CloudAggregator::with_faults(LatencyModel::cloud(), &cfg.fault);
-    let policy = cfg.fault.merge_policy();
+        // One DQN per home-device pair.
+        let agents: Vec<Vec<DqnAgent>> = (0..n)
+            .map(|home| {
+                (0..d)
+                    .map(|device| {
+                        DqnAgent::new(
+                            state_dim,
+                            DqnConfig {
+                                seed: Self::agent_seed(cfg, home, device),
+                                ..cfg.dqn.clone()
+                            },
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
 
-    let gamma_minutes = ((cfg.gamma_hours * 60.0).round() as usize).max(1);
-    let mut fed_round: u64 = 0;
+        EmsState {
+            agents,
+            // Federation transports, routed through the configured fault
+            // plan (inert when cfg.fault is fault-free).
+            bus: BroadcastBus::with_faults(n, LatencyModel::lan(), &cfg.fault),
+            cloud: CloudAggregator::with_faults(LatencyModel::cloud(), &cfg.fault),
+            fed_round: 0,
+            next_day: cfg.eval_start_day,
+            total: EnergyAccount::new(),
+            daily_saved_fraction: Vec::with_capacity(cfg.eval_days as usize),
+            daily_saved_kwh_per_client: Vec::with_capacity(cfg.eval_days as usize),
+            hourly_saved: [0.0f64; 24],
+            hourly_standby: [0.0f64; 24],
+            per_home_late: vec![EnergyAccount::new(); n],
+        }
+    }
 
-    let mut total = EnergyAccount::new();
-    let mut daily_saved_fraction = Vec::with_capacity(cfg.eval_days as usize);
-    let mut daily_saved_kwh_per_client = Vec::with_capacity(cfg.eval_days as usize);
-    let mut hourly_saved = [0.0f64; 24];
-    let mut hourly_standby = [0.0f64; 24];
-    let mut per_home_late: Vec<EnergyAccount> = vec![EnergyAccount::new(); n];
-    let late_start = cfg.eval_start_day + cfg.eval_days - cfg.eval_days.div_ceil(3);
+    fn agent_seed(cfg: &SimConfig, home: usize, device: usize) -> u64 {
+        cfg.seed
+            .wrapping_mul(0xC2B2_AE35)
+            .wrapping_add((home as u64) << 13)
+            .wrapping_add(device as u64)
+    }
 
-    for day in cfg.eval_start_day..cfg.eval_start_day + cfg.eval_days {
+    /// Whether every evaluation day has been executed.
+    pub fn done(&self, cfg: &SimConfig) -> bool {
+        self.next_day >= cfg.eval_start_day + cfg.eval_days
+    }
+
+    /// Executes one evaluation day (`self.next_day`): builds the day's
+    /// environments, walks the γ-aligned segments with federation at
+    /// each boundary, and folds the day's accounts into the
+    /// accumulators.
+    pub fn advance_day(&mut self, cfg: &SimConfig, method: EmsMethod, forecast: &ForecastPhase) {
+        let day = self.next_day;
+        let gen = TraceGenerator::new(cfg.generator());
+        let env_cfg = EnvConfig {
+            state_window: cfg.state_window,
+        };
+        let n = cfg.n_residences;
+        let d = cfg.devices_per_home();
+        let federation = method.drl_federation(cfg.alpha);
+        let policy = cfg.fault.merge_policy();
+        let gamma_minutes = ((cfg.gamma_hours * 60.0).round() as usize).max(1);
+        let late_start = cfg.eval_start_day + cfg.eval_days - cfg.eval_days.div_ceil(3);
+
         // Build the day's envs (predictions + ground truth), per home.
         let mut home_days: Vec<HomeDay> = (0..n as u64)
             .into_par_iter()
@@ -219,20 +264,27 @@ pub fn run_ems(cfg: &SimConfig, method: EmsMethod, forecast: &ForecastPhase) -> 
             // All homes advance through the segment in parallel.
             let seg_hours: Vec<(Vec<f64>, Vec<f64>)> = home_days
                 .par_iter_mut()
-                .zip(agents.par_iter_mut())
+                .zip(self.agents.par_iter_mut())
                 .map(|(hd, home_agents)| run_segment(cfg, hd, home_agents, seg_end))
                 .collect();
             for (saved, standby) in seg_hours {
                 for h in 0..24 {
-                    hourly_saved[h] += saved[h];
-                    hourly_standby[h] += standby[h];
+                    self.hourly_saved[h] += saved[h];
+                    self.hourly_standby[h] += standby[h];
                 }
             }
 
             // Federation at the boundary (if the day is not over early).
             if seg_end < MINUTES_PER_DAY || next_boundary == day_minute0 + MINUTES_PER_DAY {
-                fed_round += 1;
-                federate(&mut agents, federation, &bus, &cloud, fed_round, &policy);
+                self.fed_round += 1;
+                federate(
+                    &mut self.agents,
+                    federation,
+                    &self.bus,
+                    &self.cloud,
+                    self.fed_round,
+                    &policy,
+                );
             }
             seg_start = seg_end;
         }
@@ -242,32 +294,183 @@ pub fn run_ems(cfg: &SimConfig, method: EmsMethod, forecast: &ForecastPhase) -> 
             for env in hd.envs.iter().flatten() {
                 day_account.merge(env.account());
                 if day >= late_start {
-                    per_home_late[home].merge(env.account());
+                    self.per_home_late[home].merge(env.account());
                 }
             }
         }
-        total.merge(&day_account);
-        daily_saved_fraction.push(day_account.saved_fraction().unwrap_or(0.0));
-        daily_saved_kwh_per_client.push(day_account.standby_saved_kwh / n as f64);
+        self.total.merge(&day_account);
+        self.daily_saved_fraction
+            .push(day_account.saved_fraction().unwrap_or(0.0));
+        self.daily_saved_kwh_per_client
+            .push(day_account.standby_saved_kwh / n as f64);
+        self.next_day = day + 1;
     }
 
-    let comm_bytes = bus.stats().bytes + cloud.stats().upload_bytes + cloud.stats().download_bytes;
-    let comm_s = bus.simulated_seconds() + cloud.simulated_seconds();
-    EmsPhase {
-        account: total,
-        daily_saved_fraction,
-        daily_saved_kwh_per_client,
-        hourly_saved_kwh_per_client: hourly_saved.iter().map(|v| v / n as f64).collect(),
-        hourly_standby_kwh_per_client: hourly_standby.iter().map(|v| v / n as f64).collect(),
-        per_home_saved_fraction: per_home_late
-            .iter()
-            .map(|a| a.saved_fraction().unwrap_or(0.0))
-            .collect(),
-        per_home_saved_kwh: per_home_late.iter().map(|a| a.standby_saved_kwh).collect(),
-        train_wall_s: started.elapsed().as_secs_f64(),
-        comm_s,
-        comm_bytes,
+    /// Folds the accumulated state into the phase result.
+    pub fn into_phase(self, cfg: &SimConfig, train_wall_s: f64) -> EmsPhase {
+        let n = cfg.n_residences;
+        let comm_bytes = self.bus.stats().bytes
+            + self.cloud.stats().upload_bytes
+            + self.cloud.stats().download_bytes;
+        let comm_s = self.bus.simulated_seconds() + self.cloud.simulated_seconds();
+        EmsPhase {
+            account: self.total,
+            daily_saved_fraction: self.daily_saved_fraction,
+            daily_saved_kwh_per_client: self.daily_saved_kwh_per_client,
+            hourly_saved_kwh_per_client: self.hourly_saved.iter().map(|v| v / n as f64).collect(),
+            hourly_standby_kwh_per_client: self
+                .hourly_standby
+                .iter()
+                .map(|v| v / n as f64)
+                .collect(),
+            per_home_saved_fraction: self
+                .per_home_late
+                .iter()
+                .map(|a| a.saved_fraction().unwrap_or(0.0))
+                .collect(),
+            per_home_saved_kwh: self
+                .per_home_late
+                .iter()
+                .map(|a| a.standby_saved_kwh)
+                .collect(),
+            train_wall_s,
+            comm_s,
+            comm_bytes,
+        }
     }
+
+    /// Captures the complete cross-day state into a snapshot.
+    pub fn to_snapshot(
+        &self,
+        cfg: &SimConfig,
+        method: EmsMethod,
+        forecast: ForecastState,
+    ) -> RunSnapshot {
+        RunSnapshot {
+            meta: SnapshotMeta {
+                config_hash: cfg.run_hash(),
+                method: method.name().to_string(),
+                next_day: self.next_day,
+                fed_round: self.fed_round,
+                n_homes: cfg.n_residences as u64,
+                n_devices: cfg.devices_per_home() as u64,
+            },
+            forecast,
+            agents: self
+                .agents
+                .iter()
+                .map(|home| home.iter().map(DqnAgent::export_state).collect())
+                .collect(),
+            transport: TransportState {
+                bus: self.bus.export_state(),
+                cloud: self.cloud.export_state(),
+            },
+            metrics: MetricsState {
+                total: self.total,
+                daily_saved_fraction: self.daily_saved_fraction.clone(),
+                daily_saved_kwh_per_client: self.daily_saved_kwh_per_client.clone(),
+                hourly_saved: self.hourly_saved.to_vec(),
+                hourly_standby: self.hourly_standby.to_vec(),
+                per_home_late: self.per_home_late.clone(),
+            },
+        }
+    }
+
+    /// Rebuilds the run state from a decoded snapshot, validating every
+    /// shape against `cfg` before any agent is touched. Identity checks
+    /// (config hash, method) belong to the caller — this function
+    /// assumes they already passed and verifies structure only.
+    pub fn from_snapshot(cfg: &SimConfig, snap: &RunSnapshot) -> Result<Self, StoreError> {
+        let n = cfg.n_residences;
+        let d = cfg.devices_per_home();
+        let env_cfg = EnvConfig {
+            state_window: cfg.state_window,
+        };
+        let state_dim = env_cfg.state_dim();
+
+        if snap.meta.n_homes != n as u64 || snap.meta.n_devices != d as u64 {
+            return Err(StoreError::State(format!(
+                "snapshot is for {}x{} agents, config wants {n}x{d}",
+                snap.meta.n_homes, snap.meta.n_devices
+            )));
+        }
+        let end_day = cfg.eval_start_day + cfg.eval_days;
+        if snap.meta.next_day < cfg.eval_start_day || snap.meta.next_day > end_day {
+            return Err(StoreError::State(format!(
+                "snapshot day {} outside evaluation span {}..={end_day}",
+                snap.meta.next_day, cfg.eval_start_day
+            )));
+        }
+        let completed = (snap.meta.next_day - cfg.eval_start_day) as usize;
+        let m = &snap.metrics;
+        if snap.agents.len() != n
+            || snap.agents.iter().any(|home| home.len() != d)
+            || m.hourly_saved.len() != 24
+            || m.hourly_standby.len() != 24
+            || m.per_home_late.len() != n
+            || m.daily_saved_fraction.len() != completed
+            || m.daily_saved_kwh_per_client.len() != completed
+        {
+            return Err(StoreError::State(
+                "snapshot sections disagree about run dimensions".to_string(),
+            ));
+        }
+
+        let mut agents: Vec<Vec<DqnAgent>> = Vec::with_capacity(n);
+        for (home, home_states) in snap.agents.iter().enumerate() {
+            let mut row = Vec::with_capacity(d);
+            for (device, state) in home_states.iter().enumerate() {
+                let mut agent = DqnAgent::new(
+                    state_dim,
+                    DqnConfig {
+                        seed: Self::agent_seed(cfg, home, device),
+                        ..cfg.dqn.clone()
+                    },
+                );
+                agent
+                    .restore_state(state.clone())
+                    .map_err(|e| StoreError::State(format!("agent [{home}][{device}]: {e}")))?;
+                row.push(agent);
+            }
+            agents.push(row);
+        }
+
+        let bus = BroadcastBus::with_faults(n, LatencyModel::lan(), &cfg.fault);
+        bus.restore_state(&snap.transport.bus)
+            .map_err(|e| StoreError::State(format!("bus: {e}")))?;
+        let cloud = CloudAggregator::with_faults(LatencyModel::cloud(), &cfg.fault);
+        cloud.restore_state(&snap.transport.cloud);
+
+        let mut hourly_saved = [0.0f64; 24];
+        hourly_saved.copy_from_slice(&m.hourly_saved);
+        let mut hourly_standby = [0.0f64; 24];
+        hourly_standby.copy_from_slice(&m.hourly_standby);
+
+        Ok(EmsState {
+            agents,
+            bus,
+            cloud,
+            fed_round: snap.meta.fed_round,
+            next_day: snap.meta.next_day,
+            total: m.total,
+            daily_saved_fraction: m.daily_saved_fraction.clone(),
+            daily_saved_kwh_per_client: m.daily_saved_kwh_per_client.clone(),
+            hourly_saved,
+            hourly_standby,
+            per_home_late: m.per_home_late.clone(),
+        })
+    }
+}
+
+/// Runs the EMS over the evaluation span.
+pub fn run_ems(cfg: &SimConfig, method: EmsMethod, forecast: &ForecastPhase) -> EmsPhase {
+    cfg.validate();
+    let started = Instant::now();
+    let mut state = EmsState::fresh(cfg);
+    while !state.done(cfg) {
+        state.advance_day(cfg, method, forecast);
+    }
+    state.into_phase(cfg, started.elapsed().as_secs_f64())
 }
 
 /// Advances one home's episodes to `seg_end`; returns (saved, standby)

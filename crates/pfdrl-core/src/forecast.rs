@@ -29,6 +29,76 @@ pub struct ForecastPhase {
     pub comm_bytes: u64,
 }
 
+impl ForecastPhase {
+    /// Captures the trained weights and phase costs for a snapshot.
+    pub fn export_state(&self) -> pfdrl_store::ForecastState {
+        pfdrl_store::ForecastState {
+            train_wall_s: self.train_wall_s,
+            comm_s: self.comm_s,
+            comm_bytes: self.comm_bytes,
+            weights: self
+                .models
+                .iter()
+                .map(|home| home.iter().map(|m| m.export_all()).collect())
+                .collect(),
+        }
+    }
+
+    /// Rebuilds the phase from snapshotted weights: fresh models are
+    /// constructed with the run's deterministic seeds, every layer
+    /// shape is validated against the snapshot, then the trained
+    /// weights are imported. Restoring (instead of retraining) keeps
+    /// the resumed run bit-identical to the uninterrupted one.
+    pub fn from_state(
+        cfg: &SimConfig,
+        state: &pfdrl_store::ForecastState,
+    ) -> Result<Self, pfdrl_store::StoreError> {
+        use pfdrl_store::StoreError;
+
+        let mut models = fresh_models(cfg);
+        if state.weights.len() != models.len()
+            || state
+                .weights
+                .iter()
+                .zip(&models)
+                .any(|(sw, mw)| sw.len() != mw.len())
+        {
+            return Err(StoreError::State(format!(
+                "snapshot has forecasters for {} homes, config wants {}",
+                state.weights.len(),
+                models.len()
+            )));
+        }
+        for (home, (home_weights, home_models)) in
+            state.weights.iter().zip(models.iter_mut()).enumerate()
+        {
+            for (device, (weights, model)) in
+                home_weights.iter().zip(home_models.iter_mut()).enumerate()
+            {
+                let ok = weights.len() == model.layer_count()
+                    && weights
+                        .iter()
+                        .enumerate()
+                        .all(|(i, l)| l.len() == model.layer_param_count(i));
+                if !ok {
+                    return Err(StoreError::State(format!(
+                        "forecaster [{home}][{device}] weight shapes do not match the \
+                         configured {:?} architecture",
+                        cfg.forecast_method
+                    )));
+                }
+                model.import_all(weights);
+            }
+        }
+        Ok(ForecastPhase {
+            models,
+            train_wall_s: state.train_wall_s,
+            comm_s: state.comm_s,
+            comm_bytes: state.comm_bytes,
+        })
+    }
+}
+
 /// Builds the supervised training set for one home-device pair over the
 /// configured training span.
 pub fn training_set(

@@ -34,9 +34,11 @@ pub mod forecast;
 pub mod method;
 pub mod runner;
 
-pub use config::SimConfig;
+pub use config::{CheckpointPolicy, SimConfig};
 pub use ems::{DrlFederation, EmsPhase};
 pub use eval::{evaluate_forecast, ForecastEval};
 pub use forecast::{train_forecasters, ForecastPhase};
 pub use method::EmsMethod;
-pub use runner::{run_method, MethodRun};
+pub use runner::{
+    run_method, run_method_resumable, run_method_resume_from, MethodRun, ResumableRun, RunResult,
+};

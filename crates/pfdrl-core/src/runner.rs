@@ -2,10 +2,14 @@
 //! phase, with cost accounting for the time-overhead figures.
 
 use crate::config::SimConfig;
-use crate::ems::{run_ems, EmsPhase};
+use crate::ems::{run_ems, EmsPhase, EmsState};
 use crate::forecast::{train_forecasters, ForecastPhase};
 use crate::method::EmsMethod;
+use pfdrl_env::EnergyAccount;
+use pfdrl_store::{CheckpointStore, RunSnapshot, StoreError};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::time::Instant;
 
 /// A full run of one comparison method.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -49,6 +53,62 @@ impl MethodRun {
     }
 }
 
+/// The deterministic outcome of a run — every metric that must be
+/// bit-identical between an uninterrupted run and a crash-resumed one.
+/// Wall-clock timings are deliberately excluded (they can never be
+/// reproduced); simulated communication time *is* included because the
+/// latency model is a pure function of the transport statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    pub method: String,
+    /// Forecast-phase simulated communication seconds.
+    pub forecast_comm_s: f64,
+    /// Forecast-phase bytes on the wire.
+    pub forecast_bytes: u64,
+    /// EMS-phase simulated communication seconds.
+    pub ems_comm_s: f64,
+    /// EMS-phase bytes on the wire.
+    pub ems_comm_bytes: u64,
+    /// Aggregate energy account over all homes, devices and days.
+    pub account: EnergyAccount,
+    pub daily_saved_fraction: Vec<f64>,
+    pub daily_saved_kwh_per_client: Vec<f64>,
+    pub hourly_saved_kwh_per_client: Vec<f64>,
+    pub hourly_standby_kwh_per_client: Vec<f64>,
+    pub per_home_saved_fraction: Vec<f64>,
+    pub per_home_saved_kwh: Vec<f64>,
+}
+
+impl MethodRun {
+    /// The deterministic (wall-clock-free) projection of this run.
+    pub fn result(&self) -> RunResult {
+        RunResult {
+            method: self.method.clone(),
+            forecast_comm_s: self.forecast_comm_s,
+            forecast_bytes: self.forecast_bytes,
+            ems_comm_s: self.ems.comm_s,
+            ems_comm_bytes: self.ems.comm_bytes,
+            account: self.ems.account,
+            daily_saved_fraction: self.ems.daily_saved_fraction.clone(),
+            daily_saved_kwh_per_client: self.ems.daily_saved_kwh_per_client.clone(),
+            hourly_saved_kwh_per_client: self.ems.hourly_saved_kwh_per_client.clone(),
+            hourly_standby_kwh_per_client: self.ems.hourly_standby_kwh_per_client.clone(),
+            per_home_saved_fraction: self.ems.per_home_saved_fraction.clone(),
+            per_home_saved_kwh: self.ems.per_home_saved_kwh.clone(),
+        }
+    }
+}
+
+/// A [`MethodRun`] that may have been resumed from a checkpoint.
+#[derive(Debug, Clone)]
+pub struct ResumableRun {
+    /// The completed run.
+    pub run: MethodRun,
+    /// First evaluation day executed by *this* process if the run was
+    /// resumed from a snapshot; `None` for a from-scratch run.
+    pub resumed_from_day: Option<u64>,
+}
+
 /// Runs one method end to end.
 pub fn run_method(cfg: &SimConfig, method: EmsMethod) -> MethodRun {
     let forecast = train_forecasters(cfg, method);
@@ -77,6 +137,115 @@ pub fn run_method_with_forecast(cfg: &SimConfig, method: EmsMethod) -> (MethodRu
         },
         forecast,
     )
+}
+
+/// Runs one method with the configured [`CheckpointPolicy`]: if the
+/// checkpoint directory already holds a snapshot of this exact run
+/// (same config fingerprint, same method), execution resumes from it;
+/// otherwise the run starts from scratch. Snapshots are written at the
+/// configured day cadence. With checkpointing disabled this is
+/// equivalent to [`run_method`].
+///
+/// [`CheckpointPolicy`]: crate::config::CheckpointPolicy
+pub fn run_method_resumable(
+    cfg: &SimConfig,
+    method: EmsMethod,
+) -> Result<ResumableRun, StoreError> {
+    cfg.validate();
+    let store = open_store(cfg)?;
+    let snap = match &store {
+        Some(s) => match s.latest()? {
+            Some(path) => Some(CheckpointStore::load(path)?),
+            None => None,
+        },
+        None => None,
+    };
+    drive(cfg, method, store.as_ref(), snap)
+}
+
+/// Like [`run_method_resumable`], but resumes from an explicit
+/// snapshot file instead of the newest one in the checkpoint
+/// directory.
+pub fn run_method_resume_from(
+    cfg: &SimConfig,
+    method: EmsMethod,
+    snapshot: impl AsRef<Path>,
+) -> Result<ResumableRun, StoreError> {
+    cfg.validate();
+    let store = open_store(cfg)?;
+    let snap = CheckpointStore::load(snapshot)?;
+    drive(cfg, method, store.as_ref(), Some(snap))
+}
+
+fn open_store(cfg: &SimConfig) -> Result<Option<CheckpointStore>, StoreError> {
+    match &cfg.checkpoint.dir {
+        Some(dir) => Ok(Some(CheckpointStore::open(dir, cfg.checkpoint.keep_last)?)),
+        None => Ok(None),
+    }
+}
+
+/// The checkpointed execution loop shared by both resume entry points.
+fn drive(
+    cfg: &SimConfig,
+    method: EmsMethod,
+    store: Option<&CheckpointStore>,
+    snap: Option<RunSnapshot>,
+) -> Result<ResumableRun, StoreError> {
+    let started = Instant::now();
+    let (mut state, forecast, forecast_state, resumed_from_day) = match snap {
+        Some(snap) => {
+            let expected = cfg.run_hash();
+            if snap.meta.config_hash != expected {
+                return Err(StoreError::ConfigMismatch {
+                    expected,
+                    found: snap.meta.config_hash,
+                });
+            }
+            if snap.meta.method != method.name() {
+                return Err(StoreError::MethodMismatch {
+                    expected: method.name().to_string(),
+                    found: snap.meta.method.clone(),
+                });
+            }
+            let forecast = ForecastPhase::from_state(cfg, &snap.forecast)?;
+            let resumed_from_day = Some(snap.meta.next_day);
+            let state = EmsState::from_snapshot(cfg, &snap)?;
+            (state, forecast, snap.forecast, resumed_from_day)
+        }
+        None => {
+            let forecast = train_forecasters(cfg, method);
+            let forecast_state = forecast.export_state();
+            (EmsState::fresh(cfg), forecast, forecast_state, None)
+        }
+    };
+
+    let every = cfg.checkpoint.every_days.max(1);
+    while !state.done(cfg) {
+        state.advance_day(cfg, method, &forecast);
+        let completed = state.next_day - cfg.eval_start_day;
+        if let Some(store) = store {
+            if completed.is_multiple_of(every) || state.done(cfg) {
+                store.save(&state.to_snapshot(cfg, method, forecast_state.clone()))?;
+            }
+        }
+        // Crash-simulation hook: die exactly as SIGKILL would, after
+        // the checkpoint hook for the day has run.
+        if cfg.checkpoint.abort_after_days == Some(completed) && !state.done(cfg) {
+            std::process::abort();
+        }
+    }
+
+    let ems = state.into_phase(cfg, started.elapsed().as_secs_f64());
+    Ok(ResumableRun {
+        run: MethodRun {
+            method: method.name().to_string(),
+            forecast_train_wall_s: forecast.train_wall_s,
+            forecast_comm_s: forecast.comm_s,
+            forecast_bytes: forecast.comm_bytes,
+            ems,
+        },
+        resumed_from_day,
+    })
 }
 
 #[cfg(test)]

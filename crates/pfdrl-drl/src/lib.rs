@@ -29,6 +29,6 @@ pub mod dqn;
 pub mod policy;
 pub mod replay;
 
-pub use dqn::{DqnAgent, DqnConfig};
+pub use dqn::{DqnAgent, DqnConfig, DqnState};
 pub use policy::EpsilonSchedule;
-pub use replay::{ReplayBuffer, Transition};
+pub use replay::{ReplayBuffer, ReplayState, Transition};

@@ -70,6 +70,63 @@ impl ReplayBuffer {
         self.buf.clear();
         self.write = 0;
     }
+
+    /// Captures the buffer contents and ring position, for
+    /// checkpointing.
+    pub fn export_state(&self) -> ReplayState {
+        ReplayState {
+            capacity: self.capacity,
+            transitions: self.buf.clone(),
+            write: self.write,
+        }
+    }
+
+    /// Rebuilds a buffer from a captured [`ReplayState`], restoring the
+    /// exact eviction order.
+    ///
+    /// # Errors
+    /// Rejects states that violate the ring invariants (overfull, or a
+    /// write cursor pointing outside the occupied region).
+    pub fn from_state(state: ReplayState) -> Result<Self, String> {
+        if state.capacity == 0 {
+            return Err("replay state: zero capacity".into());
+        }
+        if state.transitions.len() > state.capacity {
+            return Err(format!(
+                "replay state: {} transitions exceed capacity {}",
+                state.transitions.len(),
+                state.capacity
+            ));
+        }
+        let valid_write = if state.transitions.len() < state.capacity {
+            state.write == state.transitions.len()
+        } else {
+            state.write < state.capacity
+        };
+        if !valid_write {
+            return Err(format!(
+                "replay state: write cursor {} inconsistent with {} of {} slots filled",
+                state.write,
+                state.transitions.len(),
+                state.capacity
+            ));
+        }
+        Ok(ReplayBuffer {
+            capacity: state.capacity,
+            buf: state.transitions,
+            write: state.write,
+        })
+    }
+}
+
+/// Serializable snapshot of a [`ReplayBuffer`], for checkpointing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayState {
+    pub capacity: usize,
+    /// Buffer contents in storage order (not age order).
+    pub transitions: Vec<Transition>,
+    /// Next slot the ring will overwrite.
+    pub write: usize,
 }
 
 #[cfg(test)]

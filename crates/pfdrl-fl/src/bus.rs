@@ -262,6 +262,89 @@ impl BroadcastBus {
     pub fn reset_stats(&self) {
         *self.inner.stats.lock() = BusStats::default();
     }
+
+    /// Captures the complete bus state — statistics, undrained mailbox
+    /// contents, and any parked straggler queues — without disturbing
+    /// it (drained messages are re-queued in order).
+    ///
+    /// Not safe to call concurrently with `broadcast`/`drain`; callers
+    /// checkpoint between federation rounds, when the bus is quiescent.
+    pub fn export_state(&self) -> BusState {
+        let mut mailboxes = Vec::with_capacity(self.len());
+        for (rx, tx) in self.inner.receivers.iter().zip(self.inner.senders.iter()) {
+            let mut pending = Vec::new();
+            while let Ok(u) = rx.try_recv() {
+                pending.push(u);
+            }
+            let contents: Vec<ModelUpdate> = pending.iter().map(|u| (**u).clone()).collect();
+            for u in pending {
+                let _ = tx.send(u);
+            }
+            mailboxes.push(contents);
+        }
+        let (parked_ready, parked_staged) = match &self.inner.faults {
+            Some(inj) => inj.export_parked(),
+            None => (vec![Vec::new(); self.len()], vec![Vec::new(); self.len()]),
+        };
+        BusState {
+            stats: self.stats(),
+            mailboxes,
+            parked_ready,
+            parked_staged,
+        }
+    }
+
+    /// Restores state captured with [`BroadcastBus::export_state`] into
+    /// a freshly built bus of the same shape.
+    ///
+    /// # Errors
+    /// Rejects states whose participant count does not match, or that
+    /// carry parked stragglers when this bus has no fault injector.
+    pub fn restore_state(&self, state: &BusState) -> Result<(), String> {
+        let n = self.len();
+        if state.mailboxes.len() != n {
+            return Err(format!(
+                "bus state has {} mailboxes, bus has {n}",
+                state.mailboxes.len()
+            ));
+        }
+        for (tx, contents) in self.inner.senders.iter().zip(&state.mailboxes) {
+            for u in contents {
+                tx.send(Arc::new(u.clone()))
+                    .map_err(|_| "bus mailbox disconnected".to_string())?;
+            }
+        }
+        match &self.inner.faults {
+            Some(inj) => {
+                inj.restore_parked(state.parked_ready.clone(), state.parked_staged.clone())?
+            }
+            None => {
+                let parked = state.parked_ready.iter().chain(&state.parked_staged);
+                if parked.flatten().next().is_some() {
+                    return Err(
+                        "bus state carries parked stragglers but this bus has no fault injector"
+                            .into(),
+                    );
+                }
+            }
+        }
+        *self.inner.stats.lock() = state.stats;
+        Ok(())
+    }
+}
+
+/// Serializable snapshot of a [`BroadcastBus`], for checkpointing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BusState {
+    /// Traffic counters (the latency model is linear in these, so
+    /// restoring them reproduces final simulated-seconds exactly).
+    pub stats: BusStats,
+    /// Undrained mailbox contents per receiver, in delivery order.
+    pub mailboxes: Vec<Vec<ModelUpdate>>,
+    /// Parked stragglers surfacing on the next drain, per receiver.
+    pub parked_ready: Vec<Vec<ModelUpdate>>,
+    /// Parked stragglers surfacing one drain later, per receiver.
+    pub parked_staged: Vec<Vec<ModelUpdate>>,
 }
 
 #[cfg(test)]

@@ -236,6 +236,36 @@ impl CloudAggregator {
             .seconds(s.uploads + s.downloads, s.upload_bytes + s.download_bytes)
             + s.delay_seconds
     }
+
+    /// Captures the aggregator's complete state — statistics, the
+    /// current global model, and uploads pending aggregation — for
+    /// checkpointing. The global model matters across rounds: a quorum
+    /// failure keeps serving it, so resume must not lose it.
+    pub fn export_state(&self) -> CloudState {
+        CloudState {
+            stats: self.stats(),
+            global: self.inner.global.lock().clone(),
+            pending: self.inner.pending.lock().clone(),
+        }
+    }
+
+    /// Restores state captured with [`CloudAggregator::export_state`].
+    pub fn restore_state(&self, state: &CloudState) {
+        *self.inner.stats.lock() = state.stats;
+        *self.inner.global.lock() = state.global.clone();
+        *self.inner.pending.lock() = state.pending.clone();
+    }
+}
+
+/// Serializable snapshot of a [`CloudAggregator`], for checkpointing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CloudState {
+    /// Traffic counters (the latency model is linear in these).
+    pub stats: CloudStats,
+    /// The global model, if any aggregation has succeeded yet.
+    pub global: Option<Vec<Vec<f64>>>,
+    /// Uploads received but not yet aggregated.
+    pub pending: Vec<ModelUpdate>,
 }
 
 #[cfg(test)]

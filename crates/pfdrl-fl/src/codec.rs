@@ -36,6 +36,42 @@ pub const HEADER_BYTES: usize = 32;
 /// Bytes per parameter scalar (f64) plus the per-layer index overhead.
 pub const LAYER_HEADER_BYTES: usize = 16;
 
+/// Version of the binary wire encoding below. Bumped on any layout
+/// change; decoders reject versions they do not know instead of
+/// misreading future payloads.
+pub const CODEC_VERSION: u16 = 1;
+
+/// Typed decode failure for the binary wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload declares a format version this decoder cannot read.
+    UnsupportedVersion { found: u16, supported: u16 },
+    /// The payload ends before a declared field or layer.
+    Truncated { needed: usize, have: usize },
+    /// A structurally impossible field (e.g. a layer length that
+    /// overflows the payload).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported codec version {found} (this build reads <= {supported})"
+                )
+            }
+            CodecError::Truncated { needed, have } => {
+                write!(f, "truncated payload: needed {needed} bytes, have {have}")
+            }
+            CodecError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
 impl ModelUpdate {
     /// Accurate size of this update on the wire.
     pub fn byte_size(&self) -> usize {
@@ -50,6 +86,122 @@ impl ModelUpdate {
     /// Total number of parameter scalars carried.
     pub fn param_count(&self) -> usize {
         self.layers.iter().map(|l| l.params.len()).sum()
+    }
+
+    /// Serializes to the versioned binary wire format:
+    /// `version:u16 | sender:u64 | round:u64 | model_id:u64 |
+    /// n_layers:u32 | (index:u64, len:u64, params:f64*)*`, all
+    /// little-endian. Parameters round-trip bit-exactly (including NaN
+    /// payloads).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.byte_size() + 2);
+        out.extend_from_slice(&CODEC_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sender as u64).to_le_bytes());
+        out.extend_from_slice(&self.round.to_le_bytes());
+        out.extend_from_slice(&self.model_id.to_le_bytes());
+        out.extend_from_slice(&(self.layers.len() as u32).to_le_bytes());
+        for layer in &self.layers {
+            out.extend_from_slice(&(layer.index as u64).to_le_bytes());
+            out.extend_from_slice(&(layer.params.len() as u64).to_le_bytes());
+            for p in &layer.params {
+                out.extend_from_slice(&p.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a payload produced by [`ModelUpdate::encode`].
+    ///
+    /// # Errors
+    /// [`CodecError::UnsupportedVersion`] on a version this build does
+    /// not know, [`CodecError::Truncated`]/[`CodecError::Malformed`] on
+    /// damaged payloads — never a panic.
+    pub fn decode(bytes: &[u8]) -> Result<ModelUpdate, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let version = r.u16()?;
+        if version != CODEC_VERSION {
+            return Err(CodecError::UnsupportedVersion {
+                found: version,
+                supported: CODEC_VERSION,
+            });
+        }
+        let sender = r.u64()? as usize;
+        let round = r.u64()?;
+        let model_id = r.u64()?;
+        let n_layers = r.u32()? as usize;
+        let mut layers = Vec::with_capacity(n_layers.min(r.remaining() / LAYER_HEADER_BYTES + 1));
+        for _ in 0..n_layers {
+            let index = r.u64()? as usize;
+            let len = r.u64()?;
+            let len = usize::try_from(len).map_err(|_| CodecError::Malformed("layer length"))?;
+            let params = r.f64s(len)?;
+            layers.push(LayerUpdate { index, params });
+        }
+        if r.remaining() != 0 {
+            return Err(CodecError::Malformed("trailing bytes"));
+        }
+        Ok(ModelUpdate {
+            sender,
+            round,
+            model_id,
+            layers,
+        })
+    }
+}
+
+/// Minimal bounds-checked little-endian reader.
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                needed: n,
+                have: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64s(&mut self, n: usize) -> Result<Vec<f64>, CodecError> {
+        // Bound the allocation by what the payload can actually hold,
+        // so a corrupted length cannot trigger a huge reservation.
+        if self.remaining() / 8 < n {
+            return Err(CodecError::Truncated {
+                needed: n.saturating_mul(8),
+                have: self.remaining(),
+            });
+        }
+        let raw = self.take(n * 8)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
     }
 }
 
@@ -116,6 +268,72 @@ mod tests {
         let back: ModelUpdate = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back, original);
         assert_eq!(back.byte_size(), original.byte_size());
+    }
+
+    #[test]
+    fn binary_codec_round_trips_bit_exactly() {
+        let mut original = update(&[3, 1]);
+        original.sender = 9;
+        original.round = 77;
+        original.model_id = 2;
+        original.layers[0].params = vec![1.5, f64::NAN, f64::NEG_INFINITY];
+        original.layers[1].params = vec![-0.0];
+        let back = ModelUpdate::decode(&original.encode()).expect("decode");
+        assert_eq!(back.sender, original.sender);
+        assert_eq!(back.round, original.round);
+        assert_eq!(back.model_id, original.model_id);
+        assert_eq!(back.layers.len(), original.layers.len());
+        for (a, b) in back.layers.iter().zip(original.layers.iter()) {
+            assert_eq!(a.index, b.index);
+            let bits_a: Vec<u64> = a.params.iter().map(|p| p.to_bits()).collect();
+            let bits_b: Vec<u64> = b.params.iter().map(|p| p.to_bits()).collect();
+            assert_eq!(bits_a, bits_b, "params must survive bit-exactly");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_versions_with_typed_error() {
+        let mut bytes = update(&[4]).encode();
+        let future = (CODEC_VERSION + 1).to_le_bytes();
+        bytes[..2].copy_from_slice(&future);
+        assert_eq!(
+            ModelUpdate::decode(&bytes),
+            Err(CodecError::UnsupportedVersion {
+                found: CODEC_VERSION + 1,
+                supported: CODEC_VERSION,
+            })
+        );
+    }
+
+    #[test]
+    fn decode_rejects_truncation_everywhere_without_panicking() {
+        let bytes = update(&[5, 2]).encode();
+        for cut in 0..bytes.len() {
+            let err = ModelUpdate::decode(&bytes[..cut]).expect_err("truncated must fail");
+            assert!(
+                matches!(err, CodecError::Truncated { .. } | CodecError::Malformed(_)),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+        // Trailing garbage is rejected too.
+        let mut padded = bytes;
+        padded.push(0);
+        assert_eq!(
+            ModelUpdate::decode(&padded),
+            Err(CodecError::Malformed("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn corrupted_layer_length_is_an_error_not_an_allocation() {
+        let mut bytes = update(&[4]).encode();
+        // The layer length field sits after version + 3 u64 + u32 + index.
+        let len_off = 2 + 8 + 8 + 8 + 4 + 8;
+        bytes[len_off..len_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            ModelUpdate::decode(&bytes),
+            Err(CodecError::Truncated { .. })
+        ));
     }
 
     #[test]

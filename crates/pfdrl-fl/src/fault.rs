@@ -366,6 +366,49 @@ impl FaultInjector {
         slot.ready = std::mem::take(&mut slot.staged);
         out
     }
+
+    /// Captures the parked straggler queues — the fault plan's replay
+    /// cursor — as `(ready, staged)` per receiver, in delivery order.
+    pub fn export_parked(&self) -> (Vec<Vec<ModelUpdate>>, Vec<Vec<ModelUpdate>>) {
+        let mut ready = Vec::with_capacity(self.parked.len());
+        let mut staged = Vec::with_capacity(self.parked.len());
+        for slot in &self.parked {
+            let slot = slot.lock();
+            ready.push(slot.ready.iter().map(|u| (**u).clone()).collect());
+            staged.push(slot.staged.iter().map(|u| (**u).clone()).collect());
+        }
+        (ready, staged)
+    }
+
+    /// Restores queues captured with [`FaultInjector::export_parked`],
+    /// placing each message back in its exact queue position (a message
+    /// restored into `ready` surfaces on the next drain; one in
+    /// `staged` a drain later — unlike [`FaultInjector::park`], which
+    /// always stages).
+    ///
+    /// # Errors
+    /// Rejects captures taken from an injector with a different number
+    /// of receivers.
+    pub fn restore_parked(
+        &self,
+        ready: Vec<Vec<ModelUpdate>>,
+        staged: Vec<Vec<ModelUpdate>>,
+    ) -> Result<(), String> {
+        if ready.len() != self.parked.len() || staged.len() != self.parked.len() {
+            return Err(format!(
+                "parked queues for {}/{} receivers, injector has {}",
+                ready.len(),
+                staged.len(),
+                self.parked.len()
+            ));
+        }
+        for (slot, (r, s)) in self.parked.iter().zip(ready.into_iter().zip(staged)) {
+            let mut slot = slot.lock();
+            slot.ready = r.into_iter().map(Arc::new).collect();
+            slot.staged = s.into_iter().map(Arc::new).collect();
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

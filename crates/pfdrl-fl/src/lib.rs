@@ -68,9 +68,9 @@ pub use aggregate::{
     fedavg_in_place, merge_updates, merge_updates_with, snapshot_update, AggregateError,
     MergePolicy, MergeReport,
 };
-pub use bus::{BroadcastBus, BusStats, LatencyModel};
-pub use cloud::{CloudAggregator, CloudStats};
-pub use codec::{LayerUpdate, ModelUpdate};
+pub use bus::{BroadcastBus, BusState, BusStats, LatencyModel};
+pub use cloud::{CloudAggregator, CloudState, CloudStats};
+pub use codec::{CodecError, LayerUpdate, ModelUpdate, CODEC_VERSION};
 pub use fault::{CorruptKind, Delivery, DropReason, FaultConfig, FaultInjector, FaultPlan};
 pub use personalization::LayerSplit;
 pub use scheduler::PeriodicSchedule;

@@ -73,6 +73,62 @@ impl Adam {
     }
 }
 
+/// Snapshot of Adam's internal moment estimates, for checkpointing.
+///
+/// `m`/`v` are empty until the first [`Optimizer::step`] (Adam
+/// initializes them lazily); an empty snapshot restores that
+/// not-yet-stepped state.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AdamState {
+    /// Bias-correction step counter.
+    pub t: u64,
+    /// First-moment estimate per parameter tensor.
+    pub m: Vec<Vec<f64>>,
+    /// Second-moment estimate per parameter tensor.
+    pub v: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// Captures the optimizer's mutable state (the hyperparameters are
+    /// the caller's to persist; they live in public fields).
+    pub fn export_state(&self) -> AdamState {
+        AdamState {
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Restores state captured with [`Adam::export_state`].
+    ///
+    /// # Errors
+    /// Rejects internally inconsistent snapshots (`m`/`v` disagreeing
+    /// in tensor count or sizes). Consistency with the *network* shape
+    /// is the caller's to check — the next `step` asserts it.
+    pub fn import_state(&mut self, state: AdamState) -> Result<(), String> {
+        if state.m.len() != state.v.len() {
+            return Err(format!(
+                "Adam state: {} first-moment tensors vs {} second-moment",
+                state.m.len(),
+                state.v.len()
+            ));
+        }
+        for (i, (m, v)) in state.m.iter().zip(state.v.iter()).enumerate() {
+            if m.len() != v.len() {
+                return Err(format!(
+                    "Adam state: tensor {i} has {} m entries vs {} v",
+                    m.len(),
+                    v.len()
+                ));
+            }
+        }
+        self.t = state.t;
+        self.m = state.m;
+        self.v = state.v;
+        Ok(())
+    }
+}
+
 /// RMSProp: adaptive learning rates from a running second-moment
 /// estimate (Hinton), without Adam's first moment.
 #[derive(Debug, Clone)]

@@ -17,6 +17,7 @@
 //! | [`env`] | device-mode MDP, Table 1 reward, energy accounting |
 //! | [`drl`] | DQN agent with replay and target network |
 //! | [`fl`] | broadcast bus, FedAvg, α layer split, cloud baseline |
+//! | [`store`] | durable checkpoints: versioned `PFDS` snapshots, resume |
 //! | [`core`] | the five EMS pipelines and every experiment runner |
 //!
 //! ## Quickstart
@@ -37,3 +38,4 @@ pub use pfdrl_env as env;
 pub use pfdrl_fl as fl;
 pub use pfdrl_forecast as forecast;
 pub use pfdrl_nn as nn;
+pub use pfdrl_store as store;

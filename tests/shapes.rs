@@ -50,6 +50,7 @@ fn shape_config(seed: u64) -> SimConfig {
         dqn,
         train_every: 6,
         fault: pfdrl::fl::FaultConfig::default(),
+        checkpoint: pfdrl::core::CheckpointPolicy::default(),
     }
 }
 

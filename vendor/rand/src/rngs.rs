@@ -66,5 +66,28 @@ impl SeedableRng for StdRng {
     }
 }
 
+impl StdRng {
+    /// Raw xoshiro256++ state, for checkpointing (shim extension; the
+    /// real `rand` exposes no equivalent, so callers must gate on this
+    /// shim being in use — see vendor/README.md).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured with
+    /// [`StdRng::state`], resuming the stream at exactly that point.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        // All-zero state is a fixed point of xoshiro; nudge it the same
+        // way from_seed does (a captured state is never all-zero, but
+        // keep the constructor total).
+        if s == [0, 0, 0, 0] {
+            return StdRng {
+                s: [0x9E37_79B9_7F4A_7C15, 0xBF58_476D_1CE4_E5B9, 0x94D0_49BB_1331_11EB, 1],
+            };
+        }
+        StdRng { s }
+    }
+}
+
 /// Alias kept for API compatibility (`SmallRng` of real rand).
 pub type SmallRng = StdRng;
