@@ -1,0 +1,299 @@
+//! The `repro bench` performance harness: fixed-workload kernel
+//! micro-benchmarks plus a fixed-seed end-to-end EMS day, reported as
+//! machine-readable JSON (`BENCH_3.json`) so every PR has a recorded
+//! perf trajectory to beat (DAWNBench-style time-to-result discipline).
+//!
+//! Workloads are defined by *fixed iteration counts and fixed seeds*,
+//! never by elapsed-time targets, so the work performed is bit-identical
+//! across machines and across PRs; only the wall-clock changes. The
+//! allocation columns are live only when the running binary installs
+//! [`crate::alloc::CountingAlloc`] as its global allocator (the `repro`
+//! binary does).
+
+use crate::alloc::count_allocations;
+use crate::{quick_config, repro_config};
+use pfdrl_core::{run_method, EmsMethod, SimConfig};
+use pfdrl_drl::{DqnAgent, DqnConfig, Transition};
+use pfdrl_nn::{loss, Lstm, Matrix, Mlp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Seed shared by every bench workload.
+pub const BENCH_SEED: u64 = 42;
+
+/// One timed kernel micro-benchmark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelRow {
+    pub name: String,
+    pub iters: u64,
+    pub ns_per_iter: f64,
+}
+
+/// The DQN `train_step` hot loop: throughput and steady-state
+/// allocation rate (the zero-allocation claim of the kernel layer).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainStepBench {
+    pub steps: u64,
+    pub seconds: f64,
+    pub steps_per_sec: f64,
+    pub allocs_per_step: f64,
+    pub bytes_per_step: f64,
+}
+
+/// Fixed-seed end-to-end EMS day (forecaster training + one evaluated
+/// EMS day under PFDRL federation).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmsDayBench {
+    pub seconds: f64,
+    pub allocations: u64,
+    pub allocated_bytes: u64,
+    /// Converged saved-standby fraction — a correctness canary: this
+    /// value must not move when only kernels change.
+    pub saved_fraction: f64,
+}
+
+/// Everything one bench session measured.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    pub quick: bool,
+    pub kernels: Vec<KernelRow>,
+    pub train_step: TrainStepBench,
+    pub ems_day: EmsDayBench,
+}
+
+/// The on-disk `BENCH_3.json`: the current measurement, the recorded
+/// pre-PR baseline (when available), and the headline speedups.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchFile {
+    pub current: BenchReport,
+    pub baseline: Option<BenchReport>,
+    /// `baseline.ems_day.seconds / current.ems_day.seconds`.
+    pub speedup_ems_day: Option<f64>,
+    /// `current.train_step.steps_per_sec / baseline.train_step.steps_per_sec`.
+    pub speedup_train_step: Option<f64>,
+}
+
+impl BenchFile {
+    pub fn from_parts(current: BenchReport, baseline: Option<BenchReport>) -> Self {
+        let speedup_ems_day = baseline
+            .as_ref()
+            .map(|b| b.ems_day.seconds / current.ems_day.seconds);
+        let speedup_train_step = baseline
+            .as_ref()
+            .map(|b| current.train_step.steps_per_sec / b.train_step.steps_per_sec);
+        BenchFile {
+            current,
+            baseline,
+            speedup_ems_day,
+            speedup_train_step,
+        }
+    }
+}
+
+fn time_kernel(name: &str, iters: u64, mut f: impl FnMut()) -> KernelRow {
+    // One untimed warm-up pass lets lazy buffers size themselves.
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    KernelRow {
+        name: name.to_string(),
+        iters,
+        ns_per_iter: ns,
+    }
+}
+
+/// The DQN configuration every `train_step` workload uses: the repro
+/// scale (8 hidden layers x 16, batch 24).
+fn bench_dqn_config() -> DqnConfig {
+    let mut dqn = DqnConfig::slim(BENCH_SEED);
+    dqn.hidden_width = 16;
+    dqn.batch = 24;
+    dqn.warmup = 48;
+    dqn
+}
+
+/// The end-to-end EMS-day configuration: repro scale trimmed to one
+/// evaluated day so the bench stays in tens of seconds.
+pub fn bench_ems_config() -> SimConfig {
+    let mut cfg = repro_config(BENCH_SEED);
+    cfg.train_days = 2;
+    cfg.eval_start_day = 2;
+    cfg.eval_days = 1;
+    cfg
+}
+
+fn kernel_benches(quick: bool) -> Vec<KernelRow> {
+    let scale = |n: u64| if quick { (n / 8).max(2) } else { n };
+    let mut rows = Vec::new();
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let a = Matrix::from_fn(64, 100, |_, _| rng.gen_range(-1.0..1.0));
+    let b = Matrix::from_fn(100, 100, |_, _| rng.gen_range(-1.0..1.0));
+    rows.push(time_kernel("matmul_64x100x100", scale(2000), || {
+        black_box(a.matmul(&b));
+    }));
+    rows.push(time_kernel(
+        "matmul_reference_64x100x100",
+        scale(2000),
+        || {
+            black_box(a.matmul_reference(&b));
+        },
+    ));
+    let mut out = Matrix::zeros(64, 100);
+    rows.push(time_kernel("matmul_into_64x100x100", scale(2000), || {
+        a.matmul_into(&b, &mut out);
+        black_box(&out);
+    }));
+    rows.push(time_kernel("t_matmul_64x100x100", scale(2000), || {
+        black_box(a.t_matmul(&a));
+    }));
+    rows.push(time_kernel("matmul_t_64x100x100", scale(2000), || {
+        black_box(a.matmul_t(&b));
+    }));
+
+    let mut qnet = Mlp::paper_qnet(14, &mut rng);
+    let x = Matrix::from_fn(32, 14, |_, _| rng.gen_range(-1.0..1.0));
+    rows.push(time_kernel("paper_qnet_infer_b32", scale(400), || {
+        black_box(qnet.infer(&x));
+    }));
+    rows.push(time_kernel(
+        "paper_qnet_train_cycle_b32",
+        scale(200),
+        || {
+            qnet.zero_grad();
+            let t = Matrix::zeros(32, 3);
+            let y = qnet.forward(&x);
+            let (_, grad) = loss::huber(&y, &t, 1.0);
+            black_box(qnet.backward(&grad));
+        },
+    ));
+
+    let mut lstm = Lstm::new(3, 24, 1, &mut rng);
+    let seq: Vec<Matrix> = (0..16)
+        .map(|_| Matrix::from_fn(32, 3, |_, _| rng.gen_range(-1.0..1.0)))
+        .collect();
+    rows.push(time_kernel("lstm_bptt_t16_b32_h24", scale(100), || {
+        lstm.zero_grad();
+        let y = lstm.forward(&seq);
+        let grad = Matrix::from_fn(y.rows(), y.cols(), |_, _| 1.0);
+        lstm.backward(&grad);
+        black_box(());
+    }));
+    rows
+}
+
+fn train_step_bench(quick: bool) -> TrainStepBench {
+    let steps: u64 = if quick { 300 } else { 3000 };
+    let mut agent = DqnAgent::new(14, bench_dqn_config());
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED + 1);
+    for _ in 0..256 {
+        agent.remember(Transition {
+            state: (0..14).map(|_| rng.gen_range(0.0..1.0)).collect(),
+            action: rng.gen_range(0..3),
+            reward: rng.gen_range(-30.0..30.0),
+            next_state: Some((0..14).map(|_| rng.gen_range(0.0..1.0)).collect()),
+        });
+    }
+    // Warm up: buffer sizing, first target sync, allocator pools.
+    for _ in 0..64 {
+        agent.train_step();
+    }
+    let t0 = Instant::now();
+    let ((), allocs, bytes) = count_allocations(|| {
+        for _ in 0..steps {
+            black_box(agent.train_step());
+        }
+    });
+    let seconds = t0.elapsed().as_secs_f64();
+    TrainStepBench {
+        steps,
+        seconds,
+        steps_per_sec: steps as f64 / seconds,
+        allocs_per_step: allocs as f64 / steps as f64,
+        bytes_per_step: bytes as f64 / steps as f64,
+    }
+}
+
+fn ems_day_bench(quick: bool) -> EmsDayBench {
+    let cfg = if quick {
+        quick_config(BENCH_SEED)
+    } else {
+        bench_ems_config()
+    };
+    let t0 = Instant::now();
+    let (run, allocations, allocated_bytes) =
+        count_allocations(|| run_method(&cfg, EmsMethod::Pfdrl));
+    EmsDayBench {
+        seconds: t0.elapsed().as_secs_f64(),
+        allocations,
+        allocated_bytes,
+        saved_fraction: run.converged_saved_fraction(),
+    }
+}
+
+/// Runs the full bench suite; prints a human-readable table along the way.
+pub fn run_bench(quick: bool) -> BenchReport {
+    println!("{:>34}  {:>10}  {:>12}", "kernel", "iters", "ns/iter");
+    let kernels = kernel_benches(quick);
+    for k in &kernels {
+        println!("{:>34}  {:>10}  {:>12.0}", k.name, k.iters, k.ns_per_iter);
+    }
+    let train_step = train_step_bench(quick);
+    println!(
+        "\ndqn_train_step (8x16, b24): {:.0} steps/s, {:.1} allocs/step, {:.0} bytes/step",
+        train_step.steps_per_sec, train_step.allocs_per_step, train_step.bytes_per_step
+    );
+    let ems_day = ems_day_bench(quick);
+    println!(
+        "ems_day end-to-end: {:.2}s, {} allocations, saved fraction {:.3}",
+        ems_day.seconds, ems_day.allocations, ems_day.saved_fraction
+    );
+    BenchReport {
+        quick,
+        kernels,
+        train_step,
+        ems_day,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_configs_validate() {
+        bench_ems_config().validate();
+    }
+
+    #[test]
+    fn bench_file_computes_speedups() {
+        let report = BenchReport {
+            quick: true,
+            kernels: vec![],
+            train_step: TrainStepBench {
+                steps: 10,
+                seconds: 1.0,
+                steps_per_sec: 10.0,
+                allocs_per_step: 0.0,
+                bytes_per_step: 0.0,
+            },
+            ems_day: EmsDayBench {
+                seconds: 5.0,
+                allocations: 0,
+                allocated_bytes: 0,
+                saved_fraction: 0.5,
+            },
+        };
+        let mut baseline = report.clone();
+        baseline.ems_day.seconds = 10.0;
+        baseline.train_step.steps_per_sec = 4.0;
+        let f = BenchFile::from_parts(report, Some(baseline));
+        assert!((f.speedup_ems_day.unwrap() - 2.0).abs() < 1e-12);
+        assert!((f.speedup_train_step.unwrap() - 2.5).abs() < 1e-12);
+    }
+}

@@ -9,6 +9,7 @@
 //! Results are printed as aligned tables and also written as JSON under
 //! `repro_results/` so EXPERIMENTS.md can cite exact numbers.
 
+use pfdrl_bench::bench::{run_bench, BenchFile, BenchReport};
 use pfdrl_bench::{
     clients_config, forecast_config, format_series, format_series_table, quick_config, repro_config,
 };
@@ -25,12 +26,19 @@ use std::time::Instant;
 
 const SEED: u64 = 42;
 
+/// Counts every heap allocation so `repro bench` can report
+/// allocations/step; pass-through to the system allocator otherwise.
+#[global_allocator]
+static ALLOC: pfdrl_bench::alloc::CountingAlloc = pfdrl_bench::alloc::CountingAlloc;
+
 struct Ctx {
     quick: bool,
     out_dir: String,
     checkpoint_dir: Option<String>,
     resume_from: Option<String>,
     crash_after_day: Option<u64>,
+    baseline: Option<String>,
+    max_regression: Option<f64>,
 }
 
 impl Ctx {
@@ -388,6 +396,76 @@ fn run_headline(ctx: &Ctx) {
     ctx.save_json("headline", &h);
 }
 
+/// `bench` target: the fixed-workload perf harness. Emits
+/// `BENCH_3.json` embedding the current measurement, the committed
+/// pre-PR baseline (when `--baseline <file>` points at one), and the
+/// headline speedups.
+fn bench(ctx: &Ctx) {
+    banner("bench", "kernel micro-benchmarks + fixed-seed EMS day");
+    let current = run_bench(ctx.quick);
+    let baseline: Option<BenchReport> = ctx.baseline.as_ref().map(|path| {
+        let text =
+            fs::read_to_string(path).unwrap_or_else(|e| panic!("reading baseline {path}: {e}"));
+        let file: BenchFile =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("parsing baseline {path}: {e}"));
+        file.current
+    });
+    let file = BenchFile::from_parts(current, baseline);
+    if let (Some(ems), Some(ts)) = (file.speedup_ems_day, file.speedup_train_step) {
+        println!("speedup vs baseline: ems_day {ems:.2}x, train_step {ts:.2}x");
+    }
+    ctx.save_json("BENCH_3", &file);
+    if let (Some(factor), Some(base)) = (ctx.max_regression, file.baseline.as_ref()) {
+        gate_regression(&file.current, base, factor);
+    }
+}
+
+/// CI regression gate: fails the process when any workload rate is more
+/// than `factor`x slower than the committed baseline. Rate-based rows
+/// (kernel ns/iter, train_step steps/sec) compare across `--quick` and
+/// full sessions; the end-to-end EMS day is only compared when both
+/// sides ran the same workload, since `--quick` swaps the config.
+fn gate_regression(current: &BenchReport, base: &BenchReport, factor: f64) {
+    let mut failures = Vec::new();
+    for row in &current.kernels {
+        if let Some(b) = base.kernels.iter().find(|b| b.name == row.name) {
+            if row.ns_per_iter > b.ns_per_iter * factor {
+                failures.push(format!(
+                    "kernel {}: {:.0} ns/iter vs baseline {:.0} (limit {:.0})",
+                    row.name,
+                    row.ns_per_iter,
+                    b.ns_per_iter,
+                    b.ns_per_iter * factor
+                ));
+            }
+        }
+    }
+    if current.train_step.steps_per_sec * factor < base.train_step.steps_per_sec {
+        failures.push(format!(
+            "train_step: {:.0} steps/s vs baseline {:.0} (limit {:.0})",
+            current.train_step.steps_per_sec,
+            base.train_step.steps_per_sec,
+            base.train_step.steps_per_sec / factor
+        ));
+    }
+    if current.quick == base.quick && current.ems_day.seconds > base.ems_day.seconds * factor {
+        failures.push(format!(
+            "ems_day: {:.2}s vs baseline {:.2}s (limit {:.2}s)",
+            current.ems_day.seconds,
+            base.ems_day.seconds,
+            base.ems_day.seconds * factor
+        ));
+    }
+    if failures.is_empty() {
+        println!("regression gate: all workloads within {factor:.1}x of baseline");
+    } else {
+        for f in &failures {
+            eprintln!("regression gate FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
 /// Per-target wall time, for the `--json` session summary.
 #[derive(Debug, Serialize)]
 struct TargetTiming {
@@ -423,6 +501,8 @@ fn main() {
     let mut checkpoint_dir: Option<String> = None;
     let mut resume_from: Option<String> = None;
     let mut crash_after_day: Option<u64> = None;
+    let mut baseline: Option<String> = None;
+    let mut max_regression: Option<f64> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -432,6 +512,14 @@ fn main() {
             "--out-dir" => out_dir = flag_value(&mut it, a),
             "--checkpoint-dir" => checkpoint_dir = Some(flag_value(&mut it, a)),
             "--resume-from" => resume_from = Some(flag_value(&mut it, a)),
+            "--baseline" => baseline = Some(flag_value(&mut it, a)),
+            "--max-regression" => {
+                let v = flag_value(&mut it, a);
+                max_regression = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--max-regression needs a number, got {v:?}");
+                    std::process::exit(2);
+                }));
+            }
             "--crash-after-day" => {
                 let v = flag_value(&mut it, a);
                 crash_after_day = Some(v.parse().unwrap_or_else(|_| {
@@ -442,7 +530,8 @@ fn main() {
             other if other.starts_with("--") => {
                 eprintln!(
                     "unknown flag {other:?}; known: --quick --json --out-dir \
-                     --checkpoint-dir --resume-from --crash-after-day"
+                     --checkpoint-dir --resume-from --crash-after-day --baseline \
+                     --max-regression"
                 );
                 std::process::exit(2);
             }
@@ -477,6 +566,8 @@ fn main() {
         checkpoint_dir,
         resume_from,
         crash_after_day,
+        baseline,
+        max_regression,
     };
 
     let started = Instant::now();
@@ -507,9 +598,10 @@ fn main() {
             "degradation" => degradation(&ctx),
             "headline" => run_headline(&ctx),
             "run" => run_summary = Some(run_checkpointed(&ctx)),
+            "bench" => bench(&ctx),
             other => {
                 eprintln!(
-                    "unknown target {other:?}; known: table1 table2 fig2..fig14 degradation headline run"
+                    "unknown target {other:?}; known: table1 table2 fig2..fig14 degradation headline run bench"
                 );
                 std::process::exit(2);
             }

@@ -9,6 +9,9 @@
 //! wall-clock stays in minutes. The `--quick` flag drops to smoke-test
 //! scale.
 
+pub mod alloc;
+pub mod bench;
+
 use pfdrl_core::experiment::Series;
 use pfdrl_core::SimConfig;
 use pfdrl_data::dataset::TargetTransform;

@@ -1,0 +1,65 @@
+//! Pins the tentpole guarantee: once warmed up, `DqnAgent::train_step`
+//! and `DqnAgent::act` perform **zero heap allocations** — every buffer
+//! (batch matrices, activations, gradients, Adam moments, sampled
+//! indices, cached weight transposes) is owned by the agent and reused.
+//!
+//! This test binary installs the counting allocator as its own global
+//! allocator, so the counters see every allocation the steady-state loop
+//! would make. It must stay a single `#[test]`: the harness runs tests
+//! on pool threads, and unrelated concurrent tests would pollute the
+//! process-wide counters.
+
+use pfdrl_bench::alloc::{count_allocations, CountingAlloc};
+use pfdrl_drl::{DqnAgent, DqnConfig, Transition};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warmed_up_train_step_and_act_do_not_allocate() {
+    let mut cfg = DqnConfig::slim(7);
+    cfg.hidden_width = 16;
+    cfg.batch = 24;
+    cfg.warmup = 48;
+    // Exercise the target-sync path inside the measured window too.
+    cfg.target_sync = 8;
+    let mut agent = DqnAgent::new(14, cfg);
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..128 {
+        agent.remember(Transition {
+            state: (0..14).map(|_| rng.gen_range(0.0..1.0)).collect(),
+            action: rng.gen_range(0..3),
+            reward: rng.gen_range(-30.0..30.0),
+            next_state: if rng.gen_range(0..10) == 0 {
+                None
+            } else {
+                Some((0..14).map(|_| rng.gen_range(0.0..1.0)).collect())
+            },
+        });
+    }
+
+    // Warmup: first calls size the workspaces, Adam moments and the
+    // replay index buffer. The greedy path is warmed explicitly —
+    // epsilon is ~1.0 this early, so `act` alone would explore every
+    // time and leave the inference buffers unsized.
+    let state: Vec<f64> = (0..14).map(|_| rng.gen_range(0.0..1.0)).collect();
+    for _ in 0..32 {
+        black_box(agent.train_step());
+        black_box(agent.act_greedy_ws(&state));
+        black_box(agent.act(&state));
+    }
+
+    let (_, allocs, bytes) = count_allocations(|| {
+        for _ in 0..64 {
+            black_box(agent.train_step());
+            black_box(agent.act(&state));
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state train_step/act allocated {allocs} times ({bytes} bytes)"
+    );
+}

@@ -8,7 +8,7 @@
 use crate::policy::EpsilonSchedule;
 use crate::replay::{ReplayBuffer, ReplayState, Transition};
 use pfdrl_data::Mode;
-use pfdrl_nn::optimizer::{Adam, AdamState, Optimizer};
+use pfdrl_nn::optimizer::{Adam, AdamState};
 use pfdrl_nn::{loss, Activation, Layered, Matrix, Mlp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -85,6 +85,21 @@ impl DqnConfig {
     }
 }
 
+/// Reusable minibatch buffers for [`DqnAgent::train_step`] and the
+/// ε-greedy act path. Sized on the first step and reused forever after,
+/// so the steady-state training loop performs zero heap allocations.
+/// Pure scratch — never checkpointed.
+#[derive(Debug, Clone, Default)]
+struct DqnScratch {
+    indices: Vec<usize>,
+    states: Matrix,
+    next_states: Matrix,
+    targets: Matrix,
+    mask: Matrix,
+    grad: Matrix,
+    one_state: Matrix,
+}
+
 /// A DQN agent controlling one device.
 #[derive(Debug, Clone)]
 pub struct DqnAgent {
@@ -98,6 +113,7 @@ pub struct DqnAgent {
     env_steps: u64,
     /// Gradient steps taken (drives target sync).
     grad_steps: u64,
+    scratch: DqnScratch,
 }
 
 impl DqnAgent {
@@ -122,6 +138,7 @@ impl DqnAgent {
             rng,
             env_steps: 0,
             grad_steps: 0,
+            scratch: DqnScratch::default(),
         }
     }
 
@@ -153,8 +170,25 @@ impl DqnAgent {
         if self.rng.gen::<f64>() < eps {
             Mode::from_index(self.rng.gen_range(0..3))
         } else {
-            self.act_greedy(state)
+            self.act_greedy_ws(state)
         }
+    }
+
+    /// Allocation-free greedy action: inference runs through the
+    /// network's reusable workspace. Bit-identical to
+    /// [`DqnAgent::act_greedy`] — needs `&mut self` only for the buffers.
+    pub fn act_greedy_ws(&mut self, state: &[f64]) -> Mode {
+        let DqnAgent { qnet, scratch, .. } = self;
+        scratch.one_state.resize(1, state.len());
+        scratch.one_state.as_mut_slice().copy_from_slice(state);
+        let q = qnet.infer_ws(&scratch.one_state).as_slice();
+        let mut best = 0;
+        for i in 1..3 {
+            if q[i] > q[best] {
+                best = i;
+            }
+        }
+        Mode::from_index(best)
     }
 
     /// Records a transition and, once warm, performs one gradient step.
@@ -180,29 +214,53 @@ impl DqnAgent {
 
     /// One minibatch TD update: `y = r + κ max_a' Q_target(s', a')`,
     /// Huber loss on the taken action's Q-value only (Algorithm 2).
+    ///
+    /// Runs entirely on reusable workspace buffers: in steady state no
+    /// heap allocation happens anywhere in this method. The RNG draws,
+    /// FP accumulation orders and optimizer math are unchanged, so the
+    /// trajectory is bit-identical to the original allocating
+    /// implementation (checkpoint resume tests rely on this).
     pub fn train_step(&mut self) -> f64 {
-        let batch = self.replay.sample(self.cfg.batch, &mut self.rng);
-        let state_dim = batch[0].state.len();
-        let n = batch.len();
-        let mut states = Matrix::zeros(n, state_dim);
-        let mut next_states = Matrix::zeros(n, state_dim);
-        for (r, t) in batch.iter().enumerate() {
-            states.row_mut(r).copy_from_slice(&t.state);
+        let DqnAgent {
+            qnet,
+            target,
+            opt,
+            replay,
+            cfg,
+            rng,
+            grad_steps,
+            scratch,
+            ..
+        } = self;
+        replay.sample_indices_into(cfg.batch, rng, &mut scratch.indices);
+        let state_dim = replay.get(scratch.indices[0]).state.len();
+        let n = scratch.indices.len();
+        scratch.states.resize(n, state_dim);
+        scratch.next_states.resize(n, state_dim);
+        // Terminal rows must read all-zero, as with a freshly zeroed
+        // matrix.
+        scratch.next_states.fill_zero();
+        for (r, &idx) in scratch.indices.iter().enumerate() {
+            let t = replay.get(idx);
+            scratch.states.row_mut(r).copy_from_slice(&t.state);
             if let Some(ns) = &t.next_state {
-                next_states.row_mut(r).copy_from_slice(ns);
+                scratch.next_states.row_mut(r).copy_from_slice(ns);
             }
         }
         // Bootstrap targets from the frozen network; with Double-DQN the
         // online network selects the action and the target evaluates it.
-        let next_q = self.target.infer(&next_states);
-        let next_q_online = if self.cfg.double {
-            Some(self.qnet.infer(&next_states))
+        let next_q = target.infer_ws(&scratch.next_states);
+        let next_q_online = if cfg.double {
+            Some(qnet.infer_ws(&scratch.next_states))
         } else {
             None
         };
-        let mut targets = Matrix::zeros(n, 3);
-        let mut mask = Matrix::zeros(n, 3);
-        for (r, t) in batch.iter().enumerate() {
+        scratch.targets.resize(n, 3);
+        scratch.targets.fill_zero();
+        scratch.mask.resize(n, 3);
+        scratch.mask.fill_zero();
+        for (r, &idx) in scratch.indices.iter().enumerate() {
+            let t = replay.get(idx);
             let y = match &t.next_state {
                 Some(_) => {
                     let row = next_q.row(r);
@@ -219,21 +277,27 @@ impl DqnAgent {
                         }
                         None => row.iter().copied().fold(f64::MIN, f64::max),
                     };
-                    t.reward + self.cfg.gamma * bootstrap
+                    t.reward + cfg.gamma * bootstrap
                 }
                 None => t.reward,
             };
-            targets.set(r, t.action, y);
-            mask.set(r, t.action, 1.0);
+            scratch.targets.set(r, t.action, y);
+            scratch.mask.set(r, t.action, 1.0);
         }
-        self.qnet.zero_grad();
-        let q = self.qnet.forward(&states);
-        let (l, grad) = loss::huber_masked(&q, &targets, &mask, self.cfg.huber_delta);
-        self.qnet.backward(&grad);
-        self.opt.step(&mut self.qnet.param_grad_pairs());
-        self.grad_steps += 1;
-        if self.grad_steps.is_multiple_of(self.cfg.target_sync) {
-            self.sync_target();
+        qnet.zero_grad();
+        let q = qnet.forward_ws(&scratch.states);
+        let l = loss::huber_masked_into(
+            q,
+            &scratch.targets,
+            &scratch.mask,
+            cfg.huber_delta,
+            &mut scratch.grad,
+        );
+        qnet.backward_ws(&scratch.states, &scratch.grad);
+        opt.step_fused(qnet.param_tensor_count(), |f| qnet.for_each_param_grad(f));
+        *grad_steps += 1;
+        if grad_steps.is_multiple_of(cfg.target_sync) {
+            target.copy_params_from(qnet);
         }
         l
     }

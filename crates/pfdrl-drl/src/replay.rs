@@ -66,6 +66,29 @@ impl ReplayBuffer {
             .collect()
     }
 
+    /// Allocation-free [`ReplayBuffer::sample`]: writes `n` uniformly
+    /// sampled indices into `out` (cleared first, capacity reused). The
+    /// RNG draws are exactly those `sample` makes — one
+    /// `gen_range(0..len)` per index, in order — so a training loop
+    /// switching between the two replays bit-identically.
+    ///
+    /// # Panics
+    /// Panics if the buffer is empty.
+    pub fn sample_indices_into(&self, n: usize, rng: &mut impl Rng, out: &mut Vec<usize>) {
+        assert!(!self.buf.is_empty(), "sampling from empty replay buffer");
+        out.clear();
+        for _ in 0..n {
+            out.push(rng.gen_range(0..self.buf.len()));
+        }
+    }
+
+    /// The transition stored at `i` (storage order, as sampled by
+    /// [`ReplayBuffer::sample_indices_into`]).
+    #[inline]
+    pub fn get(&self, i: usize) -> &Transition {
+        &self.buf[i]
+    }
+
     pub fn clear(&mut self) {
         self.buf.clear();
         self.write = 0;

@@ -290,6 +290,10 @@ fn merge_layers<M: Layered + ?Sized>(
         }
     }
     let quorum = policy.min_quorum.max(1);
+    // One accumulator buffer reused across every merged layer; each pass
+    // starts from the freshly exported local parameters, so the averaging
+    // arithmetic is unchanged.
+    let mut acc: Vec<f64> = Vec::new();
     for layer_idx in layer_range {
         let contributions = &per_layer[layer_idx];
         if contributions.is_empty() {
@@ -304,8 +308,7 @@ fn merge_layers<M: Layered + ?Sized>(
             report.quorum_kept_local += 1;
             continue;
         }
-        let local = model.export_layer(layer_idx);
-        let mut acc = local.clone();
+        model.export_layer_into(layer_idx, &mut acc);
         let mut total_weight = 1.0; // the local model's own weight
         for c in contributions {
             for (a, p) in acc.iter_mut().zip(c.params.iter()) {

@@ -1,11 +1,11 @@
 //! Back-propagation network (BP) forecaster — a plain MLP, the paper's
 //! third-best method ("easy to fall into a local extreme value").
 
-use crate::common::{batch_inputs, batch_targets};
+use crate::common::{batch_inputs, batch_inputs_into, batch_targets_into};
 use crate::forecaster::{shuffled_indices, Convergence, FitReport, Forecaster, TrainConfig};
 use pfdrl_data::SupervisedSet;
-use pfdrl_nn::optimizer::{Adam, Optimizer};
-use pfdrl_nn::{loss, Activation, Layered, Mlp};
+use pfdrl_nn::optimizer::Adam;
+use pfdrl_nn::{loss, Activation, Layered, Matrix, Mlp};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -59,18 +59,21 @@ impl Forecaster for BpNetwork {
         let mut opt = Adam::new(self.cfg.lr);
         let mut conv = Convergence::new(self.cfg.tol, self.cfg.patience);
         let mut final_loss = f64::NAN;
+        // Batch/gradient buffers reused across every step of the fit.
+        let (mut x, mut t, mut grad) = (Matrix::default(), Matrix::default(), Matrix::default());
         for epoch in 0..max_epochs {
             let idx = shuffled_indices(set.len(), &mut rng);
             let mut epoch_loss = 0.0;
             let mut batches = 0.0;
             for chunk in idx.chunks(self.cfg.batch) {
-                let x = batch_inputs(&set.inputs, chunk);
-                let t = batch_targets(&set.targets, chunk);
+                batch_inputs_into(&set.inputs, chunk, &mut x);
+                batch_targets_into(&set.targets, chunk, &mut t);
                 self.net.zero_grad();
-                let y = self.net.forward(&x);
-                let (l, grad) = loss::mse(&y, &t);
-                self.net.backward(&grad);
-                opt.step(&mut self.net.param_grad_pairs());
+                let y = self.net.forward_ws(&x);
+                let l = loss::mse_into(y, &t, &mut grad);
+                self.net.backward_ws(&x, &grad);
+                let net = &mut self.net;
+                opt.step_fused(net.param_tensor_count(), |f| net.for_each_param_grad(f));
                 epoch_loss += l;
                 batches += 1.0;
             }

@@ -4,21 +4,33 @@ use pfdrl_nn::Matrix;
 
 /// Assembles the selected samples into a `batch x dim` matrix.
 pub(crate) fn batch_inputs(inputs: &[Vec<f64>], idx: &[usize]) -> Matrix {
-    let dim = inputs[idx[0]].len();
-    let mut m = Matrix::zeros(idx.len(), dim);
-    for (r, &i) in idx.iter().enumerate() {
-        m.row_mut(r).copy_from_slice(&inputs[i]);
-    }
+    let mut m = Matrix::default();
+    batch_inputs_into(inputs, idx, &mut m);
     m
+}
+
+/// Allocation-free [`batch_inputs`]: every entry of `out` is overwritten.
+pub(crate) fn batch_inputs_into(inputs: &[Vec<f64>], idx: &[usize], out: &mut Matrix) {
+    let dim = inputs[idx[0]].len();
+    out.resize(idx.len(), dim);
+    for (r, &i) in idx.iter().enumerate() {
+        out.row_mut(r).copy_from_slice(&inputs[i]);
+    }
 }
 
 /// Assembles the selected targets into a `batch x 1` matrix.
 pub(crate) fn batch_targets(targets: &[f64], idx: &[usize]) -> Matrix {
-    let mut m = Matrix::zeros(idx.len(), 1);
-    for (r, &i) in idx.iter().enumerate() {
-        m.set(r, 0, targets[i]);
-    }
+    let mut m = Matrix::default();
+    batch_targets_into(targets, idx, &mut m);
     m
+}
+
+/// Allocation-free [`batch_targets`]: every entry of `out` is overwritten.
+pub(crate) fn batch_targets_into(targets: &[f64], idx: &[usize], out: &mut Matrix) {
+    out.resize(idx.len(), 1);
+    for (r, &i) in idx.iter().enumerate() {
+        out.set(r, 0, targets[i]);
+    }
 }
 
 #[cfg(test)]

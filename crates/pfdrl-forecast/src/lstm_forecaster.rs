@@ -7,7 +7,7 @@
 
 use crate::forecaster::{shuffled_indices, Convergence, FitReport, Forecaster, TrainConfig};
 use pfdrl_data::SupervisedSet;
-use pfdrl_nn::optimizer::{Adam, Optimizer};
+use pfdrl_nn::optimizer::Adam;
 use pfdrl_nn::{loss, Layered, Lstm, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,21 +43,28 @@ impl LstmForecaster {
     /// Unrolls a batch of flat feature vectors into per-timestep input
     /// matrices of `[watt, sin, cos]`.
     fn to_sequence(&self, inputs: &[Vec<f64>], idx: &[usize]) -> Vec<Matrix> {
+        let mut seq = Vec::new();
+        self.to_sequence_into(inputs, idx, &mut seq);
+        seq
+    }
+
+    /// Allocation-free [`LstmForecaster::to_sequence`]: reuses the step
+    /// matrices held in `seq` (truncated/extended to `window` steps,
+    /// every entry overwritten).
+    fn to_sequence_into(&self, inputs: &[Vec<f64>], idx: &[usize], seq: &mut Vec<Matrix>) {
         let batch = idx.len();
-        (0..self.window)
-            .map(|t| {
-                let mut m = Matrix::zeros(batch, 3);
-                for (r, &i) in idx.iter().enumerate() {
-                    let f = &inputs[i];
-                    debug_assert_eq!(f.len(), self.window + 2);
-                    let row = m.row_mut(r);
-                    row[0] = f[t];
-                    row[1] = f[self.window];
-                    row[2] = f[self.window + 1];
-                }
-                m
-            })
-            .collect()
+        seq.resize(self.window, Matrix::default());
+        for (t, m) in seq.iter_mut().enumerate() {
+            m.resize(batch, 3);
+            for (r, &i) in idx.iter().enumerate() {
+                let f = &inputs[i];
+                debug_assert_eq!(f.len(), self.window + 2);
+                let row = m.row_mut(r);
+                row[0] = f[t];
+                row[1] = f[self.window];
+                row[2] = f[self.window + 1];
+            }
+        }
     }
 }
 
@@ -92,21 +99,25 @@ impl Forecaster for LstmForecaster {
         let mut opt = Adam::new(self.cfg.lr);
         let mut conv = Convergence::new(self.cfg.tol, self.cfg.patience);
         let mut final_loss = f64::NAN;
+        // Sequence/target/gradient buffers reused across every BPTT step.
+        let mut seq = Vec::new();
+        let (mut t, mut grad) = (Matrix::default(), Matrix::default());
         for epoch in 0..max_epochs {
             let idx = shuffled_indices(set.len(), &mut rng);
             let mut epoch_loss = 0.0;
             let mut batches = 0.0;
             for chunk in idx.chunks(self.cfg.batch) {
-                let seq = self.to_sequence(&set.inputs, chunk);
-                let mut t = Matrix::zeros(chunk.len(), 1);
+                self.to_sequence_into(&set.inputs, chunk, &mut seq);
+                t.resize(chunk.len(), 1);
                 for (r, &i) in chunk.iter().enumerate() {
                     t.set(r, 0, set.targets[i]);
                 }
                 self.net.zero_grad();
-                let y = self.net.forward(&seq);
-                let (l, grad) = loss::mse(&y, &t);
+                let y = self.net.forward_ws(&seq);
+                let l = loss::mse_into(y, &t, &mut grad);
                 self.net.backward(&grad);
-                opt.step(&mut self.net.param_grad_pairs());
+                let net = &mut self.net;
+                opt.step_fused(net.param_tensor_count(), |f| net.for_each_param_grad(f));
                 epoch_loss += l;
                 batches += 1.0;
             }

@@ -6,11 +6,33 @@ use crate::matrix::Matrix;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// Reusable scratch owned by a [`Dense`] layer: the forward
+/// pre-activation, the backward `dPre`, gradient temporaries, and a
+/// cached transpose of the weight matrix (`w_t`), which is refreshed
+/// lazily and invalidated whenever the weights mutate. All buffers are
+/// sized on first use and reused thereafter, so the `_into` paths make
+/// zero heap allocations in steady state. Never serialized — a
+/// deserialized layer simply re-sizes on its next pass.
+#[derive(Debug, Clone, Default)]
+struct DenseWs {
+    pre: Matrix,
+    dpre: Matrix,
+    gw_tmp: Matrix,
+    gb_tmp: Vec<f64>,
+    w_t: Matrix,
+    w_t_valid: bool,
+}
+
 /// A dense layer computing `act(x * W + b)` over a batch of row vectors.
 ///
 /// The layer caches its last input and pre-activation so that
 /// [`Dense::backward`] can be called immediately after [`Dense::forward`].
 /// Gradients accumulate into `gw`/`gb` until [`Dense::zero_grad`].
+///
+/// The `_into` variants ([`Dense::forward_into`], [`Dense::infer_into`],
+/// [`Dense::backward_into`]) are the allocation-free hot path used by
+/// [`crate::Mlp`]'s workspace API; they produce bit-identical results to
+/// the allocating methods.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dense {
     w: Matrix,
@@ -22,6 +44,8 @@ pub struct Dense {
     cached_pre: Option<Matrix>,
     gw: Matrix,
     gb: Vec<f64>,
+    #[serde(skip)]
+    ws: DenseWs,
 }
 
 impl Dense {
@@ -42,6 +66,7 @@ impl Dense {
             cached_pre: None,
             gw: Matrix::zeros(in_dim, out_dim),
             gb: vec![0.0; out_dim],
+            ws: DenseWs::default(),
         }
     }
 
@@ -79,11 +104,96 @@ impl Dense {
 
     /// Forward pass without caching (inference only).
     pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.infer_into(x, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Dense::infer`]: writes the activations into
+    /// `out`, reusing its buffer. Bit-identical to `infer`.
+    pub fn infer_into(&self, x: &Matrix, out: &mut Matrix) {
         assert_eq!(x.cols(), self.in_dim(), "Dense::infer input width mismatch");
-        let mut pre = x.matmul(&self.w);
-        pre.add_row_broadcast(&self.b);
-        pre.map_inplace(|v| self.act.apply(v));
-        pre
+        x.matmul_into(&self.w, out);
+        out.add_row_broadcast(&self.b);
+        out.map_inplace(|v| self.act.apply(v));
+    }
+
+    /// Allocation-free training forward pass: the pre-activation is kept
+    /// in the layer's workspace (for [`Dense::backward_into`]) and the
+    /// activated output written into `out`. Unlike [`Dense::forward`] the
+    /// input is *not* cached — the caller re-supplies it to
+    /// `backward_into`. Bit-identical to `forward`.
+    pub fn forward_into(&mut self, x: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            x.cols(),
+            self.in_dim(),
+            "Dense::forward input width mismatch"
+        );
+        let Dense { w, b, act, ws, .. } = self;
+        x.matmul_into(w, &mut ws.pre);
+        ws.pre.add_row_broadcast(b);
+        out.resize(ws.pre.rows(), ws.pre.cols());
+        for (o, &p) in out.as_mut_slice().iter_mut().zip(ws.pre.as_slice()) {
+            *o = act.apply(p);
+        }
+    }
+
+    /// Allocation-free backward pass paired with [`Dense::forward_into`]:
+    /// `input` must be the same matrix that forward pass consumed, `dout`
+    /// is dL/d(output), and dL/d(input) is written into `d_in`. Gradients
+    /// accumulate into `gw`/`gb` exactly as in [`Dense::backward`]
+    /// (temporaries first, then one `+=`, so the FP accumulation order —
+    /// and therefore every bit — matches).
+    pub fn backward_into(&mut self, input: &Matrix, dout: &Matrix, d_in: &mut Matrix) {
+        let Dense {
+            w, act, gw, gb, ws, ..
+        } = self;
+        assert_eq!(
+            (dout.rows(), dout.cols()),
+            (ws.pre.rows(), ws.pre.cols()),
+            "Dense::backward_into dout shape mismatch"
+        );
+        // dPre = dOut ⊙ act'(pre)
+        ws.dpre.resize(dout.rows(), dout.cols());
+        for ((d, &o), &p) in ws
+            .dpre
+            .as_mut_slice()
+            .iter_mut()
+            .zip(dout.as_slice())
+            .zip(ws.pre.as_slice())
+        {
+            *d = o * act.derivative(p);
+        }
+        // Accumulate gradients: gW += Xᵀ dPre, gb += colsum(dPre).
+        input.t_matmul_into(&ws.dpre, &mut ws.gw_tmp);
+        gw.add_assign(&ws.gw_tmp);
+        ws.gb_tmp.resize(ws.dpre.cols(), 0.0);
+        ws.dpre.col_sums_into(&mut ws.gb_tmp);
+        for (g, d) in gb.iter_mut().zip(ws.gb_tmp.iter()) {
+            *g += d;
+        }
+        // dX = dPre Wᵀ, through the cached transpose.
+        if !ws.w_t_valid {
+            w.transpose_into(&mut ws.w_t);
+            ws.w_t_valid = true;
+        }
+        ws.dpre.matmul_cached_t_into(&ws.w_t, d_in);
+    }
+
+    /// Copies weights and biases from `other` without allocating
+    /// (DQN target-network sync).
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn copy_weights_from(&mut self, other: &Dense) {
+        assert_eq!(
+            (self.w.rows(), self.w.cols()),
+            (other.w.rows(), other.w.cols()),
+            "Dense::copy_weights_from shape mismatch"
+        );
+        self.w.as_mut_slice().copy_from_slice(other.w.as_slice());
+        self.b.copy_from_slice(&other.b);
+        self.ws.w_t_valid = false;
     }
 
     /// Backward pass. `dout` is dL/d(output); returns dL/d(input) and
@@ -107,11 +217,8 @@ impl Dense {
         );
         // dPre = dOut ⊙ act'(pre)
         let mut dpre = dout.clone();
-        for r in 0..dpre.rows() {
-            let pre_row = pre.row(r).to_vec();
-            for (d, p) in dpre.row_mut(r).iter_mut().zip(pre_row.iter()) {
-                *d *= self.act.derivative(*p);
-            }
+        for (d, p) in dpre.as_mut_slice().iter_mut().zip(pre.as_slice()) {
+            *d *= self.act.derivative(*p);
         }
         // Accumulate gradients: gW += Xᵀ dPre, gb += colsum(dPre).
         self.gw.add_assign(&input.t_matmul(&dpre));
@@ -130,8 +237,14 @@ impl Dense {
 
     /// Mutable parameter slices paired with their gradient slices,
     /// in a stable order (weights then biases).
+    ///
+    /// Handing out `&mut w` may mutate weights, so the cached transpose
+    /// is invalidated here.
     pub fn param_grad_pairs(&mut self) -> [(&mut [f64], &[f64]); 2] {
-        let Dense { w, b, gw, gb, .. } = self;
+        let Dense {
+            w, b, gw, gb, ws, ..
+        } = self;
+        ws.w_t_valid = false;
         [
             (w.as_mut_slice(), gw.as_slice()),
             (b.as_mut_slice(), gb.as_slice()),
@@ -141,9 +254,16 @@ impl Dense {
     /// Flattens weights then biases into one vector (federation codec).
     pub fn export_flat(&self) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.param_count());
+        self.export_flat_into(&mut out);
+        out
+    }
+
+    /// Allocation-free [`Dense::export_flat`]: appends onto `out`
+    /// (cleared first, capacity reused).
+    pub fn export_flat_into(&self, out: &mut Vec<f64>) {
+        out.clear();
         out.extend_from_slice(self.w.as_slice());
         out.extend_from_slice(&self.b);
-        out
     }
 
     /// Restores parameters from [`Dense::export_flat`] layout.
@@ -159,6 +279,7 @@ impl Dense {
         let (wp, bp) = data.split_at(self.w.len());
         self.w.as_mut_slice().copy_from_slice(wp);
         self.b.copy_from_slice(bp);
+        self.ws.w_t_valid = false;
     }
 }
 

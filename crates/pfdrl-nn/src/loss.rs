@@ -10,13 +10,22 @@ use crate::matrix::Matrix;
 
 /// Mean squared error: `L = mean((pred - target)^2)`.
 pub fn mse(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
+    let mut grad = Matrix::default();
+    let loss = mse_into(pred, target, &mut grad);
+    (loss, grad)
+}
+
+/// Allocation-free [`mse`]: writes the gradient into `grad` (resized,
+/// every entry overwritten) and returns the mean loss. Bit-identical to
+/// `mse`, which the forecaster training loops rely on.
+pub fn mse_into(pred: &Matrix, target: &Matrix, grad: &mut Matrix) -> f64 {
     assert_eq!(
         (pred.rows(), pred.cols()),
         (target.rows(), target.cols()),
         "mse shape mismatch"
     );
     let n = pred.len() as f64;
-    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    grad.resize(pred.rows(), pred.cols());
     let mut loss = 0.0;
     for ((g, &p), &t) in grad
         .as_mut_slice()
@@ -28,7 +37,7 @@ pub fn mse(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
         loss += d * d;
         *g = 2.0 * d / n;
     }
-    (loss / n, grad)
+    loss / n
 }
 
 /// Huber loss with threshold `delta`.
@@ -68,6 +77,22 @@ pub fn huber(pred: &Matrix, target: &Matrix, delta: f64) -> (f64, Matrix) {
 /// actually taken receives gradient; the other two outputs are masked out.
 /// The mean is taken over *masked* entries only.
 pub fn huber_masked(pred: &Matrix, target: &Matrix, mask: &Matrix, delta: f64) -> (f64, Matrix) {
+    let mut grad = Matrix::default();
+    let loss = huber_masked_into(pred, target, mask, delta, &mut grad);
+    (loss, grad)
+}
+
+/// Allocation-free [`huber_masked`]: writes the gradient into `grad`
+/// (resized and zeroed first, so masked-out entries stay exactly 0.0)
+/// and returns the mean loss. Bit-identical to `huber_masked`, which the
+/// DQN's fused training step relies on.
+pub fn huber_masked_into(
+    pred: &Matrix,
+    target: &Matrix,
+    mask: &Matrix,
+    delta: f64,
+    grad: &mut Matrix,
+) -> f64 {
     assert!(delta > 0.0, "huber_masked delta must be positive");
     assert_eq!(
         (pred.rows(), pred.cols()),
@@ -81,7 +106,8 @@ pub fn huber_masked(pred: &Matrix, target: &Matrix, mask: &Matrix, delta: f64) -
     );
     let active: f64 = mask.as_slice().iter().sum();
     assert!(active > 0.0, "huber_masked: mask selects no entries");
-    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    grad.resize(pred.rows(), pred.cols());
+    grad.fill_zero();
     let mut loss = 0.0;
     for (((g, &p), &t), &m) in grad
         .as_mut_slice()
@@ -102,7 +128,7 @@ pub fn huber_masked(pred: &Matrix, target: &Matrix, mask: &Matrix, delta: f64) -
             *g = delta * d.signum() / active;
         }
     }
-    (loss / active, grad)
+    loss / active
 }
 
 #[cfg(test)]

@@ -10,8 +10,10 @@ use crate::params::Layered;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// Per-timestep values cached by the forward pass for BPTT.
-#[derive(Debug, Clone)]
+/// Per-timestep values cached by the forward pass for BPTT. Caches are
+/// reused across forward calls (resized in place), so steady-state
+/// training allocates nothing per sequence.
+#[derive(Debug, Clone, Default)]
 struct StepCache {
     /// Concatenated `[x_t, h_{t-1}]`, `batch x (in+h)`.
     z: Matrix,
@@ -21,6 +23,55 @@ struct StepCache {
     g: Matrix,
     c: Matrix,
     tanh_c: Matrix,
+}
+
+/// Reusable forward/backward buffers for the workspace API: the running
+/// hidden/cell state, the head output, ping-pong buffers for the
+/// backward `dh`/`dc` signals, per-gate temporaries, and cached gate
+/// weight transposes (invalidated whenever gate weights mutate). Never
+/// serialized.
+#[derive(Debug, Clone, Default)]
+struct LstmWs {
+    h: Matrix,
+    c0: Matrix,
+    out: Matrix,
+    dh_a: Matrix,
+    dh_b: Matrix,
+    dc_a: Matrix,
+    dc_b: Matrix,
+    do_: Matrix,
+    dtanh_c: Matrix,
+    df: Matrix,
+    di: Matrix,
+    dg: Matrix,
+    dai: Matrix,
+    daf: Matrix,
+    dao: Matrix,
+    dag: Matrix,
+    gw_tmp: Matrix,
+    gb_tmp: Vec<f64>,
+    dz: Matrix,
+    dz_tmp: Matrix,
+    wi_t: Matrix,
+    wf_t: Matrix,
+    wo_t: Matrix,
+    wg_t: Matrix,
+    gates_t_valid: bool,
+}
+
+/// `out[e] = a[e] * b[e]` — bit-identical to `a.hadamard(&b)` without
+/// the clone.
+fn hadamard_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    debug_assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+    out.resize(a.rows(), a.cols());
+    for ((o, &x), &y) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(a.as_slice())
+        .zip(b.as_slice())
+    {
+        *o = x * y;
+    }
 }
 
 /// A single-layer LSTM followed by a dense output head applied to the
@@ -52,6 +103,12 @@ pub struct Lstm {
     caches: Vec<StepCache>,
     #[serde(skip)]
     last_batch: usize,
+    /// How many leading entries of `caches` the last forward pass wrote
+    /// (the rest are stale capacity kept for reuse).
+    #[serde(skip)]
+    active_steps: usize,
+    #[serde(skip)]
+    ws: LstmWs,
 }
 
 impl Lstm {
@@ -87,6 +144,8 @@ impl Lstm {
             gbg: vec![0.0; hidden],
             caches: Vec::new(),
             last_batch: 0,
+            active_steps: 0,
+            ws: LstmWs::default(),
         }
     }
 
@@ -113,14 +172,20 @@ impl Lstm {
 
     /// Concatenates `[x, h]` row-wise into a `batch x (in+h)` matrix.
     fn concat(x: &Matrix, h: &Matrix) -> Matrix {
+        let mut z = Matrix::default();
+        Self::concat_into(x, h, &mut z);
+        z
+    }
+
+    /// Non-allocating [`Lstm::concat`] into a reused buffer.
+    fn concat_into(x: &Matrix, h: &Matrix, z: &mut Matrix) {
         debug_assert_eq!(x.rows(), h.rows());
-        let mut z = Matrix::zeros(x.rows(), x.cols() + h.cols());
+        z.resize(x.rows(), x.cols() + h.cols());
         for r in 0..x.rows() {
             let row = z.row_mut(r);
             row[..x.cols()].copy_from_slice(x.row(r));
             row[x.cols()..].copy_from_slice(h.row(r));
         }
-        z
     }
 
     /// Forward over a sequence. `seq[t]` is the `batch x in_dim` input at
@@ -130,6 +195,16 @@ impl Lstm {
     /// # Panics
     /// Panics on an empty sequence or mismatched widths.
     pub fn forward(&mut self, seq: &[Matrix]) -> Matrix {
+        self.forward_ws(seq).clone()
+    }
+
+    /// Allocation-free [`Lstm::forward`]: all step caches and state
+    /// buffers are reused across calls; returns a reference to the head
+    /// output held in the workspace. The per-element arithmetic — the
+    /// fused `f ⊙ c_prev + i ⊙ g` cell update included — performs the
+    /// same multiply/add sequence as the allocating version, so outputs
+    /// are bit-identical.
+    pub fn forward_ws(&mut self, seq: &[Matrix]) -> &Matrix {
         assert!(!seq.is_empty(), "Lstm::forward: empty sequence");
         let batch = seq[0].rows();
         for (t, x) in seq.iter().enumerate() {
@@ -140,44 +215,83 @@ impl Lstm {
             );
             assert_eq!(x.rows(), batch, "Lstm::forward step {t} batch mismatch");
         }
-        self.caches.clear();
-        self.last_batch = batch;
-        let mut h = Matrix::zeros(batch, self.hidden);
-        let mut c = Matrix::zeros(batch, self.hidden);
-        for x in seq {
-            let z = Self::concat(x, &h);
-            let mut i = z.matmul(&self.wi);
-            i.add_row_broadcast(&self.bi);
-            i.map_inplace(sigmoid);
-            let mut f = z.matmul(&self.wf);
-            f.add_row_broadcast(&self.bf);
-            f.map_inplace(sigmoid);
-            let mut o = z.matmul(&self.wo);
-            o.add_row_broadcast(&self.bo);
-            o.map_inplace(sigmoid);
-            let mut g = z.matmul(&self.wg);
-            g.add_row_broadcast(&self.bg);
-            g.map_inplace(f64::tanh);
-
-            // c = f ⊙ c_prev + i ⊙ g
-            let mut new_c = f.hadamard(&c);
-            new_c.add_assign(&i.hadamard(&g));
-            let tanh_c = new_c.map(f64::tanh);
-            let new_h = o.hadamard(&tanh_c);
-
-            self.caches.push(StepCache {
-                z,
-                i,
-                f,
-                o,
-                g,
-                c: new_c.clone(),
-                tanh_c,
-            });
-            c = new_c;
-            h = new_h;
+        if self.caches.len() < seq.len() {
+            self.caches.resize_with(seq.len(), StepCache::default);
         }
-        self.head.forward(&h)
+        self.last_batch = batch;
+        self.active_steps = seq.len();
+        let Lstm {
+            hidden,
+            wi,
+            wf,
+            wo,
+            wg,
+            bi,
+            bf,
+            bo,
+            bg,
+            head,
+            caches,
+            ws,
+            ..
+        } = self;
+        ws.h.resize(batch, *hidden);
+        ws.h.fill_zero();
+        // Zero cell state for step 0; also serves as `c_{-1}` in backward.
+        ws.c0.resize(batch, *hidden);
+        ws.c0.fill_zero();
+        for (t, x) in seq.iter().enumerate() {
+            let (prev, rest) = caches.split_at_mut(t);
+            let cache = &mut rest[0];
+            let c_prev: &Matrix = if t == 0 { &ws.c0 } else { &prev[t - 1].c };
+            Self::concat_into(x, &ws.h, &mut cache.z);
+            cache.z.matmul_into(wi, &mut cache.i);
+            cache.i.add_row_broadcast(bi);
+            cache.i.map_inplace(sigmoid);
+            cache.z.matmul_into(wf, &mut cache.f);
+            cache.f.add_row_broadcast(bf);
+            cache.f.map_inplace(sigmoid);
+            cache.z.matmul_into(wo, &mut cache.o);
+            cache.o.add_row_broadcast(bo);
+            cache.o.map_inplace(sigmoid);
+            cache.z.matmul_into(wg, &mut cache.g);
+            cache.g.add_row_broadcast(bg);
+            cache.g.map_inplace(f64::tanh);
+
+            // c = f ⊙ c_prev + i ⊙ g, fused into one pass.
+            cache.c.resize(batch, *hidden);
+            for ((((cn, &f), &cp), &i), &g) in cache
+                .c
+                .as_mut_slice()
+                .iter_mut()
+                .zip(cache.f.as_slice())
+                .zip(c_prev.as_slice())
+                .zip(cache.i.as_slice())
+                .zip(cache.g.as_slice())
+            {
+                *cn = f * cp + i * g;
+            }
+            cache.tanh_c.resize(batch, *hidden);
+            for (tc, &cv) in cache
+                .tanh_c
+                .as_mut_slice()
+                .iter_mut()
+                .zip(cache.c.as_slice())
+            {
+                *tc = cv.tanh();
+            }
+            // h = o ⊙ tanh(c)
+            for ((h, &o), &tc) in
+                ws.h.as_mut_slice()
+                    .iter_mut()
+                    .zip(cache.o.as_slice())
+                    .zip(cache.tanh_c.as_slice())
+            {
+                *h = o * tc;
+            }
+        }
+        head.forward_into(&ws.h, &mut ws.out);
+        &ws.out
     }
 
     /// Inference-only forward pass (no caching).
@@ -221,60 +335,143 @@ impl Lstm {
     /// # Panics
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dout: &Matrix) {
-        assert!(!self.caches.is_empty(), "Lstm::backward before forward");
+        assert!(self.active_steps > 0, "Lstm::backward before forward");
         let batch = self.last_batch;
-        // Head backward gives dL/d(h_T).
-        let mut dh = self.head.backward(dout);
-        let mut dc = Matrix::zeros(batch, self.hidden);
-        for t in (0..self.caches.len()).rev() {
-            let prev_c = if t == 0 {
-                Matrix::zeros(batch, self.hidden)
-            } else {
-                self.caches[t - 1].c.clone()
-            };
-            let cache = &self.caches[t];
+        let Lstm {
+            in_dim,
+            hidden,
+            wi,
+            wf,
+            wo,
+            wg,
+            head,
+            gwi,
+            gwf,
+            gwo,
+            gwg,
+            gbi,
+            gbf,
+            gbo,
+            gbg,
+            caches,
+            active_steps,
+            ws,
+            ..
+        } = self;
+        // Refresh the cached gate-weight transposes if weights changed.
+        if !ws.gates_t_valid {
+            wi.transpose_into(&mut ws.wi_t);
+            wf.transpose_into(&mut ws.wf_t);
+            wo.transpose_into(&mut ws.wo_t);
+            wg.transpose_into(&mut ws.wg_t);
+            ws.gates_t_valid = true;
+        }
+        let LstmWs {
+            h,
+            c0,
+            dh_a,
+            dh_b,
+            dc_a,
+            dc_b,
+            do_,
+            dtanh_c,
+            df,
+            di,
+            dg,
+            dai,
+            daf,
+            dao,
+            dag,
+            gw_tmp,
+            gb_tmp,
+            dz,
+            dz_tmp,
+            wi_t,
+            wf_t,
+            wo_t,
+            wg_t,
+            ..
+        } = ws;
+        // Head backward gives dL/d(h_T); `h` still holds the final
+        // hidden state the head consumed.
+        head.backward_into(&*h, dout, dh_a);
+        let mut dh = &mut *dh_a;
+        let mut dh_next = &mut *dh_b;
+        dc_a.resize(batch, *hidden);
+        dc_a.fill_zero();
+        let mut dc = &mut *dc_a;
+        let mut dc_next = &mut *dc_b;
+        gb_tmp.resize(*hidden, 0.0);
+        for t in (0..*active_steps).rev() {
+            // `c0` is all-zero from the forward pass: the c_{-1} state.
+            let prev_c: &Matrix = if t == 0 { &*c0 } else { &caches[t - 1].c };
+            let cache = &caches[t];
             // h = o ⊙ tanh(c)
-            let do_ = dh.hadamard(&cache.tanh_c);
-            let mut dtanh_c = dh.hadamard(&cache.o);
-            // dc += do/dtanh * (1 - tanh_c^2)
-            dtanh_c.hadamard_assign(&cache.tanh_c.map(|v| 1.0 - v * v));
-            dc.add_assign(&dtanh_c);
+            hadamard_into(dh, &cache.tanh_c, do_);
+            // dc += dh ⊙ o ⊙ (1 - tanh_c^2)
+            hadamard_into(dh, &cache.o, dtanh_c);
+            for (d, &tc) in dtanh_c
+                .as_mut_slice()
+                .iter_mut()
+                .zip(cache.tanh_c.as_slice())
+            {
+                *d *= 1.0 - tc * tc;
+            }
+            dc.add_assign(dtanh_c);
             // c = f ⊙ c_prev + i ⊙ g
-            let df = dc.hadamard(&prev_c);
-            let di = dc.hadamard(&cache.g);
-            let dg = dc.hadamard(&cache.i);
-            let next_dc = dc.hadamard(&cache.f);
-            // Gate pre-activations.
-            let dai = di.hadamard(&cache.i.map(|v| v * (1.0 - v)));
-            let daf = df.hadamard(&cache.f.map(|v| v * (1.0 - v)));
-            let dao = do_.hadamard(&cache.o.map(|v| v * (1.0 - v)));
-            let dag = dg.hadamard(&cache.g.map(|v| 1.0 - v * v));
-            // Accumulate weight gradients: gW += zᵀ da.
-            self.gwi.add_assign(&cache.z.t_matmul(&dai));
-            self.gwf.add_assign(&cache.z.t_matmul(&daf));
-            self.gwo.add_assign(&cache.z.t_matmul(&dao));
-            self.gwg.add_assign(&cache.z.t_matmul(&dag));
-            for (gb, d) in [
-                (&mut self.gbi, &dai),
-                (&mut self.gbf, &daf),
-                (&mut self.gbo, &dao),
-                (&mut self.gbg, &dag),
-            ] {
-                for (g, s) in gb.iter_mut().zip(d.col_sums()) {
+            hadamard_into(dc, prev_c, df);
+            hadamard_into(dc, &cache.g, di);
+            hadamard_into(dc, &cache.i, dg);
+            hadamard_into(dc, &cache.f, dc_next);
+            // Gate pre-activations: σ' = s(1-s), tanh' = 1 - v².
+            let sig_grad = |d: &Matrix, s: &Matrix, out: &mut Matrix| {
+                out.resize(d.rows(), d.cols());
+                for ((o, &dv), &sv) in out
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(d.as_slice())
+                    .zip(s.as_slice())
+                {
+                    *o = dv * (sv * (1.0 - sv));
+                }
+            };
+            sig_grad(di, &cache.i, dai);
+            sig_grad(df, &cache.f, daf);
+            sig_grad(do_, &cache.o, dao);
+            dag.resize(dg.rows(), dg.cols());
+            for ((o, &dv), &gv) in dag
+                .as_mut_slice()
+                .iter_mut()
+                .zip(dg.as_slice())
+                .zip(cache.g.as_slice())
+            {
+                *o = dv * (1.0 - gv * gv);
+            }
+            // Accumulate weight gradients: gW += zᵀ da (temp-then-add
+            // keeps the FP accumulation order of the allocating version).
+            for (gw, da) in [(&mut *gwi, &*dai), (gwf, &*daf), (gwo, &*dao), (gwg, &*dag)] {
+                cache.z.t_matmul_into(da, gw_tmp);
+                gw.add_assign(gw_tmp);
+            }
+            for (gb, da) in [(&mut *gbi, &*dai), (gbf, &*daf), (gbo, &*dao), (gbg, &*dag)] {
+                da.col_sums_into(gb_tmp);
+                for (g, s) in gb.iter_mut().zip(gb_tmp.iter()) {
                     *g += s;
                 }
             }
-            // dz = Σ da W^T; recurrent part flows to dh of step t-1.
-            let mut dz = dai.matmul_t(&self.wi);
-            dz.add_assign(&daf.matmul_t(&self.wf));
-            dz.add_assign(&dao.matmul_t(&self.wo));
-            dz.add_assign(&dag.matmul_t(&self.wg));
-            let mut new_dh = Matrix::zeros(batch, self.hidden);
-            for r in 0..batch {
-                new_dh.row_mut(r).copy_from_slice(&dz.row(r)[self.in_dim..]);
+            // dz = Σ da Wᵀ via the cached transposes; the recurrent part
+            // flows to dh of step t-1.
+            dai.matmul_cached_t_into(wi_t, dz);
+            for (da, w_t) in [(&*daf, &*wf_t), (dao, wo_t), (dag, wg_t)] {
+                da.matmul_cached_t_into(w_t, dz_tmp);
+                dz.add_assign(dz_tmp);
             }
-            dh = new_dh;
-            dc = next_dc;
+            dh_next.resize(batch, *hidden);
+            for r in 0..batch {
+                dh_next.row_mut(r).copy_from_slice(&dz.row(r)[*in_dim..]);
+            }
+            std::mem::swap(&mut dh, &mut dh_next);
+            std::mem::swap(&mut dc, &mut dc_next);
         }
     }
 
@@ -310,8 +507,11 @@ impl Lstm {
             gbf,
             gbo,
             gbg,
+            ws,
             ..
         } = self;
+        // Handing out `&mut` weight slices may mutate them.
+        ws.gates_t_valid = false;
         let mut pairs: Vec<(&mut [f64], &[f64])> = vec![
             (wi.as_mut_slice(), gwi.as_slice()),
             (wf.as_mut_slice(), gwf.as_slice()),
@@ -324,6 +524,50 @@ impl Lstm {
         ];
         pairs.extend(head.param_grad_pairs());
         pairs
+    }
+
+    /// Visits every (parameter, gradient) tensor in the
+    /// [`Lstm::param_grad_pairs`] order with a stable index, without
+    /// allocating the pair vector. For [`crate::optimizer::Adam::step_fused`].
+    pub fn for_each_param_grad(&mut self, f: &mut crate::optimizer::ParamGradVisitor<'_>) {
+        let Lstm {
+            wi,
+            wf,
+            wo,
+            wg,
+            bi,
+            bf,
+            bo,
+            bg,
+            head,
+            gwi,
+            gwf,
+            gwo,
+            gwg,
+            gbi,
+            gbf,
+            gbo,
+            gbg,
+            ws,
+            ..
+        } = self;
+        ws.gates_t_valid = false;
+        f(0, wi.as_mut_slice(), gwi.as_slice());
+        f(1, wf.as_mut_slice(), gwf.as_slice());
+        f(2, wo.as_mut_slice(), gwo.as_slice());
+        f(3, wg.as_mut_slice(), gwg.as_slice());
+        f(4, &mut bi[..], &gbi[..]);
+        f(5, &mut bf[..], &gbf[..]);
+        f(6, &mut bo[..], &gbo[..]);
+        f(7, &mut bg[..], &gbg[..]);
+        let [(hw, hgw), (hb, hgb)] = head.param_grad_pairs();
+        f(8, hw, hgw);
+        f(9, hb, hgb);
+    }
+
+    /// Number of tensors [`Lstm::for_each_param_grad`] visits.
+    pub fn param_tensor_count(&self) -> usize {
+        10
     }
 }
 
@@ -359,6 +603,23 @@ impl Layered for Lstm {
         }
     }
 
+    fn export_layer_into(&self, i: usize, out: &mut Vec<f64>) {
+        match i {
+            0 => {
+                out.clear();
+                out.reserve(self.gate_param_count());
+                for w in [&self.wi, &self.wf, &self.wo, &self.wg] {
+                    out.extend_from_slice(w.as_slice());
+                }
+                for b in [&self.bi, &self.bf, &self.bo, &self.bg] {
+                    out.extend_from_slice(b);
+                }
+            }
+            1 => self.head.export_flat_into(out),
+            _ => panic!("Lstm has 2 layers, index {i} out of range"),
+        }
+    }
+
     fn import_layer(&mut self, i: usize, data: &[f64]) {
         match i {
             0 => {
@@ -377,6 +638,7 @@ impl Layered for Lstm {
                     b.copy_from_slice(&data[off..off + self.hidden]);
                     off += self.hidden;
                 }
+                self.ws.gates_t_valid = false;
             }
             1 => self.head.import_flat(data),
             _ => panic!("Lstm has 2 layers, index {i} out of range"),

@@ -1,13 +1,98 @@
 //! Dense row-major matrix used by every layer in the library.
 //!
-//! The networks in PFDRL are small (at most a few hundred units per layer),
-//! so a straightforward cache-friendly `ikj` matmul is fast enough; the
-//! heavy parallelism in this project lives one level up, across residences.
+//! The networks in PFDRL are small (at most a few hundred units per layer)
+//! but their forward/backward kernels run millions of times per simulated
+//! day, so the hot products come in two flavors: allocating wrappers
+//! (`matmul`, `t_matmul`, `matmul_t`) and non-allocating `_into` variants
+//! that write into a caller-owned buffer. For the layer widths the
+//! workspace actually uses, the `_into` kernels hold each output row in a
+//! const-width register accumulator across the whole reduction, but keep
+//! the per-element `k`-accumulation order (and the `a == 0.0` skip) of the
+//! original scalar `ikj` loops, so results are **bit-identical** to the
+//! retained `*_reference` oracles — a hard requirement, since checkpoint
+//! resume is verified bit-for-bit.
 
 use serde::{Deserialize, Serialize};
 
+/// Monomorphizes a kernel call over the output widths this workspace
+/// actually produces — LSTM hidden/concat widths (24, 27), MLP hidden
+/// widths (16, 48, 100), action/head widths (1..4) and a few small
+/// sizes the property tests exercise — falling back to the generic
+/// SAXPY loop for anything else. The bracketed const argument forwards
+/// the kernel's zero-skip flag.
+macro_rules! dispatch_acc {
+    ($n:expr, [$($skip:tt)*], $run:ident($($a:expr),*), $fallback:block) => {
+        match $n {
+            1 => $run::<1, $($skip)*>($($a),*),
+            2 => $run::<2, $($skip)*>($($a),*),
+            3 => $run::<3, $($skip)*>($($a),*),
+            4 => $run::<4, $($skip)*>($($a),*),
+            6 => $run::<6, $($skip)*>($($a),*),
+            8 => $run::<8, $($skip)*>($($a),*),
+            16 => $run::<16, $($skip)*>($($a),*),
+            24 => $run::<24, $($skip)*>($($a),*),
+            27 => $run::<27, $($skip)*>($($a),*),
+            32 => $run::<32, $($skip)*>($($a),*),
+            48 => $run::<48, $($skip)*>($($a),*),
+            100 => $run::<100, $($skip)*>($($a),*),
+            _ => $fallback,
+        }
+    };
+}
+
+/// `A(m x k) * B(k x N)` with each output row kept in an `[f64; N]`
+/// accumulator: the compiler maps the accumulator to vector registers,
+/// so the row is stored exactly once instead of being reloaded per `k`.
+/// Per output column the sum runs in ascending `k` from `0.0`, skipping
+/// `a == 0.0` terms iff `SKIP` — the reference `ikj` order, bit for bit.
+fn matmul_acc_rows<const N: usize, const SKIP: bool>(
+    a: &[f64],
+    k: usize,
+    b: &[f64],
+    out: &mut [f64],
+) {
+    for (a_row, out_row) in a.chunks_exact(k).zip(out.chunks_exact_mut(N)) {
+        let mut acc = [0.0f64; N];
+        for (&av, b_row) in a_row.iter().zip(b.chunks_exact(N)) {
+            if SKIP && av == 0.0 {
+                continue;
+            }
+            for (o, &bv) in acc.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+        out_row.copy_from_slice(&acc);
+    }
+}
+
+/// `Aᵀ(k x m) * B(m x N)` with register-tile accumulation: output row
+/// `ck` sums `a[r][ck] * b[r]` over rows `r` in ascending order from
+/// `0.0`, skipping `a == 0.0` iff `SKIP` — the reference order exactly.
+/// `A` and `B` are re-streamed once per output row; at the layer sizes
+/// dispatched here both stay L1-resident.
+fn t_matmul_acc_rows<const N: usize, const SKIP: bool>(
+    a: &[f64],
+    k: usize,
+    b: &[f64],
+    out: &mut [f64],
+) {
+    for (ck, out_row) in out.chunks_exact_mut(N).enumerate() {
+        let mut acc = [0.0f64; N];
+        for (a_row, b_row) in a.chunks_exact(k).zip(b.chunks_exact(N)) {
+            let av = a_row[ck];
+            if SKIP && av == 0.0 {
+                continue;
+            }
+            for (o, &bv) in acc.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+        out_row.copy_from_slice(&acc);
+    }
+}
+
 /// A dense, row-major `rows x cols` matrix of `f64`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -61,66 +146,302 @@ impl Matrix {
         }
     }
 
+    #[inline]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
+    #[inline]
     pub fn cols(&self) -> usize {
         self.cols
     }
 
     /// Total number of elements.
+    #[inline]
     pub fn len(&self) -> usize {
         self.data.len()
     }
 
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
 
+    #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
         debug_assert!(r < self.rows && c < self.cols);
         self.data[r * self.cols + c]
     }
 
+    #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
         debug_assert!(r < self.rows && c < self.cols);
         self.data[r * self.cols + c] = v;
     }
 
     /// Immutable view of the underlying row-major storage.
+    #[inline]
     pub fn as_slice(&self) -> &[f64] {
         &self.data
     }
 
     /// Mutable view of the underlying row-major storage.
+    #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
         &mut self.data
     }
 
     /// Immutable view of row `r`.
+    #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
         debug_assert!(r < self.rows);
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Mutable view of row `r`.
+    #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
         debug_assert!(r < self.rows);
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self * rhs`.
-    ///
-    /// Uses `ikj` loop order so the inner loop walks both operands
-    /// contiguously.
+    /// Iterator over immutable row slices (bounds-check-free).
+    #[inline]
+    pub fn rows_iter(&self) -> std::slice::ChunksExact<'_, f64> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Reshapes to `rows x cols` in place, reusing the existing
+    /// allocation whenever capacity allows. Element values after the
+    /// call are unspecified — callers must overwrite them.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Matrix product `self * rhs`. Delegates to [`Matrix::matmul_into`];
+    /// bit-identical to [`Matrix::matmul_reference`].
     ///
     /// # Panics
     /// Panics if `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// `selfᵀ * rhs` without materializing the transpose. Delegates to
+    /// [`Matrix::t_matmul_into`].
+    pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.t_matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// `self * rhsᵀ` without materializing the transpose. Delegates to
+    /// [`Matrix::matmul_t_into`].
+    pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_t_into(rhs, &mut out);
+        out
+    }
+
+    /// Non-allocating `self * rhs` into `out` (resized to fit, reusing
+    /// its buffer). Bit-identical to [`Matrix::matmul_reference`].
+    ///
+    /// For the layer widths this workspace actually uses (see
+    /// [`dispatch_acc`]) the output row is held in a const-width stack
+    /// array across the whole `k` loop, so the compiler keeps it in
+    /// vector registers and the row is stored exactly once — roughly
+    /// halving the kernel's memory traffic versus the row-streaming
+    /// SAXPY fallback, which reloads and restores the output row for
+    /// every `a[i][k]`. Both forms visit each output column as an
+    /// independent `k`-sum in ascending `k` order with the reference
+    /// loop's `a == 0.0` skip, and an accumulator starting from `0.0`
+    /// is indistinguishable from a zero-filled output row, so every
+    /// output bit matches the reference.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
-            "matmul: {}x{} * {}x{} dimension mismatch",
+            "matmul_into: {}x{} * {}x{} dimension mismatch",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        out.resize(self.rows, rhs.cols);
+        let (k, n) = (self.cols, rhs.cols);
+        if n == 0 {
+            return;
+        }
+        if k == 0 {
+            out.fill_zero();
+            return;
+        }
+        dispatch_acc!(
+            n,
+            [true],
+            matmul_acc_rows(&self.data, k, &rhs.data, &mut out.data),
+            {
+                out.fill_zero();
+                for (a_row, out_row) in self.data.chunks_exact(k).zip(out.data.chunks_exact_mut(n))
+                {
+                    for (&a, b_row) in a_row.iter().zip(rhs.data.chunks_exact(n)) {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        for (o, &b) in out_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        );
+    }
+
+    /// Non-allocating `selfᵀ * rhs` into `out`. Bit-identical to
+    /// [`Matrix::t_matmul`].
+    ///
+    /// Dispatch-width shapes accumulate each output row (one per column
+    /// of `self`) in a const-width register tile over the shared row
+    /// dimension; the summation order per output element (ascending row
+    /// index, skipping `a == 0.0`) is exactly the reference loop's.
+    pub fn t_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "t_matmul_into: {}x{} ᵀ* {}x{} dimension mismatch",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        out.resize(self.cols, rhs.cols);
+        let n = rhs.cols;
+        if n == 0 {
+            return;
+        }
+        dispatch_acc!(
+            n,
+            [true],
+            t_matmul_acc_rows(&self.data, self.cols, &rhs.data, &mut out.data),
+            {
+                out.fill_zero();
+                for (a_row, b_row) in self
+                    .data
+                    .chunks_exact(self.cols.max(1))
+                    .zip(rhs.data.chunks_exact(n))
+                {
+                    for (k, &a) in a_row.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let out_row = &mut out.data[k * n..(k + 1) * n];
+                        for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        );
+    }
+
+    /// Non-allocating `self * rhsᵀ` into `out`. Bit-identical to
+    /// [`Matrix::matmul_t_reference`].
+    ///
+    /// Unrolled by 4 over `rhs` rows: four independent dot products share
+    /// one pass over `a_row`, giving instruction-level parallelism. Each
+    /// dot still accumulates in ascending `k` order from 0.0 (no
+    /// zero-skip — the reference loop has none), so bits match.
+    pub fn matmul_t_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_t_into: {}x{} * {}x{}ᵀ dimension mismatch",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        out.resize(self.rows, rhs.rows);
+        if self.cols == 0 {
+            out.fill_zero();
+            return;
+        }
+        let k = self.cols;
+        for (a_row, out_row) in self
+            .data
+            .chunks_exact(k)
+            .zip(out.data.chunks_exact_mut(rhs.rows.max(1)))
+        {
+            let mut b_rows = rhs.data.chunks_exact(k);
+            let mut j = 0;
+            while j + 4 <= rhs.rows {
+                let b0 = b_rows.next().expect("rhs row");
+                let b1 = b_rows.next().expect("rhs row");
+                let b2 = b_rows.next().expect("rhs row");
+                let b3 = b_rows.next().expect("rhs row");
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+                for (i, &a) in a_row.iter().enumerate() {
+                    s0 += a * b0[i];
+                    s1 += a * b1[i];
+                    s2 += a * b2[i];
+                    s3 += a * b3[i];
+                }
+                out_row[j] = s0;
+                out_row[j + 1] = s1;
+                out_row[j + 2] = s2;
+                out_row[j + 3] = s3;
+                j += 4;
+            }
+            for o in &mut out_row[j..] {
+                let b_row = b_rows.next().expect("rhs row");
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+    }
+
+    /// Non-allocating `self * rhsᵀ` given the **already transposed**
+    /// right-hand side: `rhs_t` must equal `rhs.transpose()`. Bit-identical
+    /// to `self.matmul_t(&rhs)` — each output element accumulates in the
+    /// same ascending `k` order from 0.0 with no zero-skip (the direct
+    /// kernel has none) — but in row-streaming SAXPY form over `rhs_t`,
+    /// which vectorizes across output columns where the direct kernel's
+    /// per-element dot products cannot. Layers cache the transposed
+    /// weight and invalidate it whenever weights mutate.
+    pub fn matmul_cached_t_into(&self, rhs_t: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs_t.rows,
+            "matmul_cached_t_into: {}x{} * ({}x{})ᵀᵀ dimension mismatch",
+            self.rows, self.cols, rhs_t.rows, rhs_t.cols
+        );
+        out.resize(self.rows, rhs_t.cols);
+        let (k, n) = (self.cols, rhs_t.cols);
+        if n == 0 {
+            return;
+        }
+        if k == 0 {
+            out.fill_zero();
+            return;
+        }
+        dispatch_acc!(
+            n,
+            [false],
+            matmul_acc_rows(&self.data, k, &rhs_t.data, &mut out.data),
+            {
+                out.fill_zero();
+                for (a_row, out_row) in self.data.chunks_exact(k).zip(out.data.chunks_exact_mut(n))
+                {
+                    for (&a, b_row) in a_row.iter().zip(rhs_t.data.chunks_exact(n)) {
+                        for (o, &b) in out_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        );
+    }
+
+    /// The original scalar `ikj` matmul, kept verbatim as the
+    /// bit-identity oracle the optimized kernels are proptested against.
+    pub fn matmul_reference(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul_reference: {}x{} * {}x{} dimension mismatch",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
@@ -140,11 +461,11 @@ impl Matrix {
         out
     }
 
-    /// `selfᵀ * rhs` without materializing the transpose.
-    pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+    /// The original `selfᵀ * rhs` loop, kept as the bit-identity oracle.
+    pub fn t_matmul_reference(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, rhs.rows,
-            "t_matmul: {}x{} ᵀ* {}x{} dimension mismatch",
+            "t_matmul_reference: {}x{} ᵀ* {}x{} dimension mismatch",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.cols, rhs.cols);
@@ -164,11 +485,11 @@ impl Matrix {
         out
     }
 
-    /// `self * rhsᵀ` without materializing the transpose.
-    pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+    /// The original `self * rhsᵀ` loop, kept as the bit-identity oracle.
+    pub fn matmul_t_reference(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.cols,
-            "matmul_t: {}x{} * {}x{}ᵀ dimension mismatch",
+            "matmul_t_reference: {}x{} * {}x{}ᵀ dimension mismatch",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.rows);
@@ -282,6 +603,31 @@ impl Matrix {
             }
         }
         out
+    }
+
+    /// Non-allocating transpose into `out` (resized to fit).
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.resize(self.cols, self.rows);
+        for (r, row) in self.data.chunks_exact(self.cols.max(1)).enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                out.data[c * self.rows + r] = v;
+            }
+        }
+    }
+
+    /// Sum of every column into `out` (overwritten). Bit-identical to
+    /// [`Matrix::col_sums`].
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.cols`.
+    pub fn col_sums_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.cols, "col_sums_into width mismatch");
+        out.iter_mut().for_each(|v| *v = 0.0);
+        for row in self.data.chunks_exact(self.cols.max(1)) {
+            for (o, v) in out.iter_mut().zip(row.iter()) {
+                *o += v;
+            }
+        }
     }
 
     /// Sets every element to zero, keeping the allocation.

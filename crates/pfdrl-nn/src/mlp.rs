@@ -9,10 +9,31 @@ use crate::params::Layered;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// Reusable activation / gradient buffers for the workspace
+/// (allocation-free) forward/backward API. `acts[i]` holds layer `i`'s
+/// output; `d_a`/`d_b` ping-pong the backward signal and `inf_a`/`inf_b`
+/// the inference activations. Sized lazily, never serialized.
+#[derive(Debug, Clone, Default)]
+struct MlpWs {
+    acts: Vec<Matrix>,
+    d_a: Matrix,
+    d_b: Matrix,
+    inf_a: Matrix,
+    inf_b: Matrix,
+}
+
 /// A stack of [`Dense`] layers.
+///
+/// Two API families coexist: the original allocating
+/// `forward`/`infer`/`backward`, and the workspace variants
+/// ([`Mlp::forward_ws`], [`Mlp::infer_ws`], [`Mlp::backward_ws`]) that
+/// reuse buffers owned by the network and allocate nothing in steady
+/// state. Both produce bit-identical outputs and gradients.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Mlp {
     layers: Vec<Dense>,
+    #[serde(skip)]
+    ws: MlpWs,
 }
 
 impl Mlp {
@@ -43,7 +64,10 @@ impl Mlp {
                 Dense::new(w[0], w[1], act, rng)
             })
             .collect();
-        Mlp { layers }
+        Mlp {
+            layers,
+            ws: MlpWs::default(),
+        }
     }
 
     /// The paper's Q-network: 8 hidden ReLU layers of 100 neurons and a
@@ -104,6 +128,79 @@ impl Mlp {
         cur
     }
 
+    /// Allocation-free training forward pass: activations land in the
+    /// network's workspace and a reference to the final output is
+    /// returned. Pair with [`Mlp::backward_ws`], passing the same `x`.
+    /// Bit-identical to [`Mlp::forward`].
+    pub fn forward_ws(&mut self, x: &Matrix) -> &Matrix {
+        let Mlp { layers, ws } = self;
+        if ws.acts.len() != layers.len() {
+            ws.acts.resize(layers.len(), Matrix::default());
+        }
+        for (i, layer) in layers.iter_mut().enumerate() {
+            let (done, rest) = ws.acts.split_at_mut(i);
+            let input = if i == 0 { x } else { &done[i - 1] };
+            layer.forward_into(input, &mut rest[0]);
+        }
+        ws.acts.last().expect("non-empty")
+    }
+
+    /// Allocation-free inference: ping-pongs two workspace buffers.
+    /// Bit-identical to [`Mlp::infer`] (which stays `&self`; this variant
+    /// needs `&mut self` only for buffer reuse — parameters are
+    /// untouched).
+    pub fn infer_ws(&mut self, x: &Matrix) -> &Matrix {
+        let Mlp { layers, ws } = self;
+        let (first, others) = layers.split_first().expect("non-empty");
+        first.infer_into(x, &mut ws.inf_a);
+        let mut cur = &mut ws.inf_a;
+        let mut next = &mut ws.inf_b;
+        for layer in others {
+            layer.infer_into(cur, next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        &*cur
+    }
+
+    /// Allocation-free backward pass paired with [`Mlp::forward_ws`]:
+    /// `x` must be the same input that forward pass consumed. Gradients
+    /// accumulate exactly as in [`Mlp::backward`]; returns dL/d(input).
+    pub fn backward_ws(&mut self, x: &Matrix, dout: &Matrix) -> &Matrix {
+        let Mlp { layers, ws } = self;
+        let MlpWs { acts, d_a, d_b, .. } = ws;
+        let n = layers.len();
+        assert_eq!(acts.len(), n, "Mlp::backward_ws before forward_ws");
+        let mut cur = d_a;
+        let mut next = d_b;
+        for (i, layer) in layers.iter_mut().enumerate().rev() {
+            let input = if i == 0 { x } else { &acts[i - 1] };
+            if i == n - 1 {
+                layer.backward_into(input, dout, cur);
+            } else {
+                layer.backward_into(input, cur, next);
+                std::mem::swap(&mut cur, &mut next);
+            }
+        }
+        &*cur
+    }
+
+    /// Visits every (parameter, gradient) slice pair in the stable
+    /// [`Mlp::param_grad_pairs`] order without allocating, passing the
+    /// pair's index. Drives [`crate::optimizer::Adam::step_fused`].
+    pub fn for_each_param_grad(&mut self, f: &mut crate::optimizer::ParamGradVisitor<'_>) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let [(w, gw), (b, gb)] = layer.param_grad_pairs();
+            f(2 * i, w, gw);
+            f(2 * i + 1, b, gb);
+        }
+    }
+
+    /// Number of (parameter, gradient) pairs [`Mlp::for_each_param_grad`]
+    /// visits.
+    pub fn param_tensor_count(&self) -> usize {
+        2 * self.layers.len()
+    }
+
     /// Clears accumulated gradients in every layer.
     pub fn zero_grad(&mut self) {
         for layer in &mut self.layers {
@@ -130,8 +227,8 @@ impl Mlp {
             other.layer_count(),
             "copy_params_from arch mismatch"
         );
-        for i in 0..self.layer_count() {
-            self.import_layer(i, &other.export_layer(i));
+        for (dst, src) in self.layers.iter_mut().zip(&other.layers) {
+            dst.copy_weights_from(src);
         }
     }
 }
@@ -147,6 +244,10 @@ impl Layered for Mlp {
 
     fn export_layer(&self, i: usize) -> Vec<f64> {
         self.layers[i].export_flat()
+    }
+
+    fn export_layer_into(&self, i: usize, out: &mut Vec<f64>) {
+        self.layers[i].export_flat_into(out);
     }
 
     fn import_layer(&mut self, i: usize, data: &[f64]) {

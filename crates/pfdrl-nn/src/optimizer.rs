@@ -4,6 +4,10 @@
 //! in a stable order, which lets stateful optimizers (momentum, Adam) keep
 //! their per-tensor state aligned across steps.
 
+/// Visitor driven by [`Adam::step_fused`]: called once per tensor with
+/// `(stable index, parameters, gradients)`.
+pub type ParamGradVisitor<'a> = dyn FnMut(usize, &mut [f64], &[f64]) + 'a;
+
 /// Plain stochastic gradient descent: `w ← w - lr * g`.
 ///
 /// This is the update rule of the paper's Eq. (2) (DSGD) and Eq. (7)
@@ -70,6 +74,69 @@ impl Adam {
             m: Vec::new(),
             v: Vec::new(),
         }
+    }
+}
+
+impl Adam {
+    /// Allocation-free Adam step driven by a visitor instead of a
+    /// collected pair list: `for_each` must invoke its callback exactly
+    /// once per tensor with `(index, params, grads)` in the same stable
+    /// order [`Optimizer::step`] would see (e.g.
+    /// `Mlp::for_each_param_grad`). The per-element update is the same
+    /// expression sequence as `step`, so the resulting weights are
+    /// bit-identical; [`AdamState`] layout is unchanged.
+    ///
+    /// # Panics
+    /// Panics if `tensor_count` or any tensor size disagrees with the
+    /// state from earlier steps.
+    pub fn step_fused(
+        &mut self,
+        tensor_count: usize,
+        for_each: impl FnOnce(&mut ParamGradVisitor<'_>),
+    ) {
+        if self.m.is_empty() {
+            // Lazy init mirrors `step`: sized on first visit below.
+            self.m = vec![Vec::new(); tensor_count];
+            self.v = vec![Vec::new(); tensor_count];
+        }
+        assert_eq!(
+            self.m.len(),
+            tensor_count,
+            "Adam: parameter set changed shape"
+        );
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            m,
+            v,
+            ..
+        } = self;
+        let (lr, beta1, beta2, eps) = (*lr, *beta1, *beta2, *eps);
+        for_each(&mut |i, w, g| {
+            let (m, v) = (&mut m[i], &mut v[i]);
+            if m.is_empty() && !w.is_empty() {
+                m.resize(w.len(), 0.0);
+                v.resize(w.len(), 0.0);
+            }
+            assert_eq!(w.len(), m.len(), "Adam: tensor changed size");
+            for (((w, g), m), v) in w
+                .iter_mut()
+                .zip(g.iter())
+                .zip(m.iter_mut())
+                .zip(v.iter_mut())
+            {
+                *m = beta1 * *m + (1.0 - beta1) * g;
+                *v = beta2 * *v + (1.0 - beta2) * g * g;
+                let mhat = *m / bc1;
+                let vhat = *v / bc2;
+                *w -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        });
     }
 }
 

@@ -15,6 +15,15 @@ pub trait Layered {
     /// Flattened parameters of layer `i`.
     fn export_layer(&self, i: usize) -> Vec<f64>;
 
+    /// Writes the flattened parameters of layer `i` into `out` (cleared
+    /// first, capacity reused). The default delegates to
+    /// [`Layered::export_layer`]; implementors override it to skip the
+    /// intermediate allocation.
+    fn export_layer_into(&self, i: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.export_layer(i));
+    }
+
     /// Restores layer `i` from a flat vector produced by `export_layer`.
     fn import_layer(&mut self, i: usize, data: &[f64]);
 
