@@ -1,7 +1,8 @@
 //! The `repro bench` performance harness: fixed-workload kernel
-//! micro-benchmarks plus a fixed-seed end-to-end EMS day, reported as
-//! machine-readable JSON (`BENCH_3.json`) so every PR has a recorded
-//! perf trajectory to beat (DAWNBench-style time-to-result discipline).
+//! micro-benchmarks, a fixed-seed end-to-end EMS day, and a federation
+//! N-scaling sweep, reported as machine-readable JSON (`BENCH_4.json`)
+//! so every PR has a recorded perf trajectory to beat (DAWNBench-style
+//! time-to-result discipline).
 //!
 //! Workloads are defined by *fixed iteration counts and fixed seeds*,
 //! never by elapsed-time targets, so the work performed is bit-identical
@@ -14,7 +15,8 @@ use crate::alloc::count_allocations;
 use crate::{quick_config, repro_config};
 use pfdrl_core::{run_method, EmsMethod, SimConfig};
 use pfdrl_drl::{DqnAgent, DqnConfig, Transition};
-use pfdrl_nn::{loss, Lstm, Matrix, Mlp};
+use pfdrl_fl::{AggregationMode, BroadcastBus, DflRound, LatencyModel, MergePolicy, RoundParams};
+use pfdrl_nn::{loss, Activation, Lstm, Matrix, Mlp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -55,6 +57,20 @@ pub struct EmsDayBench {
     pub saved_fraction: f64,
 }
 
+/// One point of the federation N-scaling sweep: a complete DFL round
+/// (pooled export, broadcast, keyed drain, merge) over `n` homes on a
+/// small fixed MLP, timed under both aggregation modes. `speedup` is
+/// `per_home_ns / shared_ns` — how much the O(N) shared reduction buys
+/// over the O(N²) per-home merges at this fleet size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FederationRow {
+    pub n: usize,
+    pub rounds: u64,
+    pub per_home_ns: f64,
+    pub shared_ns: f64,
+    pub speedup: f64,
+}
+
 /// Everything one bench session measured.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -62,9 +78,12 @@ pub struct BenchReport {
     pub kernels: Vec<KernelRow>,
     pub train_step: TrainStepBench,
     pub ems_day: EmsDayBench,
+    /// Federation round scaling (absent in pre-PR-4 baselines).
+    #[serde(default)]
+    pub federation: Vec<FederationRow>,
 }
 
-/// The on-disk `BENCH_3.json`: the current measurement, the recorded
+/// The on-disk `BENCH_4.json`: the current measurement, the recorded
 /// pre-PR baseline (when available), and the headline speedups.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchFile {
@@ -187,6 +206,80 @@ fn kernel_benches(quick: bool) -> Vec<KernelRow> {
     rows
 }
 
+/// The fleet the federation sweep runs on: one small fixed-topology MLP
+/// per home (≈1k parameters — large enough that merging dominates the
+/// round, small enough that N=669 stays in seconds).
+fn federation_fleet(n: usize) -> Vec<Mlp> {
+    (0..n)
+        .map(|home| {
+            let mut rng = StdRng::seed_from_u64(BENCH_SEED ^ ((home as u64) << 20));
+            Mlp::new(
+                &[12, 24, 24, 3],
+                Activation::Relu,
+                Activation::Identity,
+                &mut rng,
+            )
+        })
+        .collect()
+}
+
+/// Wall-clock of one full fault-free DFL round over `n` homes under
+/// `mode`, averaged over `rounds` timed rounds after one untimed warmup
+/// (which also fills the engine's update pool).
+fn time_federation_round(n: usize, rounds: u64, mode: AggregationMode) -> f64 {
+    let mut fleet = federation_fleet(n);
+    let bus = BroadcastBus::new(n, LatencyModel::lan());
+    let policy = MergePolicy::default();
+    let mut engine = DflRound::new();
+    let run_round = |engine: &mut DflRound, fleet: &mut Vec<Mlp>, round: u64| {
+        let mut col: Vec<&mut Mlp> = fleet.iter_mut().collect();
+        let _ = engine.run(
+            &mut col,
+            &RoundParams {
+                bus: &bus,
+                round,
+                model_id: 0,
+                alpha: None,
+                policy: &policy,
+                mode,
+            },
+        );
+    };
+    run_round(&mut engine, &mut fleet, 0);
+    let t0 = Instant::now();
+    for r in 0..rounds {
+        run_round(&mut engine, &mut fleet, r + 1);
+    }
+    black_box(&fleet);
+    t0.elapsed().as_nanos() as f64 / rounds as f64
+}
+
+fn federation_benches(quick: bool) -> Vec<FederationRow> {
+    let sizes: &[usize] = if quick { &[8, 64] } else { &[8, 64, 256, 669] };
+    sizes
+        .iter()
+        .map(|&n| {
+            // The per-home path is O(N²·params); shrink the timed-round
+            // count as N grows so the sweep stays in tens of seconds.
+            let rounds: u64 = match (quick, n) {
+                (true, _) => 1,
+                (false, n) if n >= 669 => 1,
+                (false, n) if n >= 256 => 2,
+                _ => 3,
+            };
+            let per_home_ns = time_federation_round(n, rounds, AggregationMode::PerHome);
+            let shared_ns = time_federation_round(n, rounds, AggregationMode::SharedSum);
+            FederationRow {
+                n,
+                rounds,
+                per_home_ns,
+                shared_ns,
+                speedup: per_home_ns / shared_ns,
+            }
+        })
+        .collect()
+}
+
 fn train_step_bench(quick: bool) -> TrainStepBench {
     let steps: u64 = if quick { 300 } else { 3000 };
     let mut agent = DqnAgent::new(14, bench_dqn_config());
@@ -253,11 +346,23 @@ pub fn run_bench(quick: bool) -> BenchReport {
         "ems_day end-to-end: {:.2}s, {} allocations, saved fraction {:.3}",
         ems_day.seconds, ems_day.allocations, ems_day.saved_fraction
     );
+    let federation = federation_benches(quick);
+    println!(
+        "\n{:>6}  {:>6}  {:>14}  {:>14}  {:>8}",
+        "homes", "rounds", "per_home ns", "shared ns", "speedup"
+    );
+    for f in &federation {
+        println!(
+            "{:>6}  {:>6}  {:>14.0}  {:>14.0}  {:>7.2}x",
+            f.n, f.rounds, f.per_home_ns, f.shared_ns, f.speedup
+        );
+    }
     BenchReport {
         quick,
         kernels,
         train_step,
         ems_day,
+        federation,
     }
 }
 
@@ -288,6 +393,7 @@ mod tests {
                 allocated_bytes: 0,
                 saved_fraction: 0.5,
             },
+            federation: vec![],
         };
         let mut baseline = report.clone();
         baseline.ems_day.seconds = 10.0;

@@ -397,11 +397,14 @@ fn run_headline(ctx: &Ctx) {
 }
 
 /// `bench` target: the fixed-workload perf harness. Emits
-/// `BENCH_3.json` embedding the current measurement, the committed
+/// `BENCH_4.json` embedding the current measurement, the committed
 /// pre-PR baseline (when `--baseline <file>` points at one), and the
 /// headline speedups.
 fn bench(ctx: &Ctx) {
-    banner("bench", "kernel micro-benchmarks + fixed-seed EMS day");
+    banner(
+        "bench",
+        "kernel micro-benchmarks + fixed-seed EMS day + federation scaling",
+    );
     let current = run_bench(ctx.quick);
     let baseline: Option<BenchReport> = ctx.baseline.as_ref().map(|path| {
         let text =
@@ -414,7 +417,7 @@ fn bench(ctx: &Ctx) {
     if let (Some(ems), Some(ts)) = (file.speedup_ems_day, file.speedup_train_step) {
         println!("speedup vs baseline: ems_day {ems:.2}x, train_step {ts:.2}x");
     }
-    ctx.save_json("BENCH_3", &file);
+    ctx.save_json("BENCH_4", &file);
     if let (Some(factor), Some(base)) = (ctx.max_regression, file.baseline.as_ref()) {
         gate_regression(&file.current, base, factor);
     }
@@ -456,6 +459,25 @@ fn gate_regression(current: &BenchReport, base: &BenchReport, factor: f64) {
             base.ems_day.seconds * factor
         ));
     }
+    // Federation rows are per-round rates over a fixed workload at each
+    // N, so they also compare across --quick and full sessions; sizes
+    // missing on either side (quick sweeps a subset) are skipped.
+    for row in &current.federation {
+        if let Some(b) = base.federation.iter().find(|b| b.n == row.n) {
+            for (path, cur, bas) in [
+                ("per_home", row.per_home_ns, b.per_home_ns),
+                ("shared", row.shared_ns, b.shared_ns),
+            ] {
+                if cur > bas * factor {
+                    failures.push(format!(
+                        "federation n={} {path}: {cur:.0} ns/round vs baseline {bas:.0} (limit {:.0})",
+                        row.n,
+                        bas * factor
+                    ));
+                }
+            }
+        }
+    }
     if failures.is_empty() {
         println!("regression gate: all workloads within {factor:.1}x of baseline");
     } else {
@@ -464,6 +486,47 @@ fn gate_regression(current: &BenchReport, base: &BenchReport, factor: f64) {
         }
         std::process::exit(1);
     }
+}
+
+/// `scale-smoke` target: a 669-residence, single-device,
+/// one-evaluation-day PFDRL run under the O(N) `SharedSum` fast path —
+/// the fleet size the paper's dataset covers (669 households), trimmed
+/// to one day and one device so CI can afford to prove the scale-out
+/// path end to end.
+fn scale_smoke(ctx: &Ctx) {
+    #[derive(Debug, Serialize)]
+    struct ScaleSmoke {
+        n_residences: usize,
+        eval_days: u64,
+        seconds: f64,
+        saved_fraction: f64,
+        comm_bytes: u64,
+    }
+    banner("scale-smoke", "669-home single-day EMS under SharedSum");
+    let mut cfg = SimConfig::tiny(SEED);
+    cfg.n_residences = 669;
+    cfg.devices = vec![pfdrl_data::DeviceType::Tv];
+    cfg.eval_days = 1;
+    cfg.aggregation = pfdrl_core::AggregationMode::SharedSum;
+    cfg.validate();
+    let t0 = Instant::now();
+    let run = pfdrl_core::run_method(&cfg, EmsMethod::Pfdrl);
+    let seconds = t0.elapsed().as_secs_f64();
+    let saved_fraction = run.converged_saved_fraction();
+    println!(
+        "669 homes, 1 day: {seconds:.1}s wall, saved fraction {saved_fraction:.3}, {} comm bytes",
+        run.ems.comm_bytes
+    );
+    ctx.save_json(
+        "scale_smoke",
+        &ScaleSmoke {
+            n_residences: cfg.n_residences,
+            eval_days: cfg.eval_days,
+            seconds,
+            saved_fraction,
+            comm_bytes: run.ems.comm_bytes,
+        },
+    );
 }
 
 /// Per-target wall time, for the `--json` session summary.
@@ -599,9 +662,10 @@ fn main() {
             "headline" => run_headline(&ctx),
             "run" => run_summary = Some(run_checkpointed(&ctx)),
             "bench" => bench(&ctx),
+            "scale-smoke" => scale_smoke(&ctx),
             other => {
                 eprintln!(
-                    "unknown target {other:?}; known: table1 table2 fig2..fig14 degradation headline run bench"
+                    "unknown target {other:?}; known: table1 table2 fig2..fig14 degradation headline run bench scale-smoke"
                 );
                 std::process::exit(2);
             }

@@ -56,6 +56,7 @@ pub fn repro_config(seed: u64) -> SimConfig {
         train_every: 6,
         fault: pfdrl_fl::FaultConfig::default(),
         checkpoint: pfdrl_core::CheckpointPolicy::default(),
+        aggregation: pfdrl_fl::AggregationMode::PerHome,
     }
 }
 

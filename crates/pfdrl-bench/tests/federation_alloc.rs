@@ -1,0 +1,96 @@
+//! Pins the zero-copy claim of the federation round engine: once the
+//! update pool and scratch buffers are warm, a `DflRound` allocates a
+//! bounded amount per round — the `Arc` control blocks that carry each
+//! home's pooled export (one per home; reclaimed via `Arc::try_unwrap`
+//! at the end of the round) plus small merge bookkeeping — instead of
+//! re-exporting and cloning every model for every receiver (O(N²)
+//! payload clones before this engine existed).
+//!
+//! This test binary installs the counting allocator as its own global
+//! allocator and must stay a single `#[test]`: the harness runs tests on
+//! pool threads, and unrelated concurrent tests would pollute the
+//! process-wide counters.
+
+use pfdrl_bench::alloc::{count_allocations, CountingAlloc};
+use pfdrl_fl::{AggregationMode, BroadcastBus, DflRound, LatencyModel, MergePolicy, RoundParams};
+use pfdrl_nn::{Activation, Mlp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn round(
+    fleet: &mut [Mlp],
+    engine: &mut DflRound,
+    bus: &BroadcastBus,
+    r: u64,
+    mode: AggregationMode,
+    policy: &MergePolicy,
+) {
+    let mut col: Vec<&mut Mlp> = fleet.iter_mut().collect();
+    let _ = engine.run(
+        &mut col,
+        &RoundParams {
+            bus,
+            round: r,
+            model_id: 0,
+            alpha: None,
+            policy,
+            mode,
+        },
+    );
+}
+
+#[test]
+fn steady_state_round_allocations_are_bounded() {
+    const N: usize = 16;
+    const ROUNDS: u64 = 8;
+    let policy = MergePolicy::default();
+    for mode in [AggregationMode::PerHome, AggregationMode::SharedSum] {
+        let mut fleet: Vec<Mlp> = (0..N)
+            .map(|home| {
+                let mut rng = StdRng::seed_from_u64(3 + home as u64);
+                Mlp::new(
+                    &[8, 16, 16, 3],
+                    Activation::Relu,
+                    Activation::Identity,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let bus = BroadcastBus::new(N, LatencyModel::lan());
+        let mut engine = DflRound::new();
+        // Warmup: fills the update pool, sizes mailbox queues, drain and
+        // merge scratch, and (for SharedSum) the reduction accumulators.
+        for r in 1..=4u64 {
+            round(&mut fleet, &mut engine, &bus, r, mode, &policy);
+        }
+        let ((), allocs, _bytes) = count_allocations(|| {
+            for r in 5..=(4 + ROUNDS) {
+                round(&mut fleet, &mut engine, &bus, r, mode, &policy);
+            }
+        });
+        let per_round = allocs as f64 / ROUNDS as f64;
+        // What stays, by design:
+        //  - `PerHome` replays one validate+merge per (home, peer) pair
+        //    to preserve the historical float order, and each of those
+        //    keeps a small bookkeeping footprint (an accepted-layers
+        //    buffer per validated update plus per-layer contribution
+        //    buckets) — O(N²) tiny allocations, measured ~465/round at
+        //    N=16, but zero payload clones.
+        //  - `SharedSum` validates each update once for the shared
+        //    reduction, so it stays O(N): measured ~21/round at N=16.
+        // Both are far below the O(N²) *payload clones* (one full model
+        // copy per (sender, receiver) pair) of the pre-engine exchange.
+        let bound = match mode {
+            AggregationMode::PerHome => (2 * N * N + 16 * N) as f64,
+            AggregationMode::SharedSum => (4 * N) as f64,
+        };
+        assert!(
+            per_round <= bound,
+            "{mode:?}: {per_round:.1} allocations/round exceeds bound {bound} \
+             ({allocs} over {ROUNDS} rounds)"
+        );
+    }
+}

@@ -3,7 +3,7 @@
 use pfdrl_data::dataset::TargetTransform;
 use pfdrl_data::{DeviceType, GeneratorConfig};
 use pfdrl_drl::DqnConfig;
-use pfdrl_fl::FaultConfig;
+use pfdrl_fl::{AggregationMode, FaultConfig};
 use pfdrl_forecast::{ForecastMethod, TrainConfig};
 use serde::{Deserialize, Serialize};
 
@@ -102,6 +102,13 @@ pub struct SimConfig {
     /// [`CheckpointPolicy`]).
     #[serde(default)]
     pub checkpoint: CheckpointPolicy,
+    /// How fault-free DFL rounds reduce peer updates. The default
+    /// `PerHome` replays the historical per-home merges bit-for-bit;
+    /// `SharedSum` switches to the O(N) shared-reduction fast path
+    /// (numerically equivalent, but a different float summation order,
+    /// so it carries its own canary).
+    #[serde(default)]
+    pub aggregation: AggregationMode,
 }
 
 impl Default for SimConfig {
@@ -127,6 +134,7 @@ impl Default for SimConfig {
             train_every: 4,
             fault: FaultConfig::default(),
             checkpoint: CheckpointPolicy::default(),
+            aggregation: AggregationMode::PerHome,
         }
     }
 }
@@ -185,6 +193,7 @@ impl SimConfig {
             train_every: 8,
             fault: FaultConfig::default(),
             checkpoint: CheckpointPolicy::default(),
+            aggregation: AggregationMode::PerHome,
         }
     }
 
@@ -319,6 +328,17 @@ mod tests {
         let mut other_alpha = base.clone();
         other_alpha.alpha = 1;
         assert_ne!(base.run_hash(), other_alpha.run_hash());
+    }
+
+    #[test]
+    fn aggregation_defaults_to_per_home_and_is_hashed() {
+        let base = SimConfig::tiny(5);
+        assert_eq!(base.aggregation, AggregationMode::PerHome);
+        // The fast path changes float summation order, so it must be
+        // part of the run identity.
+        let mut shared = base.clone();
+        shared.aggregation = AggregationMode::SharedSum;
+        assert_ne!(base.run_hash(), shared.run_hash());
     }
 
     #[test]

@@ -19,7 +19,8 @@ use pfdrl_data::{DayTrace, TraceGenerator, MINUTES_PER_DAY};
 use pfdrl_drl::{DqnAgent, DqnConfig, Transition};
 use pfdrl_env::{DeviceEnv, EnergyAccount, EnvConfig};
 use pfdrl_fl::{
-    aggregate, BroadcastBus, CloudAggregator, LatencyModel, LayerSplit, MergePolicy, ModelUpdate,
+    aggregate, AggregationMode, BroadcastBus, CloudAggregator, DflRound, LatencyModel, MergePolicy,
+    RoundParams,
 };
 use pfdrl_nn::Layered;
 use pfdrl_store::{
@@ -130,6 +131,10 @@ pub(crate) struct EmsState {
     pub agents: Vec<Vec<DqnAgent>>,
     pub bus: BroadcastBus,
     pub cloud: CloudAggregator,
+    /// Reusable federation-round engine (scratch buffers + update
+    /// pool). Pure transient workspace — it holds no cross-round
+    /// state, so it is rebuilt fresh on resume and never snapshotted.
+    pub fed_engine: DflRound,
     pub fed_round: u64,
     /// Next evaluation day to execute (absolute day index).
     pub next_day: u64,
@@ -174,6 +179,7 @@ impl EmsState {
             // plan (inert when cfg.fault is fault-free).
             bus: BroadcastBus::with_faults(n, LatencyModel::lan(), &cfg.fault),
             cloud: CloudAggregator::with_faults(LatencyModel::cloud(), &cfg.fault),
+            fed_engine: DflRound::new(),
             fed_round: 0,
             next_day: cfg.eval_start_day,
             total: EnergyAccount::new(),
@@ -284,6 +290,8 @@ impl EmsState {
                     &self.cloud,
                     self.fed_round,
                     &policy,
+                    cfg.aggregation,
+                    &mut self.fed_engine,
                 );
             }
             seg_start = seg_end;
@@ -450,6 +458,7 @@ impl EmsState {
             agents,
             bus,
             cloud,
+            fed_engine: DflRound::new(),
             fed_round: snap.meta.fed_round,
             next_day: snap.meta.next_day,
             total: m.total,
@@ -517,6 +526,7 @@ fn run_segment(
 }
 
 /// One federation step over every device's agents.
+#[allow(clippy::too_many_arguments)]
 fn federate(
     agents: &mut [Vec<DqnAgent>],
     federation: DrlFederation,
@@ -524,50 +534,56 @@ fn federate(
     cloud: &CloudAggregator,
     round: u64,
     policy: &MergePolicy,
+    mode: AggregationMode,
+    engine: &mut DflRound,
 ) {
     let d = agents[0].len();
     match federation {
-        DrlFederation::None => {}
         DrlFederation::CloudFull => {
             for device in 0..d {
-                for (home, home_agents) in agents.iter().enumerate() {
-                    cloud.upload(aggregate::snapshot_update(
-                        &home_agents[device],
-                        home,
-                        round,
-                        device as u64,
-                    ));
+                // Snapshot exports are independent per home; build them
+                // in parallel, then upload sequentially in home order so
+                // the pending queue (and with it the average order and
+                // the fault plan's per-arrival decisions) matches the
+                // sequential reference exactly.
+                let updates: Vec<_> = agents
+                    .par_iter()
+                    .enumerate()
+                    .map(|(home, home_agents)| {
+                        aggregate::snapshot_update(&home_agents[device], home, round, device as u64)
+                    })
+                    .collect();
+                for update in updates {
+                    cloud.upload(update);
                 }
                 cloud.aggregate_with_quorum(policy.min_quorum);
-                for (home, home_agents) in agents.iter_mut().enumerate() {
+                agents.par_iter_mut().enumerate().for_each(|(home, row)| {
                     // An offline home (or a round with nothing
                     // aggregated yet) keeps its local agent.
                     if let Some(global) = cloud.download_for(home, round) {
-                        home_agents[device].import_all(&global);
+                        row[device].import_all(&global);
                     }
-                }
+                });
             }
         }
+        DrlFederation::None => {}
         DrlFederation::LanAlpha(alpha) => {
             for device in 0..d {
-                let split = LayerSplit::for_model(alpha, &agents[0][device]);
-                for (home, home_agents) in agents.iter().enumerate() {
-                    bus.broadcast(split.base_update(
-                        &home_agents[device],
-                        home,
+                let mut col: Vec<&mut DqnAgent> = agents
+                    .iter_mut()
+                    .map(|home_agents| &mut home_agents[device])
+                    .collect();
+                let _ = engine.run(
+                    &mut col,
+                    &RoundParams {
+                        bus,
                         round,
-                        device as u64,
-                    ));
-                }
-                for (home, home_agents) in agents.iter_mut().enumerate() {
-                    let updates: Vec<std::sync::Arc<ModelUpdate>> = bus.drain(home);
-                    let refs: Vec<&ModelUpdate> = updates
-                        .iter()
-                        .map(|u| u.as_ref())
-                        .filter(|u| u.model_id == device as u64)
-                        .collect();
-                    let _ = split.merge_base_with(&mut home_agents[device], &refs, round, policy);
-                }
+                        model_id: device as u64,
+                        alpha: Some(alpha),
+                        policy,
+                        mode,
+                    },
+                );
             }
         }
     }

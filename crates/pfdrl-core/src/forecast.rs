@@ -12,7 +12,7 @@ use crate::config::SimConfig;
 use crate::method::EmsMethod;
 use pfdrl_data::dataset::build_windows_transformed;
 use pfdrl_data::{SupervisedSet, TraceGenerator, MINUTES_PER_DAY};
-use pfdrl_fl::{aggregate, BroadcastBus, CloudAggregator, LatencyModel, ModelUpdate};
+use pfdrl_fl::{aggregate, BroadcastBus, CloudAggregator, DflRound, LatencyModel, RoundParams};
 use pfdrl_forecast::{Forecaster, TrainConfig};
 use rayon::prelude::*;
 use std::time::Instant;
@@ -307,13 +307,19 @@ fn train_fedavg_cloud(
         }
         for (device, cloud) in clouds.iter().enumerate() {
             cloud.aggregate_with_quorum(quorum);
-            for (home_id, home_models) in models.iter_mut().enumerate() {
-                // A home that cannot download (offline, or nothing
-                // aggregated yet) keeps its local model for this round.
-                if let Some(global) = cloud.download_for(home_id, round as u64) {
-                    home_models[device].import_all(&global);
-                }
-            }
+            // Downloads touch only commutative integer counters and
+            // share the global model by `Arc`, so homes can pull and
+            // import concurrently.
+            models
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(home_id, home_models)| {
+                    // A home that cannot download (offline, or nothing
+                    // aggregated yet) keeps its local model for this round.
+                    if let Some(global) = cloud.download_for(home_id, round as u64) {
+                        home_models[device].import_all(&global);
+                    }
+                });
         }
     }
     let secs: f64 = clouds.iter().map(|c| c.simulated_seconds()).sum();
@@ -340,6 +346,7 @@ fn train_dfl_lan(
         .map(|_| BroadcastBus::with_faults(cfg.n_residences, LatencyModel::lan(), &cfg.fault))
         .collect();
     let policy = cfg.fault.merge_policy();
+    let mut engine = DflRound::new();
     for round in 0..rounds {
         models
             .par_iter_mut()
@@ -349,30 +356,30 @@ fn train_dfl_lan(
                     refit(m.as_mut(), s, &round_cfg);
                 }
             });
-        // Broadcast snapshots...
-        for (home_id, home_models) in models.iter().enumerate() {
-            for (device, m) in home_models.iter().enumerate() {
-                buses[device].broadcast(aggregate::snapshot_update(
-                    m.as_ref(),
-                    home_id,
-                    round as u64,
-                    device as u64,
-                ));
-            }
-        }
-        // ...and merge what each home received. Corrupted or stale
+        // One engine round per device bus: pooled parallel exports,
+        // broadcasts in home order (so each bus sees the exact event
+        // sequence of the sequential reference), then per-home parallel
+        // merges — or the O(N) shared reduction when the round is
+        // fault-free and `SharedSum` is selected. Corrupted or stale
         // updates are rejected inside the validated merge; a layer that
         // misses the quorum keeps the local parameters this round.
-        models
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(home_id, home_models)| {
-                for (device, m) in home_models.iter_mut().enumerate() {
-                    let updates = buses[device].drain(home_id);
-                    let refs: Vec<&ModelUpdate> = updates.iter().map(|u| u.as_ref()).collect();
-                    let _ = aggregate::merge_updates_with(m.as_mut(), &refs, round as u64, &policy);
-                }
-            });
+        for (device, bus) in buses.iter().enumerate() {
+            let mut col: Vec<&mut dyn Forecaster> = models
+                .iter_mut()
+                .map(|home_models| home_models[device].as_mut())
+                .collect();
+            let _ = engine.run(
+                &mut col,
+                &RoundParams {
+                    bus,
+                    round: round as u64,
+                    model_id: device as u64,
+                    alpha: None,
+                    policy: &policy,
+                    mode: cfg.aggregation,
+                },
+            );
+        }
     }
     let secs: f64 = buses.iter().map(|b| b.simulated_seconds()).sum();
     let bytes: u64 = buses.iter().map(|b| b.stats().bytes).sum();

@@ -96,6 +96,18 @@ fn resume_is_bit_identical_under_active_fault_plan() {
 }
 
 #[test]
+fn resume_is_bit_identical_under_shared_sum_fast_path() {
+    // The O(N) shared-reduction aggregation must be just as
+    // snapshot-stable as the per-home default: its tree reduction is
+    // deterministic in topology (never thread-count-derived), so a
+    // resumed run replays the exact same float summation order.
+    let mut cfg = SimConfig::tiny(31);
+    cfg.eval_days = 3;
+    cfg.aggregation = pfdrl_fl::AggregationMode::SharedSum;
+    exercise_resume_matrix(&cfg, EmsMethod::Pfdrl, "shared-sum");
+}
+
+#[test]
 fn cloud_method_resumes_bit_identically() {
     let cfg = SimConfig::tiny(17);
     exercise_resume_matrix(&cfg, EmsMethod::Cloud, "cloud");

@@ -448,6 +448,9 @@ impl Layered for DqnAgent {
     fn export_layer(&self, i: usize) -> Vec<f64> {
         self.qnet.export_layer(i)
     }
+    fn export_layer_into(&self, i: usize, out: &mut Vec<f64>) {
+        self.qnet.export_layer_into(i, out);
+    }
     fn import_layer(&mut self, i: usize, data: &[f64]) {
         self.qnet.import_layer(i, data);
         self.target.import_layer(i, data);

@@ -7,7 +7,29 @@
 
 use crate::codec::{LayerUpdate, ModelUpdate};
 use pfdrl_nn::{average_params, Layered};
+use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
 use std::fmt;
+
+/// How a decentralized FedAvg round turns received updates into merged
+/// models.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregationMode {
+    /// Every home independently averages its local model with each of
+    /// the N−1 updates it received — O(N²·params) per round. This is
+    /// the seed behavior, bit-for-bit.
+    #[default]
+    PerHome,
+    /// Compute the round's update sum S once per device with a parallel
+    /// tree-reduce, then derive each home's merged model as
+    /// `(local_i + S − update_i) / N` — O(N·params) per round. Falls
+    /// back to [`AggregationMode::PerHome`] for any home whose received
+    /// set differs from the full fault-free broadcast (churn, loss,
+    /// stragglers, corruption, or an unmeetable quorum). Numerically
+    /// equivalent to the per-home path but not bit-identical: the sum
+    /// is re-associated, so this mode carries its own canary.
+    SharedSum,
+}
 
 /// Builds a full-model update from a [`Layered`] model.
 pub fn snapshot_update<M: Layered + ?Sized>(
@@ -16,17 +38,37 @@ pub fn snapshot_update<M: Layered + ?Sized>(
     round: u64,
     model_id: u64,
 ) -> ModelUpdate {
-    let layers = (0..model.layer_count())
-        .map(|i| LayerUpdate {
-            index: i,
-            params: model.export_layer(i),
-        })
-        .collect();
-    ModelUpdate {
+    let mut out = ModelUpdate {
         sender,
         round,
         model_id,
-        layers,
+        layers: Vec::new(),
+    };
+    fill_update(model, 0..model.layer_count(), &mut out);
+    out
+}
+
+/// Fills `out` with layers `range` exported from `model`, reusing the
+/// layer and parameter buffers already allocated in `out`. The pooled
+/// equivalent of [`snapshot_update`] / [`crate::LayerSplit::base_update`]:
+/// on the federation hot path it performs zero heap allocations once the
+/// buffers have warmed up.
+pub(crate) fn fill_update<M: Layered + ?Sized>(
+    model: &M,
+    range: std::ops::Range<usize>,
+    out: &mut ModelUpdate,
+) {
+    let wanted = range.len();
+    out.layers.truncate(wanted);
+    while out.layers.len() < wanted {
+        out.layers.push(LayerUpdate {
+            index: 0,
+            params: Vec::new(),
+        });
+    }
+    for (slot, i) in out.layers.iter_mut().zip(range) {
+        slot.index = i;
+        model.export_layer_into(i, &mut slot.params);
     }
 }
 
@@ -260,9 +302,9 @@ fn validate_update<'a, M: Layered + ?Sized>(
 /// always participates with weight 1; accepted remote layers join with
 /// their staleness weight; a layer is only re-imported when at least
 /// `policy.min_quorum` remote contributions survived validation.
-fn merge_layers<M: Layered + ?Sized>(
+fn merge_layers<M: Layered + ?Sized, U: Borrow<ModelUpdate>>(
     model: &mut M,
-    updates: &[&ModelUpdate],
+    updates: &[U],
     layer_range: std::ops::Range<usize>,
     now_round: u64,
     policy: &MergePolicy,
@@ -274,7 +316,7 @@ fn merge_layers<M: Layered + ?Sized>(
     for update in updates {
         match validate_update(
             model,
-            update,
+            update.borrow(),
             now_round,
             policy,
             alpha,
@@ -330,9 +372,9 @@ fn merge_layers<M: Layered + ?Sized>(
 /// non-finite, out of range) and stale updates are rejected with typed
 /// errors in the returned [`MergeReport`] instead of panicking; layers
 /// that miss the quorum keep the local parameters for this round.
-pub fn merge_updates_with<M: Layered + ?Sized>(
+pub fn merge_updates_with<M: Layered + ?Sized, U: Borrow<ModelUpdate>>(
     model: &mut M,
-    updates: &[&ModelUpdate],
+    updates: &[U],
     now_round: u64,
     policy: &MergePolicy,
 ) -> MergeReport {
@@ -344,17 +386,20 @@ pub fn merge_updates_with<M: Layered + ?Sized>(
 /// staleness decay), with `now` taken as the newest round among the
 /// updates. With well-formed inputs this is exactly the seed behavior:
 /// a plain average of local + received, layer by layer.
-pub fn merge_updates<M: Layered + ?Sized>(model: &mut M, updates: &[&ModelUpdate]) -> MergeReport {
-    let now = updates.iter().map(|u| u.round).max().unwrap_or(0);
+pub fn merge_updates<M: Layered + ?Sized, U: Borrow<ModelUpdate>>(
+    model: &mut M,
+    updates: &[U],
+) -> MergeReport {
+    let now = updates.iter().map(|u| u.borrow().round).max().unwrap_or(0);
     merge_updates_with(model, updates, now, &MergePolicy::default())
 }
 
 /// Validated merge over only the base layers `0..alpha`, rejecting any
 /// update that leaks a personalization layer. Used by
 /// [`crate::LayerSplit::merge_base_with`].
-pub(crate) fn merge_base_layers<M: Layered + ?Sized>(
+pub(crate) fn merge_base_layers<M: Layered + ?Sized, U: Borrow<ModelUpdate>>(
     model: &mut M,
-    updates: &[&ModelUpdate],
+    updates: &[U],
     alpha: usize,
     now_round: u64,
     policy: &MergePolicy,
@@ -472,7 +517,7 @@ mod tests {
     fn merge_with_no_updates_is_identity() {
         let mut local = Toy::new(5.0);
         let before = local.clone();
-        let report = merge_updates(&mut local, &[]);
+        let report = merge_updates::<_, &ModelUpdate>(&mut local, &[]);
         assert!(report.is_clean());
         assert_eq!(report.merged_layers, 0);
         assert_eq!(local, before);

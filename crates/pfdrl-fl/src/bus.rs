@@ -1,12 +1,21 @@
 //! In-process broadcast bus between residences.
 //!
 //! Replaces the paper's LAN broadcast between smart-home hubs: each
-//! residence gets a mailbox (a crossbeam channel, so residences can run
-//! on rayon worker threads concurrently), and every broadcast is
+//! residence gets a mailbox (a mutex-guarded queue, so residences can
+//! run on rayon worker threads concurrently), and every broadcast is
 //! delivered to all other residences. The bus keeps byte/message
 //! statistics and converts them into simulated communication time via a
 //! [`LatencyModel`], which is how the time-overhead comparison of
 //! Figure 14 is reproduced without real network hardware.
+//!
+//! Updates travel as `Arc<ModelUpdate>` end-to-end: a broadcast to N−1
+//! peers shares one payload instead of cloning it, and
+//! [`BroadcastBus::broadcast_arc`] lets callers keep a handle to the
+//! exact payload they sent (the shared-reduction fast path uses pointer
+//! identity to prove a mailbox saw the full fault-free round).
+//! Statistics live in relaxed atomics, so concurrent broadcasters never
+//! serialize on a stats lock; totals are exact because every counter
+//! update is a commutative add.
 //!
 //! A bus built with [`BroadcastBus::with_faults`] routes every delivery
 //! through a [`FaultInjector`](crate::fault::FaultInjector): churned-out
@@ -16,8 +25,8 @@
 
 use crate::codec::ModelUpdate;
 use crate::fault::{Delivery, DropReason, FaultConfig, FaultInjector};
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Simple linear latency model: `per_message + bytes * per_byte`.
@@ -80,10 +89,115 @@ impl BusStats {
     }
 }
 
+/// Adds `v` to an `f64` stored as its bit pattern in an [`AtomicU64`].
+/// The CAS loop makes concurrent adds lossless; the *order* of adds (and
+/// therefore the exact rounding) is whatever the callers' order is — on
+/// the deterministic default path broadcasts are sequential, so the sum
+/// order is fixed.
+fn atomic_f64_add(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + v).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(observed) => cur = observed,
+        }
+    }
+}
+
+/// [`BusStats`] in relaxed atomics: contention-free accounting for
+/// concurrent broadcasters. Every field is a commutative add, so totals
+/// are exact regardless of interleaving. `delay_seconds` stores the
+/// `f64` bit pattern (`0u64` is `0.0`, so zero-init works).
+#[derive(Default)]
+struct AtomicBusStats {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    dropped_offline: AtomicU64,
+    dropped_loss: AtomicU64,
+    dropped_disconnected: AtomicU64,
+    corrupted: AtomicU64,
+    delayed: AtomicU64,
+    delay_seconds_bits: AtomicU64,
+}
+
+impl AtomicBusStats {
+    /// Folds one broadcast's locally accumulated delta in.
+    fn add(&self, d: &BusStats) {
+        let bump = |cell: &AtomicU64, v: u64| {
+            if v != 0 {
+                cell.fetch_add(v, Ordering::Relaxed);
+            }
+        };
+        bump(&self.messages, d.messages);
+        bump(&self.bytes, d.bytes);
+        bump(&self.dropped_offline, d.dropped_offline);
+        bump(&self.dropped_loss, d.dropped_loss);
+        bump(&self.dropped_disconnected, d.dropped_disconnected);
+        bump(&self.corrupted, d.corrupted);
+        bump(&self.delayed, d.delayed);
+        if d.delay_seconds != 0.0 {
+            atomic_f64_add(&self.delay_seconds_bits, d.delay_seconds);
+        }
+    }
+
+    fn load(&self) -> BusStats {
+        BusStats {
+            messages: self.messages.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            dropped_offline: self.dropped_offline.load(Ordering::Relaxed),
+            dropped_loss: self.dropped_loss.load(Ordering::Relaxed),
+            dropped_disconnected: self.dropped_disconnected.load(Ordering::Relaxed),
+            corrupted: self.corrupted.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+            delay_seconds: f64::from_bits(self.delay_seconds_bits.load(Ordering::Relaxed)),
+        }
+    }
+
+    fn store(&self, s: &BusStats) {
+        self.messages.store(s.messages, Ordering::Relaxed);
+        self.bytes.store(s.bytes, Ordering::Relaxed);
+        self.dropped_offline
+            .store(s.dropped_offline, Ordering::Relaxed);
+        self.dropped_loss.store(s.dropped_loss, Ordering::Relaxed);
+        self.dropped_disconnected
+            .store(s.dropped_disconnected, Ordering::Relaxed);
+        self.corrupted.store(s.corrupted, Ordering::Relaxed);
+        self.delayed.store(s.delayed, Ordering::Relaxed);
+        self.delay_seconds_bits
+            .store(s.delay_seconds.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// One residence's inbox. `closed` models a hub whose receiving end
+/// died: deliveries to it count as `dropped_disconnected` instead of
+/// panicking.
+struct Mailbox {
+    queue: Mutex<Vec<Arc<ModelUpdate>>>,
+    closed: AtomicBool,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Mailbox {
+            queue: Mutex::new(Vec::new()),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Delivers `u`; false if the receiving end is disconnected.
+    fn push(&self, u: Arc<ModelUpdate>) -> bool {
+        if self.closed.load(Ordering::Relaxed) {
+            return false;
+        }
+        self.queue.lock().push(u);
+        true
+    }
+}
+
 struct BusInner {
-    senders: Vec<Sender<Arc<ModelUpdate>>>,
-    receivers: Vec<Receiver<Arc<ModelUpdate>>>,
-    stats: Mutex<BusStats>,
+    mailboxes: Vec<Mailbox>,
+    stats: AtomicBusStats,
     latency: LatencyModel,
     faults: Option<FaultInjector>,
 }
@@ -118,18 +232,10 @@ impl BroadcastBus {
 
     fn build(n: usize, latency: LatencyModel, faults: Option<FaultInjector>) -> Self {
         assert!(n > 0, "bus needs at least one participant");
-        let mut senders = Vec::with_capacity(n);
-        let mut receivers = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = unbounded();
-            senders.push(tx);
-            receivers.push(rx);
-        }
         BroadcastBus {
             inner: Arc::new(BusInner {
-                senders,
-                receivers,
-                stats: Mutex::new(BusStats::default()),
+                mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
+                stats: AtomicBusStats::default(),
                 latency,
                 faults,
             }),
@@ -138,7 +244,7 @@ impl BroadcastBus {
 
     /// Number of participants.
     pub fn len(&self) -> usize {
-        self.inner.senders.len()
+        self.inner.mailboxes.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -154,12 +260,19 @@ impl BroadcastBus {
     /// # Panics
     /// Panics if `update.sender` is out of range.
     pub fn broadcast(&self, update: ModelUpdate) {
+        self.broadcast_arc(Arc::new(update));
+    }
+
+    /// [`broadcast`](Self::broadcast) of an already-shared payload. All
+    /// clean deliveries alias `arc` — no payload clone per receiver —
+    /// and the caller's retained handle is pointer-identical to what the
+    /// mailboxes received.
+    pub fn broadcast_arc(&self, arc: Arc<ModelUpdate>) {
         let n = self.len();
-        assert!(update.sender < n, "sender {} out of range", update.sender);
-        let bytes = update.byte_size() as u64;
-        let arc = Arc::new(update);
+        assert!(arc.sender < n, "sender {} out of range", arc.sender);
+        let bytes = arc.byte_size() as u64;
         let mut delta = BusStats::default();
-        for (i, tx) in self.inner.senders.iter().enumerate() {
+        for (i, mailbox) in self.inner.mailboxes.iter().enumerate() {
             if i == arc.sender {
                 continue;
             }
@@ -185,7 +298,7 @@ impl BroadcastBus {
                         .expect("corrupt without injector");
                     let damaged = injector.plan().corrupt(&arc, i as u64, kind);
                     let damaged_bytes = damaged.byte_size() as u64;
-                    if tx.send(Arc::new(damaged)).is_err() {
+                    if !mailbox.push(Arc::new(damaged)) {
                         delta.dropped_disconnected += 1;
                         continue;
                     }
@@ -204,8 +317,8 @@ impl BroadcastBus {
                 }
                 Delivery::Deliver => {
                     // A dropped receiver is a fault, not a crash: count
-                    // the failed delivery as a loss and move on.
-                    if tx.send(Arc::clone(&arc)).is_err() {
+                    // the failed delivery and move on.
+                    if !mailbox.push(Arc::clone(&arc)) {
                         delta.dropped_disconnected += 1;
                         continue;
                     }
@@ -214,15 +327,7 @@ impl BroadcastBus {
                 }
             }
         }
-        let mut stats = self.inner.stats.lock();
-        stats.messages += delta.messages;
-        stats.bytes += delta.bytes;
-        stats.dropped_offline += delta.dropped_offline;
-        stats.dropped_loss += delta.dropped_loss;
-        stats.dropped_disconnected += delta.dropped_disconnected;
-        stats.corrupted += delta.corrupted;
-        stats.delayed += delta.delayed;
-        stats.delay_seconds += delta.delay_seconds;
+        self.inner.stats.add(&delta);
     }
 
     /// Drains all pending updates addressed to residence `id`,
@@ -231,24 +336,57 @@ impl BroadcastBus {
     /// # Panics
     /// Panics if `id` is out of range.
     pub fn drain(&self, id: usize) -> Vec<Arc<ModelUpdate>> {
-        let rx = &self.inner.receivers[id];
         let mut out = Vec::new();
-        loop {
-            match rx.try_recv() {
-                Ok(u) => out.push(u),
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => break,
-            }
-        }
+        self.drain_into(id, &mut out);
+        out
+    }
+
+    /// [`drain`](Self::drain) into a reusable buffer (cleared first).
+    pub fn drain_into(&self, id: usize, out: &mut Vec<Arc<ModelUpdate>>) {
+        out.clear();
+        out.append(&mut self.inner.mailboxes[id].queue.lock());
         if let Some(inj) = &self.inner.faults {
             out.extend(inj.take_ready(id));
         }
-        out
+    }
+
+    /// Drains residence `id`'s mailbox keeping only updates whose
+    /// `model_id` matches, appended to `out` (cleared first) in arrival
+    /// order; non-matching updates are *discarded*, exactly like the
+    /// clone-then-filter the round loops used to do — without the
+    /// allocation. Straggler clock still advances (one drain == one
+    /// cycle).
+    pub fn drain_model_into(&self, id: usize, model_id: u64, out: &mut Vec<Arc<ModelUpdate>>) {
+        out.clear();
+        {
+            let mut queue = self.inner.mailboxes[id].queue.lock();
+            for u in queue.drain(..) {
+                if u.model_id == model_id {
+                    out.push(u);
+                }
+            }
+        }
+        if let Some(inj) = &self.inner.faults {
+            for u in inj.take_ready(id) {
+                if u.model_id == model_id {
+                    out.push(u);
+                }
+            }
+        }
+    }
+
+    /// Closes residence `id`'s mailbox: subsequent deliveries to it are
+    /// counted as `dropped_disconnected`. Models a hub process that died
+    /// without unregistering (robustness tests use this).
+    pub fn disconnect(&self, id: usize) {
+        self.inner.mailboxes[id]
+            .closed
+            .store(true, Ordering::Relaxed);
     }
 
     /// Traffic so far.
     pub fn stats(&self) -> BusStats {
-        *self.inner.stats.lock()
+        self.inner.stats.load()
     }
 
     /// Simulated communication time spent so far, seconds, including
@@ -260,28 +398,22 @@ impl BroadcastBus {
 
     /// Resets traffic statistics (not mailboxes).
     pub fn reset_stats(&self) {
-        *self.inner.stats.lock() = BusStats::default();
+        self.inner.stats.store(&BusStats::default());
     }
 
     /// Captures the complete bus state — statistics, undrained mailbox
     /// contents, and any parked straggler queues — without disturbing
-    /// it (drained messages are re-queued in order).
+    /// it.
     ///
     /// Not safe to call concurrently with `broadcast`/`drain`; callers
     /// checkpoint between federation rounds, when the bus is quiescent.
     pub fn export_state(&self) -> BusState {
-        let mut mailboxes = Vec::with_capacity(self.len());
-        for (rx, tx) in self.inner.receivers.iter().zip(self.inner.senders.iter()) {
-            let mut pending = Vec::new();
-            while let Ok(u) = rx.try_recv() {
-                pending.push(u);
-            }
-            let contents: Vec<ModelUpdate> = pending.iter().map(|u| (**u).clone()).collect();
-            for u in pending {
-                let _ = tx.send(u);
-            }
-            mailboxes.push(contents);
-        }
+        let mailboxes = self
+            .inner
+            .mailboxes
+            .iter()
+            .map(|m| m.queue.lock().iter().map(|u| (**u).clone()).collect())
+            .collect();
         let (parked_ready, parked_staged) = match &self.inner.faults {
             Some(inj) => inj.export_parked(),
             None => (vec![Vec::new(); self.len()], vec![Vec::new(); self.len()]),
@@ -298,8 +430,9 @@ impl BroadcastBus {
     /// a freshly built bus of the same shape.
     ///
     /// # Errors
-    /// Rejects states whose participant count does not match, or that
-    /// carry parked stragglers when this bus has no fault injector.
+    /// Rejects states whose participant count does not match, that
+    /// target a disconnected mailbox, or that carry parked stragglers
+    /// when this bus has no fault injector.
     pub fn restore_state(&self, state: &BusState) -> Result<(), String> {
         let n = self.len();
         if state.mailboxes.len() != n {
@@ -308,10 +441,11 @@ impl BroadcastBus {
                 state.mailboxes.len()
             ));
         }
-        for (tx, contents) in self.inner.senders.iter().zip(&state.mailboxes) {
+        for (mailbox, contents) in self.inner.mailboxes.iter().zip(&state.mailboxes) {
             for u in contents {
-                tx.send(Arc::new(u.clone()))
-                    .map_err(|_| "bus mailbox disconnected".to_string())?;
+                if !mailbox.push(Arc::new(u.clone())) {
+                    return Err("bus mailbox disconnected".to_string());
+                }
             }
         }
         match &self.inner.faults {
@@ -328,7 +462,7 @@ impl BroadcastBus {
                 }
             }
         }
-        *self.inner.stats.lock() = state.stats;
+        self.inner.stats.store(&state.stats);
         Ok(())
     }
 }
@@ -435,6 +569,42 @@ mod tests {
         for id in 0..8 {
             assert_eq!(bus.drain(id).len(), 7 * 50);
         }
+    }
+
+    #[test]
+    fn broadcast_arc_delivers_pointer_identical_payloads() {
+        let bus = BroadcastBus::new(3, LatencyModel::lan());
+        let sent = Arc::new(update(0, 4));
+        bus.broadcast_arc(Arc::clone(&sent));
+        for id in 1..3 {
+            let got = bus.drain(id);
+            assert_eq!(got.len(), 1);
+            assert!(
+                Arc::ptr_eq(&got[0], &sent),
+                "clean delivery must alias the sent payload"
+            );
+        }
+    }
+
+    #[test]
+    fn keyed_drain_keeps_matching_and_discards_the_rest() {
+        let bus = BroadcastBus::new(2, LatencyModel::lan());
+        let mut a = update(0, 4);
+        a.model_id = 7;
+        let mut b = update(0, 4);
+        b.model_id = 3;
+        let mut c = update(0, 4);
+        c.model_id = 7;
+        bus.broadcast(a);
+        bus.broadcast(b);
+        bus.broadcast(c);
+        let mut out = Vec::new();
+        bus.drain_model_into(1, 7, &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|u| u.model_id == 7));
+        // The non-matching update was discarded, not left queued —
+        // exactly the historical clone-then-filter semantics.
+        assert!(bus.drain(1).is_empty());
     }
 
     #[test]
@@ -549,24 +719,12 @@ mod tests {
 
     #[test]
     fn disconnected_receiver_counts_as_drop_not_panic() {
-        // Assemble a bus whose second mailbox has a closed receiving
-        // end (tests share the module, so the private BusInner is in
-        // reach): a delivery to it must count as a drop, not panic.
-        let (tx_ok, rx_ok) = unbounded();
-        let (tx_dead, rx_dead) = unbounded();
-        drop(rx_dead);
-        let bus = BroadcastBus {
-            inner: Arc::new(BusInner {
-                senders: vec![tx_ok, tx_dead],
-                receivers: vec![rx_ok],
-                stats: Mutex::new(BusStats::default()),
-                latency: LatencyModel::lan(),
-                faults: None,
-            }),
-        };
+        let bus = BroadcastBus::new(2, LatencyModel::lan());
+        bus.disconnect(1);
         bus.broadcast(update(0, 4));
         let s = bus.stats();
         assert_eq!(s.messages, 0);
         assert_eq!(s.dropped_disconnected, 1);
+        assert!(bus.drain(1).is_empty());
     }
 }

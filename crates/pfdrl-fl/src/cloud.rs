@@ -18,7 +18,8 @@ use crate::bus::LatencyModel;
 use crate::codec::ModelUpdate;
 use crate::fault::{Delivery, DropReason, FaultConfig, FaultPlan};
 use parking_lot::Mutex;
-use pfdrl_nn::average_params;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Traffic statistics of the aggregator, including fault counters.
@@ -48,10 +49,80 @@ pub struct CloudStats {
     pub delay_seconds: f64,
 }
 
+/// Adds `v` to an `f64` stored as its bit pattern in an [`AtomicU64`].
+fn atomic_f64_add(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + v).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(observed) => cur = observed,
+        }
+    }
+}
+
+/// [`CloudStats`] in relaxed atomics so concurrent uploaders and
+/// downloaders never serialize on a stats lock. All counter updates are
+/// commutative adds, so totals are exact under any interleaving.
+#[derive(Default)]
+struct AtomicCloudStats {
+    uploads: AtomicU64,
+    downloads: AtomicU64,
+    upload_bytes: AtomicU64,
+    download_bytes: AtomicU64,
+    dropped_offline: AtomicU64,
+    dropped_loss: AtomicU64,
+    corrupted: AtomicU64,
+    delayed: AtomicU64,
+    rejected: AtomicU64,
+    quorum_failures: AtomicU64,
+    missed_downloads: AtomicU64,
+    delay_seconds_bits: AtomicU64,
+}
+
+impl AtomicCloudStats {
+    fn load(&self) -> CloudStats {
+        CloudStats {
+            uploads: self.uploads.load(Ordering::Relaxed),
+            downloads: self.downloads.load(Ordering::Relaxed),
+            upload_bytes: self.upload_bytes.load(Ordering::Relaxed),
+            download_bytes: self.download_bytes.load(Ordering::Relaxed),
+            dropped_offline: self.dropped_offline.load(Ordering::Relaxed),
+            dropped_loss: self.dropped_loss.load(Ordering::Relaxed),
+            corrupted: self.corrupted.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            quorum_failures: self.quorum_failures.load(Ordering::Relaxed),
+            missed_downloads: self.missed_downloads.load(Ordering::Relaxed),
+            delay_seconds: f64::from_bits(self.delay_seconds_bits.load(Ordering::Relaxed)),
+        }
+    }
+
+    fn store(&self, s: &CloudStats) {
+        self.uploads.store(s.uploads, Ordering::Relaxed);
+        self.downloads.store(s.downloads, Ordering::Relaxed);
+        self.upload_bytes.store(s.upload_bytes, Ordering::Relaxed);
+        self.download_bytes
+            .store(s.download_bytes, Ordering::Relaxed);
+        self.dropped_offline
+            .store(s.dropped_offline, Ordering::Relaxed);
+        self.dropped_loss.store(s.dropped_loss, Ordering::Relaxed);
+        self.corrupted.store(s.corrupted, Ordering::Relaxed);
+        self.delayed.store(s.delayed, Ordering::Relaxed);
+        self.rejected.store(s.rejected, Ordering::Relaxed);
+        self.quorum_failures
+            .store(s.quorum_failures, Ordering::Relaxed);
+        self.missed_downloads
+            .store(s.missed_downloads, Ordering::Relaxed);
+        self.delay_seconds_bits
+            .store(s.delay_seconds.to_bits(), Ordering::Relaxed);
+    }
+}
+
 struct CloudInner {
     pending: Mutex<Vec<ModelUpdate>>,
-    global: Mutex<Option<Vec<Vec<f64>>>>,
-    stats: Mutex<CloudStats>,
+    global: Mutex<Option<Arc<Vec<Vec<f64>>>>>,
+    stats: AtomicCloudStats,
     latency: LatencyModel,
     faults: Option<FaultPlan>,
 }
@@ -81,7 +152,7 @@ impl CloudAggregator {
             inner: Arc::new(CloudInner {
                 pending: Mutex::new(Vec::new()),
                 global: Mutex::new(None),
-                stats: Mutex::new(CloudStats::default()),
+                stats: AtomicCloudStats::default(),
                 latency,
                 faults,
             }),
@@ -97,34 +168,40 @@ impl CloudAggregator {
             Some(plan) => plan.upload(update.sender, update.round, update.model_id),
             None => Delivery::Deliver,
         };
-        let mut stats = self.inner.stats.lock();
+        let stats = &self.inner.stats;
         let accepted = match fate {
             Delivery::Drop(reason) => {
                 match reason {
                     DropReason::SenderOffline | DropReason::ReceiverOffline => {
-                        stats.dropped_offline += 1
+                        stats.dropped_offline.fetch_add(1, Ordering::Relaxed);
                     }
-                    DropReason::Loss => stats.dropped_loss += 1,
+                    DropReason::Loss => {
+                        stats.dropped_loss.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
                 None
             }
             Delivery::Corrupt(kind) => {
                 let plan = self.inner.faults.as_ref().expect("corrupt without plan");
-                stats.corrupted += 1;
+                stats.corrupted.fetch_add(1, Ordering::Relaxed);
                 Some(plan.corrupt(&update, CLOUD_PEER, kind))
             }
             Delivery::Delay { extra_latency_mult } => {
                 let bytes = update.byte_size() as u64;
-                stats.delayed += 1;
-                stats.delay_seconds += extra_latency_mult * self.inner.latency.seconds(1, bytes);
+                stats.delayed.fetch_add(1, Ordering::Relaxed);
+                atomic_f64_add(
+                    &stats.delay_seconds_bits,
+                    extra_latency_mult * self.inner.latency.seconds(1, bytes),
+                );
                 Some(update)
             }
             Delivery::Deliver => Some(update),
         };
         if let Some(update) = accepted {
-            stats.uploads += 1;
-            stats.upload_bytes += update.byte_size() as u64;
-            drop(stats);
+            stats.uploads.fetch_add(1, Ordering::Relaxed);
+            stats
+                .upload_bytes
+                .fetch_add(update.byte_size() as u64, Ordering::Relaxed);
             self.inner.pending.lock().push(update);
         }
     }
@@ -170,24 +247,39 @@ impl CloudAggregator {
                 .collect(),
             None => Vec::new(),
         };
-        {
-            let mut stats = self.inner.stats.lock();
-            stats.rejected += (pending.len() - valid.len()) as u64;
-        }
+        self.inner
+            .stats
+            .rejected
+            .fetch_add((pending.len() - valid.len()) as u64, Ordering::Relaxed);
         if valid.len() < min_quorum.max(1) {
-            self.inner.stats.lock().quorum_failures += 1;
+            self.inner
+                .stats
+                .quorum_failures
+                .fetch_add(1, Ordering::Relaxed);
             return 0;
         }
         let layer_count = valid[0].layers.len();
-        let mut global = Vec::with_capacity(layer_count);
-        for layer_idx in 0..layer_count {
-            let snaps: Vec<Vec<f64>> = valid
-                .iter()
-                .map(|u| u.layers[layer_idx].params.clone())
-                .collect();
-            global.push(average_params(&snaps));
-        }
-        *self.inner.global.lock() = Some(global);
+        // Clone-free FedAvg, parallel across layers. Summing the first
+        // snapshot then the rest in upload order is bit-identical to
+        // `pfdrl_nn::average_params` over per-layer clones (zero + s0 is
+        // exact), which is what this loop replaced.
+        let scale = 1.0 / valid.len() as f64;
+        let global: Vec<Vec<f64>> = (0..layer_count)
+            .into_par_iter()
+            .map(|layer_idx| {
+                let mut acc = valid[0].layers[layer_idx].params.clone();
+                for u in &valid[1..] {
+                    for (a, p) in acc.iter_mut().zip(u.layers[layer_idx].params.iter()) {
+                        *a += p;
+                    }
+                }
+                for a in acc.iter_mut() {
+                    *a *= scale;
+                }
+                acc
+            })
+            .collect();
+        *self.inner.global.lock() = Some(Arc::new(global));
         valid.len()
     }
 
@@ -200,23 +292,29 @@ impl CloudAggregator {
     }
 
     /// Client downloads the current global model (None before the first
-    /// aggregation).
-    pub fn download(&self) -> Option<Vec<Vec<f64>>> {
-        let global = self.inner.global.lock().clone()?;
+    /// aggregation). The returned handle shares the server's copy —
+    /// N concurrent downloaders clone a pointer, not the tensors.
+    pub fn download(&self) -> Option<Arc<Vec<Vec<f64>>>> {
+        let global = Arc::clone(self.inner.global.lock().as_ref()?);
         let bytes: u64 = global.iter().map(|l| 8 * l.len() as u64 + 16).sum::<u64>() + 32;
-        let mut stats = self.inner.stats.lock();
-        stats.downloads += 1;
-        stats.download_bytes += bytes;
+        self.inner.stats.downloads.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .download_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
         Some(global)
     }
 
     /// Download on behalf of residence `receiver` during `round`: an
     /// offline residence misses the download (counted) and keeps its
     /// local model for the round.
-    pub fn download_for(&self, receiver: usize, round: u64) -> Option<Vec<Vec<f64>>> {
+    pub fn download_for(&self, receiver: usize, round: u64) -> Option<Arc<Vec<Vec<f64>>>> {
         if let Some(plan) = &self.inner.faults {
             if !plan.can_download(receiver, round) {
-                self.inner.stats.lock().missed_downloads += 1;
+                self.inner
+                    .stats
+                    .missed_downloads
+                    .fetch_add(1, Ordering::Relaxed);
                 return None;
             }
         }
@@ -224,7 +322,7 @@ impl CloudAggregator {
     }
 
     pub fn stats(&self) -> CloudStats {
-        *self.inner.stats.lock()
+        self.inner.stats.load()
     }
 
     /// Simulated communication seconds spent on all traffic so far,
@@ -244,15 +342,20 @@ impl CloudAggregator {
     pub fn export_state(&self) -> CloudState {
         CloudState {
             stats: self.stats(),
-            global: self.inner.global.lock().clone(),
+            global: self
+                .inner
+                .global
+                .lock()
+                .as_ref()
+                .map(|g| g.as_ref().clone()),
             pending: self.inner.pending.lock().clone(),
         }
     }
 
     /// Restores state captured with [`CloudAggregator::export_state`].
     pub fn restore_state(&self, state: &CloudState) {
-        *self.inner.stats.lock() = state.stats;
-        *self.inner.global.lock() = state.global.clone();
+        self.inner.stats.store(&state.stats);
+        *self.inner.global.lock() = state.global.clone().map(Arc::new);
         *self.inner.pending.lock() = state.pending.clone();
     }
 }

@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Parameters of one model layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LayerUpdate {
     /// Layer index within the model ([`pfdrl_nn::Layered`] numbering).
     pub index: usize,
@@ -17,7 +17,11 @@ pub struct LayerUpdate {
 }
 
 /// A broadcast model update.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// An empty (default) update is a valid pool buffer: the round engine's
+/// [`crate::round::UpdatePool`] hands these out and the fill helpers
+/// overwrite every field, reusing the layer/parameter allocations.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ModelUpdate {
     /// Sending residence id.
     pub sender: usize,

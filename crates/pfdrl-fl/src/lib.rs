@@ -3,8 +3,12 @@
 //! The federated-learning substrate of PFDRL:
 //!
 //! * [`BroadcastBus`] — the decentralized LAN broadcast between
-//!   residences (crossbeam channels with byte and simulated-latency
-//!   accounting);
+//!   residences (lock-light `Arc`-shared mailboxes with byte and
+//!   simulated-latency accounting);
+//! * [`DflRound`] — the parallel federation round engine: pooled
+//!   zero-copy update exchange, per-home parallel merges bit-identical
+//!   to the sequential reference, and the O(N) [`AggregationMode`]
+//!   shared-reduction fast path;
 //! * [`CloudAggregator`] — the centralized parameter server used by the
 //!   Cloud/FL baselines;
 //! * [`aggregate`] — FedAvg (Algorithm 1's `W ← Σ W_n / N`), hardened
@@ -51,6 +55,7 @@ pub mod cloud;
 pub mod codec;
 pub mod fault;
 pub mod personalization;
+pub mod round;
 pub mod scheduler;
 pub mod topology;
 
@@ -66,12 +71,13 @@ pub(crate) fn topology_hash(mut x: u64) -> u64 {
 
 pub use aggregate::{
     fedavg_in_place, merge_updates, merge_updates_with, snapshot_update, AggregateError,
-    MergePolicy, MergeReport,
+    AggregationMode, MergePolicy, MergeReport,
 };
 pub use bus::{BroadcastBus, BusState, BusStats, LatencyModel};
 pub use cloud::{CloudAggregator, CloudState, CloudStats};
 pub use codec::{CodecError, LayerUpdate, ModelUpdate, CODEC_VERSION};
 pub use fault::{CorruptKind, Delivery, DropReason, FaultConfig, FaultInjector, FaultPlan};
 pub use personalization::LayerSplit;
+pub use round::{dfl_round_reference, DflRound, RoundOutcome, RoundParams, UpdatePool};
 pub use scheduler::PeriodicSchedule;
 pub use topology::Topology;

@@ -2,9 +2,10 @@
 //! DRL network are *base* layers, broadcast and federated; the remaining
 //! layers are *personalization* layers that never leave the residence.
 
-use crate::aggregate::{merge_base_layers, MergePolicy, MergeReport};
-use crate::codec::{LayerUpdate, ModelUpdate};
+use crate::aggregate::{fill_update, merge_base_layers, MergePolicy, MergeReport};
+use crate::codec::ModelUpdate;
 use pfdrl_nn::Layered;
+use std::borrow::Borrow;
 
 /// A base/personalization split over a layered model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,24 +49,26 @@ impl LayerSplit {
         round: u64,
         model_id: u64,
     ) -> ModelUpdate {
+        let mut out = ModelUpdate {
+            sender,
+            round,
+            model_id,
+            layers: Vec::new(),
+        };
+        self.base_update_into(model, &mut out);
+        out
+    }
+
+    /// [`base_update`](Self::base_update) into a pooled buffer: reuses
+    /// the layer and parameter allocations already in `out` (sender,
+    /// round and model id are left as the caller set them).
+    pub fn base_update_into<M: Layered + ?Sized>(&self, model: &M, out: &mut ModelUpdate) {
         assert_eq!(
             model.layer_count(),
             self.total,
             "split does not match model"
         );
-        let layers = self
-            .base_layers()
-            .map(|i| LayerUpdate {
-                index: i,
-                params: model.export_layer(i),
-            })
-            .collect();
-        ModelUpdate {
-            sender,
-            round,
-            model_id,
-            layers,
-        }
+        fill_update(model, self.base_layers(), out);
     }
 
     /// Eq. (7) + Eq. (8): averages the base layers with the received base
@@ -77,21 +80,21 @@ impl LayerSplit {
     /// [`PersonalizationLeak`](crate::AggregateError::PersonalizationLeak);
     /// mis-sized or non-finite layers are rejected individually. The
     /// returned [`MergeReport`] lists every rejection.
-    pub fn merge_base<M: Layered + ?Sized>(
+    pub fn merge_base<M: Layered + ?Sized, U: Borrow<ModelUpdate>>(
         &self,
         model: &mut M,
-        updates: &[&ModelUpdate],
+        updates: &[U],
     ) -> MergeReport {
-        let now = updates.iter().map(|u| u.round).max().unwrap_or(0);
+        let now = updates.iter().map(|u| u.borrow().round).max().unwrap_or(0);
         self.merge_base_with(model, updates, now, &MergePolicy::default())
     }
 
     /// [`merge_base`](Self::merge_base) under an explicit round clock
     /// and [`MergePolicy`] (quorum, staleness decay, staleness bound).
-    pub fn merge_base_with<M: Layered + ?Sized>(
+    pub fn merge_base_with<M: Layered + ?Sized, U: Borrow<ModelUpdate>>(
         &self,
         model: &mut M,
-        updates: &[&ModelUpdate],
+        updates: &[U],
         now_round: u64,
         policy: &MergePolicy,
     ) -> MergeReport {
@@ -108,6 +111,7 @@ impl LayerSplit {
 mod tests {
     use super::*;
     use crate::aggregate::AggregateError;
+    use crate::codec::LayerUpdate;
     use pfdrl_nn::{Activation, Mlp};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

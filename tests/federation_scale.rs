@@ -1,0 +1,137 @@
+//! Acceptance properties of the parallel federation round engine
+//! (`DflRound`): under *any* adversarial fault plan the default
+//! `PerHome` mode must stay byte-identical to the retained sequential
+//! reference — same model bits, same bus statistics — and the O(N)
+//! `SharedSum` fast path must be numerically equivalent on fault-free
+//! rounds while remaining run-to-run byte-deterministic.
+
+use pfdrl::fl::{
+    dfl_round_reference, AggregationMode, BroadcastBus, DflRound, FaultConfig, LatencyModel,
+    MergePolicy, RoundParams,
+};
+use pfdrl::nn::{Activation, Layered, Mlp};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fleet(n: usize, seed: u64) -> Vec<Mlp> {
+    (0..n)
+        .map(|home| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add((home as u64) << 8));
+            Mlp::new(
+                &[5, 9, 9, 3],
+                Activation::Relu,
+                Activation::Identity,
+                &mut rng,
+            )
+        })
+        .collect()
+}
+
+/// Every parameter of every model, as exact bit patterns.
+fn bits(models: &[Mlp]) -> Vec<u64> {
+    models
+        .iter()
+        .flat_map(|m| {
+            (0..m.layer_count())
+                .flat_map(|i| m.export_layer(i).into_iter().map(f64::to_bits))
+                .collect::<Vec<u64>>()
+        })
+        .collect()
+}
+
+fn run_engine(
+    models: &mut [Mlp],
+    engine: &mut DflRound,
+    bus: &BroadcastBus,
+    round: u64,
+    alpha: Option<usize>,
+    policy: &MergePolicy,
+    mode: AggregationMode,
+) {
+    let mut col: Vec<&mut Mlp> = models.iter_mut().collect();
+    let _ = engine.run(
+        &mut col,
+        &RoundParams {
+            bus,
+            round,
+            model_id: 0,
+            alpha,
+            policy,
+            mode,
+        },
+    );
+}
+
+proptest! {
+    /// The parallel engine in `PerHome` mode is byte-identical to the
+    /// sequential reference under arbitrary chaos: loss, corruption,
+    /// stragglers (whose parked updates cross round boundaries), churn,
+    /// full or base-layer (`alpha`) exchange.
+    #[test]
+    fn per_home_engine_matches_sequential_reference_under_chaos(
+        seed in 0u64..10_000,
+        n in 2usize..7,
+        chaos in 0.0f64..0.6,
+        alpha_pick in 0usize..2,
+    ) {
+        let fault = FaultConfig::chaos(seed, chaos);
+        let alpha = if alpha_pick == 1 { Some(2) } else { None };
+        let policy = fault.merge_policy();
+
+        let mut a = fleet(n, seed ^ 0x5EED);
+        let mut b = fleet(n, seed ^ 0x5EED);
+        prop_assert_eq!(bits(&a), bits(&b));
+
+        let bus_a = BroadcastBus::with_faults(n, LatencyModel::lan(), &fault);
+        let bus_b = BroadcastBus::with_faults(n, LatencyModel::lan(), &fault);
+        let mut engine = DflRound::new();
+        for round in 1..=4u64 {
+            run_engine(&mut a, &mut engine, &bus_a, round, alpha, &policy,
+                       AggregationMode::PerHome);
+            let mut refs: Vec<&mut Mlp> = b.iter_mut().collect();
+            dfl_round_reference(&mut refs, &bus_b, round, 0, alpha, &policy);
+            prop_assert!(
+                bits(&a) == bits(&b),
+                "round {} diverged (seed {}, n {}, chaos {:.2}, alpha {:?})",
+                round, seed, n, chaos, alpha
+            );
+        }
+        prop_assert_eq!(bus_a.stats(), bus_b.stats());
+    }
+
+    /// `SharedSum` on fault-free rounds lands within float-reassociation
+    /// tolerance of `PerHome`, and two independent `SharedSum` runs of
+    /// the same configuration are byte-identical (the reduction tree is
+    /// fixed by fleet size, never by thread count).
+    #[test]
+    fn shared_sum_is_equivalent_and_deterministic(
+        seed in 0u64..10_000,
+        n in 2usize..10,
+    ) {
+        let policy = MergePolicy::default();
+        let mut per_home = fleet(n, seed);
+        let mut shared = fleet(n, seed);
+        let mut shared2 = fleet(n, seed);
+        let mut engine = DflRound::new();
+        for round in 1..=2u64 {
+            for (models, mode) in [
+                (&mut per_home, AggregationMode::PerHome),
+                (&mut shared, AggregationMode::SharedSum),
+                (&mut shared2, AggregationMode::SharedSum),
+            ] {
+                let bus = BroadcastBus::new(n, LatencyModel::lan());
+                run_engine(models, &mut engine, &bus, round, Some(2), &policy, mode);
+            }
+        }
+        prop_assert_eq!(bits(&shared), bits(&shared2));
+        for (x, y) in bits(&per_home).iter().zip(bits(&shared).iter()) {
+            let (x, y) = (f64::from_bits(*x), f64::from_bits(*y));
+            prop_assert!(
+                (x - y).abs() <= 1e-12 * x.abs().max(1.0),
+                "per-home {} vs shared {} (seed {}, n {})",
+                x, y, seed, n
+            );
+        }
+    }
+}

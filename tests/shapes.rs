@@ -51,6 +51,7 @@ fn shape_config(seed: u64) -> SimConfig {
         train_every: 6,
         fault: pfdrl::fl::FaultConfig::default(),
         checkpoint: pfdrl::core::CheckpointPolicy::default(),
+        aggregation: pfdrl::fl::AggregationMode::PerHome,
     }
 }
 
