@@ -1,6 +1,6 @@
 //! The `repro bench` performance harness: fixed-workload kernel
 //! micro-benchmarks, a fixed-seed end-to-end EMS day, and a federation
-//! N-scaling sweep, reported as machine-readable JSON (`BENCH_4.json`)
+//! N-scaling sweep, reported as machine-readable JSON (`BENCH_5.json`)
 //! so every PR has a recorded perf trajectory to beat (DAWNBench-style
 //! time-to-result discipline).
 //!
@@ -52,6 +52,20 @@ pub struct EmsDayBench {
     pub seconds: f64,
     pub allocations: u64,
     pub allocated_bytes: u64,
+    /// Heap allocations for one `advance_day` after two warm-up days
+    /// (replay rings full, day workspaces sized) — the steady-state
+    /// per-day allocation count the zero-allocation day pipeline gates
+    /// on. Zero in baselines recorded before the field existed.
+    #[serde(default)]
+    pub steady_allocations: u64,
+    /// Bytes allocated during the steady-state day.
+    #[serde(default)]
+    pub steady_allocated_bytes: u64,
+    /// Median wall-clock of a steady-state `advance_day` (three timed
+    /// days after the warm-up), seconds. Zero in baselines recorded
+    /// before the field existed.
+    #[serde(default)]
+    pub steady_seconds: f64,
     /// Converged saved-standby fraction — a correctness canary: this
     /// value must not move when only kernels change.
     pub saved_fraction: f64,
@@ -91,6 +105,11 @@ pub struct BenchFile {
     pub baseline: Option<BenchReport>,
     /// `baseline.ems_day.seconds / current.ems_day.seconds`.
     pub speedup_ems_day: Option<f64>,
+    /// `baseline.ems_day.steady_seconds / current.ems_day.steady_seconds`
+    /// — the steady-state simulated-day speedup; `None` when either side
+    /// predates the field.
+    #[serde(default)]
+    pub speedup_ems_steady_day: Option<f64>,
     /// `current.train_step.steps_per_sec / baseline.train_step.steps_per_sec`.
     pub speedup_train_step: Option<f64>,
 }
@@ -100,6 +119,10 @@ impl BenchFile {
         let speedup_ems_day = baseline
             .as_ref()
             .map(|b| b.ems_day.seconds / current.ems_day.seconds);
+        let speedup_ems_steady_day = baseline
+            .as_ref()
+            .filter(|b| b.ems_day.steady_seconds > 0.0 && current.ems_day.steady_seconds > 0.0)
+            .map(|b| b.ems_day.steady_seconds / current.ems_day.steady_seconds);
         let speedup_train_step = baseline
             .as_ref()
             .map(|b| current.train_step.steps_per_sec / b.train_step.steps_per_sec);
@@ -107,6 +130,7 @@ impl BenchFile {
             current,
             baseline,
             speedup_ems_day,
+            speedup_ems_steady_day,
             speedup_train_step,
         }
     }
@@ -321,10 +345,35 @@ fn ems_day_bench(quick: bool) -> EmsDayBench {
     let t0 = Instant::now();
     let (run, allocations, allocated_bytes) =
         count_allocations(|| run_method(&cfg, EmsMethod::Pfdrl));
+    let seconds = t0.elapsed().as_secs_f64();
+    // Steady-state day: two warm-up days fill the replay rings (capacity
+    // 2000 vs ~1400 steps/day) and size every reusable buffer, then
+    // three more days are timed (median reported, to shrug off machine
+    // noise) and a final `advance_day` is measured under the counting
+    // allocator.
+    let mut warm_cfg = cfg.clone();
+    warm_cfg.eval_days = 6;
+    let forecast = pfdrl_core::train_forecasters(&warm_cfg, EmsMethod::Pfdrl);
+    let mut state = pfdrl_core::EmsState::fresh(&warm_cfg);
+    for _ in 0..2 {
+        state.advance_day(&warm_cfg, EmsMethod::Pfdrl, &forecast);
+    }
+    let mut day_secs = [0.0f64; 3];
+    for s in &mut day_secs {
+        let t0 = Instant::now();
+        state.advance_day(&warm_cfg, EmsMethod::Pfdrl, &forecast);
+        *s = t0.elapsed().as_secs_f64();
+    }
+    day_secs.sort_by(f64::total_cmp);
+    let ((), steady_allocations, steady_allocated_bytes) =
+        count_allocations(|| state.advance_day(&warm_cfg, EmsMethod::Pfdrl, &forecast));
     EmsDayBench {
-        seconds: t0.elapsed().as_secs_f64(),
+        seconds,
         allocations,
         allocated_bytes,
+        steady_allocations,
+        steady_allocated_bytes,
+        steady_seconds: day_secs[1],
         saved_fraction: run.converged_saved_fraction(),
     }
 }
@@ -345,6 +394,10 @@ pub fn run_bench(quick: bool) -> BenchReport {
     println!(
         "ems_day end-to-end: {:.2}s, {} allocations, saved fraction {:.3}",
         ems_day.seconds, ems_day.allocations, ems_day.saved_fraction
+    );
+    println!(
+        "ems_day steady-state day: {:.2}s, {} allocations, {} bytes",
+        ems_day.steady_seconds, ems_day.steady_allocations, ems_day.steady_allocated_bytes
     );
     let federation = federation_benches(quick);
     println!(
@@ -391,6 +444,9 @@ mod tests {
                 seconds: 5.0,
                 allocations: 0,
                 allocated_bytes: 0,
+                steady_allocations: 0,
+                steady_allocated_bytes: 0,
+                steady_seconds: 0.0,
                 saved_fraction: 0.5,
             },
             federation: vec![],

@@ -397,7 +397,7 @@ fn run_headline(ctx: &Ctx) {
 }
 
 /// `bench` target: the fixed-workload perf harness. Emits
-/// `BENCH_4.json` embedding the current measurement, the committed
+/// `BENCH_5.json` embedding the current measurement, the committed
 /// pre-PR baseline (when `--baseline <file>` points at one), and the
 /// headline speedups.
 fn bench(ctx: &Ctx) {
@@ -415,9 +415,13 @@ fn bench(ctx: &Ctx) {
     });
     let file = BenchFile::from_parts(current, baseline);
     if let (Some(ems), Some(ts)) = (file.speedup_ems_day, file.speedup_train_step) {
-        println!("speedup vs baseline: ems_day {ems:.2}x, train_step {ts:.2}x");
+        let steady = file
+            .speedup_ems_steady_day
+            .map(|s| format!(", steady day {s:.2}x"))
+            .unwrap_or_default();
+        println!("speedup vs baseline: ems_day {ems:.2}x, train_step {ts:.2}x{steady}");
     }
-    ctx.save_json("BENCH_4", &file);
+    ctx.save_json("BENCH_5", &file);
     if let (Some(factor), Some(base)) = (ctx.max_regression, file.baseline.as_ref()) {
         gate_regression(&file.current, base, factor);
     }
@@ -458,6 +462,44 @@ fn gate_regression(current: &BenchReport, base: &BenchReport, factor: f64) {
             base.ems_day.seconds,
             base.ems_day.seconds * factor
         ));
+    }
+    // Steady-state day wall-clock (median of three days; zero in
+    // baselines recorded before the field existed).
+    if current.quick == base.quick
+        && base.ems_day.steady_seconds > 0.0
+        && current.ems_day.steady_seconds > base.ems_day.steady_seconds * factor
+    {
+        failures.push(format!(
+            "ems_day steady day: {:.2}s vs baseline {:.2}s (limit {:.2}s)",
+            current.ems_day.steady_seconds,
+            base.ems_day.steady_seconds,
+            base.ems_day.steady_seconds * factor
+        ));
+    }
+    // Steady-state day allocation budget: counts are workload-determined
+    // (not wall-clock), so they compare whenever both sides ran the same
+    // config. Baselines recorded before the field existed carry zeros
+    // and are skipped.
+    if current.quick == base.quick {
+        for (path, cur, bas) in [
+            (
+                "steady_allocations",
+                current.ems_day.steady_allocations,
+                base.ems_day.steady_allocations,
+            ),
+            (
+                "steady_allocated_bytes",
+                current.ems_day.steady_allocated_bytes,
+                base.ems_day.steady_allocated_bytes,
+            ),
+        ] {
+            if bas > 0 && cur as f64 > bas as f64 * factor {
+                failures.push(format!(
+                    "ems_day {path}: {cur} vs baseline {bas} (limit {:.0})",
+                    bas as f64 * factor
+                ));
+            }
+        }
     }
     // Federation rows are per-round rates over a fixed workload at each
     // N, so they also compare across --quick and full sessions; sizes

@@ -15,14 +15,15 @@
 use crate::config::SimConfig;
 use crate::forecast::ForecastPhase;
 use crate::method::EmsMethod;
-use pfdrl_data::{DayTrace, TraceGenerator, MINUTES_PER_DAY};
+use pfdrl_data::{DayTrace, HouseholdSpec, TraceGenerator, MINUTES_PER_DAY};
 use pfdrl_drl::{DqnAgent, DqnConfig, Transition};
 use pfdrl_env::{DeviceEnv, EnergyAccount, EnvConfig};
 use pfdrl_fl::{
     aggregate, AggregationMode, BroadcastBus, CloudAggregator, DflRound, LatencyModel, MergePolicy,
     RoundParams,
 };
-use pfdrl_nn::Layered;
+use pfdrl_forecast::PredictWorkspace;
+use pfdrl_nn::{Layered, Matrix};
 use pfdrl_store::{
     ForecastState, MetricsState, RunSnapshot, SnapshotMeta, StoreError, TransportState,
 };
@@ -82,6 +83,9 @@ pub struct EmsPhase {
 /// Per-minute prediction of one device-day, produced by feeding the
 /// forecaster windows of *real* readings that end `horizon` minutes
 /// before each target minute.
+///
+/// Allocating reference implementation; the day pipeline runs
+/// [`predict_day_into`], which is pinned bitwise-identical to this.
 pub fn predict_day(
     cfg: &SimConfig,
     forecaster: &dyn pfdrl_forecast::Forecaster,
@@ -92,15 +96,20 @@ pub fn predict_day(
     let window = cfg.window;
     let horizon = cfg.horizon;
     let transform = cfg.transform;
-    let mut series = prev_day.watts.clone();
-    series.extend_from_slice(&today.watts);
+    let watts_at = |idx: usize| {
+        if idx < MINUTES_PER_DAY {
+            prev_day.watts[idx]
+        } else {
+            today.watts[idx - MINUTES_PER_DAY]
+        }
+    };
     let mut inputs = Vec::with_capacity(MINUTES_PER_DAY);
     for t in 0..MINUTES_PER_DAY {
         let end = MINUTES_PER_DAY + t - horizon; // exclusive window end
         let startw = end - window;
         let mut feat = Vec::with_capacity(window + 2);
-        for w in &series[startw..end] {
-            feat.push(transform.encode(w / scale));
+        for idx in startw..end {
+            feat.push(transform.encode(watts_at(idx) / scale));
         }
         let angle = 2.0 * std::f64::consts::PI * t as f64 / MINUTES_PER_DAY as f64;
         feat.push(angle.sin());
@@ -114,10 +123,124 @@ pub fn predict_day(
         .collect()
 }
 
-/// Internal per-day, per-home bundle moved across segment boundaries.
-struct HomeDay {
-    envs: Vec<Option<DeviceEnv>>,
-    states: Vec<Option<Vec<f64>>>,
+/// Reusable buffers for [`predict_day_into`]: the streaming
+/// featurizer's encoded-series span, the flat input matrix handed to
+/// the forecaster, the raw prediction vector, and the forecaster's own
+/// inference scratch.
+#[derive(Debug, Default)]
+pub struct PredictDayWorkspace {
+    encoded: Vec<f64>,
+    inputs: Matrix,
+    raw: Vec<f64>,
+    fws: PredictWorkspace,
+}
+
+/// Allocation-free [`predict_day`] writing into `out`.
+///
+/// Consecutive minutes share `window - 1` of their window elements, so
+/// instead of encoding `window` values per minute this encodes the
+/// whole span the windows touch exactly once and each input row copies
+/// its slice of the encoded buffer. `transform.encode` is a pure
+/// per-element function and the row contents, feature order and decode
+/// step are unchanged, so the output is bit-identical to
+/// [`predict_day`].
+pub fn predict_day_into(
+    cfg: &SimConfig,
+    forecaster: &dyn pfdrl_forecast::Forecaster,
+    prev_day: &DayTrace,
+    today: &DayTrace,
+    scale: f64,
+    ws: &mut PredictDayWorkspace,
+    out: &mut Vec<f64>,
+) {
+    let window = cfg.window;
+    let horizon = cfg.horizon;
+    let transform = cfg.transform;
+    // Minute t's window covers concatenated-series indices
+    // [1440 + t - horizon - window, 1440 + t - horizon); over all t the
+    // used span is `window + 1439` elements starting at
+    // `1440 - horizon - window`.
+    let start0 = MINUTES_PER_DAY - horizon - window;
+    let span = window + MINUTES_PER_DAY - 1;
+    ws.encoded.clear();
+    ws.encoded.reserve(span);
+    for idx in start0..start0 + span {
+        let w = if idx < MINUTES_PER_DAY {
+            prev_day.watts[idx]
+        } else {
+            today.watts[idx - MINUTES_PER_DAY]
+        };
+        ws.encoded.push(transform.encode(w / scale));
+    }
+    ws.inputs.resize(MINUTES_PER_DAY, window + 2);
+    for t in 0..MINUTES_PER_DAY {
+        let row = ws.inputs.row_mut(t);
+        row[..window].copy_from_slice(&ws.encoded[t..t + window]);
+        let angle = 2.0 * std::f64::consts::PI * t as f64 / MINUTES_PER_DAY as f64;
+        row[window] = angle.sin();
+        row[window + 1] = angle.cos();
+    }
+    forecaster.predict_into(&ws.inputs, &mut ws.fws, &mut ws.raw);
+    out.clear();
+    out.extend(
+        ws.raw
+            .iter()
+            .map(|p| (transform.decode(*p) * scale).max(0.0)),
+    );
+}
+
+/// Recycled buffers for one device's day: the trace pair (today's
+/// trace becomes tomorrow's `prev` via a swap), the decoded
+/// predictions, the persistent environment reloaded day over day with
+/// [`DeviceEnv::load_day`], and the live episode's state
+/// double-buffer.
+#[derive(Default)]
+struct DeviceDay {
+    prev: DayTrace,
+    today: DayTrace,
+    /// Day index `today` currently holds; drives the prev/today swap.
+    loaded_day: Option<u64>,
+    pred: Vec<f64>,
+    env: Option<DeviceEnv>,
+    /// Current episode state `s_t`.
+    cur: Vec<f64>,
+    /// Scratch for `s_{t+1}`; swapped into `cur` after each step.
+    next: Vec<f64>,
+}
+
+/// One home's recycled day-pipeline buffers.
+#[derive(Default)]
+struct HomeWorkspace {
+    /// Static household description, built once (it is a pure function
+    /// of the generator config).
+    hh: Option<HouseholdSpec>,
+    devices: Vec<DeviceDay>,
+    /// Recycled state-vector heap buffers; refilled by replay-ring
+    /// evictions, drained to build transitions.
+    pool: Vec<Vec<f64>>,
+    pws: PredictDayWorkspace,
+    /// Per-segment hour-of-day accumulators written by [`run_segment`].
+    saved: [f64; 24],
+    standby: [f64; 24],
+}
+
+/// Per-home day-pipeline workspaces. Pure transient scratch, like
+/// [`EmsState::fed_engine`]: it holds no cross-day state an
+/// uninterrupted run depends on (traces are regenerated bit-identically
+/// from the seed when empty), so it is rebuilt fresh on resume and
+/// never snapshotted.
+#[derive(Default)]
+pub struct DayWorkspace {
+    homes: Vec<HomeWorkspace>,
+}
+
+impl DayWorkspace {
+    fn ensure_shape(&mut self, n: usize, d: usize) {
+        self.homes.resize_with(n, HomeWorkspace::default);
+        for hw in &mut self.homes {
+            hw.devices.resize_with(d, DeviceDay::default);
+        }
+    }
 }
 
 /// The cross-day state of an EMS run — exactly what must survive a
@@ -127,7 +250,11 @@ struct HomeDay {
 /// streams), federation transports (statistics plus any
 /// straggler-parked updates from an active fault plan), the federation
 /// round counter, and the metric accumulators.
-pub(crate) struct EmsState {
+///
+/// Public so benchmarks and allocation tests can drive the run one
+/// [`EmsState::advance_day`] at a time; normal callers use
+/// [`run_ems`] or the resumable runners.
+pub struct EmsState {
     pub agents: Vec<Vec<DqnAgent>>,
     pub bus: BroadcastBus,
     pub cloud: CloudAggregator,
@@ -135,6 +262,10 @@ pub(crate) struct EmsState {
     /// pool). Pure transient workspace — it holds no cross-round
     /// state, so it is rebuilt fresh on resume and never snapshotted.
     pub fed_engine: DflRound,
+    /// Reusable per-home day-pipeline buffers (traces, predictions,
+    /// environments, episode states). Pure transient workspace — like
+    /// `fed_engine`, rebuilt fresh on resume and never snapshotted.
+    pub day_ws: DayWorkspace,
     pub fed_round: u64,
     /// Next evaluation day to execute (absolute day index).
     pub next_day: u64,
@@ -180,6 +311,7 @@ impl EmsState {
             bus: BroadcastBus::with_faults(n, LatencyModel::lan(), &cfg.fault),
             cloud: CloudAggregator::with_faults(LatencyModel::cloud(), &cfg.fault),
             fed_engine: DflRound::new(),
+            day_ws: DayWorkspace::default(),
             fed_round: 0,
             next_day: cfg.eval_start_day,
             total: EnergyAccount::new(),
@@ -220,43 +352,63 @@ impl EmsState {
         let gamma_minutes = ((cfg.gamma_hours * 60.0).round() as usize).max(1);
         let late_start = cfg.eval_start_day + cfg.eval_days - cfg.eval_days.div_ceil(3);
 
-        // Build the day's envs (predictions + ground truth), per home.
-        let mut home_days: Vec<HomeDay> = (0..n as u64)
-            .into_par_iter()
-            .map(|home| {
-                let hh = gen.household(home);
-                let mut envs = Vec::with_capacity(d);
-                let mut states = Vec::with_capacity(d);
-                for device in 0..d {
+        // Build the day's envs (predictions + ground truth), per home,
+        // into the recycled workspaces.
+        self.day_ws.ensure_shape(n, d);
+        self.day_ws
+            .homes
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(home, hw)| {
+                let HomeWorkspace {
+                    hh, devices, pws, ..
+                } = hw;
+                let hh = hh.get_or_insert_with(|| gen.household(home as u64));
+                for (device, dd) in devices.iter_mut().enumerate() {
                     let spec = &hh.devices[device];
                     if !spec.controllable {
-                        envs.push(None);
-                        states.push(None);
                         continue;
                     }
-                    let prev = gen.day_trace(home, device, day - 1);
-                    let today = gen.day_trace(home, device, day);
-                    let pred = predict_day(
+                    if dd.loaded_day == Some(day - 1) {
+                        std::mem::swap(&mut dd.prev, &mut dd.today);
+                    } else {
+                        gen.day_trace_into(hh, device, day - 1, &mut dd.prev);
+                    }
+                    gen.day_trace_into(hh, device, day, &mut dd.today);
+                    dd.loaded_day = Some(day);
+                    predict_day_into(
                         cfg,
-                        forecast.models[home as usize][device].as_ref(),
-                        &prev,
-                        &today,
+                        forecast.models[home][device].as_ref(),
+                        &dd.prev,
+                        &dd.today,
                         spec.on_watts,
+                        pws,
+                        &mut dd.pred,
                     );
-                    let mut env = DeviceEnv::new(
-                        spec.clone(),
-                        pred,
-                        today.watts.clone(),
-                        today.modes.clone(),
-                        env_cfg,
-                    );
-                    let s0 = env.reset();
-                    envs.push(Some(env));
-                    states.push(Some(s0));
+                    match &mut dd.env {
+                        Some(env) => env.load_day(
+                            spec.clone(),
+                            &dd.pred,
+                            &dd.today.watts,
+                            &dd.today.modes,
+                            env_cfg,
+                        ),
+                        None => {
+                            dd.env = Some(DeviceEnv::new(
+                                spec.clone(),
+                                dd.pred.clone(),
+                                dd.today.watts.clone(),
+                                dd.today.modes.clone(),
+                                env_cfg,
+                            ));
+                        }
+                    }
+                    dd.env
+                        .as_mut()
+                        .expect("just loaded")
+                        .reset_into(&mut dd.cur);
                 }
-                HomeDay { envs, states }
-            })
-            .collect();
+            });
 
         // Walk the day in γ-aligned segments.
         let mut day_account = EnergyAccount::new();
@@ -267,16 +419,19 @@ impl EmsState {
             let next_boundary = ((global / gamma_minutes) + 1) * gamma_minutes;
             let seg_end = (next_boundary - day_minute0).min(MINUTES_PER_DAY);
 
-            // All homes advance through the segment in parallel.
-            let seg_hours: Vec<(Vec<f64>, Vec<f64>)> = home_days
+            // All homes advance through the segment in parallel, each
+            // accumulating into its own per-home hour buckets; the fold
+            // below runs in home order, exactly as the sequential
+            // reference did.
+            self.day_ws
+                .homes
                 .par_iter_mut()
                 .zip(self.agents.par_iter_mut())
-                .map(|(hd, home_agents)| run_segment(cfg, hd, home_agents, seg_end))
-                .collect();
-            for (saved, standby) in seg_hours {
+                .for_each(|(hw, home_agents)| run_segment(cfg, hw, home_agents, seg_end));
+            for hw in &self.day_ws.homes {
                 for h in 0..24 {
-                    self.hourly_saved[h] += saved[h];
-                    self.hourly_standby[h] += standby[h];
+                    self.hourly_saved[h] += hw.saved[h];
+                    self.hourly_standby[h] += hw.standby[h];
                 }
             }
 
@@ -297,9 +452,10 @@ impl EmsState {
             seg_start = seg_end;
         }
 
-        // Collect the day's accounts.
-        for (home, hd) in home_days.iter().enumerate() {
-            for env in hd.envs.iter().flatten() {
+        // Collect the day's accounts (each env's account was reset at
+        // day load, so it holds exactly this day's figures).
+        for (home, hw) in self.day_ws.homes.iter().enumerate() {
+            for env in hw.devices.iter().filter_map(|dd| dd.env.as_ref()) {
                 day_account.merge(env.account());
                 if day >= late_start {
                     self.per_home_late[home].merge(env.account());
@@ -459,6 +615,7 @@ impl EmsState {
             bus,
             cloud,
             fed_engine: DflRound::new(),
+            day_ws: DayWorkspace::default(),
             fed_round: snap.meta.fed_round,
             next_day: snap.meta.next_day,
             total: m.total,
@@ -482,47 +639,67 @@ pub fn run_ems(cfg: &SimConfig, method: EmsMethod, forecast: &ForecastPhase) -> 
     state.into_phase(cfg, started.elapsed().as_secs_f64())
 }
 
-/// Advances one home's episodes to `seg_end`; returns (saved, standby)
-/// kWh per hour-of-day accumulated during the segment.
-fn run_segment(
-    cfg: &SimConfig,
-    hd: &mut HomeDay,
-    agents: &mut [DqnAgent],
-    seg_end: usize,
-) -> (Vec<f64>, Vec<f64>) {
-    let mut saved = vec![0.0f64; 24];
-    let mut standby = vec![0.0f64; 24];
-    for (device, slot) in hd.envs.iter_mut().enumerate() {
-        let Some(env) = slot else { continue };
+/// Advances one home's episodes to `seg_end`, accumulating (saved,
+/// standby) kWh per hour-of-day into the workspace's own buckets
+/// (`hw.saved` / `hw.standby`, zeroed here). Steady state performs no
+/// heap allocation: episode states live in each device's double
+/// buffer, and transition vectors cycle through the home's pool via
+/// replay-ring evictions.
+fn run_segment(cfg: &SimConfig, hw: &mut HomeWorkspace, agents: &mut [DqnAgent], seg_end: usize) {
+    hw.saved = [0.0f64; 24];
+    hw.standby = [0.0f64; 24];
+    let HomeWorkspace {
+        devices,
+        pool,
+        saved,
+        standby,
+        ..
+    } = hw;
+    for (device, dd) in devices.iter_mut().enumerate() {
+        let Some(env) = &mut dd.env else { continue };
         let agent = &mut agents[device];
         let mut steps_since_train = 0usize;
         while !env.done() && env.current_minute() < seg_end {
             let minute = env.current_minute();
-            let state = hd.states[device].clone().expect("live episode has a state");
-            let action = agent.act(&state);
+            let action = agent.act(&dd.cur);
             // Hour-of-day bookkeeping uses ground truth via the account
             // delta (standby saved only changes on standby minutes).
             let before = *env.account();
-            let step = env.step(action);
+            let (reward, done) = env.step_into(action, &mut dd.next);
             let after = *env.account();
             let hour = minute / 60;
             saved[hour] += after.standby_saved_kwh - before.standby_saved_kwh;
             standby[hour] += after.standby_total_kwh - before.standby_total_kwh;
-            agent.remember(Transition {
+            let mut state = pool.pop().unwrap_or_default();
+            state.clear();
+            state.extend_from_slice(&dd.cur);
+            let next_state = if done {
+                None
+            } else {
+                let mut s = pool.pop().unwrap_or_default();
+                s.clear();
+                s.extend_from_slice(&dd.next);
+                Some(s)
+            };
+            if let Some(evicted) = agent.remember_evict(Transition {
                 state,
                 action: action.index(),
-                reward: step.reward,
-                next_state: step.next_state.clone(),
-            });
+                reward,
+                next_state,
+            }) {
+                pool.push(evicted.state);
+                if let Some(s) = evicted.next_state {
+                    pool.push(s);
+                }
+            }
             steps_since_train += 1;
             if steps_since_train >= cfg.train_every && agent.ready() {
                 agent.train_step();
                 steps_since_train = 0;
             }
-            hd.states[device] = step.next_state;
+            std::mem::swap(&mut dd.cur, &mut dd.next);
         }
     }
-    (saved, standby)
 }
 
 /// One federation step over every device's agents.

@@ -35,7 +35,7 @@ pub mod method;
 pub mod runner;
 
 pub use config::{CheckpointPolicy, SimConfig};
-pub use ems::{DrlFederation, EmsPhase};
+pub use ems::{DrlFederation, EmsPhase, EmsState};
 pub use eval::{evaluate_forecast, ForecastEval};
 pub use forecast::{train_forecasters, ForecastPhase};
 pub use method::EmsMethod;

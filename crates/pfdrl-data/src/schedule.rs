@@ -79,10 +79,25 @@ pub fn day_modes(
     phase_shift_hours: f64,
     rng: &mut impl Rng,
 ) -> Vec<Mode> {
-    let mut modes = vec![spec.idle_mode; MINUTES_PER_DAY];
+    let mut modes = Vec::new();
+    day_modes_into(spec, archetype, phase_shift_hours, rng, &mut modes);
+    modes
+}
+
+/// Allocation-free [`day_modes`] into a reused buffer: identical RNG
+/// draw order and mode sequence, `modes` fully overwritten.
+pub fn day_modes_into(
+    spec: &DeviceSpec,
+    archetype: Archetype,
+    phase_shift_hours: f64,
+    rng: &mut impl Rng,
+    modes: &mut Vec<Mode>,
+) {
+    modes.clear();
+    modes.resize(MINUTES_PER_DAY, spec.idle_mode);
     let mass: f64 = (0..24).map(|h| archetype.activity(h)).sum();
     if mass <= 0.0 || spec.mean_events_per_day <= 0.0 {
-        return modes;
+        return;
     }
     // Day-level usage variability, concentrated in the morning/evening
     // hours via per-event modulation below.
@@ -116,7 +131,6 @@ pub fn day_modes(
             *m = Mode::On;
         }
     }
-    modes
 }
 
 /// Converts a mode sequence into noisy watt readings.
@@ -133,27 +147,38 @@ pub fn modes_to_watts(
     noise_frac: f64,
     rng: &mut impl Rng,
 ) -> Vec<f64> {
+    let mut watts = Vec::new();
+    modes_to_watts_into(spec, modes, noise_frac, rng, &mut watts);
+    watts
+}
+
+/// Allocation-free [`modes_to_watts`] into a reused buffer: identical
+/// RNG draw order and readings, `out` fully overwritten.
+pub fn modes_to_watts_into(
+    spec: &DeviceSpec,
+    modes: &[Mode],
+    noise_frac: f64,
+    rng: &mut impl Rng,
+    out: &mut Vec<f64>,
+) {
     assert!(
         (0.0..0.5).contains(&noise_frac),
         "noise_frac must be in [0, 0.5)"
     );
-    modes
-        .iter()
-        .enumerate()
-        .map(|(minute, &m)| {
-            let level = match m {
-                Mode::Standby => spec.standby_watts_at(minute % MINUTES_PER_DAY),
-                other => spec.mode_watts(other),
-            };
-            if level == 0.0 {
-                0.0
-            } else {
-                // Keep noise inside the paper's +-10% classification band.
-                let n = (noise_frac * standard_normal(rng)).clamp(-0.09, 0.09);
-                level * (1.0 + n)
-            }
-        })
-        .collect()
+    out.clear();
+    out.extend(modes.iter().enumerate().map(|(minute, &m)| {
+        let level = match m {
+            Mode::Standby => spec.standby_watts_at(minute % MINUTES_PER_DAY),
+            other => spec.mode_watts(other),
+        };
+        if level == 0.0 {
+            0.0
+        } else {
+            // Keep noise inside the paper's +-10% classification band.
+            let n = (noise_frac * standard_normal(rng)).clamp(-0.09, 0.09);
+            level * (1.0 + n)
+        }
+    }));
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@ use crate::archetype::Archetype;
 use crate::device::{DeviceSpec, DeviceType};
 use crate::mode::Mode;
 use crate::rng::mix_seed;
-use crate::schedule::{day_modes, modes_to_watts, MINUTES_PER_DAY};
+use crate::schedule::{day_modes_into, modes_to_watts_into, MINUTES_PER_DAY};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -81,7 +81,7 @@ pub struct HouseholdSpec {
 }
 
 /// One day of readings for one device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DayTrace {
     /// Ground-truth mode per minute.
     pub modes: Vec<Mode>,
@@ -159,6 +159,29 @@ impl TraceGenerator {
     /// Panics if `device_idx` is out of range.
     pub fn day_trace(&self, house: u64, device_idx: usize, day: u64) -> DayTrace {
         let hh = self.household(house);
+        let mut out = DayTrace {
+            modes: Vec::new(),
+            watts: Vec::new(),
+        };
+        self.day_trace_into(&hh, device_idx, day, &mut out);
+        out
+    }
+
+    /// Allocation-free [`TraceGenerator::day_trace`] given an
+    /// already-built [`HouseholdSpec`] (from
+    /// [`TraceGenerator::household`]): the mode/watt buffers in `out`
+    /// are reused. The RNG seed and draw order are those of
+    /// `day_trace`, so contents are bit-identical.
+    ///
+    /// # Panics
+    /// Panics if `device_idx` is out of range.
+    pub fn day_trace_into(
+        &self,
+        hh: &HouseholdSpec,
+        device_idx: usize,
+        day: u64,
+        out: &mut DayTrace,
+    ) {
         assert!(
             device_idx < hh.devices.len(),
             "device_idx {device_idx} out of range ({} devices)",
@@ -169,10 +192,21 @@ impl TraceGenerator {
             spec.mean_events_per_day *= hvac_seasonal_factor(month_of_day(day));
         }
         let mut rng =
-            StdRng::seed_from_u64(mix_seed(&[self.config.seed, house, device_idx as u64, day]));
-        let modes = day_modes(&spec, hh.archetype, hh.phase_shift, &mut rng);
-        let watts = modes_to_watts(&spec, &modes, self.config.noise_frac, &mut rng);
-        DayTrace { modes, watts }
+            StdRng::seed_from_u64(mix_seed(&[self.config.seed, hh.id, device_idx as u64, day]));
+        day_modes_into(
+            &spec,
+            hh.archetype,
+            hh.phase_shift,
+            &mut rng,
+            &mut out.modes,
+        );
+        modes_to_watts_into(
+            &spec,
+            &out.modes,
+            self.config.noise_frac,
+            &mut rng,
+            &mut out.watts,
+        );
     }
 
     /// Generates the watt readings for several consecutive days,
@@ -220,6 +254,15 @@ mod tests {
         let a = g.day_trace(3, 0, 17);
         let b = g.day_trace(3, 0, 17);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn day_trace_into_reuses_buffers_and_matches() {
+        let g = generator();
+        let hh = g.household(3);
+        let mut out = g.day_trace(3, 0, 16); // pre-dirtied buffers
+        g.day_trace_into(&hh, 0, 17, &mut out);
+        assert_eq!(out, g.day_trace(3, 0, 17));
     }
 
     #[test]

@@ -207,6 +207,12 @@ impl DqnAgent {
         self.replay.push(t);
     }
 
+    /// [`DqnAgent::remember`] returning the transition the replay ring
+    /// evicted (once full), so callers can recycle its heap buffers.
+    pub fn remember_evict(&mut self, t: Transition) -> Option<Transition> {
+        self.replay.push_evict(t)
+    }
+
     /// Whether enough experience is buffered to start learning.
     pub fn ready(&self) -> bool {
         self.replay.len() >= self.cfg.warmup.max(self.cfg.batch)

@@ -47,12 +47,22 @@ impl ReplayBuffer {
 
     /// Appends a transition, evicting the oldest once full.
     pub fn push(&mut self, t: Transition) {
-        if self.buf.len() < self.capacity {
+        let _ = self.push_evict(t);
+    }
+
+    /// [`ReplayBuffer::push`] that hands the evicted transition (if the
+    /// ring was full) back to the caller instead of dropping it, so its
+    /// heap buffers can be recycled. Storage effects are identical to
+    /// `push`.
+    pub fn push_evict(&mut self, t: Transition) -> Option<Transition> {
+        let evicted = if self.buf.len() < self.capacity {
             self.buf.push(t);
+            None
         } else {
-            self.buf[self.write] = t;
-        }
+            Some(std::mem::replace(&mut self.buf[self.write], t))
+        };
         self.write = (self.write + 1) % self.capacity;
+        evicted
     }
 
     /// Samples `n` transitions uniformly with replacement.
@@ -179,6 +189,17 @@ mod tests {
         let mut sorted = rewards.clone();
         sorted.sort_by(f64::total_cmp);
         assert_eq!(sorted, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn push_evict_returns_oldest_once_full() {
+        let mut rb = ReplayBuffer::new(2);
+        assert!(rb.push_evict(t(0.0)).is_none());
+        assert!(rb.push_evict(t(1.0)).is_none());
+        assert_eq!(rb.push_evict(t(2.0)).expect("full ring evicts").reward, 0.0);
+        assert_eq!(rb.push_evict(t(3.0)).expect("full ring evicts").reward, 1.0);
+        let rewards: Vec<f64> = rb.buf.iter().map(|t| t.reward).collect();
+        assert_eq!(rewards, vec![2.0, 3.0]);
     }
 
     #[test]

@@ -129,11 +129,60 @@ impl DeviceEnv {
         self.t >= self.pred_watts.len()
     }
 
+    /// Reloads this environment with a new device-day, copying the
+    /// series into its existing buffers (no fresh allocation once the
+    /// buffers have reached episode length) and resetting the episode.
+    /// Equivalent to replacing the env via [`DeviceEnv::new`] +
+    /// [`DeviceEnv::reset`], with the same validation.
+    pub fn load_day(
+        &mut self,
+        spec: DeviceSpec,
+        pred_watts: &[f64],
+        real_watts: &[f64],
+        real_modes: &[Mode],
+        cfg: EnvConfig,
+    ) {
+        assert_eq!(
+            pred_watts.len(),
+            real_watts.len(),
+            "pred/real length mismatch"
+        );
+        assert_eq!(
+            real_watts.len(),
+            real_modes.len(),
+            "watts/modes length mismatch"
+        );
+        assert!(
+            pred_watts.len() > cfg.state_window,
+            "episode of {} minutes too short for window {}",
+            pred_watts.len(),
+            cfg.state_window
+        );
+        assert!(cfg.state_window >= 1, "state window must be >= 1");
+        self.spec = spec;
+        self.pred_watts.clear();
+        self.pred_watts.extend_from_slice(pred_watts);
+        self.real_watts.clear();
+        self.real_watts.extend_from_slice(real_watts);
+        self.real_modes.clear();
+        self.real_modes.extend_from_slice(real_modes);
+        self.cfg = cfg;
+        self.t = cfg.state_window;
+        self.account = EnergyAccount::new();
+    }
+
     /// Resets to the first decision minute and returns the initial state.
     pub fn reset(&mut self) -> Vec<f64> {
+        let mut s = Vec::with_capacity(self.cfg.state_dim());
+        self.reset_into(&mut s);
+        s
+    }
+
+    /// Allocation-free [`DeviceEnv::reset`] into a reused buffer.
+    pub fn reset_into(&mut self, out: &mut Vec<f64>) {
         self.t = self.cfg.state_window;
         self.account = EnergyAccount::new();
-        self.state()
+        self.state_into(out);
     }
 
     /// Builds the state vector for the current minute `t`:
@@ -141,10 +190,19 @@ impl DeviceEnv {
     /// readings for `[t-window, t)`, one-hot predicted mode at `t`,
     /// one-hot real mode at `t-1`.
     fn state(&self) -> Vec<f64> {
+        let mut s = Vec::with_capacity(self.cfg.state_dim());
+        self.state_into(&mut s);
+        s
+    }
+
+    /// [`DeviceEnv::state`] into a reused buffer (cleared and refilled
+    /// with the exact same push sequence).
+    fn state_into(&self, s: &mut Vec<f64>) {
         let w = self.cfg.state_window;
         let t = self.t;
         let scale = self.spec.on_watts;
-        let mut s = Vec::with_capacity(self.cfg.state_dim());
+        s.clear();
+        s.reserve(self.cfg.state_dim());
         for i in (t + 1 - w)..=t {
             s.push(self.pred_watts[i] / scale);
         }
@@ -159,7 +217,6 @@ impl DeviceEnv {
         for m in Mode::ALL {
             s.push(if m == prev_real_mode { 1.0 } else { 0.0 });
         }
-        s
     }
 
     /// Takes an action for the current minute.
@@ -186,6 +243,28 @@ impl DeviceEnv {
                 done: false,
             }
         }
+    }
+
+    /// [`DeviceEnv::step`] writing the next state into a caller buffer
+    /// instead of allocating. Returns `(reward, done)`; `next_state` is
+    /// cleared and refilled only when the episode continues (untouched
+    /// on the terminal step). Account/reward/state effects are
+    /// identical to `step`.
+    ///
+    /// # Panics
+    /// Panics if called after the episode has ended.
+    pub fn step_into(&mut self, action: Mode, next_state: &mut Vec<f64>) -> (f64, bool) {
+        assert!(self.t < self.pred_watts.len(), "step after episode end");
+        let true_mode = self.real_modes[self.t];
+        let r = reward(true_mode, action);
+        self.account
+            .record(true_mode, self.real_watts[self.t], action, r);
+        self.t += 1;
+        let done = self.t >= self.pred_watts.len();
+        if !done {
+            self.state_into(next_state);
+        }
+        (r, done)
     }
 }
 
@@ -275,6 +354,51 @@ mod tests {
         assert_eq!(&s[4..7], &[0.0, 0.0, 1.0]);
         // Real mode at t=1 is Standby -> one-hot [0,1,0].
         assert_eq!(&s[7..10], &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn load_day_and_into_variants_replay_identically() {
+        // Drive twin episodes — one through new/reset/step, one through
+        // a recycled env with load_day/reset_into/step_into — and
+        // require bitwise-equal states, rewards and accounts.
+        let spec = DeviceType::Tv.nominal_spec();
+        let modes = vec![
+            Mode::Off,
+            Mode::Standby,
+            Mode::On,
+            Mode::On,
+            Mode::Standby,
+            Mode::Standby,
+            Mode::Off,
+        ];
+        let real: Vec<f64> = modes.iter().map(|m| spec.mode_watts(*m)).collect();
+        let pred: Vec<f64> = real.iter().map(|w| w * 1.03).collect();
+        let cfg = EnvConfig { state_window: 2 };
+        let mut a = DeviceEnv::new(spec.clone(), pred.clone(), real.clone(), modes.clone(), cfg);
+        // The recycled env starts on a *different* (longer) day to prove
+        // load_day fully replaces stale series.
+        let mut b = env_with(vec![spec.standby_watts; 9], vec![Mode::Standby; 9]);
+        b.load_day(spec, &pred, &real, &modes, cfg);
+        let sa = a.reset();
+        let mut sb = vec![f64::NAN; 3];
+        b.reset_into(&mut sb);
+        assert_eq!(sa, sb);
+        let mut next = Vec::new();
+        let actions = [Mode::On, Mode::On, Mode::Off, Mode::Off, Mode::Off];
+        for action in actions {
+            let st = a.step(action);
+            let (r, done) = b.step_into(action, &mut next);
+            assert_eq!(st.reward, r);
+            assert_eq!(st.done, done);
+            if let Some(ns) = st.next_state {
+                assert_eq!(ns, next);
+            }
+            assert_eq!(a.account(), b.account());
+            if done {
+                break;
+            }
+        }
+        assert!(a.done() && b.done());
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! third-best method ("easy to fall into a local extreme value").
 
 use crate::common::{batch_inputs, batch_inputs_into, batch_targets_into};
-use crate::forecaster::{shuffled_indices, Convergence, FitReport, Forecaster, TrainConfig};
+use crate::forecaster::{
+    shuffled_indices, Convergence, FitReport, Forecaster, PredictWorkspace, TrainConfig,
+};
 use pfdrl_data::SupervisedSet;
 use pfdrl_nn::optimizer::Adam;
 use pfdrl_nn::{loss, Activation, Layered, Matrix, Mlp};
@@ -102,6 +104,15 @@ impl Forecaster for BpNetwork {
             .infer(&batch_inputs(inputs, &idx))
             .as_slice()
             .to_vec()
+    }
+
+    fn predict_into(&self, inputs: &Matrix, ws: &mut PredictWorkspace, out: &mut Vec<f64>) {
+        out.clear();
+        if inputs.rows() == 0 {
+            return;
+        }
+        let y = self.net.infer_scratch(inputs, &mut ws.a, &mut ws.b);
+        out.extend_from_slice(y.as_slice());
     }
 
     fn method_name(&self) -> &'static str {

@@ -1,8 +1,23 @@
 //! The common forecaster interface shared by LR, SVR, BP and LSTM.
 
 use pfdrl_data::SupervisedSet;
-use pfdrl_nn::Layered;
+use pfdrl_nn::{Layered, LstmScratch, Matrix};
 use serde::{Deserialize, Serialize};
+
+/// Reusable buffers for [`Forecaster::predict_into`]. One workspace can
+/// serve forecasters of any backend and shape: each backend resizes the
+/// buffers it needs in place, so repeated prediction through the same
+/// workspace allocates nothing in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct PredictWorkspace {
+    /// Ping-pong activation buffers (MLP backends) / the RFF projection
+    /// matrix (SVR).
+    pub(crate) a: Matrix,
+    pub(crate) b: Matrix,
+    /// LSTM gate/state scratch (the sequence unroll itself is consumed
+    /// straight from the flat window rows by `Lstm::infer_windows`).
+    pub(crate) lstm: LstmScratch,
+}
 
 /// Training hyperparameters shared by the iterative forecasters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -84,6 +99,19 @@ pub trait Forecaster: Layered + Send + Sync {
     /// Predicts a single sample.
     fn predict_one(&self, input: &[f64]) -> f64 {
         self.predict(std::slice::from_ref(&input.to_vec()))[0]
+    }
+
+    /// Batched prediction over the rows of a flat `n x feature_dim`
+    /// matrix, written into a caller-owned buffer (`out` is cleared and
+    /// refilled). Bit-identical to [`Forecaster::predict`] on the same
+    /// rows; backends override this with allocation-free paths through
+    /// `ws`, and the default falls back to the allocating oracle.
+    fn predict_into(&self, inputs: &Matrix, ws: &mut PredictWorkspace, out: &mut Vec<f64>) {
+        let _ = ws;
+        let rows: Vec<Vec<f64>> = (0..inputs.rows()).map(|r| inputs.row(r).to_vec()).collect();
+        let preds = self.predict(&rows);
+        out.clear();
+        out.extend_from_slice(&preds);
     }
 
     /// Human-readable method name ("LR", "SVM", "BP", "LSTM").

@@ -6,10 +6,12 @@
 //! federation.
 
 use crate::common::{batch_inputs, batch_targets};
-use crate::forecaster::{shuffled_indices, Convergence, FitReport, Forecaster, TrainConfig};
+use crate::forecaster::{
+    shuffled_indices, Convergence, FitReport, Forecaster, PredictWorkspace, TrainConfig,
+};
 use pfdrl_data::SupervisedSet;
 use pfdrl_nn::optimizer::{Adam, Optimizer};
-use pfdrl_nn::{loss, Activation, Layered, Mlp};
+use pfdrl_nn::{loss, Activation, Layered, Matrix, Mlp};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -97,6 +99,15 @@ impl Forecaster for LinearRegressor {
         let idx: Vec<usize> = (0..inputs.len()).collect();
         let x = batch_inputs(inputs, &idx);
         self.net.infer(&x).as_slice().to_vec()
+    }
+
+    fn predict_into(&self, inputs: &Matrix, ws: &mut PredictWorkspace, out: &mut Vec<f64>) {
+        out.clear();
+        if inputs.rows() == 0 {
+            return;
+        }
+        let y = self.net.infer_scratch(inputs, &mut ws.a, &mut ws.b);
+        out.extend_from_slice(y.as_slice());
     }
 
     fn method_name(&self) -> &'static str {

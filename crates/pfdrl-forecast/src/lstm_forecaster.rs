@@ -5,7 +5,9 @@
 //! receives `[watt_t, sin, cos]`, with the time features repeated at
 //! every step so the recurrence can condition on time of day throughout.
 
-use crate::forecaster::{shuffled_indices, Convergence, FitReport, Forecaster, TrainConfig};
+use crate::forecaster::{
+    shuffled_indices, Convergence, FitReport, Forecaster, PredictWorkspace, TrainConfig,
+};
 use pfdrl_data::SupervisedSet;
 use pfdrl_nn::optimizer::Adam;
 use pfdrl_nn::{loss, Layered, Lstm, Matrix};
@@ -144,6 +146,19 @@ impl Forecaster for LstmForecaster {
         let idx: Vec<usize> = (0..inputs.len()).collect();
         let seq = self.to_sequence(inputs, &idx);
         self.net.infer(&seq).as_slice().to_vec()
+    }
+
+    fn predict_into(&self, inputs: &Matrix, ws: &mut PredictWorkspace, out: &mut Vec<f64>) {
+        out.clear();
+        if inputs.rows() == 0 {
+            return;
+        }
+        debug_assert_eq!(inputs.cols(), self.window + 2);
+        // `infer_windows` consumes the flat window rows directly — the
+        // same `[w_t, sin, cos]` unroll as `to_sequence`, bit for bit,
+        // without materializing the per-step matrices.
+        let y = self.net.infer_windows(inputs, self.window, &mut ws.lstm);
+        out.extend_from_slice(y.as_slice());
     }
 
     fn method_name(&self) -> &'static str {

@@ -8,7 +8,9 @@
 //! (fixed features, degrades as data grows heterogeneous; "its
 //! performance with large datasets is lower than the others").
 
-use crate::forecaster::{shuffled_indices, Convergence, FitReport, Forecaster, TrainConfig};
+use crate::forecaster::{
+    shuffled_indices, Convergence, FitReport, Forecaster, PredictWorkspace, TrainConfig,
+};
 use pfdrl_data::SupervisedSet;
 use pfdrl_nn::optimizer::{Adam, Optimizer};
 use pfdrl_nn::{Layered, Matrix};
@@ -191,6 +193,34 @@ impl Forecaster for SvrRegressor {
             .iter()
             .map(|x| self.predict_features(&self.transform(x)))
             .collect()
+    }
+
+    fn predict_into(&self, inputs: &Matrix, ws: &mut PredictWorkspace, out: &mut Vec<f64>) {
+        out.clear();
+        if inputs.rows() == 0 {
+            return;
+        }
+        debug_assert_eq!(inputs.cols(), self.in_dim, "SVR feature width mismatch");
+        // One batched projection replaces the per-row row-vector matmul;
+        // each output row's accumulation chain is unchanged, so the
+        // projections are bit-identical to `transform`'s.
+        inputs.matmul_into(&self.omega, &mut ws.a);
+        let norm = (2.0 / self.cfg.n_features as f64).sqrt();
+        let (wx, w_rff) = self.w.split_at(self.in_dim);
+        out.reserve(inputs.rows());
+        for r in 0..inputs.rows() {
+            // Same z-order as `transform` + `predict_features`: bias,
+            // then raw inputs, then the cos features (computed on the
+            // fly instead of materialized).
+            let mut acc = self.w[self.w.len() - 1];
+            for (w, z) in wx.iter().zip(inputs.row(r)) {
+                acc += w * z;
+            }
+            for ((w, p), b) in w_rff.iter().zip(ws.a.row(r)).zip(self.phases.iter()) {
+                acc += w * (norm * (p + b).cos());
+            }
+            out.push(acc);
+        }
     }
 
     fn method_name(&self) -> &'static str {

@@ -114,8 +114,7 @@ impl Dense {
     pub fn infer_into(&self, x: &Matrix, out: &mut Matrix) {
         assert_eq!(x.cols(), self.in_dim(), "Dense::infer input width mismatch");
         x.matmul_into(&self.w, out);
-        out.add_row_broadcast(&self.b);
-        out.map_inplace(|v| self.act.apply(v));
+        out.add_row_broadcast_map(&self.b, |v| self.act.apply(v));
     }
 
     /// Allocation-free training forward pass: the pre-activation is kept
@@ -131,10 +130,17 @@ impl Dense {
         );
         let Dense { w, b, act, ws, .. } = self;
         x.matmul_into(w, &mut ws.pre);
-        ws.pre.add_row_broadcast(b);
         out.resize(ws.pre.rows(), ws.pre.cols());
-        for (o, &p) in out.as_mut_slice().iter_mut().zip(ws.pre.as_slice()) {
-            *o = act.apply(p);
+        // Bias add and activation in one traversal: the pre-activation
+        // sum is rounded once before `act` either way, so this is
+        // bit-identical to broadcasting the bias then mapping.
+        for r in 0..ws.pre.rows() {
+            let prow = ws.pre.row_mut(r);
+            let orow = out.row_mut(r);
+            for ((p, o), bv) in prow.iter_mut().zip(orow.iter_mut()).zip(b.iter()) {
+                *p += bv;
+                *o = act.apply(*p);
+            }
         }
     }
 

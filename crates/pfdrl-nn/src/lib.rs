@@ -50,7 +50,7 @@ pub mod params;
 pub use activation::Activation;
 pub use init::Init;
 pub use layer::Dense;
-pub use lstm::Lstm;
+pub use lstm::{Lstm, LstmScratch};
 pub use matrix::Matrix;
 pub use mlp::Mlp;
 pub use params::{average_params, weighted_average_params, Layered};

@@ -39,11 +39,6 @@ struct LstmWs {
     dh_b: Matrix,
     dc_a: Matrix,
     dc_b: Matrix,
-    do_: Matrix,
-    dtanh_c: Matrix,
-    df: Matrix,
-    di: Matrix,
-    dg: Matrix,
     dai: Matrix,
     daf: Matrix,
     dao: Matrix,
@@ -59,19 +54,22 @@ struct LstmWs {
     gates_t_valid: bool,
 }
 
-/// `out[e] = a[e] * b[e]` — bit-identical to `a.hadamard(&b)` without
-/// the clone.
-fn hadamard_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
-    debug_assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
-    out.resize(a.rows(), a.cols());
-    for ((o, &x), &y) in out
-        .as_mut_slice()
-        .iter_mut()
-        .zip(a.as_slice())
-        .zip(b.as_slice())
-    {
-        *o = x * y;
-    }
+/// Reusable buffers for [`Lstm::infer_scratch`]: gate/state matrices,
+/// the `[x, h]` concat buffer, and the head output. One scratch can be
+/// shared across any models whose shapes match (buffers resize in
+/// place), so repeated inference allocates nothing in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct LstmScratch {
+    z: Matrix,
+    i: Matrix,
+    f: Matrix,
+    o: Matrix,
+    g: Matrix,
+    h: Matrix,
+    c: Matrix,
+    c_next: Matrix,
+    tanh_c: Matrix,
+    out: Matrix,
 }
 
 /// A single-layer LSTM followed by a dense output head applied to the
@@ -246,48 +244,42 @@ impl Lstm {
             let c_prev: &Matrix = if t == 0 { &ws.c0 } else { &prev[t - 1].c };
             Self::concat_into(x, &ws.h, &mut cache.z);
             cache.z.matmul_into(wi, &mut cache.i);
-            cache.i.add_row_broadcast(bi);
-            cache.i.map_inplace(sigmoid);
+            cache.i.add_row_broadcast_map(bi, sigmoid);
             cache.z.matmul_into(wf, &mut cache.f);
-            cache.f.add_row_broadcast(bf);
-            cache.f.map_inplace(sigmoid);
+            cache.f.add_row_broadcast_map(bf, sigmoid);
             cache.z.matmul_into(wo, &mut cache.o);
-            cache.o.add_row_broadcast(bo);
-            cache.o.map_inplace(sigmoid);
+            cache.o.add_row_broadcast_map(bo, sigmoid);
             cache.z.matmul_into(wg, &mut cache.g);
-            cache.g.add_row_broadcast(bg);
-            cache.g.map_inplace(f64::tanh);
+            cache.g.add_row_broadcast_map(bg, f64::tanh);
 
-            // c = f ⊙ c_prev + i ⊙ g, fused into one pass.
+            // c = f ⊙ c_prev + i ⊙ g, tanh(c) and h = o ⊙ tanh(c),
+            // fused into one pass; each element's expression tree is
+            // unchanged, so all three outputs keep their bits.
             cache.c.resize(batch, *hidden);
-            for ((((cn, &f), &cp), &i), &g) in cache
-                .c
-                .as_mut_slice()
-                .iter_mut()
-                .zip(cache.f.as_slice())
-                .zip(c_prev.as_slice())
-                .zip(cache.i.as_slice())
-                .zip(cache.g.as_slice())
-            {
-                *cn = f * cp + i * g;
-            }
             cache.tanh_c.resize(batch, *hidden);
-            for (tc, &cv) in cache
-                .tanh_c
-                .as_mut_slice()
-                .iter_mut()
-                .zip(cache.c.as_slice())
-            {
-                *tc = cv.tanh();
-            }
-            // h = o ⊙ tanh(c)
-            for ((h, &o), &tc) in
-                ws.h.as_mut_slice()
-                    .iter_mut()
-                    .zip(cache.o.as_slice())
-                    .zip(cache.tanh_c.as_slice())
-            {
-                *h = o * tc;
+            let StepCache {
+                i,
+                f,
+                o,
+                g,
+                c,
+                tanh_c,
+                ..
+            } = cache;
+            let (fs, cps, is, gs, os) = (
+                f.as_slice(),
+                c_prev.as_slice(),
+                i.as_slice(),
+                g.as_slice(),
+                o.as_slice(),
+            );
+            let (cs, tcs, hs) = (c.as_mut_slice(), tanh_c.as_mut_slice(), ws.h.as_mut_slice());
+            for e in 0..cs.len() {
+                let cn = fs[e] * cps[e] + is[e] * gs[e];
+                cs[e] = cn;
+                let tc = cn.tanh();
+                tcs[e] = tc;
+                hs[e] = os[e] * tc;
             }
         }
         head.forward_into(&ws.h, &mut ws.out);
@@ -320,6 +312,154 @@ impl Lstm {
             c = new_c;
         }
         self.head.infer(&h)
+    }
+
+    /// Allocation-free [`Lstm::infer`] into caller-owned buffers. The
+    /// returned reference points at the head output held in `s`.
+    ///
+    /// Performs the exact per-element operation sequence of
+    /// [`Lstm::infer`]: each product (`f·c_prev`, `i·g`, `o·tanh(c)`)
+    /// is evaluated before its sum, matching the hadamard/add order of
+    /// the allocating path, so outputs are bit-identical.
+    pub fn infer_scratch<'s>(&self, seq: &[Matrix], s: &'s mut LstmScratch) -> &'s Matrix {
+        assert!(!seq.is_empty(), "Lstm::infer: empty sequence");
+        let batch = seq[0].rows();
+        let in_dim = self.in_dim;
+        self.infer_steps(batch, seq.len(), s, |t, z| {
+            let x = &seq[t];
+            debug_assert_eq!(x.cols(), in_dim, "Lstm::infer step width mismatch");
+            for r in 0..batch {
+                z.row_mut(r)[..in_dim].copy_from_slice(x.row(r));
+            }
+        })
+    }
+
+    /// Inference over the day-pipeline window layout, without
+    /// materializing the per-step sequence: row `r` of `inputs` is
+    /// `[w_0 .. w_{window-1}, s0, s1]` and step `t` feeds `[w_t, s0, s1]`
+    /// — exactly the unroll [`Lstm::infer_scratch`] would consume, so
+    /// outputs are bit-identical. The trailing features are written into
+    /// `z` once; each step only refreshes the leading column. Requires
+    /// `in_dim == window-invariant layout`, i.e. `inputs.cols() - window`
+    /// trailing features plus the one windowed column.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero or the widths are inconsistent with
+    /// `in_dim`.
+    pub fn infer_windows<'s>(
+        &self,
+        inputs: &Matrix,
+        window: usize,
+        s: &'s mut LstmScratch,
+    ) -> &'s Matrix {
+        let batch = inputs.rows();
+        let in_dim = self.in_dim;
+        assert!(window > 0, "Lstm::infer_windows: empty window");
+        assert_eq!(
+            inputs.cols(),
+            window + in_dim - 1,
+            "Lstm::infer_windows: {} cols can't hold window {} + {} trailing features",
+            inputs.cols(),
+            window,
+            in_dim - 1
+        );
+        let (xs, width) = (inputs.as_slice(), inputs.cols());
+        self.infer_steps(batch, window, s, |t, z| {
+            let zdim = z.cols();
+            let zs = z.as_mut_slice();
+            if t == 0 {
+                // Trailing features are step-invariant: write them once.
+                for r in 0..batch {
+                    let xrow = &xs[r * width + window..(r + 1) * width];
+                    zs[r * zdim + 1..r * zdim + in_dim].copy_from_slice(xrow);
+                }
+            }
+            for r in 0..batch {
+                zs[r * zdim] = xs[r * width + t];
+            }
+        })
+    }
+
+    /// Shared recurrence driver for the inference paths: `fill_x(t, z)`
+    /// must overwrite the leading `in_dim` columns of every `z` row with
+    /// the step-`t` input (columns it knows to be unchanged may be left
+    /// alone — `z` is persistent across steps).
+    fn infer_steps<'s>(
+        &self,
+        batch: usize,
+        steps: usize,
+        s: &'s mut LstmScratch,
+        mut fill_x: impl FnMut(usize, &mut Matrix),
+    ) -> &'s Matrix {
+        let (in_dim, hidden) = (self.in_dim, self.hidden);
+        let zdim = in_dim + hidden;
+        let LstmScratch {
+            z,
+            i,
+            f,
+            o,
+            g,
+            h,
+            c,
+            c_next,
+            tanh_c,
+            out,
+        } = s;
+        // `z` holds `[x | h]` persistently across steps: each step
+        // overwrites the `x` columns via `fill_x`, and the fused cell
+        // pass stores the new `h` straight into the hidden columns — the
+        // per-step `[x, h]` concat copy of [`Lstm::infer`] disappears,
+        // but `z`'s contents (and thus every matmul) are bit-identical.
+        z.resize(batch, zdim);
+        z.fill_zero(); // hidden columns start at the zero initial state
+        c.resize(batch, hidden);
+        c.fill_zero();
+        c_next.resize(batch, hidden);
+        tanh_c.resize(batch, hidden);
+        for t in 0..steps {
+            fill_x(t, z);
+            z.matmul_into(&self.wi, i);
+            i.add_row_broadcast_map(&self.bi, sigmoid);
+            z.matmul_into(&self.wf, f);
+            f.add_row_broadcast_map(&self.bf, sigmoid);
+            z.matmul_into(&self.wo, o);
+            o.add_row_broadcast_map(&self.bo, sigmoid);
+            z.matmul_into(&self.wg, g);
+            g.add_row_broadcast_map(&self.bg, f64::tanh);
+            // new_c = f ⊙ c + i ⊙ g, tanh(new_c) and h = o ⊙ tanh(new_c)
+            // in one pass; every product is evaluated before its sum,
+            // exactly as the hadamard/add order of the allocating path,
+            // so outputs are bit-identical.
+            let (fs, cps, is, gs, os) = (
+                f.as_slice(),
+                c.as_slice(),
+                i.as_slice(),
+                g.as_slice(),
+                o.as_slice(),
+            );
+            let (cns, tcs) = (c_next.as_mut_slice(), tanh_c.as_mut_slice());
+            let zs = z.as_mut_slice();
+            for r in 0..batch {
+                let hrow = &mut zs[r * zdim + in_dim..(r + 1) * zdim];
+                for (col, hv) in hrow.iter_mut().enumerate() {
+                    let e = r * hidden + col;
+                    let cn = fs[e] * cps[e] + is[e] * gs[e];
+                    cns[e] = cn;
+                    let tc = cn.tanh();
+                    tcs[e] = tc;
+                    *hv = os[e] * tc;
+                }
+            }
+            std::mem::swap(c, c_next);
+        }
+        // The head wants the final hidden state contiguous: one copy out
+        // of `z`'s hidden columns per call (not per step).
+        h.resize(batch, hidden);
+        for r in 0..batch {
+            h.row_mut(r).copy_from_slice(&z.row(r)[in_dim..]);
+        }
+        self.head.infer_into(h, out);
+        out
     }
 
     /// Convenience: inference over a single sequence of scalar-vector
@@ -373,11 +513,6 @@ impl Lstm {
             dh_b,
             dc_a,
             dc_b,
-            do_,
-            dtanh_c,
-            df,
-            di,
-            dg,
             dai,
             daf,
             dao,
@@ -406,46 +541,50 @@ impl Lstm {
             // `c0` is all-zero from the forward pass: the c_{-1} state.
             let prev_c: &Matrix = if t == 0 { &*c0 } else { &caches[t - 1].c };
             let cache = &caches[t];
-            // h = o ⊙ tanh(c)
-            hadamard_into(dh, &cache.tanh_c, do_);
-            // dc += dh ⊙ o ⊙ (1 - tanh_c^2)
-            hadamard_into(dh, &cache.o, dtanh_c);
-            for (d, &tc) in dtanh_c
-                .as_mut_slice()
-                .iter_mut()
-                .zip(cache.tanh_c.as_slice())
+            // The whole elementwise backward chain through the cell —
+            //   do  = dh ⊙ tanh_c
+            //   dc' = dc + dh ⊙ o ⊙ (1 - tanh_c²)
+            //   df/di/dg/dc_next = dc' ⊙ {c_prev, g, i, f}
+            //   da* = d* ⊙ σ'(·) or tanh'(·)
+            // — fused into one traversal. Each output element's
+            // expression tree (every product before its sum, every
+            // parenthesization) is exactly what the separate hadamard
+            // passes built, so all bits are unchanged.
+            dai.resize(batch, *hidden);
+            daf.resize(batch, *hidden);
+            dao.resize(batch, *hidden);
+            dag.resize(batch, *hidden);
+            dc_next.resize(batch, *hidden);
             {
-                *d *= 1.0 - tc * tc;
-            }
-            dc.add_assign(dtanh_c);
-            // c = f ⊙ c_prev + i ⊙ g
-            hadamard_into(dc, prev_c, df);
-            hadamard_into(dc, &cache.g, di);
-            hadamard_into(dc, &cache.i, dg);
-            hadamard_into(dc, &cache.f, dc_next);
-            // Gate pre-activations: σ' = s(1-s), tanh' = 1 - v².
-            let sig_grad = |d: &Matrix, s: &Matrix, out: &mut Matrix| {
-                out.resize(d.rows(), d.cols());
-                for ((o, &dv), &sv) in out
-                    .as_mut_slice()
-                    .iter_mut()
-                    .zip(d.as_slice())
-                    .zip(s.as_slice())
-                {
-                    *o = dv * (sv * (1.0 - sv));
+                let (dhs, tcs, os, dcs, cps, gs, is, fs) = (
+                    dh.as_slice(),
+                    cache.tanh_c.as_slice(),
+                    cache.o.as_slice(),
+                    dc.as_slice(),
+                    prev_c.as_slice(),
+                    cache.g.as_slice(),
+                    cache.i.as_slice(),
+                    cache.f.as_slice(),
+                );
+                let n = dcs.len();
+                let (dais, dafs, daos) =
+                    (dai.as_mut_slice(), daf.as_mut_slice(), dao.as_mut_slice());
+                let (dags, dcns) = (dag.as_mut_slice(), dc_next.as_mut_slice());
+                for e in 0..n {
+                    let (dhv, tc, ov) = (dhs[e], tcs[e], os[e]);
+                    let do_v = dhv * tc;
+                    let dtc = (dhv * ov) * (1.0 - tc * tc);
+                    let dcv = dcs[e] + dtc;
+                    let (iv, fv, gv) = (is[e], fs[e], gs[e]);
+                    let dfv = dcv * cps[e];
+                    let div = dcv * gs[e];
+                    let dgv = dcv * is[e];
+                    dcns[e] = dcv * fv;
+                    dais[e] = div * (iv * (1.0 - iv));
+                    dafs[e] = dfv * (fv * (1.0 - fv));
+                    daos[e] = do_v * (ov * (1.0 - ov));
+                    dags[e] = dgv * (1.0 - gv * gv);
                 }
-            };
-            sig_grad(di, &cache.i, dai);
-            sig_grad(df, &cache.f, daf);
-            sig_grad(do_, &cache.o, dao);
-            dag.resize(dg.rows(), dg.cols());
-            for ((o, &dv), &gv) in dag
-                .as_mut_slice()
-                .iter_mut()
-                .zip(dg.as_slice())
-                .zip(cache.g.as_slice())
-            {
-                *o = dv * (1.0 - gv * gv);
             }
             // Accumulate weight gradients: gW += zᵀ da (temp-then-add
             // keeps the FP accumulation order of the allocating version).
@@ -675,6 +814,27 @@ mod tests {
         let a = net.forward(&s);
         let b = net.infer(&s);
         assert!(a.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn infer_scratch_bitwise_matches_infer() {
+        let net = Lstm::new(3, 24, 1, &mut StdRng::seed_from_u64(5));
+        let mut rng = StdRng::seed_from_u64(6);
+        use rand::Rng;
+        let mut scratch = LstmScratch::default();
+        // Reuse one scratch across varying batch sizes to exercise the
+        // resize paths.
+        for &batch in &[1usize, 7, 64, 3] {
+            let s: Vec<Matrix> = (0..16)
+                .map(|_| Matrix::from_fn(batch, 3, |_, _| rng.gen_range(-2.0..2.0)))
+                .collect();
+            let a = net.infer(&s);
+            let b = net.infer_scratch(&s, &mut scratch);
+            assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -45,13 +45,54 @@ macro_rules! dispatch_acc {
 /// so the row is stored exactly once instead of being reloaded per `k`.
 /// Per output column the sum runs in ascending `k` from `0.0`, skipping
 /// `a == 0.0` terms iff `SKIP` — the reference `ikj` order, bit for bit.
+///
+/// Narrow widths (`N <= 27`, where two accumulators still fit the
+/// vector register file) process output rows in pairs sharing one
+/// stream of `B` rows, halving the `B` load traffic. Each row's
+/// accumulation chain is exactly the single-row chain — pairing only
+/// reorders *independent* per-row sums, so bits are unchanged.
 fn matmul_acc_rows<const N: usize, const SKIP: bool>(
     a: &[f64],
     k: usize,
     b: &[f64],
     out: &mut [f64],
 ) {
-    for (a_row, out_row) in a.chunks_exact(k).zip(out.chunks_exact_mut(N)) {
+    let mut a_tail = a;
+    let mut out_tail = out;
+    if N <= 27 {
+        let pairs = (a_tail.len() / k) / 2;
+        let (a2, ar) = a_tail.split_at(pairs * 2 * k);
+        let (o2, or) = out_tail.split_at_mut(pairs * 2 * N);
+        for (a_pair, o_pair) in a2.chunks_exact(2 * k).zip(o2.chunks_exact_mut(2 * N)) {
+            let (a0, a1) = a_pair.split_at(k);
+            let mut acc0 = [0.0f64; N];
+            let mut acc1 = [0.0f64; N];
+            for ((&av0, &av1), b_row) in a0.iter().zip(a1.iter()).zip(b.chunks_exact(N)) {
+                let skip0 = SKIP && av0 == 0.0;
+                let skip1 = SKIP && av1 == 0.0;
+                if !skip0 && !skip1 {
+                    for ((o0, o1), &bv) in acc0.iter_mut().zip(acc1.iter_mut()).zip(b_row) {
+                        *o0 += av0 * bv;
+                        *o1 += av1 * bv;
+                    }
+                } else if !skip0 {
+                    for (o0, &bv) in acc0.iter_mut().zip(b_row) {
+                        *o0 += av0 * bv;
+                    }
+                } else if !skip1 {
+                    for (o1, &bv) in acc1.iter_mut().zip(b_row) {
+                        *o1 += av1 * bv;
+                    }
+                }
+            }
+            let (out0, out1) = o_pair.split_at_mut(N);
+            out0.copy_from_slice(&acc0);
+            out1.copy_from_slice(&acc1);
+        }
+        a_tail = ar;
+        out_tail = or;
+    }
+    for (a_row, out_row) in a_tail.chunks_exact(k).zip(out_tail.chunks_exact_mut(N)) {
         let mut acc = [0.0f64; N];
         for (&av, b_row) in a_row.iter().zip(b.chunks_exact(N)) {
             if SKIP && av == 0.0 {
@@ -76,7 +117,45 @@ fn t_matmul_acc_rows<const N: usize, const SKIP: bool>(
     b: &[f64],
     out: &mut [f64],
 ) {
-    for (ck, out_row) in out.chunks_exact_mut(N).enumerate() {
+    let n_rows = out.len() / N;
+    let mut ck = 0usize;
+    let mut out_rows = out.chunks_exact_mut(N);
+    // Narrow widths pair output rows (adjacent columns of `a`) so one
+    // pass over `A`/`B` feeds two register accumulators; each row's
+    // per-element sum order is untouched, so bits match the single-row
+    // loop below.
+    if N <= 27 {
+        while ck + 2 <= n_rows {
+            let out0 = out_rows.next().expect("paired output row");
+            let out1 = out_rows.next().expect("paired output row");
+            let mut acc0 = [0.0f64; N];
+            let mut acc1 = [0.0f64; N];
+            for (a_row, b_row) in a.chunks_exact(k).zip(b.chunks_exact(N)) {
+                let av0 = a_row[ck];
+                let av1 = a_row[ck + 1];
+                let skip0 = SKIP && av0 == 0.0;
+                let skip1 = SKIP && av1 == 0.0;
+                if !skip0 && !skip1 {
+                    for ((o0, o1), &bv) in acc0.iter_mut().zip(acc1.iter_mut()).zip(b_row) {
+                        *o0 += av0 * bv;
+                        *o1 += av1 * bv;
+                    }
+                } else if !skip0 {
+                    for (o0, &bv) in acc0.iter_mut().zip(b_row) {
+                        *o0 += av0 * bv;
+                    }
+                } else if !skip1 {
+                    for (o1, &bv) in acc1.iter_mut().zip(b_row) {
+                        *o1 += av1 * bv;
+                    }
+                }
+            }
+            out0.copy_from_slice(&acc0);
+            out1.copy_from_slice(&acc1);
+            ck += 2;
+        }
+    }
+    for out_row in out_rows {
         let mut acc = [0.0f64; N];
         for (a_row, b_row) in a.chunks_exact(k).zip(b.chunks_exact(N)) {
             let av = a_row[ck];
@@ -88,6 +167,7 @@ fn t_matmul_acc_rows<const N: usize, const SKIP: bool>(
             }
         }
         out_row.copy_from_slice(&acc);
+        ck += 1;
     }
 }
 
@@ -549,6 +629,20 @@ impl Matrix {
             let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
             for (v, b) in row.iter_mut().zip(bias.iter()) {
                 *v += b;
+            }
+        }
+    }
+
+    /// Adds the row vector `bias` and applies `f`, in one traversal.
+    /// Bit-identical to [`Matrix::add_row_broadcast`] followed by
+    /// [`Matrix::map_inplace`]: the sum is rounded once before `f` is
+    /// applied either way.
+    pub fn add_row_broadcast_map(&mut self, bias: &[f64], f: impl Fn(f64) -> f64) {
+        assert_eq!(self.cols, bias.len(), "add_row_broadcast width mismatch");
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (v, b) in row.iter_mut().zip(bias.iter()) {
+                *v = f(*v + b);
             }
         }
     }

@@ -162,6 +162,27 @@ impl Mlp {
         &*cur
     }
 
+    /// Allocation-free inference into caller-owned ping-pong buffers,
+    /// usable with `&self` (unlike [`Mlp::infer_ws`], which borrows the
+    /// network's own workspace). Returns a reference to whichever buffer
+    /// holds the final activation. Bit-identical to [`Mlp::infer`].
+    pub fn infer_scratch<'s>(
+        &self,
+        x: &Matrix,
+        a: &'s mut Matrix,
+        b: &'s mut Matrix,
+    ) -> &'s Matrix {
+        let (first, others) = self.layers.split_first().expect("non-empty");
+        first.infer_into(x, a);
+        let mut cur = a;
+        let mut next = b;
+        for layer in others {
+            layer.infer_into(cur, next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        &*cur
+    }
+
     /// Allocation-free backward pass paired with [`Mlp::forward_ws`]:
     /// `x` must be the same input that forward pass consumed. Gradients
     /// accumulate exactly as in [`Mlp::backward`]; returns dL/d(input).
@@ -302,6 +323,22 @@ mod tests {
         let mut net = mlp(&[3, 6, 2]);
         let x = Matrix::from_vec(2, 3, vec![0.1, -0.5, 0.3, 1.2, 0.0, -0.8]);
         assert_eq!(net.forward(&x), net.infer(&x));
+    }
+
+    #[test]
+    fn infer_scratch_bitwise_matches_infer() {
+        let net = mlp(&[3, 6, 6, 2]);
+        let mut a = Matrix::default();
+        let mut b = Matrix::default();
+        for rows in [1usize, 5, 2] {
+            let x = Matrix::from_fn(rows, 3, |r, c| (r as f64 - 1.3) * (c as f64 + 0.7));
+            let want = net.infer(&x);
+            let got = net.infer_scratch(&x, &mut a, &mut b);
+            assert_eq!((want.rows(), want.cols()), (got.rows(), got.cols()));
+            for (x, y) in want.as_slice().iter().zip(got.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     #[test]
