@@ -66,6 +66,19 @@ pub struct EmsDayBench {
     /// before the field existed.
     #[serde(default)]
     pub steady_seconds: f64,
+    /// Heap allocations for one steady-state `advance_day` under an
+    /// aggressive sensor-fault storm — the in-place corrupt/impute/
+    /// health path must not add allocations over the clean day. Zero in
+    /// baselines recorded before the field existed.
+    #[serde(default)]
+    pub imputed_steady_allocations: u64,
+    /// Bytes allocated during the imputation-active steady day.
+    #[serde(default)]
+    pub imputed_steady_allocated_bytes: u64,
+    /// Median wall-clock of an imputation-active steady `advance_day`
+    /// (three timed days after the warm-up), seconds.
+    #[serde(default)]
+    pub imputed_steady_seconds: f64,
     /// Converged saved-standby fraction — a correctness canary: this
     /// value must not move when only kernels change.
     pub saved_fraction: f64,
@@ -266,6 +279,7 @@ fn time_federation_round(n: usize, rounds: u64, mode: AggregationMode) -> f64 {
                 alpha: None,
                 policy: &policy,
                 mode,
+                participants: None,
             },
         );
     };
@@ -367,6 +381,28 @@ fn ems_day_bench(quick: bool) -> EmsDayBench {
     day_secs.sort_by(f64::total_cmp);
     let ((), steady_allocations, steady_allocated_bytes) =
         count_allocations(|| state.advance_day(&warm_cfg, EmsMethod::Pfdrl, &forecast));
+    // Same steady-day protocol under an aggressive sensor-fault storm:
+    // every device-day goes through corrupt_day + impute_forward_fill
+    // and the health fold, so this row prices the hostile-telemetry
+    // hardening and pins its zero-extra-allocation property.
+    let mut storm_cfg = warm_cfg.clone();
+    storm_cfg.sensor_fault = pfdrl_data::SensorFaultConfig::storm(BENCH_SEED, 0.8);
+    let storm_forecast = pfdrl_core::train_forecasters(&storm_cfg, EmsMethod::Pfdrl);
+    let mut storm_state = pfdrl_core::EmsState::fresh(&storm_cfg);
+    for _ in 0..2 {
+        storm_state.advance_day(&storm_cfg, EmsMethod::Pfdrl, &storm_forecast);
+    }
+    let mut storm_secs = [0.0f64; 3];
+    for s in &mut storm_secs {
+        let t0 = Instant::now();
+        storm_state.advance_day(&storm_cfg, EmsMethod::Pfdrl, &storm_forecast);
+        *s = t0.elapsed().as_secs_f64();
+    }
+    storm_secs.sort_by(f64::total_cmp);
+    let ((), imputed_steady_allocations, imputed_steady_allocated_bytes) =
+        count_allocations(|| {
+            storm_state.advance_day(&storm_cfg, EmsMethod::Pfdrl, &storm_forecast)
+        });
     EmsDayBench {
         seconds,
         allocations,
@@ -374,6 +410,9 @@ fn ems_day_bench(quick: bool) -> EmsDayBench {
         steady_allocations,
         steady_allocated_bytes,
         steady_seconds: day_secs[1],
+        imputed_steady_allocations,
+        imputed_steady_allocated_bytes,
+        imputed_steady_seconds: storm_secs[1],
         saved_fraction: run.converged_saved_fraction(),
     }
 }
@@ -398,6 +437,12 @@ pub fn run_bench(quick: bool) -> BenchReport {
     println!(
         "ems_day steady-state day: {:.2}s, {} allocations, {} bytes",
         ems_day.steady_seconds, ems_day.steady_allocations, ems_day.steady_allocated_bytes
+    );
+    println!(
+        "ems_day imputation-active steady day: {:.2}s, {} allocations, {} bytes",
+        ems_day.imputed_steady_seconds,
+        ems_day.imputed_steady_allocations,
+        ems_day.imputed_steady_allocated_bytes
     );
     let federation = federation_benches(quick);
     println!(
@@ -447,6 +492,9 @@ mod tests {
                 steady_allocations: 0,
                 steady_allocated_bytes: 0,
                 steady_seconds: 0.0,
+                imputed_steady_allocations: 0,
+                imputed_steady_allocated_bytes: 0,
+                imputed_steady_seconds: 0.0,
                 saved_fraction: 0.5,
             },
             federation: vec![],

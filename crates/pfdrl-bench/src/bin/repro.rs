@@ -324,6 +324,53 @@ fn degradation(ctx: &Ctx) {
     ctx.save_json("degradation", &r);
 }
 
+fn sensor_degradation(ctx: &Ctx) {
+    banner(
+        "sensor-degradation",
+        "PFDRL under hostile telemetry (sensor-fault storms)",
+    );
+    let cfg = ctx.base();
+    let severities: Vec<f64> = if ctx.quick {
+        vec![0.0, 0.5]
+    } else {
+        (0..=5).map(|i| i as f64 * 0.2).collect()
+    };
+    let r = experiment::sensor_fault_sweep(&cfg, &severities);
+    println!(
+        "fault-free baseline: saved fraction {:.3}",
+        r.baseline_saved_fraction
+    );
+    println!(
+        "{:>8}  {:>9}  {:>11}  {:>10}  {:>11}  {:>9}",
+        "severity", "imputed", "transitions", "quarantine", "saved-frac", "retention"
+    );
+    for row in &r.rows {
+        println!(
+            "{:>7.0}%  {:>9}  {:>11}  {:>10}  {:>11.3}  {:>8.1}%",
+            100.0 * row.severity,
+            row.imputed_minutes,
+            row.health_transitions,
+            row.quarantined_home_days,
+            row.saved_fraction,
+            100.0 * row.retention
+        );
+    }
+    // Regression gate: the severity-0 row is the fault-free
+    // configuration and must match the baseline down to the last bit —
+    // any drift means the dormant health machinery perturbed a plain run.
+    if let Some(clean) = r.rows.iter().find(|row| row.severity == 0.0) {
+        if clean.saved_fraction.to_bits() != r.baseline_saved_fraction.to_bits() {
+            eprintln!(
+                "FAIL: fault-free sweep row ({}) is not bitwise equal to the baseline ({})",
+                clean.saved_fraction, r.baseline_saved_fraction
+            );
+            std::process::exit(1);
+        }
+        println!("fault-free row is bitwise equal to the baseline");
+    }
+    ctx.save_json("sensor-degradation", &r);
+}
+
 /// Machine-readable summary of one checkpointable run (`run` target,
 /// also embedded in the `--json` session summary).
 #[derive(Debug, Clone, Serialize)]
@@ -476,9 +523,21 @@ fn gate_regression(current: &BenchReport, base: &BenchReport, factor: f64) {
             base.ems_day.steady_seconds * factor
         ));
     }
-    // Steady-state day allocation budget: counts are workload-determined
+    // Imputation-active steady day (sensor-fault storm) wall-clock.
+    if current.quick == base.quick
+        && base.ems_day.imputed_steady_seconds > 0.0
+        && current.ems_day.imputed_steady_seconds > base.ems_day.imputed_steady_seconds * factor
+    {
+        failures.push(format!(
+            "ems_day imputation-active steady day: {:.2}s vs baseline {:.2}s (limit {:.2}s)",
+            current.ems_day.imputed_steady_seconds,
+            base.ems_day.imputed_steady_seconds,
+            base.ems_day.imputed_steady_seconds * factor
+        ));
+    }
+    // Steady-state day allocation budgets: counts are workload-determined
     // (not wall-clock), so they compare whenever both sides ran the same
-    // config. Baselines recorded before the field existed carry zeros
+    // config. Baselines recorded before the fields existed carry zeros
     // and are skipped.
     if current.quick == base.quick {
         for (path, cur, bas) in [
@@ -491,6 +550,16 @@ fn gate_regression(current: &BenchReport, base: &BenchReport, factor: f64) {
                 "steady_allocated_bytes",
                 current.ems_day.steady_allocated_bytes,
                 base.ems_day.steady_allocated_bytes,
+            ),
+            (
+                "imputed_steady_allocations",
+                current.ems_day.imputed_steady_allocations,
+                base.ems_day.imputed_steady_allocations,
+            ),
+            (
+                "imputed_steady_allocated_bytes",
+                current.ems_day.imputed_steady_allocated_bytes,
+                base.ems_day.imputed_steady_allocated_bytes,
             ),
         ] {
             if bas > 0 && cur as f64 > bas as f64 * factor {
@@ -659,6 +728,7 @@ fn main() {
             "fig12",
             "fig13",
             "degradation",
+            "sensor-degradation",
             "headline",
         ]
         .map(String::from)
@@ -701,13 +771,14 @@ fn main() {
             "fig12" => fig12(&ctx),
             "fig13" => fig13(&ctx),
             "degradation" => degradation(&ctx),
+            "sensor-degradation" => sensor_degradation(&ctx),
             "headline" => run_headline(&ctx),
             "run" => run_summary = Some(run_checkpointed(&ctx)),
             "bench" => bench(&ctx),
             "scale-smoke" => scale_smoke(&ctx),
             other => {
                 eprintln!(
-                    "unknown target {other:?}; known: table1 table2 fig2..fig14 degradation headline run bench scale-smoke"
+                    "unknown target {other:?}; known: table1 table2 fig2..fig14 degradation sensor-degradation headline run bench scale-smoke"
                 );
                 std::process::exit(2);
             }

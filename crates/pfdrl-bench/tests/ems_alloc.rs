@@ -20,6 +20,7 @@
 use pfdrl_bench::alloc::{count_allocations, CountingAlloc};
 use pfdrl_bench::quick_config;
 use pfdrl_core::{train_forecasters, EmsMethod, EmsState};
+use pfdrl_data::SensorFaultConfig;
 use pfdrl_forecast::ForecastMethod;
 
 #[global_allocator]
@@ -46,4 +47,33 @@ fn steady_state_day_allocations_are_bounded() {
     // blows straight through these budgets.
     assert!(allocs <= 4000, "steady day allocated {allocs} times");
     assert!(bytes <= 2_000_000, "steady day allocated {bytes} bytes");
+
+    // Hostile-telemetry rider: the corrupt-and-impute repair runs fully
+    // in place on the day-trace buffers, the health fold mutates
+    // pre-sized vectors, and a withheld upload returns its staged
+    // buffer to the pool instead of allocating an `Arc`. So a steady
+    // day with active imputation must not allocate more than the clean
+    // day measured above.
+    let mut storm_cfg = cfg.clone();
+    storm_cfg.sensor_fault = SensorFaultConfig::storm(0xFA11, 0.8);
+    let storm_forecast = train_forecasters(&storm_cfg, EmsMethod::Pfdrl);
+    let mut storm_state = EmsState::fresh(&storm_cfg);
+    for _ in 0..2 {
+        storm_state.advance_day(&storm_cfg, EmsMethod::Pfdrl, &storm_forecast);
+    }
+    let ((), storm_allocs, storm_bytes) = count_allocations(|| {
+        storm_state.advance_day(&storm_cfg, EmsMethod::Pfdrl, &storm_forecast);
+    });
+    assert!(
+        storm_state.imputed_minutes > 0,
+        "storm config never exercised the imputation path"
+    );
+    assert!(
+        storm_allocs <= allocs,
+        "imputation-active day allocated {storm_allocs} times vs {allocs} clean"
+    );
+    assert!(
+        storm_bytes <= bytes,
+        "imputation-active day allocated {storm_bytes} bytes vs {bytes} clean"
+    );
 }

@@ -38,6 +38,7 @@ fn round(
             alpha: None,
             policy,
             mode,
+            participants: None,
         },
     );
 }

@@ -1,11 +1,115 @@
 //! Simulation configuration shared by every experiment.
 
 use pfdrl_data::dataset::TargetTransform;
-use pfdrl_data::{DeviceType, GeneratorConfig};
+use pfdrl_data::{DeviceType, GeneratorConfig, SensorFaultConfig};
 use pfdrl_drl::DqnConfig;
 use pfdrl_fl::{AggregationMode, FaultConfig};
 use pfdrl_forecast::{ForecastMethod, TrainConfig};
 use serde::{Deserialize, Serialize};
+
+fn default_dirty_minutes() -> u32 {
+    30
+}
+fn default_quarantine_after_days() -> u32 {
+    2
+}
+fn default_readmit_after_days() -> u32 {
+    2
+}
+fn default_supervision_window_days() -> u64 {
+    3
+}
+
+/// Per-home telemetry-health policy: when a home counts as dirty, how
+/// quickly repeated dirt escalates to quarantine, and how much clean
+/// history re-admits it. The thresholds only matter once imputation
+/// actually fires, so a fault-free run never transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthPolicy {
+    /// A home's day is dirty when at least this many device-minutes
+    /// were imputed across its devices.
+    #[serde(default = "default_dirty_minutes")]
+    pub dirty_minutes: u32,
+    /// Consecutive dirty days (while Degraded) before quarantine.
+    #[serde(default = "default_quarantine_after_days")]
+    pub quarantine_after_days: u32,
+    /// Consecutive clean days before a quarantined home is re-admitted
+    /// to federation uploads (hysteresis).
+    #[serde(default = "default_readmit_after_days")]
+    pub readmit_after_days: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            dirty_minutes: default_dirty_minutes(),
+            quarantine_after_days: default_quarantine_after_days(),
+            readmit_after_days: default_readmit_after_days(),
+        }
+    }
+}
+
+impl HealthPolicy {
+    /// Validates threshold sanity.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message on an invalid policy.
+    pub fn validate(&self) {
+        assert!(self.dirty_minutes >= 1, "dirty_minutes must be >= 1");
+        assert!(
+            self.quarantine_after_days >= 1,
+            "quarantine_after_days must be >= 1"
+        );
+        assert!(
+            self.readmit_after_days >= 1,
+            "readmit_after_days must be >= 1"
+        );
+    }
+}
+
+/// Training-divergence supervision: a windowed loss-explosion detector
+/// plus automatic rollback to the last good checkpoint. Disabled by
+/// default (`explode_factor == 0`), in which case the runner behaves
+/// exactly as before.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SupervisionPolicy {
+    /// A completed day diverges when its fleet mean train loss is
+    /// non-finite or exceeds this factor × the trailing-window mean.
+    /// `0.0` disables supervision entirely.
+    #[serde(default)]
+    pub explode_factor: f64,
+    /// Trailing window (in completed days) the detector baselines on.
+    #[serde(default = "default_supervision_window_days")]
+    pub window_days: u64,
+}
+
+impl Default for SupervisionPolicy {
+    fn default() -> Self {
+        SupervisionPolicy {
+            explode_factor: 0.0,
+            window_days: default_supervision_window_days(),
+        }
+    }
+}
+
+impl SupervisionPolicy {
+    /// Whether the divergence supervisor is on.
+    pub fn is_active(&self) -> bool {
+        self.explode_factor > 0.0
+    }
+
+    /// Validates knob sanity.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message on an invalid policy.
+    pub fn validate(&self) {
+        assert!(
+            self.explode_factor.is_finite() && self.explode_factor >= 0.0,
+            "explode_factor must be finite and non-negative"
+        );
+        assert!(self.window_days >= 1, "window_days must be >= 1");
+    }
+}
 
 /// Durable-checkpoint policy for crash-recoverable runs.
 ///
@@ -109,6 +213,20 @@ pub struct SimConfig {
     /// so it carries its own canary).
     #[serde(default)]
     pub aggregation: AggregationMode,
+    /// Seeded sensor-fault injection into per-home minute streams
+    /// (dropouts, stuck-at, spikes, NaN/negative watts, clock skew).
+    /// Defaults to inactive — every reading passes through untouched
+    /// and runs stay bit-identical to fault-free builds.
+    #[serde(default)]
+    pub sensor_fault: SensorFaultConfig,
+    /// Per-home telemetry-health machine thresholds (imputation dirt,
+    /// quarantine escalation, re-admission hysteresis).
+    #[serde(default)]
+    pub health: HealthPolicy,
+    /// Training-divergence supervision + checkpoint rollback. Off by
+    /// default.
+    #[serde(default)]
+    pub supervision: SupervisionPolicy,
 }
 
 impl Default for SimConfig {
@@ -135,6 +253,9 @@ impl Default for SimConfig {
             fault: FaultConfig::default(),
             checkpoint: CheckpointPolicy::default(),
             aggregation: AggregationMode::PerHome,
+            sensor_fault: SensorFaultConfig::default(),
+            health: HealthPolicy::default(),
+            supervision: SupervisionPolicy::default(),
         }
     }
 }
@@ -194,6 +315,9 @@ impl SimConfig {
             fault: FaultConfig::default(),
             checkpoint: CheckpointPolicy::default(),
             aggregation: AggregationMode::PerHome,
+            sensor_fault: SensorFaultConfig::default(),
+            health: HealthPolicy::default(),
+            supervision: SupervisionPolicy::default(),
         }
     }
 
@@ -249,6 +373,9 @@ impl SimConfig {
         );
         assert!(self.state_window >= 1, "state window must be >= 1");
         self.fault.validate();
+        self.sensor_fault.validate();
+        self.health.validate();
+        self.supervision.validate();
     }
 
     /// Stable fingerprint of everything that determines the run's
@@ -348,6 +475,40 @@ mod tests {
         assert_eq!(policy.every_days, 1);
         assert_eq!(policy.keep_last, 3);
         assert_eq!(policy.abort_after_days, None);
+    }
+
+    #[test]
+    fn hostile_telemetry_knobs_default_inert_and_are_hashed() {
+        let base = SimConfig::tiny(5);
+        assert!(!base.sensor_fault.is_active());
+        assert!(!base.supervision.is_active());
+
+        // Corrupted streams change the world the agents see.
+        let mut faulty = base.clone();
+        faulty.sensor_fault = SensorFaultConfig::storm(1, 0.1);
+        assert_ne!(base.run_hash(), faulty.run_hash());
+
+        // Supervision changes training trajectories (rollbacks).
+        let mut supervised = base.clone();
+        supervised.supervision.explode_factor = 10.0;
+        assert!(supervised.supervision.is_active());
+        assert_ne!(base.run_hash(), supervised.run_hash());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn out_of_range_sensor_rate_rejected() {
+        let mut cfg = SimConfig::tiny(0);
+        cfg.sensor_fault.dropout_rate = 1.5;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "explode_factor")]
+    fn negative_explode_factor_rejected() {
+        let mut cfg = SimConfig::tiny(0);
+        cfg.supervision.explode_factor = -1.0;
+        cfg.validate();
     }
 
     #[test]

@@ -12,10 +12,12 @@
 //! advance their episodes through a segment in parallel (rayon), then the
 //! federation step runs at the boundary.
 
-use crate::config::SimConfig;
+use crate::config::{HealthPolicy, SimConfig};
 use crate::forecast::ForecastPhase;
 use crate::method::EmsMethod;
-use pfdrl_data::{DayTrace, HouseholdSpec, TraceGenerator, MINUTES_PER_DAY};
+use pfdrl_data::{
+    impute_forward_fill, DayTrace, HouseholdSpec, TraceGenerator, MINUTES_PER_DAY, WATT_CEILING,
+};
 use pfdrl_drl::{DqnAgent, DqnConfig, Transition};
 use pfdrl_env::{DeviceEnv, EnergyAccount, EnvConfig};
 use pfdrl_fl::{
@@ -25,7 +27,8 @@ use pfdrl_fl::{
 use pfdrl_forecast::PredictWorkspace;
 use pfdrl_nn::{Layered, Matrix};
 use pfdrl_store::{
-    ForecastState, MetricsState, RunSnapshot, SnapshotMeta, StoreError, TransportState,
+    ForecastState, HealthState as HealthSection, HomeHealthRecord, MetricsState, RunSnapshot,
+    SnapshotMeta, StoreError, TransportState,
 };
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -50,6 +53,83 @@ impl EmsMethod {
             EmsMethod::Frl => DrlFederation::CloudFull,
             EmsMethod::Pfdrl => DrlFederation::LanAlpha(alpha),
         }
+    }
+}
+
+/// Health of one home's telemetry stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthState {
+    /// Readings are clean (or repaired below the dirty threshold).
+    Healthy,
+    /// Recent day(s) needed above-threshold imputation; still uploads.
+    Degraded,
+    /// Withheld from federation uploads until re-admitted.
+    Quarantined,
+}
+
+/// Per-home telemetry health machine: Healthy → Degraded on a dirty
+/// day, Degraded → Quarantined after `quarantine_after_days`
+/// consecutive dirty days, Quarantined → Healthy again only after
+/// `readmit_after_days` consecutive clean days (hysteresis, so a home
+/// flapping between clean and dirty stays out of the federation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HomeHealth {
+    /// Current state.
+    pub state: HealthState,
+    /// Consecutive dirty days (escalation counter).
+    pub dirty_days: u32,
+    /// Consecutive clean days while quarantined (re-admission counter).
+    pub clean_days: u32,
+}
+
+impl Default for HomeHealth {
+    fn default() -> Self {
+        HomeHealth {
+            state: HealthState::Healthy,
+            dirty_days: 0,
+            clean_days: 0,
+        }
+    }
+}
+
+impl HomeHealth {
+    /// Whether this home is withheld from federation uploads.
+    pub fn quarantined(&self) -> bool {
+        self.state == HealthState::Quarantined
+    }
+
+    /// Feeds one completed day's imputation verdict; returns whether
+    /// the state changed.
+    pub fn observe_day(&mut self, dirty: bool, policy: &HealthPolicy) -> bool {
+        let before = self.state;
+        if dirty {
+            self.clean_days = 0;
+            if self.state != HealthState::Quarantined {
+                self.dirty_days += 1;
+                self.state = if self.dirty_days >= policy.quarantine_after_days {
+                    HealthState::Quarantined
+                } else {
+                    HealthState::Degraded
+                };
+            }
+        } else {
+            match self.state {
+                HealthState::Healthy => {}
+                HealthState::Degraded => {
+                    self.state = HealthState::Healthy;
+                    self.dirty_days = 0;
+                }
+                HealthState::Quarantined => {
+                    self.clean_days += 1;
+                    if self.clean_days >= policy.readmit_after_days {
+                        self.state = HealthState::Healthy;
+                        self.dirty_days = 0;
+                        self.clean_days = 0;
+                    }
+                }
+            }
+        }
+        self.state != before
     }
 }
 
@@ -78,6 +158,24 @@ pub struct EmsPhase {
     pub comm_s: f64,
     /// Bytes moved over the simulated network.
     pub comm_bytes: u64,
+    /// Device-minutes repaired by forward-fill imputation.
+    #[serde(default)]
+    pub imputed_minutes: u64,
+    /// Health state transitions across all homes and days.
+    #[serde(default)]
+    pub health_transitions: u64,
+    /// Home-days spent quarantined (withheld from uploads).
+    #[serde(default)]
+    pub quarantined_home_days: u64,
+    /// Divergence-supervisor rollbacks to the last good checkpoint.
+    #[serde(default)]
+    pub rollbacks: u64,
+    /// Per-eval-day fleet mean train loss (supervision input). Only
+    /// populated when sensor faults or supervision are active — it is
+    /// not part of the snapshot otherwise, so exposing it would break
+    /// resumed-vs-uninterrupted equality on plain runs.
+    #[serde(default)]
+    pub daily_mean_loss: Vec<f64>,
 }
 
 /// Per-minute prediction of one device-day, produced by feeding the
@@ -222,6 +320,13 @@ struct HomeWorkspace {
     /// Per-segment hour-of-day accumulators written by [`run_segment`].
     saved: [f64; 24],
     standby: [f64; 24],
+    /// Device-minutes imputed while loading the current day's traces.
+    imputed_minutes: u32,
+    /// Per-day train-loss accumulators (zeroed at day load, summed
+    /// across segments, folded into the fleet mean at day end).
+    loss_sum: f64,
+    loss_steps: u64,
+    nonfinite_losses: u32,
 }
 
 /// Per-home day-pipeline workspaces. Pure transient scratch, like
@@ -275,6 +380,24 @@ pub struct EmsState {
     pub hourly_saved: [f64; 24],
     pub hourly_standby: [f64; 24],
     pub per_home_late: Vec<EnergyAccount>,
+    /// Per-home telemetry health machines.
+    pub health: Vec<HomeHealth>,
+    /// Total device-minutes repaired by imputation.
+    pub imputed_minutes: u64,
+    /// Total health state transitions.
+    pub health_transitions: u64,
+    /// Home-days spent quarantined.
+    pub quarantined_home_days: u64,
+    /// Rollbacks the divergence supervisor performed (owned here so it
+    /// rides the snapshot; incremented by the resumable runner).
+    pub rollbacks: u64,
+    /// Per-completed-day fleet mean train loss; NaN marks a day that
+    /// produced any non-finite batch loss. The supervision detector is
+    /// a pure function of this history.
+    pub daily_mean_loss: Vec<f64>,
+    /// Reusable upload-participation mask (transient scratch; rebuilt
+    /// from `health` every day, never snapshotted).
+    participants: Vec<bool>,
 }
 
 impl EmsState {
@@ -320,6 +443,13 @@ impl EmsState {
             hourly_saved: [0.0f64; 24],
             hourly_standby: [0.0f64; 24],
             per_home_late: vec![EnergyAccount::new(); n],
+            health: vec![HomeHealth::default(); n],
+            imputed_minutes: 0,
+            health_transitions: 0,
+            quarantined_home_days: 0,
+            rollbacks: 0,
+            daily_mean_loss: Vec::with_capacity(cfg.eval_days as usize),
+            participants: Vec::with_capacity(n),
         }
     }
 
@@ -340,6 +470,30 @@ impl EmsState {
     /// each boundary, and folds the day's accounts into the
     /// accumulators.
     pub fn advance_day(&mut self, cfg: &SimConfig, method: EmsMethod, forecast: &ForecastPhase) {
+        self.advance_day_with(cfg, method, forecast, true);
+    }
+
+    /// [`EmsState::advance_day`] with training suppressed: agents act
+    /// (greedily exploring as usual, consuming the same action RNG) but
+    /// take no gradient steps. The divergence supervisor re-runs a
+    /// rolled-back day through this, so the replacement day cannot
+    /// re-diverge and the recovery is deterministic.
+    pub fn advance_day_frozen(
+        &mut self,
+        cfg: &SimConfig,
+        method: EmsMethod,
+        forecast: &ForecastPhase,
+    ) {
+        self.advance_day_with(cfg, method, forecast, false);
+    }
+
+    fn advance_day_with(
+        &mut self,
+        cfg: &SimConfig,
+        method: EmsMethod,
+        forecast: &ForecastPhase,
+        train: bool,
+    ) {
         let day = self.next_day;
         let gen = TraceGenerator::new(cfg.generator());
         let env_cfg = EnvConfig {
@@ -352,6 +506,14 @@ impl EmsState {
         let gamma_minutes = ((cfg.gamma_hours * 60.0).round() as usize).max(1);
         let late_start = cfg.eval_start_day + cfg.eval_days - cfg.eval_days.div_ceil(3);
 
+        // Sensor-fault plan: pure hash decisions per (home, device, day,
+        // minute), so the corrupted stream is identical whether a trace
+        // arrives via the prev/today swap or is regenerated after a
+        // resume. Inactive plans skip both passes entirely, keeping the
+        // fault-free pipeline bit-identical byte for byte.
+        let plan = cfg.sensor_fault.plan();
+        let faults_on = cfg.sensor_fault.is_active();
+
         // Build the day's envs (predictions + ground truth), per home,
         // into the recycled workspaces.
         self.day_ws.ensure_shape(n, d);
@@ -361,8 +523,19 @@ impl EmsState {
             .enumerate()
             .for_each(|(home, hw)| {
                 let HomeWorkspace {
-                    hh, devices, pws, ..
+                    hh,
+                    devices,
+                    pws,
+                    imputed_minutes,
+                    loss_sum,
+                    loss_steps,
+                    nonfinite_losses,
+                    ..
                 } = hw;
+                *imputed_minutes = 0;
+                *loss_sum = 0.0;
+                *loss_steps = 0;
+                *nonfinite_losses = 0;
                 let hh = hh.get_or_insert_with(|| gen.household(home as u64));
                 for (device, dd) in devices.iter_mut().enumerate() {
                     let spec = &hh.devices[device];
@@ -373,8 +546,26 @@ impl EmsState {
                         std::mem::swap(&mut dd.prev, &mut dd.today);
                     } else {
                         gen.day_trace_into(hh, device, day - 1, &mut dd.prev);
+                        if faults_on {
+                            // Reproduce yesterday's corruption + repair
+                            // so the regenerated prev matches what the
+                            // swap path would carry. Yesterday's repairs
+                            // were already counted when yesterday ran.
+                            plan.corrupt_day(
+                                home as u64,
+                                device as u64,
+                                day - 1,
+                                &mut dd.prev.watts,
+                            );
+                            impute_forward_fill(&mut dd.prev.watts, WATT_CEILING, 0.0);
+                        }
                     }
                     gen.day_trace_into(hh, device, day, &mut dd.today);
+                    if faults_on {
+                        plan.corrupt_day(home as u64, device as u64, day, &mut dd.today.watts);
+                        *imputed_minutes +=
+                            impute_forward_fill(&mut dd.today.watts, WATT_CEILING, 0.0);
+                    }
                     dd.loaded_day = Some(day);
                     predict_day_into(
                         cfg,
@@ -410,6 +601,35 @@ impl EmsState {
                 }
             });
 
+        // Fold the day's imputation verdicts through the per-home
+        // health machines (sequential, in home order). Today's dirt
+        // decides today's federation participation: a home whose stream
+        // needed heavy repair this morning does not upload tonight.
+        let mut any_quarantined = false;
+        if faults_on {
+            for (home, hw) in self.day_ws.homes.iter().enumerate() {
+                self.imputed_minutes += hw.imputed_minutes as u64;
+                let dirty = hw.imputed_minutes >= cfg.health.dirty_minutes;
+                if self.health[home].observe_day(dirty, &cfg.health) {
+                    self.health_transitions += 1;
+                }
+                if self.health[home].quarantined() {
+                    self.quarantined_home_days += 1;
+                    any_quarantined = true;
+                }
+            }
+        }
+        self.participants.clear();
+        if any_quarantined {
+            self.participants
+                .extend(self.health.iter().map(|h| !h.quarantined()));
+        }
+        let participants: Option<&[bool]> = if any_quarantined {
+            Some(&self.participants)
+        } else {
+            None
+        };
+
         // Walk the day in γ-aligned segments.
         let mut day_account = EnergyAccount::new();
         let day_minute0 = (day - cfg.eval_start_day) as usize * MINUTES_PER_DAY;
@@ -427,7 +647,7 @@ impl EmsState {
                 .homes
                 .par_iter_mut()
                 .zip(self.agents.par_iter_mut())
-                .for_each(|(hw, home_agents)| run_segment(cfg, hw, home_agents, seg_end));
+                .for_each(|(hw, home_agents)| run_segment(cfg, hw, home_agents, seg_end, train));
             for hw in &self.day_ws.homes {
                 for h in 0..24 {
                     self.hourly_saved[h] += hw.saved[h];
@@ -447,6 +667,7 @@ impl EmsState {
                     &policy,
                     cfg.aggregation,
                     &mut self.fed_engine,
+                    participants,
                 );
             }
             seg_start = seg_end;
@@ -467,7 +688,60 @@ impl EmsState {
             .push(day_account.saved_fraction().unwrap_or(0.0));
         self.daily_saved_kwh_per_client
             .push(day_account.standby_saved_kwh / n as f64);
+
+        // Fleet mean train loss for the day (home order, so the float
+        // sum is deterministic). NaN flags a day with any non-finite
+        // batch loss for the divergence supervisor.
+        let mut loss_sum = 0.0f64;
+        let mut loss_steps = 0u64;
+        let mut nonfinite = 0u32;
+        for hw in &self.day_ws.homes {
+            loss_sum += hw.loss_sum;
+            loss_steps += hw.loss_steps;
+            nonfinite += hw.nonfinite_losses;
+        }
+        let mean_loss = if nonfinite > 0 {
+            f64::NAN
+        } else if loss_steps == 0 {
+            0.0
+        } else {
+            loss_sum / loss_steps as f64
+        };
+        self.daily_mean_loss.push(mean_loss);
         self.next_day = day + 1;
+    }
+
+    /// Whether the just-completed day diverged under the configured
+    /// supervision policy: its fleet mean loss is non-finite, or it
+    /// exceeds `explode_factor` × the trailing-window mean. A pure
+    /// function of snapshotted state, so a resumed run reaches the
+    /// exact same verdicts as the uninterrupted one.
+    pub fn last_day_diverged(&self, cfg: &SimConfig) -> bool {
+        let sup = &cfg.supervision;
+        if !sup.is_active() {
+            return false;
+        }
+        let losses = &self.daily_mean_loss;
+        let Some(&cur) = losses.last() else {
+            return false;
+        };
+        if !cur.is_finite() {
+            return true;
+        }
+        // Baseline on the finite, nonzero window entries (zero means a
+        // day without gradient steps — warmup or a frozen re-run — and
+        // carries no loss-scale information).
+        let n = losses.len() - 1;
+        let window = &losses[n.saturating_sub(sup.window_days as usize)..n];
+        let mut sum = 0.0f64;
+        let mut count = 0u32;
+        for &v in window {
+            if v.is_finite() && v > 0.0 {
+                sum += v;
+                count += 1;
+            }
+        }
+        count > 0 && cur > sup.explode_factor * (sum / count as f64)
     }
 
     /// Folds the accumulated state into the phase result.
@@ -500,7 +774,24 @@ impl EmsState {
             train_wall_s,
             comm_s,
             comm_bytes,
+            imputed_minutes: self.imputed_minutes,
+            health_transitions: self.health_transitions,
+            quarantined_home_days: self.quarantined_home_days,
+            rollbacks: self.rollbacks,
+            // Only expose the loss history when it is also snapshotted
+            // (see the field doc on `EmsPhase::daily_mean_loss`).
+            daily_mean_loss: if Self::health_active(cfg) {
+                self.daily_mean_loss
+            } else {
+                Vec::new()
+            },
         }
+    }
+
+    /// Whether any hostile-telemetry feature is on — and with it the
+    /// snapshot's optional HEALTH section.
+    fn health_active(cfg: &SimConfig) -> bool {
+        cfg.sensor_fault.is_active() || cfg.supervision.is_active()
     }
 
     /// Captures the complete cross-day state into a snapshot.
@@ -537,6 +828,26 @@ impl EmsState {
                 hourly_standby: self.hourly_standby.to_vec(),
                 per_home_late: self.per_home_late.clone(),
             },
+            health: Self::health_active(cfg).then(|| HealthSection {
+                per_home: self
+                    .health
+                    .iter()
+                    .map(|h| HomeHealthRecord {
+                        state: match h.state {
+                            HealthState::Healthy => 0,
+                            HealthState::Degraded => 1,
+                            HealthState::Quarantined => 2,
+                        },
+                        dirty_days: h.dirty_days,
+                        clean_days: h.clean_days,
+                    })
+                    .collect(),
+                imputed_minutes: self.imputed_minutes,
+                health_transitions: self.health_transitions,
+                quarantined_home_days: self.quarantined_home_days,
+                rollbacks: self.rollbacks,
+                daily_mean_loss: self.daily_mean_loss.clone(),
+            }),
         }
     }
 
@@ -610,6 +921,44 @@ impl EmsState {
         let mut hourly_standby = [0.0f64; 24];
         hourly_standby.copy_from_slice(&m.hourly_standby);
 
+        // HEALTH is present exactly when a hostile-telemetry feature is
+        // active; either way the restored state must match what the
+        // uninterrupted run carries at this day boundary.
+        let mut health = vec![HomeHealth::default(); n];
+        let mut imputed_minutes = 0;
+        let mut health_transitions = 0;
+        let mut quarantined_home_days = 0;
+        let mut rollbacks = 0;
+        let mut daily_mean_loss = Vec::with_capacity(cfg.eval_days as usize);
+        if let Some(h) = &snap.health {
+            if h.per_home.len() != n || h.daily_mean_loss.len() != completed {
+                return Err(StoreError::State(
+                    "health section disagrees about run dimensions".to_string(),
+                ));
+            }
+            for (home, rec) in h.per_home.iter().enumerate() {
+                health[home] = HomeHealth {
+                    state: match rec.state {
+                        0 => HealthState::Healthy,
+                        1 => HealthState::Degraded,
+                        2 => HealthState::Quarantined,
+                        other => {
+                            return Err(StoreError::State(format!(
+                                "home {home}: unknown health state {other}"
+                            )))
+                        }
+                    },
+                    dirty_days: rec.dirty_days,
+                    clean_days: rec.clean_days,
+                };
+            }
+            imputed_minutes = h.imputed_minutes;
+            health_transitions = h.health_transitions;
+            quarantined_home_days = h.quarantined_home_days;
+            rollbacks = h.rollbacks;
+            daily_mean_loss.extend_from_slice(&h.daily_mean_loss);
+        }
+
         Ok(EmsState {
             agents,
             bus,
@@ -624,6 +973,13 @@ impl EmsState {
             hourly_saved,
             hourly_standby,
             per_home_late: m.per_home_late.clone(),
+            health,
+            imputed_minutes,
+            health_transitions,
+            quarantined_home_days,
+            rollbacks,
+            daily_mean_loss,
+            participants: Vec::with_capacity(n),
         })
     }
 }
@@ -645,7 +1001,13 @@ pub fn run_ems(cfg: &SimConfig, method: EmsMethod, forecast: &ForecastPhase) -> 
 /// heap allocation: episode states live in each device's double
 /// buffer, and transition vectors cycle through the home's pool via
 /// replay-ring evictions.
-fn run_segment(cfg: &SimConfig, hw: &mut HomeWorkspace, agents: &mut [DqnAgent], seg_end: usize) {
+fn run_segment(
+    cfg: &SimConfig,
+    hw: &mut HomeWorkspace,
+    agents: &mut [DqnAgent],
+    seg_end: usize,
+    train: bool,
+) {
     hw.saved = [0.0f64; 24];
     hw.standby = [0.0f64; 24];
     let HomeWorkspace {
@@ -653,6 +1015,9 @@ fn run_segment(cfg: &SimConfig, hw: &mut HomeWorkspace, agents: &mut [DqnAgent],
         pool,
         saved,
         standby,
+        loss_sum,
+        loss_steps,
+        nonfinite_losses,
         ..
     } = hw;
     for (device, dd) in devices.iter_mut().enumerate() {
@@ -693,8 +1058,14 @@ fn run_segment(cfg: &SimConfig, hw: &mut HomeWorkspace, agents: &mut [DqnAgent],
                 }
             }
             steps_since_train += 1;
-            if steps_since_train >= cfg.train_every && agent.ready() {
-                agent.train_step();
+            if train && steps_since_train >= cfg.train_every && agent.ready() {
+                let loss = agent.train_step();
+                if loss.is_finite() {
+                    *loss_sum += loss;
+                    *loss_steps += 1;
+                } else {
+                    *nonfinite_losses += 1;
+                }
                 steps_since_train = 0;
             }
             std::mem::swap(&mut dd.cur, &mut dd.next);
@@ -713,6 +1084,7 @@ fn federate(
     policy: &MergePolicy,
     mode: AggregationMode,
     engine: &mut DflRound,
+    participants: Option<&[bool]>,
 ) {
     let d = agents[0].len();
     match federation {
@@ -730,8 +1102,12 @@ fn federate(
                         aggregate::snapshot_update(&home_agents[device], home, round, device as u64)
                     })
                     .collect();
-                for update in updates {
-                    cloud.upload(update);
+                // Quarantined homes upload nothing; they still receive
+                // the aggregate below (downloads carry healthy data).
+                for (home, update) in updates.into_iter().enumerate() {
+                    if participants.is_none_or(|m| m[home]) {
+                        cloud.upload(update);
+                    }
                 }
                 cloud.aggregate_with_quorum(policy.min_quorum);
                 agents.par_iter_mut().enumerate().for_each(|(home, row)| {
@@ -759,6 +1135,7 @@ fn federate(
                         alpha: Some(alpha),
                         policy,
                         mode,
+                        participants,
                     },
                 );
             }

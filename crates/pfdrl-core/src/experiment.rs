@@ -494,6 +494,84 @@ pub fn degradation_sweep(base: &SimConfig, rates: &[(f64, f64)]) -> DegradationR
     }
 }
 
+/// One row of the sensor-fault severity sweep: PFDRL under a
+/// [`SensorFaultConfig::storm`] of the given severity.
+///
+/// [`SensorFaultConfig::storm`]: pfdrl_data::SensorFaultConfig::storm
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SensorFaultRow {
+    pub severity: f64,
+    /// Device-minutes repaired by forward-fill imputation.
+    pub imputed_minutes: u64,
+    /// Health state transitions across all homes and days.
+    pub health_transitions: u64,
+    /// Home-days spent quarantined (withheld from federation uploads).
+    pub quarantined_home_days: u64,
+    /// Converged standby-energy saved fraction under these faults.
+    pub saved_fraction: f64,
+    /// `saved_fraction / baseline_saved_fraction` — the share of the
+    /// fault-free savings that survives the hostile telemetry.
+    pub retention: f64,
+}
+
+/// Hostile-telemetry experiment result: PFDRL swept over sensor-fault
+/// storm severities, against the fault-free baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SensorFaultResult {
+    pub baseline_saved_fraction: f64,
+    pub rows: Vec<SensorFaultRow>,
+}
+
+/// Sweeps PFDRL over sensor-fault storm severities and reports imputation
+/// and quarantine activity plus standby-energy savings against the
+/// fault-free baseline. The fault seed is taken from `base.sensor_fault`
+/// and stays fixed, so rows differ only in fault intensity, not fault
+/// pattern; health thresholds come from `base.health` unchanged.
+///
+/// Like [`degradation_sweep`], rows are independent simulations on the
+/// rayon pool and the result is byte-identical across runs and pool
+/// shapes. A severity-0.0 storm has every rate at zero, so that row
+/// collapses to the fault-free configuration and must land on the
+/// baseline numbers exactly — the regression canary the CI sweep pins.
+pub fn sensor_fault_sweep(base: &SimConfig, severities: &[f64]) -> SensorFaultResult {
+    use rayon::prelude::*;
+
+    let mut clean = base.clone();
+    clean.sensor_fault = pfdrl_data::SensorFaultConfig {
+        seed: base.sensor_fault.seed,
+        ..Default::default()
+    };
+    let baseline_run = run_method(&clean, EmsMethod::Pfdrl);
+    let baseline_saved_fraction = baseline_run.converged_saved_fraction();
+
+    let rows = severities
+        .par_iter()
+        .map(|&severity| {
+            let mut cfg = base.clone();
+            cfg.sensor_fault =
+                pfdrl_data::SensorFaultConfig::storm(base.sensor_fault.seed, severity);
+            let run = run_method(&cfg, EmsMethod::Pfdrl);
+            let saved_fraction = run.converged_saved_fraction();
+            SensorFaultRow {
+                severity,
+                imputed_minutes: run.ems.imputed_minutes,
+                health_transitions: run.ems.health_transitions,
+                quarantined_home_days: run.ems.quarantined_home_days,
+                saved_fraction,
+                retention: if baseline_saved_fraction > 0.0 {
+                    saved_fraction / baseline_saved_fraction
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+    SensorFaultResult {
+        baseline_saved_fraction,
+        rows,
+    }
+}
+
 /// Ablation: forecast accuracy with and without the time-of-day features
 /// (a design choice DESIGN.md calls out — the DRL consumes mode structure
 /// that is strongly diurnal).
@@ -612,6 +690,36 @@ mod tests {
         let a = serde_json::to_string(&degradation_sweep(&tiny(), &rates)).unwrap();
         let b = serde_json::to_string(&degradation_sweep(&tiny(), &rates)).unwrap();
         assert_eq!(a, b, "degradation sweep JSON differs between runs");
+    }
+
+    #[test]
+    fn sensor_fault_sweep_reports_rows_and_baseline() {
+        let r = sensor_fault_sweep(&tiny(), &[0.0, 0.8]);
+        assert_eq!(r.rows.len(), 2);
+        assert!((0.0..=1.0).contains(&r.baseline_saved_fraction));
+        // Severity 0.0 is the fault-free configuration: bitwise equal to
+        // the baseline, with the health machinery fully dormant.
+        let clean = &r.rows[0];
+        assert_eq!(clean.saved_fraction, r.baseline_saved_fraction);
+        assert_eq!(clean.retention, 1.0);
+        assert_eq!(clean.imputed_minutes, 0);
+        assert_eq!(clean.health_transitions, 0);
+        assert_eq!(clean.quarantined_home_days, 0);
+        // A severe storm must actually hit the telemetry.
+        let storm = &r.rows[1];
+        assert!(storm.imputed_minutes > 0, "storm imputed nothing");
+        for row in &r.rows {
+            assert!((0.0..=1.0).contains(&row.saved_fraction));
+            assert!(row.retention >= 0.0);
+        }
+    }
+
+    #[test]
+    fn sensor_fault_sweep_is_byte_identical_across_runs() {
+        let severities = [0.0, 0.8];
+        let a = serde_json::to_string(&sensor_fault_sweep(&tiny(), &severities)).unwrap();
+        let b = serde_json::to_string(&sensor_fault_sweep(&tiny(), &severities)).unwrap();
+        assert_eq!(a, b, "sensor fault sweep JSON differs between runs");
     }
 
     #[test]

@@ -377,6 +377,7 @@ fn train_dfl_lan(
                     alpha: None,
                     policy: &policy,
                     mode: cfg.aggregation,
+                    participants: None,
                 },
             );
         }

@@ -34,8 +34,8 @@ pub mod forecast;
 pub mod method;
 pub mod runner;
 
-pub use config::{CheckpointPolicy, SimConfig};
-pub use ems::{DrlFederation, EmsPhase, EmsState};
+pub use config::{CheckpointPolicy, HealthPolicy, SimConfig, SupervisionPolicy};
+pub use ems::{DrlFederation, EmsPhase, EmsState, HealthState, HomeHealth};
 pub use eval::{evaluate_forecast, ForecastEval};
 pub use forecast::{train_forecasters, ForecastPhase};
 pub use method::EmsMethod;

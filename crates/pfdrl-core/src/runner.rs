@@ -219,13 +219,38 @@ fn drive(
         }
     };
 
+    // Divergence supervision keeps the last known-good snapshot in
+    // memory (seeded with the day-zero / resume state so a rollback
+    // target always exists) and, when a day's fleet mean loss explodes,
+    // rewinds to it and re-runs the day with training frozen. The
+    // frozen re-run takes no gradient steps, so it cannot re-diverge.
+    // `rollbacks` rides the snapshot's health section, so a resumed run
+    // replays the exact same verdicts and recovery count.
+    let supervised = cfg.supervision.is_active();
+    let mut last_good = supervised.then(|| state.to_snapshot(cfg, method, forecast_state.clone()));
+
     let every = cfg.checkpoint.every_days.max(1);
     while !state.done(cfg) {
         state.advance_day(cfg, method, &forecast);
+        if supervised && state.last_day_diverged(cfg) {
+            let rolled_back = state.rollbacks + 1;
+            let good = last_good.as_ref().expect("supervision seeds last_good");
+            state = EmsState::from_snapshot(cfg, good)?;
+            state.rollbacks = rolled_back;
+            state.advance_day_frozen(cfg, method, &forecast);
+        }
+        if let Some(good) = last_good.as_mut() {
+            *good = state.to_snapshot(cfg, method, forecast_state.clone());
+        }
         let completed = state.next_day - cfg.eval_start_day;
         if let Some(store) = store {
             if completed.is_multiple_of(every) || state.done(cfg) {
-                store.save(&state.to_snapshot(cfg, method, forecast_state.clone()))?;
+                // `last_good` was refreshed from the current state just
+                // above, so reuse it rather than snapshotting twice.
+                match last_good.as_ref() {
+                    Some(good) => store.save(good)?,
+                    None => store.save(&state.to_snapshot(cfg, method, forecast_state.clone()))?,
+                };
             }
         }
         // Crash-simulation hook: die exactly as SIGKILL would, after

@@ -37,6 +37,10 @@ pub enum CsvError {
     BadHeader(String),
     /// Row failed to parse; carries the 1-based line number.
     BadRow { line: usize, reason: String },
+    /// A watt reading parsed but is physically impossible (non-finite
+    /// or negative). Kept distinct from [`CsvError::BadRow`] so callers
+    /// can tell hostile telemetry from formatting noise.
+    NonPhysicalWatts { line: usize, watts: f64 },
 }
 
 impl std::fmt::Display for CsvError {
@@ -45,6 +49,9 @@ impl std::fmt::Display for CsvError {
             CsvError::Io(e) => write!(f, "I/O error: {e}"),
             CsvError::BadHeader(h) => write!(f, "bad header: {h:?}"),
             CsvError::BadRow { line, reason } => write!(f, "line {line}: {reason}"),
+            CsvError::NonPhysicalWatts { line, watts } => {
+                write!(f, "line {line}: non-physical watts {watts}")
+            }
         }
     }
 }
@@ -102,9 +109,9 @@ pub fn load_dataport_csv(
             reason: format!("bad watts {:?}", fields[3]),
         })?;
         if !watts.is_finite() || watts < 0.0 {
-            return Err(CsvError::BadRow {
+            return Err(CsvError::NonPhysicalWatts {
                 line: line_no,
-                reason: format!("non-physical watts {watts}"),
+                watts,
             });
         }
         sparse
@@ -201,7 +208,29 @@ mod tests {
     #[test]
     fn rejects_negative_watts() {
         let err = load("dataid,minute,device,watts\n1,0,tv,-5\n").unwrap_err();
-        assert!(matches!(err, CsvError::BadRow { line: 2, .. }));
+        assert_eq!(
+            err,
+            CsvError::NonPhysicalWatts {
+                line: 2,
+                watts: -5.0
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_non_finite_watts() {
+        // Rust's f64 parser accepts "NaN" and "inf", so these rows
+        // parse — the physicality check is what rejects them.
+        let err = load("dataid,minute,device,watts\n1,0,tv,NaN\n").unwrap_err();
+        assert!(
+            matches!(err, CsvError::NonPhysicalWatts { line: 2, watts } if watts.is_nan()),
+            "got {err:?}"
+        );
+        let err = load("dataid,minute,device,watts\n1,0,tv,5\n1,1,tv,inf\n").unwrap_err();
+        assert!(
+            matches!(err, CsvError::NonPhysicalWatts { line: 3, watts } if watts == f64::INFINITY),
+            "got {err:?}"
+        );
     }
 
     #[test]

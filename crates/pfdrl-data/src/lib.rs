@@ -43,6 +43,7 @@ pub mod mode;
 pub mod price;
 pub mod rng;
 pub mod schedule;
+pub mod sensor_fault;
 pub mod stats;
 pub mod trace;
 
@@ -52,6 +53,7 @@ pub use device::{DeviceSpec, DeviceType};
 pub use mode::Mode;
 pub use price::{PricePlan, FIXED_RATE_CENTS};
 pub use schedule::MINUTES_PER_DAY;
+pub use sensor_fault::{impute_forward_fill, SensorFaultConfig, SensorFaultPlan, WATT_CEILING};
 pub use trace::{
     hvac_seasonal_factor, month_of_day, DayTrace, GeneratorConfig, HouseholdSpec, TraceGenerator,
     DAYS_PER_YEAR,

@@ -299,6 +299,16 @@ impl DqnAgent {
             cfg.huber_delta,
             &mut scratch.grad,
         );
+        // Non-finite loss guard: a NaN/Inf loss means the gradient is
+        // garbage — applying it would poison the weights, the Adam
+        // moments and (through federation) every peer. Skip the
+        // optimizer step and the target sync, report the loss to the
+        // caller's supervisor, and leave the weights untouched. The
+        // batch's RNG draws are already consumed, so skipping keeps the
+        // agent's stream position deterministic either way.
+        if !l.is_finite() {
+            return l;
+        }
         qnet.backward_ws(&scratch.states, &scratch.grad);
         opt.step_fused(qnet.param_tensor_count(), |f| qnet.for_each_param_grad(f));
         *grad_steps += 1;
@@ -503,6 +513,34 @@ mod tests {
         let a = agent.act_greedy(&s);
         let best = q.iter().copied().fold(f64::MIN, f64::max);
         assert_eq!(q[a.index()], best);
+    }
+
+    #[test]
+    fn non_finite_loss_skips_the_optimizer_step() {
+        let mut agent = DqnAgent::new(4, tiny_cfg(9));
+        // Poison every transition: a NaN reward makes every TD target —
+        // and therefore the batch loss — NaN.
+        for i in 0..16 {
+            agent.remember(Transition {
+                state: vec![i as f64 * 0.1; 4],
+                action: 0,
+                reward: f64::NAN,
+                next_state: Some(vec![0.0; 4]),
+            });
+        }
+        assert!(agent.ready());
+        let before = agent.export_state();
+        let loss = agent.train_step();
+        assert!(!loss.is_finite(), "poisoned batch must report its loss");
+        let after = agent.export_state();
+        // Weights, moments, target net and step counters are untouched;
+        // only the RNG stream advanced (the batch was already sampled).
+        assert_eq!(after.qnet, before.qnet);
+        assert_eq!(after.target, before.target);
+        assert_eq!(after.opt.m, before.opt.m);
+        assert_eq!(after.opt.t, before.opt.t);
+        assert_eq!(after.grad_steps, before.grad_steps);
+        assert_ne!(after.rng, before.rng, "batch sampling consumes the RNG");
     }
 
     #[test]

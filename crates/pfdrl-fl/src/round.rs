@@ -113,6 +113,14 @@ pub struct RoundParams<'a> {
     pub policy: &'a MergePolicy,
     /// Per-home reference path or shared-reduction fast path.
     pub mode: AggregationMode,
+    /// Per-home upload participation mask (`None` = everyone). A
+    /// non-participating (quarantined) home broadcasts nothing but
+    /// still drains and merges what it receives, so it keeps learning
+    /// from healthy peers without contaminating them. Any withheld
+    /// home disables the shared-reduction fast path for the round —
+    /// the broadcast set is no longer the full fleet, which is exactly
+    /// the condition the per-home fallback machinery exists for.
+    pub participants: Option<&'a [bool]>,
 }
 
 /// What one engine round did.
@@ -205,6 +213,10 @@ impl DflRound {
         let n = models.len();
         assert!(n > 0, "federation round over no models");
         assert_eq!(n, p.bus.len(), "model column does not match bus size");
+        if let Some(mask) = p.participants {
+            assert_eq!(mask.len(), n, "participation mask does not match fleet");
+        }
+        let full_round = p.participants.is_none_or(|m| m.iter().all(|&b| b));
         let total_layers = models[0].layer_count();
         let layer_end = match p.alpha {
             Some(a) => LayerSplit::new(a, total_layers).alpha,
@@ -233,11 +245,17 @@ impl DflRound {
 
         // Broadcast: sequential, in home order — arrival order feeds the
         // per-home float-sum order, which the bit-identity pin relies on.
+        // Withheld (quarantined) homes upload nothing; their staged
+        // buffer goes straight back to the pool.
         self.sent.clear();
-        for buf in self.bufs.drain(..) {
-            let arc = Arc::new(buf);
-            p.bus.broadcast_arc(Arc::clone(&arc));
-            self.sent.push(arc);
+        for (home, buf) in self.bufs.drain(..).enumerate() {
+            if p.participants.is_none_or(|m| m[home]) {
+                let arc = Arc::new(buf);
+                p.bus.broadcast_arc(Arc::clone(&arc));
+                self.sent.push(arc);
+            } else {
+                self.pool.put(buf);
+            }
         }
 
         // Drain: per-home keyed drains, independent, parallel.
@@ -259,7 +277,7 @@ impl DflRound {
         // did not see exactly this round's N−1 payloads in sender order.
         self.eligible.clear();
         self.eligible.resize(n, false);
-        if p.mode == AggregationMode::SharedSum && n >= 2 {
+        if p.mode == AggregationMode::SharedSum && n >= 2 && full_round {
             let quorum = p.policy.min_quorum.max(1);
             let sent = &self.sent;
             let device_ok = quorum < n
@@ -440,6 +458,7 @@ mod tests {
                     alpha,
                     policy,
                     mode,
+                    participants: None,
                 },
             );
         }
@@ -600,6 +619,7 @@ mod tests {
                     alpha: None,
                     policy: &policy,
                     mode: AggregationMode::PerHome,
+                    participants: None,
                 },
             );
             // Fault-free: every payload is drained and dropped within
@@ -607,6 +627,93 @@ mod tests {
             assert_eq!(engine.pool().free_buffers(), 4, "round {round}");
             assert_eq!(engine.pool().in_flight(), 0, "round {round}");
         }
+    }
+
+    #[test]
+    fn withheld_home_uploads_nothing_but_still_merges() {
+        let n = 4;
+        let policy = MergePolicy::default();
+        let mask = [true, false, true, true]; // home 1 quarantined
+
+        let mut models = fleet(n, 13);
+        let before = bits(&models);
+        let bus = BroadcastBus::new(n, LatencyModel::lan());
+        let mut engine = DflRound::new();
+        let mut col: Vec<&mut Mlp> = models.iter_mut().collect();
+        let out = engine.run(
+            &mut col,
+            &RoundParams {
+                bus: &bus,
+                round: 0,
+                model_id: 0,
+                alpha: None,
+                policy: &policy,
+                mode: AggregationMode::SharedSum,
+                participants: Some(&mask),
+            },
+        );
+        // A withheld home disables the shared fast path entirely.
+        assert_eq!(out.fast_path_homes, 0);
+        // Only 3 homes broadcast: 3 messages x (n-1) deliveries.
+        assert_eq!(bus.stats().messages, 3 * (n as u64 - 1));
+        // Everyone (including the quarantined home) merged peers, so
+        // every model moved off its initial weights.
+        assert_ne!(bits(&models), before);
+
+        // The quarantined home's payload never reached its peers: an
+        // oracle round over only the participating homes' updates must
+        // reproduce every participant bit-for-bit.
+        let mut oracle = fleet(n, 13);
+        let bus_o = BroadcastBus::new(n, LatencyModel::lan());
+        for (home, model) in oracle.iter().enumerate() {
+            if mask[home] {
+                bus_o.broadcast(snapshot_update(model, home, 0, 0));
+            }
+        }
+        for (home, model) in oracle.iter_mut().enumerate() {
+            let updates = bus_o.drain(home);
+            let refs: Vec<&ModelUpdate> = updates.iter().map(|u| u.as_ref()).collect();
+            let _ = merge_updates_with(model, &refs, 0, &policy);
+        }
+        assert_eq!(bits(&models), bits(&oracle));
+
+        // All buffers return to the pool, including the withheld one.
+        assert_eq!(engine.pool().free_buffers(), n);
+        assert_eq!(engine.pool().in_flight(), 0);
+    }
+
+    #[test]
+    fn full_participation_mask_is_identical_to_none() {
+        let policy = MergePolicy::default();
+        let mask = vec![true; 5];
+        let mut with_mask = fleet(5, 17);
+        let mut without = fleet(5, 17);
+        let bus_a = BroadcastBus::new(5, LatencyModel::lan());
+        let bus_b = BroadcastBus::new(5, LatencyModel::lan());
+        let mut engine = DflRound::new();
+        let mut col: Vec<&mut Mlp> = with_mask.iter_mut().collect();
+        engine.run(
+            &mut col,
+            &RoundParams {
+                bus: &bus_a,
+                round: 0,
+                model_id: 0,
+                alpha: Some(2),
+                policy: &policy,
+                mode: AggregationMode::PerHome,
+                participants: Some(&mask),
+            },
+        );
+        run_engine(
+            &mut without,
+            &bus_b,
+            1,
+            Some(2),
+            AggregationMode::PerHome,
+            &policy,
+        );
+        assert_eq!(bits(&with_mask), bits(&without));
+        assert_eq!(bus_a.stats(), bus_b.stats());
     }
 
     #[test]

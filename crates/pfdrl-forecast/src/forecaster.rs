@@ -148,7 +148,15 @@ impl Convergence {
     }
 
     /// Feeds one epoch's loss; returns `true` when training should stop.
+    ///
+    /// A non-finite loss stops immediately: the epoch's gradients are
+    /// garbage and every further epoch would train on garbage. Since
+    /// all four fit loops (LR/BP/SVR/LSTM) route their epoch losses
+    /// through here, this single guard covers forecaster fit.
     pub fn update(&mut self, loss: f64) -> bool {
+        if !loss.is_finite() {
+            return true;
+        }
         let stop = match self.prev_loss {
             Some(prev) => {
                 let denom = prev.abs().max(1e-12);
@@ -212,5 +220,14 @@ mod tests {
         let mut c = Convergence::new(1e-3, 1);
         assert!(!c.update(1.0));
         assert!(c.update(2.0));
+    }
+
+    #[test]
+    fn non_finite_loss_stops_immediately() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut c = Convergence::new(1e-3, 5);
+            assert!(!c.update(1.0));
+            assert!(c.update(bad), "{bad} must stop the fit loop");
+        }
     }
 }

@@ -64,6 +64,11 @@ pub mod section {
     pub const TRANSPORT: u32 = 5;
     /// Metric accumulators over completed evaluation days.
     pub const METRICS: u32 = 6;
+    /// Per-home telemetry health machines + supervision history.
+    /// Optional: only present when sensor-fault injection or training
+    /// supervision is active, so fault-free snapshots stay byte-
+    /// identical to the pre-health format.
+    pub const HEALTH: u32 = 7;
 }
 
 const ALL_SECTIONS: [u32; 6] = [
@@ -139,6 +144,41 @@ pub struct MetricsState {
     pub per_home_late: Vec<EnergyAccount>,
 }
 
+/// One home's telemetry health machine at the capture point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HomeHealthRecord {
+    /// Health state: 0 = Healthy, 1 = Degraded, 2 = Quarantined.
+    pub state: u8,
+    /// Consecutive dirty (above-threshold imputation) days.
+    pub dirty_days: u32,
+    /// Consecutive clean days while quarantined (hysteresis counter).
+    pub clean_days: u32,
+}
+
+/// Telemetry-health and training-supervision state (section `HEALTH`).
+///
+/// Absent from snapshots of fault-free, unsupervised runs — decoding
+/// a snapshot without this section yields `None`, which keeps every
+/// pre-health snapshot readable and every fault-free snapshot byte-
+/// identical to the earlier format.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HealthState {
+    /// Per-home health machines.
+    pub per_home: Vec<HomeHealthRecord>,
+    /// Total imputed minutes across all homes/devices/days.
+    pub imputed_minutes: u64,
+    /// Total health state transitions.
+    pub health_transitions: u64,
+    /// Home-days spent quarantined.
+    pub quarantined_home_days: u64,
+    /// Checkpoint rollbacks triggered by the divergence supervisor.
+    pub rollbacks: u64,
+    /// Per-completed-day fleet mean train loss (supervision input; a
+    /// pure function of this history decides rollbacks, so resume
+    /// replays the exact same decisions).
+    pub daily_mean_loss: Vec<f64>,
+}
+
 /// One complete, self-contained capture of a run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunSnapshot {
@@ -152,6 +192,8 @@ pub struct RunSnapshot {
     pub transport: TransportState,
     /// Metric accumulators.
     pub metrics: MetricsState,
+    /// Telemetry health + supervision state; `None` when inactive.
+    pub health: Option<HealthState>,
 }
 
 // ---------------------------------------------------------------------------
@@ -447,7 +489,7 @@ impl RunSnapshot {
         let mut tensors = Writer::new();
         pool.encode(&mut tensors);
 
-        let sections: [(u32, Vec<u8>); 6] = [
+        let mut sections: Vec<(u32, Vec<u8>)> = vec![
             (section::META, meta.into_bytes()),
             (section::TENSORS, tensors.into_bytes()),
             (section::FORECAST, forecast.into_bytes()),
@@ -455,6 +497,21 @@ impl RunSnapshot {
             (section::TRANSPORT, transport.into_bytes()),
             (section::METRICS, metrics.into_bytes()),
         ];
+        if let Some(h) = &self.health {
+            let mut health = Writer::new();
+            health.put_usize(h.per_home.len());
+            for rec in &h.per_home {
+                health.put_u8(rec.state);
+                health.put_u32(rec.dirty_days);
+                health.put_u32(rec.clean_days);
+            }
+            health.put_u64(h.imputed_minutes);
+            health.put_u64(h.health_transitions);
+            health.put_u64(h.quarantined_home_days);
+            health.put_u64(h.rollbacks);
+            health.put_f64s(&h.daily_mean_loss);
+            sections.push((section::HEALTH, health.into_bytes()));
+        }
 
         let mut file = Writer::new();
         file.put_bytes(&MAGIC);
@@ -615,12 +672,51 @@ impl RunSnapshot {
             per_home_late,
         };
 
+        // HEALTH is optional: absent in fault-free snapshots and in
+        // every snapshot written before the section existed.
+        let health = match payloads.iter().find(|&&(k, _)| k == section::HEALTH) {
+            None => None,
+            Some(&(_, payload)) => {
+                let mut hr = Reader::new(payload, "health section");
+                let n_homes = hr.count(9)?;
+                let mut per_home = Vec::with_capacity(n_homes);
+                for _ in 0..n_homes {
+                    let state = hr.u8()?;
+                    if state > 2 {
+                        return Err(StoreError::Malformed {
+                            context: "health state",
+                        });
+                    }
+                    per_home.push(HomeHealthRecord {
+                        state,
+                        dirty_days: hr.u32()?,
+                        clean_days: hr.u32()?,
+                    });
+                }
+                let imputed_minutes = hr.u64()?;
+                let health_transitions = hr.u64()?;
+                let quarantined_home_days = hr.u64()?;
+                let rollbacks = hr.u64()?;
+                let daily_mean_loss = hr.f64s()?;
+                hr.expect_end()?;
+                Some(HealthState {
+                    per_home,
+                    imputed_minutes,
+                    health_transitions,
+                    quarantined_home_days,
+                    rollbacks,
+                    daily_mean_loss,
+                })
+            }
+        };
+
         Ok(RunSnapshot {
             meta,
             forecast,
             agents,
             transport,
             metrics,
+            health,
         })
     }
 }
@@ -745,6 +841,25 @@ pub(crate) mod test_fixtures {
                     },
                 ],
             },
+            health: Some(HealthState {
+                per_home: vec![
+                    HomeHealthRecord {
+                        state: 0,
+                        dirty_days: 0,
+                        clean_days: 0,
+                    },
+                    HomeHealthRecord {
+                        state: 2,
+                        dirty_days: 3,
+                        clean_days: 1,
+                    },
+                ],
+                imputed_minutes: 480,
+                health_transitions: 2,
+                quarantined_home_days: 2,
+                rollbacks: 1,
+                daily_mean_loss: vec![0.5, 0.45, f64::NAN, 0.0],
+            }),
         }
     }
 }
@@ -858,6 +973,45 @@ mod tests {
                 bytes.len()
             );
         }
+    }
+
+    #[test]
+    fn health_section_is_optional_in_both_directions() {
+        // A pre-health snapshot (no HEALTH section) must still decode;
+        // a health-free snapshot must not emit the section at all, so
+        // fault-free runs keep the original byte format.
+        let snap = sample_snapshot();
+        let legacy = filter_sections(&snap.encode(), |kind| kind != section::HEALTH);
+        let back = RunSnapshot::decode(&legacy).unwrap();
+        assert_eq!(back.health, None);
+        assert_eq!(back.encode(), legacy);
+
+        let mut bare = sample_snapshot();
+        bare.health = None;
+        let (_, sections) = split_sections(&bare.encode());
+        assert!(
+            sections.iter().all(|&(k, _)| k != section::HEALTH),
+            "inactive health state must not be serialized"
+        );
+
+        // A quarantined record survives the round trip exactly.
+        let bytes = snap.encode();
+        let again = RunSnapshot::decode(&bytes).unwrap();
+        let h = again.health.as_ref().unwrap();
+        assert_eq!(h.per_home[1].state, 2);
+        assert_eq!(h.per_home[1].dirty_days, 3);
+        assert_eq!(h.rollbacks, 1);
+        assert!(h.daily_mean_loss[2].is_nan());
+
+        // An out-of-range state byte is malformed, not a panic.
+        let mut evil = snap.clone();
+        evil.health.as_mut().unwrap().per_home[0].state = 9;
+        assert_eq!(
+            RunSnapshot::decode(&evil.encode()),
+            Err(StoreError::Malformed {
+                context: "health state"
+            })
+        );
     }
 
     #[test]

@@ -9,7 +9,8 @@ use pfdrl_env::EnergyAccount;
 use pfdrl_fl::{BusState, BusStats, CloudState, CloudStats, LayerUpdate, ModelUpdate};
 use pfdrl_nn::optimizer::AdamState;
 use pfdrl_store::{
-    ForecastState, MetricsState, RunSnapshot, SnapshotMeta, TransportState, FORMAT_VERSION, MAGIC,
+    ForecastState, HealthState, HomeHealthRecord, MetricsState, RunSnapshot, SnapshotMeta,
+    TransportState, FORMAT_VERSION, MAGIC,
 };
 use proptest::prelude::*;
 
@@ -203,6 +204,24 @@ fn build_snapshot(seed: u64, n_homes: usize, n_devices: usize, shared_agents: bo
             hourly_standby: g.vec_f64(24),
             per_home_late: (0..n_homes).map(|_| account(g)).collect(),
         },
+        health: if g.below(2) == 0 {
+            None
+        } else {
+            Some(HealthState {
+                per_home: (0..n_homes)
+                    .map(|_| HomeHealthRecord {
+                        state: g.below(3) as u8,
+                        dirty_days: g.next() as u32,
+                        clean_days: g.next() as u32,
+                    })
+                    .collect(),
+                imputed_minutes: g.next(),
+                health_transitions: g.next(),
+                quarantined_home_days: g.next(),
+                rollbacks: g.next(),
+                daily_mean_loss: g.vec_f64(eval_days),
+            })
+        },
     }
 }
 
@@ -275,16 +294,27 @@ proptest! {
 
 /// The on-disk header layout is a stable public contract (documented in
 /// DESIGN.md): 4 magic bytes, little-endian u32 version, little-endian
-/// u32 section count of 6.
+/// u32 section count — 6 mandatory sections plus the optional HEALTH
+/// section when telemetry-health state is present.
 #[test]
 fn header_layout_matches_documented_format() {
-    let bytes = build_snapshot(42, 1, 1, false).encode();
-    assert_eq!(&bytes[0..4], &MAGIC);
-    assert_eq!(
-        u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
-        FORMAT_VERSION
-    );
-    assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 6);
+    let mut snap = build_snapshot(42, 1, 1, false);
+    for (health, expected) in [
+        (None, 6u32),
+        (snap.health.take().or(Some(Default::default())), 7),
+    ] {
+        snap.health = health;
+        let bytes = snap.encode();
+        assert_eq!(&bytes[0..4], &MAGIC);
+        assert_eq!(
+            u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+            FORMAT_VERSION
+        );
+        assert_eq!(
+            u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+            expected
+        );
+    }
 }
 
 /// Exhaustive truncation sweep on one small snapshot: every proper

@@ -59,6 +59,7 @@ fn run_engine(
             alpha,
             policy,
             mode,
+            participants: None,
         },
     );
 }

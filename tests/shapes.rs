@@ -52,6 +52,9 @@ fn shape_config(seed: u64) -> SimConfig {
         fault: pfdrl::fl::FaultConfig::default(),
         checkpoint: pfdrl::core::CheckpointPolicy::default(),
         aggregation: pfdrl::fl::AggregationMode::PerHome,
+        sensor_fault: pfdrl::data::SensorFaultConfig::default(),
+        health: pfdrl::core::HealthPolicy::default(),
+        supervision: pfdrl::core::SupervisionPolicy::default(),
     }
 }
 
