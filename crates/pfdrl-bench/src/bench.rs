@@ -13,10 +13,15 @@
 
 use crate::alloc::count_allocations;
 use crate::{quick_config, repro_config};
-use pfdrl_core::{run_method, EmsMethod, SimConfig};
+use pfdrl_core::{
+    predict_day_into, run_method, train_forecasters, EmsMethod, EmsState, PredictDayWorkspace,
+    SimConfig,
+};
+use pfdrl_data::TraceGenerator;
 use pfdrl_drl::{DqnAgent, DqnConfig, Transition};
 use pfdrl_fl::{AggregationMode, BroadcastBus, DflRound, LatencyModel, MergePolicy, RoundParams};
 use pfdrl_nn::{loss, Activation, Lstm, Matrix, Mlp};
+use pfdrl_serve::{generate_stream, NdjsonSink, ServeConfig, ServeEngine, VecSource};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -98,6 +103,33 @@ pub struct FederationRow {
     pub speedup: f64,
 }
 
+/// Streaming-service throughput: a full serving span (one priming day
+/// plus one evaluated day) of minute-major telemetry replayed through
+/// [`ServeEngine`] at neighbourhood fleet size, decisions discarded
+/// into a null sink. The decisions/sec figure is the service-mode
+/// headline the regression gate watches.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeBench {
+    pub homes: usize,
+    pub served_minutes: u64,
+    pub decisions: u64,
+    pub seconds: f64,
+    pub decisions_per_sec: f64,
+    /// Saved-standby fraction of the evaluated day — a correctness
+    /// canary: the serve path must not drift when only scheduling
+    /// changes.
+    pub saved_fraction: f64,
+}
+
+/// One row of the DESIGN.md §11 per-day phase breakdown (`repro bench
+/// --phases`): wall-clock seconds one steady-state simulated day
+/// spends in each pipeline phase.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseRow {
+    pub phase: String,
+    pub seconds: f64,
+}
+
 /// Everything one bench session measured.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -108,6 +140,12 @@ pub struct BenchReport {
     /// Federation round scaling (absent in pre-PR-4 baselines).
     #[serde(default)]
     pub federation: Vec<FederationRow>,
+    /// Serve-mode throughput (absent in pre-PR-7 baselines).
+    #[serde(default)]
+    pub serve: Option<ServeBench>,
+    /// Per-phase day breakdown; only populated under `--phases`.
+    #[serde(default)]
+    pub phases: Vec<PhaseRow>,
 }
 
 /// The on-disk `BENCH_4.json`: the current measurement, the recorded
@@ -417,8 +455,140 @@ fn ems_day_bench(quick: bool) -> EmsDayBench {
     }
 }
 
+/// The serve-throughput fleet configuration: per-home tiny scale (two
+/// devices, LR forecasters, short spans) widened to a neighbourhood
+/// fleet so the sharded ingestion path dominates the measurement.
+pub fn serve_bench_config(quick: bool) -> SimConfig {
+    let mut cfg = SimConfig::tiny(BENCH_SEED);
+    cfg.n_residences = if quick { 64 } else { 256 };
+    cfg.eval_days = 1;
+    cfg.validate();
+    cfg
+}
+
+fn serve_bench(quick: bool) -> ServeBench {
+    let cfg = serve_bench_config(quick);
+    let forecast = train_forecasters(&cfg, EmsMethod::Pfdrl);
+    let mut lines = Vec::new();
+    // One priming day before eval_start_day, then the evaluated day.
+    generate_stream(&cfg, cfg.eval_start_day - 1, cfg.eval_days + 1, &mut lines);
+    let homes = cfg.n_residences;
+    let mut engine = ServeEngine::new(
+        cfg,
+        ServeConfig::default(),
+        EmsMethod::Pfdrl,
+        forecast,
+        None,
+    );
+    let mut source = VecSource::new(lines);
+    let mut sink = NdjsonSink::new(std::io::sink());
+    let report = engine
+        .run(&mut source, &mut sink)
+        .expect("in-memory serve bench cannot fail");
+    ServeBench {
+        homes,
+        served_minutes: report.served_minutes,
+        decisions: report.decisions,
+        seconds: report.wall_s,
+        decisions_per_sec: report.decisions_per_sec,
+        saved_fraction: report.final_saved_fraction,
+    }
+}
+
+/// Times the DESIGN.md §11 phases of one steady-state simulated day by
+/// differencing three measurements over the same evolving state: a
+/// fleet-wide forecast fan-out (`predict`), a frozen day (predict +
+/// act/env, no gradient steps), and a full day. Workload-fixed like
+/// every other bench row; only the wall-clock varies.
+fn phase_benches(quick: bool) -> Vec<PhaseRow> {
+    let mut cfg = if quick {
+        quick_config(BENCH_SEED)
+    } else {
+        bench_ems_config()
+    };
+    cfg.eval_days = 6; // 2 warm-up + 1 frozen + 1 full timed day
+    let forecast = train_forecasters(&cfg, EmsMethod::Pfdrl);
+    let mut state = EmsState::fresh(&cfg);
+    for _ in 0..2 {
+        state.advance_day(&cfg, EmsMethod::Pfdrl, &forecast);
+    }
+
+    // Phase 1 — predict: the day's forecast fan-out over every
+    // controllable (home, device), on pregenerated traces so only
+    // `predict_day_into` is inside the timer.
+    let generator = TraceGenerator::new(cfg.generator());
+    let day = state.next_day;
+    let mut pairs = Vec::new();
+    for home in 0..cfg.n_residences {
+        let hh = generator.household(home as u64);
+        for device in 0..cfg.devices_per_home() {
+            if !hh.devices[device].controllable {
+                continue;
+            }
+            pairs.push((
+                home,
+                device,
+                hh.devices[device].on_watts,
+                generator.day_trace(home as u64, device, day - 1),
+                generator.day_trace(home as u64, device, day),
+            ));
+        }
+    }
+    let mut ws = PredictDayWorkspace::default();
+    let mut out = Vec::new();
+    let models = &forecast.models;
+    let t0 = Instant::now();
+    for (home, device, scale, prev, today) in &pairs {
+        out.clear();
+        predict_day_into(
+            &cfg,
+            models[*home][*device].as_ref(),
+            prev,
+            today,
+            *scale,
+            &mut ws,
+            &mut out,
+        );
+        black_box(&out);
+    }
+    let predict_s = t0.elapsed().as_secs_f64();
+
+    // Phase 2/3 — frozen day (no gradient steps) then a full day.
+    let t0 = Instant::now();
+    state.advance_day_frozen(&cfg, EmsMethod::Pfdrl, &forecast);
+    let frozen_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    state.advance_day(&cfg, EmsMethod::Pfdrl, &forecast);
+    let full_s = t0.elapsed().as_secs_f64();
+    black_box(&state);
+
+    vec![
+        PhaseRow {
+            phase: "predict".to_string(),
+            seconds: predict_s,
+        },
+        PhaseRow {
+            phase: "act_env".to_string(),
+            seconds: (frozen_s - predict_s).max(0.0),
+        },
+        PhaseRow {
+            phase: "train".to_string(),
+            seconds: (full_s - frozen_s).max(0.0),
+        },
+        PhaseRow {
+            phase: "full_day".to_string(),
+            seconds: full_s,
+        },
+    ]
+}
+
 /// Runs the full bench suite; prints a human-readable table along the way.
 pub fn run_bench(quick: bool) -> BenchReport {
+    run_bench_with(quick, false)
+}
+
+/// [`run_bench`] with an opt-in per-phase day breakdown (`--phases`).
+pub fn run_bench_with(quick: bool, phases: bool) -> BenchReport {
     println!("{:>34}  {:>10}  {:>12}", "kernel", "iters", "ns/iter");
     let kernels = kernel_benches(quick);
     for k in &kernels {
@@ -455,12 +625,36 @@ pub fn run_bench(quick: bool) -> BenchReport {
             f.n, f.rounds, f.per_home_ns, f.shared_ns, f.speedup
         );
     }
+    let serve = serve_bench(quick);
+    println!(
+        "\nserve throughput ({} homes, {} simulated minutes): \
+         {:.0} decisions/s ({} decisions in {:.2}s), saved fraction {:.3}",
+        serve.homes,
+        serve.served_minutes,
+        serve.decisions_per_sec,
+        serve.decisions,
+        serve.seconds,
+        serve.saved_fraction
+    );
+    let phase_rows = if phases {
+        phase_benches(quick)
+    } else {
+        Vec::new()
+    };
+    if !phase_rows.is_empty() {
+        println!("\n{:>10}  {:>10}", "phase", "seconds");
+        for p in &phase_rows {
+            println!("{:>10}  {:>10.3}", p.phase, p.seconds);
+        }
+    }
     BenchReport {
         quick,
         kernels,
         train_step,
         ems_day,
         federation,
+        serve: Some(serve),
+        phases: phase_rows,
     }
 }
 
@@ -498,6 +692,8 @@ mod tests {
                 saved_fraction: 0.5,
             },
             federation: vec![],
+            serve: None,
+            phases: vec![],
         };
         let mut baseline = report.clone();
         baseline.ems_day.seconds = 10.0;

@@ -9,19 +9,26 @@
 //! Results are printed as aligned tables and also written as JSON under
 //! `repro_results/` so EXPERIMENTS.md can cite exact numbers.
 
-use pfdrl_bench::bench::{run_bench, BenchFile, BenchReport};
+use pfdrl_bench::bench::{run_bench_with, BenchFile, BenchReport};
 use pfdrl_bench::{
     clients_config, forecast_config, format_series, format_series_table, quick_config, repro_config,
 };
 use pfdrl_core::experiment::{
     self, compare_methods, fig10_monetary, fig12_personalization, fig13_forecast_overhead,
-    headline, table2_rows,
+    headline, table2_rows, DegradationResult, SensorFaultResult,
 };
 use pfdrl_core::{
-    run_method_resumable, run_method_resume_from, EmsMethod, ResumableRun, RunResult, SimConfig,
+    run_method_resumable, run_method_resume_from, train_forecasters, EmsMethod, ResumableRun,
+    RunResult, SimConfig,
 };
+use pfdrl_serve::{
+    generate_stream, NdjsonSink, NdjsonSource, ServeConfig, ServeEngine, ServeReport,
+    TelemetrySource, VecSource,
+};
+use pfdrl_store::CheckpointStore;
 use serde::Serialize;
 use std::fs;
+use std::io::BufReader;
 use std::time::Instant;
 
 const SEED: u64 = 42;
@@ -39,6 +46,18 @@ struct Ctx {
     crash_after_day: Option<u64>,
     baseline: Option<String>,
     max_regression: Option<f64>,
+    /// `bench --phases`: include the per-phase day breakdown rows.
+    phases: bool,
+    /// `serve --stream <path|->`: NDJSON telemetry replay (`-` =
+    /// stdin). Absent: a synthetic stream is generated in memory.
+    stream: Option<String>,
+    /// `serve --serve-out <path>`: decision log destination.
+    serve_out: Option<String>,
+    snapshot_every_minutes: Option<u64>,
+    crash_after_minute: Option<u64>,
+    shards: Option<usize>,
+    chunk_minutes: Option<usize>,
+    queue_cap: Option<usize>,
 }
 
 impl Ctx {
@@ -291,7 +310,7 @@ fn fig13(ctx: &Ctx) {
     ctx.save_json("fig13", &rows);
 }
 
-fn degradation(ctx: &Ctx) {
+fn degradation(ctx: &Ctx) -> DegradationResult {
     banner(
         "degradation",
         "PFDRL under residence churn and message loss",
@@ -322,9 +341,10 @@ fn degradation(ctx: &Ctx) {
         );
     }
     ctx.save_json("degradation", &r);
+    r
 }
 
-fn sensor_degradation(ctx: &Ctx) {
+fn sensor_degradation(ctx: &Ctx) -> SensorFaultResult {
     banner(
         "sensor-degradation",
         "PFDRL under hostile telemetry (sensor-fault storms)",
@@ -369,6 +389,128 @@ fn sensor_degradation(ctx: &Ctx) {
         println!("fault-free row is bitwise equal to the baseline");
     }
     ctx.save_json("sensor-degradation", &r);
+    r
+}
+
+/// `serve` target: the streaming service mode. Replays an NDJSON
+/// telemetry stream (`--stream <path|->`, or a synthetic fleet stream
+/// when absent) through [`ServeEngine`], writing the decision log to
+/// `--serve-out` (default `<out-dir>/decisions.ndjson`). With
+/// `--checkpoint-dir` the live state is snapshotted every
+/// `--snapshot-every-minutes` simulated minutes and the next
+/// invocation auto-resumes from the newest snapshot;
+/// `--crash-after-minute` hard-aborts mid-stream for the recovery
+/// smoke tests.
+fn serve(ctx: &Ctx) -> ServeReport {
+    banner("serve", "streaming ingestion + online inference");
+    let cfg = ctx.base();
+    let mut scfg = ServeConfig::default();
+    if let Some(v) = ctx.chunk_minutes {
+        scfg.chunk_minutes = v;
+    }
+    if let Some(v) = ctx.snapshot_every_minutes {
+        scfg.snapshot_every_minutes = v;
+    }
+    if let Some(v) = ctx.shards {
+        scfg.n_shards = v;
+    }
+    if let Some(v) = ctx.queue_cap {
+        scfg.queue_capacity = v;
+    }
+    scfg.abort_after_minute = ctx.crash_after_minute;
+
+    let store = ctx.checkpoint_dir.as_ref().map(|dir| {
+        CheckpointStore::open(dir, 4).unwrap_or_else(|e| {
+            eprintln!("opening checkpoint dir {dir}: {e}");
+            std::process::exit(1);
+        })
+    });
+    let snap_path = match (&ctx.resume_from, &store) {
+        (Some(path), _) => Some(std::path::PathBuf::from(path)),
+        (None, Some(store)) => store.latest().unwrap_or_else(|e| {
+            eprintln!("scanning checkpoint dir: {e}");
+            std::process::exit(1);
+        }),
+        (None, None) => None,
+    };
+    let mut engine = match snap_path {
+        Some(path) => {
+            let snap = CheckpointStore::load(&path).unwrap_or_else(|e| {
+                eprintln!("loading snapshot {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            let engine = ServeEngine::resume(cfg.clone(), scfg, EmsMethod::Pfdrl, &snap, store)
+                .unwrap_or_else(|e| {
+                    eprintln!("resuming serve from {}: {e}", path.display());
+                    std::process::exit(1);
+                });
+            println!("resumed from serve snapshot at minute {}", engine.cursor());
+            engine
+        }
+        None => {
+            println!("serving from scratch");
+            let forecast = train_forecasters(&cfg, EmsMethod::Pfdrl);
+            ServeEngine::new(cfg.clone(), scfg, EmsMethod::Pfdrl, forecast, store)
+        }
+    };
+
+    let mut source: Box<dyn TelemetrySource> = match ctx.stream.as_deref() {
+        Some("-") => Box::new(NdjsonSource::new(BufReader::new(std::io::stdin()))),
+        Some(path) => {
+            let file = fs::File::open(path).unwrap_or_else(|e| {
+                eprintln!("opening stream {path}: {e}");
+                std::process::exit(1);
+            });
+            Box::new(NdjsonSource::new(BufReader::new(file)))
+        }
+        None => {
+            let mut lines = Vec::new();
+            generate_stream(&cfg, cfg.eval_start_day - 1, cfg.eval_days + 1, &mut lines);
+            println!(
+                "no --stream given: generated a synthetic {}-line fleet stream",
+                lines.len()
+            );
+            Box::new(VecSource::new(lines))
+        }
+    };
+    let out_path = ctx
+        .serve_out
+        .clone()
+        .unwrap_or_else(|| format!("{}/decisions.ndjson", ctx.out_dir));
+    let out_file = fs::File::create(&out_path).unwrap_or_else(|e| {
+        eprintln!("creating decision log {out_path}: {e}");
+        std::process::exit(1);
+    });
+    let mut sink = NdjsonSink::new(std::io::BufWriter::new(out_file));
+
+    let report = engine.run(source.as_mut(), &mut sink).unwrap_or_else(|e| {
+        eprintln!("serve failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "served {} simulated minutes ({} completed days): {} decisions \
+         in {:.2}s ({:.0}/s), final saved fraction {:.3}",
+        report.served_minutes,
+        report.completed_days,
+        report.decisions,
+        report.wall_s,
+        report.decisions_per_sec,
+        report.final_saved_fraction
+    );
+    println!(
+        "shed: {} stale, {} out-of-span, {} unknown-home, {} malformed; \
+         {} backpressure drains, {} sink retries, {} snapshots",
+        report.counters.shed_stale,
+        report.counters.shed_out_of_span,
+        report.counters.shed_unknown_home,
+        report.counters.shed_malformed,
+        report.counters.rejected_backpressure,
+        report.counters.sink_retries,
+        report.snapshots_written
+    );
+    println!("  -> {out_path}");
+    ctx.save_json("serve", &report);
+    report
 }
 
 /// Machine-readable summary of one checkpointable run (`run` target,
@@ -444,15 +586,15 @@ fn run_headline(ctx: &Ctx) {
 }
 
 /// `bench` target: the fixed-workload perf harness. Emits
-/// `BENCH_5.json` embedding the current measurement, the committed
+/// `BENCH_7.json` embedding the current measurement, the committed
 /// pre-PR baseline (when `--baseline <file>` points at one), and the
-/// headline speedups.
+/// headline speedups. `--phases` adds the per-phase day breakdown.
 fn bench(ctx: &Ctx) {
     banner(
         "bench",
-        "kernel micro-benchmarks + fixed-seed EMS day + federation scaling",
+        "kernel micro-benchmarks + fixed-seed EMS day + federation scaling + serve throughput",
     );
-    let current = run_bench(ctx.quick);
+    let current = run_bench_with(ctx.quick, ctx.phases);
     let baseline: Option<BenchReport> = ctx.baseline.as_ref().map(|path| {
         let text =
             fs::read_to_string(path).unwrap_or_else(|e| panic!("reading baseline {path}: {e}"));
@@ -468,7 +610,7 @@ fn bench(ctx: &Ctx) {
             .unwrap_or_default();
         println!("speedup vs baseline: ems_day {ems:.2}x, train_step {ts:.2}x{steady}");
     }
-    ctx.save_json("BENCH_5", &file);
+    ctx.save_json("BENCH_7", &file);
     if let (Some(factor), Some(base)) = (ctx.max_regression, file.baseline.as_ref()) {
         gate_regression(&file.current, base, factor);
     }
@@ -589,6 +731,38 @@ fn gate_regression(current: &BenchReport, base: &BenchReport, factor: f64) {
             }
         }
     }
+    // Serve throughput: rate-based, but over a fleet-size-dependent
+    // workload — compare only when both sides served the same fleet.
+    // Baselines recorded before the row existed are skipped.
+    if let (Some(cur), Some(bas)) = (current.serve.as_ref(), base.serve.as_ref()) {
+        if cur.homes == bas.homes && cur.decisions_per_sec * factor < bas.decisions_per_sec {
+            failures.push(format!(
+                "serve ({} homes): {:.0} decisions/s vs baseline {:.0} (limit {:.0})",
+                cur.homes,
+                cur.decisions_per_sec,
+                bas.decisions_per_sec,
+                bas.decisions_per_sec / factor
+            ));
+        }
+    }
+    // Per-phase day rows (`--phases`): wall-clock over a fixed per-day
+    // workload; matching phase names compare when both sides ran the
+    // same config. Absent rows (either side skipped --phases) skip.
+    if current.quick == base.quick {
+        for row in &current.phases {
+            if let Some(b) = base.phases.iter().find(|b| b.phase == row.phase) {
+                if b.seconds > 0.0 && row.seconds > b.seconds * factor {
+                    failures.push(format!(
+                        "phase {}: {:.3}s vs baseline {:.3}s (limit {:.3}s)",
+                        row.phase,
+                        row.seconds,
+                        b.seconds,
+                        b.seconds * factor
+                    ));
+                }
+            }
+        }
+    }
     if failures.is_empty() {
         println!("regression gate: all workloads within {factor:.1}x of baseline");
     } else {
@@ -658,6 +832,12 @@ struct SessionSummary {
     timings: Vec<TargetTiming>,
     /// Present when the `run` target executed.
     run: Option<RunSummary>,
+    /// Present when the `serve` target executed.
+    serve: Option<ServeReport>,
+    /// Present when the `degradation` target executed.
+    degradation: Option<DegradationResult>,
+    /// Present when the `sensor-degradation` target executed.
+    sensor_degradation: Option<SensorFaultResult>,
 }
 
 fn flag_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> String {
@@ -677,35 +857,47 @@ fn main() {
     let mut crash_after_day: Option<u64> = None;
     let mut baseline: Option<String> = None;
     let mut max_regression: Option<f64> = None;
+    let mut phases = false;
+    let mut stream: Option<String> = None;
+    let mut serve_out: Option<String> = None;
+    let mut snapshot_every_minutes: Option<u64> = None;
+    let mut crash_after_minute: Option<u64> = None;
+    let mut shards: Option<usize> = None;
+    let mut chunk_minutes: Option<usize> = None;
+    let mut queue_cap: Option<usize> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter();
+    fn parsed<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>, flag: &str) -> T {
+        let v = flag_value(it, flag);
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("{flag} needs a number, got {v:?}");
+            std::process::exit(2);
+        })
+    }
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--json" => json = true,
+            "--phases" => phases = true,
             "--out-dir" => out_dir = flag_value(&mut it, a),
             "--checkpoint-dir" => checkpoint_dir = Some(flag_value(&mut it, a)),
             "--resume-from" => resume_from = Some(flag_value(&mut it, a)),
             "--baseline" => baseline = Some(flag_value(&mut it, a)),
-            "--max-regression" => {
-                let v = flag_value(&mut it, a);
-                max_regression = Some(v.parse().unwrap_or_else(|_| {
-                    eprintln!("--max-regression needs a number, got {v:?}");
-                    std::process::exit(2);
-                }));
-            }
-            "--crash-after-day" => {
-                let v = flag_value(&mut it, a);
-                crash_after_day = Some(v.parse().unwrap_or_else(|_| {
-                    eprintln!("--crash-after-day needs an integer, got {v:?}");
-                    std::process::exit(2);
-                }));
-            }
+            "--stream" => stream = Some(flag_value(&mut it, a)),
+            "--serve-out" => serve_out = Some(flag_value(&mut it, a)),
+            "--max-regression" => max_regression = Some(parsed(&mut it, a)),
+            "--crash-after-day" => crash_after_day = Some(parsed(&mut it, a)),
+            "--snapshot-every-minutes" => snapshot_every_minutes = Some(parsed(&mut it, a)),
+            "--crash-after-minute" => crash_after_minute = Some(parsed(&mut it, a)),
+            "--shards" => shards = Some(parsed(&mut it, a)),
+            "--chunk-minutes" => chunk_minutes = Some(parsed(&mut it, a)),
+            "--queue-cap" => queue_cap = Some(parsed(&mut it, a)),
             other if other.starts_with("--") => {
                 eprintln!(
-                    "unknown flag {other:?}; known: --quick --json --out-dir \
+                    "unknown flag {other:?}; known: --quick --json --phases --out-dir \
                      --checkpoint-dir --resume-from --crash-after-day --baseline \
-                     --max-regression"
+                     --max-regression --stream --serve-out --snapshot-every-minutes \
+                     --crash-after-minute --shards --chunk-minutes --queue-cap"
                 );
                 std::process::exit(2);
             }
@@ -743,12 +935,23 @@ fn main() {
         crash_after_day,
         baseline,
         max_regression,
+        phases,
+        stream,
+        serve_out,
+        snapshot_every_minutes,
+        crash_after_minute,
+        shards,
+        chunk_minutes,
+        queue_cap,
     };
 
     let started = Instant::now();
     let mut nine_eleven_fourteen_done = false;
     let mut timings: Vec<TargetTiming> = Vec::new();
     let mut run_summary: Option<RunSummary> = None;
+    let mut serve_report: Option<ServeReport> = None;
+    let mut degradation_result: Option<DegradationResult> = None;
+    let mut sensor_degradation_result: Option<SensorFaultResult> = None;
     for t in &targets {
         let t0 = Instant::now();
         match t.as_str() {
@@ -770,15 +973,16 @@ fn main() {
             "fig10" => fig10(&ctx),
             "fig12" => fig12(&ctx),
             "fig13" => fig13(&ctx),
-            "degradation" => degradation(&ctx),
-            "sensor-degradation" => sensor_degradation(&ctx),
+            "degradation" => degradation_result = Some(degradation(&ctx)),
+            "sensor-degradation" => sensor_degradation_result = Some(sensor_degradation(&ctx)),
             "headline" => run_headline(&ctx),
             "run" => run_summary = Some(run_checkpointed(&ctx)),
+            "serve" => serve_report = Some(serve(&ctx)),
             "bench" => bench(&ctx),
             "scale-smoke" => scale_smoke(&ctx),
             other => {
                 eprintln!(
-                    "unknown target {other:?}; known: table1 table2 fig2..fig14 degradation sensor-degradation headline run bench scale-smoke"
+                    "unknown target {other:?}; known: table1 table2 fig2..fig14 degradation sensor-degradation headline run serve bench scale-smoke"
                 );
                 std::process::exit(2);
             }
@@ -799,6 +1003,9 @@ fn main() {
             total_seconds,
             timings,
             run: run_summary,
+            serve: serve_report,
+            degradation: degradation_result,
+            sensor_degradation: sensor_degradation_result,
         };
         println!(
             "{}",

@@ -287,6 +287,66 @@ pub fn predict_day_into(
     );
 }
 
+/// Predictions for the partial minute range `[r0, r1)` of a day,
+/// appended to `out` (which must already hold rows `[0, r0)`).
+///
+/// The serve loop closes a day chunk by chunk, so it cannot featurize
+/// all 1440 rows at once — but every forecaster's `predict_into`
+/// treats each input row as an independent window, so predicting the
+/// rows of a sub-span produces bit-identical values to slicing a
+/// full-day [`predict_day_into`] (pinned by a test below). Row `t`'s
+/// window ends at concatenated index `1440 + t - horizon`, so it only
+/// needs `today_watts` up to index `t - horizon - 1 < r1 - 1`:
+/// yesterday's full day plus the repaired prefix of today suffice.
+#[allow(clippy::too_many_arguments)]
+pub fn predict_span_into(
+    cfg: &SimConfig,
+    forecaster: &dyn pfdrl_forecast::Forecaster,
+    prev_watts: &[f64],
+    today_watts: &[f64],
+    scale: f64,
+    r0: usize,
+    r1: usize,
+    ws: &mut PredictDayWorkspace,
+    out: &mut Vec<f64>,
+) {
+    debug_assert!(r0 <= r1 && r1 <= MINUTES_PER_DAY && out.len() == r0);
+    if r0 == r1 {
+        return;
+    }
+    let window = cfg.window;
+    let horizon = cfg.horizon;
+    let transform = cfg.transform;
+    // Rows [r0, r1) touch concatenated-series indices
+    // [start0 + r0, start0 + r1 - 1 + window).
+    let start0 = MINUTES_PER_DAY - horizon - window;
+    let span = (r1 - r0) + window - 1;
+    ws.encoded.clear();
+    ws.encoded.reserve(span);
+    for idx in start0 + r0..start0 + r0 + span {
+        let w = if idx < MINUTES_PER_DAY {
+            prev_watts[idx]
+        } else {
+            today_watts[idx - MINUTES_PER_DAY]
+        };
+        ws.encoded.push(transform.encode(w / scale));
+    }
+    ws.inputs.resize(r1 - r0, window + 2);
+    for (i, t) in (r0..r1).enumerate() {
+        let row = ws.inputs.row_mut(i);
+        row[..window].copy_from_slice(&ws.encoded[i..i + window]);
+        let angle = 2.0 * std::f64::consts::PI * t as f64 / MINUTES_PER_DAY as f64;
+        row[window] = angle.sin();
+        row[window + 1] = angle.cos();
+    }
+    forecaster.predict_into(&ws.inputs, &mut ws.fws, &mut ws.raw);
+    out.extend(
+        ws.raw
+            .iter()
+            .map(|p| (transform.decode(*p) * scale).max(0.0)),
+    );
+}
+
 /// Recycled buffers for one device's day: the trace pair (today's
 /// trace becomes tomorrow's `prev` via a swap), the decoded
 /// predictions, the persistent environment reloaded day over day with
@@ -794,6 +854,69 @@ impl EmsState {
         cfg.sensor_fault.is_active() || cfg.supervision.is_active()
     }
 
+    /// Exports the health machines + supervision counters as a snapshot
+    /// HEALTH section. [`EmsState::to_snapshot`] emits this only when a
+    /// hostile-telemetry feature is configured; the serve loop always
+    /// runs the health machine and fills the section unconditionally.
+    pub fn export_health(&self) -> HealthSection {
+        HealthSection {
+            per_home: self
+                .health
+                .iter()
+                .map(|h| HomeHealthRecord {
+                    state: match h.state {
+                        HealthState::Healthy => 0,
+                        HealthState::Degraded => 1,
+                        HealthState::Quarantined => 2,
+                    },
+                    dirty_days: h.dirty_days,
+                    clean_days: h.clean_days,
+                })
+                .collect(),
+            imputed_minutes: self.imputed_minutes,
+            health_transitions: self.health_transitions,
+            quarantined_home_days: self.quarantined_home_days,
+            rollbacks: self.rollbacks,
+            daily_mean_loss: self.daily_mean_loss.clone(),
+        }
+    }
+
+    /// One federation round outside the batch day loop, for callers
+    /// that own the schedule (the serve loop fires this at simulated
+    /// day boundaries). Quarantined homes are withheld from uploads
+    /// exactly as in [`EmsState::advance_day`]; the round counter
+    /// advances so bus/cloud arrival bookkeeping stays consistent.
+    pub fn federate_now(&mut self, cfg: &SimConfig, method: EmsMethod) {
+        let federation = method.drl_federation(cfg.alpha);
+        if federation == DrlFederation::None {
+            return;
+        }
+        let policy = cfg.fault.merge_policy();
+        let any_quarantined = self.health.iter().any(HomeHealth::quarantined);
+        self.participants.clear();
+        if any_quarantined {
+            self.participants
+                .extend(self.health.iter().map(|h| !h.quarantined()));
+        }
+        let participants: Option<&[bool]> = if any_quarantined {
+            Some(&self.participants)
+        } else {
+            None
+        };
+        self.fed_round += 1;
+        federate(
+            &mut self.agents,
+            federation,
+            &self.bus,
+            &self.cloud,
+            self.fed_round,
+            &policy,
+            cfg.aggregation,
+            &mut self.fed_engine,
+            participants,
+        );
+    }
+
     /// Captures the complete cross-day state into a snapshot.
     pub fn to_snapshot(
         &self,
@@ -828,26 +951,8 @@ impl EmsState {
                 hourly_standby: self.hourly_standby.to_vec(),
                 per_home_late: self.per_home_late.clone(),
             },
-            health: Self::health_active(cfg).then(|| HealthSection {
-                per_home: self
-                    .health
-                    .iter()
-                    .map(|h| HomeHealthRecord {
-                        state: match h.state {
-                            HealthState::Healthy => 0,
-                            HealthState::Degraded => 1,
-                            HealthState::Quarantined => 2,
-                        },
-                        dirty_days: h.dirty_days,
-                        clean_days: h.clean_days,
-                    })
-                    .collect(),
-                imputed_minutes: self.imputed_minutes,
-                health_transitions: self.health_transitions,
-                quarantined_home_days: self.quarantined_home_days,
-                rollbacks: self.rollbacks,
-                daily_mean_loss: self.daily_mean_loss.clone(),
-            }),
+            health: Self::health_active(cfg).then(|| self.export_health()),
+            serve: None,
         }
     }
 
@@ -1220,6 +1325,67 @@ mod tests {
         assert_eq!(phase.per_home_saved_fraction.len(), 3);
         for f in &phase.per_home_saved_fraction {
             assert!((0.0..=1.0).contains(f));
+        }
+    }
+
+    #[test]
+    fn span_predictions_match_full_day_bitwise() {
+        // The serve loop predicts a day in arbitrary chunk spans; every
+        // backend's predict_into treats rows independently, so the
+        // concatenated spans must equal the one-shot full day bit for
+        // bit — for the linear and the recurrent forecaster alike.
+        use pfdrl_forecast::ForecastMethod;
+        for fm in [ForecastMethod::Lr, ForecastMethod::Lstm] {
+            let mut cfg = SimConfig::tiny(11);
+            cfg.forecast_method = fm;
+            let forecast = train_forecasters(&cfg, EmsMethod::Local);
+            let gen = TraceGenerator::new(cfg.generator());
+            let hh = gen.household(1);
+            let spec = &hh.devices[0];
+            let mut prev = DayTrace::default();
+            let mut today = DayTrace::default();
+            gen.day_trace_into(&hh, 0, 2, &mut prev);
+            gen.day_trace_into(&hh, 0, 3, &mut today);
+
+            let mut ws = PredictDayWorkspace::default();
+            let mut full = Vec::new();
+            predict_day_into(
+                &cfg,
+                forecast.models[1][0].as_ref(),
+                &prev,
+                &today,
+                spec.on_watts,
+                &mut ws,
+                &mut full,
+            );
+
+            for chunk in [45usize, 60, 720, MINUTES_PER_DAY] {
+                let mut out = Vec::new();
+                let mut r0 = 0usize;
+                while r0 < MINUTES_PER_DAY {
+                    let r1 = (r0 + chunk).min(MINUTES_PER_DAY);
+                    predict_span_into(
+                        &cfg,
+                        forecast.models[1][0].as_ref(),
+                        &prev.watts,
+                        &today.watts,
+                        spec.on_watts,
+                        r0,
+                        r1,
+                        &mut ws,
+                        &mut out,
+                    );
+                    r0 = r1;
+                }
+                assert_eq!(out.len(), full.len());
+                for (t, (a, b)) in out.iter().zip(&full).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{fm:?} chunk {chunk}: minute {t} differs"
+                    );
+                }
+            }
         }
     }
 

@@ -35,7 +35,10 @@ pub mod method;
 pub mod runner;
 
 pub use config::{CheckpointPolicy, HealthPolicy, SimConfig, SupervisionPolicy};
-pub use ems::{DrlFederation, EmsPhase, EmsState, HealthState, HomeHealth};
+pub use ems::{
+    predict_day_into, predict_span_into, DrlFederation, EmsPhase, EmsState, HealthState,
+    HomeHealth, PredictDayWorkspace,
+};
 pub use eval::{evaluate_forecast, ForecastEval};
 pub use forecast::{train_forecasters, ForecastPhase};
 pub use method::EmsMethod;

@@ -79,5 +79,5 @@ pub use codec::{CodecError, LayerUpdate, ModelUpdate, CODEC_VERSION};
 pub use fault::{CorruptKind, Delivery, DropReason, FaultConfig, FaultInjector, FaultPlan};
 pub use personalization::LayerSplit;
 pub use round::{dfl_round_reference, DflRound, RoundOutcome, RoundParams, UpdatePool};
-pub use scheduler::PeriodicSchedule;
+pub use scheduler::{MinuteSchedule, PeriodicSchedule};
 pub use topology::Topology;

@@ -1,0 +1,33 @@
+//! Streaming ingestion + online inference for the PFDRL EMS
+//! (DESIGN.md §13).
+//!
+//! The batch pipeline (`pfdrl-core`) replays whole days; this crate
+//! turns the same kernels into a *service*: per-home minute telemetry
+//! arrives as an NDJSON stream ([`TelemetrySource`]), is sharded into
+//! bounded ingress queues with explicit typed shed/backpressure
+//! outcomes, and flows through repair → forecast ([`predict_span_into`]
+//! spans of the batch featurization) → DQN decide → [`DecisionSink`],
+//! with live state snapshotted every K *simulated* minutes through
+//! `pfdrl-store`'s `SERVE` section so a kill + resume is byte-exact.
+//!
+//! Entry points: [`ServeEngine::new`] / [`ServeEngine::resume`] +
+//! [`ServeEngine::run`]; [`generate_stream`] produces replayable
+//! synthetic streams for tests, benches and the CLI fixture.
+//!
+//! [`predict_span_into`]: pfdrl_core::predict_span_into
+
+mod engine;
+mod queue;
+mod record;
+mod sink;
+mod source;
+mod stream;
+
+pub use engine::{ServeConfig, ServeCounters, ServeEngine, ServeError, ServeReport};
+pub use queue::BoundedQueue;
+pub use record::{
+    format_decision, format_telemetry, parse_telemetry, DecisionRecord, TelemetryRecord,
+};
+pub use sink::{DecisionSink, FlakySink, NdjsonSink, SinkStatus, VecSink};
+pub use source::{NdjsonSource, TelemetrySource, VecSource};
+pub use stream::generate_stream;

@@ -1,0 +1,88 @@
+//! Bounded per-shard ingress queues.
+//!
+//! Every record admitted to the engine sits in exactly one shard's
+//! queue until the next chunk close drains it into the day buffers.
+//! The bound is hard: a full queue rejects the offer and hands the
+//! record back, and the engine reacts by draining that shard early
+//! (counting `rejected_backpressure`) — ingress memory is capped at
+//! `n_shards × capacity` records no matter how hot the stream runs.
+
+use crate::record::TelemetryRecord;
+use std::collections::VecDeque;
+
+/// Fixed-capacity FIFO of admitted telemetry records.
+pub struct BoundedQueue {
+    items: VecDeque<TelemetryRecord>,
+    capacity: usize,
+}
+
+impl BoundedQueue {
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Enqueues, or hands the record back when full.
+    pub fn offer(&mut self, rec: TelemetryRecord) -> Result<(), TelemetryRecord> {
+        if self.items.len() >= self.capacity {
+            return Err(rec);
+        }
+        self.items.push_back(rec);
+        Ok(())
+    }
+
+    pub fn pop(&mut self) -> Option<TelemetryRecord> {
+        self.items.pop_front()
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(minute: u64) -> TelemetryRecord {
+        TelemetryRecord {
+            minute,
+            home: 0,
+            watts: vec![],
+        }
+    }
+
+    #[test]
+    fn bound_is_hard_and_fifo_order_holds() {
+        let mut q = BoundedQueue::new(2);
+        q.offer(rec(1)).unwrap();
+        q.offer(rec(2)).unwrap();
+        let back = q.offer(rec(3)).unwrap_err();
+        assert_eq!(back.minute, 3);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().minute, 1);
+        q.offer(rec(3)).unwrap();
+        assert_eq!(q.pop().unwrap().minute, 2);
+        assert_eq!(q.pop().unwrap().minute, 3);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = BoundedQueue::new(0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Wire records of the service: telemetry in, decisions out.
+//!
+//! Both sides are single-line JSON with a fixed key order, parsed and
+//! formatted by hand so the hot ingest path does not depend on a
+//! general JSON tree. The formats are part of the service contract:
+//!
+//! ```text
+//! telemetry: {"m":<minute>,"h":<home>,"w":[<watts>,...]}
+//! decision:  {"m":<minute>,"h":<home>,"d":<device>,"a":<mode>,"r":<reward>}
+//! ```
+//!
+//! `m` is the absolute simulated minute (day × 1440 + minute-of-day),
+//! `w` has one entry per configured device, `a` is the commanded
+//! [`Mode`](pfdrl_data::Mode) index. Floats use Rust's shortest
+//! round-trip formatting, so emitted values re-parse bit-exactly and
+//! two identical runs produce byte-identical logs.
+
+use std::fmt::Write as _;
+
+/// One home's minute of telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryRecord {
+    /// Absolute simulated minute.
+    pub minute: u64,
+    /// Home index within the fleet.
+    pub home: usize,
+    /// Raw watt readings, one per configured device. Values are taken
+    /// as delivered — non-finite, negative and above-ceiling readings
+    /// are the repair scan's job, not the parser's.
+    pub watts: Vec<f64>,
+}
+
+/// One emitted device-mode decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRecord {
+    /// Absolute simulated minute the decision applies to.
+    pub minute: u64,
+    /// Home index.
+    pub home: usize,
+    /// Device index within the home.
+    pub device: usize,
+    /// Commanded mode index (`Mode::ALL` order).
+    pub action: usize,
+    /// Reward of the decision against the repaired ground truth.
+    pub reward: f64,
+}
+
+fn split_uint(s: &str) -> Option<(u64, &str)> {
+    let end = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+    if end == 0 {
+        return None;
+    }
+    s[..end].parse().ok().map(|v| (v, &s[end..]))
+}
+
+/// Parses one telemetry line; `None` on any structural deviation
+/// (the engine counts those as `shed_malformed`).
+pub fn parse_telemetry(line: &str) -> Option<TelemetryRecord> {
+    let s = line.trim();
+    let s = s.strip_prefix("{\"m\":")?;
+    let (minute, s) = split_uint(s)?;
+    let s = s.strip_prefix(",\"h\":")?;
+    let (home, s) = split_uint(s)?;
+    let mut s = s.strip_prefix(",\"w\":[")?;
+    let mut watts = Vec::new();
+    if let Some(rest) = s.strip_prefix(']') {
+        if rest != "}" {
+            return None;
+        }
+        return Some(TelemetryRecord {
+            minute,
+            home: home as usize,
+            watts,
+        });
+    }
+    loop {
+        let end = s.find([',', ']'])?;
+        watts.push(s[..end].parse().ok()?);
+        let sep = s.as_bytes()[end];
+        s = &s[end + 1..];
+        if sep == b']' {
+            break;
+        }
+    }
+    if s != "}" {
+        return None;
+    }
+    Some(TelemetryRecord {
+        minute,
+        home: home as usize,
+        watts,
+    })
+}
+
+/// Formats one telemetry line (the inverse of [`parse_telemetry`])
+/// into `out`, which is cleared first. No trailing newline.
+pub fn format_telemetry(minute: u64, home: usize, watts: &[f64], out: &mut String) {
+    out.clear();
+    let _ = write!(out, "{{\"m\":{minute},\"h\":{home},\"w\":[");
+    for (i, w) in watts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{w}");
+    }
+    out.push_str("]}");
+}
+
+/// Formats one decision line into `out`, which is cleared first.
+/// No trailing newline.
+pub fn format_decision(d: &DecisionRecord, out: &mut String) {
+    out.clear();
+    let _ = write!(
+        out,
+        "{{\"m\":{},\"h\":{},\"d\":{},\"a\":{},\"r\":{}}}",
+        d.minute, d.home, d.device, d.action, d.reward
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telemetry_round_trips_exactly() {
+        let cases: [&[f64]; 4] = [
+            &[],
+            &[0.0],
+            &[87.5, -0.0, 1.0e-17],
+            &[f64::NAN, f64::INFINITY, -3.25],
+        ];
+        let mut line = String::new();
+        for watts in cases {
+            format_telemetry(1234, 7, watts, &mut line);
+            let rec = parse_telemetry(&line).unwrap();
+            assert_eq!(rec.minute, 1234);
+            assert_eq!(rec.home, 7);
+            assert_eq!(rec.watts.len(), watts.len());
+            for (a, b) in rec.watts.iter().zip(watts) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{line}");
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_not_panicked() {
+        for bad in [
+            "",
+            "{}",
+            "garbage",
+            "{\"m\":,\"h\":0,\"w\":[1]}",
+            "{\"m\":1,\"h\":0,\"w\":[1}",
+            "{\"m\":1,\"h\":0,\"w\":[1]}}",
+            "{\"m\":1,\"h\":0,\"w\":[1],\"x\":2}",
+            "{\"h\":0,\"m\":1,\"w\":[1]}",
+            "{\"m\":-1,\"h\":0,\"w\":[1]}",
+            "{\"m\":1,\"h\":0,\"w\":[--1]}",
+        ] {
+            assert!(parse_telemetry(bad).is_none(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn decision_format_is_stable() {
+        let mut line = String::new();
+        format_decision(
+            &DecisionRecord {
+                minute: 2881,
+                home: 2,
+                device: 1,
+                action: 0,
+                reward: 30.0,
+            },
+            &mut line,
+        );
+        assert_eq!(line, "{\"m\":2881,\"h\":2,\"d\":1,\"a\":0,\"r\":30}");
+    }
+}

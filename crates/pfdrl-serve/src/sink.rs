@@ -1,0 +1,127 @@
+//! Decision output sinks with explicit backpressure.
+//!
+//! A sink may report [`SinkStatus::Busy`]; the engine then retries the
+//! same line (counting `sink_retries`) and — crucially — pulls nothing
+//! from the input source while it does, so a slow consumer throttles
+//! ingestion instead of growing queues. File/buffer sinks never report
+//! busy; the flaky wrapper exists to pin that contract in tests.
+
+use std::io::{self, Write};
+
+/// Outcome of one emit attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkStatus {
+    /// Line accepted; the engine moves on.
+    Accepted,
+    /// Consumer is saturated; the engine retries the same line.
+    Busy,
+}
+
+/// A consumer of decision lines.
+pub trait DecisionSink {
+    /// Offers one formatted decision line (no newline).
+    fn emit(&mut self, line: &str) -> io::Result<SinkStatus>;
+
+    /// Flushes buffered output. The engine flushes at every chunk
+    /// close *before* snapshotting, so a crash never loses decisions
+    /// that a snapshot claims were emitted.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// NDJSON writer over anything [`Write`] (file, stdout, pipe).
+pub struct NdjsonSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> NdjsonSink<W> {
+    pub fn new(writer: W) -> Self {
+        NdjsonSink { writer }
+    }
+}
+
+impl<W: Write> DecisionSink for NdjsonSink<W> {
+    fn emit(&mut self, line: &str) -> io::Result<SinkStatus> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        Ok(SinkStatus::Accepted)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Collects decision lines in memory (tests, benches, byte-diffing).
+#[derive(Default)]
+pub struct VecSink {
+    pub lines: Vec<String>,
+}
+
+impl DecisionSink for VecSink {
+    fn emit(&mut self, line: &str) -> io::Result<SinkStatus> {
+        self.lines.push(line.to_string());
+        Ok(SinkStatus::Accepted)
+    }
+}
+
+/// Wraps a sink, reporting [`SinkStatus::Busy`] for `busy_attempts`
+/// tries before accepting each line — a deterministic slow consumer
+/// for the backpressure tests.
+pub struct FlakySink<S: DecisionSink> {
+    pub inner: S,
+    busy_attempts: u32,
+    remaining: u32,
+}
+
+impl<S: DecisionSink> FlakySink<S> {
+    pub fn new(inner: S, busy_attempts: u32) -> Self {
+        FlakySink {
+            inner,
+            busy_attempts,
+            remaining: busy_attempts,
+        }
+    }
+}
+
+impl<S: DecisionSink> DecisionSink for FlakySink<S> {
+    fn emit(&mut self, line: &str) -> io::Result<SinkStatus> {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            return Ok(SinkStatus::Busy);
+        }
+        self.remaining = self.busy_attempts;
+        self.inner.emit(line)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndjson_sink_writes_lines() {
+        let mut out = Vec::new();
+        {
+            let mut sink = NdjsonSink::new(&mut out);
+            assert_eq!(sink.emit("{\"a\":1}").unwrap(), SinkStatus::Accepted);
+            sink.flush().unwrap();
+        }
+        assert_eq!(out, b"{\"a\":1}\n");
+    }
+
+    #[test]
+    fn flaky_sink_is_busy_then_accepts() {
+        let mut sink = FlakySink::new(VecSink::default(), 2);
+        assert_eq!(sink.emit("x").unwrap(), SinkStatus::Busy);
+        assert_eq!(sink.emit("x").unwrap(), SinkStatus::Busy);
+        assert_eq!(sink.emit("x").unwrap(), SinkStatus::Accepted);
+        assert_eq!(sink.emit("y").unwrap(), SinkStatus::Busy);
+        assert_eq!(sink.inner.lines, vec!["x"]);
+    }
+}

@@ -45,8 +45,8 @@ pub mod wire;
 
 pub use error::StoreError;
 pub use snapshot::{
-    ForecastState, HealthState, HomeHealthRecord, MetricsState, RunSnapshot, SnapshotMeta,
-    TransportState, FORMAT_VERSION, MAGIC,
+    ForecastState, HealthState, HomeHealthRecord, MetricsState, RunSnapshot, ServeDeviceState,
+    ServeHomeState, ServeState, SnapshotMeta, TransportState, FORMAT_VERSION, MAGIC,
 };
 pub use store::{CheckpointStore, SNAPSHOT_EXT};
 pub use tensor::{TensorId, TensorPool};

@@ -69,6 +69,10 @@ pub mod section {
     /// supervision is active, so fault-free snapshots stay byte-
     /// identical to the pre-health format.
     pub const HEALTH: u32 = 7;
+    /// Mid-day service-loop state: stream cursor, shed/backpressure
+    /// counters and per-device live buffers. Optional: only written by
+    /// `pfdrl-serve`, so batch snapshots keep the existing format.
+    pub const SERVE: u32 = 8;
 }
 
 const ALL_SECTIONS: [u32; 6] = [
@@ -179,6 +183,75 @@ pub struct HealthState {
     pub daily_mean_loss: Vec<f64>,
 }
 
+/// One live device inside a [`ServeState`] capture.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServeDeviceState {
+    /// Forward-fill seed for the repair scan (last good watt today).
+    pub last_good_watt: f64,
+    /// Steps since the last gradient step (serve train cadence).
+    pub steps_since_train: u64,
+    /// In-progress day's energy account (folded at day close).
+    pub account: EnergyAccount,
+    /// Repaired watts of the last completed day (empty while priming).
+    pub prev_watts: Vec<f64>,
+    /// Repaired watts of the in-progress day, up to the cursor.
+    pub today_watts: Vec<f64>,
+}
+
+/// One home's live serve-loop state.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServeHomeState {
+    /// Repaired device-minutes so far today (health dirt input).
+    pub imputed_today: u32,
+    /// Sum of finite train losses so far today.
+    pub loss_sum: f64,
+    /// Count of finite train losses so far today.
+    pub loss_steps: u64,
+    /// Count of non-finite (skipped) train losses so far today.
+    pub nonfinite_losses: u32,
+    /// Hour-of-day saved kWh accumulated so far today (24 bins; folded
+    /// into the metrics accumulators at day close).
+    pub saved_hourly: Vec<f64>,
+    /// Hour-of-day standby kWh accumulated so far today (24 bins).
+    pub standby_hourly: Vec<f64>,
+    /// Per-device live state.
+    pub devices: Vec<ServeDeviceState>,
+}
+
+/// Service-loop state (section `SERVE`): everything the streaming
+/// engine holds beyond [`RunSnapshot`]'s day-boundary fields, so a
+/// mid-day kill resumes bit-exactly. Absent from batch snapshots.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServeState {
+    /// Next simulated minute the engine will ingest.
+    pub cursor: u64,
+    /// Source lines fully consumed (resume fast-forwards exactly this
+    /// many lines, so shed counters replay identically).
+    pub lines_consumed: u64,
+    /// Decisions emitted so far.
+    pub decisions: u64,
+    /// Records shed: minute older than the ingest cursor.
+    pub shed_stale: u64,
+    /// Records shed: minute outside the serving span.
+    pub shed_out_of_span: u64,
+    /// Records shed: home id outside the fleet.
+    pub shed_unknown_home: u64,
+    /// Records shed: unparseable line or wrong device count.
+    pub shed_malformed: u64,
+    /// Chunk-early drains forced by a full ingress queue.
+    pub rejected_backpressure: u64,
+    /// Sink busy-retries absorbed by the emit loop.
+    pub sink_retries: u64,
+    /// Device-minutes synthesized for minutes that never arrived.
+    pub gap_imputed: u64,
+    /// Device-minutes whose delivered value failed validation.
+    pub repaired_values: u64,
+    /// Decisions suppressed because the home was quarantined.
+    pub quarantined_shed: u64,
+    /// Per-home live state.
+    pub homes: Vec<ServeHomeState>,
+}
+
 /// One complete, self-contained capture of a run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunSnapshot {
@@ -194,6 +267,8 @@ pub struct RunSnapshot {
     pub metrics: MetricsState,
     /// Telemetry health + supervision state; `None` when inactive.
     pub health: Option<HealthState>,
+    /// Service-loop state; `None` for batch snapshots.
+    pub serve: Option<ServeState>,
 }
 
 // ---------------------------------------------------------------------------
@@ -512,6 +587,39 @@ impl RunSnapshot {
             health.put_f64s(&h.daily_mean_loss);
             sections.push((section::HEALTH, health.into_bytes()));
         }
+        if let Some(s) = &self.serve {
+            let mut serve = Writer::new();
+            serve.put_u64(s.cursor);
+            serve.put_u64(s.lines_consumed);
+            serve.put_u64(s.decisions);
+            serve.put_u64(s.shed_stale);
+            serve.put_u64(s.shed_out_of_span);
+            serve.put_u64(s.shed_unknown_home);
+            serve.put_u64(s.shed_malformed);
+            serve.put_u64(s.rejected_backpressure);
+            serve.put_u64(s.sink_retries);
+            serve.put_u64(s.gap_imputed);
+            serve.put_u64(s.repaired_values);
+            serve.put_u64(s.quarantined_shed);
+            serve.put_usize(s.homes.len());
+            for home in &s.homes {
+                serve.put_u32(home.imputed_today);
+                serve.put_f64(home.loss_sum);
+                serve.put_u64(home.loss_steps);
+                serve.put_u32(home.nonfinite_losses);
+                serve.put_f64s(&home.saved_hourly);
+                serve.put_f64s(&home.standby_hourly);
+                serve.put_usize(home.devices.len());
+                for dev in &home.devices {
+                    serve.put_f64(dev.last_good_watt);
+                    serve.put_u64(dev.steps_since_train);
+                    encode_account(&mut serve, &dev.account);
+                    serve.put_f64s(&dev.prev_watts);
+                    serve.put_f64s(&dev.today_watts);
+                }
+            }
+            sections.push((section::SERVE, serve.into_bytes()));
+        }
 
         let mut file = Writer::new();
         file.put_bytes(&MAGIC);
@@ -710,6 +818,72 @@ impl RunSnapshot {
             }
         };
 
+        // SERVE is optional: only the streaming service writes it.
+        let serve = match payloads.iter().find(|&&(k, _)| k == section::SERVE) {
+            None => None,
+            Some(&(_, payload)) => {
+                let mut sr = Reader::new(payload, "serve section");
+                let cursor = sr.u64()?;
+                let lines_consumed = sr.u64()?;
+                let decisions = sr.u64()?;
+                let shed_stale = sr.u64()?;
+                let shed_out_of_span = sr.u64()?;
+                let shed_unknown_home = sr.u64()?;
+                let shed_malformed = sr.u64()?;
+                let rejected_backpressure = sr.u64()?;
+                let sink_retries = sr.u64()?;
+                let gap_imputed = sr.u64()?;
+                let repaired_values = sr.u64()?;
+                let quarantined_shed = sr.u64()?;
+                let n_homes = sr.count(24)?;
+                let mut homes = Vec::with_capacity(n_homes);
+                for _ in 0..n_homes {
+                    let imputed_today = sr.u32()?;
+                    let loss_sum = sr.f64()?;
+                    let loss_steps = sr.u64()?;
+                    let nonfinite_losses = sr.u32()?;
+                    let saved_hourly = sr.f64s()?;
+                    let standby_hourly = sr.f64s()?;
+                    let n_devices = sr.count(78)?;
+                    let mut devices = Vec::with_capacity(n_devices);
+                    for _ in 0..n_devices {
+                        devices.push(ServeDeviceState {
+                            last_good_watt: sr.f64()?,
+                            steps_since_train: sr.u64()?,
+                            account: decode_account(&mut sr)?,
+                            prev_watts: sr.f64s()?,
+                            today_watts: sr.f64s()?,
+                        });
+                    }
+                    homes.push(ServeHomeState {
+                        imputed_today,
+                        loss_sum,
+                        loss_steps,
+                        nonfinite_losses,
+                        saved_hourly,
+                        standby_hourly,
+                        devices,
+                    });
+                }
+                sr.expect_end()?;
+                Some(ServeState {
+                    cursor,
+                    lines_consumed,
+                    decisions,
+                    shed_stale,
+                    shed_out_of_span,
+                    shed_unknown_home,
+                    shed_malformed,
+                    rejected_backpressure,
+                    sink_retries,
+                    gap_imputed,
+                    repaired_values,
+                    quarantined_shed,
+                    homes,
+                })
+            }
+        };
+
         Ok(RunSnapshot {
             meta,
             forecast,
@@ -717,6 +891,7 @@ impl RunSnapshot {
             transport,
             metrics,
             health,
+            serve,
         })
     }
 }
@@ -860,7 +1035,64 @@ pub(crate) mod test_fixtures {
                 rollbacks: 1,
                 daily_mean_loss: vec![0.5, 0.45, f64::NAN, 0.0],
             }),
+            serve: None,
         }
+    }
+
+    /// `sample_snapshot` plus a populated serve section: a mid-day
+    /// capture with live buffers, shed counters and a per-device
+    /// account in flight.
+    pub fn sample_serve_snapshot() -> RunSnapshot {
+        let mut snap = sample_snapshot();
+        let dev = |seed: f64| ServeDeviceState {
+            last_good_watt: 87.5 + seed,
+            steps_since_train: 5,
+            account: EnergyAccount {
+                standby_total_kwh: 0.5 + seed,
+                standby_saved_kwh: 0.25,
+                comfort_violation_minutes: 1,
+                interrupted_on_kwh: 0.01,
+                minutes: 300,
+                total_reward: 42.0,
+            },
+            prev_watts: vec![3.5, -0.0, 120.0, f64::from_bits(0x7FF8_0000_0000_0007)],
+            today_watts: vec![2.5 + seed, 0.0],
+        };
+        snap.serve = Some(ServeState {
+            cursor: 4620,
+            lines_consumed: 9541,
+            decisions: 1234,
+            shed_stale: 3,
+            shed_out_of_span: 2,
+            shed_unknown_home: 1,
+            shed_malformed: 4,
+            rejected_backpressure: 7,
+            sink_retries: 11,
+            gap_imputed: 60,
+            repaired_values: 9,
+            quarantined_shed: 480,
+            homes: vec![
+                ServeHomeState {
+                    imputed_today: 12,
+                    loss_sum: 1.5,
+                    loss_steps: 40,
+                    nonfinite_losses: 1,
+                    saved_hourly: vec![0.0625; 24],
+                    standby_hourly: vec![0.125; 24],
+                    devices: vec![dev(0.0)],
+                },
+                ServeHomeState {
+                    imputed_today: 0,
+                    loss_sum: 0.75,
+                    loss_steps: 35,
+                    nonfinite_losses: 0,
+                    saved_hourly: vec![0.03125; 24],
+                    standby_hourly: vec![0.25; 24],
+                    devices: vec![dev(1.0)],
+                },
+            ],
+        });
+        snap
     }
 }
 
@@ -1012,6 +1244,47 @@ mod tests {
                 context: "health state"
             })
         );
+    }
+
+    #[test]
+    fn serve_section_is_optional_in_both_directions() {
+        use super::test_fixtures::sample_serve_snapshot;
+
+        // A batch snapshot (no SERVE section) must decode to None and
+        // re-encode without the section, keeping the batch format
+        // byte-identical to the pre-serve layout.
+        let batch = sample_snapshot();
+        let bytes = batch.encode();
+        let (_, sections) = split_sections(&bytes);
+        assert!(
+            sections.iter().all(|&(k, _)| k != section::SERVE),
+            "batch snapshot must not serialize a serve section"
+        );
+        assert_eq!(RunSnapshot::decode(&bytes).unwrap().serve, None);
+
+        // A populated serve section survives the round trip bit-exactly
+        // (NaN watt in the live buffer included).
+        let live = sample_serve_snapshot();
+        let live_bytes = live.encode();
+        let back = RunSnapshot::decode(&live_bytes).unwrap();
+        assert_eq!(back.encode(), live_bytes);
+        let s = back.serve.as_ref().unwrap();
+        assert_eq!(s.cursor, 4620);
+        assert_eq!(s.lines_consumed, 9541);
+        assert_eq!(s.rejected_backpressure, 7);
+        assert_eq!(
+            s.homes[0].devices[0].prev_watts[3].to_bits(),
+            0x7FF8_0000_0000_0007
+        );
+        assert_eq!(s.homes[1].devices[0].account.minutes, 300);
+        assert_eq!(s.homes[0].saved_hourly, vec![0.0625; 24]);
+        assert_eq!(s.homes[1].standby_hourly, vec![0.25; 24]);
+
+        // Stripping the section decodes as a plain batch snapshot.
+        let stripped = filter_sections(&live_bytes, |kind| kind != section::SERVE);
+        let plain = RunSnapshot::decode(&stripped).unwrap();
+        assert_eq!(plain.serve, None);
+        assert_eq!(plain.encode(), stripped);
     }
 
     #[test]

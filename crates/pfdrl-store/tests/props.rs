@@ -9,8 +9,8 @@ use pfdrl_env::EnergyAccount;
 use pfdrl_fl::{BusState, BusStats, CloudState, CloudStats, LayerUpdate, ModelUpdate};
 use pfdrl_nn::optimizer::AdamState;
 use pfdrl_store::{
-    ForecastState, HealthState, HomeHealthRecord, MetricsState, RunSnapshot, SnapshotMeta,
-    TransportState, FORMAT_VERSION, MAGIC,
+    ForecastState, HealthState, HomeHealthRecord, MetricsState, RunSnapshot, ServeDeviceState,
+    ServeHomeState, ServeState, SnapshotMeta, TransportState, FORMAT_VERSION, MAGIC,
 };
 use proptest::prelude::*;
 
@@ -222,6 +222,47 @@ fn build_snapshot(seed: u64, n_homes: usize, n_devices: usize, shared_agents: bo
                 daily_mean_loss: g.vec_f64(eval_days),
             })
         },
+        serve: if g.below(2) == 0 {
+            None
+        } else {
+            Some(ServeState {
+                cursor: g.next(),
+                lines_consumed: g.next(),
+                decisions: g.next(),
+                shed_stale: g.next(),
+                shed_out_of_span: g.next(),
+                shed_unknown_home: g.next(),
+                shed_malformed: g.next(),
+                rejected_backpressure: g.next(),
+                sink_retries: g.next(),
+                gap_imputed: g.next(),
+                repaired_values: g.next(),
+                quarantined_shed: g.next(),
+                homes: (0..n_homes)
+                    .map(|_| ServeHomeState {
+                        imputed_today: g.next() as u32,
+                        loss_sum: g.chaos_f64(),
+                        loss_steps: g.next(),
+                        nonfinite_losses: g.next() as u32,
+                        saved_hourly: g.vec_f64(24),
+                        standby_hourly: g.vec_f64(24),
+                        devices: (0..n_devices)
+                            .map(|_| {
+                                let prev_len = g.below(4) as usize;
+                                let today_len = g.below(4) as usize;
+                                ServeDeviceState {
+                                    last_good_watt: g.chaos_f64(),
+                                    steps_since_train: g.next(),
+                                    account: account(g),
+                                    prev_watts: g.vec_f64(prev_len),
+                                    today_watts: g.vec_f64(today_len),
+                                }
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+            })
+        },
     }
 }
 
@@ -295,10 +336,11 @@ proptest! {
 /// The on-disk header layout is a stable public contract (documented in
 /// DESIGN.md): 4 magic bytes, little-endian u32 version, little-endian
 /// u32 section count — 6 mandatory sections plus the optional HEALTH
-/// section when telemetry-health state is present.
+/// and SERVE sections when the corresponding state is present.
 #[test]
 fn header_layout_matches_documented_format() {
     let mut snap = build_snapshot(42, 1, 1, false);
+    snap.serve = None;
     for (health, expected) in [
         (None, 6u32),
         (snap.health.take().or(Some(Default::default())), 7),
@@ -315,6 +357,9 @@ fn header_layout_matches_documented_format() {
             expected
         );
     }
+    snap.serve = Some(Default::default());
+    let bytes = snap.encode();
+    assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 8);
 }
 
 /// Exhaustive truncation sweep on one small snapshot: every proper

@@ -19,6 +19,7 @@
 //! | [`fl`] | broadcast bus, FedAvg, α layer split, cloud baseline |
 //! | [`store`] | durable checkpoints: versioned `PFDS` snapshots, resume |
 //! | [`core`] | the five EMS pipelines and every experiment runner |
+//! | [`serve`] | streaming ingestion + online inference service mode |
 //!
 //! ## Quickstart
 //!
@@ -38,4 +39,5 @@ pub use pfdrl_env as env;
 pub use pfdrl_fl as fl;
 pub use pfdrl_forecast as forecast;
 pub use pfdrl_nn as nn;
+pub use pfdrl_serve as serve;
 pub use pfdrl_store as store;
