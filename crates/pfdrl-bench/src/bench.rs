@@ -20,6 +20,10 @@ use pfdrl_core::{
 use pfdrl_data::TraceGenerator;
 use pfdrl_drl::{DqnAgent, DqnConfig, Transition};
 use pfdrl_fl::{AggregationMode, BroadcastBus, DflRound, LatencyModel, MergePolicy, RoundParams};
+use pfdrl_nn::fastmath::{
+    exp_slice_f32, exp_slice_f64, sigmoid_slice_f32, sigmoid_slice_f64, tanh_slice_f32,
+    tanh_slice_f64,
+};
 use pfdrl_nn::{loss, Activation, Lstm, Matrix, Mlp};
 use pfdrl_serve::{generate_stream, NdjsonSink, ServeConfig, ServeEngine, VecSource};
 use rand::rngs::StdRng;
@@ -84,6 +88,25 @@ pub struct EmsDayBench {
     /// (three timed days after the warm-up), seconds.
     #[serde(default)]
     pub imputed_steady_seconds: f64,
+    /// Wall-clock of the same end-to-end EMS day under
+    /// `Precision::F32Fast` (f32 LSTM mirror + vector transcendentals).
+    /// Zero in baselines recorded before the field existed.
+    #[serde(default)]
+    pub f32_seconds: f64,
+    /// Converged saved-standby fraction of the F32Fast run — the
+    /// reduced-precision mode's own correctness canary.
+    #[serde(default)]
+    pub f32_saved_fraction: f64,
+    /// Median wall-clock of a steady-state `advance_day` under
+    /// `Precision::F32Fast` — the side-by-side row the ≥1.3× speedup
+    /// gate reads against `steady_seconds`.
+    #[serde(default)]
+    pub steady_day_f32_seconds: f64,
+    /// Mean absolute difference between F32Fast and f64 day-ahead
+    /// forecasts over the full fleet fan-out of one evaluated day, in
+    /// watts — the measured accuracy cost of the reduced-precision mode.
+    #[serde(default)]
+    pub f32_forecast_mae_delta: f64,
     /// Converged saved-standby fraction — a correctness canary: this
     /// value must not move when only kernels change.
     pub saved_fraction: f64,
@@ -163,6 +186,11 @@ pub struct BenchFile {
     pub speedup_ems_steady_day: Option<f64>,
     /// `current.train_step.steps_per_sec / baseline.train_step.steps_per_sec`.
     pub speedup_train_step: Option<f64>,
+    /// `current.ems_day.steady_seconds / current.ems_day.steady_day_f32_seconds`
+    /// — how much the F32Fast inference mode buys on a steady-state day
+    /// *within this measurement*; `None` when the f32 row is absent.
+    #[serde(default)]
+    pub speedup_f32_steady_day: Option<f64>,
 }
 
 impl BenchFile {
@@ -177,12 +205,16 @@ impl BenchFile {
         let speedup_train_step = baseline
             .as_ref()
             .map(|b| current.train_step.steps_per_sec / b.train_step.steps_per_sec);
+        let speedup_f32_steady_day = (current.ems_day.steady_seconds > 0.0
+            && current.ems_day.steady_day_f32_seconds > 0.0)
+            .then(|| current.ems_day.steady_seconds / current.ems_day.steady_day_f32_seconds);
         BenchFile {
             current,
             baseline,
             speedup_ems_day,
             speedup_ems_steady_day,
             speedup_train_step,
+            speedup_f32_steady_day,
         }
     }
 }
@@ -278,6 +310,90 @@ fn kernel_benches(quick: bool) -> Vec<KernelRow> {
         lstm.backward(&grad);
         black_box(());
     }));
+
+    rows.extend(transcendental_benches(quick, &mut rng));
+    rows
+}
+
+/// The vectorized-vs-scalar transcendental microbench: each row times
+/// one pass over a gate-range batch (refilled from a pristine source
+/// each iteration, same memcpy cost on every variant) and reports
+/// **ns/element** so the scalar→vector and f64→f32 wins read directly.
+fn transcendental_benches(quick: bool, rng: &mut StdRng) -> Vec<KernelRow> {
+    const N: usize = 4096;
+    let iters: u64 = if quick { 50 } else { 400 };
+    let src64: Vec<f64> = (0..N).map(|_| rng.gen_range(-8.0..8.0)).collect();
+    let src32: Vec<f32> = src64.iter().map(|&v| v as f32).collect();
+    let mut buf64 = vec![0.0f64; N];
+    let mut buf32 = vec![0.0f32; N];
+
+    let per_element = |name: &str, row: KernelRow| KernelRow {
+        name: name.to_string(),
+        iters: row.iters,
+        ns_per_iter: row.ns_per_iter / N as f64,
+    };
+    let mut rows = Vec::new();
+    macro_rules! pair {
+        ($label:literal, $scalar64:expr, $vector64:ident, $scalar32:expr, $vector32:ident) => {
+            rows.push(per_element(
+                concat!($label, "_scalar_f64"),
+                time_kernel("", iters, || {
+                    buf64.copy_from_slice(&src64);
+                    for v in buf64.iter_mut() {
+                        *v = $scalar64(*v);
+                    }
+                    black_box(&buf64);
+                }),
+            ));
+            rows.push(per_element(
+                concat!($label, "_vector_f64"),
+                time_kernel("", iters, || {
+                    buf64.copy_from_slice(&src64);
+                    $vector64(&mut buf64);
+                    black_box(&buf64);
+                }),
+            ));
+            rows.push(per_element(
+                concat!($label, "_scalar_f32"),
+                time_kernel("", iters, || {
+                    buf32.copy_from_slice(&src32);
+                    for v in buf32.iter_mut() {
+                        *v = $scalar32(*v);
+                    }
+                    black_box(&buf32);
+                }),
+            ));
+            rows.push(per_element(
+                concat!($label, "_vector_f32"),
+                time_kernel("", iters, || {
+                    buf32.copy_from_slice(&src32);
+                    $vector32(&mut buf32);
+                    black_box(&buf32);
+                }),
+            ));
+        };
+    }
+    pair!(
+        "exp_ns_per_elem",
+        |v: f64| v.exp(),
+        exp_slice_f64,
+        |v: f32| v.exp(),
+        exp_slice_f32
+    );
+    pair!(
+        "tanh_ns_per_elem",
+        |v: f64| v.tanh(),
+        tanh_slice_f64,
+        |v: f32| v.tanh(),
+        tanh_slice_f32
+    );
+    pair!(
+        "sigmoid_ns_per_elem",
+        pfdrl_nn::activation::sigmoid,
+        sigmoid_slice_f64,
+        |v: f32| 1.0 / (1.0 + (-v).exp()),
+        sigmoid_slice_f32
+    );
     rows
 }
 
@@ -441,6 +557,31 @@ fn ems_day_bench(quick: bool) -> EmsDayBench {
         count_allocations(|| {
             storm_state.advance_day(&storm_cfg, EmsMethod::Pfdrl, &storm_forecast)
         });
+    // F32Fast twin of the end-to-end and steady-day protocols: same
+    // seeds, same workload, only the forecast inference precision
+    // differs (training is f64 in both modes, so the master weights are
+    // bit-identical across the two runs and every delta below is pure
+    // inference precision).
+    let mut cfg32 = cfg.clone();
+    cfg32.precision = pfdrl_core::Precision::F32Fast;
+    let t0 = Instant::now();
+    let run32 = run_method(&cfg32, EmsMethod::Pfdrl);
+    let f32_seconds = t0.elapsed().as_secs_f64();
+    let mut warm32 = warm_cfg.clone();
+    warm32.precision = pfdrl_core::Precision::F32Fast;
+    let forecast32 = pfdrl_core::train_forecasters(&warm32, EmsMethod::Pfdrl);
+    let mut state32 = pfdrl_core::EmsState::fresh(&warm32);
+    for _ in 0..2 {
+        state32.advance_day(&warm32, EmsMethod::Pfdrl, &forecast32);
+    }
+    let mut f32_secs = [0.0f64; 3];
+    for s in &mut f32_secs {
+        let t0 = Instant::now();
+        state32.advance_day(&warm32, EmsMethod::Pfdrl, &forecast32);
+        *s = t0.elapsed().as_secs_f64();
+    }
+    f32_secs.sort_by(f64::total_cmp);
+    let f32_forecast_mae_delta = forecast_mae_delta(&warm_cfg, &forecast, &forecast32);
     EmsDayBench {
         seconds,
         allocations,
@@ -451,7 +592,65 @@ fn ems_day_bench(quick: bool) -> EmsDayBench {
         imputed_steady_allocations,
         imputed_steady_allocated_bytes,
         imputed_steady_seconds: storm_secs[1],
+        f32_seconds,
+        f32_saved_fraction: run32.converged_saved_fraction(),
+        steady_day_f32_seconds: f32_secs[1],
+        f32_forecast_mae_delta,
         saved_fraction: run.converged_saved_fraction(),
+    }
+}
+
+/// Mean absolute difference (watts) between the F32Fast and f64 fleets'
+/// day-ahead forecasts over every controllable (home, device) of the
+/// first evaluated day — both fleets hold bit-identical f64 master
+/// weights, so this is the measured accuracy cost of the f32 mirror.
+fn forecast_mae_delta(
+    cfg: &SimConfig,
+    f64_phase: &pfdrl_core::ForecastPhase,
+    f32_phase: &pfdrl_core::ForecastPhase,
+) -> f64 {
+    let generator = TraceGenerator::new(cfg.generator());
+    let day = cfg.eval_start_day;
+    let mut ws = PredictDayWorkspace::default();
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    let (mut abs_sum, mut n) = (0.0f64, 0u64);
+    for home in 0..cfg.n_residences {
+        let hh = generator.household(home as u64);
+        for device in 0..cfg.devices_per_home() {
+            if !hh.devices[device].controllable {
+                continue;
+            }
+            let prev = generator.day_trace(home as u64, device, day - 1);
+            let today = generator.day_trace(home as u64, device, day);
+            let scale = hh.devices[device].on_watts;
+            a.clear();
+            b.clear();
+            predict_day_into(
+                cfg,
+                f64_phase.models[home][device].as_ref(),
+                &prev,
+                &today,
+                scale,
+                &mut ws,
+                &mut a,
+            );
+            predict_day_into(
+                cfg,
+                f32_phase.models[home][device].as_ref(),
+                &prev,
+                &today,
+                scale,
+                &mut ws,
+                &mut b,
+            );
+            abs_sum += a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum::<f64>();
+            n += a.len() as u64;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        abs_sum / n as f64
     }
 }
 
@@ -537,6 +736,7 @@ fn phase_benches(quick: bool) -> Vec<PhaseRow> {
     let mut ws = PredictDayWorkspace::default();
     let mut out = Vec::new();
     let models = &forecast.models;
+    let mut predictions: u64 = 0;
     let t0 = Instant::now();
     for (home, device, scale, prev, today) in &pairs {
         out.clear();
@@ -549,9 +749,44 @@ fn phase_benches(quick: bool) -> Vec<PhaseRow> {
             &mut ws,
             &mut out,
         );
+        predictions += out.len() as u64;
         black_box(&out);
     }
     let predict_s = t0.elapsed().as_secs_f64();
+
+    // Transcendental share of the predict phase, computed analytically:
+    // each LSTM prediction runs `window` recurrence steps over `hidden`
+    // units, each step evaluating 3 sigmoid gates and 2 tanh per unit.
+    // The per-eval cost is measured on the spot at the precision the
+    // fleet actually runs, so the row prices exactly what `predict`
+    // spent inside exp/tanh/sigmoid.
+    let transcendental_s = if models[0][0].method_name() == "LSTM" {
+        let hidden = 24; // LstmForecaster::new's hidden width
+        let evals = predictions * cfg.window as u64 * hidden;
+        let f32_mode = models[0][0].precision() == pfdrl_core::Precision::F32Fast;
+        let (sig_ns, tanh_ns) = if f32_mode {
+            (
+                measure_eval_ns(|buf: &mut [f32]| sigmoid_slice_f32(buf)),
+                measure_eval_ns(|buf: &mut [f32]| tanh_slice_f32(buf)),
+            )
+        } else {
+            (
+                measure_eval_ns(|buf: &mut [f64]| {
+                    for v in buf.iter_mut() {
+                        *v = pfdrl_nn::activation::sigmoid(*v);
+                    }
+                }),
+                measure_eval_ns(|buf: &mut [f64]| {
+                    for v in buf.iter_mut() {
+                        *v = v.tanh();
+                    }
+                }),
+            )
+        };
+        evals as f64 * (3.0 * sig_ns + 2.0 * tanh_ns) / 1e9
+    } else {
+        0.0
+    };
 
     // Phase 2/3 — frozen day (no gradient steps) then a full day.
     let t0 = Instant::now();
@@ -568,6 +803,10 @@ fn phase_benches(quick: bool) -> Vec<PhaseRow> {
             seconds: predict_s,
         },
         PhaseRow {
+            phase: "predict_transcendental".to_string(),
+            seconds: transcendental_s,
+        },
+        PhaseRow {
             phase: "act_env".to_string(),
             seconds: (frozen_s - predict_s).max(0.0),
         },
@@ -580,6 +819,23 @@ fn phase_benches(quick: bool) -> Vec<PhaseRow> {
             seconds: full_s,
         },
     ]
+}
+
+/// ns/element of one transcendental pass over a gate-range batch —
+/// measured in situ so the phase breakdown uses this machine's numbers.
+fn measure_eval_ns<T: Copy + From<f32>>(mut f: impl FnMut(&mut [T])) -> f64 {
+    const N: usize = 4096;
+    let src: Vec<T> = (0..N).map(|i| T::from((i % 17) as f32 - 8.0)).collect();
+    let mut buf = src.clone();
+    f(&mut buf); // warm-up
+    let iters = 64;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        buf.copy_from_slice(&src);
+        f(&mut buf);
+        black_box(&buf);
+    }
+    t0.elapsed().as_nanos() as f64 / (iters as u64 * N as u64) as f64
 }
 
 /// Runs the full bench suite; prints a human-readable table along the way.
@@ -613,6 +869,19 @@ pub fn run_bench_with(quick: bool, phases: bool) -> BenchReport {
         ems_day.imputed_steady_seconds,
         ems_day.imputed_steady_allocations,
         ems_day.imputed_steady_allocated_bytes
+    );
+    println!(
+        "ems_day F32Fast: end-to-end {:.2}s (saved fraction {:.3}), steady day {:.2}s \
+         ({:.2}x vs f64), forecast MAE delta {:.4} W",
+        ems_day.f32_seconds,
+        ems_day.f32_saved_fraction,
+        ems_day.steady_day_f32_seconds,
+        if ems_day.steady_day_f32_seconds > 0.0 {
+            ems_day.steady_seconds / ems_day.steady_day_f32_seconds
+        } else {
+            0.0
+        },
+        ems_day.f32_forecast_mae_delta
     );
     let federation = federation_benches(quick);
     println!(
@@ -689,6 +958,10 @@ mod tests {
                 imputed_steady_allocations: 0,
                 imputed_steady_allocated_bytes: 0,
                 imputed_steady_seconds: 0.0,
+                f32_seconds: 0.0,
+                f32_saved_fraction: 0.0,
+                steady_day_f32_seconds: 0.0,
+                f32_forecast_mae_delta: 0.0,
                 saved_fraction: 0.5,
             },
             federation: vec![],

@@ -9,7 +9,7 @@
 //! Results are printed as aligned tables and also written as JSON under
 //! `repro_results/` so EXPERIMENTS.md can cite exact numbers.
 
-use pfdrl_bench::bench::{run_bench_with, BenchFile, BenchReport};
+use pfdrl_bench::bench::{bench_ems_config, run_bench_with, BenchFile, BenchReport};
 use pfdrl_bench::{
     clients_config, forecast_config, format_series, format_series_table, quick_config, repro_config,
 };
@@ -18,8 +18,8 @@ use pfdrl_core::experiment::{
     headline, table2_rows, DegradationResult, SensorFaultResult,
 };
 use pfdrl_core::{
-    run_method_resumable, run_method_resume_from, train_forecasters, EmsMethod, ResumableRun,
-    RunResult, SimConfig,
+    run_method_resumable, run_method_resume_from, train_forecasters, EmsMethod, Precision,
+    ResumableRun, RunResult, SimConfig,
 };
 use pfdrl_serve::{
     generate_stream, NdjsonSink, NdjsonSource, ServeConfig, ServeEngine, ServeReport,
@@ -58,23 +58,31 @@ struct Ctx {
     shards: Option<usize>,
     chunk_minutes: Option<usize>,
     queue_cap: Option<usize>,
+    /// `--precision <f64|f32fast>`: forecast inference precision of the
+    /// base configuration (run/serve/headline/figures). Part of the run
+    /// identity, so `f32fast` selects its own canary trajectory.
+    precision: Precision,
 }
 
 impl Ctx {
     fn base(&self) -> SimConfig {
-        if self.quick {
+        let mut cfg = if self.quick {
             quick_config(SEED)
         } else {
             repro_config(SEED)
-        }
+        };
+        cfg.precision = self.precision;
+        cfg
     }
 
     fn forecast(&self) -> SimConfig {
-        if self.quick {
+        let mut cfg = if self.quick {
             quick_config(SEED)
         } else {
             forecast_config(SEED)
-        }
+        };
+        cfg.precision = self.precision;
+        cfg
     }
 
     fn save_json(&self, name: &str, value: &impl serde::Serialize) {
@@ -585,8 +593,96 @@ fn run_headline(ctx: &Ctx) {
     ctx.save_json("headline", &h);
 }
 
+/// Committed canary trajectories for the `precision-canary` target:
+/// per precision mode, the converged saved-standby fraction of the
+/// fixed-seed EMS run *and* the mean forecast accuracy of the trained
+/// fleet over the evaluation span. The saved fraction is
+/// action-quantized (sub-µW forecast deltas rarely flip a discrete EMS
+/// action — at these scales the two modes land on the same value, which
+/// is itself pinned), so the forecast accuracy is the row with teeth:
+/// it moves whenever a single prediction bit changes, making the two
+/// modes' canaries observably distinct. The full-scale f64 saved
+/// fraction is the same `bench_ems_config()` canary BENCH_*.json has
+/// always pinned; the quick rows use `tiny(42)` with the forecast
+/// method switched to LSTM, since the tiny config's LR forecaster has
+/// no f32 path. Any drift in any literal is a correctness regression,
+/// not noise — every run here is bit-deterministic.
+const CANARY_F64_FULL: (f64, f64) = (0.39476153139803727, 0.8000332742645503);
+const CANARY_F32_FULL: (f64, f64) = (0.39476153139803727, 0.8000332827694779);
+const CANARY_F64_QUICK: (f64, f64) = (0.49031103179286195, 0.7775601629068307);
+const CANARY_F32_QUICK: (f64, f64) = (0.49031103179286195, 0.7775601875591515);
+
+/// `precision-canary [--quick]` target: runs the fixed-seed trajectory
+/// and forecast evaluation at both precisions and fails the process
+/// when any observable diverges from its committed canary by a single
+/// bit.
+fn precision_canary(ctx: &Ctx) -> PrecisionCanaryResult {
+    banner(
+        "precision-canary",
+        "fixed-seed F64 + F32Fast trajectories vs committed canaries",
+    );
+    let mut cfg = if ctx.quick {
+        let mut c = quick_config(SEED);
+        // tiny() uses the LR forecaster; the canary must exercise the
+        // LSTM path, the one backend with a reduced-precision mirror.
+        c.forecast_method = pfdrl_forecast::ForecastMethod::Lstm;
+        c
+    } else {
+        bench_ems_config()
+    };
+    let (want_f64, want_f32) = if ctx.quick {
+        (CANARY_F64_QUICK, CANARY_F32_QUICK)
+    } else {
+        (CANARY_F64_FULL, CANARY_F32_FULL)
+    };
+    let mut observe = |precision: Precision| -> (f64, f64) {
+        cfg.precision = precision;
+        let saved = pfdrl_core::run_method(&cfg, EmsMethod::Pfdrl).converged_saved_fraction();
+        let forecast = train_forecasters(&cfg, EmsMethod::Pfdrl);
+        let accuracy = pfdrl_core::evaluate_forecast(&cfg, &forecast).mean;
+        (saved, accuracy)
+    };
+    let got_f64 = observe(Precision::F64);
+    let got_f32 = observe(Precision::F32Fast);
+    let mut failed = false;
+    for (mode, got, want) in [("F64", got_f64, want_f64), ("F32Fast", got_f32, want_f32)] {
+        for (what, got, want) in [
+            ("saved fraction", got.0, want.0),
+            ("forecast accuracy", got.1, want.1),
+        ] {
+            if got.to_bits() == want.to_bits() {
+                println!("{mode}: {what} {got} matches the committed canary bit for bit");
+            } else {
+                eprintln!("FAIL: {mode} {what} {got:?} != committed canary {want:?}");
+                failed = true;
+            }
+        }
+    }
+    let result = PrecisionCanaryResult {
+        quick: ctx.quick,
+        f64_saved_fraction: got_f64.0,
+        f64_forecast_accuracy: got_f64.1,
+        f32_saved_fraction: got_f32.0,
+        f32_forecast_accuracy: got_f32.1,
+    };
+    ctx.save_json("precision_canary", &result);
+    if failed {
+        std::process::exit(1);
+    }
+    result
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct PrecisionCanaryResult {
+    quick: bool,
+    f64_saved_fraction: f64,
+    f64_forecast_accuracy: f64,
+    f32_saved_fraction: f64,
+    f32_forecast_accuracy: f64,
+}
+
 /// `bench` target: the fixed-workload perf harness. Emits
-/// `BENCH_7.json` embedding the current measurement, the committed
+/// `BENCH_8.json` embedding the current measurement, the committed
 /// pre-PR baseline (when `--baseline <file>` points at one), and the
 /// headline speedups. `--phases` adds the per-phase day breakdown.
 fn bench(ctx: &Ctx) {
@@ -610,7 +706,7 @@ fn bench(ctx: &Ctx) {
             .unwrap_or_default();
         println!("speedup vs baseline: ems_day {ems:.2}x, train_step {ts:.2}x{steady}");
     }
-    ctx.save_json("BENCH_7", &file);
+    ctx.save_json("BENCH_8", &file);
     if let (Some(factor), Some(base)) = (ctx.max_regression, file.baseline.as_ref()) {
         gate_regression(&file.current, base, factor);
     }
@@ -675,6 +771,31 @@ fn gate_regression(current: &BenchReport, base: &BenchReport, factor: f64) {
             current.ems_day.imputed_steady_seconds,
             base.ems_day.imputed_steady_seconds,
             base.ems_day.imputed_steady_seconds * factor
+        ));
+    }
+    // F32Fast rows: the reduced-precision end-to-end day and steady day
+    // are gated exactly like their f64 twins (zeros in baselines
+    // recorded before the mode existed are skipped).
+    if current.quick == base.quick
+        && base.ems_day.f32_seconds > 0.0
+        && current.ems_day.f32_seconds > base.ems_day.f32_seconds * factor
+    {
+        failures.push(format!(
+            "ems_day F32Fast: {:.2}s vs baseline {:.2}s (limit {:.2}s)",
+            current.ems_day.f32_seconds,
+            base.ems_day.f32_seconds,
+            base.ems_day.f32_seconds * factor
+        ));
+    }
+    if current.quick == base.quick
+        && base.ems_day.steady_day_f32_seconds > 0.0
+        && current.ems_day.steady_day_f32_seconds > base.ems_day.steady_day_f32_seconds * factor
+    {
+        failures.push(format!(
+            "ems_day F32Fast steady day: {:.2}s vs baseline {:.2}s (limit {:.2}s)",
+            current.ems_day.steady_day_f32_seconds,
+            base.ems_day.steady_day_f32_seconds,
+            base.ems_day.steady_day_f32_seconds * factor
         ));
     }
     // Steady-state day allocation budgets: counts are workload-determined
@@ -865,6 +986,7 @@ fn main() {
     let mut shards: Option<usize> = None;
     let mut chunk_minutes: Option<usize> = None;
     let mut queue_cap: Option<usize> = None;
+    let mut precision = Precision::F64;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter();
     fn parsed<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>, flag: &str) -> T {
@@ -892,12 +1014,22 @@ fn main() {
             "--shards" => shards = Some(parsed(&mut it, a)),
             "--chunk-minutes" => chunk_minutes = Some(parsed(&mut it, a)),
             "--queue-cap" => queue_cap = Some(parsed(&mut it, a)),
+            "--precision" => {
+                precision = match flag_value(&mut it, a).as_str() {
+                    "f64" => Precision::F64,
+                    "f32fast" => Precision::F32Fast,
+                    other => {
+                        eprintln!("--precision must be f64 or f32fast, got {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other if other.starts_with("--") => {
                 eprintln!(
                     "unknown flag {other:?}; known: --quick --json --phases --out-dir \
                      --checkpoint-dir --resume-from --crash-after-day --baseline \
                      --max-regression --stream --serve-out --snapshot-every-minutes \
-                     --crash-after-minute --shards --chunk-minutes --queue-cap"
+                     --crash-after-minute --shards --chunk-minutes --queue-cap --precision"
                 );
                 std::process::exit(2);
             }
@@ -943,6 +1075,7 @@ fn main() {
         shards,
         chunk_minutes,
         queue_cap,
+        precision,
     };
 
     let started = Instant::now();
@@ -979,10 +1112,13 @@ fn main() {
             "run" => run_summary = Some(run_checkpointed(&ctx)),
             "serve" => serve_report = Some(serve(&ctx)),
             "bench" => bench(&ctx),
+            "precision-canary" => {
+                precision_canary(&ctx);
+            }
             "scale-smoke" => scale_smoke(&ctx),
             other => {
                 eprintln!(
-                    "unknown target {other:?}; known: table1 table2 fig2..fig14 degradation sensor-degradation headline run serve bench scale-smoke"
+                    "unknown target {other:?}; known: table1 table2 fig2..fig14 degradation sensor-degradation headline run serve bench precision-canary scale-smoke"
                 );
                 std::process::exit(2);
             }

@@ -60,6 +60,7 @@ pub fn repro_config(seed: u64) -> SimConfig {
         sensor_fault: pfdrl_data::SensorFaultConfig::default(),
         health: pfdrl_core::HealthPolicy::default(),
         supervision: pfdrl_core::SupervisionPolicy::default(),
+        precision: pfdrl_core::Precision::F64,
     }
 }
 

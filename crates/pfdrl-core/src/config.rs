@@ -4,7 +4,7 @@ use pfdrl_data::dataset::TargetTransform;
 use pfdrl_data::{DeviceType, GeneratorConfig, SensorFaultConfig};
 use pfdrl_drl::DqnConfig;
 use pfdrl_fl::{AggregationMode, FaultConfig};
-use pfdrl_forecast::{ForecastMethod, TrainConfig};
+use pfdrl_forecast::{ForecastMethod, Precision, TrainConfig};
 use serde::{Deserialize, Serialize};
 
 fn default_dirty_minutes() -> u32 {
@@ -227,6 +227,12 @@ pub struct SimConfig {
     /// default.
     #[serde(default)]
     pub supervision: SupervisionPolicy,
+    /// Forecast *inference* precision. The default `F64` is the
+    /// bitwise-pinned path; `F32Fast` routes prediction through the f32
+    /// LSTM mirror and vector transcendentals (deterministic, its own
+    /// canary — training, snapshots and federation stay f64 either way).
+    #[serde(default)]
+    pub precision: Precision,
 }
 
 impl Default for SimConfig {
@@ -256,6 +262,7 @@ impl Default for SimConfig {
             sensor_fault: SensorFaultConfig::default(),
             health: HealthPolicy::default(),
             supervision: SupervisionPolicy::default(),
+            precision: Precision::F64,
         }
     }
 }
@@ -318,6 +325,7 @@ impl SimConfig {
             sensor_fault: SensorFaultConfig::default(),
             health: HealthPolicy::default(),
             supervision: SupervisionPolicy::default(),
+            precision: Precision::F64,
         }
     }
 
@@ -466,6 +474,17 @@ mod tests {
         let mut shared = base.clone();
         shared.aggregation = AggregationMode::SharedSum;
         assert_ne!(base.run_hash(), shared.run_hash());
+    }
+
+    #[test]
+    fn precision_defaults_to_f64_and_is_hashed() {
+        let base = SimConfig::tiny(5);
+        assert_eq!(base.precision, Precision::F64);
+        // Reduced-precision inference changes result bits, so it must
+        // be part of the run identity (same rule as `SharedSum`).
+        let mut fast = base.clone();
+        fast.precision = Precision::F32Fast;
+        assert_ne!(base.run_hash(), fast.run_hash());
     }
 
     #[test]

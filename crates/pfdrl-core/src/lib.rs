@@ -43,6 +43,7 @@ pub use eval::{evaluate_forecast, ForecastEval};
 pub use forecast::{train_forecasters, ForecastPhase};
 pub use method::EmsMethod;
 pub use pfdrl_fl::AggregationMode;
+pub use pfdrl_forecast::Precision;
 pub use runner::{
     run_method, run_method_resumable, run_method_resume_from, MethodRun, ResumableRun, RunResult,
 };

@@ -49,6 +49,30 @@ impl Activation {
             }
         }
     }
+
+    /// Derivative expressed in terms of the already-*activated* output
+    /// `o = apply(x)`. Backward passes that still hold the forward
+    /// activations use this to skip recomputing `sigmoid`/`tanh` from
+    /// the pre-activation: since `o` carries the exact bits the forward
+    /// pass produced, `o·(1−o)` / `1−o²` evaluate the same expression
+    /// trees as [`Activation::derivative`] and the results are
+    /// bit-identical — at zero transcendental cost.
+    #[inline]
+    pub fn derivative_from_output(self, o: f64) -> f64 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                // o = max(x, 0), so o > 0 exactly when x > 0.
+                if o > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => o * (1.0 - o),
+            Activation::Tanh => 1.0 - o * o,
+        }
+    }
 }
 
 /// Numerically stable logistic sigmoid.
@@ -108,6 +132,27 @@ mod tests {
                 assert!(
                     (numeric - analytic).abs() < 1e-6,
                     "{act:?} at {x}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_from_output_is_bitwise_identical() {
+        let acts = [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::Sigmoid,
+            Activation::Tanh,
+        ];
+        for act in acts {
+            for &x in &[-30.0, -2.0, -0.5, -0.0, 0.0, 0.3, 1.7, 30.0] {
+                let from_pre = act.derivative(x);
+                let from_out = act.derivative_from_output(act.apply(x));
+                assert_eq!(
+                    from_pre.to_bits(),
+                    from_out.to_bits(),
+                    "{act:?} at {x}: {from_pre} vs {from_out}"
                 );
             }
         }

@@ -1,0 +1,403 @@
+//! Vectorizable polynomial transcendentals for the opt-in
+//! reduced-precision inference path (`Precision::F32Fast`).
+//!
+//! The slice kernels (`exp_slice_*`, `tanh_slice_*`, `sigmoid_slice_*`)
+//! are written as fixed-width lane loops with branchless, straight-line
+//! bodies so the compiler auto-vectorizes them under the workspace's
+//! `target-cpu=native` config — no intrinsics, no `unsafe`. Both widths
+//! ship: the `f32` kernels feed the [`crate::F32Lstm`] inference mirror;
+//! the `f64` kernels exist so the bench file can report the vector-vs-libm
+//! gap at full precision too.
+//!
+//! Numerics (same scheme at both widths):
+//! - `exp`: clamp to the finite-result range, `k = round(x·log2e)` via
+//!   the magic-number trick (adding `1.5·2^mantissa_bits` forces
+//!   round-to-nearest-even into the low mantissa bits), two-part
+//!   Cody–Waite reduction `r = x − k·LN2_HI − k·LN2_LO`, a Taylor/Horner
+//!   polynomial on `|r| ≤ ln2/2`, then scaling by `2^k` built from
+//!   exponent bits — split into two half-powers so `k` spans the full
+//!   denormal-to-overflow range without the scale itself overflowing.
+//! - `sigmoid`: `e = exp(−|x|)`, `inv = 1/(1+e)`, select `inv` vs
+//!   `e·inv` by sign — the numerically stable two-branch form of
+//!   [`crate::activation::sigmoid`], made branchless.
+//! - `tanh`: odd polynomial for `|x| < 0.625` (Cephes coefficients),
+//!   otherwise `(1−e)/(1+e)` with `e = exp(−2|x|)` and the sign
+//!   restored. Both sides are evaluated and selected, keeping the lane
+//!   body straight-line.
+//!
+//! Special cases are exact: `exp(+∞)=+∞`, `exp(−∞)=0`, `tanh(±∞)=±1`,
+//! `sigmoid(+∞)=1`, `sigmoid(−∞)=0`, and NaN propagates through every
+//! kernel (the clamp uses `f64::clamp`/`f32::clamp`, which pass NaN
+//! through). Denormal inputs are ordinary small numbers here: `exp`
+//! returns exactly 1, `tanh` returns its argument, `sigmoid` returns
+//! 0.5. Outputs that would be denormal are produced by the two-step
+//! scaling itself, so underflow is gradual, not a hard flush.
+//!
+//! Accuracy (bounds pinned by `tests/fastmath_props.rs`): `f64` kernels
+//! stay within ~1e-14 relative of libm across the finite range; `f32`
+//! kernels within a few ULP (≤ 5e-7 relative for `exp`, ≤ 1e-6 absolute
+//! for `tanh`/`sigmoid`) — far below the f32 weight-quantization noise
+//! of the mirror they serve.
+
+/// Lane width of the vector kernels. The bodies are straight-line, so
+/// the compiler maps one lane iteration onto however many hardware
+/// lanes `target-cpu=native` offers.
+const LANES: usize = 8;
+
+// ---------------------------------------------------------------------
+// f64 scalar cores
+// ---------------------------------------------------------------------
+
+const LOG2E_F64: f64 = std::f64::consts::LOG2_E;
+/// High part of ln2 with enough trailing zero bits that `k·LN2_HI` is
+/// exact for every |k| ≤ 2^11 the clamp admits.
+const LN2_HI_F64: f64 = 6.931_471_803_691_238e-1;
+const LN2_LO_F64: f64 = 1.908_214_929_270_587_7e-10;
+/// 1.5·2^52: adding then subtracting rounds to the nearest integer.
+const MAGIC_F64: f64 = 6_755_399_441_055_744.0;
+/// Below this every result rounds to +0 (the scaled product lands under
+/// half the smallest denormal); above `HI` the scaled product overflows
+/// to +∞ exactly where libm does.
+const EXP_LO_F64: f64 = -746.0;
+const EXP_HI_F64: f64 = 710.0;
+
+/// Taylor coefficients 1/2! ..= 1/13! for the reduced-range polynomial.
+const INV_FACT_F64: [f64; 12] = [
+    5.0e-1,
+    1.666_666_666_666_666_6e-1,
+    4.166_666_666_666_666_4e-2,
+    8.333_333_333_333_333e-3,
+    1.388_888_888_888_889e-3,
+    1.984_126_984_126_984e-4,
+    2.480_158_730_158_73e-5,
+    2.755_731_922_398_589e-6,
+    2.755_731_922_398_589e-7,
+    2.505_210_838_544_172e-8,
+    2.087_675_698_786_81e-9,
+    1.605_904_383_682_161_5e-10,
+];
+
+#[inline(always)]
+fn exp1_f64(x: f64) -> f64 {
+    let xc = x.clamp(EXP_LO_F64, EXP_HI_F64); // NaN passes through
+    let kf = (xc * LOG2E_F64 + MAGIC_F64) - MAGIC_F64;
+    let ki = kf as i64; // NaN saturates to 0; the NaN rides in `r`
+    let r = (xc - kf * LN2_HI_F64) - kf * LN2_LO_F64;
+    let mut q = INV_FACT_F64[11];
+    // Horner over 1/13! .. 1/2!; the iterator unrolls fully.
+    for c in INV_FACT_F64[..11].iter().rev() {
+        q = q * r + c;
+    }
+    let p = (q * r * r + r) + 1.0;
+    // 2^ki split into two half-powers so ki ∈ [-1076, 1025] never
+    // builds an out-of-range exponent field on its own.
+    let k1 = ki >> 1;
+    let k2 = ki - k1;
+    let s1 = f64::from_bits(((k1 + 1023) as u64) << 52);
+    let s2 = f64::from_bits(((k2 + 1023) as u64) << 52);
+    p * s1 * s2
+}
+
+/// Cephes `tanh` rational coefficients for |x| < 0.625:
+/// `tanh(x) = x + x·s·P(s)/Q(s)` with `s = x²`.
+const TANH_P_F64: [f64; 3] = [
+    -9.643_991_794_250_522e-1,
+    -9.928_772_310_019_186e1,
+    -1.614_687_684_417_084_5e3,
+];
+const TANH_Q_F64: [f64; 3] = [
+    1.128_116_784_916_329_3e2,
+    2.235_488_390_601_004_5e3,
+    4.844_063_053_251_255e3,
+];
+
+#[inline(always)]
+fn tanh1_f64(x: f64) -> f64 {
+    let a = x.abs();
+    // Small branch: odd rational around zero (no cancellation).
+    let s = x * x;
+    let p = (TANH_P_F64[0] * s + TANH_P_F64[1]) * s + TANH_P_F64[2];
+    let q = ((s + TANH_Q_F64[0]) * s + TANH_Q_F64[1]) * s + TANH_Q_F64[2];
+    let small = x + x * s * (p / q);
+    // Large branch: (1−e)/(1+e), e = exp(−2|x|); saturates to exactly
+    // ±1 once e underflows, including at ±∞.
+    let e = exp1_f64(-2.0 * a);
+    let big_mag = (1.0 - e) / (1.0 + e);
+    let big = if x.is_sign_negative() {
+        -big_mag
+    } else {
+        big_mag
+    };
+    if a < 0.625 {
+        small
+    } else {
+        big // NaN lands here (a < 0.625 is false) and propagates via e
+    }
+}
+
+#[inline(always)]
+fn sigmoid1_f64(x: f64) -> f64 {
+    let e = exp1_f64(-x.abs());
+    let inv = 1.0 / (1.0 + e);
+    if x >= 0.0 {
+        inv
+    } else {
+        e * inv // NaN lands here and propagates
+    }
+}
+
+// ---------------------------------------------------------------------
+// f32 scalar cores
+// ---------------------------------------------------------------------
+
+const LOG2E_F32: f32 = std::f32::consts::LOG2_E;
+/// High part of ln2, exact in 9 mantissa bits so `k·LN2_HI` is exact
+/// for every |k| ≤ 2^8 the clamp admits. The digits are the *exact*
+/// decimal value of the split constant, not a rounded approximation.
+#[allow(clippy::excessive_precision)]
+const LN2_HI_F32: f32 = 0.693_359_375;
+const LN2_LO_F32: f32 = -2.121_944_4e-4;
+/// 1.5·2^23.
+const MAGIC_F32: f32 = 12_582_912.0;
+const EXP_LO_F32: f32 = -104.0;
+const EXP_HI_F32: f32 = 89.0;
+
+/// Taylor coefficients 1/2! ..= 1/8!.
+const INV_FACT_F32: [f32; 7] = [
+    5.0e-1,
+    1.666_666_7e-1,
+    4.166_666_8e-2,
+    8.333_334e-3,
+    1.388_889e-3,
+    1.984_127e-4,
+    2.480_158_8e-5,
+];
+
+#[inline(always)]
+fn exp1_f32(x: f32) -> f32 {
+    let xc = x.clamp(EXP_LO_F32, EXP_HI_F32); // NaN passes through
+    let kf = (xc * LOG2E_F32 + MAGIC_F32) - MAGIC_F32;
+    let ki = kf as i32; // NaN saturates to 0; the NaN rides in `r`
+    let r = (xc - kf * LN2_HI_F32) - kf * LN2_LO_F32;
+    let mut q = INV_FACT_F32[6];
+    for c in INV_FACT_F32[..6].iter().rev() {
+        q = q * r + c;
+    }
+    let p = (q * r * r + r) + 1.0;
+    let k1 = ki >> 1;
+    let k2 = ki - k1;
+    let s1 = f32::from_bits(((k1 + 127) as u32) << 23);
+    let s2 = f32::from_bits(((k2 + 127) as u32) << 23);
+    p * s1 * s2
+}
+
+/// Cephes `tanhf` polynomial for |x| < 0.625:
+/// `tanh(x) = x + x·s·P(s)` with `s = x²`. Digits as published by
+/// Cephes (they round to the same f32 bits as the truncated forms).
+#[allow(clippy::excessive_precision)]
+const TANH_P_F32: [f32; 5] = [
+    -5.704_988_7e-3,
+    2.063_908_9e-2,
+    -5.373_971_6e-2,
+    1.333_144_2e-1,
+    -3.333_328_2e-1,
+];
+
+#[inline(always)]
+fn tanh1_f32(x: f32) -> f32 {
+    let a = x.abs();
+    let s = x * x;
+    let mut p = TANH_P_F32[0];
+    for c in TANH_P_F32[1..].iter() {
+        p = p * s + c;
+    }
+    let small = x + x * s * p;
+    let e = exp1_f32(-2.0 * a);
+    let big_mag = (1.0 - e) / (1.0 + e);
+    let big = if x.is_sign_negative() {
+        -big_mag
+    } else {
+        big_mag
+    };
+    if a < 0.625 {
+        small
+    } else {
+        big
+    }
+}
+
+#[inline(always)]
+fn sigmoid1_f32(x: f32) -> f32 {
+    let e = exp1_f32(-x.abs());
+    let inv = 1.0 / (1.0 + e);
+    if x >= 0.0 {
+        inv
+    } else {
+        e * inv
+    }
+}
+
+// ---------------------------------------------------------------------
+// Slice kernels: fixed-width lane loops over a chunked slice
+// ---------------------------------------------------------------------
+
+macro_rules! slice_kernel {
+    ($(#[$doc:meta])* $name:ident, $ty:ty, $core:ident) => {
+        $(#[$doc])*
+        pub fn $name(xs: &mut [$ty]) {
+            let mut chunks = xs.chunks_exact_mut(LANES);
+            for chunk in &mut chunks {
+                for v in chunk.iter_mut() {
+                    *v = $core(*v);
+                }
+            }
+            for v in chunks.into_remainder() {
+                *v = $core(*v);
+            }
+        }
+    };
+}
+
+slice_kernel!(
+    /// In-place vectorized `exp` over an `f64` slice.
+    exp_slice_f64,
+    f64,
+    exp1_f64
+);
+slice_kernel!(
+    /// In-place vectorized `exp` over an `f32` slice.
+    exp_slice_f32,
+    f32,
+    exp1_f32
+);
+slice_kernel!(
+    /// In-place vectorized `tanh` over an `f64` slice.
+    tanh_slice_f64,
+    f64,
+    tanh1_f64
+);
+slice_kernel!(
+    /// In-place vectorized `tanh` over an `f32` slice.
+    tanh_slice_f32,
+    f32,
+    tanh1_f32
+);
+slice_kernel!(
+    /// In-place vectorized logistic sigmoid over an `f64` slice.
+    sigmoid_slice_f64,
+    f64,
+    sigmoid1_f64
+);
+slice_kernel!(
+    /// In-place vectorized logistic sigmoid over an `f32` slice.
+    sigmoid_slice_f32,
+    f32,
+    sigmoid1_f32
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::sigmoid;
+
+    fn apply1_f64(f: fn(&mut [f64]), x: f64) -> f64 {
+        let mut v = [x];
+        f(&mut v);
+        v[0]
+    }
+
+    fn apply1_f32(f: fn(&mut [f32]), x: f32) -> f32 {
+        let mut v = [x];
+        f(&mut v);
+        v[0]
+    }
+
+    #[test]
+    fn exp_f64_matches_libm_on_gate_range() {
+        for i in -4000..=4000 {
+            let x = i as f64 * 0.01; // [-40, 40]
+            let got = apply1_f64(exp_slice_f64, x);
+            let want = x.exp();
+            let rel = ((got - want) / want).abs();
+            assert!(rel < 1e-14, "exp({x}): got {got}, want {want}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn exp_f32_matches_libm_on_gate_range() {
+        for i in -4000..=4000 {
+            let x = i as f32 * 0.01;
+            let got = apply1_f32(exp_slice_f32, x) as f64;
+            let want = (x as f64).exp();
+            let rel = ((got - want) / want).abs();
+            assert!(rel < 5e-7, "exp({x}): got {got}, want {want}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn exp_saturates_exactly() {
+        assert_eq!(apply1_f64(exp_slice_f64, f64::INFINITY), f64::INFINITY);
+        assert_eq!(apply1_f64(exp_slice_f64, f64::NEG_INFINITY), 0.0);
+        assert_eq!(apply1_f64(exp_slice_f64, -1e6), 0.0);
+        assert_eq!(apply1_f32(exp_slice_f32, f32::INFINITY), f32::INFINITY);
+        assert_eq!(apply1_f32(exp_slice_f32, f32::NEG_INFINITY), 0.0);
+        assert_eq!(apply1_f32(exp_slice_f32, -1e6), 0.0);
+    }
+
+    #[test]
+    fn tanh_and_sigmoid_saturate_exactly() {
+        assert_eq!(apply1_f64(tanh_slice_f64, f64::INFINITY), 1.0);
+        assert_eq!(apply1_f64(tanh_slice_f64, f64::NEG_INFINITY), -1.0);
+        assert_eq!(apply1_f32(tanh_slice_f32, f32::INFINITY), 1.0);
+        assert_eq!(apply1_f32(tanh_slice_f32, f32::NEG_INFINITY), -1.0);
+        assert_eq!(apply1_f64(sigmoid_slice_f64, f64::INFINITY), 1.0);
+        assert_eq!(apply1_f64(sigmoid_slice_f64, f64::NEG_INFINITY), 0.0);
+        assert_eq!(apply1_f32(sigmoid_slice_f32, f32::INFINITY), 1.0);
+        assert_eq!(apply1_f32(sigmoid_slice_f32, f32::NEG_INFINITY), 0.0);
+    }
+
+    #[test]
+    fn nan_propagates_through_every_kernel() {
+        for f in [exp_slice_f64, tanh_slice_f64, sigmoid_slice_f64] {
+            assert!(apply1_f64(f, f64::NAN).is_nan());
+        }
+        for f in [exp_slice_f32, tanh_slice_f32, sigmoid_slice_f32] {
+            assert!(apply1_f32(f, f32::NAN).is_nan());
+        }
+    }
+
+    #[test]
+    fn tanh_f64_matches_libm() {
+        for i in -3000..=3000 {
+            let x = i as f64 * 0.01;
+            let got = apply1_f64(tanh_slice_f64, x);
+            let want = x.tanh();
+            assert!(
+                (got - want).abs() < 1e-14,
+                "tanh({x}): got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn sigmoid_f64_matches_reference() {
+        for i in -3000..=3000 {
+            let x = i as f64 * 0.01;
+            let got = apply1_f64(sigmoid_slice_f64, x);
+            let want = sigmoid(x);
+            assert!(
+                (got - want).abs() < 1e-14,
+                "sigmoid({x}): got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn remainder_lanes_get_processed() {
+        // A length that is not a multiple of LANES exercises the tail.
+        let mut v: Vec<f64> = (0..11).map(|i| i as f64 * 0.1).collect();
+        let want: Vec<f64> = v.iter().map(|x| apply1_f64(exp_slice_f64, *x)).collect();
+        exp_slice_f64(&mut v);
+        assert_eq!(v, want);
+    }
+}

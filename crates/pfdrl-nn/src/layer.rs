@@ -87,6 +87,17 @@ impl Dense {
         self.w.len() + self.b.len()
     }
 
+    /// Flat weight values (`in_dim x out_dim` row-major), for the f32
+    /// inference mirror's re-quantization.
+    pub(crate) fn weight_slice(&self) -> &[f64] {
+        self.w.as_slice()
+    }
+
+    /// Bias values, for the f32 inference mirror's re-quantization.
+    pub(crate) fn bias_slice(&self) -> &[f64] {
+        &self.b
+    }
+
     /// Forward pass over a `batch x in_dim` matrix, caching for backward.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
         assert_eq!(
@@ -145,12 +156,23 @@ impl Dense {
     }
 
     /// Allocation-free backward pass paired with [`Dense::forward_into`]:
-    /// `input` must be the same matrix that forward pass consumed, `dout`
-    /// is dL/d(output), and dL/d(input) is written into `d_in`. Gradients
-    /// accumulate into `gw`/`gb` exactly as in [`Dense::backward`]
-    /// (temporaries first, then one `+=`, so the FP accumulation order —
-    /// and therefore every bit — matches).
-    pub fn backward_into(&mut self, input: &Matrix, dout: &Matrix, d_in: &mut Matrix) {
+    /// `input` and `output` must be the same matrices that forward pass
+    /// consumed and produced, `dout` is dL/d(output), and dL/d(input) is
+    /// written into `d_in`. The activation derivative is evaluated from
+    /// the already-activated `output`
+    /// ([`Activation::derivative_from_output`]), halving the backward
+    /// transcendental work while keeping every bit: `output` holds
+    /// exactly the values `act(pre)` produced. Gradients accumulate into
+    /// `gw`/`gb` exactly as in [`Dense::backward`] (temporaries first,
+    /// then one `+=`, so the FP accumulation order — and therefore every
+    /// bit — matches).
+    pub fn backward_into(
+        &mut self,
+        input: &Matrix,
+        output: &Matrix,
+        dout: &Matrix,
+        d_in: &mut Matrix,
+    ) {
         let Dense {
             w, act, gw, gb, ws, ..
         } = self;
@@ -159,16 +181,21 @@ impl Dense {
             (ws.pre.rows(), ws.pre.cols()),
             "Dense::backward_into dout shape mismatch"
         );
-        // dPre = dOut ⊙ act'(pre)
+        debug_assert_eq!(
+            (output.rows(), output.cols()),
+            (ws.pre.rows(), ws.pre.cols()),
+            "Dense::backward_into output shape mismatch"
+        );
+        // dPre = dOut ⊙ act'(output)
         ws.dpre.resize(dout.rows(), dout.cols());
-        for ((d, &o), &p) in ws
+        for ((d, &dov), &ov) in ws
             .dpre
             .as_mut_slice()
             .iter_mut()
             .zip(dout.as_slice())
-            .zip(ws.pre.as_slice())
+            .zip(output.as_slice())
         {
-            *d = o * act.derivative(p);
+            *d = dov * act.derivative_from_output(ov);
         }
         // Accumulate gradients: gW += Xᵀ dPre, gb += colsum(dPre).
         input.t_matmul_into(&ws.dpre, &mut ws.gw_tmp);

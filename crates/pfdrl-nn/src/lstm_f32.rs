@@ -1,0 +1,273 @@
+//! Reduced-precision LSTM inference mirror for `Precision::F32Fast`.
+//!
+//! An [`F32Lstm`] is a read-only f32 copy of an [`crate::Lstm`]'s
+//! weights, re-quantized from the f64 master via
+//! [`crate::Lstm::quantize_f32_into`] after every train/merge. Only the
+//! f64 master is ever trained, snapshotted, or federated — the mirror is
+//! derived state, rebuilt deterministically from the master's bits, so
+//! the PFDS snapshot format and federation payloads are untouched and
+//! kill-and-resume stays byte-exact in f32 mode.
+//!
+//! Inference follows the same persistent `[x | h]` layout as
+//! [`crate::Lstm::infer_windows`]: the concat buffer `z` is written
+//! once with the step-invariant trailing features, each step refreshes
+//! only the leading windowed column, and the fused cell pass stores the
+//! new hidden state straight back into `z`'s hidden columns. Gate
+//! activations run over whole `batch × hidden` buffers through the
+//! vector transcendentals in [`crate::fastmath`], which is where the
+//! ≥2× transcendental win comes from.
+
+use crate::fastmath::{sigmoid_slice_f32, tanh_slice_f32};
+use crate::matrix::Matrix;
+
+/// f32 inference mirror of an LSTM + identity dense head. Fields are
+/// written by [`crate::Lstm::quantize_f32_into`]; an empty (default)
+/// mirror is just a shell waiting for its first quantization.
+#[derive(Debug, Clone, Default)]
+pub struct F32Lstm {
+    pub(crate) in_dim: usize,
+    pub(crate) hidden: usize,
+    pub(crate) out_dim: usize,
+    /// Gate weights, each `(in+h) x hidden` row-major.
+    pub(crate) wi: Vec<f32>,
+    pub(crate) wf: Vec<f32>,
+    pub(crate) wo: Vec<f32>,
+    pub(crate) wg: Vec<f32>,
+    pub(crate) bi: Vec<f32>,
+    pub(crate) bf: Vec<f32>,
+    pub(crate) bo: Vec<f32>,
+    pub(crate) bg: Vec<f32>,
+    /// Head weights `hidden x out_dim` row-major, and head bias.
+    pub(crate) hw: Vec<f32>,
+    pub(crate) hb: Vec<f32>,
+}
+
+/// Reusable buffers for [`F32Lstm::infer_windows_into`]: the converted
+/// f32 input rows, the persistent `[x | h]` concat buffer, per-gate
+/// matrices, and cell-state ping-pong. All buffers resize in place, so
+/// steady-state inference allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct F32LstmScratch {
+    xs: Vec<f32>,
+    z: Vec<f32>,
+    i: Vec<f32>,
+    f: Vec<f32>,
+    o: Vec<f32>,
+    g: Vec<f32>,
+    c: Vec<f32>,
+    c_next: Vec<f32>,
+    tanh_c: Vec<f32>,
+    out: Vec<f32>,
+}
+
+/// `out = z · w + b` (bias broadcast per row), k-outer accumulation so
+/// the inner loop runs `hidden`-wide and vectorizes.
+fn gate_matmul_bias(
+    z: &[f32],
+    w: &[f32],
+    b: &[f32],
+    batch: usize,
+    zdim: usize,
+    hidden: usize,
+    out: &mut Vec<f32>,
+) {
+    out.resize(batch * hidden, 0.0);
+    for r in 0..batch {
+        let zrow = &z[r * zdim..(r + 1) * zdim];
+        let orow = &mut out[r * hidden..(r + 1) * hidden];
+        orow.copy_from_slice(b);
+        for (k, &zv) in zrow.iter().enumerate() {
+            let wrow = &w[k * hidden..(k + 1) * hidden];
+            for (ov, &wv) in orow.iter_mut().zip(wrow) {
+                *ov += zv * wv;
+            }
+        }
+    }
+}
+
+impl F32Lstm {
+    /// Whether the mirror has been quantized from a master yet.
+    pub fn is_quantized(&self) -> bool {
+        self.hidden > 0
+    }
+
+    /// f32 twin of [`crate::Lstm::infer_windows`]: row `r` of `inputs`
+    /// is `[w_0 .. w_{window-1}, trailing features]` and step `t` feeds
+    /// `[w_t, trailing]`. Results are widened back to f64 into `out`
+    /// (cleared and refilled, one value per input row).
+    ///
+    /// # Panics
+    /// Panics if the mirror is unquantized or the widths are
+    /// inconsistent with `in_dim`.
+    pub fn infer_windows_into(
+        &self,
+        inputs: &Matrix,
+        window: usize,
+        s: &mut F32LstmScratch,
+        out: &mut Vec<f64>,
+    ) {
+        assert!(self.is_quantized(), "F32Lstm used before quantization");
+        assert!(window > 0, "F32Lstm::infer_windows_into: empty window");
+        let (in_dim, hidden, out_dim) = (self.in_dim, self.hidden, self.out_dim);
+        let batch = inputs.rows();
+        let width = inputs.cols();
+        assert_eq!(
+            width,
+            window + in_dim - 1,
+            "F32Lstm::infer_windows_into: {width} cols can't hold window {window} + {} trailing features",
+            in_dim - 1
+        );
+        out.clear();
+        if batch == 0 {
+            return;
+        }
+        let zdim = in_dim + hidden;
+        // One narrowing pass over the inputs; everything after is f32.
+        s.xs.resize(batch * width, 0.0);
+        for (dst, &src) in s.xs.iter_mut().zip(inputs.as_slice()) {
+            *dst = src as f32;
+        }
+        s.z.clear();
+        s.z.resize(batch * zdim, 0.0); // hidden columns start at zero
+        s.c.clear();
+        s.c.resize(batch * hidden, 0.0);
+        s.c_next.resize(batch * hidden, 0.0);
+        s.tanh_c.resize(batch * hidden, 0.0);
+        // Trailing features are step-invariant: write them once.
+        for r in 0..batch {
+            let xrow = &s.xs[r * width + window..(r + 1) * width];
+            s.z[r * zdim + 1..r * zdim + in_dim].copy_from_slice(xrow);
+        }
+        for t in 0..window {
+            for r in 0..batch {
+                s.z[r * zdim] = s.xs[r * width + t];
+            }
+            gate_matmul_bias(&s.z, &self.wi, &self.bi, batch, zdim, hidden, &mut s.i);
+            gate_matmul_bias(&s.z, &self.wf, &self.bf, batch, zdim, hidden, &mut s.f);
+            gate_matmul_bias(&s.z, &self.wo, &self.bo, batch, zdim, hidden, &mut s.o);
+            gate_matmul_bias(&s.z, &self.wg, &self.bg, batch, zdim, hidden, &mut s.g);
+            // Whole-matrix vector transcendentals: 3 sigmoid gates + the
+            // candidate tanh in four slice passes.
+            sigmoid_slice_f32(&mut s.i);
+            sigmoid_slice_f32(&mut s.f);
+            sigmoid_slice_f32(&mut s.o);
+            tanh_slice_f32(&mut s.g);
+            // new_c = f ⊙ c + i ⊙ g, then tanh over the whole state.
+            for (e, cn) in s.c_next.iter_mut().enumerate() {
+                *cn = s.f[e] * s.c[e] + s.i[e] * s.g[e];
+            }
+            s.tanh_c.copy_from_slice(&s.c_next);
+            tanh_slice_f32(&mut s.tanh_c);
+            // h = o ⊙ tanh(new_c), stored straight into z's hidden cols.
+            for r in 0..batch {
+                let hrow = &mut s.z[r * zdim + in_dim..(r + 1) * zdim];
+                for (col, hv) in hrow.iter_mut().enumerate() {
+                    let e = r * hidden + col;
+                    *hv = s.o[e] * s.tanh_c[e];
+                }
+            }
+            std::mem::swap(&mut s.c, &mut s.c_next);
+        }
+        // Identity head on the final hidden state (read out of z).
+        s.out.resize(batch * out_dim, 0.0);
+        for r in 0..batch {
+            let hrow = &s.z[r * zdim + in_dim..(r + 1) * zdim];
+            let orow = &mut s.out[r * out_dim..(r + 1) * out_dim];
+            orow.copy_from_slice(&self.hb);
+            for (k, &hv) in hrow.iter().enumerate() {
+                let wrow = &self.hw[k * out_dim..(k + 1) * out_dim];
+                for (ov, &wv) in orow.iter_mut().zip(wrow) {
+                    *ov += hv * wv;
+                }
+            }
+        }
+        out.extend(s.out.iter().map(|&v| v as f64));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lstm::{Lstm, LstmScratch};
+    use crate::params::Layered;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn window_inputs(batch: usize, window: usize, trailing: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(batch, window + trailing, |_, _| rng.gen_range(-1.5..1.5))
+    }
+
+    #[test]
+    fn mirror_tracks_master_within_f32_noise() {
+        let net = Lstm::new(3, 24, 1, &mut StdRng::seed_from_u64(9));
+        let mut mirror = F32Lstm::default();
+        net.quantize_f32_into(&mut mirror);
+        let window = 16;
+        let inputs = window_inputs(64, window, 2, 10);
+        let mut s64 = LstmScratch::default();
+        let y64 = net.infer_windows(&inputs, window, &mut s64);
+        let mut s32 = F32LstmScratch::default();
+        let mut y32 = Vec::new();
+        mirror.infer_windows_into(&inputs, window, &mut s32, &mut y32);
+        assert_eq!(y32.len(), y64.len());
+        for (a, b) in y32.iter().zip(y64.as_slice()) {
+            assert!(
+                (a - b).abs() < 1e-4,
+                "f32 mirror drifted from f64 master: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn requantize_follows_weight_updates() {
+        let mut net = Lstm::new(3, 8, 1, &mut StdRng::seed_from_u64(11));
+        let mut mirror = F32Lstm::default();
+        net.quantize_f32_into(&mut mirror);
+        let window = 8;
+        let inputs = window_inputs(4, window, 2, 12);
+        let mut s = F32LstmScratch::default();
+        let mut before = Vec::new();
+        mirror.infer_windows_into(&inputs, window, &mut s, &mut before);
+        // Perturb the master and re-quantize: outputs must move.
+        let layer0: Vec<f64> = net.export_layer(0).iter().map(|v| v + 0.05).collect();
+        net.import_layer(0, &layer0);
+        net.quantize_f32_into(&mut mirror);
+        let mut after = Vec::new();
+        mirror.infer_windows_into(&inputs, window, &mut s, &mut after);
+        assert!(before.iter().zip(&after).any(|(a, b)| (a - b).abs() > 1e-9));
+    }
+
+    #[test]
+    fn deterministic_across_scratches() {
+        let net = Lstm::new(3, 24, 1, &mut StdRng::seed_from_u64(13));
+        let mut mirror = F32Lstm::default();
+        net.quantize_f32_into(&mut mirror);
+        let inputs = window_inputs(7, 12, 2, 14);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        mirror.infer_windows_into(&inputs, 12, &mut F32LstmScratch::default(), &mut a);
+        mirror.infer_windows_into(&inputs, 12, &mut F32LstmScratch::default(), &mut b);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_output() {
+        let net = Lstm::new(3, 4, 1, &mut StdRng::seed_from_u64(15));
+        let mut mirror = F32Lstm::default();
+        net.quantize_f32_into(&mut mirror);
+        let inputs = Matrix::zeros(0, 10);
+        let mut out = vec![1.0];
+        mirror.infer_windows_into(&inputs, 8, &mut F32LstmScratch::default(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "before quantization")]
+    fn unquantized_mirror_panics() {
+        let mirror = F32Lstm::default();
+        let inputs = Matrix::zeros(1, 9);
+        let mut out = Vec::new();
+        mirror.infer_windows_into(&inputs, 8, &mut F32LstmScratch::default(), &mut out);
+    }
+}

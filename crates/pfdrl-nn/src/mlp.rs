@@ -195,10 +195,15 @@ impl Mlp {
         let mut next = d_b;
         for (i, layer) in layers.iter_mut().enumerate().rev() {
             let input = if i == 0 { x } else { &acts[i - 1] };
+            // acts[i] is layer i's forward activation — handing it back
+            // lets the layer derive act' from the output it already
+            // computed instead of re-running sigmoid/tanh on the
+            // pre-activation (bit-identical, half the transcendentals).
+            let output = &acts[i];
             if i == n - 1 {
-                layer.backward_into(input, dout, cur);
+                layer.backward_into(input, output, dout, cur);
             } else {
-                layer.backward_into(input, cur, next);
+                layer.backward_into(input, output, cur, next);
                 std::mem::swap(&mut cur, &mut next);
             }
         }

@@ -1,0 +1,232 @@
+//! Property tests pinning the vectorized polynomial transcendentals
+//! (`pfdrl_nn::fastmath`) to scalar libm across the full domain, at both
+//! widths. Unlike the matmul kernel proptests these are *not* bitwise —
+//! the kernels are polynomial approximations — so the contract is a
+//! tight error bound on the gate-relevant range plus exact behaviour at
+//! the edges: saturation at ±∞ matches libm exactly, NaN propagates,
+//! and denormal inputs neither panic nor flush to garbage.
+//!
+//! The bounds here are what the `F32Fast` inference mode relies on: the
+//! f32 kernels must stay within a few ULP of libm so the dominant error
+//! of the mode remains the f32 *weight quantization*, not the
+//! transcendental approximation.
+
+use pfdrl_nn::activation::sigmoid;
+use pfdrl_nn::fastmath::{
+    exp_slice_f32, exp_slice_f64, sigmoid_slice_f32, sigmoid_slice_f64, tanh_slice_f32,
+    tanh_slice_f64,
+};
+use proptest::prelude::*;
+
+/// splitmix64 (same derivation idiom as kernel_props.rs: the vendored
+/// proptest shim only samples simple ranges, structure is derived).
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (self.next() as f64 / u64::MAX as f64) * (hi - lo)
+    }
+}
+
+fn call1_f64(f: fn(&mut [f64]), x: f64) -> f64 {
+    let mut v = [x];
+    f(&mut v);
+    v[0]
+}
+
+fn call1_f32(f: fn(&mut [f32]), x: f32) -> f32 {
+    let mut v = [x];
+    f(&mut v);
+    v[0]
+}
+
+/// Units in the last place between two finite f32 values.
+fn ulp_diff_f32(a: f32, b: f32) -> u32 {
+    let to_ordered = |x: f32| {
+        let bits = x.to_bits() as i32;
+        if bits < 0 {
+            i32::MIN.wrapping_sub(bits)
+        } else {
+            bits
+        }
+    };
+    to_ordered(a).abs_diff(to_ordered(b))
+}
+
+proptest! {
+    /// f64 exp within 1e-14 relative of libm across the gate-relevant
+    /// range (LSTM pre-activations live well inside [-60, 60]).
+    #[test]
+    fn exp_f64_relative_error_bounded(seed in 0u64..u64::MAX) {
+        let g = &mut Gen(seed);
+        let mut xs: Vec<f64> = (0..64).map(|_| g.uniform(-60.0, 60.0)).collect();
+        let want: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+        exp_slice_f64(&mut xs);
+        for (got, want) in xs.iter().zip(&want) {
+            let rel = ((got - want) / want).abs();
+            prop_assert!(rel < 1e-14, "got {got}, want {want}, rel {rel}");
+        }
+    }
+
+    /// f32 exp within 4 ULP of the correctly-rounded result across the
+    /// gate range.
+    #[test]
+    fn exp_f32_ulp_bounded(seed in 0u64..u64::MAX) {
+        let g = &mut Gen(seed);
+        let mut xs: Vec<f32> = (0..64).map(|_| g.uniform(-60.0, 60.0) as f32).collect();
+        let want: Vec<f32> = xs.iter().map(|&x| (x as f64).exp() as f32).collect();
+        exp_slice_f32(&mut xs);
+        for (&got, &want) in xs.iter().zip(&want) {
+            let ulp = ulp_diff_f32(got, want);
+            prop_assert!(ulp <= 4, "got {got}, want {want}, ulp {ulp}");
+        }
+    }
+
+    /// f64 tanh within 1e-14 absolute of libm (outputs live in [-1, 1],
+    /// so absolute error is the meaningful bound).
+    #[test]
+    fn tanh_f64_error_bounded(seed in 0u64..u64::MAX) {
+        let g = &mut Gen(seed);
+        let mut xs: Vec<f64> = (0..64).map(|_| g.uniform(-30.0, 30.0)).collect();
+        let want: Vec<f64> = xs.iter().map(|x| x.tanh()).collect();
+        tanh_slice_f64(&mut xs);
+        for (got, want) in xs.iter().zip(&want) {
+            prop_assert!((got - want).abs() < 1e-14, "got {got}, want {want}");
+        }
+    }
+
+    /// f32 tanh within 4 ULP of the correctly-rounded result.
+    #[test]
+    fn tanh_f32_ulp_bounded(seed in 0u64..u64::MAX) {
+        let g = &mut Gen(seed);
+        let mut xs: Vec<f32> = (0..64).map(|_| g.uniform(-30.0, 30.0) as f32).collect();
+        let want: Vec<f32> = xs.iter().map(|&x| (x as f64).tanh() as f32).collect();
+        tanh_slice_f32(&mut xs);
+        for (&got, &want) in xs.iter().zip(&want) {
+            let ulp = ulp_diff_f32(got, want);
+            prop_assert!(ulp <= 4, "got {got}, want {want}, ulp {ulp}");
+        }
+    }
+
+    /// f64 sigmoid within 1e-14 absolute of the stable scalar reference
+    /// the f64 path uses ([`pfdrl_nn::activation::sigmoid`]).
+    #[test]
+    fn sigmoid_f64_error_bounded(seed in 0u64..u64::MAX) {
+        let g = &mut Gen(seed);
+        let mut xs: Vec<f64> = (0..64).map(|_| g.uniform(-40.0, 40.0)).collect();
+        let want: Vec<f64> = xs.iter().map(|&x| sigmoid(x)).collect();
+        sigmoid_slice_f64(&mut xs);
+        for (got, want) in xs.iter().zip(&want) {
+            prop_assert!((got - want).abs() < 1e-14, "got {got}, want {want}");
+        }
+    }
+
+    /// f32 sigmoid within 4 ULP of the correctly-rounded result.
+    #[test]
+    fn sigmoid_f32_ulp_bounded(seed in 0u64..u64::MAX) {
+        let g = &mut Gen(seed);
+        let mut xs: Vec<f32> = (0..64).map(|_| g.uniform(-40.0, 40.0) as f32).collect();
+        let want: Vec<f32> = xs.iter().map(|&x| sigmoid(x as f64) as f32).collect();
+        sigmoid_slice_f32(&mut xs);
+        for (&got, &want) in xs.iter().zip(&want) {
+            let ulp = ulp_diff_f32(got, want);
+            prop_assert!(ulp <= 4, "got {got}, want {want}, ulp {ulp}");
+        }
+    }
+
+    /// Every kernel at both widths: NaN propagates, saturation at ±∞ is
+    /// exactly libm's, and mixed batches keep specials in place.
+    #[test]
+    fn specials_are_exact_in_mixed_batches(seed in 0u64..u64::MAX) {
+        let g = &mut Gen(seed);
+        // A batch mixing finite values with the special cases, at
+        // positions derived from the seed.
+        let rot = (g.next() % 7) as usize;
+        let mut base: Vec<f64> = vec![
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            g.uniform(-5.0, 5.0),
+            -0.0,
+            0.0,
+            g.uniform(-700.0, 700.0),
+        ];
+        base.rotate_left(rot);
+
+        let mut exp64 = base.clone();
+        exp_slice_f64(&mut exp64);
+        let mut tanh64 = base.clone();
+        tanh_slice_f64(&mut tanh64);
+        let mut sig64 = base.clone();
+        sigmoid_slice_f64(&mut sig64);
+        for (i, &x) in base.iter().enumerate() {
+            if x.is_nan() {
+                prop_assert!(exp64[i].is_nan() && tanh64[i].is_nan() && sig64[i].is_nan());
+            } else if x == f64::INFINITY {
+                prop_assert_eq!(exp64[i], f64::INFINITY);
+                prop_assert_eq!(tanh64[i], 1.0);
+                prop_assert_eq!(sig64[i], 1.0);
+            } else if x == f64::NEG_INFINITY {
+                prop_assert_eq!(exp64[i], 0.0);
+                prop_assert_eq!(tanh64[i], -1.0);
+                prop_assert_eq!(sig64[i], 0.0);
+            } else {
+                prop_assert!(exp64[i].is_finite() || x > 700.0);
+                prop_assert!(tanh64[i].abs() <= 1.0);
+                prop_assert!((0.0..=1.0).contains(&sig64[i]));
+            }
+        }
+
+        let base32: Vec<f32> = base.iter().map(|&v| v as f32).collect();
+        let mut exp32 = base32.clone();
+        exp_slice_f32(&mut exp32);
+        let mut tanh32 = base32.clone();
+        tanh_slice_f32(&mut tanh32);
+        let mut sig32 = base32.clone();
+        sigmoid_slice_f32(&mut sig32);
+        for (i, &x) in base32.iter().enumerate() {
+            if x.is_nan() {
+                prop_assert!(exp32[i].is_nan() && tanh32[i].is_nan() && sig32[i].is_nan());
+            } else if x == f32::INFINITY {
+                prop_assert_eq!(exp32[i], f32::INFINITY);
+                prop_assert_eq!(tanh32[i], 1.0);
+                prop_assert_eq!(sig32[i], 1.0);
+            } else if x == f32::NEG_INFINITY {
+                prop_assert_eq!(exp32[i], 0.0);
+                prop_assert_eq!(tanh32[i], -1.0);
+                prop_assert_eq!(sig32[i], 0.0);
+            }
+        }
+    }
+
+    /// Denormal inputs: no panic, and the results match libm (exp → 1,
+    /// tanh → identity, sigmoid → 0.5, all exactly at these magnitudes).
+    #[test]
+    fn denormal_inputs_are_safe(seed in 0u64..u64::MAX) {
+        let g = &mut Gen(seed);
+        // A denormal f64 with random mantissa bits (never zero).
+        let mantissa = (g.next() & ((1u64 << 52) - 1)) | 1;
+        let sign = (g.next() & 1) << 63;
+        let d64 = f64::from_bits(sign | mantissa);
+        prop_assert!(d64.is_subnormal());
+        prop_assert_eq!(call1_f64(exp_slice_f64, d64), 1.0);
+        prop_assert_eq!(call1_f64(tanh_slice_f64, d64).to_bits(), d64.to_bits());
+        prop_assert_eq!(call1_f64(sigmoid_slice_f64, d64), 0.5);
+
+        let m32 = ((g.next() & ((1u64 << 23) - 1)) as u32) | 1;
+        let s32 = ((g.next() & 1) as u32) << 31;
+        let d32 = f32::from_bits(s32 | m32);
+        prop_assert!(d32.is_subnormal());
+        prop_assert_eq!(call1_f32(exp_slice_f32, d32), 1.0);
+        prop_assert_eq!(call1_f32(tanh_slice_f32, d32).to_bits(), d32.to_bits());
+        prop_assert_eq!(call1_f32(sigmoid_slice_f32, d32), 0.5);
+    }
+}

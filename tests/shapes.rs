@@ -55,6 +55,7 @@ fn shape_config(seed: u64) -> SimConfig {
         sensor_fault: pfdrl::data::SensorFaultConfig::default(),
         health: pfdrl::core::HealthPolicy::default(),
         supervision: pfdrl::core::SupervisionPolicy::default(),
+        precision: pfdrl::core::Precision::F64,
     }
 }
 
