@@ -19,7 +19,10 @@ use pfdrl_core::{
 };
 use pfdrl_data::TraceGenerator;
 use pfdrl_drl::{DqnAgent, DqnConfig, Transition};
-use pfdrl_fl::{AggregationMode, BroadcastBus, DflRound, LatencyModel, MergePolicy, RoundParams};
+use pfdrl_fl::{
+    AggregationMode, BroadcastBus, DflRound, FaultConfig, HierParams, HierarchicalRound,
+    LatencyModel, MergePolicy, RoundParams, ShardPlan,
+};
 use pfdrl_nn::fastmath::{
     exp_slice_f32, exp_slice_f64, sigmoid_slice_f32, sigmoid_slice_f64, tanh_slice_f32,
     tanh_slice_f64,
@@ -126,6 +129,26 @@ pub struct FederationRow {
     pub speedup: f64,
 }
 
+/// One point of the hierarchical federation sweep: a complete two-level
+/// round (per-shard SharedSum reduction, then the aggregate-of-
+/// aggregates merge) over `n` homes split round-robin into `shards`
+/// neighbourhood shards, against the flat `SharedSum` round at the same
+/// `n`. `peak_shard_bytes` is the largest resident payload footprint any
+/// single shard held in a round — the figure the `max_shard_bytes`
+/// config guard budgets. `flat_shared_ns == 0` records that the flat
+/// reference was not run at this size (did not fit the bench budget);
+/// `speedup` is 0 in that case.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HierFederationRow {
+    pub n: usize,
+    pub shards: usize,
+    pub rounds: u64,
+    pub hier_ns: f64,
+    pub flat_shared_ns: f64,
+    pub speedup: f64,
+    pub peak_shard_bytes: u64,
+}
+
 /// Streaming-service throughput: a full serving span (one priming day
 /// plus one evaluated day) of minute-major telemetry replayed through
 /// [`ServeEngine`] at neighbourhood fleet size, decisions discarded
@@ -163,6 +186,10 @@ pub struct BenchReport {
     /// Federation round scaling (absent in pre-PR-4 baselines).
     #[serde(default)]
     pub federation: Vec<FederationRow>,
+    /// Hierarchical (sharded) federation scaling, including the 10k-home
+    /// fleet row (absent in pre-PR-9 baselines).
+    #[serde(default)]
+    pub federation_hier: Vec<HierFederationRow>,
     /// Serve-mode throughput (absent in pre-PR-7 baselines).
     #[serde(default)]
     pub serve: Option<ServeBench>,
@@ -470,6 +497,76 @@ fn federation_benches(quick: bool) -> Vec<FederationRow> {
             }
         })
         .collect()
+}
+
+/// Wall-clock of one full fault-free hierarchical round over `n` homes
+/// in `shards` round-robin shards, averaged over `rounds` timed rounds
+/// after one untimed warmup. Also reports the engine's per-shard peak
+/// resident payload bytes over the whole measurement.
+fn time_hierarchical_round(n: usize, shards: usize, rounds: u64) -> (f64, u64) {
+    let mut fleet = federation_fleet(n);
+    let policy = MergePolicy::default();
+    let mut engine = HierarchicalRound::new(
+        ShardPlan::round_robin(n, shards),
+        LatencyModel::lan(),
+        &FaultConfig::default(),
+    );
+    let mut run_round = |fleet: &mut Vec<Mlp>, round: u64| {
+        let mut col: Vec<&mut Mlp> = fleet.iter_mut().collect();
+        let _ = engine.run(
+            &mut col,
+            &HierParams {
+                round,
+                model_id: 0,
+                alpha: None,
+                policy: &policy,
+                participants: None,
+            },
+        );
+    };
+    run_round(&mut fleet, 0);
+    let t0 = Instant::now();
+    for r in 0..rounds {
+        run_round(&mut fleet, r + 1);
+    }
+    black_box(&fleet);
+    let ns = t0.elapsed().as_nanos() as f64 / rounds as f64;
+    (ns, engine.peak_shard_bytes())
+}
+
+/// The shard-sweep rows: the flat fleet sizes with a shard-count sweep
+/// (including the single-shard oracle point), plus the 10k-home fleet
+/// row the flat O(N²)-broadcast path is too expensive to sweep — flat
+/// SharedSum is still measured once at 10k as the reference the ≥2×
+/// headline reads against.
+fn federation_hier_benches(quick: bool) -> Vec<HierFederationRow> {
+    let points: &[(usize, &[usize])] = if quick {
+        &[(64, &[1, 4, 8]), (1_000, &[8])]
+    } else {
+        &[(669, &[1, 4, 16]), (10_000, &[32])]
+    };
+    let mut rows = Vec::new();
+    for &(n, shard_counts) in points {
+        let rounds: u64 = if quick || n >= 1_000 { 1 } else { 2 };
+        let flat_shared_ns = time_federation_round(n, rounds, AggregationMode::SharedSum);
+        for &shards in shard_counts {
+            let (hier_ns, peak_shard_bytes) = time_hierarchical_round(n, shards, rounds);
+            rows.push(HierFederationRow {
+                n,
+                shards,
+                rounds,
+                hier_ns,
+                flat_shared_ns,
+                speedup: if flat_shared_ns > 0.0 {
+                    flat_shared_ns / hier_ns
+                } else {
+                    0.0
+                },
+                peak_shard_bytes,
+            });
+        }
+    }
+    rows
 }
 
 fn train_step_bench(quick: bool) -> TrainStepBench {
@@ -894,6 +991,17 @@ pub fn run_bench_with(quick: bool, phases: bool) -> BenchReport {
             f.n, f.rounds, f.per_home_ns, f.shared_ns, f.speedup
         );
     }
+    let federation_hier = federation_hier_benches(quick);
+    println!(
+        "\n{:>6}  {:>6}  {:>6}  {:>14}  {:>15}  {:>8}  {:>14}",
+        "homes", "shards", "rounds", "hier ns", "flat shared ns", "speedup", "peak shard B"
+    );
+    for f in &federation_hier {
+        println!(
+            "{:>6}  {:>6}  {:>6}  {:>14.0}  {:>15.0}  {:>7.2}x  {:>14}",
+            f.n, f.shards, f.rounds, f.hier_ns, f.flat_shared_ns, f.speedup, f.peak_shard_bytes
+        );
+    }
     let serve = serve_bench(quick);
     println!(
         "\nserve throughput ({} homes, {} simulated minutes): \
@@ -922,6 +1030,7 @@ pub fn run_bench_with(quick: bool, phases: bool) -> BenchReport {
         train_step,
         ems_day,
         federation,
+        federation_hier,
         serve: Some(serve),
         phases: phase_rows,
     }
@@ -965,6 +1074,7 @@ mod tests {
                 saved_fraction: 0.5,
             },
             federation: vec![],
+            federation_hier: vec![],
             serve: None,
             phases: vec![],
         };

@@ -58,6 +58,10 @@ struct Ctx {
     shards: Option<usize>,
     chunk_minutes: Option<usize>,
     queue_cap: Option<usize>,
+    /// `scale-smoke --flat-only`: run only the 669-home SharedSum leg.
+    flat_only: bool,
+    /// `scale-smoke --hier-only`: run only the 10k-home Hierarchical leg.
+    hier_only: bool,
     /// `--precision <f64|f32fast>`: forecast inference precision of the
     /// base configuration (run/serve/headline/figures). Part of the run
     /// identity, so `f32fast` selects its own canary trajectory.
@@ -682,7 +686,7 @@ struct PrecisionCanaryResult {
 }
 
 /// `bench` target: the fixed-workload perf harness. Emits
-/// `BENCH_8.json` embedding the current measurement, the committed
+/// `BENCH_9.json` embedding the current measurement, the committed
 /// pre-PR baseline (when `--baseline <file>` points at one), and the
 /// headline speedups. `--phases` adds the per-phase day breakdown.
 fn bench(ctx: &Ctx) {
@@ -706,7 +710,7 @@ fn bench(ctx: &Ctx) {
             .unwrap_or_default();
         println!("speedup vs baseline: ems_day {ems:.2}x, train_step {ts:.2}x{steady}");
     }
-    ctx.save_json("BENCH_8", &file);
+    ctx.save_json("BENCH_9", &file);
     if let (Some(factor), Some(base)) = (ctx.max_regression, file.baseline.as_ref()) {
         gate_regression(&file.current, base, factor);
     }
@@ -852,6 +856,28 @@ fn gate_regression(current: &BenchReport, base: &BenchReport, factor: f64) {
             }
         }
     }
+    // Hierarchical federation rows: per-round rates over a fixed
+    // workload at each (N, shard count); points missing on either side
+    // (quick sweeps different sizes) are skipped. The flat reference
+    // column is already gated through the federation rows above.
+    for row in &current.federation_hier {
+        if let Some(b) = base
+            .federation_hier
+            .iter()
+            .find(|b| b.n == row.n && b.shards == row.shards)
+        {
+            if row.hier_ns > b.hier_ns * factor {
+                failures.push(format!(
+                    "federation_hier n={} shards={}: {:.0} ns/round vs baseline {:.0} (limit {:.0})",
+                    row.n,
+                    row.shards,
+                    row.hier_ns,
+                    b.hier_ns,
+                    b.hier_ns * factor
+                ));
+            }
+        }
+    }
     // Serve throughput: rate-based, but over a fleet-size-dependent
     // workload — compare only when both sides served the same fleet.
     // Baselines recorded before the row existed are skipped.
@@ -894,11 +920,16 @@ fn gate_regression(current: &BenchReport, base: &BenchReport, factor: f64) {
     }
 }
 
-/// `scale-smoke` target: a 669-residence, single-device,
-/// one-evaluation-day PFDRL run under the O(N) `SharedSum` fast path —
-/// the fleet size the paper's dataset covers (669 households), trimmed
-/// to one day and one device so CI can afford to prove the scale-out
-/// path end to end.
+/// `scale-smoke` target: fleet-scale end-to-end proof, two legs. The
+/// flat leg is a 669-residence, single-device, one-evaluation-day PFDRL
+/// run under the O(N) `SharedSum` fast path — the fleet size the
+/// paper's dataset covers (669 households), trimmed to one day and one
+/// device so CI can afford to prove the scale-out path end to end. The
+/// hierarchical leg is the same workload widened to 10 000 homes under
+/// `Hierarchical { shards: 32 }`, with a per-shard resident-payload
+/// budget (`max_shard_bytes`) that `validate()` enforces *before* any
+/// allocation happens. `--flat-only` / `--hier-only` select one leg, so
+/// CI can time them as separate steps.
 fn scale_smoke(ctx: &Ctx) {
     #[derive(Debug, Serialize)]
     struct ScaleSmoke {
@@ -908,31 +939,87 @@ fn scale_smoke(ctx: &Ctx) {
         saved_fraction: f64,
         comm_bytes: u64,
     }
-    banner("scale-smoke", "669-home single-day EMS under SharedSum");
-    let mut cfg = SimConfig::tiny(SEED);
-    cfg.n_residences = 669;
-    cfg.devices = vec![pfdrl_data::DeviceType::Tv];
-    cfg.eval_days = 1;
-    cfg.aggregation = pfdrl_core::AggregationMode::SharedSum;
-    cfg.validate();
-    let t0 = Instant::now();
-    let run = pfdrl_core::run_method(&cfg, EmsMethod::Pfdrl);
-    let seconds = t0.elapsed().as_secs_f64();
-    let saved_fraction = run.converged_saved_fraction();
-    println!(
-        "669 homes, 1 day: {seconds:.1}s wall, saved fraction {saved_fraction:.3}, {} comm bytes",
-        run.ems.comm_bytes
-    );
-    ctx.save_json(
-        "scale_smoke",
-        &ScaleSmoke {
-            n_residences: cfg.n_residences,
-            eval_days: cfg.eval_days,
-            seconds,
-            saved_fraction,
-            comm_bytes: run.ems.comm_bytes,
-        },
-    );
+    if !ctx.hier_only {
+        banner("scale-smoke", "669-home single-day EMS under SharedSum");
+        let mut cfg = SimConfig::tiny(SEED);
+        cfg.n_residences = 669;
+        cfg.devices = vec![pfdrl_data::DeviceType::Tv];
+        cfg.eval_days = 1;
+        cfg.aggregation = pfdrl_core::AggregationMode::SharedSum;
+        cfg.validate();
+        let t0 = Instant::now();
+        let run = pfdrl_core::run_method(&cfg, EmsMethod::Pfdrl);
+        let seconds = t0.elapsed().as_secs_f64();
+        let saved_fraction = run.converged_saved_fraction();
+        println!(
+            "669 homes, 1 day: {seconds:.1}s wall, saved fraction {saved_fraction:.3}, {} comm bytes",
+            run.ems.comm_bytes
+        );
+        ctx.save_json(
+            "scale_smoke",
+            &ScaleSmoke {
+                n_residences: cfg.n_residences,
+                eval_days: cfg.eval_days,
+                seconds,
+                saved_fraction,
+                comm_bytes: run.ems.comm_bytes,
+            },
+        );
+    }
+    if !ctx.flat_only {
+        #[derive(Debug, Serialize)]
+        struct HierScaleSmoke {
+            n_residences: usize,
+            eval_days: u64,
+            shards: usize,
+            max_shard_bytes: u64,
+            estimated_update_bytes: u64,
+            seconds: f64,
+            saved_fraction: f64,
+            comm_bytes: u64,
+        }
+        banner(
+            "scale-smoke",
+            "10k-home single-day EMS under Hierarchical (32 shards)",
+        );
+        let shards = 32;
+        let mut cfg = SimConfig::tiny(SEED);
+        cfg.n_residences = 10_000;
+        cfg.devices = vec![pfdrl_data::DeviceType::Tv];
+        cfg.eval_days = 1;
+        cfg.aggregation = pfdrl_core::AggregationMode::Hierarchical {
+            shards,
+            assignment: pfdrl_fl::ShardAssignment::RoundRobin,
+        };
+        // ~313 homes/shard x ~2.4 KiB/update ≈ 0.75 MiB resident per
+        // shard; a 4 MiB budget passes with headroom while still
+        // rejecting (at validate() time, before any allocation) a
+        // mis-sized plan that would concentrate the fleet.
+        cfg.max_shard_bytes = 4 * 1024 * 1024;
+        cfg.validate();
+        let t0 = Instant::now();
+        let run = pfdrl_core::run_method(&cfg, EmsMethod::Pfdrl);
+        let seconds = t0.elapsed().as_secs_f64();
+        let saved_fraction = run.converged_saved_fraction();
+        println!(
+            "10000 homes, 1 day, {shards} shards: {seconds:.1}s wall, \
+             saved fraction {saved_fraction:.3}, {} comm bytes",
+            run.ems.comm_bytes
+        );
+        ctx.save_json(
+            "scale_smoke_hier",
+            &HierScaleSmoke {
+                n_residences: cfg.n_residences,
+                eval_days: cfg.eval_days,
+                shards,
+                max_shard_bytes: cfg.max_shard_bytes,
+                estimated_update_bytes: cfg.estimated_update_bytes(),
+                seconds,
+                saved_fraction,
+                comm_bytes: run.ems.comm_bytes,
+            },
+        );
+    }
 }
 
 /// Per-target wall time, for the `--json` session summary.
@@ -986,6 +1073,8 @@ fn main() {
     let mut shards: Option<usize> = None;
     let mut chunk_minutes: Option<usize> = None;
     let mut queue_cap: Option<usize> = None;
+    let mut flat_only = false;
+    let mut hier_only = false;
     let mut precision = Precision::F64;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -1001,6 +1090,8 @@ fn main() {
             "--quick" => quick = true,
             "--json" => json = true,
             "--phases" => phases = true,
+            "--flat-only" => flat_only = true,
+            "--hier-only" => hier_only = true,
             "--out-dir" => out_dir = flag_value(&mut it, a),
             "--checkpoint-dir" => checkpoint_dir = Some(flag_value(&mut it, a)),
             "--resume-from" => resume_from = Some(flag_value(&mut it, a)),
@@ -1029,7 +1120,8 @@ fn main() {
                     "unknown flag {other:?}; known: --quick --json --phases --out-dir \
                      --checkpoint-dir --resume-from --crash-after-day --baseline \
                      --max-regression --stream --serve-out --snapshot-every-minutes \
-                     --crash-after-minute --shards --chunk-minutes --queue-cap --precision"
+                     --crash-after-minute --shards --chunk-minutes --queue-cap --precision \
+                     --flat-only --hier-only"
                 );
                 std::process::exit(2);
             }
@@ -1075,6 +1167,8 @@ fn main() {
         shards,
         chunk_minutes,
         queue_cap,
+        flat_only,
+        hier_only,
         precision,
     };
 

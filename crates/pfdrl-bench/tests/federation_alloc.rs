@@ -12,7 +12,10 @@
 //! process-wide counters.
 
 use pfdrl_bench::alloc::{count_allocations, CountingAlloc};
-use pfdrl_fl::{AggregationMode, BroadcastBus, DflRound, LatencyModel, MergePolicy, RoundParams};
+use pfdrl_fl::{
+    AggregationMode, BroadcastBus, DflRound, FaultConfig, HierParams, HierarchicalRound,
+    LatencyModel, MergePolicy, RoundParams, ShardPlan,
+};
 use pfdrl_nn::{Activation, Mlp};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -87,6 +90,9 @@ fn steady_state_round_allocations_are_bounded() {
         let bound = match mode {
             AggregationMode::PerHome => (2 * N * N + 16 * N) as f64,
             AggregationMode::SharedSum => (4 * N) as f64,
+            AggregationMode::Hierarchical { .. } => {
+                unreachable!("the flat loop sweeps only the flat modes")
+            }
         };
         assert!(
             per_round <= bound,
@@ -94,4 +100,55 @@ fn steady_state_round_allocations_are_bounded() {
              ({allocs} over {ROUNDS} rounds)"
         );
     }
+
+    // Hierarchical: every shard runs the shard-local SharedSum
+    // reduction over its own n_k homes, so the steady-state ceiling is
+    // the sum of the per-shard SharedSum ceilings (4·n_k each, i.e. 4·N
+    // fleet-wide) plus the top-level aggregate-of-aggregates
+    // bookkeeping, which is O(shards) partial buffers per round.
+    const SHARDS: usize = 4;
+    let mut fleet: Vec<Mlp> = (0..N)
+        .map(|home| {
+            let mut rng = StdRng::seed_from_u64(3 + home as u64);
+            Mlp::new(
+                &[8, 16, 16, 3],
+                Activation::Relu,
+                Activation::Identity,
+                &mut rng,
+            )
+        })
+        .collect();
+    let mut engine = HierarchicalRound::new(
+        ShardPlan::round_robin(N, SHARDS),
+        LatencyModel::lan(),
+        &FaultConfig::default(),
+    );
+    let hier_round = |fleet: &mut Vec<Mlp>, engine: &mut HierarchicalRound, r: u64| {
+        let mut col: Vec<&mut Mlp> = fleet.iter_mut().collect();
+        let _ = engine.run(
+            &mut col,
+            &HierParams {
+                round: r,
+                model_id: 0,
+                alpha: None,
+                policy: &policy,
+                participants: None,
+            },
+        );
+    };
+    for r in 1..=4u64 {
+        hier_round(&mut fleet, &mut engine, r);
+    }
+    let ((), allocs, _bytes) = count_allocations(|| {
+        for r in 5..=(4 + ROUNDS) {
+            hier_round(&mut fleet, &mut engine, r);
+        }
+    });
+    let per_round = allocs as f64 / ROUNDS as f64;
+    let bound = (4 * N + 16 * SHARDS) as f64;
+    assert!(
+        per_round <= bound,
+        "Hierarchical({SHARDS} shards): {per_round:.1} allocations/round exceeds \
+         bound {bound} ({allocs} over {ROUNDS} rounds)"
+    );
 }

@@ -210,9 +210,19 @@ pub struct SimConfig {
     /// `PerHome` replays the historical per-home merges bit-for-bit;
     /// `SharedSum` switches to the O(N) shared-reduction fast path
     /// (numerically equivalent, but a different float summation order,
-    /// so it carries its own canary).
+    /// so it carries its own canary); `Hierarchical` partitions the
+    /// fleet into neighborhood shards that SharedSum locally and
+    /// federate aggregate-of-aggregates upward.
     #[serde(default)]
     pub aggregation: AggregationMode,
+    /// Federation memory budget, bytes, for the largest reduction
+    /// domain (the biggest shard under `Hierarchical`, the whole fleet
+    /// under the flat modes). `0` = unlimited. When set, validation
+    /// fails early — at config time, with the offending numbers — if
+    /// the domain's estimated resident payload exceeds the budget,
+    /// instead of OOMing mid-run at fleet scale.
+    #[serde(default)]
+    pub max_shard_bytes: u64,
     /// Seeded sensor-fault injection into per-home minute streams
     /// (dropouts, stuck-at, spikes, NaN/negative watts, clock skew).
     /// Defaults to inactive — every reading passes through untouched
@@ -259,6 +269,7 @@ impl Default for SimConfig {
             fault: FaultConfig::default(),
             checkpoint: CheckpointPolicy::default(),
             aggregation: AggregationMode::PerHome,
+            max_shard_bytes: 0,
             sensor_fault: SensorFaultConfig::default(),
             health: HealthPolicy::default(),
             supervision: SupervisionPolicy::default(),
@@ -322,6 +333,7 @@ impl SimConfig {
             fault: FaultConfig::default(),
             checkpoint: CheckpointPolicy::default(),
             aggregation: AggregationMode::PerHome,
+            max_shard_bytes: 0,
             sensor_fault: SensorFaultConfig::default(),
             health: HealthPolicy::default(),
             supervision: SupervisionPolicy::default(),
@@ -380,10 +392,56 @@ impl SimConfig {
             "periods must be positive"
         );
         assert!(self.state_window >= 1, "state window must be >= 1");
+        if let AggregationMode::Hierarchical { shards, .. } = self.aggregation {
+            assert!(
+                shards >= 1,
+                "hierarchical aggregation needs at least one shard"
+            );
+        }
+        if self.max_shard_bytes > 0 {
+            // Largest reduction domain: the biggest shard under
+            // Hierarchical (round-robin and archetype chunking are both
+            // balanced, so ceil(n/k)), the whole fleet under flat modes.
+            let domain = match self.aggregation {
+                AggregationMode::Hierarchical { shards, .. } => self
+                    .n_residences
+                    .div_ceil(shards.clamp(1, self.n_residences)),
+                _ => self.n_residences,
+            } as u64;
+            let resident = domain * self.estimated_update_bytes();
+            assert!(
+                resident <= self.max_shard_bytes,
+                "largest federation domain needs ~{} B resident payloads \
+                 ({} homes x {} B/update), over max_shard_bytes = {}; \
+                 raise the budget or increase the shard count",
+                resident,
+                domain,
+                self.estimated_update_bytes(),
+                self.max_shard_bytes
+            );
+        }
         self.fault.validate();
         self.sensor_fault.validate();
         self.health.validate();
         self.supervision.validate();
+    }
+
+    /// Estimated bytes of one home's LAN federation payload: the α
+    /// base layers (weights + biases, 8 B per f64) of the per-device
+    /// DQN — the column that dominates resident federation memory.
+    /// Feeds the `max_shard_bytes` early guard.
+    pub fn estimated_update_bytes(&self) -> u64 {
+        let state_dim = 2 * self.state_window + 6;
+        let mut dims = vec![state_dim];
+        dims.extend(std::iter::repeat_n(
+            self.dqn.hidden_width,
+            self.dqn.hidden_layers,
+        ));
+        dims.push(3);
+        let end = self.alpha.min(dims.len() - 1);
+        (0..end)
+            .map(|l| (dims[l] * dims[l + 1] + dims[l + 1]) as u64 * 8)
+            .sum()
     }
 
     /// Stable fingerprint of everything that determines the run's
@@ -474,6 +532,57 @@ mod tests {
         let mut shared = base.clone();
         shared.aggregation = AggregationMode::SharedSum;
         assert_ne!(base.run_hash(), shared.run_hash());
+    }
+
+    #[test]
+    fn hierarchical_mode_is_hashed_and_flat_json_is_unchanged() {
+        use pfdrl_fl::ShardAssignment;
+        let base = SimConfig::tiny(5);
+        // The struct variant must change the run identity — shard
+        // topology changes float summation order.
+        let mut hier = base.clone();
+        hier.aggregation = AggregationMode::Hierarchical {
+            shards: 4,
+            assignment: ShardAssignment::ArchetypeMix,
+        };
+        hier.validate();
+        assert_ne!(base.run_hash(), hier.run_hash());
+        let mut other_shards = hier.clone();
+        other_shards.aggregation = AggregationMode::Hierarchical {
+            shards: 8,
+            assignment: ShardAssignment::ArchetypeMix,
+        };
+        assert_ne!(hier.run_hash(), other_shards.run_hash());
+
+        // Flat modes still serialize as plain unit-variant strings, so
+        // pre-hierarchical configs keep their exact JSON shape.
+        let json = serde_json::to_string(&base).unwrap();
+        assert!(json.contains("\"aggregation\":\"PerHome\""));
+    }
+
+    #[test]
+    fn shard_budget_guard_passes_when_sharded() {
+        use pfdrl_fl::ShardAssignment;
+        let mut cfg = SimConfig::tiny(5);
+        cfg.n_residences = 64;
+        // One update is a few KiB; 16 shards of 4 homes fit easily.
+        cfg.max_shard_bytes = 64 * 1024;
+        cfg.aggregation = AggregationMode::Hierarchical {
+            shards: 16,
+            assignment: ShardAssignment::RoundRobin,
+        };
+        cfg.validate();
+        assert!(cfg.estimated_update_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_shard_bytes")]
+    fn shard_budget_guard_rejects_oversized_flat_fleet() {
+        let mut cfg = SimConfig::tiny(5);
+        cfg.n_residences = 100_000;
+        cfg.aggregation = AggregationMode::SharedSum;
+        cfg.max_shard_bytes = 1024 * 1024; // ~100k homes never fit 1 MiB
+        cfg.validate();
     }
 
     #[test]

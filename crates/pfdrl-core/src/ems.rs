@@ -16,13 +16,14 @@ use crate::config::{HealthPolicy, SimConfig};
 use crate::forecast::ForecastPhase;
 use crate::method::EmsMethod;
 use pfdrl_data::{
-    impute_forward_fill, DayTrace, HouseholdSpec, TraceGenerator, MINUTES_PER_DAY, WATT_CEILING,
+    impute_forward_fill, Archetype, DayTrace, HouseholdSpec, TraceGenerator, MINUTES_PER_DAY,
+    WATT_CEILING,
 };
 use pfdrl_drl::{DqnAgent, DqnConfig, Transition};
 use pfdrl_env::{DeviceEnv, EnergyAccount, EnvConfig};
 use pfdrl_fl::{
-    aggregate, AggregationMode, BroadcastBus, CloudAggregator, DflRound, LatencyModel, MergePolicy,
-    RoundParams,
+    aggregate, AggregationMode, BroadcastBus, CloudAggregator, DflRound, HierParams,
+    HierarchicalRound, LatencyModel, MergePolicy, RoundParams, ShardAssignment, ShardPlan,
 };
 use pfdrl_forecast::PredictWorkspace;
 use pfdrl_nn::{Layered, Matrix};
@@ -427,6 +428,11 @@ pub struct EmsState {
     /// pool). Pure transient workspace — it holds no cross-round
     /// state, so it is rebuilt fresh on resume and never snapshotted.
     pub fed_engine: DflRound,
+    /// The two-level round engine, present exactly when the config
+    /// selects [`AggregationMode::Hierarchical`]. Unlike `fed_engine`
+    /// it owns the per-shard buses (stats, parked stragglers) and
+    /// counters, so it rides the snapshot's optional SHARD section.
+    pub hier: Option<HierarchicalRound>,
     /// Reusable per-home day-pipeline buffers (traces, predictions,
     /// environments, episode states). Pure transient workspace — like
     /// `fed_engine`, rebuilt fresh on resume and never snapshotted.
@@ -494,6 +500,7 @@ impl EmsState {
             bus: BroadcastBus::with_faults(n, LatencyModel::lan(), &cfg.fault),
             cloud: CloudAggregator::with_faults(LatencyModel::cloud(), &cfg.fault),
             fed_engine: DflRound::new(),
+            hier: Self::build_hier(cfg),
             day_ws: DayWorkspace::default(),
             fed_round: 0,
             next_day: cfg.eval_start_day,
@@ -511,6 +518,30 @@ impl EmsState {
             daily_mean_loss: Vec::with_capacity(cfg.eval_days as usize),
             participants: Vec::with_capacity(n),
         }
+    }
+
+    /// Builds the hierarchical round engine when the config selects the
+    /// two-level topology. The shard plan is a pure function of the
+    /// config: round-robin by home index, or grouped by the occupant
+    /// archetype pfdrl-data deterministically assigns each household —
+    /// so a resumed run always rebuilds the identical partition.
+    pub(crate) fn build_hier(cfg: &SimConfig) -> Option<HierarchicalRound> {
+        let AggregationMode::Hierarchical { shards, assignment } = cfg.aggregation else {
+            return None;
+        };
+        let n = cfg.n_residences;
+        let plan = match assignment {
+            ShardAssignment::RoundRobin => ShardPlan::round_robin(n, shards),
+            ShardAssignment::ArchetypeMix => {
+                let keys: Vec<u64> = (0..n as u64).map(|h| Archetype::assign(h) as u64).collect();
+                ShardPlan::by_keys(n, shards, &keys)
+            }
+        };
+        Some(HierarchicalRound::new(
+            plan,
+            LatencyModel::lan(),
+            &cfg.fault,
+        ))
     }
 
     fn agent_seed(cfg: &SimConfig, home: usize, device: usize) -> u64 {
@@ -727,6 +758,7 @@ impl EmsState {
                     &policy,
                     cfg.aggregation,
                     &mut self.fed_engine,
+                    self.hier.as_mut(),
                     participants,
                 );
             }
@@ -807,10 +839,18 @@ impl EmsState {
     /// Folds the accumulated state into the phase result.
     pub fn into_phase(self, cfg: &SimConfig, train_wall_s: f64) -> EmsPhase {
         let n = cfg.n_residences;
+        // Under Hierarchical the LAN traffic lives on the shard buses
+        // (plus the synthetic aggregator links); the flat bus is idle.
+        let (hier_bytes, hier_s) = self
+            .hier
+            .as_ref()
+            .map(|h| (h.total_stats().bytes, h.simulated_seconds()))
+            .unwrap_or((0, 0.0));
         let comm_bytes = self.bus.stats().bytes
+            + hier_bytes
             + self.cloud.stats().upload_bytes
             + self.cloud.stats().download_bytes;
-        let comm_s = self.bus.simulated_seconds() + self.cloud.simulated_seconds();
+        let comm_s = self.bus.simulated_seconds() + hier_s + self.cloud.simulated_seconds();
         EmsPhase {
             account: self.total,
             daily_saved_fraction: self.daily_saved_fraction,
@@ -913,6 +953,7 @@ impl EmsState {
             &policy,
             cfg.aggregation,
             &mut self.fed_engine,
+            self.hier.as_mut(),
             participants,
         );
     }
@@ -953,6 +994,7 @@ impl EmsState {
             },
             health: Self::health_active(cfg).then(|| self.export_health()),
             serve: None,
+            shard: self.hier.as_ref().map(HierarchicalRound::export_state),
         }
     }
 
@@ -1021,6 +1063,26 @@ impl EmsState {
         let cloud = CloudAggregator::with_faults(LatencyModel::cloud(), &cfg.fault);
         cloud.restore_state(&snap.transport.cloud);
 
+        // SHARD is present exactly when the config runs hierarchically;
+        // the saved assignment must match the plan the config rebuilds.
+        let mut hier = Self::build_hier(cfg);
+        match (&mut hier, &snap.shard) {
+            (Some(h), Some(s)) => h
+                .restore_state(s)
+                .map_err(|e| StoreError::State(format!("shard: {e}")))?,
+            (None, None) => {}
+            (Some(_), None) => {
+                return Err(StoreError::State(
+                    "config is hierarchical but the snapshot has no shard section".to_string(),
+                ))
+            }
+            (None, Some(_)) => {
+                return Err(StoreError::State(
+                    "snapshot has a shard section but the config is not hierarchical".to_string(),
+                ))
+            }
+        }
+
         let mut hourly_saved = [0.0f64; 24];
         hourly_saved.copy_from_slice(&m.hourly_saved);
         let mut hourly_standby = [0.0f64; 24];
@@ -1068,6 +1130,7 @@ impl EmsState {
             agents,
             bus,
             cloud,
+            hier,
             fed_engine: DflRound::new(),
             day_ws: DayWorkspace::default(),
             fed_round: snap.meta.fed_round,
@@ -1189,6 +1252,7 @@ fn federate(
     policy: &MergePolicy,
     mode: AggregationMode,
     engine: &mut DflRound,
+    hier: Option<&mut HierarchicalRound>,
     participants: Option<&[bool]>,
 ) {
     let d = agents[0].len();
@@ -1226,23 +1290,40 @@ fn federate(
         }
         DrlFederation::None => {}
         DrlFederation::LanAlpha(alpha) => {
+            // Under Hierarchical the flat bus is bypassed entirely: the
+            // two-level engine owns per-shard buses and the top-level
+            // combine. Flat modes run the existing single-bus round.
+            let mut hier = hier;
             for device in 0..d {
                 let mut col: Vec<&mut DqnAgent> = agents
                     .iter_mut()
                     .map(|home_agents| &mut home_agents[device])
                     .collect();
-                let _ = engine.run(
-                    &mut col,
-                    &RoundParams {
-                        bus,
-                        round,
-                        model_id: device as u64,
-                        alpha: Some(alpha),
-                        policy,
-                        mode,
-                        participants,
-                    },
-                );
+                if let Some(h) = hier.as_deref_mut() {
+                    let _ = h.run(
+                        &mut col,
+                        &HierParams {
+                            round,
+                            model_id: device as u64,
+                            alpha: Some(alpha),
+                            policy,
+                            participants,
+                        },
+                    );
+                } else {
+                    let _ = engine.run(
+                        &mut col,
+                        &RoundParams {
+                            bus,
+                            round,
+                            model_id: device as u64,
+                            alpha: Some(alpha),
+                            policy,
+                            mode,
+                            participants,
+                        },
+                    );
+                }
             }
         }
     }

@@ -12,7 +12,9 @@ use crate::config::SimConfig;
 use crate::method::EmsMethod;
 use pfdrl_data::dataset::build_windows_transformed;
 use pfdrl_data::{SupervisedSet, TraceGenerator, MINUTES_PER_DAY};
-use pfdrl_fl::{aggregate, BroadcastBus, CloudAggregator, DflRound, LatencyModel, RoundParams};
+use pfdrl_fl::{
+    aggregate, BroadcastBus, CloudAggregator, DflRound, HierParams, LatencyModel, RoundParams,
+};
 use pfdrl_forecast::{Forecaster, TrainConfig};
 use rayon::prelude::*;
 use std::time::Instant;
@@ -348,9 +350,16 @@ fn train_dfl_lan(
         max_epochs: epochs_per_round,
         ..cfg.train.clone()
     };
-    let buses: Vec<BroadcastBus> = (0..cfg.devices_per_home())
-        .map(|_| BroadcastBus::with_faults(cfg.n_residences, LatencyModel::lan(), &cfg.fault))
-        .collect();
+    // Hierarchical mode carries its own per-shard buses; the flat bus
+    // set stays empty so traffic is not double-counted.
+    let mut hier = crate::ems::EmsState::build_hier(cfg);
+    let buses: Vec<BroadcastBus> = if hier.is_some() {
+        Vec::new()
+    } else {
+        (0..cfg.devices_per_home())
+            .map(|_| BroadcastBus::with_faults(cfg.n_residences, LatencyModel::lan(), &cfg.fault))
+            .collect()
+    };
     let policy = cfg.fault.merge_policy();
     let mut engine = DflRound::new();
     for round in 0..rounds {
@@ -369,28 +378,48 @@ fn train_dfl_lan(
         // fault-free and `SharedSum` is selected. Corrupted or stale
         // updates are rejected inside the validated merge; a layer that
         // misses the quorum keeps the local parameters this round.
-        for (device, bus) in buses.iter().enumerate() {
+        for device in 0..cfg.devices_per_home() {
             let mut col: Vec<&mut dyn Forecaster> = models
                 .iter_mut()
                 .map(|home_models| home_models[device].as_mut())
                 .collect();
-            let _ = engine.run(
-                &mut col,
-                &RoundParams {
-                    bus,
-                    round: round as u64,
-                    model_id: device as u64,
-                    alpha: None,
-                    policy: &policy,
-                    mode: cfg.aggregation,
-                    participants: None,
-                },
-            );
+            if let Some(h) = hier.as_mut() {
+                // Two-level topology: each neighborhood shard runs a
+                // local reduction, then the fleet merges the
+                // population-weighted aggregate of aggregates.
+                let _ = h.run(
+                    &mut col,
+                    &HierParams {
+                        round: round as u64,
+                        model_id: device as u64,
+                        alpha: None,
+                        policy: &policy,
+                        participants: None,
+                    },
+                );
+            } else {
+                let _ = engine.run(
+                    &mut col,
+                    &RoundParams {
+                        bus: &buses[device],
+                        round: round as u64,
+                        model_id: device as u64,
+                        alpha: None,
+                        policy: &policy,
+                        mode: cfg.aggregation,
+                        participants: None,
+                    },
+                );
+            }
         }
     }
-    let secs: f64 = buses.iter().map(|b| b.simulated_seconds()).sum();
-    let bytes: u64 = buses.iter().map(|b| b.stats().bytes).sum();
-    (secs, bytes)
+    match &hier {
+        Some(h) => (h.simulated_seconds(), h.total_stats().bytes),
+        None => (
+            buses.iter().map(|b| b.simulated_seconds()).sum(),
+            buses.iter().map(|b| b.stats().bytes).sum(),
+        ),
+    }
 }
 
 /// One federated-round refit with a bounded epoch budget.

@@ -108,6 +108,39 @@ fn resume_is_bit_identical_under_shared_sum_fast_path() {
 }
 
 #[test]
+fn resume_is_bit_identical_under_hierarchical_sharding() {
+    // The two-level sharded federation must be just as snapshot-stable
+    // as the flat modes: the snapshot's optional shard section restores
+    // every per-shard engine byte-exactly — round/fast-path/fallback
+    // counters, bus statistics, and the parked straggler queues still
+    // in flight at the checkpoint boundary — so a resumed run replays
+    // the same per-shard reductions and the same fixed-shape
+    // aggregate-of-aggregates merge. Chaos + a high straggler rate make
+    // sure those queues are non-empty when the snapshot is cut.
+    let mut cfg = SimConfig::tiny(41);
+    cfg.n_residences = 7; // uneven split across 3 shards
+    cfg.eval_days = 3;
+    cfg.aggregation = pfdrl_fl::AggregationMode::Hierarchical {
+        shards: 3,
+        assignment: pfdrl_fl::ShardAssignment::RoundRobin,
+    };
+    cfg.fault = FaultConfig::chaos(41, 0.5);
+    cfg.fault.straggler_rate = 0.8;
+    assert!(cfg.fault.is_active());
+    exercise_resume_matrix(&cfg, EmsMethod::Pfdrl, "hierarchical");
+
+    // The archetype-keyed assignment is part of the run identity too.
+    let mut cfg = SimConfig::tiny(43);
+    cfg.n_residences = 6;
+    cfg.eval_days = 3;
+    cfg.aggregation = pfdrl_fl::AggregationMode::Hierarchical {
+        shards: 2,
+        assignment: pfdrl_fl::ShardAssignment::ArchetypeMix,
+    };
+    exercise_resume_matrix(&cfg, EmsMethod::Pfdrl, "hierarchical-archetype");
+}
+
+#[test]
 fn resume_is_bit_identical_under_f32fast_lstm_inference() {
     // Reduced-precision inference must be just as snapshot-stable as the
     // f64 default: snapshots hold only the f64 master weights, and the

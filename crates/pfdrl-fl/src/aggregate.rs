@@ -6,6 +6,7 @@
 //! merge is applied at all or the local model is kept for the round.
 
 use crate::codec::{LayerUpdate, ModelUpdate};
+use crate::shard::ShardAssignment;
 use pfdrl_nn::{average_params, Layered};
 use serde::{Deserialize, Serialize};
 use std::borrow::Borrow;
@@ -29,6 +30,23 @@ pub enum AggregationMode {
     /// equivalent to the per-home path but not bit-identical: the sum
     /// is re-associated, so this mode carries its own canary.
     SharedSum,
+    /// Two-level federation: homes are partitioned into `shards`
+    /// neighborhood shards (see [`ShardAssignment`]), each shard runs
+    /// the [`AggregationMode::SharedSum`] reduction locally over its
+    /// own broadcast bus, and a fixed-shape top-level tree combines the
+    /// per-shard partial sums into the fleet-global S (sum-of-sums, so
+    /// shards are weighted by population by construction). Message
+    /// complexity drops from O(N²) deliveries per round to O(Σ nₖ²).
+    /// A single shard covering all homes is bitwise identical to flat
+    /// [`AggregationMode::SharedSum`]; per-home fallbacks under faults
+    /// merge shard-locally (neighborhood averaging).
+    Hierarchical {
+        /// Number of neighborhood shards (clamped to the fleet size;
+        /// must be ≥ 1).
+        shards: usize,
+        /// How homes are assigned to shards.
+        assignment: ShardAssignment,
+    },
 }
 
 /// Builds a full-model update from a [`Layered`] model.

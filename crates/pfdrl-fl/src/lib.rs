@@ -57,6 +57,7 @@ pub mod fault;
 pub mod personalization;
 pub mod round;
 pub mod scheduler;
+pub mod shard;
 pub mod topology;
 
 /// SplitMix64-style hash used by the deterministic gossip topology.
@@ -80,4 +81,8 @@ pub use fault::{CorruptKind, Delivery, DropReason, FaultConfig, FaultInjector, F
 pub use personalization::LayerSplit;
 pub use round::{dfl_round_reference, DflRound, RoundOutcome, RoundParams, UpdatePool};
 pub use scheduler::{MinuteSchedule, PeriodicSchedule};
+pub use shard::{
+    HierParams, HierShardState, HierState, HierarchicalRound, ShardAssignment, ShardCounters,
+    ShardPlan, ShardPool,
+};
 pub use topology::Topology;

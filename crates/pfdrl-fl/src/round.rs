@@ -133,14 +133,28 @@ pub struct RoundOutcome {
     pub fallback_homes: usize,
 }
 
+/// What the exchange phase of a round observed (crate-internal; the
+/// hierarchical engine stitches several of these into one fleet round).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExchangeOutcome {
+    /// Layers staged and broadcast this round (alpha-resolved).
+    pub layer_end: usize,
+    /// Eligibility was probed and every broadcast payload validated
+    /// (consistent shapes, all params finite).
+    pub payloads_ok: bool,
+    /// Bytes of payloads broadcast this round (one Arc-shared copy per
+    /// sender — the column's resident federation footprint).
+    pub payload_bytes: u64,
+}
+
 /// Number of updates summed per tree-reduce leaf. Fixed (never derived
 /// from thread count) so the reduction shape — and therefore the exact
 /// float rounding — is identical run to run on any machine.
-const TREE_LEAF: usize = 16;
+pub(crate) const TREE_LEAF: usize = 16;
 
 /// Fixed-midpoint parallel tree sum of layers `0..layers` across
 /// `updates`: deterministic shape regardless of worker count.
-fn tree_sum(updates: &[Arc<ModelUpdate>], layers: usize) -> Vec<Vec<f64>> {
+pub(crate) fn tree_sum(updates: &[Arc<ModelUpdate>], layers: usize) -> Vec<Vec<f64>> {
     if updates.len() <= TREE_LEAF {
         let mut acc: Vec<Vec<f64>> = (0..layers)
             .map(|l| updates[0].layers[l].params.clone())
@@ -198,6 +212,23 @@ impl DflRound {
         &self.pool
     }
 
+    /// This round's broadcast payloads, indexed by sender (valid
+    /// between [`Self::exchange`] and [`Self::merge_with_sum`]).
+    pub(crate) fn sent_payloads(&self) -> &[Arc<ModelUpdate>] {
+        &self.sent
+    }
+
+    /// Homes currently marked fast-path eligible.
+    pub(crate) fn eligible_count(&self) -> usize {
+        self.eligible.iter().filter(|&&e| e).count()
+    }
+
+    /// Demotes every home to the per-home fallback (used when another
+    /// shard of a hierarchical round failed validation).
+    pub(crate) fn clear_eligibility(&mut self) {
+        self.eligible.iter_mut().for_each(|e| *e = false);
+    }
+
     /// Runs one broadcast-merge round over `models` (one model per
     /// home, same architecture). On [`AggregationMode::PerHome`] the
     /// result is bit-identical to [`dfl_round_reference`].
@@ -217,6 +248,38 @@ impl DflRound {
             assert_eq!(mask.len(), n, "participation mask does not match fleet");
         }
         let full_round = p.participants.is_none_or(|m| m.iter().all(|&b| b));
+        // The fast path is only probed when the quorum is meetable by a
+        // complete round; any other AggregationMode (PerHome, or a
+        // Hierarchical value routed here by mistake) takes the exact
+        // per-home path.
+        let quorum = p.policy.min_quorum.max(1);
+        let probe = p.mode == AggregationMode::SharedSum && n >= 2 && full_round && quorum < n;
+        let ex = self.exchange(models, p, probe);
+        let fast_path_homes = self.eligible.iter().filter(|&&e| e).count();
+        if fast_path_homes > 0 {
+            self.shared = tree_sum(&self.sent, ex.layer_end);
+        }
+        // Reuse the retained sum buffer without aliasing `self` in the
+        // merge pass; hierarchical callers pass a global sum instead.
+        let shared = std::mem::take(&mut self.shared);
+        let outcome = self.merge_with_sum(models, p, ex.layer_end, &shared, n as f64);
+        self.shared = shared;
+        outcome
+    }
+
+    /// Phase 1 of a round: export pooled buffers, broadcast in home
+    /// order, drain every mailbox, and (when `probe`) compute per-home
+    /// fast-path eligibility. `probe` must already fold in the caller's
+    /// global preconditions (mode, fleet size, full participation,
+    /// meetable quorum) — this phase only validates the payloads
+    /// themselves and each home's arrival pattern.
+    pub(crate) fn exchange<M: Layered + Send + Sync + ?Sized>(
+        &mut self,
+        models: &mut [&mut M],
+        p: &RoundParams<'_>,
+        probe: bool,
+    ) -> ExchangeOutcome {
+        let n = models.len();
         let total_layers = models[0].layer_count();
         let layer_end = match p.alpha {
             Some(a) => LayerSplit::new(a, total_layers).alpha,
@@ -271,24 +334,37 @@ impl DflRound {
                 .for_each(|(home, buf)| bus.drain_model_into(home, model_id, buf));
         }
 
-        // Fast-path eligibility. The whole device falls back when the
-        // quorum cannot be met by a full round or any broadcast payload
-        // failed validation; a single home falls back when its mailbox
-        // did not see exactly this round's N−1 payloads in sender order.
+        // Payload-resident bytes for this round (Arc-shared, one copy
+        // per sender) — feeds the per-shard memory accounting.
+        let payload_bytes: u64 = self
+            .sent
+            .iter()
+            .map(|u| {
+                u.layers
+                    .iter()
+                    .map(|l| (l.params.len() * 8) as u64)
+                    .sum::<u64>()
+            })
+            .sum();
+
+        // Fast-path eligibility. The whole column falls back when any
+        // broadcast payload failed validation; a single home falls back
+        // when its mailbox did not see exactly this round's payloads in
+        // sender order. (A one-home column is trivially complete — its
+        // mailbox correctly saw zero peers — which is what lets a
+        // singleton shard still join the hierarchical global sum.)
         self.eligible.clear();
         self.eligible.resize(n, false);
-        if p.mode == AggregationMode::SharedSum && n >= 2 && full_round {
-            let quorum = p.policy.min_quorum.max(1);
+        let mut payloads_ok = false;
+        if probe && !self.sent.is_empty() {
             let sent = &self.sent;
-            let device_ok = quorum < n
-                && sent.par_iter().all(|u| {
-                    u.layers.len() == sent[0].layers.len()
-                        && u.layers.iter().zip(sent[0].layers.iter()).all(|(a, b)| {
-                            a.params.len() == b.params.len()
-                                && a.params.iter().all(|x| x.is_finite())
-                        })
-                });
-            if device_ok {
+            payloads_ok = sent.par_iter().all(|u| {
+                u.layers.len() == sent[0].layers.len()
+                    && u.layers.iter().zip(sent[0].layers.iter()).all(|(a, b)| {
+                        a.params.len() == b.params.len() && a.params.iter().all(|x| x.is_finite())
+                    })
+            });
+            if payloads_ok {
                 let received = &self.received;
                 self.eligible
                     .par_iter_mut()
@@ -302,22 +378,36 @@ impl DflRound {
                     });
             }
         }
-        let fast_path_homes = self.eligible.iter().filter(|&&e| e).count();
-        if fast_path_homes > 0 {
-            self.shared = tree_sum(&self.sent, layer_end);
+        ExchangeOutcome {
+            layer_end,
+            payloads_ok,
+            payload_bytes,
         }
+    }
 
-        // Merge: parallel across homes. Fast path applies
-        // (local + (S − u_i)) / N; everything else replays the exact
-        // per-home merge on its received set.
+    /// Phase 2 of a round: merge every home in parallel, then release
+    /// the round's payload handles back to the pool. Eligible homes
+    /// apply `(local + (shared − u_i)) / count`; everything else
+    /// replays the exact per-home merge on its received set. Flat
+    /// callers pass this column's own tree sum and `count = n`;
+    /// hierarchical callers pass the fleet-global sum and fleet size.
+    pub(crate) fn merge_with_sum<M: Layered + Send + Sync + ?Sized>(
+        &mut self,
+        models: &mut [&mut M],
+        p: &RoundParams<'_>,
+        layer_end: usize,
+        shared: &[Vec<f64>],
+        count: f64,
+    ) -> RoundOutcome {
+        let n = models.len();
+        let fast_path_homes = self.eligible.iter().filter(|&&e| e).count();
         {
             let sent = &self.sent;
-            let shared = &self.shared;
             let eligible = &self.eligible;
             let received = &self.received;
             let policy = p.policy;
             let alpha = p.alpha;
-            let count = n as f64;
+            let round = p.round;
             self.fast_scratch.resize_with(n, Vec::new);
             models
                 .par_iter_mut()

@@ -37,7 +37,10 @@
 
 use pfdrl_drl::{DqnState, ReplayState, Transition};
 use pfdrl_env::account::EnergyAccount;
-use pfdrl_fl::{BusState, BusStats, CloudState, CloudStats, LayerUpdate, ModelUpdate};
+use pfdrl_fl::{
+    BusState, BusStats, CloudState, CloudStats, HierShardState, HierState, LayerUpdate,
+    ModelUpdate, ShardCounters,
+};
 use pfdrl_nn::optimizer::AdamState;
 
 use crate::crc32::crc32;
@@ -73,6 +76,12 @@ pub mod section {
     /// counters and per-device live buffers. Optional: only written by
     /// `pfdrl-serve`, so batch snapshots keep the existing format.
     pub const SERVE: u32 = 8;
+    /// Hierarchical federation state: shard assignment, per-shard
+    /// counters and buses, synthetic aggregator-link traffic.
+    /// Optional: only written when `AggregationMode::Hierarchical` is
+    /// active, so flat-mode snapshots stay byte-identical to the
+    /// pre-shard format.
+    pub const SHARD: u32 = 9;
 }
 
 const ALL_SECTIONS: [u32; 6] = [
@@ -269,6 +278,8 @@ pub struct RunSnapshot {
     pub health: Option<HealthState>,
     /// Service-loop state; `None` for batch snapshots.
     pub serve: Option<ServeState>,
+    /// Hierarchical federation state; `None` for flat-mode runs.
+    pub shard: Option<HierState>,
 }
 
 // ---------------------------------------------------------------------------
@@ -561,6 +572,31 @@ impl RunSnapshot {
             encode_account(&mut metrics, a);
         }
 
+        // SHARD references the tensor pool (parked shard-bus updates),
+        // so its payload must exist before the pool is serialized.
+        let shard_payload = self.shard.as_ref().map(|s| {
+            let mut shard = Writer::new();
+            shard.put_usize(s.home_shard.len());
+            for &sh in &s.home_shard {
+                shard.put_u32(sh);
+            }
+            shard.put_u64(s.agg_bytes);
+            shard.put_u64(s.agg_messages);
+            shard.put_u64(s.peak_shard_bytes);
+            shard.put_usize(s.shards.len());
+            for sh in &s.shards {
+                shard.put_u64(sh.counters.rounds);
+                shard.put_u64(sh.counters.fast_path_homes);
+                shard.put_u64(sh.counters.fallback_homes);
+                shard.put_u64(sh.counters.peak_payload_bytes);
+                encode_bus_stats(&mut shard, &sh.bus.stats);
+                encode_update_queues(&mut shard, &mut pool, &sh.bus.mailboxes);
+                encode_update_queues(&mut shard, &mut pool, &sh.bus.parked_ready);
+                encode_update_queues(&mut shard, &mut pool, &sh.bus.parked_staged);
+            }
+            shard.into_bytes()
+        });
+
         let mut tensors = Writer::new();
         pool.encode(&mut tensors);
 
@@ -619,6 +655,9 @@ impl RunSnapshot {
                 }
             }
             sections.push((section::SERVE, serve.into_bytes()));
+        }
+        if let Some(payload) = shard_payload {
+            sections.push((section::SHARD, payload));
         }
 
         let mut file = Writer::new();
@@ -884,6 +923,53 @@ impl RunSnapshot {
             }
         };
 
+        // SHARD is optional: only hierarchical runs write it.
+        let shard = match payloads.iter().find(|&&(k, _)| k == section::SHARD) {
+            None => None,
+            Some(&(_, payload)) => {
+                let mut shr = Reader::new(payload, "shard section");
+                let n_homes = shr.count(4)?;
+                let mut home_shard = Vec::with_capacity(n_homes);
+                for _ in 0..n_homes {
+                    home_shard.push(shr.u32()?);
+                }
+                let agg_bytes = shr.u64()?;
+                let agg_messages = shr.u64()?;
+                let peak_shard_bytes = shr.u64()?;
+                let n_shards = shr.count(8)?;
+                let mut shards = Vec::with_capacity(n_shards);
+                for _ in 0..n_shards {
+                    let counters = ShardCounters {
+                        rounds: shr.u64()?,
+                        fast_path_homes: shr.u64()?,
+                        fallback_homes: shr.u64()?,
+                        peak_payload_bytes: shr.u64()?,
+                    };
+                    let stats = decode_bus_stats(&mut shr)?;
+                    let mailboxes = decode_update_queues(&mut shr, &pool)?;
+                    let parked_ready = decode_update_queues(&mut shr, &pool)?;
+                    let parked_staged = decode_update_queues(&mut shr, &pool)?;
+                    shards.push(HierShardState {
+                        counters,
+                        bus: BusState {
+                            stats,
+                            mailboxes,
+                            parked_ready,
+                            parked_staged,
+                        },
+                    });
+                }
+                shr.expect_end()?;
+                Some(HierState {
+                    home_shard,
+                    agg_bytes,
+                    agg_messages,
+                    peak_shard_bytes,
+                    shards,
+                })
+            }
+        };
+
         Ok(RunSnapshot {
             meta,
             forecast,
@@ -892,6 +978,7 @@ impl RunSnapshot {
             metrics,
             health,
             serve,
+            shard,
         })
     }
 }
@@ -1036,6 +1123,7 @@ pub(crate) mod test_fixtures {
                 daily_mean_loss: vec![0.5, 0.45, f64::NAN, 0.0],
             }),
             serve: None,
+            shard: None,
         }
     }
 
@@ -1089,6 +1177,70 @@ pub(crate) mod test_fixtures {
                     saved_hourly: vec![0.03125; 24],
                     standby_hourly: vec![0.25; 24],
                     devices: vec![dev(1.0)],
+                },
+            ],
+        });
+        snap
+    }
+
+    /// `sample_snapshot` plus a populated shard section: two uneven
+    /// shards with live counters, a parked straggler and accumulated
+    /// aggregator-link traffic.
+    pub fn sample_hier_snapshot() -> RunSnapshot {
+        let mut snap = sample_snapshot();
+        let update = |sender: usize, round: u64| ModelUpdate {
+            sender,
+            round,
+            model_id: 3,
+            layers: vec![LayerUpdate {
+                index: 0,
+                params: vec![1.0, -0.0, f64::from_bits(0x7FF8_0000_0000_002A), 3.5],
+            }],
+        };
+        snap.shard = Some(HierState {
+            home_shard: vec![0, 0, 1],
+            agg_bytes: 8192,
+            agg_messages: 16,
+            peak_shard_bytes: 4096,
+            shards: vec![
+                HierShardState {
+                    counters: ShardCounters {
+                        rounds: 4,
+                        fast_path_homes: 6,
+                        fallback_homes: 2,
+                        peak_payload_bytes: 4096,
+                    },
+                    bus: BusState {
+                        stats: BusStats {
+                            messages: 12,
+                            bytes: 2048,
+                            dropped_loss: 1,
+                            ..Default::default()
+                        },
+                        mailboxes: vec![vec![], vec![update(0, 3)]],
+                        parked_ready: vec![vec![update(1, 2)], vec![]],
+                        parked_staged: vec![vec![], vec![]],
+                    },
+                },
+                HierShardState {
+                    counters: ShardCounters {
+                        rounds: 4,
+                        fast_path_homes: 4,
+                        fallback_homes: 0,
+                        peak_payload_bytes: 2048,
+                    },
+                    bus: BusState {
+                        stats: BusStats {
+                            messages: 4,
+                            bytes: 512,
+                            delayed: 1,
+                            delay_seconds: 0.25,
+                            ..Default::default()
+                        },
+                        mailboxes: vec![vec![]],
+                        parked_ready: vec![vec![]],
+                        parked_staged: vec![vec![update(0, 4)]],
+                    },
                 },
             ],
         });
@@ -1244,6 +1396,46 @@ mod tests {
                 context: "health state"
             })
         );
+    }
+
+    #[test]
+    fn shard_section_is_optional_in_both_directions() {
+        use super::test_fixtures::sample_hier_snapshot;
+
+        // A flat-mode snapshot must not emit the section, keeping the
+        // existing byte format, and must decode with `shard: None`.
+        let flat = sample_snapshot();
+        let bytes = flat.encode();
+        let (_, sections) = split_sections(&bytes);
+        assert!(
+            sections.iter().all(|&(k, _)| k != section::SHARD),
+            "flat snapshot must not serialize a shard section"
+        );
+        assert_eq!(RunSnapshot::decode(&bytes).unwrap().shard, None);
+
+        // A hierarchical capture survives the round trip exactly,
+        // including parked shard-bus stragglers and counters.
+        // (Struct equality would reject the NaN payload bits, so the
+        // round trip is pinned at the byte level plus spot checks.)
+        let hier = sample_hier_snapshot();
+        let hier_bytes = hier.encode();
+        let back = RunSnapshot::decode(&hier_bytes).unwrap();
+        let s = back.shard.as_ref().unwrap();
+        assert_eq!(s.home_shard, vec![0, 0, 1]);
+        assert_eq!(s.agg_bytes, 8192);
+        assert_eq!(s.peak_shard_bytes, 4096);
+        assert_eq!(s.shards[0].counters.fallback_homes, 2);
+        assert_eq!(s.shards[0].bus.parked_ready[0].len(), 1);
+        assert_eq!(s.shards[1].bus.parked_staged[0][0].model_id, 3);
+        assert!(s.shards[0].bus.mailboxes[1][0].layers[0].params[2].is_nan());
+        assert_eq!(back.encode(), hier_bytes);
+
+        // Stripping the section decodes as a flat snapshot whose
+        // re-encoding is byte-identical to the stripped stream.
+        let stripped = filter_sections(&hier_bytes, |kind| kind != section::SHARD);
+        let degraded = RunSnapshot::decode(&stripped).unwrap();
+        assert_eq!(degraded.shard, None);
+        assert_eq!(degraded.encode(), stripped);
     }
 
     #[test]

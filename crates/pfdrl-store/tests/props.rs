@@ -6,7 +6,10 @@
 
 use pfdrl_drl::{DqnState, ReplayState, Transition};
 use pfdrl_env::EnergyAccount;
-use pfdrl_fl::{BusState, BusStats, CloudState, CloudStats, LayerUpdate, ModelUpdate};
+use pfdrl_fl::{
+    BusState, BusStats, CloudState, CloudStats, HierShardState, HierState, LayerUpdate,
+    ModelUpdate, ShardCounters,
+};
 use pfdrl_nn::optimizer::AdamState;
 use pfdrl_store::{
     ForecastState, HealthState, HomeHealthRecord, MetricsState, RunSnapshot, ServeDeviceState,
@@ -263,6 +266,53 @@ fn build_snapshot(seed: u64, n_homes: usize, n_devices: usize, shared_agents: bo
                     .collect(),
             })
         },
+        shard: if g.below(2) == 0 {
+            None
+        } else {
+            let n_shards = 1 + g.below(3) as usize;
+            Some(HierState {
+                home_shard: (0..n_homes)
+                    .map(|_| g.below(n_shards as u64) as u32)
+                    .collect(),
+                agg_bytes: g.next(),
+                agg_messages: g.next(),
+                peak_shard_bytes: g.next(),
+                shards: (0..n_shards)
+                    .map(|_| {
+                        let pop = 1 + g.below(3) as usize;
+                        HierShardState {
+                            counters: ShardCounters {
+                                rounds: g.next(),
+                                fast_path_homes: g.next(),
+                                fallback_homes: g.next(),
+                                peak_payload_bytes: g.next(),
+                            },
+                            bus: BusState {
+                                stats: BusStats {
+                                    messages: g.next(),
+                                    bytes: g.next(),
+                                    dropped_offline: g.next(),
+                                    dropped_loss: g.next(),
+                                    dropped_disconnected: g.next(),
+                                    corrupted: g.next(),
+                                    delayed: g.next(),
+                                    delay_seconds: g.chaos_f64(),
+                                },
+                                mailboxes: (0..pop)
+                                    .map(|_| (0..g.below(2)).map(|_| update(g, n_layers)).collect())
+                                    .collect(),
+                                parked_ready: (0..pop)
+                                    .map(|_| (0..g.below(2)).map(|_| update(g, n_layers)).collect())
+                                    .collect(),
+                                parked_staged: (0..pop)
+                                    .map(|_| (0..g.below(2)).map(|_| update(g, n_layers)).collect())
+                                    .collect(),
+                            },
+                        }
+                    })
+                    .collect(),
+            })
+        },
     }
 }
 
@@ -341,6 +391,7 @@ proptest! {
 fn header_layout_matches_documented_format() {
     let mut snap = build_snapshot(42, 1, 1, false);
     snap.serve = None;
+    snap.shard = None;
     for (health, expected) in [
         (None, 6u32),
         (snap.health.take().or(Some(Default::default())), 7),
@@ -360,6 +411,9 @@ fn header_layout_matches_documented_format() {
     snap.serve = Some(Default::default());
     let bytes = snap.encode();
     assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 8);
+    snap.shard = Some(Default::default());
+    let bytes = snap.encode();
+    assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 9);
 }
 
 /// Exhaustive truncation sweep on one small snapshot: every proper

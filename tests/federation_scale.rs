@@ -6,8 +6,8 @@
 //! rounds while remaining run-to-run byte-deterministic.
 
 use pfdrl::fl::{
-    dfl_round_reference, AggregationMode, BroadcastBus, DflRound, FaultConfig, LatencyModel,
-    MergePolicy, RoundParams,
+    dfl_round_reference, AggregationMode, BroadcastBus, DflRound, FaultConfig, HierParams,
+    HierarchicalRound, LatencyModel, MergePolicy, RoundParams, ShardPlan,
 };
 use pfdrl::nn::{Activation, Layered, Mlp};
 use proptest::prelude::*;
@@ -59,6 +59,26 @@ fn run_engine(
             alpha,
             policy,
             mode,
+            participants: None,
+        },
+    );
+}
+
+fn run_hier(
+    models: &mut [Mlp],
+    engine: &mut HierarchicalRound,
+    round: u64,
+    alpha: Option<usize>,
+    policy: &MergePolicy,
+) {
+    let mut col: Vec<&mut Mlp> = models.iter_mut().collect();
+    let _ = engine.run(
+        &mut col,
+        &HierParams {
+            round,
+            model_id: 0,
+            alpha,
+            policy,
             participants: None,
         },
     );
@@ -133,6 +153,103 @@ proptest! {
                 "per-home {} vs shared {} (seed {}, n {})",
                 x, y, seed, n
             );
+        }
+    }
+
+    /// The flat-oracle property of the hierarchy: a single-shard
+    /// `HierarchicalRound` is byte-identical to the flat `SharedSum`
+    /// engine under *any* chaos plan — same model bits after every
+    /// round, same traffic statistics (the aggregate-of-aggregates
+    /// merge is `mem::take` at K=1, zero re-association; the synthetic
+    /// aggregator uplink is only charged when K>1).
+    #[test]
+    fn single_shard_hierarchical_is_bitwise_flat_shared_sum(
+        seed in 0u64..10_000,
+        n in 2usize..10,
+        chaos in 0.0f64..0.6,
+        alpha_pick in 0usize..2,
+    ) {
+        let fault = FaultConfig::chaos(seed, chaos);
+        let alpha = if alpha_pick == 1 { Some(2) } else { None };
+        let policy = fault.merge_policy();
+        let mut flat = fleet(n, seed ^ 0xF1A7);
+        let mut hier = fleet(n, seed ^ 0xF1A7);
+        let bus = BroadcastBus::with_faults(n, LatencyModel::lan(), &fault);
+        let mut flat_engine = DflRound::new();
+        let mut hier_engine = HierarchicalRound::new(
+            ShardPlan::round_robin(n, 1), LatencyModel::lan(), &fault);
+        for round in 1..=4u64 {
+            run_engine(&mut flat, &mut flat_engine, &bus, round, alpha, &policy,
+                       AggregationMode::SharedSum);
+            run_hier(&mut hier, &mut hier_engine, round, alpha, &policy);
+            prop_assert!(
+                bits(&flat) == bits(&hier),
+                "round {} diverged from the flat oracle (seed {}, n {}, chaos {:.2}, alpha {:?})",
+                round, seed, n, chaos, alpha
+            );
+        }
+        prop_assert_eq!(hier_engine.total_stats(), bus.stats());
+    }
+
+    /// Multi-shard rounds are run-to-run byte-deterministic and
+    /// invariant to the order shards are presented in: a plan built
+    /// from scrambled member lists canonicalizes to the same partition
+    /// and replays the same bits and the same exported engine state.
+    #[test]
+    fn multi_shard_hierarchical_is_deterministic_and_shard_order_invariant(
+        seed in 0u64..10_000,
+        n in 4usize..12,
+        shards in 2usize..5,
+        chaos in 0.0f64..0.5,
+    ) {
+        let fault = FaultConfig::chaos(seed, chaos);
+        let policy = fault.merge_policy();
+        let plan = ShardPlan::round_robin(n, shards);
+        let mut scrambled: Vec<Vec<usize>> = plan.members().to_vec();
+        let k = scrambled.len();
+        scrambled.rotate_left(seed as usize % k);
+        for members in &mut scrambled {
+            members.reverse();
+        }
+        let scrambled_plan = ShardPlan::from_members(scrambled);
+        prop_assert_eq!(&scrambled_plan, &plan);
+
+        let mut a = fleet(n, seed ^ 0x0DE8);
+        let mut b = fleet(n, seed ^ 0x0DE8);
+        let mut ea = HierarchicalRound::new(plan, LatencyModel::lan(), &fault);
+        let mut eb = HierarchicalRound::new(scrambled_plan, LatencyModel::lan(), &fault);
+        for round in 1..=4u64 {
+            run_hier(&mut a, &mut ea, round, None, &policy);
+            run_hier(&mut b, &mut eb, round, None, &policy);
+        }
+        prop_assert_eq!(bits(&a), bits(&b));
+        prop_assert_eq!(ea.export_state(), eb.export_state());
+    }
+
+    /// Chaos fault plans replay bit-identically per seed across
+    /// independent multi-shard engines: after every round — including
+    /// rounds where straggler deliveries are still parked in per-shard
+    /// queues — both the model bits and the full exported engine state
+    /// (per-shard counters, bus state, parked updates) are equal.
+    #[test]
+    fn chaos_fault_plans_replay_bit_identically_per_seed(
+        seed in 0u64..10_000,
+        n in 4usize..10,
+        shards in 2usize..4,
+    ) {
+        let fault = FaultConfig::chaos(seed, 0.5);
+        let policy = fault.merge_policy();
+        let mut a = fleet(n, seed ^ 0xC4A0);
+        let mut b = fleet(n, seed ^ 0xC4A0);
+        let mut ea = HierarchicalRound::new(
+            ShardPlan::round_robin(n, shards), LatencyModel::lan(), &fault);
+        let mut eb = HierarchicalRound::new(
+            ShardPlan::round_robin(n, shards), LatencyModel::lan(), &fault);
+        for round in 1..=5u64 {
+            run_hier(&mut a, &mut ea, round, None, &policy);
+            run_hier(&mut b, &mut eb, round, None, &policy);
+            prop_assert_eq!(bits(&a), bits(&b));
+            prop_assert_eq!(ea.export_state(), eb.export_state());
         }
     }
 }
