@@ -20,8 +20,9 @@ use pfdrl_core::{
 use pfdrl_data::TraceGenerator;
 use pfdrl_drl::{DqnAgent, DqnConfig, Transition};
 use pfdrl_fl::{
-    AggregationMode, BroadcastBus, DflRound, FaultConfig, HierParams, HierarchicalRound,
-    LatencyModel, MergePolicy, RoundParams, ShardPlan,
+    snapshot_update, AggregationMode, BroadcastBus, DflRound, FaultConfig, HierParams,
+    HierarchicalRound, LatencyModel, MergePolicy, ModelUpdate, PayloadCodec, RoundParams,
+    ShardPlan,
 };
 use pfdrl_nn::fastmath::{
     exp_slice_f32, exp_slice_f64, sigmoid_slice_f32, sigmoid_slice_f64, tanh_slice_f32,
@@ -149,6 +150,36 @@ pub struct HierFederationRow {
     pub peak_shard_bytes: u64,
 }
 
+/// One point of the compressed-federation sweep: a complete fault-free
+/// round under each [`PayloadCodec`], with the per-round wire bytes the
+/// bus actually accounted and the logical (pre-compression, raw-f64)
+/// bytes of the same deliveries. `bytes_ratio` is `logical / wire` —
+/// the compression factor realised on the wire; under `raw` it is
+/// exactly 1. `shards == 0` marks a flat `SharedSum` round; `shards >
+/// 0` a hierarchical round. The encode/decode columns are a serializer
+/// micro-benchmark on one bench-MLP full-model update.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FederationCompRow {
+    /// [`PayloadCodec::label`]: `"raw"`, `"q8"` or `"topk"`.
+    pub codec: String,
+    pub n: usize,
+    /// 0 = flat SharedSum; otherwise the hierarchical shard count.
+    pub shards: usize,
+    pub rounds: u64,
+    pub round_ns: f64,
+    /// Wire bytes per round (post-compression — what latency is paid on).
+    pub comm_bytes_per_round: u64,
+    /// Logical bytes per round (what the same round ships under raw).
+    pub logical_bytes_per_round: u64,
+    /// `logical_bytes_per_round / comm_bytes_per_round`.
+    pub bytes_ratio: f64,
+    /// Wall-clock of `ModelUpdate::encode_with(codec)` on one full
+    /// bench-MLP update, ns.
+    pub encode_ns_per_update: f64,
+    /// Wall-clock of `ModelUpdate::decode` on that encoding, ns.
+    pub decode_ns_per_update: f64,
+}
+
 /// Streaming-service throughput: a full serving span (one priming day
 /// plus one evaluated day) of minute-major telemetry replayed through
 /// [`ServeEngine`] at neighbourhood fleet size, decisions discarded
@@ -190,6 +221,10 @@ pub struct BenchReport {
     /// fleet row (absent in pre-PR-9 baselines).
     #[serde(default)]
     pub federation_hier: Vec<HierFederationRow>,
+    /// Compressed-payload federation rows (absent in pre-PR-10
+    /// baselines): wire-vs-logical bytes and round latency per codec.
+    #[serde(default)]
+    pub federation_comp: Vec<FederationCompRow>,
     /// Serve-mode throughput (absent in pre-PR-7 baselines).
     #[serde(default)]
     pub serve: Option<ServeBench>,
@@ -565,6 +600,165 @@ fn federation_hier_benches(quick: bool) -> Vec<HierFederationRow> {
                 peak_shard_bytes,
             });
         }
+    }
+    rows
+}
+
+/// Wall-clock and per-round wire/logical byte deltas of a fault-free
+/// flat `SharedSum` round over `n` homes with the bus running `codec`,
+/// averaged over `rounds` timed rounds after one untimed warmup. Byte
+/// deltas exclude the warmup so they are exact per-round figures.
+fn time_federation_round_codec(n: usize, rounds: u64, codec: PayloadCodec) -> (f64, u64, u64) {
+    let mut fleet = federation_fleet(n);
+    let bus = BroadcastBus::with_codec(n, LatencyModel::lan(), &FaultConfig::default(), codec);
+    let policy = MergePolicy::default();
+    let mut engine = DflRound::new();
+    let run_round = |engine: &mut DflRound, fleet: &mut Vec<Mlp>, round: u64| {
+        let mut col: Vec<&mut Mlp> = fleet.iter_mut().collect();
+        let _ = engine.run(
+            &mut col,
+            &RoundParams {
+                bus: &bus,
+                round,
+                model_id: 0,
+                alpha: None,
+                policy: &policy,
+                mode: AggregationMode::SharedSum,
+                participants: None,
+            },
+        );
+    };
+    run_round(&mut engine, &mut fleet, 0);
+    let warm = bus.stats();
+    let t0 = Instant::now();
+    for r in 0..rounds {
+        run_round(&mut engine, &mut fleet, r + 1);
+    }
+    black_box(&fleet);
+    let ns = t0.elapsed().as_nanos() as f64 / rounds as f64;
+    let end = bus.stats();
+    let wire = (end.bytes - warm.bytes) / rounds;
+    let logical = (end.logical_bytes - warm.logical_bytes) / rounds;
+    (ns, wire, logical)
+}
+
+/// The hierarchical counterpart of [`time_federation_round_codec`]:
+/// one two-level round over `n` homes in `shards` round-robin shards,
+/// with shard buses and the synthetic aggregator links all running
+/// `codec`.
+fn time_hierarchical_round_codec(
+    n: usize,
+    shards: usize,
+    rounds: u64,
+    codec: PayloadCodec,
+) -> (f64, u64, u64) {
+    let mut fleet = federation_fleet(n);
+    let policy = MergePolicy::default();
+    let mut engine = HierarchicalRound::with_codec(
+        ShardPlan::round_robin(n, shards),
+        LatencyModel::lan(),
+        &FaultConfig::default(),
+        codec,
+    );
+    let run_round = |engine: &mut HierarchicalRound, fleet: &mut Vec<Mlp>, round: u64| {
+        let mut col: Vec<&mut Mlp> = fleet.iter_mut().collect();
+        let _ = engine.run(
+            &mut col,
+            &HierParams {
+                round,
+                model_id: 0,
+                alpha: None,
+                policy: &policy,
+                participants: None,
+            },
+        );
+    };
+    run_round(&mut engine, &mut fleet, 0);
+    let warm = engine.total_stats();
+    let t0 = Instant::now();
+    for r in 0..rounds {
+        run_round(&mut engine, &mut fleet, r + 1);
+    }
+    black_box(&fleet);
+    let ns = t0.elapsed().as_nanos() as f64 / rounds as f64;
+    let end = engine.total_stats();
+    let wire = (end.bytes - warm.bytes) / rounds;
+    let logical = (end.logical_bytes - warm.logical_bytes) / rounds;
+    (ns, wire, logical)
+}
+
+/// Serializer micro-benchmark: encode/decode wall-clock per full
+/// bench-MLP update under `codec`, averaged over `iters` iterations.
+fn codec_serializer_bench(codec: PayloadCodec, iters: u64) -> (f64, f64) {
+    let fleet = federation_fleet(1);
+    let update = snapshot_update(&fleet[0], 0, 0, 0);
+    let t0 = Instant::now();
+    let mut bytes = Vec::new();
+    for _ in 0..iters {
+        bytes = black_box(update.encode_with(codec));
+    }
+    let encode_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(ModelUpdate::decode(&bytes).expect("bench decode"));
+    }
+    let decode_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    (encode_ns, decode_ns)
+}
+
+/// The codecs the compressed-federation sweep compares — the shapes
+/// the DESIGN.md §16 accuracy-vs-bytes table reports.
+const COMP_CODECS: [PayloadCodec; 3] = [
+    PayloadCodec::Raw,
+    PayloadCodec::QuantizedI8 {
+        per_layer_scale: true,
+    },
+    PayloadCodec::TopK { fraction: 0.1 },
+];
+
+/// The compressed-federation sweep: every codec at the flat-SharedSum
+/// neighbourhood scale (669 homes; the paper's fleet) and at the
+/// 10k-home hierarchical scale (32 shards) — quick mode shrinks both
+/// to CI size. The `raw` rows double as the bit-identical reference:
+/// their wire and logical bytes must be equal.
+fn federation_comp_benches(quick: bool) -> Vec<FederationCompRow> {
+    let (flat_n, hier_n, hier_shards) = if quick {
+        (64, 1_000, 8)
+    } else {
+        (669, 10_000, 32)
+    };
+    let ser_iters: u64 = if quick { 200 } else { 2_000 };
+    let mut rows = Vec::new();
+    for codec in COMP_CODECS {
+        let (encode_ns, decode_ns) = codec_serializer_bench(codec, ser_iters);
+        let rounds: u64 = 1;
+        let (round_ns, wire, logical) = time_federation_round_codec(flat_n, rounds, codec);
+        rows.push(FederationCompRow {
+            codec: codec.label().to_string(),
+            n: flat_n,
+            shards: 0,
+            rounds,
+            round_ns,
+            comm_bytes_per_round: wire,
+            logical_bytes_per_round: logical,
+            bytes_ratio: logical as f64 / wire as f64,
+            encode_ns_per_update: encode_ns,
+            decode_ns_per_update: decode_ns,
+        });
+        let (round_ns, wire, logical) =
+            time_hierarchical_round_codec(hier_n, hier_shards, rounds, codec);
+        rows.push(FederationCompRow {
+            codec: codec.label().to_string(),
+            n: hier_n,
+            shards: hier_shards,
+            rounds,
+            round_ns,
+            comm_bytes_per_round: wire,
+            logical_bytes_per_round: logical,
+            bytes_ratio: logical as f64 / wire as f64,
+            encode_ns_per_update: encode_ns,
+            decode_ns_per_update: decode_ns,
+        });
     }
     rows
 }
@@ -1002,6 +1196,33 @@ pub fn run_bench_with(quick: bool, phases: bool) -> BenchReport {
             f.n, f.shards, f.rounds, f.hier_ns, f.flat_shared_ns, f.speedup, f.peak_shard_bytes
         );
     }
+    let federation_comp = federation_comp_benches(quick);
+    println!(
+        "\n{:>6}  {:>6}  {:>6}  {:>14}  {:>12}  {:>12}  {:>7}  {:>10}  {:>10}",
+        "codec",
+        "homes",
+        "shards",
+        "round ns",
+        "wire B/rd",
+        "logical B/rd",
+        "ratio",
+        "enc ns",
+        "dec ns"
+    );
+    for f in &federation_comp {
+        println!(
+            "{:>6}  {:>6}  {:>6}  {:>14.0}  {:>12}  {:>12}  {:>6.2}x  {:>10.0}  {:>10.0}",
+            f.codec,
+            f.n,
+            f.shards,
+            f.round_ns,
+            f.comm_bytes_per_round,
+            f.logical_bytes_per_round,
+            f.bytes_ratio,
+            f.encode_ns_per_update,
+            f.decode_ns_per_update
+        );
+    }
     let serve = serve_bench(quick);
     println!(
         "\nserve throughput ({} homes, {} simulated minutes): \
@@ -1031,6 +1252,7 @@ pub fn run_bench_with(quick: bool, phases: bool) -> BenchReport {
         ems_day,
         federation,
         federation_hier,
+        federation_comp,
         serve: Some(serve),
         phases: phase_rows,
     }
@@ -1075,6 +1297,7 @@ mod tests {
             },
             federation: vec![],
             federation_hier: vec![],
+            federation_comp: vec![],
             serve: None,
             phases: vec![],
         };

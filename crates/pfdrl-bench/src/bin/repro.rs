@@ -21,6 +21,7 @@ use pfdrl_core::{
     run_method_resumable, run_method_resume_from, train_forecasters, EmsMethod, Precision,
     ResumableRun, RunResult, SimConfig,
 };
+use pfdrl_fl::PayloadCodec;
 use pfdrl_serve::{
     generate_stream, NdjsonSink, NdjsonSource, ServeConfig, ServeEngine, ServeReport,
     TelemetrySource, VecSource,
@@ -66,6 +67,11 @@ struct Ctx {
     /// base configuration (run/serve/headline/figures). Part of the run
     /// identity, so `f32fast` selects its own canary trajectory.
     precision: Precision,
+    /// `--compression <raw|q8|q8-global|topk:FRAC>`: federation payload
+    /// codec of the base configuration. Part of the run identity —
+    /// compressed codecs change the merged bits, so each codec has its
+    /// own deterministic trajectory.
+    compression: PayloadCodec,
 }
 
 impl Ctx {
@@ -76,6 +82,7 @@ impl Ctx {
             repro_config(SEED)
         };
         cfg.precision = self.precision;
+        cfg.compression = self.compression;
         cfg
     }
 
@@ -86,6 +93,7 @@ impl Ctx {
             forecast_config(SEED)
         };
         cfg.precision = self.precision;
+        cfg.compression = self.compression;
         cfg
     }
 
@@ -563,10 +571,12 @@ fn run_checkpointed(ctx: &Ctx) -> RunSummary {
         None => println!("ran from scratch"),
     }
     println!(
-        "saved standby fraction {:.3} over {} eval days, {} comm bytes",
+        "saved standby fraction {:.3} over {} eval days, {} comm bytes \
+         ({} logical before compression)",
         run.converged_saved_fraction(),
         run.ems.daily_saved_fraction.len(),
-        run.ems.comm_bytes
+        run.ems.comm_bytes,
+        run.ems.comm_logical_bytes
     );
     let summary = RunSummary {
         config_hash: format!("{:#018x}", cfg.run_hash()),
@@ -685,8 +695,140 @@ struct PrecisionCanaryResult {
     f32_forecast_accuracy: f64,
 }
 
+/// Per-codec accuracy envelopes for the `compression-canary` target:
+/// how far each compressed codec may move the fixed-seed saved-standby
+/// fraction and forecast accuracy from the `Raw` reference — the same
+/// codec shapes the `federation_comp` bench rows measure. The bounds
+/// carry ~2× headroom over the measured deltas (DESIGN.md §16): int8
+/// quantization is nearly free (|Δsaved| ≤ 1.2e-2 quick / 7.6e-6 full,
+/// |Δaccuracy| ≤ 7.7e-3), while `TopK{0.1}` keeps the EMS saved
+/// fraction (≤ 1.2e-1 quick / 3.2e-3 full) but costs the *forecaster*
+/// federation up to 0.24 accuracy — 90% sparsification breaks
+/// supervised model averaging long before it breaks the DRL. `Raw`
+/// itself is pinned bit-for-bit against the same committed literals
+/// the `precision-canary` target has always used.
+const CANARY_CODECS: [(PayloadCodec, f64, f64); 2] = [
+    (
+        PayloadCodec::QuantizedI8 {
+            per_layer_scale: true,
+        },
+        0.05,
+        0.03,
+    ),
+    (PayloadCodec::TopK { fraction: 0.1 }, 0.25, 0.35),
+];
+
+/// One `compression-canary` observation row.
+#[derive(Debug, Clone, Serialize)]
+struct CompressionCanaryRow {
+    codec: String,
+    saved_fraction: f64,
+    forecast_accuracy: f64,
+    /// `saved_fraction - raw.saved_fraction`.
+    saved_delta: f64,
+    /// `forecast_accuracy - raw.forecast_accuracy`.
+    accuracy_delta: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct CompressionCanaryResult {
+    quick: bool,
+    rows: Vec<CompressionCanaryRow>,
+}
+
+/// `compression-canary [--quick]` target: runs the fixed-seed
+/// trajectory and forecast evaluation under every payload codec. The
+/// default `Raw` codec must reproduce the committed f64 canary bit for
+/// bit (compression off is bit-identical, not merely close); the
+/// compressed codecs must stay inside the committed accuracy
+/// envelopes.
+fn compression_canary(ctx: &Ctx) -> CompressionCanaryResult {
+    banner(
+        "compression-canary",
+        "fixed-seed trajectories per payload codec vs committed envelopes",
+    );
+    let mut cfg = if ctx.quick {
+        let mut c = quick_config(SEED);
+        // Same workload as `precision-canary --quick` (LSTM, not the
+        // tiny LR default) so the Raw rows share its committed literal.
+        c.forecast_method = pfdrl_forecast::ForecastMethod::Lstm;
+        c
+    } else {
+        bench_ems_config()
+    };
+    let want_raw = if ctx.quick {
+        CANARY_F64_QUICK
+    } else {
+        CANARY_F64_FULL
+    };
+    let mut observe = |codec: PayloadCodec| -> (f64, f64) {
+        cfg.compression = codec;
+        let saved = pfdrl_core::run_method(&cfg, EmsMethod::Pfdrl).converged_saved_fraction();
+        let forecast = train_forecasters(&cfg, EmsMethod::Pfdrl);
+        let accuracy = pfdrl_core::evaluate_forecast(&cfg, &forecast).mean;
+        (saved, accuracy)
+    };
+    let mut failed = false;
+    let raw = observe(PayloadCodec::Raw);
+    for (what, got, want) in [
+        ("saved fraction", raw.0, want_raw.0),
+        ("forecast accuracy", raw.1, want_raw.1),
+    ] {
+        if got.to_bits() == want.to_bits() {
+            println!("raw: {what} {got} matches the committed canary bit for bit");
+        } else {
+            eprintln!("FAIL: raw {what} {got:?} != committed canary {want:?}");
+            failed = true;
+        }
+    }
+    let mut rows = vec![CompressionCanaryRow {
+        codec: "raw".into(),
+        saved_fraction: raw.0,
+        forecast_accuracy: raw.1,
+        saved_delta: 0.0,
+        accuracy_delta: 0.0,
+    }];
+    for (codec, saved_tol, accuracy_tol) in CANARY_CODECS {
+        let (saved, accuracy) = observe(codec);
+        let (saved_delta, accuracy_delta) = (saved - raw.0, accuracy - raw.1);
+        for (what, delta, tol) in [
+            ("saved fraction", saved_delta, saved_tol),
+            ("forecast accuracy", accuracy_delta, accuracy_tol),
+        ] {
+            if delta.abs() <= tol {
+                println!(
+                    "{}: {what} delta {delta:+.2e} within the committed envelope {tol:.0e}",
+                    codec.label()
+                );
+            } else {
+                eprintln!(
+                    "FAIL: {} {what} delta {delta:+.2e} exceeds the committed envelope {tol:.0e}",
+                    codec.label()
+                );
+                failed = true;
+            }
+        }
+        rows.push(CompressionCanaryRow {
+            codec: codec.label().into(),
+            saved_fraction: saved,
+            forecast_accuracy: accuracy,
+            saved_delta,
+            accuracy_delta,
+        });
+    }
+    let result = CompressionCanaryResult {
+        quick: ctx.quick,
+        rows,
+    };
+    ctx.save_json("compression_canary", &result);
+    if failed {
+        std::process::exit(1);
+    }
+    result
+}
+
 /// `bench` target: the fixed-workload perf harness. Emits
-/// `BENCH_9.json` embedding the current measurement, the committed
+/// `BENCH_10.json` embedding the current measurement, the committed
 /// pre-PR baseline (when `--baseline <file>` points at one), and the
 /// headline speedups. `--phases` adds the per-phase day breakdown.
 fn bench(ctx: &Ctx) {
@@ -710,7 +852,7 @@ fn bench(ctx: &Ctx) {
             .unwrap_or_default();
         println!("speedup vs baseline: ems_day {ems:.2}x, train_step {ts:.2}x{steady}");
     }
-    ctx.save_json("BENCH_9", &file);
+    ctx.save_json("BENCH_10", &file);
     if let (Some(factor), Some(base)) = (ctx.max_regression, file.baseline.as_ref()) {
         gate_regression(&file.current, base, factor);
     }
@@ -878,6 +1020,46 @@ fn gate_regression(current: &BenchReport, base: &BenchReport, factor: f64) {
             }
         }
     }
+    // Compressed-federation rows: per-round rates at each (codec, n,
+    // shards) point; points missing on either side (quick sweeps
+    // smaller fleets) are skipped. The byte columns are workload-
+    // determined, not wall-clock — on a matched point the wire bytes
+    // must be *identical*, so any drift is a codec correctness
+    // regression, not noise.
+    for row in &current.federation_comp {
+        if let Some(b) = base
+            .federation_comp
+            .iter()
+            .find(|b| b.codec == row.codec && b.n == row.n && b.shards == row.shards)
+        {
+            if row.round_ns > b.round_ns * factor {
+                failures.push(format!(
+                    "federation_comp {} n={} shards={}: {:.0} ns/round vs baseline {:.0} (limit {:.0})",
+                    row.codec,
+                    row.n,
+                    row.shards,
+                    row.round_ns,
+                    b.round_ns,
+                    b.round_ns * factor
+                ));
+            }
+            if row.comm_bytes_per_round != b.comm_bytes_per_round
+                || row.logical_bytes_per_round != b.logical_bytes_per_round
+            {
+                failures.push(format!(
+                    "federation_comp {} n={} shards={}: wire/logical bytes {}/{} per round \
+                     vs baseline {}/{} — byte accounting must be bit-deterministic",
+                    row.codec,
+                    row.n,
+                    row.shards,
+                    row.comm_bytes_per_round,
+                    row.logical_bytes_per_round,
+                    b.comm_bytes_per_round,
+                    b.logical_bytes_per_round
+                ));
+            }
+        }
+    }
     // Serve throughput: rate-based, but over a fleet-size-dependent
     // workload — compare only when both sides served the same fleet.
     // Baselines recorded before the row existed are skipped.
@@ -1036,8 +1218,16 @@ struct SessionSummary {
     quick: bool,
     /// Hex fingerprint of the base configuration.
     config_hash: String,
+    /// [`PayloadCodec::label`] of the base configuration's federation
+    /// payload codec.
+    compression: String,
     total_seconds: f64,
     timings: Vec<TargetTiming>,
+    /// EMS-phase wire bytes (post-compression) of the `run` target,
+    /// when it executed.
+    ems_comm_bytes: Option<u64>,
+    /// EMS-phase logical (pre-compression) bytes of the same run.
+    ems_comm_logical_bytes: Option<u64>,
     /// Present when the `run` target executed.
     run: Option<RunSummary>,
     /// Present when the `serve` target executed.
@@ -1076,6 +1266,7 @@ fn main() {
     let mut flat_only = false;
     let mut hier_only = false;
     let mut precision = Precision::F64;
+    let mut compression = PayloadCodec::Raw;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter();
     fn parsed<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>, flag: &str) -> T {
@@ -1115,13 +1306,37 @@ fn main() {
                     }
                 }
             }
+            "--compression" => {
+                let v = flag_value(&mut it, a);
+                compression = match v.as_str() {
+                    "raw" => PayloadCodec::Raw,
+                    "q8" => PayloadCodec::QuantizedI8 {
+                        per_layer_scale: true,
+                    },
+                    "q8-global" => PayloadCodec::QuantizedI8 {
+                        per_layer_scale: false,
+                    },
+                    other => match other.strip_prefix("topk:").map(str::parse::<f64>) {
+                        Some(Ok(fraction)) if fraction > 0.0 && fraction <= 1.0 => {
+                            PayloadCodec::TopK { fraction }
+                        }
+                        _ => {
+                            eprintln!(
+                                "--compression must be raw, q8, q8-global or topk:FRAC \
+                                 (0 < FRAC <= 1), got {other:?}"
+                            );
+                            std::process::exit(2);
+                        }
+                    },
+                }
+            }
             other if other.starts_with("--") => {
                 eprintln!(
                     "unknown flag {other:?}; known: --quick --json --phases --out-dir \
                      --checkpoint-dir --resume-from --crash-after-day --baseline \
                      --max-regression --stream --serve-out --snapshot-every-minutes \
                      --crash-after-minute --shards --chunk-minutes --queue-cap --precision \
-                     --flat-only --hier-only"
+                     --compression --flat-only --hier-only"
                 );
                 std::process::exit(2);
             }
@@ -1170,6 +1385,7 @@ fn main() {
         flat_only,
         hier_only,
         precision,
+        compression,
     };
 
     let started = Instant::now();
@@ -1209,10 +1425,13 @@ fn main() {
             "precision-canary" => {
                 precision_canary(&ctx);
             }
+            "compression-canary" => {
+                compression_canary(&ctx);
+            }
             "scale-smoke" => scale_smoke(&ctx),
             other => {
                 eprintln!(
-                    "unknown target {other:?}; known: table1 table2 fig2..fig14 degradation sensor-degradation headline run serve bench precision-canary scale-smoke"
+                    "unknown target {other:?}; known: table1 table2 fig2..fig14 degradation sensor-degradation headline run serve bench precision-canary compression-canary scale-smoke"
                 );
                 std::process::exit(2);
             }
@@ -1230,8 +1449,13 @@ fn main() {
         let summary = SessionSummary {
             quick,
             config_hash: format!("{:#018x}", ctx.base().run_hash()),
+            compression: ctx.compression.label().to_string(),
             total_seconds,
             timings,
+            ems_comm_bytes: run_summary.as_ref().map(|r| r.result.ems_comm_bytes),
+            ems_comm_logical_bytes: run_summary
+                .as_ref()
+                .map(|r| r.result.ems_comm_logical_bytes),
             run: run_summary,
             serve: serve_report,
             degradation: degradation_result,

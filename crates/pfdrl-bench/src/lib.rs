@@ -62,6 +62,7 @@ pub fn repro_config(seed: u64) -> SimConfig {
         health: pfdrl_core::HealthPolicy::default(),
         supervision: pfdrl_core::SupervisionPolicy::default(),
         precision: pfdrl_core::Precision::F64,
+        compression: pfdrl_fl::PayloadCodec::Raw,
     }
 }
 

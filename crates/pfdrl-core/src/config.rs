@@ -3,7 +3,7 @@
 use pfdrl_data::dataset::TargetTransform;
 use pfdrl_data::{DeviceType, GeneratorConfig, SensorFaultConfig};
 use pfdrl_drl::DqnConfig;
-use pfdrl_fl::{AggregationMode, FaultConfig};
+use pfdrl_fl::{AggregationMode, FaultConfig, PayloadCodec};
 use pfdrl_forecast::{ForecastMethod, Precision, TrainConfig};
 use serde::{Deserialize, Serialize};
 
@@ -243,6 +243,13 @@ pub struct SimConfig {
     /// canary — training, snapshots and federation stay f64 either way).
     #[serde(default)]
     pub precision: Precision,
+    /// Federation payload codec. The default `Raw` ships full f64
+    /// parameters and is the bitwise-pinned path; `QuantizedI8` and
+    /// `TopK` compress every uplink (LAN broadcast, hierarchical shard
+    /// links, cloud uploads) — deterministic and resumable, but the
+    /// merged values change, so the run hash changes with it.
+    #[serde(default)]
+    pub compression: PayloadCodec,
 }
 
 impl Default for SimConfig {
@@ -274,6 +281,7 @@ impl Default for SimConfig {
             health: HealthPolicy::default(),
             supervision: SupervisionPolicy::default(),
             precision: Precision::F64,
+            compression: PayloadCodec::Raw,
         }
     }
 }
@@ -338,6 +346,7 @@ impl SimConfig {
             health: HealthPolicy::default(),
             supervision: SupervisionPolicy::default(),
             precision: Precision::F64,
+            compression: PayloadCodec::Raw,
         }
     }
 
@@ -420,6 +429,7 @@ impl SimConfig {
                 self.max_shard_bytes
             );
         }
+        self.compression.validate();
         self.fault.validate();
         self.sensor_fault.validate();
         self.health.validate();
@@ -427,9 +437,10 @@ impl SimConfig {
     }
 
     /// Estimated bytes of one home's LAN federation payload: the α
-    /// base layers (weights + biases, 8 B per f64) of the per-device
-    /// DQN — the column that dominates resident federation memory.
-    /// Feeds the `max_shard_bytes` early guard.
+    /// base layers (weights + biases) of the per-device DQN at the
+    /// configured codec's wire size (8 B per f64 under `Raw`) — the
+    /// column that dominates resident federation memory. Feeds the
+    /// `max_shard_bytes` early guard.
     pub fn estimated_update_bytes(&self) -> u64 {
         let state_dim = 2 * self.state_window + 6;
         let mut dims = vec![state_dim];
@@ -440,7 +451,10 @@ impl SimConfig {
         dims.push(3);
         let end = self.alpha.min(dims.len() - 1);
         (0..end)
-            .map(|l| (dims[l] * dims[l + 1] + dims[l + 1]) as u64 * 8)
+            .map(|l| {
+                self.compression
+                    .payload_layer_bytes(dims[l] * dims[l + 1] + dims[l + 1]) as u64
+            })
             .sum()
     }
 
@@ -594,6 +608,45 @@ mod tests {
         let mut fast = base.clone();
         fast.precision = Precision::F32Fast;
         assert_ne!(base.run_hash(), fast.run_hash());
+    }
+
+    #[test]
+    fn compression_defaults_to_raw_and_is_hashed() {
+        let base = SimConfig::tiny(5);
+        assert_eq!(base.compression, PayloadCodec::Raw);
+        // Compressed uplinks change the merged parameter bits, so the
+        // codec must be part of the run identity (same rule as
+        // `precision` and `SharedSum`).
+        let mut q8 = base.clone();
+        q8.compression = PayloadCodec::QuantizedI8 {
+            per_layer_scale: true,
+        };
+        assert_ne!(base.run_hash(), q8.run_hash());
+        let mut topk = base.clone();
+        topk.compression = PayloadCodec::TopK { fraction: 0.1 };
+        assert_ne!(base.run_hash(), topk.run_hash());
+        assert_ne!(q8.run_hash(), topk.run_hash());
+    }
+
+    #[test]
+    fn compressed_codecs_shrink_the_estimated_update_bytes() {
+        let base = SimConfig::tiny(5);
+        let mut q8 = base.clone();
+        q8.compression = PayloadCodec::QuantizedI8 {
+            per_layer_scale: true,
+        };
+        let mut topk = base.clone();
+        topk.compression = PayloadCodec::TopK { fraction: 0.1 };
+        assert!(q8.estimated_update_bytes() < base.estimated_update_bytes());
+        assert!(topk.estimated_update_bytes() < base.estimated_update_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn invalid_topk_fraction_fails_validation() {
+        let mut cfg = SimConfig::tiny(5);
+        cfg.compression = PayloadCodec::TopK { fraction: 0.0 };
+        cfg.validate();
     }
 
     #[test]

@@ -157,8 +157,13 @@ pub struct EmsPhase {
     pub train_wall_s: f64,
     /// Simulated communication time, seconds.
     pub comm_s: f64,
-    /// Bytes moved over the simulated network.
+    /// Bytes moved over the simulated network (wire size, i.e. after
+    /// any payload compression).
     pub comm_bytes: u64,
+    /// Bytes the same traffic would occupy uncompressed (8 B/param).
+    /// Equal to `comm_bytes` under the default `Raw` codec.
+    #[serde(default)]
+    pub comm_logical_bytes: u64,
     /// Device-minutes repaired by forward-fill imputation.
     #[serde(default)]
     pub imputed_minutes: u64,
@@ -497,8 +502,8 @@ impl EmsState {
             agents,
             // Federation transports, routed through the configured fault
             // plan (inert when cfg.fault is fault-free).
-            bus: BroadcastBus::with_faults(n, LatencyModel::lan(), &cfg.fault),
-            cloud: CloudAggregator::with_faults(LatencyModel::cloud(), &cfg.fault),
+            bus: BroadcastBus::with_codec(n, LatencyModel::lan(), &cfg.fault, cfg.compression),
+            cloud: CloudAggregator::with_codec(LatencyModel::cloud(), &cfg.fault, cfg.compression),
             fed_engine: DflRound::new(),
             hier: Self::build_hier(cfg),
             day_ws: DayWorkspace::default(),
@@ -537,10 +542,11 @@ impl EmsState {
                 ShardPlan::by_keys(n, shards, &keys)
             }
         };
-        Some(HierarchicalRound::new(
+        Some(HierarchicalRound::with_codec(
             plan,
             LatencyModel::lan(),
             &cfg.fault,
+            cfg.compression,
         ))
     }
 
@@ -841,14 +847,23 @@ impl EmsState {
         let n = cfg.n_residences;
         // Under Hierarchical the LAN traffic lives on the shard buses
         // (plus the synthetic aggregator links); the flat bus is idle.
-        let (hier_bytes, hier_s) = self
+        let (hier_bytes, hier_logical, hier_s) = self
             .hier
             .as_ref()
-            .map(|h| (h.total_stats().bytes, h.simulated_seconds()))
-            .unwrap_or((0, 0.0));
+            .map(|h| {
+                let s = h.total_stats();
+                (s.bytes, s.logical_bytes, h.simulated_seconds())
+            })
+            .unwrap_or((0, 0, 0.0));
         let comm_bytes = self.bus.stats().bytes
             + hier_bytes
             + self.cloud.stats().upload_bytes
+            + self.cloud.stats().download_bytes;
+        // Downloads always travel raw (the server ships the dense
+        // global model), so they count equally on both sides.
+        let comm_logical_bytes = self.bus.stats().logical_bytes
+            + hier_logical
+            + self.cloud.stats().logical_upload_bytes
             + self.cloud.stats().download_bytes;
         let comm_s = self.bus.simulated_seconds() + hier_s + self.cloud.simulated_seconds();
         EmsPhase {
@@ -874,6 +889,7 @@ impl EmsState {
             train_wall_s,
             comm_s,
             comm_bytes,
+            comm_logical_bytes,
             imputed_minutes: self.imputed_minutes,
             health_transitions: self.health_transitions,
             quarantined_home_days: self.quarantined_home_days,
@@ -1057,10 +1073,10 @@ impl EmsState {
             agents.push(row);
         }
 
-        let bus = BroadcastBus::with_faults(n, LatencyModel::lan(), &cfg.fault);
+        let bus = BroadcastBus::with_codec(n, LatencyModel::lan(), &cfg.fault, cfg.compression);
         bus.restore_state(&snap.transport.bus)
             .map_err(|e| StoreError::State(format!("bus: {e}")))?;
-        let cloud = CloudAggregator::with_faults(LatencyModel::cloud(), &cfg.fault);
+        let cloud = CloudAggregator::with_codec(LatencyModel::cloud(), &cfg.fault, cfg.compression);
         cloud.restore_state(&snap.transport.cloud);
 
         // SHARD is present exactly when the config runs hierarchically;

@@ -27,8 +27,12 @@ pub struct ForecastPhase {
     pub train_wall_s: f64,
     /// Simulated communication time, seconds.
     pub comm_s: f64,
-    /// Bytes moved over the (simulated) network.
+    /// Bytes moved over the (simulated) network (wire size, i.e. after
+    /// any payload compression).
     pub comm_bytes: u64,
+    /// Bytes the same traffic would occupy uncompressed. Equal to
+    /// `comm_bytes` under the default `Raw` codec.
+    pub comm_logical_bytes: u64,
 }
 
 impl ForecastPhase {
@@ -38,6 +42,7 @@ impl ForecastPhase {
             train_wall_s: self.train_wall_s,
             comm_s: self.comm_s,
             comm_bytes: self.comm_bytes,
+            comm_logical_bytes: self.comm_logical_bytes,
             weights: self
                 .models
                 .iter()
@@ -97,6 +102,7 @@ impl ForecastPhase {
             train_wall_s: state.train_wall_s,
             comm_s: state.comm_s,
             comm_bytes: state.comm_bytes,
+            comm_logical_bytes: state.comm_logical_bytes,
         })
     }
 }
@@ -182,7 +188,7 @@ pub fn train_forecasters(cfg: &SimConfig, method: EmsMethod) -> ForecastPhase {
         .collect();
     let mut models = fresh_models(cfg);
 
-    let (comm_s, comm_bytes) = match method {
+    let (comm_s, comm_bytes, comm_logical_bytes) = match method {
         EmsMethod::Local => {
             // Solo training: each home must converge on its own; give it
             // the full epoch budget in one uninterrupted fit.
@@ -194,7 +200,7 @@ pub fn train_forecasters(cfg: &SimConfig, method: EmsMethod) -> ForecastPhase {
                         m.fit(s);
                     }
                 });
-            (0.0, 0)
+            (0.0, 0, 0)
         }
         EmsMethod::Cloud => train_cloud(cfg, &sets, &mut models),
         EmsMethod::Fl | EmsMethod::Frl => train_fedavg_cloud(cfg, &sets, &mut models),
@@ -207,6 +213,7 @@ pub fn train_forecasters(cfg: &SimConfig, method: EmsMethod) -> ForecastPhase {
         train_wall_s,
         comm_s,
         comm_bytes,
+        comm_logical_bytes,
     }
 }
 
@@ -216,7 +223,7 @@ fn train_cloud(
     cfg: &SimConfig,
     sets: &[Vec<SupervisedSet>],
     models: &mut [Vec<Box<dyn Forecaster>>],
-) -> (f64, u64) {
+) -> (f64, u64, u64) {
     let latency = LatencyModel::cloud();
     // Raw-data upload: every sample (features + target) leaves the home.
     let mut upload_bytes: u64 = 0;
@@ -276,7 +283,10 @@ fn train_cloud(
     }
     let downloads = (models.len() * cfg.devices_per_home()) as u64;
     let secs = latency.seconds(uploads + downloads, upload_bytes + download_bytes);
-    (secs, upload_bytes + download_bytes)
+    // Raw-data pooling moves samples, not model payloads — the codec
+    // never applies, so wire and logical bytes coincide.
+    let total = upload_bytes + download_bytes;
+    (secs, total, total)
 }
 
 /// FL baseline: FedAvg rounds through a central parameter server.
@@ -284,14 +294,14 @@ fn train_fedavg_cloud(
     cfg: &SimConfig,
     sets: &[Vec<SupervisedSet>],
     models: &mut [Vec<Box<dyn Forecaster>>],
-) -> (f64, u64) {
+) -> (f64, u64, u64) {
     let (rounds, epochs_per_round) = rounds_for_beta(cfg);
     let round_cfg = TrainConfig {
         max_epochs: epochs_per_round,
         ..cfg.train.clone()
     };
     let clouds: Vec<CloudAggregator> = (0..cfg.devices_per_home())
-        .map(|_| CloudAggregator::with_faults(LatencyModel::cloud(), &cfg.fault))
+        .map(|_| CloudAggregator::with_codec(LatencyModel::cloud(), &cfg.fault, cfg.compression))
         .collect();
     let quorum = cfg.fault.min_quorum.max(1);
     for round in 0..rounds {
@@ -335,7 +345,11 @@ fn train_fedavg_cloud(
         .iter()
         .map(|c| c.stats().upload_bytes + c.stats().download_bytes)
         .sum();
-    (secs, bytes)
+    let logical: u64 = clouds
+        .iter()
+        .map(|c| c.stats().logical_upload_bytes + c.stats().download_bytes)
+        .sum();
+    (secs, bytes, logical)
 }
 
 /// PFDRL's DFL: the same FedAvg math, but over the LAN broadcast bus —
@@ -344,7 +358,7 @@ fn train_dfl_lan(
     cfg: &SimConfig,
     sets: &[Vec<SupervisedSet>],
     models: &mut [Vec<Box<dyn Forecaster>>],
-) -> (f64, u64) {
+) -> (f64, u64, u64) {
     let (rounds, epochs_per_round) = rounds_for_beta(cfg);
     let round_cfg = TrainConfig {
         max_epochs: epochs_per_round,
@@ -357,7 +371,14 @@ fn train_dfl_lan(
         Vec::new()
     } else {
         (0..cfg.devices_per_home())
-            .map(|_| BroadcastBus::with_faults(cfg.n_residences, LatencyModel::lan(), &cfg.fault))
+            .map(|_| {
+                BroadcastBus::with_codec(
+                    cfg.n_residences,
+                    LatencyModel::lan(),
+                    &cfg.fault,
+                    cfg.compression,
+                )
+            })
             .collect()
     };
     let policy = cfg.fault.merge_policy();
@@ -414,10 +435,14 @@ fn train_dfl_lan(
         }
     }
     match &hier {
-        Some(h) => (h.simulated_seconds(), h.total_stats().bytes),
+        Some(h) => {
+            let s = h.total_stats();
+            (h.simulated_seconds(), s.bytes, s.logical_bytes)
+        }
         None => (
             buses.iter().map(|b| b.simulated_seconds()).sum(),
             buses.iter().map(|b| b.stats().bytes).sum(),
+            buses.iter().map(|b| b.stats().logical_bytes).sum(),
         ),
     }
 }

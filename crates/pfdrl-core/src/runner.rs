@@ -19,8 +19,12 @@ pub struct MethodRun {
     pub forecast_train_wall_s: f64,
     /// Forecaster-training simulated communication seconds.
     pub forecast_comm_s: f64,
-    /// Forecaster-training bytes on the wire.
+    /// Forecaster-training bytes on the wire (post-compression).
     pub forecast_bytes: u64,
+    /// Forecaster-training bytes before compression; equal to
+    /// `forecast_bytes` under the default `Raw` codec.
+    #[serde(default)]
+    pub forecast_logical_bytes: u64,
     /// The EMS phase results.
     pub ems: EmsPhase,
 }
@@ -63,12 +67,18 @@ pub struct RunResult {
     pub method: String,
     /// Forecast-phase simulated communication seconds.
     pub forecast_comm_s: f64,
-    /// Forecast-phase bytes on the wire.
+    /// Forecast-phase bytes on the wire (post-compression).
     pub forecast_bytes: u64,
+    /// Forecast-phase bytes before compression.
+    #[serde(default)]
+    pub forecast_logical_bytes: u64,
     /// EMS-phase simulated communication seconds.
     pub ems_comm_s: f64,
-    /// EMS-phase bytes on the wire.
+    /// EMS-phase bytes on the wire (post-compression).
     pub ems_comm_bytes: u64,
+    /// EMS-phase bytes before compression.
+    #[serde(default)]
+    pub ems_comm_logical_bytes: u64,
     /// Aggregate energy account over all homes, devices and days.
     pub account: EnergyAccount,
     pub daily_saved_fraction: Vec<f64>,
@@ -86,8 +96,10 @@ impl MethodRun {
             method: self.method.clone(),
             forecast_comm_s: self.forecast_comm_s,
             forecast_bytes: self.forecast_bytes,
+            forecast_logical_bytes: self.forecast_logical_bytes,
             ems_comm_s: self.ems.comm_s,
             ems_comm_bytes: self.ems.comm_bytes,
+            ems_comm_logical_bytes: self.ems.comm_logical_bytes,
             account: self.ems.account,
             daily_saved_fraction: self.ems.daily_saved_fraction.clone(),
             daily_saved_kwh_per_client: self.ems.daily_saved_kwh_per_client.clone(),
@@ -118,6 +130,7 @@ pub fn run_method(cfg: &SimConfig, method: EmsMethod) -> MethodRun {
         forecast_train_wall_s: forecast.train_wall_s,
         forecast_comm_s: forecast.comm_s,
         forecast_bytes: forecast.comm_bytes,
+        forecast_logical_bytes: forecast.comm_logical_bytes,
         ems,
     }
 }
@@ -133,6 +146,7 @@ pub fn run_method_with_forecast(cfg: &SimConfig, method: EmsMethod) -> (MethodRu
             forecast_train_wall_s: forecast.train_wall_s,
             forecast_comm_s: forecast.comm_s,
             forecast_bytes: forecast.comm_bytes,
+            forecast_logical_bytes: forecast.comm_logical_bytes,
             ems,
         },
         forecast,
@@ -267,6 +281,7 @@ fn drive(
             forecast_train_wall_s: forecast.train_wall_s,
             forecast_comm_s: forecast.comm_s,
             forecast_bytes: forecast.comm_bytes,
+            forecast_logical_bytes: forecast.comm_logical_bytes,
             ems,
         },
         resumed_from_day,

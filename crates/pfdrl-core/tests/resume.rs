@@ -141,6 +141,53 @@ fn resume_is_bit_identical_under_hierarchical_sharding() {
 }
 
 #[test]
+fn resume_is_bit_identical_under_q8_compression() {
+    // Quantized uplinks must be just as snapshot-stable as raw ones:
+    // the codec is applied deterministically at export, the merged
+    // (dequantized) values are plain f64s in the agent states, and the
+    // snapshot carries both the wire and logical byte counters.
+    let mut cfg = SimConfig::tiny(47);
+    cfg.eval_days = 3;
+    cfg.aggregation = pfdrl_fl::AggregationMode::SharedSum;
+    cfg.compression = pfdrl_fl::PayloadCodec::QuantizedI8 {
+        per_layer_scale: true,
+    };
+    exercise_resume_matrix(&cfg, EmsMethod::Pfdrl, "q8");
+}
+
+#[test]
+fn resume_is_bit_identical_under_topk_compression_with_chaos_and_shards() {
+    // The hardest combination: sparse top-k payloads, hierarchical
+    // sharding, and a chaos plan with stragglers parked mid-snapshot.
+    // Corrupted compressed payloads must demote and replay exactly as
+    // raw ones across the resume boundary.
+    let mut cfg = SimConfig::tiny(53);
+    cfg.n_residences = 7;
+    cfg.eval_days = 3;
+    cfg.aggregation = pfdrl_fl::AggregationMode::Hierarchical {
+        shards: 3,
+        assignment: pfdrl_fl::ShardAssignment::RoundRobin,
+    };
+    cfg.compression = pfdrl_fl::PayloadCodec::TopK { fraction: 0.25 };
+    cfg.fault = FaultConfig::chaos(53, 0.5);
+    cfg.fault.straggler_rate = 0.8;
+    assert!(cfg.fault.is_active());
+    exercise_resume_matrix(&cfg, EmsMethod::Pfdrl, "topk-chaos-hier");
+}
+
+#[test]
+fn fl_method_resumes_bit_identically_under_q8_compression() {
+    // The centralized FedAvg path compresses uploads inside the cloud
+    // aggregator; its pending queues and stats must survive a resume.
+    let mut cfg = SimConfig::tiny(59);
+    cfg.eval_days = 3;
+    cfg.compression = pfdrl_fl::PayloadCodec::QuantizedI8 {
+        per_layer_scale: false,
+    };
+    exercise_resume_matrix(&cfg, EmsMethod::Fl, "fl-q8");
+}
+
+#[test]
 fn resume_is_bit_identical_under_f32fast_lstm_inference() {
     // Reduced-precision inference must be just as snapshot-stable as the
     // f64 default: snapshots hold only the f64 master weights, and the

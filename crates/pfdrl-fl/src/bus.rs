@@ -23,7 +23,7 @@
 //! ones are parked until the next drain and pay a latency penalty, and
 //! corrupted ones arrive damaged for the aggregation layer to reject.
 
-use crate::codec::ModelUpdate;
+use crate::codec::{ModelUpdate, PayloadCodec};
 use crate::fault::{Delivery, DropReason, FaultConfig, FaultInjector};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -66,8 +66,14 @@ impl LatencyModel {
 pub struct BusStats {
     /// Point-to-point deliveries (one broadcast to N-1 peers counts N-1).
     pub messages: u64,
-    /// Bytes across all deliveries.
+    /// Wire bytes across all deliveries — what actually travels after
+    /// the bus's [`PayloadCodec`] shrinks each payload. Identical to
+    /// `logical_bytes` under `PayloadCodec::Raw`.
     pub bytes: u64,
+    /// Logical (pre-compression, raw-f64) bytes of the same
+    /// deliveries. The Figures 13–14 comparison reports both so
+    /// compressed and uncompressed runs stay apples-to-apples.
+    pub logical_bytes: u64,
     /// Deliveries dropped because the sender was churned offline.
     pub dropped_offline: u64,
     /// Deliveries dropped by simulated message loss.
@@ -113,6 +119,7 @@ fn atomic_f64_add(cell: &AtomicU64, v: f64) {
 struct AtomicBusStats {
     messages: AtomicU64,
     bytes: AtomicU64,
+    logical_bytes: AtomicU64,
     dropped_offline: AtomicU64,
     dropped_loss: AtomicU64,
     dropped_disconnected: AtomicU64,
@@ -131,6 +138,7 @@ impl AtomicBusStats {
         };
         bump(&self.messages, d.messages);
         bump(&self.bytes, d.bytes);
+        bump(&self.logical_bytes, d.logical_bytes);
         bump(&self.dropped_offline, d.dropped_offline);
         bump(&self.dropped_loss, d.dropped_loss);
         bump(&self.dropped_disconnected, d.dropped_disconnected);
@@ -145,6 +153,7 @@ impl AtomicBusStats {
         BusStats {
             messages: self.messages.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
+            logical_bytes: self.logical_bytes.load(Ordering::Relaxed),
             dropped_offline: self.dropped_offline.load(Ordering::Relaxed),
             dropped_loss: self.dropped_loss.load(Ordering::Relaxed),
             dropped_disconnected: self.dropped_disconnected.load(Ordering::Relaxed),
@@ -157,6 +166,7 @@ impl AtomicBusStats {
     fn store(&self, s: &BusStats) {
         self.messages.store(s.messages, Ordering::Relaxed);
         self.bytes.store(s.bytes, Ordering::Relaxed);
+        self.logical_bytes.store(s.logical_bytes, Ordering::Relaxed);
         self.dropped_offline
             .store(s.dropped_offline, Ordering::Relaxed);
         self.dropped_loss.store(s.dropped_loss, Ordering::Relaxed);
@@ -200,6 +210,7 @@ struct BusInner {
     stats: AtomicBusStats,
     latency: LatencyModel,
     faults: Option<FaultInjector>,
+    codec: PayloadCodec,
 }
 
 /// A broadcast bus connecting `n` residences.
@@ -224,13 +235,39 @@ impl BroadcastBus {
     /// # Panics
     /// Panics if `n == 0` or the fault config is invalid.
     pub fn with_faults(n: usize, latency: LatencyModel, faults: &FaultConfig) -> Self {
+        Self::with_codec(n, latency, faults, PayloadCodec::Raw)
+    }
+
+    /// [`with_faults`](Self::with_faults) plus an uplink
+    /// [`PayloadCodec`]: broadcast payloads are accounted (and, at the
+    /// round-engine layer, transformed) under `codec`. `Raw` keeps
+    /// every byte counter bit-identical to [`BroadcastBus::new`].
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or the fault/codec config is invalid.
+    pub fn with_codec(
+        n: usize,
+        latency: LatencyModel,
+        faults: &FaultConfig,
+        codec: PayloadCodec,
+    ) -> Self {
+        codec.validate();
         let injector = faults
             .is_active()
             .then(|| FaultInjector::new(faults.plan(), n));
-        Self::build(n, latency, injector)
+        Self::build_with(n, latency, injector, codec)
     }
 
     fn build(n: usize, latency: LatencyModel, faults: Option<FaultInjector>) -> Self {
+        Self::build_with(n, latency, faults, PayloadCodec::Raw)
+    }
+
+    fn build_with(
+        n: usize,
+        latency: LatencyModel,
+        faults: Option<FaultInjector>,
+        codec: PayloadCodec,
+    ) -> Self {
         assert!(n > 0, "bus needs at least one participant");
         BroadcastBus {
             inner: Arc::new(BusInner {
@@ -238,8 +275,14 @@ impl BroadcastBus {
                 stats: AtomicBusStats::default(),
                 latency,
                 faults,
+                codec,
             }),
         }
+    }
+
+    /// The uplink payload codec this bus accounts under.
+    pub fn codec(&self) -> PayloadCodec {
+        self.inner.codec
     }
 
     /// Number of participants.
@@ -270,64 +313,141 @@ impl BroadcastBus {
     pub fn broadcast_arc(&self, arc: Arc<ModelUpdate>) {
         let n = self.len();
         assert!(arc.sender < n, "sender {} out of range", arc.sender);
-        let bytes = arc.byte_size() as u64;
+        let wire = self.inner.codec.wire_update_bytes(&arc) as u64;
+        let logical = arc.byte_size() as u64;
         let mut delta = BusStats::default();
         for (i, mailbox) in self.inner.mailboxes.iter().enumerate() {
             if i == arc.sender {
                 continue;
             }
-            let fate = match &self.inner.faults {
-                Some(inj) => inj.plan().delivery(arc.sender, i, arc.round, arc.model_id),
-                None => Delivery::Deliver,
-            };
-            match fate {
-                Delivery::Drop(reason) => {
-                    match reason {
-                        DropReason::SenderOffline | DropReason::ReceiverOffline => {
-                            delta.dropped_offline += 1
-                        }
-                        DropReason::Loss => delta.dropped_loss += 1,
-                    }
-                    continue;
-                }
-                Delivery::Corrupt(kind) => {
-                    let injector = self
-                        .inner
-                        .faults
-                        .as_ref()
-                        .expect("corrupt without injector");
-                    let damaged = injector.plan().corrupt(&arc, i as u64, kind);
-                    let damaged_bytes = damaged.byte_size() as u64;
-                    if !mailbox.push(Arc::new(damaged)) {
-                        delta.dropped_disconnected += 1;
-                        continue;
-                    }
-                    delta.corrupted += 1;
-                    delta.messages += 1;
-                    delta.bytes += damaged_bytes;
-                }
-                Delivery::Delay { extra_latency_mult } => {
-                    let injector = self.inner.faults.as_ref().expect("delay without injector");
-                    injector.park(i, Arc::clone(&arc));
-                    delta.delayed += 1;
-                    delta.messages += 1;
-                    delta.bytes += bytes;
-                    delta.delay_seconds +=
-                        extra_latency_mult * self.inner.latency.seconds(1, bytes);
-                }
-                Delivery::Deliver => {
-                    // A dropped receiver is a fault, not a crash: count
-                    // the failed delivery and move on.
-                    if !mailbox.push(Arc::clone(&arc)) {
-                        delta.dropped_disconnected += 1;
-                        continue;
-                    }
-                    delta.messages += 1;
-                    delta.bytes += bytes;
-                }
-            }
+            self.deliver_one(&arc, i, &mut |u| mailbox.push(u), wire, logical, &mut delta);
         }
         self.inner.stats.add(&delta);
+    }
+
+    /// Broadcasts one update per sender as a single batched pass,
+    /// visiting each mailbox exactly once (one lock per receiver per
+    /// round instead of one per sender×receiver pair). Deliveries,
+    /// fault fates, per-receiver arrival order (sender-ascending) and
+    /// every statistics bit — including the `delay_seconds` float
+    /// summation order — are identical to calling
+    /// [`broadcast_arc`](Self::broadcast_arc) once per update in slice
+    /// order: fault decisions are pure per-edge hashes, integer
+    /// counters are commutative, and the delay fold below replays the
+    /// sequential per-sender accumulation exactly.
+    ///
+    /// # Panics
+    /// Panics if any `update.sender` is out of range.
+    pub fn broadcast_all(&self, updates: &[Arc<ModelUpdate>]) {
+        let n = self.len();
+        let sizes: Vec<(u64, u64)> = updates
+            .iter()
+            .map(|arc| {
+                assert!(arc.sender < n, "sender {} out of range", arc.sender);
+                (
+                    self.inner.codec.wire_update_bytes(arc) as u64,
+                    arc.byte_size() as u64,
+                )
+            })
+            .collect();
+        let mut deltas = vec![BusStats::default(); updates.len()];
+        for (i, mailbox) in self.inner.mailboxes.iter().enumerate() {
+            // One lock (and one closed check) per receiver for the
+            // whole round — the batching win over per-sender
+            // broadcasts. Rounds are quiescent while this runs, so the
+            // coarser closed check cannot observe a different value
+            // than per-delivery checks would.
+            let closed = mailbox.closed.load(Ordering::Relaxed);
+            let mut guard = (!closed).then(|| mailbox.queue.lock());
+            let mut push = |u: Arc<ModelUpdate>| match guard.as_mut() {
+                Some(queue) => {
+                    queue.push(u);
+                    true
+                }
+                None => false,
+            };
+            for ((arc, &(wire, logical)), delta) in
+                updates.iter().zip(&sizes).zip(deltas.iter_mut())
+            {
+                if arc.sender == i {
+                    continue;
+                }
+                self.deliver_one(arc, i, &mut push, wire, logical, delta);
+            }
+        }
+        // Fold per-sender deltas in sender order — the same sequence of
+        // `AtomicBusStats::add` calls the per-sender path would issue.
+        for delta in &deltas {
+            self.inner.stats.add(delta);
+        }
+    }
+
+    /// Routes one point-to-point delivery through the fault plan and
+    /// into the receiver's queue via `push` (which reports false when
+    /// the receiving end is disconnected), accumulating counters into
+    /// `delta`. Shared by the per-sender and batched broadcast paths
+    /// so their semantics cannot drift.
+    fn deliver_one(
+        &self,
+        arc: &Arc<ModelUpdate>,
+        receiver: usize,
+        push: &mut dyn FnMut(Arc<ModelUpdate>) -> bool,
+        wire: u64,
+        logical: u64,
+        delta: &mut BusStats,
+    ) {
+        let fate = match &self.inner.faults {
+            Some(inj) => inj
+                .plan()
+                .delivery(arc.sender, receiver, arc.round, arc.model_id),
+            None => Delivery::Deliver,
+        };
+        match fate {
+            Delivery::Drop(reason) => match reason {
+                DropReason::SenderOffline | DropReason::ReceiverOffline => {
+                    delta.dropped_offline += 1
+                }
+                DropReason::Loss => delta.dropped_loss += 1,
+            },
+            Delivery::Corrupt(kind) => {
+                let injector = self
+                    .inner
+                    .faults
+                    .as_ref()
+                    .expect("corrupt without injector");
+                let damaged = injector.plan().corrupt(arc, receiver as u64, kind);
+                let damaged_wire = self.inner.codec.wire_update_bytes(&damaged) as u64;
+                let damaged_logical = damaged.byte_size() as u64;
+                if !push(Arc::new(damaged)) {
+                    delta.dropped_disconnected += 1;
+                    return;
+                }
+                delta.corrupted += 1;
+                delta.messages += 1;
+                delta.bytes += damaged_wire;
+                delta.logical_bytes += damaged_logical;
+            }
+            Delivery::Delay { extra_latency_mult } => {
+                let injector = self.inner.faults.as_ref().expect("delay without injector");
+                injector.park(receiver, Arc::clone(arc));
+                delta.delayed += 1;
+                delta.messages += 1;
+                delta.bytes += wire;
+                delta.logical_bytes += logical;
+                delta.delay_seconds += extra_latency_mult * self.inner.latency.seconds(1, wire);
+            }
+            Delivery::Deliver => {
+                // A dropped receiver is a fault, not a crash: count
+                // the failed delivery and move on.
+                if !push(Arc::clone(arc)) {
+                    delta.dropped_disconnected += 1;
+                    return;
+                }
+                delta.messages += 1;
+                delta.bytes += wire;
+                delta.logical_bytes += logical;
+            }
+        }
     }
 
     /// Drains all pending updates addressed to residence `id`,
@@ -715,6 +835,104 @@ mod tests {
         let s = bus.stats();
         assert_eq!(s.messages, 0);
         assert_eq!(s.dropped_offline, 2);
+    }
+
+    #[test]
+    fn raw_codec_reports_equal_wire_and_logical_bytes() {
+        let bus = BroadcastBus::new(3, LatencyModel::lan());
+        assert!(bus.codec().is_raw());
+        bus.broadcast(update(0, 10));
+        let s = bus.stats();
+        assert_eq!(s.bytes, s.logical_bytes);
+        assert_ne!(s.bytes, 0);
+    }
+
+    #[test]
+    fn compressed_codec_shrinks_wire_but_not_logical_bytes() {
+        use crate::codec::PayloadCodec;
+        let codec = PayloadCodec::QuantizedI8 {
+            per_layer_scale: true,
+        };
+        let bus = BroadcastBus::with_codec(3, LatencyModel::lan(), &FaultConfig::default(), codec);
+        let u = update(0, 100);
+        let logical = u.byte_size() as u64;
+        let wire = codec.wire_update_bytes(&u) as u64;
+        assert!(wire < logical);
+        bus.broadcast(u);
+        let s = bus.stats();
+        assert_eq!(s.bytes, 2 * wire);
+        assert_eq!(s.logical_bytes, 2 * logical);
+        // Simulated latency is paid on wire bytes.
+        let expected = bus.inner.latency.seconds(2, 2 * wire);
+        assert!((bus.simulated_seconds() - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn batched_broadcast_is_bitwise_identical_to_sequential() {
+        // Same fault plan, same senders: broadcast_all must reproduce
+        // per-sender broadcast_arc exactly — mailbox contents, arrival
+        // order, every counter, and the delay_seconds float bits.
+        let cfg = FaultConfig {
+            seed: 1234,
+            loss_rate: 0.2,
+            corrupt_rate: 0.15,
+            straggler_rate: 0.25,
+            straggler_delay: 2.5,
+            ..FaultConfig::default()
+        };
+        let n = 7;
+        let run = |batched: bool| {
+            let bus = BroadcastBus::with_faults(n, LatencyModel::lan(), &cfg);
+            for round in 0..6u64 {
+                let arcs: Vec<Arc<ModelUpdate>> = (0..n)
+                    .map(|s| Arc::new(update_round(s, 16 + s, round)))
+                    .collect();
+                if batched {
+                    bus.broadcast_all(&arcs);
+                } else {
+                    for arc in arcs {
+                        bus.broadcast_arc(arc);
+                    }
+                }
+            }
+            // Compare parameter *bits*: corrupted payloads carry NaNs,
+            // which derived f64 PartialEq would treat as never equal.
+            type UpdateBits = (usize, u64, u64, Vec<(usize, Vec<u64>)>);
+            let mailboxes: Vec<Vec<UpdateBits>> = (0..n)
+                .map(|id| {
+                    bus.drain(id)
+                        .iter()
+                        .map(|u| {
+                            (
+                                u.sender,
+                                u.round,
+                                u.model_id,
+                                u.layers
+                                    .iter()
+                                    .map(|l| {
+                                        (l.index, l.params.iter().map(|p| p.to_bits()).collect())
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+            (bus.stats(), bus.simulated_seconds().to_bits(), mailboxes)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn batched_broadcast_respects_disconnected_receivers() {
+        let bus = BroadcastBus::new(3, LatencyModel::lan());
+        bus.disconnect(2);
+        let arcs: Vec<Arc<ModelUpdate>> = (0..3).map(|s| Arc::new(update(s, 4))).collect();
+        bus.broadcast_all(&arcs);
+        let s = bus.stats();
+        assert_eq!(s.messages, 4); // 3 senders x 2 peers - 2 to the dead box
+        assert_eq!(s.dropped_disconnected, 2);
+        assert!(bus.drain(2).is_empty());
     }
 
     #[test]

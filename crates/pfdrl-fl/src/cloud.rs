@@ -15,7 +15,7 @@
 //! snapshots arrive.
 
 use crate::bus::LatencyModel;
-use crate::codec::ModelUpdate;
+use crate::codec::{ModelUpdate, PayloadCodec};
 use crate::fault::{Delivery, DropReason, FaultConfig, FaultPlan};
 use parking_lot::Mutex;
 use rayon::prelude::*;
@@ -27,7 +27,11 @@ use std::sync::Arc;
 pub struct CloudStats {
     pub uploads: u64,
     pub downloads: u64,
+    /// Uplink bytes as they would travel the wire (post-compression).
     pub upload_bytes: u64,
+    /// Uplink bytes before compression (8 B/param). Equal to
+    /// `upload_bytes` under the `Raw` codec.
+    pub logical_upload_bytes: u64,
     pub download_bytes: u64,
     /// Uploads dropped because the sending residence was offline.
     pub dropped_offline: u64,
@@ -69,6 +73,7 @@ struct AtomicCloudStats {
     uploads: AtomicU64,
     downloads: AtomicU64,
     upload_bytes: AtomicU64,
+    logical_upload_bytes: AtomicU64,
     download_bytes: AtomicU64,
     dropped_offline: AtomicU64,
     dropped_loss: AtomicU64,
@@ -86,6 +91,7 @@ impl AtomicCloudStats {
             uploads: self.uploads.load(Ordering::Relaxed),
             downloads: self.downloads.load(Ordering::Relaxed),
             upload_bytes: self.upload_bytes.load(Ordering::Relaxed),
+            logical_upload_bytes: self.logical_upload_bytes.load(Ordering::Relaxed),
             download_bytes: self.download_bytes.load(Ordering::Relaxed),
             dropped_offline: self.dropped_offline.load(Ordering::Relaxed),
             dropped_loss: self.dropped_loss.load(Ordering::Relaxed),
@@ -102,6 +108,8 @@ impl AtomicCloudStats {
         self.uploads.store(s.uploads, Ordering::Relaxed);
         self.downloads.store(s.downloads, Ordering::Relaxed);
         self.upload_bytes.store(s.upload_bytes, Ordering::Relaxed);
+        self.logical_upload_bytes
+            .store(s.logical_upload_bytes, Ordering::Relaxed);
         self.download_bytes
             .store(s.download_bytes, Ordering::Relaxed);
         self.dropped_offline
@@ -125,6 +133,7 @@ struct CloudInner {
     stats: AtomicCloudStats,
     latency: LatencyModel,
     faults: Option<FaultPlan>,
+    codec: PayloadCodec,
 }
 
 /// A central parameter server.
@@ -135,7 +144,7 @@ pub struct CloudAggregator {
 
 impl CloudAggregator {
     pub fn new(latency: LatencyModel) -> Self {
-        Self::build(latency, None)
+        Self::build(latency, None, PayloadCodec::Raw)
     }
 
     /// An aggregator whose uplink is subject to `faults`. A fault-free
@@ -144,10 +153,23 @@ impl CloudAggregator {
     /// # Panics
     /// Panics if the fault config is invalid.
     pub fn with_faults(latency: LatencyModel, faults: &FaultConfig) -> Self {
-        Self::build(latency, faults.is_active().then(|| faults.plan()))
+        Self::with_codec(latency, faults, PayloadCodec::Raw)
     }
 
-    fn build(latency: LatencyModel, faults: Option<FaultPlan>) -> Self {
+    /// An aggregator whose uplink is compressed with `codec` (and
+    /// subject to `faults`). Snapshots are transformed at upload —
+    /// the server aggregates exactly the values the wire carried —
+    /// and `upload_bytes` accounts the compressed wire size while
+    /// `logical_upload_bytes` keeps the raw-f64 size.
+    ///
+    /// # Panics
+    /// Panics if the fault config or codec is invalid.
+    pub fn with_codec(latency: LatencyModel, faults: &FaultConfig, codec: PayloadCodec) -> Self {
+        codec.validate();
+        Self::build(latency, faults.is_active().then(|| faults.plan()), codec)
+    }
+
+    fn build(latency: LatencyModel, faults: Option<FaultPlan>, codec: PayloadCodec) -> Self {
         CloudAggregator {
             inner: Arc::new(CloudInner {
                 pending: Mutex::new(Vec::new()),
@@ -155,15 +177,28 @@ impl CloudAggregator {
                 stats: AtomicCloudStats::default(),
                 latency,
                 faults,
+                codec,
             }),
         }
+    }
+
+    /// The uplink payload codec this aggregator was built with.
+    pub fn codec(&self) -> PayloadCodec {
+        self.inner.codec
     }
 
     /// Client uploads a full snapshot. Under an active fault plan the
     /// upload may be lost, corrupted in transit, or delayed (paying a
     /// latency penalty); the outcome is deterministic in the fault seed.
-    pub fn upload(&self, update: ModelUpdate) {
+    pub fn upload(&self, mut update: ModelUpdate) {
         use crate::fault::CLOUD_PEER;
+        // Compression happens at the client before the uplink: faults
+        // (loss, corruption, straggling) act on the compressed payload,
+        // and the server aggregates the decoded wire values.
+        let codec = self.inner.codec;
+        if !codec.is_raw() {
+            codec.transform(&mut update);
+        }
         let fate = match &self.inner.faults {
             Some(plan) => plan.upload(update.sender, update.round, update.model_id),
             None => Delivery::Deliver,
@@ -187,7 +222,9 @@ impl CloudAggregator {
                 Some(plan.corrupt(&update, CLOUD_PEER, kind))
             }
             Delivery::Delay { extra_latency_mult } => {
-                let bytes = update.byte_size() as u64;
+                // Stragglers pay latency on the bytes that actually
+                // travel: the compressed wire size.
+                let bytes = codec.wire_update_bytes(&update) as u64;
                 stats.delayed.fetch_add(1, Ordering::Relaxed);
                 atomic_f64_add(
                     &stats.delay_seconds_bits,
@@ -201,6 +238,9 @@ impl CloudAggregator {
             stats.uploads.fetch_add(1, Ordering::Relaxed);
             stats
                 .upload_bytes
+                .fetch_add(codec.wire_update_bytes(&update) as u64, Ordering::Relaxed);
+            stats
+                .logical_upload_bytes
                 .fetch_add(update.byte_size() as u64, Ordering::Relaxed);
             self.inner.pending.lock().push(update);
         }
@@ -561,6 +601,36 @@ mod tests {
         // validating aggregation rejects it.
         assert_eq!(cloud.aggregate(), 0);
         assert_eq!(cloud.stats().rejected, 1);
+    }
+
+    #[test]
+    fn compressed_uplink_accounts_wire_and_logical_bytes_separately() {
+        let codec = PayloadCodec::QuantizedI8 {
+            per_layer_scale: true,
+        };
+        let cloud =
+            CloudAggregator::with_codec(LatencyModel::cloud(), &FaultConfig::default(), codec);
+        let up = snap(0, 1.0);
+        let wire = codec.wire_update_bytes(&up) as u64;
+        let logical = up.byte_size() as u64;
+        assert!(wire < logical);
+        cloud.upload(up);
+        let s = cloud.stats();
+        assert_eq!(s.upload_bytes, wire);
+        assert_eq!(s.logical_upload_bytes, logical);
+        // The server aggregates the dequantized wire values, not the
+        // raw snapshot: 1.0 survives q8 exactly (it is the layer max).
+        assert_eq!(cloud.aggregate(), 1);
+        assert_eq!(cloud.download().unwrap()[0], vec![1.0; 4]);
+    }
+
+    #[test]
+    fn raw_uplink_reports_equal_wire_and_logical_bytes() {
+        let cloud = CloudAggregator::new(LatencyModel::cloud());
+        cloud.upload(snap(0, 2.0));
+        let s = cloud.stats();
+        assert_eq!(s.upload_bytes, s.logical_upload_bytes);
+        assert!(s.upload_bytes > 0);
     }
 
     #[test]

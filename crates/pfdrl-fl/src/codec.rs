@@ -44,6 +44,262 @@ pub const LAYER_HEADER_BYTES: usize = 16;
 /// change; decoders reject versions they do not know instead of
 /// misreading future payloads.
 pub const CODEC_VERSION: u16 = 1;
+/// Wire version of the symmetric-int8 quantized layer encoding
+/// (`index:u64 | len:u64 | scale:f64 | len × i8`).
+pub const CODEC_VERSION_Q8: u16 = 2;
+/// Wire version of the top-k sparse layer encoding (`index:u64 |
+/// len:u64 | fill:f64 | k:u32 | k × u32 ascending indices | k × f64`).
+pub const CODEC_VERSION_TOPK: u16 = 3;
+/// Highest wire version this build decodes.
+pub const CODEC_VERSION_MAX: u16 = CODEC_VERSION_TOPK;
+
+/// Densified length cap for sparse (v3) layers. A hostile `len` field
+/// in a sparse layer costs only bytes-on-the-wire for the *indices*,
+/// so without a cap a 28-byte payload could demand a multi-GiB dense
+/// allocation. Real PFDRL layers are a few thousand parameters; 2^20
+/// leaves three orders of magnitude of headroom.
+pub const MAX_SPARSE_LAYER_LEN: usize = 1 << 20;
+
+/// Lossy uplink compression applied to federation payloads.
+///
+/// The codec is a run-identity knob (`SimConfig::compression`, hashed
+/// into `run_hash`): every mode is deterministic, but the non-`Raw`
+/// modes change the parameter bits peers receive, so they carry their
+/// own canaries. `Raw` is the retained bitwise oracle — wire bytes and
+/// merged models are identical to every build before compression
+/// existed.
+///
+/// Compression is uplink-only: home→peer broadcasts, shard uplinks and
+/// home→cloud uploads are compressed; the cloud's global-model
+/// downlink stays raw f64 (one downlink per round amortizes over N
+/// uplinks, and keeping it exact avoids compounding quantization into
+/// the reference model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum PayloadCodec {
+    /// Raw little-endian f64 layers — today's bytes, bit-identical.
+    #[default]
+    Raw,
+    /// Symmetric int8: `q = round_ties_even(x / scale)` clamped to
+    /// ±127 with an f64 `scale = max|x| / 127` per layer (or one
+    /// update-global scale when `per_layer_scale` is false). Non-finite
+    /// parameters quantize to 0, so decoded payloads are always finite.
+    QuantizedI8 {
+        /// One scale per layer (better accuracy) vs one per update
+        /// (one fewer f64 per extra layer).
+        per_layer_scale: bool,
+    },
+    /// Keep only the `ceil(fraction * len)` coordinates farthest from
+    /// the layer mean (ties broken by lower index); dropped coordinates
+    /// decode to the mean (`fill`), kept values travel bit-exactly.
+    TopK {
+        /// Fraction of coordinates kept, in `(0, 1]`.
+        fraction: f64,
+    },
+}
+
+impl PayloadCodec {
+    /// Whether this is the bit-identical passthrough mode.
+    pub fn is_raw(&self) -> bool {
+        matches!(self, PayloadCodec::Raw)
+    }
+
+    /// Short stable label for bench rows and CLI output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PayloadCodec::Raw => "raw",
+            PayloadCodec::QuantizedI8 { .. } => "q8",
+            PayloadCodec::TopK { .. } => "topk",
+        }
+    }
+
+    /// Wire version this codec encodes to.
+    pub fn wire_version(&self) -> u16 {
+        match self {
+            PayloadCodec::Raw => CODEC_VERSION,
+            PayloadCodec::QuantizedI8 { .. } => CODEC_VERSION_Q8,
+            PayloadCodec::TopK { .. } => CODEC_VERSION_TOPK,
+        }
+    }
+
+    /// Validates knob sanity.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message on an invalid codec.
+    pub fn validate(&self) {
+        if let PayloadCodec::TopK { fraction } = self {
+            assert!(
+                fraction.is_finite() && *fraction > 0.0 && *fraction <= 1.0,
+                "TopK fraction must be in (0, 1], got {fraction}"
+            );
+        }
+    }
+
+    /// Whether every decoded parameter is guaranteed finite regardless
+    /// of input. True for [`PayloadCodec::QuantizedI8`] (non-finite
+    /// inputs quantize to 0), letting the round engine skip its
+    /// O(N·params) payload finiteness scan.
+    pub fn guarantees_finite(&self) -> bool {
+        matches!(self, PayloadCodec::QuantizedI8 { .. })
+    }
+
+    /// Coordinates kept for a sparse layer of `len` parameters.
+    pub fn sparse_kept(fraction: f64, len: usize) -> usize {
+        if len == 0 {
+            0
+        } else {
+            ((fraction * len as f64).ceil() as usize).clamp(1, len)
+        }
+    }
+
+    /// Accounting bytes of one encoded layer of `len` parameters
+    /// (layer header included).
+    pub fn wire_layer_bytes(&self, len: usize) -> usize {
+        match self {
+            PayloadCodec::Raw => LAYER_HEADER_BYTES + 8 * len,
+            PayloadCodec::QuantizedI8 { .. } => LAYER_HEADER_BYTES + 8 + len,
+            PayloadCodec::TopK { fraction } => {
+                LAYER_HEADER_BYTES + 8 + 4 + 12 * Self::sparse_kept(*fraction, len)
+            }
+        }
+    }
+
+    /// Accounting bytes of one encoded layer *excluding* the layer
+    /// header — the resident-payload figure `peak_shard_bytes` and the
+    /// `max_shard_bytes` guard count. Exactly `8 * len` under `Raw`.
+    pub fn payload_layer_bytes(&self, len: usize) -> usize {
+        self.wire_layer_bytes(len) - LAYER_HEADER_BYTES
+    }
+
+    /// Accounting bytes of a full update on the wire under this codec.
+    /// Identical to [`ModelUpdate::byte_size`] under `Raw`.
+    pub fn wire_update_bytes(&self, update: &ModelUpdate) -> usize {
+        match self {
+            PayloadCodec::Raw => update.byte_size(),
+            _ => {
+                HEADER_BYTES
+                    + update
+                        .layers
+                        .iter()
+                        .map(|l| self.wire_layer_bytes(l.params.len()))
+                        .sum::<usize>()
+            }
+        }
+    }
+
+    /// Applies the codec's lossy map in place: every parameter becomes
+    /// exactly the value a peer would decode off the wire. `Raw` is a
+    /// no-op; the result is bitwise-equal to
+    /// `ModelUpdate::decode(&update.encode_with(codec))`.
+    pub fn transform(&self, update: &mut ModelUpdate) {
+        match self {
+            PayloadCodec::Raw => {}
+            PayloadCodec::QuantizedI8 { per_layer_scale } => {
+                let scales = q8_scales(update, *per_layer_scale);
+                for (layer, &scale) in update.layers.iter_mut().zip(&scales) {
+                    for p in layer.params.iter_mut() {
+                        *p = q8_quantize(*p, scale) as f64 * scale;
+                    }
+                }
+            }
+            PayloadCodec::TopK { fraction } => {
+                for layer in update.layers.iter_mut() {
+                    let k = Self::sparse_kept(*fraction, layer.params.len());
+                    if k == layer.params.len() {
+                        continue;
+                    }
+                    let fill = topk_fill(&layer.params);
+                    let kept = topk_select(&layer.params, k, fill);
+                    let mut next = kept.iter().copied().peekable();
+                    for (i, p) in layer.params.iter_mut().enumerate() {
+                        if next.peek() == Some(&(i as u32)) {
+                            next.next();
+                        } else {
+                            *p = fill;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-layer (or replicated update-global) int8 scales. Non-finite
+/// parameters are excluded from the max, so a single NaN cannot zero
+/// out (scale = NaN → everything quantizes to 0) an otherwise healthy
+/// layer... it simply quantizes to 0 itself.
+fn q8_scales(update: &ModelUpdate, per_layer: bool) -> Vec<f64> {
+    let max_abs = |params: &[f64]| {
+        params
+            .iter()
+            .copied()
+            .filter(|p| p.is_finite())
+            .fold(0.0f64, |acc, p| acc.max(p.abs()))
+    };
+    if per_layer {
+        update
+            .layers
+            .iter()
+            .map(|l| max_abs(&l.params) / 127.0)
+            .collect()
+    } else {
+        let global = update
+            .layers
+            .iter()
+            .map(|l| max_abs(&l.params))
+            .fold(0.0f64, f64::max)
+            / 127.0;
+        vec![global; update.layers.len()]
+    }
+}
+
+/// Deterministic symmetric quantization: round-to-nearest-even, ±127
+/// clamp, non-finite → 0. A zero (or degenerate) scale maps everything
+/// to 0.
+fn q8_quantize(x: f64, scale: f64) -> i8 {
+    if scale <= 0.0 || !scale.is_finite() || !x.is_finite() {
+        return 0;
+    }
+    (x / scale).round_ties_even().clamp(-127.0, 127.0) as i8
+}
+
+/// Sparse fill value: the sequential mean of the finite parameters
+/// (0.0 when none are finite). Sequential summation keeps the value
+/// independent of thread count.
+fn topk_fill(params: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for &p in params {
+        if p.is_finite() {
+            sum += p;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Ascending indices of the `k` coordinates farthest from `fill`.
+/// Non-finite coordinates rank first (they must stay visible to the
+/// receiver's divergence checks); ties break toward the lower index,
+/// so selection is a total order and fully deterministic.
+fn topk_select(params: &[f64], k: usize, fill: f64) -> Vec<u32> {
+    let key = |i: u32| {
+        let p = params[i as usize];
+        if p.is_finite() {
+            (p - fill).abs()
+        } else {
+            f64::INFINITY
+        }
+    };
+    let mut idx: Vec<u32> = (0..params.len() as u32).collect();
+    idx.sort_unstable_by(|&a, &b| key(b).total_cmp(&key(a)).then(a.cmp(&b)));
+    idx.truncate(k);
+    idx.sort_unstable();
+    idx
+}
 
 /// Typed decode failure for the binary wire format.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,19 +370,77 @@ impl ModelUpdate {
         out
     }
 
-    /// Decodes a payload produced by [`ModelUpdate::encode`].
+    /// Serializes under the given codec: version 1 (`Raw`), 2
+    /// (`QuantizedI8`) or 3 (`TopK`). The encoded length is always
+    /// `codec.wire_update_bytes(self) - 2` (the accounting header
+    /// charges 32 B where the physical header is 30), and decoding the
+    /// result reproduces `codec.transform(self)` bit-for-bit.
+    pub fn encode_with(&self, codec: PayloadCodec) -> Vec<u8> {
+        let mut out = Vec::with_capacity(codec.wire_update_bytes(self));
+        out.extend_from_slice(&codec.wire_version().to_le_bytes());
+        out.extend_from_slice(&(self.sender as u64).to_le_bytes());
+        out.extend_from_slice(&self.round.to_le_bytes());
+        out.extend_from_slice(&self.model_id.to_le_bytes());
+        out.extend_from_slice(&(self.layers.len() as u32).to_le_bytes());
+        match codec {
+            PayloadCodec::Raw => {
+                for layer in &self.layers {
+                    out.extend_from_slice(&(layer.index as u64).to_le_bytes());
+                    out.extend_from_slice(&(layer.params.len() as u64).to_le_bytes());
+                    for p in &layer.params {
+                        out.extend_from_slice(&p.to_le_bytes());
+                    }
+                }
+            }
+            PayloadCodec::QuantizedI8 { per_layer_scale } => {
+                let scales = q8_scales(self, per_layer_scale);
+                for (layer, &scale) in self.layers.iter().zip(&scales) {
+                    out.extend_from_slice(&(layer.index as u64).to_le_bytes());
+                    out.extend_from_slice(&(layer.params.len() as u64).to_le_bytes());
+                    out.extend_from_slice(&scale.to_le_bytes());
+                    for &p in &layer.params {
+                        out.push(q8_quantize(p, scale) as u8);
+                    }
+                }
+            }
+            PayloadCodec::TopK { fraction } => {
+                for layer in &self.layers {
+                    let k = PayloadCodec::sparse_kept(fraction, layer.params.len());
+                    let fill = topk_fill(&layer.params);
+                    let kept = topk_select(&layer.params, k, fill);
+                    out.extend_from_slice(&(layer.index as u64).to_le_bytes());
+                    out.extend_from_slice(&(layer.params.len() as u64).to_le_bytes());
+                    out.extend_from_slice(&fill.to_le_bytes());
+                    out.extend_from_slice(&(k as u32).to_le_bytes());
+                    for &i in &kept {
+                        out.extend_from_slice(&i.to_le_bytes());
+                    }
+                    for &i in &kept {
+                        out.extend_from_slice(&layer.params[i as usize].to_le_bytes());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a payload produced by [`ModelUpdate::encode`] or
+    /// [`ModelUpdate::encode_with`]. Quantized (v2) layers are
+    /// dequantized and sparse (v3) layers densified, so the result is
+    /// always a dense f64 update ready for [`crate::merge_updates`].
     ///
     /// # Errors
     /// [`CodecError::UnsupportedVersion`] on a version this build does
     /// not know, [`CodecError::Truncated`]/[`CodecError::Malformed`] on
-    /// damaged payloads — never a panic.
+    /// damaged payloads — never a panic, and allocations stay bounded
+    /// by the payload (plus [`MAX_SPARSE_LAYER_LEN`] per sparse layer).
     pub fn decode(bytes: &[u8]) -> Result<ModelUpdate, CodecError> {
         let mut r = ByteReader::new(bytes);
         let version = r.u16()?;
-        if version != CODEC_VERSION {
+        if version == 0 || version > CODEC_VERSION_MAX {
             return Err(CodecError::UnsupportedVersion {
                 found: version,
-                supported: CODEC_VERSION,
+                supported: CODEC_VERSION_MAX,
             });
         }
         let sender = r.u64()? as usize;
@@ -138,7 +452,46 @@ impl ModelUpdate {
             let index = r.u64()? as usize;
             let len = r.u64()?;
             let len = usize::try_from(len).map_err(|_| CodecError::Malformed("layer length"))?;
-            let params = r.f64s(len)?;
+            let params = match version {
+                CODEC_VERSION => r.f64s(len)?,
+                CODEC_VERSION_Q8 => {
+                    let scale = r.f64()?;
+                    if !scale.is_finite() || scale < 0.0 {
+                        return Err(CodecError::Malformed("quantization scale"));
+                    }
+                    let quants = r.bytes(len)?;
+                    quants.iter().map(|&q| (q as i8) as f64 * scale).collect()
+                }
+                _ => {
+                    if len > MAX_SPARSE_LAYER_LEN {
+                        return Err(CodecError::Malformed("sparse layer length"));
+                    }
+                    let fill = r.f64()?;
+                    let k = r.u32()? as usize;
+                    let valid_k = if len == 0 {
+                        k == 0
+                    } else {
+                        (1..=len).contains(&k)
+                    };
+                    if !valid_k {
+                        return Err(CodecError::Malformed("sparse kept count"));
+                    }
+                    let indices = r.u32s(k)?;
+                    let ascending_in_range = indices
+                        .iter()
+                        .enumerate()
+                        .all(|(j, &i)| (i as usize) < len && (j == 0 || indices[j - 1] < i));
+                    if !ascending_in_range {
+                        return Err(CodecError::Malformed("sparse indices"));
+                    }
+                    let values = r.f64s(k)?;
+                    let mut params = vec![fill; len];
+                    for (&i, &v) in indices.iter().zip(&values) {
+                        params[i as usize] = v;
+                    }
+                    params
+                }
+            };
             layers.push(LayerUpdate { index, params });
         }
         if r.remaining() != 0 {
@@ -190,6 +543,28 @@ impl<'a> ByteReader<'a> {
 
     fn u64(&mut self) -> Result<u64, CodecError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
+    }
+
+    fn u32s(&mut self, n: usize) -> Result<Vec<u32>, CodecError> {
+        if self.remaining() / 4 < n {
+            return Err(CodecError::Truncated {
+                needed: n.saturating_mul(4),
+                have: self.remaining(),
+            });
+        }
+        let raw = self.take(n * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
     }
 
     fn f64s(&mut self, n: usize) -> Result<Vec<f64>, CodecError> {
@@ -297,16 +672,17 @@ mod tests {
 
     #[test]
     fn decode_rejects_unknown_versions_with_typed_error() {
-        let mut bytes = update(&[4]).encode();
-        let future = (CODEC_VERSION + 1).to_le_bytes();
-        bytes[..2].copy_from_slice(&future);
-        assert_eq!(
-            ModelUpdate::decode(&bytes),
-            Err(CodecError::UnsupportedVersion {
-                found: CODEC_VERSION + 1,
-                supported: CODEC_VERSION,
-            })
-        );
+        for future in [0u16, CODEC_VERSION_MAX + 1, 99] {
+            let mut bytes = update(&[4]).encode();
+            bytes[..2].copy_from_slice(&future.to_le_bytes());
+            assert_eq!(
+                ModelUpdate::decode(&bytes),
+                Err(CodecError::UnsupportedVersion {
+                    found: future,
+                    supported: CODEC_VERSION_MAX,
+                })
+            );
+        }
     }
 
     #[test]
@@ -355,5 +731,264 @@ mod tests {
         // and each layer header its index + a length field.
         const { assert!(HEADER_BYTES >= 8 + 8 + 8 + 8) }
         const { assert!(LAYER_HEADER_BYTES >= 8 + 8) }
+    }
+
+    fn valued_update(layers: &[Vec<f64>]) -> ModelUpdate {
+        ModelUpdate {
+            sender: 3,
+            round: 11,
+            model_id: 1,
+            layers: layers
+                .iter()
+                .enumerate()
+                .map(|(i, params)| LayerUpdate {
+                    index: i,
+                    params: params.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    fn bits(u: &ModelUpdate) -> Vec<Vec<u64>> {
+        u.layers
+            .iter()
+            .map(|l| l.params.iter().map(|p| p.to_bits()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn payload_codec_defaults_to_raw_and_labels_are_stable() {
+        assert!(PayloadCodec::default().is_raw());
+        assert_eq!(PayloadCodec::Raw.label(), "raw");
+        assert_eq!(
+            PayloadCodec::QuantizedI8 {
+                per_layer_scale: true
+            }
+            .label(),
+            "q8"
+        );
+        assert_eq!(PayloadCodec::TopK { fraction: 0.1 }.label(), "topk");
+        assert!(PayloadCodec::QuantizedI8 {
+            per_layer_scale: true
+        }
+        .guarantees_finite());
+        assert!(!PayloadCodec::Raw.guarantees_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn topk_zero_fraction_rejected() {
+        PayloadCodec::TopK { fraction: 0.0 }.validate();
+    }
+
+    #[test]
+    fn raw_wire_size_is_byte_size_and_compressed_sizes_hit_the_target_ratio() {
+        // The repro bench MLP is [12, 24, 24, 3]: layers of 312, 600
+        // and 75 parameters. The acceptance bar is >= 6x smaller
+        // federation payloads under QuantizedI8 at this exact shape.
+        let u = update(&[312, 600, 75]);
+        let raw = PayloadCodec::Raw.wire_update_bytes(&u);
+        assert_eq!(raw, u.byte_size());
+        let q8 = PayloadCodec::QuantizedI8 {
+            per_layer_scale: true,
+        }
+        .wire_update_bytes(&u);
+        let topk = PayloadCodec::TopK { fraction: 0.1 }.wire_update_bytes(&u);
+        assert!(
+            raw as f64 / q8 as f64 >= 6.0,
+            "q8 ratio {raw}/{q8} below 6x"
+        );
+        assert!(
+            raw as f64 / topk as f64 >= 6.0,
+            "topk ratio {raw}/{topk} below 6x"
+        );
+        // payload_layer_bytes stays exactly 8*len under Raw, so every
+        // pre-compression pinned byte counter is untouched.
+        assert_eq!(PayloadCodec::Raw.payload_layer_bytes(600), 4800);
+    }
+
+    #[test]
+    fn encoded_length_matches_wire_accounting_in_every_mode() {
+        let u = valued_update(&[vec![1.5, -2.0, 1e-3, 0.0, 9.25], vec![-4.0], vec![]]);
+        for codec in [
+            PayloadCodec::Raw,
+            PayloadCodec::QuantizedI8 {
+                per_layer_scale: true,
+            },
+            PayloadCodec::QuantizedI8 {
+                per_layer_scale: false,
+            },
+            PayloadCodec::TopK { fraction: 0.4 },
+            PayloadCodec::TopK { fraction: 1.0 },
+        ] {
+            let encoded = u.encode_with(codec);
+            // Accounting charges HEADER_BYTES = 32 where the physical
+            // header is 30 (u16 version), same convention as encode().
+            assert_eq!(
+                encoded.len(),
+                codec.wire_update_bytes(&u) - 2,
+                "{}",
+                codec.label()
+            );
+        }
+        assert_eq!(u.encode_with(PayloadCodec::Raw), u.encode());
+    }
+
+    #[test]
+    fn decode_of_encode_with_reproduces_transform_bitwise() {
+        let u = valued_update(&[
+            vec![1.5, -2.0, 1e-300, 0.0, 9.25, -0.0, 3.0],
+            vec![-4.0, 4.0, 0.125],
+        ]);
+        for codec in [
+            PayloadCodec::Raw,
+            PayloadCodec::QuantizedI8 {
+                per_layer_scale: true,
+            },
+            PayloadCodec::QuantizedI8 {
+                per_layer_scale: false,
+            },
+            PayloadCodec::TopK { fraction: 0.34 },
+        ] {
+            let decoded = ModelUpdate::decode(&u.encode_with(codec)).expect("decode");
+            let mut transformed = u.clone();
+            codec.transform(&mut transformed);
+            assert_eq!(decoded.sender, u.sender);
+            assert_eq!(decoded.round, u.round);
+            assert_eq!(
+                bits(&decoded),
+                bits(&transformed),
+                "{} decode must equal in-place transform",
+                codec.label()
+            );
+        }
+    }
+
+    #[test]
+    fn q8_error_is_bounded_by_half_scale_and_nonfinite_goes_to_zero() {
+        let mut u = valued_update(&[vec![12.7, -6.35, 0.04, f64::NAN, f64::INFINITY]]);
+        let codec = PayloadCodec::QuantizedI8 {
+            per_layer_scale: true,
+        };
+        let original = u.clone();
+        codec.transform(&mut u);
+        let scale = 12.7 / 127.0;
+        for (orig, quant) in original.layers[0].params.iter().zip(&u.layers[0].params) {
+            if orig.is_finite() {
+                assert!(
+                    (orig - quant).abs() <= scale / 2.0 + 1e-12,
+                    "{orig} -> {quant} breaks the scale/2 bound"
+                );
+            } else {
+                assert_eq!(*quant, 0.0, "non-finite must quantize to 0");
+            }
+            assert!(quant.is_finite());
+        }
+    }
+
+    #[test]
+    fn topk_keeps_extreme_coordinates_bit_exactly_and_fills_the_rest() {
+        // Mean is 1.0; the two farthest coordinates are 100.0 and -50.0.
+        let mut u = valued_update(&[vec![1.0, 100.0, 1.0, -50.0, 1.0, 1.0, 1.0, -45.0]]);
+        let codec = PayloadCodec::TopK { fraction: 0.25 };
+        codec.transform(&mut u);
+        let fill = topk_fill(&[1.0, 100.0, 1.0, -50.0, 1.0, 1.0, 1.0, -45.0]);
+        assert_eq!(u.layers[0].params[1].to_bits(), 100.0f64.to_bits());
+        assert_eq!(u.layers[0].params[3].to_bits(), (-50.0f64).to_bits());
+        for i in [0, 2, 4, 5, 6, 7] {
+            assert_eq!(u.layers[0].params[i].to_bits(), fill.to_bits(), "index {i}");
+        }
+    }
+
+    #[test]
+    fn topk_ties_break_toward_the_lower_index() {
+        // All coordinates equidistant from the mean: keep the lowest
+        // indices, deterministically.
+        let params = vec![2.0, 0.0, 2.0, 0.0, 2.0, 0.0];
+        let fill = topk_fill(&params);
+        assert_eq!(topk_select(&params, 3, fill), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn hostile_compressed_bytes_decode_to_typed_errors() {
+        let u = valued_update(&[vec![1.0, -2.0, 3.0, -4.0]]);
+
+        // v2 with a NaN scale.
+        let mut q8 = u.encode_with(PayloadCodec::QuantizedI8 {
+            per_layer_scale: true,
+        });
+        let scale_off = 30 + 16;
+        q8[scale_off..scale_off + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(
+            ModelUpdate::decode(&q8),
+            Err(CodecError::Malformed("quantization scale"))
+        );
+
+        // v3 with out-of-order indices.
+        let topk = u.encode_with(PayloadCodec::TopK { fraction: 0.5 });
+        let idx_off = 30 + 16 + 8 + 4;
+        let mut swapped = topk.clone();
+        let (a, b) = (idx_off, idx_off + 4);
+        for i in 0..4 {
+            swapped.swap(a + i, b + i);
+        }
+        assert_eq!(
+            ModelUpdate::decode(&swapped),
+            Err(CodecError::Malformed("sparse indices"))
+        );
+
+        // v3 with an index past the layer length.
+        let mut oob = topk.clone();
+        oob[idx_off..idx_off + 4].copy_from_slice(&7u32.to_le_bytes());
+        assert_eq!(
+            ModelUpdate::decode(&oob),
+            Err(CodecError::Malformed("sparse indices"))
+        );
+
+        // v3 with k > len.
+        let mut big_k = topk.clone();
+        let k_off = 30 + 16 + 8;
+        big_k[k_off..k_off + 4].copy_from_slice(&100u32.to_le_bytes());
+        assert_eq!(
+            ModelUpdate::decode(&big_k),
+            Err(CodecError::Malformed("sparse kept count"))
+        );
+
+        // v3 with a dense length demanding a giant allocation.
+        let mut bomb = topk;
+        let len_off = 30 + 8;
+        bomb[len_off..len_off + 8]
+            .copy_from_slice(&((MAX_SPARSE_LAYER_LEN as u64 + 1).to_le_bytes()));
+        assert_eq!(
+            ModelUpdate::decode(&bomb),
+            Err(CodecError::Malformed("sparse layer length"))
+        );
+    }
+
+    #[test]
+    fn compressed_truncation_is_rejected_everywhere_without_panicking() {
+        let u = valued_update(&[vec![1.0, -2.0, 3.0, -4.0, 5.5], vec![0.25, -0.25]]);
+        for codec in [
+            PayloadCodec::QuantizedI8 {
+                per_layer_scale: false,
+            },
+            PayloadCodec::TopK { fraction: 0.5 },
+        ] {
+            let bytes = u.encode_with(codec);
+            for cut in 0..bytes.len() {
+                let err = ModelUpdate::decode(&bytes[..cut]).expect_err("truncated must fail");
+                assert!(
+                    matches!(err, CodecError::Truncated { .. } | CodecError::Malformed(_)),
+                    "{} cut at {cut} gave {err:?}",
+                    codec.label()
+                );
+            }
+            let mut padded = bytes;
+            padded.push(0);
+            assert_eq!(
+                ModelUpdate::decode(&padded),
+                Err(CodecError::Malformed("trailing bytes"))
+            );
+        }
     }
 }

@@ -76,7 +76,10 @@ pub use aggregate::{
 };
 pub use bus::{BroadcastBus, BusState, BusStats, LatencyModel};
 pub use cloud::{CloudAggregator, CloudState, CloudStats};
-pub use codec::{CodecError, LayerUpdate, ModelUpdate, CODEC_VERSION};
+pub use codec::{
+    CodecError, LayerUpdate, ModelUpdate, PayloadCodec, CODEC_VERSION, CODEC_VERSION_MAX,
+    CODEC_VERSION_Q8, CODEC_VERSION_TOPK, MAX_SPARSE_LAYER_LEN,
+};
 pub use fault::{CorruptKind, Delivery, DropReason, FaultConfig, FaultInjector, FaultPlan};
 pub use personalization::LayerSplit;
 pub use round::{dfl_round_reference, DflRound, RoundOutcome, RoundParams, UpdatePool};

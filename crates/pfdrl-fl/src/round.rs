@@ -295,6 +295,8 @@ impl DflRound {
             self.pool.put(extra);
         }
         let (round, model_id) = (p.round, p.model_id);
+        let codec = p.bus.codec();
+        let participants = p.participants;
         self.bufs
             .par_iter_mut()
             .zip(models.par_iter())
@@ -304,22 +306,30 @@ impl DflRound {
                 buf.round = round;
                 buf.model_id = model_id;
                 fill_update(&**model, 0..layer_end, buf);
+                // Lossy uplink compression happens at export: peers
+                // receive exactly the values the wire would carry
+                // (fast path and per-home fallback see identical
+                // payloads), while the local model stays raw.
+                if !codec.is_raw() && participants.is_none_or(|m| m[home]) {
+                    codec.transform(buf);
+                }
             });
 
-        // Broadcast: sequential, in home order — arrival order feeds the
-        // per-home float-sum order, which the bit-identity pin relies on.
+        // Broadcast the round as one batched pass (one mailbox lock per
+        // receiver); deliveries land in home order per receiver, which
+        // is the arrival order the merge float-sum bit-identity pin
+        // relies on — identical to the historical per-sender loop.
         // Withheld (quarantined) homes upload nothing; their staged
         // buffer goes straight back to the pool.
         self.sent.clear();
         for (home, buf) in self.bufs.drain(..).enumerate() {
             if p.participants.is_none_or(|m| m[home]) {
-                let arc = Arc::new(buf);
-                p.bus.broadcast_arc(Arc::clone(&arc));
-                self.sent.push(arc);
+                self.sent.push(Arc::new(buf));
             } else {
                 self.pool.put(buf);
             }
         }
+        p.bus.broadcast_all(&self.sent);
 
         // Drain: per-home keyed drains, independent, parallel.
         self.received.truncate(n);
@@ -334,15 +344,17 @@ impl DflRound {
                 .for_each(|(home, buf)| bus.drain_model_into(home, model_id, buf));
         }
 
-        // Payload-resident bytes for this round (Arc-shared, one copy
-        // per sender) — feeds the per-shard memory accounting.
+        // Payload bytes staged for this round (one copy per sender),
+        // measured at the codec's wire size so `peak_shard_bytes` and
+        // the `max_shard_bytes` budget reflect real uplink cost.
+        // Exactly 8 B/param under `Raw`.
         let payload_bytes: u64 = self
             .sent
             .iter()
             .map(|u| {
                 u.layers
                     .iter()
-                    .map(|l| (l.params.len() * 8) as u64)
+                    .map(|l| codec.payload_layer_bytes(l.params.len()) as u64)
                     .sum::<u64>()
             })
             .sum();
@@ -358,10 +370,15 @@ impl DflRound {
         let mut payloads_ok = false;
         if probe && !self.sent.is_empty() {
             let sent = &self.sent;
+            // Codecs that map every parameter to a finite value (int8
+            // quantization) make the O(N·params) finiteness scan
+            // redundant — shape validation suffices.
+            let check_finite = !codec.guarantees_finite();
             payloads_ok = sent.par_iter().all(|u| {
                 u.layers.len() == sent[0].layers.len()
                     && u.layers.iter().zip(sent[0].layers.iter()).all(|(a, b)| {
-                        a.params.len() == b.params.len() && a.params.iter().all(|x| x.is_finite())
+                        a.params.len() == b.params.len()
+                            && (!check_finite || a.params.iter().all(|x| x.is_finite()))
                     })
             });
             if payloads_ok {

@@ -28,6 +28,7 @@
 
 use crate::aggregate::{AggregationMode, MergePolicy};
 use crate::bus::{BroadcastBus, BusState, BusStats, LatencyModel};
+use crate::codec::PayloadCodec;
 use crate::fault::FaultConfig;
 use crate::round::{tree_sum, DflRound, RoundOutcome, RoundParams, TREE_LEAF};
 use pfdrl_nn::Layered;
@@ -251,8 +252,11 @@ pub struct HierShardState {
 pub struct HierState {
     /// Shard index per home (validated against the rebuilt plan).
     pub home_shard: Vec<u32>,
-    /// Synthetic aggregator-link traffic so far (bytes).
+    /// Synthetic aggregator-link traffic so far (wire bytes).
     pub agg_bytes: u64,
+    /// Synthetic aggregator-link traffic so far (pre-compression
+    /// bytes; equals `agg_bytes` under `PayloadCodec::Raw`).
+    pub agg_logical_bytes: u64,
     /// Synthetic aggregator-link traffic so far (messages).
     pub agg_messages: u64,
     /// Fleet-wide high-water mark of per-shard payload bytes.
@@ -290,10 +294,14 @@ pub struct HierarchicalRound {
     /// Synthetic aggregator-link traffic: each fast round ships S_k up
     /// and the combined S back down to every shard aggregator.
     agg_bytes: u64,
+    agg_logical_bytes: u64,
     agg_messages: u64,
     peak_shard_bytes: u64,
     /// Per-shard participation-mask scratch.
     masks: Vec<Vec<bool>>,
+    /// Uplink payload codec shared by every shard bus and the
+    /// aggregator links.
+    codec: PayloadCodec,
 }
 
 impl HierarchicalRound {
@@ -302,10 +310,23 @@ impl HierarchicalRound {
     /// decisions key on bus-local indices, so a single shard covering
     /// all homes reproduces the flat bus decision-for-decision).
     pub fn new(plan: ShardPlan, latency: LatencyModel, faults: &FaultConfig) -> Self {
+        Self::with_codec(plan, latency, faults, PayloadCodec::Raw)
+    }
+
+    /// [`new`](Self::new) plus an uplink [`PayloadCodec`] shared by
+    /// every shard bus and the synthetic aggregator links, so shard
+    /// uplink accounting (`comm_bytes`, `peak_shard_bytes`) reflects
+    /// real wire cost.
+    pub fn with_codec(
+        plan: ShardPlan,
+        latency: LatencyModel,
+        faults: &FaultConfig,
+        codec: PayloadCodec,
+    ) -> Self {
         let buses: Vec<BroadcastBus> = plan
             .members()
             .iter()
-            .map(|m| BroadcastBus::with_faults(m.len(), latency, faults))
+            .map(|m| BroadcastBus::with_codec(m.len(), latency, faults, codec))
             .collect();
         let engines = plan.members().iter().map(|_| DflRound::new()).collect();
         let pools = plan
@@ -322,9 +343,11 @@ impl HierarchicalRound {
             pools,
             counters,
             agg_bytes: 0,
+            agg_logical_bytes: 0,
             agg_messages: 0,
             peak_shard_bytes: 0,
             masks,
+            codec,
         }
     }
 
@@ -357,6 +380,7 @@ impl HierarchicalRound {
             let s = bus.stats();
             t.messages += s.messages;
             t.bytes += s.bytes;
+            t.logical_bytes += s.logical_bytes;
             t.dropped_offline += s.dropped_offline;
             t.dropped_loss += s.dropped_loss;
             t.dropped_disconnected += s.dropped_disconnected;
@@ -366,6 +390,7 @@ impl HierarchicalRound {
         }
         t.messages += self.agg_messages;
         t.bytes += self.agg_bytes;
+        t.logical_bytes += self.agg_logical_bytes;
         t
     }
 
@@ -409,9 +434,11 @@ impl HierarchicalRound {
             pools,
             counters,
             agg_bytes,
+            agg_logical_bytes,
             agg_messages,
             peak_shard_bytes,
             masks,
+            codec,
         } = self;
         let shards = plan.shard_count();
 
@@ -489,8 +516,13 @@ impl HierarchicalRound {
             // down. With one shard the aggregator is the root, so the
             // flat-oracle round carries no synthetic traffic.
             if shards > 1 {
-                let sum_bytes: u64 = global.iter().map(|l| (l.len() * 8) as u64).sum();
-                *agg_bytes += 2 * shards as u64 * sum_bytes;
+                let sum_wire: u64 = global
+                    .iter()
+                    .map(|l| codec.payload_layer_bytes(l.len()) as u64)
+                    .sum();
+                let sum_logical: u64 = global.iter().map(|l| (l.len() * 8) as u64).sum();
+                *agg_bytes += 2 * shards as u64 * sum_wire;
+                *agg_logical_bytes += 2 * shards as u64 * sum_logical;
                 *agg_messages += 2 * shards as u64;
             }
         }
@@ -530,6 +562,7 @@ impl HierarchicalRound {
         HierState {
             home_shard: self.plan.home_shard().to_vec(),
             agg_bytes: self.agg_bytes,
+            agg_logical_bytes: self.agg_logical_bytes,
             agg_messages: self.agg_messages,
             peak_shard_bytes: self.peak_shard_bytes,
             shards: self
@@ -566,6 +599,7 @@ impl HierarchicalRound {
             self.counters[k] = s.counters;
         }
         self.agg_bytes = state.agg_bytes;
+        self.agg_logical_bytes = state.agg_logical_bytes;
         self.agg_messages = state.agg_messages;
         self.peak_shard_bytes = state.peak_shard_bytes;
         Ok(())

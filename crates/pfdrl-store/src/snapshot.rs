@@ -50,8 +50,10 @@ use crate::wire::{Reader, Writer};
 
 /// First four bytes of every snapshot file.
 pub const MAGIC: [u8; 4] = *b"PFDS";
-/// Format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 1;
+/// Format version this build writes and reads. Version 2 added the
+/// logical (pre-compression) byte counters to the bus, cloud, shard
+/// and forecast stats.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Section kinds. Values are part of the on-disk format.
 pub mod section {
@@ -121,8 +123,10 @@ pub struct ForecastState {
     pub train_wall_s: f64,
     /// Simulated communication seconds of the forecast phase.
     pub comm_s: f64,
-    /// Bytes exchanged during the forecast phase.
+    /// Bytes exchanged during the forecast phase (wire size).
     pub comm_bytes: u64,
+    /// Bytes the same traffic would occupy uncompressed.
+    pub comm_logical_bytes: u64,
     /// `weights[home][device][layer]` — flattened layer parameters.
     pub weights: Vec<Vec<Vec<Vec<f64>>>>,
 }
@@ -454,6 +458,7 @@ fn decode_dqn(r: &mut Reader<'_>, pool: &TensorPool) -> Result<DqnState, StoreEr
 fn encode_bus_stats(w: &mut Writer, s: &BusStats) {
     w.put_u64(s.messages);
     w.put_u64(s.bytes);
+    w.put_u64(s.logical_bytes);
     w.put_u64(s.dropped_offline);
     w.put_u64(s.dropped_loss);
     w.put_u64(s.dropped_disconnected);
@@ -466,6 +471,7 @@ fn decode_bus_stats(r: &mut Reader<'_>) -> Result<BusStats, StoreError> {
     Ok(BusStats {
         messages: r.u64()?,
         bytes: r.u64()?,
+        logical_bytes: r.u64()?,
         dropped_offline: r.u64()?,
         dropped_loss: r.u64()?,
         dropped_disconnected: r.u64()?,
@@ -479,6 +485,7 @@ fn encode_cloud_stats(w: &mut Writer, s: &CloudStats) {
     w.put_u64(s.uploads);
     w.put_u64(s.downloads);
     w.put_u64(s.upload_bytes);
+    w.put_u64(s.logical_upload_bytes);
     w.put_u64(s.download_bytes);
     w.put_u64(s.dropped_offline);
     w.put_u64(s.dropped_loss);
@@ -495,6 +502,7 @@ fn decode_cloud_stats(r: &mut Reader<'_>) -> Result<CloudStats, StoreError> {
         uploads: r.u64()?,
         downloads: r.u64()?,
         upload_bytes: r.u64()?,
+        logical_upload_bytes: r.u64()?,
         download_bytes: r.u64()?,
         dropped_offline: r.u64()?,
         dropped_loss: r.u64()?,
@@ -526,6 +534,7 @@ impl RunSnapshot {
         forecast.put_f64(self.forecast.train_wall_s);
         forecast.put_f64(self.forecast.comm_s);
         forecast.put_u64(self.forecast.comm_bytes);
+        forecast.put_u64(self.forecast.comm_logical_bytes);
         forecast.put_usize(self.forecast.weights.len());
         for home in &self.forecast.weights {
             forecast.put_usize(home.len());
@@ -581,6 +590,7 @@ impl RunSnapshot {
                 shard.put_u32(sh);
             }
             shard.put_u64(s.agg_bytes);
+            shard.put_u64(s.agg_logical_bytes);
             shard.put_u64(s.agg_messages);
             shard.put_u64(s.peak_shard_bytes);
             shard.put_usize(s.shards.len());
@@ -736,6 +746,7 @@ impl RunSnapshot {
         let train_wall_s = fr.f64()?;
         let comm_s = fr.f64()?;
         let comm_bytes = fr.u64()?;
+        let comm_logical_bytes = fr.u64()?;
         let n_homes = fr.count(8)?;
         let mut weights = Vec::with_capacity(n_homes);
         for _ in 0..n_homes {
@@ -751,6 +762,7 @@ impl RunSnapshot {
             train_wall_s,
             comm_s,
             comm_bytes,
+            comm_logical_bytes,
             weights,
         };
 
@@ -934,6 +946,7 @@ impl RunSnapshot {
                     home_shard.push(shr.u32()?);
                 }
                 let agg_bytes = shr.u64()?;
+                let agg_logical_bytes = shr.u64()?;
                 let agg_messages = shr.u64()?;
                 let peak_shard_bytes = shr.u64()?;
                 let n_shards = shr.count(8)?;
@@ -963,6 +976,7 @@ impl RunSnapshot {
                 Some(HierState {
                     home_shard,
                     agg_bytes,
+                    agg_logical_bytes,
                     agg_messages,
                     peak_shard_bytes,
                     shards,
@@ -1050,6 +1064,7 @@ pub(crate) mod test_fixtures {
                 train_wall_s: 1.25,
                 comm_s: 0.5,
                 comm_bytes: 4096,
+                comm_logical_bytes: 4096,
                 weights: vec![vec![vec![base.clone()]], vec![vec![base.clone()]]],
             },
             agents: vec![vec![dqn(&personal_a, 3)], vec![dqn(&personal_b, 5)]],
@@ -1200,6 +1215,7 @@ pub(crate) mod test_fixtures {
         snap.shard = Some(HierState {
             home_shard: vec![0, 0, 1],
             agg_bytes: 8192,
+            agg_logical_bytes: 8192,
             agg_messages: 16,
             peak_shard_bytes: 4096,
             shards: vec![

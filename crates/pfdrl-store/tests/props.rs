@@ -145,6 +145,7 @@ fn build_snapshot(seed: u64, n_homes: usize, n_devices: usize, shared_agents: bo
             train_wall_s: g.chaos_f64(),
             comm_s: g.chaos_f64(),
             comm_bytes: g.next(),
+            comm_logical_bytes: g.next(),
             weights: (0..n_homes)
                 .map(|_| {
                     (0..n_devices)
@@ -159,6 +160,7 @@ fn build_snapshot(seed: u64, n_homes: usize, n_devices: usize, shared_agents: bo
                 stats: BusStats {
                     messages: g.next(),
                     bytes: g.next(),
+                    logical_bytes: g.next(),
                     dropped_offline: g.next(),
                     dropped_loss: g.next(),
                     dropped_disconnected: g.next(),
@@ -181,6 +183,7 @@ fn build_snapshot(seed: u64, n_homes: usize, n_devices: usize, shared_agents: bo
                     uploads: g.next(),
                     downloads: g.next(),
                     upload_bytes: g.next(),
+                    logical_upload_bytes: g.next(),
                     download_bytes: g.next(),
                     dropped_offline: g.next(),
                     dropped_loss: g.next(),
@@ -275,6 +278,7 @@ fn build_snapshot(seed: u64, n_homes: usize, n_devices: usize, shared_agents: bo
                     .map(|_| g.below(n_shards as u64) as u32)
                     .collect(),
                 agg_bytes: g.next(),
+                agg_logical_bytes: g.next(),
                 agg_messages: g.next(),
                 peak_shard_bytes: g.next(),
                 shards: (0..n_shards)
@@ -291,6 +295,7 @@ fn build_snapshot(seed: u64, n_homes: usize, n_devices: usize, shared_agents: bo
                                 stats: BusStats {
                                     messages: g.next(),
                                     bytes: g.next(),
+                                    logical_bytes: g.next(),
                                     dropped_offline: g.next(),
                                     dropped_loss: g.next(),
                                     dropped_disconnected: g.next(),

@@ -7,7 +7,7 @@
 
 use pfdrl::fl::{
     dfl_round_reference, AggregationMode, BroadcastBus, DflRound, FaultConfig, HierParams,
-    HierarchicalRound, LatencyModel, MergePolicy, RoundParams, ShardPlan,
+    HierarchicalRound, LatencyModel, MergePolicy, PayloadCodec, RoundParams, ShardPlan,
 };
 use pfdrl::nn::{Activation, Layered, Mlp};
 use proptest::prelude::*;
@@ -251,5 +251,96 @@ proptest! {
             prop_assert_eq!(bits(&a), bits(&b));
             prop_assert_eq!(ea.export_state(), eb.export_state());
         }
+    }
+
+    /// Compression × chaos: a seeded fault plan replays bit-identically
+    /// in every codec mode — the compressed payloads, the fault fates
+    /// acting on them, and the merged model bits are all pure functions
+    /// of the seed. Covers single-shard and multi-shard topologies.
+    #[test]
+    fn compressed_chaos_replays_bit_identically_per_seed_in_every_codec(
+        seed in 0u64..10_000,
+        n in 4usize..10,
+        shards in 1usize..4,
+        codec_pick in 0usize..3,
+    ) {
+        let codec = [
+            PayloadCodec::QuantizedI8 { per_layer_scale: true },
+            PayloadCodec::QuantizedI8 { per_layer_scale: false },
+            PayloadCodec::TopK { fraction: 0.2 },
+        ][codec_pick];
+        let fault = FaultConfig::chaos(seed, 0.5);
+        let policy = fault.merge_policy();
+        let mut a = fleet(n, seed ^ 0xC0DEC);
+        let mut b = fleet(n, seed ^ 0xC0DEC);
+        let mut ea = HierarchicalRound::with_codec(
+            ShardPlan::round_robin(n, shards), LatencyModel::lan(), &fault, codec);
+        let mut eb = HierarchicalRound::with_codec(
+            ShardPlan::round_robin(n, shards), LatencyModel::lan(), &fault, codec);
+        for round in 1..=5u64 {
+            run_hier(&mut a, &mut ea, round, None, &policy);
+            run_hier(&mut b, &mut eb, round, None, &policy);
+            prop_assert!(
+                bits(&a) == bits(&b),
+                "round {} diverged (seed {}, n {}, shards {}, codec {})",
+                round, seed, n, shards, codec.label()
+            );
+            prop_assert_eq!(ea.export_state(), eb.export_state());
+        }
+        // Compression really happened: wire bytes strictly below the
+        // logical (pre-compression) bytes whenever anything was sent.
+        let stats = ea.total_stats();
+        if stats.logical_bytes > 0 {
+            prop_assert!(stats.bytes < stats.logical_bytes);
+        }
+    }
+
+    /// A corrupted *compressed* payload demotes the receiver to the
+    /// validated per-home fallback exactly as a corrupted raw payload
+    /// does: fault fates are pure per-edge hashes, independent of the
+    /// payload bytes, so the fast-path/fallback split per round must
+    /// be identical between Raw and every compressed codec on the same
+    /// seed.
+    #[test]
+    fn corruption_demotes_compressed_payloads_exactly_as_raw(
+        seed in 0u64..10_000,
+        n in 3usize..8,
+    ) {
+        let fault = FaultConfig::chaos(seed, 0.5);
+        let policy = fault.merge_policy();
+        let codecs = [
+            PayloadCodec::Raw,
+            PayloadCodec::QuantizedI8 { per_layer_scale: true },
+            PayloadCodec::TopK { fraction: 0.3 },
+        ];
+        let mut splits: Vec<Vec<(usize, usize)>> = Vec::new();
+        for codec in codecs {
+            let mut models = fleet(n, seed ^ 0xDE40);
+            let bus = BroadcastBus::with_codec(n, LatencyModel::lan(), &fault, codec);
+            let mut engine = DflRound::new();
+            let mut per_round = Vec::new();
+            for round in 1..=4u64 {
+                let mut col: Vec<&mut Mlp> = models.iter_mut().collect();
+                let outcome = engine.run(
+                    &mut col,
+                    &RoundParams {
+                        bus: &bus,
+                        round,
+                        model_id: 0,
+                        alpha: None,
+                        policy: &policy,
+                        mode: AggregationMode::SharedSum,
+                        participants: None,
+                    },
+                );
+                per_round.push((outcome.fast_path_homes, outcome.fallback_homes));
+            }
+            splits.push(per_round);
+        }
+        prop_assert!(
+            splits[1] == splits[0] && splits[2] == splits[0],
+            "fast/fallback split diverged from raw (seed {}, n {}): raw {:?}, q8 {:?}, topk {:?}",
+            seed, n, splits[0], splits[1], splits[2]
+        );
     }
 }

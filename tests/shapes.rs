@@ -57,6 +57,7 @@ fn shape_config(seed: u64) -> SimConfig {
         health: pfdrl::core::HealthPolicy::default(),
         supervision: pfdrl::core::SupervisionPolicy::default(),
         precision: pfdrl::core::Precision::F64,
+        compression: pfdrl::fl::PayloadCodec::Raw,
     }
 }
 
